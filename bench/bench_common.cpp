@@ -1,0 +1,56 @@
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace vosim::bench {
+
+std::vector<Benchmark> paper_benchmarks() {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  std::vector<Benchmark> out;
+  const struct {
+    const char* name;
+    AdderArch arch;
+    int width;
+  } specs[] = {
+      {"8-bit RCA", AdderArch::kRipple, 8},
+      {"8-bit BKA", AdderArch::kBrentKung, 8},
+      {"16-bit RCA", AdderArch::kRipple, 16},
+      {"16-bit BKA", AdderArch::kBrentKung, 16},
+  };
+  for (const auto& s : specs) {
+    Benchmark b{s.name, s.arch, s.width, build_adder(s.arch, s.width), {},
+                {}};
+    b.report = synthesize_report(b.adder.netlist, lib);
+    b.triads =
+        make_paper_triads(s.arch, s.width, b.report.critical_path_ns);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::size_t pattern_budget() {
+  if (const char* env = std::getenv("VOSIM_PATTERNS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(std::max(200L, v));
+  }
+  return 20000;  // the paper's per-triad SPICE budget
+}
+
+CharacterizeConfig bench_config() {
+  CharacterizeConfig cfg;
+  cfg.num_patterns = pattern_budget();
+  return cfg;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "patterns/triad: " << pattern_budget()
+            << " (override with VOSIM_PATTERNS)\n"
+            << "================================================================\n";
+}
+
+}  // namespace vosim::bench

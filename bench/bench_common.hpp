@@ -1,0 +1,46 @@
+// Shared plumbing for the benchmark harness binaries: the four paper
+// benchmarks, their synthesis reports and triad sweeps, plus pattern
+// budget control via the VOSIM_PATTERNS environment variable.
+#ifndef VOSIM_BENCH_BENCH_COMMON_HPP
+#define VOSIM_BENCH_BENCH_COMMON_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/characterize/characterizer.hpp"
+#include "src/characterize/triads.hpp"
+#include "src/netlist/adders.hpp"
+#include "src/sta/synthesis_report.hpp"
+#include "src/tech/library.hpp"
+
+namespace vosim::bench {
+
+/// One of the paper's four benchmark operators.
+struct Benchmark {
+  std::string name;  ///< e.g. "8-bit RCA"
+  AdderArch arch;
+  int width;
+  AdderNetlist adder;
+  SynthesisReport report;
+  std::vector<OperatingTriad> triads;  ///< Table III sweep (43 triads)
+};
+
+/// Builds the paper's benchmark set: 8/16-bit RCA and BKA.
+std::vector<Benchmark> paper_benchmarks();
+
+/// Pattern count per triad: paper uses 20000; override with the
+/// VOSIM_PATTERNS environment variable (min 200) to trade fidelity for
+/// runtime.
+std::size_t pattern_budget();
+
+/// Default characterization config for benches (paper settings, with
+/// pattern_budget() applied).
+CharacterizeConfig bench_config();
+
+/// Prints a section header for harness output.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace vosim::bench
+
+#endif  // VOSIM_BENCH_BENCH_COMMON_HPP

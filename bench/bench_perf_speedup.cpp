@@ -1,0 +1,111 @@
+// Performance claim of Section IV: the statistical model "allows fast
+// simulations at the algorithm level". google-benchmark comparison of
+// adds/second: native add, windowed model add, trained statistical
+// model add, and the event-driven timing simulation it replaces.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/model/vos_model.hpp"
+#include "src/model/windowed_add.hpp"
+#include "src/sim/vos_adder.hpp"
+#include "src/sta/synthesis_report.hpp"
+
+namespace {
+
+using namespace vosim;
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+const AdderNetlist& rca8() {
+  static const AdderNetlist a = build_rca(8);
+  return a;
+}
+
+OperatingTriad stressed() {
+  static const double cp =
+      synthesize_report(rca8().netlist, lib()).critical_path_ns;
+  return {cp, 0.7, 0.0};
+}
+
+const VosAdderModel& trained_model() {
+  static const VosAdderModel model = [] {
+    VosAdderSim sim(rca8(), lib(), stressed());
+    const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
+      return sim.add(a, b).sampled;
+    };
+    TrainerConfig cfg;
+    cfg.num_patterns = 5000;
+    return train_vos_model(8, stressed(), oracle, cfg);
+  }();
+  return model;
+}
+
+void BM_NativeAdd(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    benchmark::DoNotOptimize(acc += a + b);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NativeAdd);
+
+void BM_WindowedAdd(benchmark::State& state) {
+  Rng rng(2);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    benchmark::DoNotOptimize(acc ^= windowed_add(a, b, 8, 4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedAdd);
+
+void BM_StatisticalModelAdd(benchmark::State& state) {
+  const VosAdderModel& model = trained_model();
+  Rng rng(3);
+  Rng model_rng(4);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    benchmark::DoNotOptimize(acc ^= model.add(a, b, model_rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatisticalModelAdd);
+
+void BM_EventDrivenTimingSim(benchmark::State& state) {
+  VosAdderSim sim(rca8(), lib(), stressed());
+  Rng rng(5);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    benchmark::DoNotOptimize(acc ^= sim.add(a, b).sampled);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventDrivenTimingSim);
+
+void BM_CharacterizeOneTriad(benchmark::State& state) {
+  // End-to-end cost of characterizing one triad with N patterns.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    CharacterizeConfig cfg;
+    cfg.num_patterns = n;
+    cfg.threads = 1;
+    const std::vector<OperatingTriad> one{stressed()};
+    benchmark::DoNotOptimize(
+        characterize_adder(rca8(), lib(), one, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_CharacterizeOneTriad)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table II reproduction: synthesis results (area, total power, critical
+// path) of the 8/16-bit RCA and BKA at 1.0 V without body-bias.
+//
+// Paper values (28nm FDSOI LVT, Design Compiler class flow):
+//   8-bit RCA : 114.7 µm², 170.0 µW, 0.28 ns
+//   8-bit BKA : 174.1 µm², 267.7 µW, 0.19 ns
+//   16-bit RCA: 224.5 µm², 341.0 µW, 0.53 ns
+//   16-bit BKA: 265.5 µm², 363.4 µW, 0.25 ns
+// Our library is synthetic, so absolute numbers differ; the orderings
+// and ratios are the reproduction target (EXPERIMENTS.md).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace vosim;
+  using namespace vosim::bench;
+  print_header("Table II — Synthesis results of 8/16-bit RCA and BKA",
+               "paper Table II");
+
+  TextTable t({"Benchmark", "Gates", "Flops", "Area (um2)",
+               "Total Power (uW)", "Critical Path (ns)",
+               "TT Path (ns)"});
+  for (const Benchmark& b : paper_benchmarks()) {
+    t.add_row({b.name, std::to_string(b.report.num_gates),
+               std::to_string(b.report.num_flops),
+               format_double(b.report.area_um2, 1),
+               format_double(b.report.total_power_uw, 1),
+               format_double(b.report.critical_path_ns, 3),
+               format_double(b.report.tt_critical_path_ns, 3)});
+  }
+  t.print(std::cout);
+  write_csv(t, "table2_synthesis.csv");
+  std::cout << "\npaper reference rows: 114.7/170.0/0.28 | 174.1/267.7/0.19"
+               " | 224.5/341.0/0.53 | 265.5/363.4/0.25\n"
+            << "CSV: table2_synthesis.csv\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Design-space exploration demo: sweep several adder architectures
+// (serial vs parallel prefix vs carry-select, plus static approximate
+// designs) through the same VOS characterization and print the combined
+// energy/accuracy landscape — the kind of study the library enables
+// beyond the paper's two benchmark architectures.
+#include <iostream>
+
+#include "src/vosim.hpp"
+
+int main() {
+  using namespace vosim;
+  std::cout << "== adder design space under voltage over-scaling ==\n";
+
+  const CellLibrary& lib = make_fdsoi28_lvt();
+
+  struct Entry {
+    std::string name;
+    AdderNetlist adder;
+  };
+  std::vector<Entry> designs;
+  designs.push_back({"RCA8", build_rca(8)});
+  designs.push_back({"BKA8", build_brent_kung(8)});
+  designs.push_back({"KSA8", build_kogge_stone(8)});
+  designs.push_back({"SKL8", build_sklansky(8)});
+  designs.push_back({"CSeL8", build_carry_select(8, 4)});
+  designs.push_back({"SPECW8 w=4", build_speculative_window(8, 4)});
+  designs.push_back({"LOA8 k=4", build_lower_or(8, 4)});
+
+  TextTable t({"design", "area [um2]", "CP [ns]", "triad", "BER [%]",
+               "E/op [fJ]"});
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 3000;
+  for (const Entry& e : designs) {
+    const SynthesisReport rep = synthesize_report(e.adder.netlist, lib);
+    // Three operating points: nominal, the aggressive error-free FBB
+    // point, and one over-scaled point at the design's own clock.
+    const std::vector<OperatingTriad> triads{
+        {rep.critical_path_ns, 1.0, 0.0},
+        {rep.critical_path_ns, 0.5, 2.0},
+        {rep.critical_path_ns, 0.6, 0.0},
+    };
+    const auto results = characterize_adder(e.adder, lib, triads, cfg);
+    for (const TriadResult& r : results) {
+      t.add_row({e.name, format_double(rep.area_um2, 1),
+                 format_double(rep.critical_path_ns, 3),
+                 triad_label(r.triad), format_double(r.ber * 100.0, 2),
+                 format_double(r.energy_per_op_fj, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: parallel-prefix adders run faster clocks but"
+               " spend more area/energy per op; static approximate designs"
+               " start cheaper yet carry structural errors everywhere —"
+               " VOS on an exact adder spans both worlds dynamically.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "src/apps/approx_arith.hpp"
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+AdderFn exact_adder_fn(int width) {
+  VOSIM_EXPECTS(width >= 1 && width <= max_word_bits);
+  return [width](std::uint64_t a, std::uint64_t b) {
+    return exact_add(a & mask_n(width), b & mask_n(width), width);
+  };
+}
+
+AdderFn model_adder_fn(const VosAdderModel& model, Rng& rng) {
+  return [&model, &rng](std::uint64_t a, std::uint64_t b) {
+    return model.add(a & mask_n(model.width()), b & mask_n(model.width()),
+                     rng);
+  };
+}
+
+std::uint64_t approx_sub(const AdderFn& add, int width, std::uint64_t a,
+                         std::uint64_t b) {
+  const std::uint64_t m = mask_n(width);
+  const std::uint64_t nb = (~b) & m;
+  const std::uint64_t t = add(a & m, nb) & m;
+  return add(t, 1) & m;
+}
+
+std::uint64_t approx_mul(const AdderFn& add, int width, std::uint64_t x,
+                         std::uint64_t y) {
+  const std::uint64_t m = mask_n(width);
+  x &= m;
+  y &= m;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < width && y != 0; ++i, y >>= 1) {
+    if ((y & 1ULL) != 0) acc = add(acc, (x << i) & m) & m;
+  }
+  return acc;
+}
+
+std::uint64_t approx_add_sat(const AdderFn& add, int width, std::uint64_t a,
+                             std::uint64_t b) {
+  const std::uint64_t m = mask_n(width);
+  const std::uint64_t s = add(a & m, b & m);
+  return (s > m) ? m : s;
+}
+
+}  // namespace vosim

@@ -1,0 +1,42 @@
+// Building blocks for error-resilient applications: all arithmetic is
+// routed through a pluggable adder so kernels run identically on the
+// exact adder, the timing simulator or the statistical VOS model —
+// "mapping error-resilient applications onto approximate operator
+// models" (paper Sections I and IV).
+#ifndef VOSIM_APPS_APPROX_ARITH_HPP
+#define VOSIM_APPS_APPROX_ARITH_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "src/model/vos_model.hpp"
+
+namespace vosim {
+
+/// An n-bit adder returning the (n+1)-bit sum. The kernel masks or
+/// saturates as it needs.
+using AdderFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+/// Exact reference adder.
+AdderFn exact_adder_fn(int width);
+
+/// Statistical VOS model as an adder; `rng` must outlive the function.
+AdderFn model_adder_fn(const VosAdderModel& model, Rng& rng);
+
+/// Subtraction a-b via two's complement (two routed additions); result
+/// masked to `width` bits (wraps like hardware).
+std::uint64_t approx_sub(const AdderFn& add, int width, std::uint64_t a,
+                         std::uint64_t b);
+
+/// Shift-and-add multiplication: every partial-product accumulation goes
+/// through the routed adder. Result masked to `width` bits.
+std::uint64_t approx_mul(const AdderFn& add, int width, std::uint64_t x,
+                         std::uint64_t y);
+
+/// Adds with saturation at 2^width - 1 instead of wrap-around.
+std::uint64_t approx_add_sat(const AdderFn& add, int width, std::uint64_t a,
+                             std::uint64_t b);
+
+}  // namespace vosim
+
+#endif  // VOSIM_APPS_APPROX_ARITH_HPP

@@ -1,0 +1,26 @@
+// Dot-product and sum-of-absolute-differences kernels with routed
+// arithmetic — the data-mining / motion-estimation style workloads of
+// the paper's error-resilient application class.
+#ifndef VOSIM_APPS_DOT_HPP
+#define VOSIM_APPS_DOT_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "src/apps/approx_arith.hpp"
+
+namespace vosim {
+
+/// Dot product of two u8 vectors; multiplies are shift-and-add through
+/// the routed adder, accumulation is `acc_bits` wide (wraps as hardware
+/// would).
+std::uint64_t approx_dot(const AdderFn& add, std::span<const std::uint8_t> x,
+                         std::span<const std::uint8_t> y, int acc_bits = 24);
+
+/// Sum of absolute differences of two u8 vectors (block matching).
+std::uint64_t approx_sad(const AdderFn& add, std::span<const std::uint8_t> x,
+                         std::span<const std::uint8_t> y, int acc_bits = 20);
+
+}  // namespace vosim
+
+#endif  // VOSIM_APPS_DOT_HPP

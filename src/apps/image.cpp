@@ -1,0 +1,125 @@
+#include "src/apps/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+
+namespace {
+constexpr int kernel_width = 16;  // accumulator word width for 3x3 kernels
+}  // namespace
+
+GrayImage make_synthetic_scene(int width, int height, std::uint64_t seed) {
+  VOSIM_EXPECTS(width >= 8 && height >= 8);
+  GrayImage img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<std::size_t>(width) *
+                    static_cast<std::size_t>(height));
+  Rng rng(seed);
+
+  const double cx = 0.35 * width;
+  const double cy = 0.40 * height;
+  const double r = 0.18 * std::min(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Diagonal gradient base.
+      double v = 40.0 + 120.0 * (static_cast<double>(x + y) /
+                                 static_cast<double>(width + height));
+      // Bright disk.
+      const double dx = x - cx;
+      const double dy = y - cy;
+      if (dx * dx + dy * dy < r * r) v += 80.0;
+      // Vertical bars in the right third (edge content for Sobel).
+      if (x > 2 * width / 3 && ((x / 4) % 2 == 0)) v += 60.0;
+      // Mild sensor noise.
+      v += 4.0 * rng.gaussian();
+      img.set(x, y,
+              static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return img;
+}
+
+double psnr_db(const GrayImage& reference, const GrayImage& test) {
+  VOSIM_EXPECTS(reference.width == test.width &&
+                reference.height == test.height);
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < reference.pixels.size(); ++i) {
+    const double d = static_cast<double>(reference.pixels[i]) -
+                     static_cast<double>(test.pixels[i]);
+    sum_sq += d * d;
+  }
+  if (sum_sq == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sum_sq / static_cast<double>(reference.pixels.size());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+GrayImage gaussian_blur3(const GrayImage& src, const AdderFn& add) {
+  GrayImage out = src;  // borders keep their source values
+  const std::uint64_t m = mask_n(kernel_width);
+  for (int y = 1; y + 1 < src.height; ++y) {
+    for (int x = 1; x + 1 < src.width; ++x) {
+      // Σ w_ij · p_ij with w ∈ {1,2,4}: weights are shifts, every
+      // accumulation is a routed 16-bit addition.
+      std::uint64_t acc = 0;
+      for (int ky = -1; ky <= 1; ++ky) {
+        for (int kx = -1; kx <= 1; ++kx) {
+          const int shift = 2 - std::abs(kx) - std::abs(ky);  // log2 w
+          const std::uint64_t term =
+              (static_cast<std::uint64_t>(src.at(x + kx, y + ky)) << shift) &
+              m;
+          acc = add(acc, term) & m;
+        }
+      }
+      out.set(x, y, static_cast<std::uint8_t>(
+                        std::min<std::uint64_t>(255, acc >> 4)));
+    }
+  }
+  return out;
+}
+
+GrayImage sobel_magnitude(const GrayImage& src, const AdderFn& add) {
+  GrayImage out = src;
+  const std::uint64_t m = mask_n(kernel_width);
+  auto px = [&src](int x, int y) {
+    return static_cast<std::uint64_t>(src.at(x, y));
+  };
+  for (int y = 1; y + 1 < src.height; ++y) {
+    for (int x = 1; x + 1 < src.width; ++x) {
+      // gx = (p(+1,·) weighted) − (p(−1,·) weighted); likewise gy.
+      // Accumulate the positive and negative lobes separately, then
+      // subtract through the routed adder and take |·| manually.
+      auto lobe3 = [&](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        std::uint64_t acc = add(a, (b << 1) & m) & m;
+        return add(acc, c) & m;
+      };
+      const std::uint64_t gxp =
+          lobe3(px(x + 1, y - 1), px(x + 1, y), px(x + 1, y + 1));
+      const std::uint64_t gxn =
+          lobe3(px(x - 1, y - 1), px(x - 1, y), px(x - 1, y + 1));
+      const std::uint64_t gyp =
+          lobe3(px(x - 1, y + 1), px(x, y + 1), px(x + 1, y + 1));
+      const std::uint64_t gyn =
+          lobe3(px(x - 1, y - 1), px(x, y - 1), px(x + 1, y - 1));
+
+      auto abs_diff = [&](std::uint64_t p, std::uint64_t n) {
+        return (p >= n) ? approx_sub(add, kernel_width, p, n)
+                        : approx_sub(add, kernel_width, n, p);
+      };
+      const std::uint64_t gx = abs_diff(gxp, gxn);
+      const std::uint64_t gy = abs_diff(gyp, gyn);
+      const std::uint64_t mag = add(gx, gy) & m;
+      out.set(x, y,
+              static_cast<std::uint8_t>(std::min<std::uint64_t>(255, mag)));
+    }
+  }
+  return out;
+}
+
+}  // namespace vosim

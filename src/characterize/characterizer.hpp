@@ -1,0 +1,60 @@
+// Triad sweep driver: runs the timing simulator over a pattern set at
+// every operating triad and gathers error + energy statistics — the
+// reproduction of the paper's characterization flow (Fig. 4) with the
+// event-driven simulator standing in for SPICE.
+#ifndef VOSIM_CHARACTERIZE_CHARACTERIZER_HPP
+#define VOSIM_CHARACTERIZE_CHARACTERIZER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/characterize/metrics.hpp"
+#include "src/characterize/patterns.hpp"
+#include "src/netlist/adders.hpp"
+#include "src/sim/event_sim.hpp"
+#include "src/tech/operating_point.hpp"
+
+namespace vosim {
+
+/// Sweep configuration.
+struct CharacterizeConfig {
+  std::size_t num_patterns = 20000;  ///< SPICE runs per triad in the paper
+  PatternPolicy policy = PatternPolicy::kCarryBalanced;
+  std::uint64_t pattern_seed = 42;   ///< same stimuli at every triad
+  double variation_sigma = 0.03;     ///< per-gate process variation
+  std::uint64_t variation_seed = 7;  ///< "one die" across all triads
+  unsigned threads = 0;              ///< 0 = hardware default
+  /// Keep circuit state between operations (pipeline semantics). When
+  /// false every operation starts from a settled previous pattern.
+  bool streaming_state = true;
+};
+
+/// Per-triad characterization outcome.
+struct TriadResult {
+  OperatingTriad triad;
+  double ber = 0.0;                 ///< bit error rate vs exact addition
+  std::vector<double> bitwise_ber;  ///< per output position (Fig. 5)
+  double op_error_rate = 0.0;
+  double mse = 0.0;
+  double energy_per_op_fj = 0.0;    ///< dynamic window + leakage
+  double dynamic_energy_fj = 0.0;
+  double leakage_energy_fj = 0.0;
+  double mean_settle_ps = 0.0;
+  std::size_t patterns = 0;
+};
+
+/// Runs the sweep; one simulator per triad, all sharing the same pattern
+/// sequence and the same per-gate variation sample. Parallel over triads
+/// and bit-deterministic for a fixed config.
+std::vector<TriadResult> characterize_adder(
+    const AdderNetlist& adder, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const CharacterizeConfig& config = {});
+
+/// Energy efficiency vs a baseline energy (paper's "energy saving
+/// compared to ideal test case"): 1 − E/E_baseline.
+double energy_efficiency(double energy_fj, double baseline_fj);
+
+}  // namespace vosim
+
+#endif  // VOSIM_CHARACTERIZE_CHARACTERIZER_HPP

@@ -1,0 +1,60 @@
+#include "src/characterize/patterns.hpp"
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+PatternStream::PatternStream(PatternPolicy policy, int width,
+                             std::uint64_t seed)
+    : policy_(policy), width_(width), rng_(seed) {
+  VOSIM_EXPECTS(width >= 1 && width <= max_word_bits);
+}
+
+OperandPair PatternStream::next() {
+  switch (policy_) {
+    case PatternPolicy::kUniform: return next_uniform();
+    case PatternPolicy::kCarryBalanced: return next_carry_balanced();
+    case PatternPolicy::kCorrelatedWalk: return next_walk();
+  }
+  return {};
+}
+
+OperandPair PatternStream::next_uniform() {
+  return OperandPair{rng_.bits(width_), rng_.bits(width_)};
+}
+
+OperandPair PatternStream::next_carry_balanced() {
+  // Draw a per-pattern propagate density q, then classify each bit as
+  // propagate (a^b = 1), generate (a = b = 1) or kill (a = b = 0).
+  // Sweeping q in [0.2, 0.95] makes long and short carry chains equally
+  // well represented in the stimulus set.
+  const double q = 0.2 + 0.75 * rng_.uniform();
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  for (int i = 0; i < width_; ++i) {
+    if (rng_.flip(q)) {
+      // Propagate: exactly one operand carries the bit.
+      if (rng_.flip(0.5)) a |= (1ULL << i);
+      else b |= (1ULL << i);
+    } else if (rng_.flip(0.5)) {
+      a |= (1ULL << i);  // generate
+      b |= (1ULL << i);
+    }
+    // else: kill (both zero)
+  }
+  return OperandPair{a, b};
+}
+
+OperandPair PatternStream::next_walk() {
+  const std::uint64_t m = mask_n(width_);
+  // Small signed increments emulate slowly-varying application data.
+  const std::uint64_t step = 1ULL << (width_ >= 8 ? width_ - 6 : 1);
+  const std::uint64_t da = rng_.below(2 * step + 1);
+  const std::uint64_t db = rng_.below(2 * step + 1);
+  last_.a = (last_.a + da + (m + 1) - step) & m;
+  last_.b = (last_.b + db + (m + 1) - step) & m;
+  return last_;
+}
+
+}  // namespace vosim

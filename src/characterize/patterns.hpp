@@ -1,0 +1,56 @@
+// Input-pattern generation for operator characterization.
+//
+// The paper stimulates each triad with 20 000 patterns "chosen in such a
+// way that all the input bits carry equal probability to propagate carry
+// in the chain" (Section IV). kCarryBalanced implements that intent by
+// stratifying the per-pattern propagate density, which spreads the
+// theoretical carry-chain length over its whole range.
+#ifndef VOSIM_CHARACTERIZE_PATTERNS_HPP
+#define VOSIM_CHARACTERIZE_PATTERNS_HPP
+
+#include <cstdint>
+#include <utility>
+
+#include "src/util/rng.hpp"
+
+namespace vosim {
+
+/// Stimulus policies.
+enum class PatternPolicy {
+  kUniform,        ///< independent uniform operands
+  kCarryBalanced,  ///< stratified propagate density (paper-style)
+  kCorrelatedWalk, ///< operands follow a random walk (application-like)
+};
+
+/// An operand pair.
+struct OperandPair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Deterministic pattern stream: same (policy, width, seed) => same
+/// sequence, so every triad of a sweep sees identical stimuli, as in the
+/// paper's testbench.
+class PatternStream {
+ public:
+  PatternStream(PatternPolicy policy, int width, std::uint64_t seed);
+
+  OperandPair next();
+
+  int width() const noexcept { return width_; }
+  PatternPolicy policy() const noexcept { return policy_; }
+
+ private:
+  OperandPair next_uniform();
+  OperandPair next_carry_balanced();
+  OperandPair next_walk();
+
+  PatternPolicy policy_;
+  int width_;
+  Rng rng_;
+  OperandPair last_{};  // for the correlated walk
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_CHARACTERIZE_PATTERNS_HPP

@@ -1,0 +1,92 @@
+#include "src/characterize/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+std::vector<TriadResult> sort_for_fig8(std::vector<TriadResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const TriadResult& x, const TriadResult& y) {
+              if (x.ber != y.ber) return x.ber < y.ber;
+              return x.energy_per_op_fj < y.energy_per_op_fj;
+            });
+  return results;
+}
+
+std::vector<EfficiencyBand> table4_bands(
+    const std::vector<TriadResult>& results, double baseline_fj) {
+  VOSIM_EXPECTS(baseline_fj > 0.0);
+  std::vector<EfficiencyBand> bands{
+      {"0%", -1.0, 0.0, 0, false, 0.0, 0.0, {}},
+      {"1% to 10%", 0.0, 10.0, 0, false, 0.0, 0.0, {}},
+      {"11% to 20%", 10.0, 20.0, 0, false, 0.0, 0.0, {}},
+      {"21% to 25%", 20.0, 25.0, 0, false, 0.0, 0.0, {}},
+  };
+  for (const TriadResult& r : results) {
+    const double ber_pct = r.ber * 100.0;
+    for (EfficiencyBand& band : bands) {
+      const bool in_band = (band.hi_pct == 0.0)
+                               ? (ber_pct == 0.0)
+                               : (ber_pct > band.lo_pct &&
+                                  ber_pct <= band.hi_pct);
+      if (!in_band) continue;
+      ++band.triad_count;
+      const double ee =
+          energy_efficiency(r.energy_per_op_fj, baseline_fj) * 100.0;
+      if (!band.has_best || ee > band.max_efficiency_pct) {
+        band.has_best = true;
+        band.max_efficiency_pct = ee;
+        band.ber_at_max_pct = ber_pct;
+        band.best_triad = r.triad;
+      }
+      break;
+    }
+  }
+  return bands;
+}
+
+TextTable fig8_table(const std::vector<TriadResult>& sorted_results,
+                     double baseline_fj) {
+  TextTable t({"triad (Tclk,Vdd,Vbb)", "BER [%]", "Energy/Op [fJ]",
+               "EnergyEff [%]", "settle [ps]"});
+  for (const TriadResult& r : sorted_results) {
+    t.add_row({triad_label(r.triad), format_double(r.ber * 100.0, 2),
+               format_double(r.energy_per_op_fj, 2),
+               format_double(
+                   energy_efficiency(r.energy_per_op_fj, baseline_fj) * 100.0,
+                   1),
+               format_double(r.mean_settle_ps, 1)});
+  }
+  return t;
+}
+
+TextTable table3_rows(const std::string& benchmark,
+                      const std::vector<OperatingTriad>& triads) {
+  std::set<double> tclk;
+  std::set<double> vdd;
+  std::set<double> vbb;
+  for (const OperatingTriad& t : triads) {
+    tclk.insert(t.tclk_ns);
+    vdd.insert(t.vdd_v);
+    vbb.insert(t.vbb_v);
+  }
+  auto join = [](const std::set<double>& xs, int prec) {
+    std::string s;
+    for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+      if (!s.empty()) s += ", ";
+      s += format_double(*it, prec);
+    }
+    return s;
+  };
+  TextTable t({"Benchmark", "Tclk (ns)", "Vdd (V)", "Vbb (V)", "#triads"});
+  t.add_row({benchmark, join(tclk, 3),
+             format_double(*vdd.rbegin(), 1) + " to " +
+                 format_double(*vdd.begin(), 1),
+             join(vbb, 0), std::to_string(triads.size())});
+  return t;
+}
+
+}  // namespace vosim

@@ -1,0 +1,45 @@
+// Shaping characterization results into the paper's tables and figures.
+#ifndef VOSIM_CHARACTERIZE_REPORT_HPP
+#define VOSIM_CHARACTERIZE_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/characterize/characterizer.hpp"
+#include "src/util/table.hpp"
+
+namespace vosim {
+
+/// Fig. 8 x-axis ordering: BER ascending, ties broken by energy
+/// ascending (the paper's plots show the 0%-BER region ordered by
+/// rising energy, then the error region by rising BER).
+std::vector<TriadResult> sort_for_fig8(std::vector<TriadResult> results);
+
+/// One row of Table IV (a BER band of the triad population).
+struct EfficiencyBand {
+  std::string label;        ///< e.g. "1% to 10%"
+  double lo_pct = 0.0;      ///< exclusive lower edge (except the 0 band)
+  double hi_pct = 0.0;      ///< inclusive upper edge
+  int triad_count = 0;
+  bool has_best = false;
+  double max_efficiency_pct = 0.0;  ///< best energy saving in the band
+  double ber_at_max_pct = 0.0;      ///< BER of that best triad
+  OperatingTriad best_triad{};
+};
+
+/// Bands of Table IV: 0%, 1-10%, 11-20%, 21-25%. Efficiency is relative
+/// to `baseline_fj` (the relaxed nominal triad's energy/op).
+std::vector<EfficiencyBand> table4_bands(
+    const std::vector<TriadResult>& results, double baseline_fj);
+
+/// Fig. 8 as text: one row per triad with BER and energy/op.
+TextTable fig8_table(const std::vector<TriadResult>& sorted_results,
+                     double baseline_fj);
+
+/// Triad listing (Table III style) for one benchmark.
+TextTable table3_rows(const std::string& benchmark,
+                      const std::vector<OperatingTriad>& triads);
+
+}  // namespace vosim
+
+#endif  // VOSIM_CHARACTERIZE_REPORT_HPP

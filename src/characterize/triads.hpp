@@ -1,0 +1,42 @@
+// Operating-triad set construction (paper Table III).
+//
+// Each benchmark is swept over 43 triads: one relaxed nominal point plus
+// {3 clock periods} × {Vdd 1.0 → 0.4 V in 0.1 V steps} × {no bias,
+// 2 V forward body-bias}. Clock periods are derived from *our* synthesis
+// report with the paper's per-benchmark Tclk ratios, so the sweep applies
+// the same relative timing stress as the paper regardless of absolute
+// library speed.
+#ifndef VOSIM_CHARACTERIZE_TRIADS_HPP
+#define VOSIM_CHARACTERIZE_TRIADS_HPP
+
+#include <vector>
+
+#include "src/netlist/adders.hpp"
+#include "src/tech/operating_point.hpp"
+
+namespace vosim {
+
+/// Clock periods relative to the benchmark's own synthesis critical path,
+/// transcribed from Table III (first entry = relaxed nominal period).
+std::vector<double> paper_tclk_ratios(AdderArch arch, int width);
+
+/// Builds the 43-triad sweep from explicit clock periods (ns). The first
+/// period is used only at (1.0 V, no bias) — the energy baseline; every
+/// other period is swept across supplies and body-bias settings.
+std::vector<OperatingTriad> make_triad_set(
+    const std::vector<double>& tclk_ns);
+
+/// Convenience: Table III triads for an adder whose synthesis-reported
+/// critical path is `synthesis_cp_ns`.
+std::vector<OperatingTriad> make_paper_triads(AdderArch arch, int width,
+                                              double synthesis_cp_ns);
+
+/// Supplies swept by the paper (V).
+std::vector<double> paper_vdd_steps();
+
+/// Body-bias settings swept by the paper (V): {0, +2 forward}.
+std::vector<double> paper_vbb_steps();
+
+}  // namespace vosim
+
+#endif  // VOSIM_CHARACTERIZE_TRIADS_HPP

@@ -1,0 +1,57 @@
+// Monte-Carlo process-variation study: characterize one operating triad
+// across many simulated dies (independent per-gate delay samples) and
+// summarize the spread of BER and energy. Supports the paper's Section
+// II/III discussion — "the impact of variability has to be considered to
+// achieve optimum balance between accuracy and energy".
+#ifndef VOSIM_CHARACTERIZE_VARIABILITY_HPP
+#define VOSIM_CHARACTERIZE_VARIABILITY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/characterize/characterizer.hpp"
+
+namespace vosim {
+
+/// Spread of a metric across dies.
+struct DieSpread {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+/// Per-triad Monte-Carlo outcome.
+struct VariabilityResult {
+  OperatingTriad triad;
+  int dies = 0;
+  DieSpread ber;
+  DieSpread energy_fj;
+  /// Fraction of dies that are completely error-free at this triad —
+  /// the parametric-yield view of a VOS operating point.
+  double error_free_die_fraction = 0.0;
+};
+
+/// Study configuration.
+struct VariabilityConfig {
+  int num_dies = 25;
+  double variation_sigma = 0.05;     ///< per-gate log-normal sigma
+  std::uint64_t die_seed_base = 1000;  ///< die i uses seed base + i
+  std::size_t num_patterns = 3000;
+  PatternPolicy policy = PatternPolicy::kCarryBalanced;
+  std::uint64_t pattern_seed = 42;
+  unsigned threads = 0;
+};
+
+/// Runs the Monte-Carlo study for each triad.
+std::vector<VariabilityResult> variability_study(
+    const AdderNetlist& adder, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const VariabilityConfig& config = {});
+
+}  // namespace vosim
+
+#endif  // VOSIM_CHARACTERIZE_VARIABILITY_HPP

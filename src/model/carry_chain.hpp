@@ -1,0 +1,29 @@
+// Carry-chain analysis (paper Section IV).
+//
+// The statistical model's single parameter for adders is the longest
+// carry-propagation chain: VOS breaks the longest combinational paths
+// first, and those are exactly the long carry chains.
+#ifndef VOSIM_MODEL_CARRY_CHAIN_HPP
+#define VOSIM_MODEL_CARRY_CHAIN_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace vosim {
+
+/// Theoretical maximal carry chain Cth_max of the addition a+b on `width`
+/// bits: the largest number of positions any single carry travels. A
+/// carry born at a generate position j (a_j = b_j = 1) travels through
+/// the run of propagate positions (a^b) above it and dies one past the
+/// run, so its length is 1 + run(p, j+1), capped by the carry-out stage.
+/// Range: 0 (no carry at all) .. width (carry crosses into cout).
+int theoretical_max_carry_chain(std::uint64_t a, std::uint64_t b, int width);
+
+/// Distance the carry entering bit position i has travelled (0 when no
+/// carry enters bit i). Exposed for tests and bit-level analyses.
+std::vector<int> carry_travel_distances(std::uint64_t a, std::uint64_t b,
+                                        int width);
+
+}  // namespace vosim
+
+#endif  // VOSIM_MODEL_CARRY_CHAIN_HPP

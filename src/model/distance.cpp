@@ -1,0 +1,42 @@
+#include "src/model/distance.hpp"
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+std::string distance_metric_name(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kMse: return "MSE distance";
+    case DistanceMetric::kHamming: return "Hamming distance";
+    case DistanceMetric::kWeightedHamming: return "Weighted Hamming";
+  }
+  return "?";
+}
+
+double distance(std::uint64_t x, std::uint64_t y, int nbits,
+                DistanceMetric metric) {
+  VOSIM_EXPECTS(nbits >= 1 && nbits <= 64);
+  switch (metric) {
+    case DistanceMetric::kMse: {
+      const double d = static_cast<double>(x & mask_n(nbits)) -
+                       static_cast<double>(y & mask_n(nbits));
+      return d * d;
+    }
+    case DistanceMetric::kHamming:
+      return static_cast<double>(hamming_distance(x, y, nbits));
+    case DistanceMetric::kWeightedHamming: {
+      std::uint64_t diff = (x ^ y) & mask_n(nbits);
+      double w = 0.0;
+      while (diff != 0) {
+        const int i = std::countr_zero(diff);
+        w += static_cast<double>(1ULL << i);
+        diff &= diff - 1;
+      }
+      return w;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace vosim

@@ -1,0 +1,27 @@
+// Accuracy metrics used to calibrate the statistical model against the
+// hardware operator (paper Section IV): MSE, Hamming and weighted
+// Hamming distance.
+#ifndef VOSIM_MODEL_DISTANCE_HPP
+#define VOSIM_MODEL_DISTANCE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace vosim {
+
+/// Calibration distance metrics.
+enum class DistanceMetric {
+  kMse,              ///< squared numerical deviation
+  kHamming,          ///< number of flipped bits
+  kWeightedHamming,  ///< flipped bits weighted by 2^position
+};
+
+std::string distance_metric_name(DistanceMetric metric);
+
+/// Distance between two nbits-wide words under the chosen metric.
+double distance(std::uint64_t x, std::uint64_t y, int nbits,
+                DistanceMetric metric);
+
+}  // namespace vosim
+
+#endif  // VOSIM_MODEL_DISTANCE_HPP

@@ -1,0 +1,65 @@
+#include "src/model/evaluation.hpp"
+
+#include <cmath>
+
+#include "src/characterize/metrics.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+FidelityResult evaluate_fidelity(const VosAdderModel& model,
+                                 const HardwareOracle& oracle,
+                                 const FidelityConfig& config) {
+  VOSIM_EXPECTS(config.num_patterns > 0);
+  const int width = model.width();
+  PatternStream patterns(config.policy, width, config.pattern_seed);
+  Rng model_rng(config.model_rng_seed);
+
+  ErrorAccumulator model_vs_oracle(width + 1);  // oracle as reference
+  ErrorAccumulator model_vs_exact(width + 1);
+  ErrorAccumulator oracle_vs_exact(width + 1);
+
+  for (std::size_t i = 0; i < config.num_patterns; ++i) {
+    const OperandPair pat = patterns.next();
+    const std::uint64_t hw = oracle(pat.a, pat.b);
+    const std::uint64_t md = model.add(pat.a, pat.b, model_rng);
+    const std::uint64_t gold = exact_add(pat.a, pat.b, width);
+    model_vs_oracle.add(hw, md);
+    model_vs_exact.add(gold, md);
+    oracle_vs_exact.add(gold, hw);
+  }
+
+  FidelityResult out;
+  out.triad = model.triad();
+  out.snr_db = model_vs_oracle.snr_db();
+  out.normalized_hamming = model_vs_oracle.normalized_hamming();
+  out.mse = model_vs_oracle.mse();
+  out.model_ber = model_vs_exact.ber();
+  out.oracle_ber = oracle_vs_exact.ber();
+  out.exact_match = model_vs_oracle.ber() == 0.0;
+  return out;
+}
+
+FidelitySummary summarize_fidelity(const std::vector<FidelityResult>& runs) {
+  FidelitySummary s;
+  for (const FidelityResult& r : runs) {
+    // A triad where the hardware never errs and the model matches it
+    // exactly says nothing about error modeling; Fig. 7 statistics are
+    // over the informative triads.
+    if (r.oracle_ber == 0.0 && r.exact_match) {
+      ++s.error_free_triads;
+      continue;
+    }
+    ++s.evaluated_triads;
+    s.mean_snr_db += std::min(r.snr_db, snr_display_cap_db);
+    s.mean_normalized_hamming += r.normalized_hamming;
+  }
+  if (s.evaluated_triads > 0) {
+    s.mean_snr_db /= s.evaluated_triads;
+    s.mean_normalized_hamming /= s.evaluated_triads;
+  }
+  return s;
+}
+
+}  // namespace vosim

@@ -1,0 +1,199 @@
+#include "src/model/segmented_model.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/model/carry_chain.hpp"
+#include "src/model/windowed_add.hpp"
+#include "src/model/distance.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+void check_bounds(int width, const std::vector<int>& bounds) {
+  VOSIM_EXPECTS(bounds.size() >= 2);
+  VOSIM_EXPECTS(bounds.front() == 0);
+  VOSIM_EXPECTS(bounds.back() == width + 1);
+  for (std::size_t s = 1; s < bounds.size(); ++s)
+    VOSIM_EXPECTS(bounds[s] > bounds[s - 1]);
+}
+
+/// Distance restricted to the bits of one segment.
+double segment_distance(std::uint64_t x, std::uint64_t y, int lo, int hi,
+                        DistanceMetric metric) {
+  const std::uint64_t m = (mask_n(hi) & ~mask_n(lo));
+  // Shift down so the MSE metric weighs segment-local significance.
+  return distance((x & m) >> lo, (y & m) >> lo, hi - lo, metric);
+}
+
+}  // namespace
+
+std::uint64_t segmented_windowed_add(std::uint64_t a, std::uint64_t b,
+                                     int width,
+                                     const std::vector<int>& bounds,
+                                     const std::vector<int>& windows) {
+  VOSIM_EXPECTS(width >= 1 && width <= max_word_bits);
+  check_bounds(width, bounds);
+  VOSIM_EXPECTS(windows.size() + 1 == bounds.size());
+  const std::uint64_t g = a & b;
+  const std::uint64_t p = a ^ b;
+
+  std::uint64_t result = 0;
+  int origin = -1;
+  std::size_t seg = 0;
+  for (int i = 0; i <= width; ++i) {
+    while (i >= bounds[seg + 1]) ++seg;
+    const int window = windows[seg];
+    const bool carry_in =
+        origin >= 0 && window > 0 && (i - origin) <= window;
+    if (i == width) {
+      if (carry_in) result |= (1ULL << width);
+      break;
+    }
+    const int pi = bit_of(p, i);
+    if ((pi != 0) != carry_in) result |= (1ULL << i);
+    if (bit_of(g, i) != 0) {
+      origin = i;
+    } else if (pi == 0) {
+      origin = -1;
+    }
+  }
+  return result;
+}
+
+int max_chain_into_segment(std::uint64_t a, std::uint64_t b, int width,
+                           int lo, int hi) {
+  VOSIM_EXPECTS(lo >= 0 && hi > lo && hi <= width + 1);
+  const std::vector<int> dist = carry_travel_distances(a, b, width);
+  int best = 0;
+  for (int i = lo; i < hi; ++i)
+    best = std::max(best, dist[static_cast<std::size_t>(i)]);
+  return best;
+}
+
+std::vector<int> equal_segments(int width, int num_segments) {
+  VOSIM_EXPECTS(num_segments >= 1 && num_segments <= width + 1);
+  std::vector<int> bounds;
+  bounds.push_back(0);
+  const int total = width + 1;
+  for (int s = 1; s < num_segments; ++s)
+    bounds.push_back(s * total / num_segments);
+  bounds.push_back(total);
+  return bounds;
+}
+
+SegmentedVosModel::SegmentedVosModel(int width, OperatingTriad triad,
+                                     std::vector<int> bounds,
+                                     std::vector<CarryChainProbTable> tables)
+    : width_(width),
+      triad_(triad),
+      bounds_(std::move(bounds)),
+      tables_(std::move(tables)) {
+  check_bounds(width_, bounds_);
+  VOSIM_EXPECTS(tables_.size() + 1 == bounds_.size());
+  for (const CarryChainProbTable& t : tables_)
+    VOSIM_EXPECTS(t.width() == width_);
+}
+
+const CarryChainProbTable& SegmentedVosModel::table(int segment) const {
+  VOSIM_EXPECTS(segment >= 0 &&
+                segment < static_cast<int>(tables_.size()));
+  return tables_[static_cast<std::size_t>(segment)];
+}
+
+std::uint64_t SegmentedVosModel::add(std::uint64_t a, std::uint64_t b,
+                                     Rng& rng) const {
+  std::vector<int> windows(tables_.size(), 0);
+  for (std::size_t s = 0; s < tables_.size(); ++s) {
+    const int cth = max_chain_into_segment(
+        a, b, width_, bounds_[s], bounds_[s + 1]);
+    windows[s] = tables_[s].sample(cth, rng);
+  }
+  return segmented_windowed_add(a, b, width_, bounds_, windows);
+}
+
+void SegmentedVosModel::save(std::ostream& os) const {
+  os << "segmented_vos_model v1 " << width_ << " " << tables_.size();
+  for (const int b : bounds_) os << " " << b;
+  os << " " << triad_.tclk_ns << " " << triad_.vdd_v << " " << triad_.vbb_v
+     << "\n";
+  for (const CarryChainProbTable& t : tables_) t.save(os);
+}
+
+SegmentedVosModel SegmentedVosModel::load(std::istream& is) {
+  std::string magic;
+  std::string version;
+  int width = 0;
+  std::size_t segments = 0;
+  is >> magic >> version >> width >> segments;
+  if (!is || magic != "segmented_vos_model" || version != "v1")
+    throw std::runtime_error("bad segmented model header");
+  std::vector<int> bounds(segments + 1, 0);
+  for (int& b : bounds) is >> b;
+  OperatingTriad triad;
+  is >> triad.tclk_ns >> triad.vdd_v >> triad.vbb_v;
+  if (!is) throw std::runtime_error("truncated segmented model header");
+  std::vector<CarryChainProbTable> tables;
+  tables.reserve(segments);
+  for (std::size_t s = 0; s < segments; ++s)
+    tables.push_back(CarryChainProbTable::load(is));
+  return SegmentedVosModel(width, triad, std::move(bounds),
+                           std::move(tables));
+}
+
+SegmentedVosModel train_segmented_model(int width,
+                                        const OperatingTriad& triad,
+                                        const HardwareOracle& oracle,
+                                        int num_segments,
+                                        const TrainerConfig& config) {
+  VOSIM_EXPECTS(config.num_patterns > 0);
+  const std::vector<int> bounds = equal_segments(width, num_segments);
+  const auto n = static_cast<std::size_t>(width) + 1;
+  std::vector<std::vector<std::vector<std::uint64_t>>> counts(
+      static_cast<std::size_t>(num_segments),
+      std::vector<std::vector<std::uint64_t>>(
+          n, std::vector<std::uint64_t>(n, 0)));
+
+  PatternStream patterns(config.policy, width, config.pattern_seed);
+  for (std::size_t i = 0; i < config.num_patterns; ++i) {
+    const OperandPair pat = patterns.next();
+    const std::uint64_t observed = oracle(pat.a, pat.b);
+    for (int s = 0; s < num_segments; ++s) {
+      const auto us = static_cast<std::size_t>(s);
+      const int lo = bounds[us];
+      const int hi = bounds[us + 1];
+      const int cth = max_chain_into_segment(pat.a, pat.b, width, lo, hi);
+      // Inner Algorithm-1 loop, restricted to this segment's bits. The
+      // other segments' windows do not affect bits inside [lo, hi), so
+      // the per-segment optimum is well defined with a single global
+      // window sweep.
+      double best = -1.0;
+      int best_c = cth;
+      for (int c = cth; c >= 0; --c) {
+        const std::uint64_t x = windowed_add(pat.a, pat.b, width, c);
+        const double d = segment_distance(observed, x, lo, hi,
+                                          config.metric);
+        if (best < 0.0 || d <= best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      ++counts[us][static_cast<std::size_t>(cth)]
+              [static_cast<std::size_t>(best_c)];
+    }
+  }
+
+  std::vector<CarryChainProbTable> tables;
+  tables.reserve(static_cast<std::size_t>(num_segments));
+  for (int s = 0; s < num_segments; ++s)
+    tables.push_back(CarryChainProbTable::from_counts(
+        width, counts[static_cast<std::size_t>(s)]));
+  return SegmentedVosModel(width, triad, bounds, std::move(tables));
+}
+
+}  // namespace vosim

@@ -1,0 +1,46 @@
+#include "src/model/trainer.hpp"
+
+#include "src/model/carry_chain.hpp"
+#include "src/model/windowed_add.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+int best_window(std::uint64_t a, std::uint64_t b, int width,
+                std::uint64_t observed, DistanceMetric metric) {
+  const int cth = theoretical_max_carry_chain(a, b, width);
+  // Algorithm 1 iterates C from Cth_max down to 0 and keeps the last
+  // window with dist <= best, so ties resolve to the smallest window —
+  // the most pessimistic chain truncation consistent with the output.
+  double best = -1.0;
+  int best_c = cth;
+  for (int c = cth; c >= 0; --c) {
+    const std::uint64_t x = windowed_add(a, b, width, c);
+    const double d = distance(observed, x, width + 1, metric);
+    if (best < 0.0 || d <= best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+CarryChainProbTable train_carry_table(int width, const HardwareOracle& oracle,
+                                      const TrainerConfig& config) {
+  VOSIM_EXPECTS(config.num_patterns > 0);
+  const auto n = static_cast<std::size_t>(width) + 1;
+  std::vector<std::vector<std::uint64_t>> counts(
+      n, std::vector<std::uint64_t>(n, 0));
+
+  PatternStream patterns(config.policy, width, config.pattern_seed);
+  for (std::size_t i = 0; i < config.num_patterns; ++i) {
+    const OperandPair pat = patterns.next();
+    const std::uint64_t observed = oracle(pat.a, pat.b);
+    const int cth = theoretical_max_carry_chain(pat.a, pat.b, width);
+    const int c = best_window(pat.a, pat.b, width, observed, config.metric);
+    ++counts[static_cast<std::size_t>(cth)][static_cast<std::size_t>(c)];
+  }
+  return CarryChainProbTable::from_counts(width, counts);
+}
+
+}  // namespace vosim

@@ -1,0 +1,43 @@
+// Offline optimization constructing the probability table (paper
+// Algorithm 1): for each training pair, find the carry window whose
+// modified addition best matches the hardware output under the chosen
+// distance metric, and histogram it against the theoretical chain.
+#ifndef VOSIM_MODEL_TRAINER_HPP
+#define VOSIM_MODEL_TRAINER_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "src/characterize/patterns.hpp"
+#include "src/model/distance.hpp"
+#include "src/model/prob_table.hpp"
+
+namespace vosim {
+
+/// The "hardware adder" of Algorithm 1: returns the sampled (width+1)-bit
+/// output for an operand pair. In this reproduction it is usually a
+/// VosAdderSim closure, but it can wrap a silicon trace or another model.
+using HardwareOracle =
+    std::function<std::uint64_t(std::uint64_t a, std::uint64_t b)>;
+
+/// Training knobs.
+struct TrainerConfig {
+  std::size_t num_patterns = 20000;
+  DistanceMetric metric = DistanceMetric::kMse;
+  PatternPolicy policy = PatternPolicy::kCarryBalanced;
+  std::uint64_t pattern_seed = 42;
+};
+
+/// Runs Algorithm 1 and returns the normalized probability table.
+CarryChainProbTable train_carry_table(int width, const HardwareOracle& oracle,
+                                      const TrainerConfig& config = {});
+
+/// Single-pair inner step of Algorithm 1 (exposed for tests): the
+/// smallest window whose modified addition minimizes the distance to the
+/// observed output.
+int best_window(std::uint64_t a, std::uint64_t b, int width,
+                std::uint64_t observed, DistanceMetric metric);
+
+}  // namespace vosim
+
+#endif  // VOSIM_MODEL_TRAINER_HPP

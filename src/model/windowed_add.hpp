@@ -1,0 +1,19 @@
+// The "modified adder" of the paper (Section IV): addition whose carries
+// are only allowed to travel a bounded number of positions. With window
+// C >= Cth_max the result is exact; C = 0 degenerates to a bitwise XOR.
+#ifndef VOSIM_MODEL_WINDOWED_ADD_HPP
+#define VOSIM_MODEL_WINDOWED_ADD_HPP
+
+#include <cstdint>
+
+namespace vosim {
+
+/// add_modified(in1, in2, C): (width+1)-bit sum (carry-out in bit
+/// `width`) where the carry into each position comes only from the
+/// nearest generate within `window` positions below it.
+std::uint64_t windowed_add(std::uint64_t a, std::uint64_t b, int width,
+                           int window);
+
+}  // namespace vosim
+
+#endif  // VOSIM_MODEL_WINDOWED_ADD_HPP

@@ -1,0 +1,86 @@
+#include "src/netlist/adder_tree.hpp"
+
+#include <bit>
+#include <string>
+#include <utility>
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// Ripple-carry addition of two equal-width buses; returns the
+/// (width+1)-bit result bus.
+std::vector<NetId> ripple_sum(Netlist& nl, const std::vector<NetId>& x,
+                              const std::vector<NetId>& y,
+                              const std::string& tag) {
+  VOSIM_EXPECTS(x.size() == y.size());
+  const int width = static_cast<int>(x.size());
+  std::vector<NetId> out(static_cast<std::size_t>(width) + 1, invalid_net);
+  NetId c = invalid_net;
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const NetId p = nl.add_gate(CellKind::kXor2, {x[ui], y[ui]});
+    if (c == invalid_net) {
+      out[ui] = p;
+      c = nl.add_gate(CellKind::kAnd2, {x[ui], y[ui]},
+                      tag + "_c" + std::to_string(i + 1));
+    } else {
+      out[ui] = nl.add_gate(CellKind::kXor2, {p, c});
+      c = nl.add_gate(CellKind::kMaj3, {x[ui], y[ui], c},
+                      tag + "_c" + std::to_string(i + 1));
+    }
+  }
+  out[static_cast<std::size_t>(width)] = c;
+  return out;
+}
+
+constexpr bool is_pow2(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+AdderTreeNetlist build_adder_tree(int num_leaves, int leaf_width) {
+  VOSIM_EXPECTS(is_pow2(num_leaves) && num_leaves >= 2);
+  VOSIM_EXPECTS(leaf_width >= 2);
+  VOSIM_EXPECTS(leaf_width + std::bit_width(
+                    static_cast<unsigned>(num_leaves - 1)) <= max_word_bits);
+
+  AdderTreeNetlist out{
+      .netlist = Netlist("tree" + std::to_string(num_leaves) + "x" +
+                         std::to_string(leaf_width)),
+      .leaves = {},
+      .sum = {},
+      .leaf_width = leaf_width,
+      .num_leaves = num_leaves};
+  Netlist& nl = out.netlist;
+
+  for (int l = 0; l < num_leaves; ++l) {
+    std::vector<NetId> leaf;
+    for (int i = 0; i < leaf_width; ++i)
+      leaf.push_back(nl.add_input("x" + std::to_string(l) + "_" +
+                                  std::to_string(i)));
+    out.leaves.push_back(std::move(leaf));
+  }
+
+  // Reduce level by level; each level's adders emit one extra bit, so
+  // all buses at a level share the same width and no precision is lost.
+  std::vector<std::vector<NetId>> level = out.leaves;
+  int depth = 0;
+  while (level.size() > 1) {
+    ++depth;
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t k = 0; k + 1 < level.size(); k += 2)
+      next.push_back(ripple_sum(nl, level[k], level[k + 1],
+                                "l" + std::to_string(depth) + "_" +
+                                    std::to_string(k / 2)));
+    level = std::move(next);
+  }
+  out.sum = level.front();
+  for (const NetId bit : out.sum) nl.mark_output(bit);
+  nl.finalize();
+  return out;
+}
+
+}  // namespace vosim

@@ -1,0 +1,32 @@
+// Balanced adder-tree generator: the reduction datapath of dot products,
+// FIR filters and convolution engines. Under VOS the final (widest)
+// stage holds the longest carry chains, concentrating the errors —
+// another "arithmetic configuration" for the paper's methodology.
+#ifndef VOSIM_NETLIST_ADDER_TREE_HPP
+#define VOSIM_NETLIST_ADDER_TREE_HPP
+
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace vosim {
+
+/// A generated reduction tree: leaves[i] is the i-th input bus
+/// (LSB-first), sum is the full-precision result bus of width
+/// leaf_width + ceil(log2(num_leaves)).
+struct AdderTreeNetlist {
+  Netlist netlist;
+  std::vector<std::vector<NetId>> leaves;
+  std::vector<NetId> sum;
+  int leaf_width = 0;
+  int num_leaves = 0;
+};
+
+/// Builds a balanced tree of ripple-carry adders summing `num_leaves`
+/// operands of `leaf_width` bits without precision loss. num_leaves must
+/// be a power of two >= 2.
+AdderTreeNetlist build_adder_tree(int num_leaves, int leaf_width);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_ADDER_TREE_HPP

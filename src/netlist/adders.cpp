@@ -1,0 +1,443 @@
+#include "src/netlist/adders.hpp"
+
+#include "src/util/bits.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+std::string adder_arch_name(AdderArch arch) {
+  switch (arch) {
+    case AdderArch::kRipple: return "RCA";
+    case AdderArch::kBrentKung: return "BKA";
+    case AdderArch::kKoggeStone: return "KSA";
+    case AdderArch::kSklansky: return "SKL";
+    case AdderArch::kCarrySelect: return "CSeL";
+    case AdderArch::kCarrySkip: return "CSkA";
+    case AdderArch::kHanCarlson: return "HCA";
+    case AdderArch::kLowerOr: return "LOA";
+    case AdderArch::kTruncated: return "TRUNC";
+    case AdderArch::kCarryCut: return "CUT";
+    case AdderArch::kSpeculativeWindow: return "SPECW";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr bool is_pow2(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+/// Creates the operand input nets a[0..n), b[0..n).
+void make_operands(Netlist& nl, int width, std::vector<NetId>& a,
+                   std::vector<NetId>& b) {
+  a.reserve(static_cast<std::size_t>(width));
+  b.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    b.push_back(nl.add_input("b" + std::to_string(i)));
+}
+
+/// Generate/propagate leaf pair for bit i.
+struct GpPair {
+  NetId g = invalid_net;
+  NetId p = invalid_net;
+  int span_lo = 0;  ///< lowest bit covered by this (G,P) group
+};
+
+/// Prefix combine: (G,P)hi ∘ (G,P)lo. Produces the P term only when the
+/// group does not already reach bit 0 (then no later combine needs it).
+GpPair combine(Netlist& nl, const GpPair& hi, const GpPair& lo,
+               const std::string& tag) {
+  VOSIM_EXPECTS(hi.g != invalid_net && lo.g != invalid_net);
+  GpPair out;
+  out.span_lo = lo.span_lo;
+  // G = (P_hi & G_lo) | G_hi, one speed-skewed AO21 per level.
+  out.g = nl.add_gate(CellKind::kAo21, {hi.p, lo.g, hi.g}, "G" + tag);
+  if (lo.span_lo > 0) {
+    VOSIM_EXPECTS(lo.p != invalid_net);
+    out.p = nl.add_gate(CellKind::kAnd2, {hi.p, lo.p}, "P" + tag);
+  }
+  return out;
+}
+
+/// Builds XOR sum bits from per-bit propagate and the carry-in of each
+/// position; carries[i] is the carry *into* bit i (invalid_net => zero).
+void make_sums(Netlist& nl, int width, const std::vector<NetId>& p,
+               const std::vector<NetId>& carries, NetId cout,
+               std::vector<NetId>& sum) {
+  sum.resize(static_cast<std::size_t>(width) + 1, invalid_net);
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (carries[ui] == invalid_net) {
+      sum[ui] = p[ui];  // carry-in is zero: sum is just the propagate bit
+    } else {
+      sum[ui] = nl.add_gate(CellKind::kXor2, {p[ui], carries[ui]},
+                            "sum" + std::to_string(i));
+    }
+  }
+  sum[static_cast<std::size_t>(width)] = cout;
+  for (NetId s : sum) nl.mark_output(s);
+}
+
+/// Shared prefix-adder shell: builds leaves, lets `run_tree` fill in the
+/// prefix network (updating gp[] in place so gp[i] covers [0..i]), then
+/// generates the sum row.
+AdderNetlist build_prefix_adder(int width, AdderArch arch,
+                                const std::string& name,
+                                void (*run_tree)(Netlist&,
+                                                 std::vector<GpPair>&)) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  AdderNetlist out{.netlist = Netlist(name),
+                   .a = {},
+                   .b = {},
+                   .cin = invalid_net,
+                   .sum = {},
+                   .width = width,
+                   .arch = arch};
+  Netlist& nl = out.netlist;
+  make_operands(nl, width, out.a, out.b);
+
+  std::vector<GpPair> gp(static_cast<std::size_t>(width));
+  std::vector<NetId> p(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    p[ui] = nl.add_gate(CellKind::kXor2, {out.a[ui], out.b[ui]},
+                        "p" + std::to_string(i));
+    gp[ui].p = p[ui];
+    gp[ui].g = nl.add_gate(CellKind::kAnd2, {out.a[ui], out.b[ui]},
+                           "g" + std::to_string(i));
+    gp[ui].span_lo = i;
+  }
+
+  run_tree(nl, gp);
+  for (int i = 0; i < width; ++i)
+    VOSIM_ENSURES(gp[static_cast<std::size_t>(i)].span_lo == 0);
+
+  // Carry into bit i is the group generate over [0 .. i-1].
+  std::vector<NetId> carries(static_cast<std::size_t>(width), invalid_net);
+  for (int i = 1; i < width; ++i)
+    carries[static_cast<std::size_t>(i)] =
+        gp[static_cast<std::size_t>(i - 1)].g;
+  const NetId cout = gp[static_cast<std::size_t>(width - 1)].g;
+
+  make_sums(nl, width, p, carries, cout, out.sum);
+  nl.finalize();
+  return out;
+}
+
+void kogge_stone_tree(Netlist& nl, std::vector<GpPair>& gp) {
+  const int n = static_cast<int>(gp.size());
+  for (int offset = 1; offset < n; offset <<= 1) {
+    // Combine from high to low so each level reads the previous level's
+    // values (gp[i-offset] at indices below `offset` are never touched).
+    std::vector<GpPair> next = gp;
+    for (int i = n - 1; i >= offset; --i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto uj = static_cast<std::size_t>(i - offset);
+      if (gp[ui].span_lo == 0) continue;  // already a full prefix
+      next[ui] = combine(nl, gp[ui], gp[uj],
+                         std::to_string(i) + "_" + std::to_string(offset));
+    }
+    gp = std::move(next);
+  }
+}
+
+void brent_kung_tree(Netlist& nl, std::vector<GpPair>& gp) {
+  const int n = static_cast<int>(gp.size());
+  VOSIM_EXPECTS(is_pow2(n));
+  const int levels = std::bit_width(static_cast<unsigned>(n)) - 1;
+  // Up-sweep: aligned blocks of doubling size.
+  for (int d = 1; d <= levels; ++d) {
+    const int step = 1 << d;
+    for (int i = step - 1; i < n; i += step) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto uj = static_cast<std::size_t>(i - step / 2);
+      gp[ui] = combine(nl, gp[ui], gp[uj],
+                       "u" + std::to_string(d) + "_" + std::to_string(i));
+    }
+  }
+  // Down-sweep: fill the intermediate positions with full prefixes.
+  for (int d = levels - 1; d >= 1; --d) {
+    const int step = 1 << d;
+    for (int i = step + step / 2 - 1; i < n; i += step) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto uj = static_cast<std::size_t>(i - step / 2);
+      VOSIM_EXPECTS(gp[uj].span_lo == 0);
+      gp[ui] = combine(nl, gp[ui], gp[uj],
+                       "d" + std::to_string(d) + "_" + std::to_string(i));
+    }
+  }
+}
+
+void han_carlson_tree(Netlist& nl, std::vector<GpPair>& gp) {
+  const int n = static_cast<int>(gp.size());
+  VOSIM_EXPECTS(is_pow2(n));
+  // Stage 1: pair every odd position with its even neighbour.
+  for (int i = 1; i < n; i += 2) {
+    const auto ui = static_cast<std::size_t>(i);
+    gp[ui] = combine(nl, gp[ui], gp[ui - 1], "h1_" + std::to_string(i));
+  }
+  // Stage 2: Kogge-Stone among the odd positions only.
+  for (int offset = 2; offset < n; offset <<= 1) {
+    std::vector<GpPair> next = gp;
+    for (int i = n - 1; i >= 1 + offset; i -= 2) {
+      const auto ui = static_cast<std::size_t>(i);
+      const auto uj = static_cast<std::size_t>(i - offset);
+      if (gp[ui].span_lo == 0) continue;
+      next[ui] = combine(nl, gp[ui], gp[uj],
+                         "h2_" + std::to_string(i) + "_" +
+                             std::to_string(offset));
+    }
+    gp = std::move(next);
+  }
+  // Stage 3: each even position (>= 2) takes one combine from the odd
+  // prefix just below it.
+  for (int i = 2; i < n; i += 2) {
+    const auto ui = static_cast<std::size_t>(i);
+    const auto uj = static_cast<std::size_t>(i - 1);
+    VOSIM_EXPECTS(gp[uj].span_lo == 0);
+    gp[ui] = combine(nl, gp[ui], gp[uj], "h3_" + std::to_string(i));
+  }
+}
+
+void sklansky_tree(Netlist& nl, std::vector<GpPair>& gp) {
+  const int n = static_cast<int>(gp.size());
+  VOSIM_EXPECTS(is_pow2(n));
+  for (int d = 1; (1 << d) <= n; ++d) {
+    const int block = 1 << d;
+    for (int base = 0; base < n; base += block) {
+      const int mid = base + block / 2;
+      const auto pivot = static_cast<std::size_t>(mid - 1);
+      for (int i = mid; i < base + block; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        gp[ui] = combine(nl, gp[ui], gp[pivot],
+                         "s" + std::to_string(d) + "_" + std::to_string(i));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AdderNetlist build_rca(int width, bool with_cin) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  AdderNetlist out{.netlist =
+                       Netlist("rca" + std::to_string(width)),
+                   .a = {},
+                   .b = {},
+                   .cin = invalid_net,
+                   .sum = {},
+                   .width = width,
+                   .arch = AdderArch::kRipple};
+  Netlist& nl = out.netlist;
+  make_operands(nl, width, out.a, out.b);
+  if (with_cin) out.cin = nl.add_input("cin");
+
+  std::vector<NetId> p(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    p[ui] = nl.add_gate(CellKind::kXor2, {out.a[ui], out.b[ui]},
+                        "p" + std::to_string(i));
+  }
+
+  // Serial carry chain: MAJ3 mirror-carry stages (AND2 for the first
+  // stage when there is no carry-in, since MAJ(a,b,0) == a&b).
+  std::vector<NetId> carries(static_cast<std::size_t>(width), invalid_net);
+  NetId c = out.cin;  // carry into bit 0 (may be invalid == constant 0)
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    carries[ui] = c;
+    const std::string cname = "c" + std::to_string(i + 1);
+    if (c == invalid_net) {
+      c = nl.add_gate(CellKind::kAnd2, {out.a[ui], out.b[ui]}, cname);
+    } else {
+      c = nl.add_gate(CellKind::kMaj3, {out.a[ui], out.b[ui], c}, cname);
+    }
+  }
+
+  make_sums(nl, width, p, carries, c, out.sum);
+  nl.finalize();
+  return out;
+}
+
+AdderNetlist build_brent_kung(int width) {
+  VOSIM_EXPECTS(is_pow2(width));
+  return build_prefix_adder(width, AdderArch::kBrentKung,
+                            "bka" + std::to_string(width), brent_kung_tree);
+}
+
+AdderNetlist build_kogge_stone(int width) {
+  return build_prefix_adder(width, AdderArch::kKoggeStone,
+                            "ksa" + std::to_string(width), kogge_stone_tree);
+}
+
+AdderNetlist build_sklansky(int width) {
+  VOSIM_EXPECTS(is_pow2(width));
+  return build_prefix_adder(width, AdderArch::kSklansky,
+                            "skl" + std::to_string(width), sklansky_tree);
+}
+
+AdderNetlist build_carry_select(int width, int block) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  VOSIM_EXPECTS(block >= 1);
+  AdderNetlist out{.netlist = Netlist("csel" + std::to_string(width)),
+                   .a = {},
+                   .b = {},
+                   .cin = invalid_net,
+                   .sum = {},
+                   .width = width,
+                   .arch = AdderArch::kCarrySelect};
+  Netlist& nl = out.netlist;
+  make_operands(nl, width, out.a, out.b);
+  out.sum.resize(static_cast<std::size_t>(width) + 1, invalid_net);
+
+  // 2:1 mux from basic gates: sel ? d1 : d0.
+  auto mux = [&nl](NetId sel, NetId d0, NetId d1, const std::string& name) {
+    const NetId nsel = nl.add_gate(CellKind::kInv, {sel});
+    const NetId t1 = nl.add_gate(CellKind::kAnd2, {sel, d1});
+    const NetId t0 = nl.add_gate(CellKind::kAnd2, {nsel, d0});
+    return nl.add_gate(CellKind::kOr2, {t0, t1}, name);
+  };
+
+  // Ripple block with an optional assumed carry-in constant. Returns the
+  // block carry-out; fills sums[lo..hi).
+  auto ripple_block = [&](int lo, int hi, NetId cin_net,
+                          std::vector<NetId>& sums) -> NetId {
+    NetId c = cin_net;
+    for (int i = lo; i < hi; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const NetId p =
+          nl.add_gate(CellKind::kXor2, {out.a[ui], out.b[ui]});
+      if (c == invalid_net) {
+        sums[static_cast<std::size_t>(i - lo)] = p;
+        c = nl.add_gate(CellKind::kAnd2, {out.a[ui], out.b[ui]});
+      } else {
+        sums[static_cast<std::size_t>(i - lo)] =
+            nl.add_gate(CellKind::kXor2, {p, c});
+        c = nl.add_gate(CellKind::kMaj3, {out.a[ui], out.b[ui], c});
+      }
+    }
+    return c;
+  };
+
+  NetId carry = invalid_net;  // carry leaving the previous block
+  for (int lo = 0; lo < width; lo += block) {
+    const int hi = std::min(lo + block, width);
+    const auto blk_len = static_cast<std::size_t>(hi - lo);
+    if (lo == 0) {
+      std::vector<NetId> sums(blk_len);
+      carry = ripple_block(lo, hi, invalid_net, sums);
+      for (int i = lo; i < hi; ++i)
+        out.sum[static_cast<std::size_t>(i)] =
+            sums[static_cast<std::size_t>(i - lo)];
+      continue;
+    }
+    // Speculative copies under carry-in = 0 and carry-in = 1.
+    const NetId one = nl.add_gate(CellKind::kTieHi, {});
+    std::vector<NetId> sums0(blk_len);
+    std::vector<NetId> sums1(blk_len);
+    const NetId cout0 = ripple_block(lo, hi, invalid_net, sums0);
+    const NetId cout1 = ripple_block(lo, hi, one, sums1);
+    for (int i = lo; i < hi; ++i) {
+      const auto k = static_cast<std::size_t>(i - lo);
+      out.sum[static_cast<std::size_t>(i)] =
+          mux(carry, sums0[k], sums1[k], "sum" + std::to_string(i));
+    }
+    carry = mux(carry, cout0, cout1, "bc" + std::to_string(hi));
+  }
+  out.sum[static_cast<std::size_t>(width)] = carry;
+  for (NetId s : out.sum) nl.mark_output(s);
+  nl.finalize();
+  return out;
+}
+
+AdderNetlist build_carry_skip(int width, int block) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  VOSIM_EXPECTS(block >= 2);
+  AdderNetlist out{.netlist = Netlist("cska" + std::to_string(width)),
+                   .a = {},
+                   .b = {},
+                   .cin = invalid_net,
+                   .sum = {},
+                   .width = width,
+                   .arch = AdderArch::kCarrySkip};
+  Netlist& nl = out.netlist;
+  make_operands(nl, width, out.a, out.b);
+  out.sum.resize(static_cast<std::size_t>(width) + 1, invalid_net);
+
+  std::vector<NetId> p(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    p[ui] = nl.add_gate(CellKind::kXor2, {out.a[ui], out.b[ui]},
+                        "p" + std::to_string(i));
+  }
+
+  auto mux = [&nl](NetId sel, NetId d0, NetId d1, const std::string& name) {
+    const NetId nsel = nl.add_gate(CellKind::kInv, {sel});
+    const NetId t1 = nl.add_gate(CellKind::kAnd2, {sel, d1});
+    const NetId t0 = nl.add_gate(CellKind::kAnd2, {nsel, d0});
+    return nl.add_gate(CellKind::kOr2, {t0, t1}, name);
+  };
+
+  NetId c = invalid_net;  // effective carry entering the current block
+  for (int lo = 0; lo < width; lo += block) {
+    const int hi = std::min(lo + block, width);
+    const NetId block_cin = c;
+    // Ripple through the block.
+    for (int i = lo; i < hi; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (c == invalid_net) {
+        out.sum[ui] = p[ui];
+        c = nl.add_gate(CellKind::kAnd2, {out.a[ui], out.b[ui]},
+                        "c" + std::to_string(i + 1));
+      } else {
+        out.sum[ui] = nl.add_gate(CellKind::kXor2, {p[ui], c},
+                                  "sum" + std::to_string(i));
+        c = nl.add_gate(CellKind::kMaj3, {out.a[ui], out.b[ui], c},
+                        "c" + std::to_string(i + 1));
+      }
+    }
+    if (block_cin == invalid_net) continue;  // first block: nothing to skip
+    // Block propagate: every bit would pass the carry straight through.
+    NetId pblk = p[static_cast<std::size_t>(lo)];
+    for (int i = lo + 1; i < hi; ++i)
+      pblk = nl.add_gate(CellKind::kAnd2,
+                         {pblk, p[static_cast<std::size_t>(i)]});
+    // Skip mux: a fully-propagating block forwards its carry-in; the
+    // ripple result is logically identical but arrives much later.
+    c = mux(pblk, c, block_cin, "skip" + std::to_string(hi));
+  }
+  out.sum[static_cast<std::size_t>(width)] = c;
+  for (NetId s : out.sum) nl.mark_output(s);
+  nl.finalize();
+  return out;
+}
+
+AdderNetlist build_han_carlson(int width) {
+  VOSIM_EXPECTS(is_pow2(width));
+  return build_prefix_adder(width, AdderArch::kHanCarlson,
+                            "hca" + std::to_string(width),
+                            han_carlson_tree);
+}
+
+AdderNetlist build_adder(AdderArch arch, int width) {
+  switch (arch) {
+    case AdderArch::kRipple: return build_rca(width);
+    case AdderArch::kBrentKung: return build_brent_kung(width);
+    case AdderArch::kKoggeStone: return build_kogge_stone(width);
+    case AdderArch::kSklansky: return build_sklansky(width);
+    case AdderArch::kCarrySelect: return build_carry_select(width);
+    case AdderArch::kCarrySkip: return build_carry_skip(width);
+    case AdderArch::kHanCarlson: return build_han_carlson(width);
+    default: break;
+  }
+  throw ContractViolation(
+      "build_adder: approximate architectures have dedicated builders");
+}
+
+}  // namespace vosim

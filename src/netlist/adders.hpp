@@ -1,0 +1,78 @@
+// Technology-mapped adder generators: the operator configurations the
+// paper characterizes (RCA, Brent-Kung) plus further parallel-prefix and
+// carry-select architectures used by tests and ablation studies.
+#ifndef VOSIM_NETLIST_ADDERS_HPP
+#define VOSIM_NETLIST_ADDERS_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace vosim {
+
+/// Adder architectures. The first two are the paper's benchmarks; the
+/// last four are static approximate baselines (Section II related work).
+enum class AdderArch {
+  kRipple,
+  kBrentKung,
+  kKoggeStone,
+  kSklansky,
+  kCarrySelect,
+  kCarrySkip,
+  kHanCarlson,
+  kLowerOr,            // LOA: k LSBs computed by OR gates [14]
+  kTruncated,          // k LSBs forced to zero
+  kCarryCut,           // accurate halves, carry chain cut at bit k
+  kSpeculativeWindow,  // per-bit carry from a w-bit window (ETAII-like)
+};
+
+/// Short display name, e.g. "RCA", "BKA".
+std::string adder_arch_name(AdderArch arch);
+
+/// A generated adder: the gate netlist plus its operand/result pinout.
+/// `sum` holds the n sum bits LSB-first followed by the carry-out, so it
+/// always has width+1 entries; outputs are read as one (width+1)-bit word.
+struct AdderNetlist {
+  Netlist netlist;
+  std::vector<NetId> a;  ///< operand A bits, LSB first
+  std::vector<NetId> b;  ///< operand B bits, LSB first
+  NetId cin = invalid_net;  ///< carry-in net if built with one
+  std::vector<NetId> sum;   ///< sum bits + carry-out (size width+1)
+  int width = 0;
+  AdderArch arch = AdderArch::kRipple;
+};
+
+/// Ripple-carry adder (serial prefix; paper Section III). `with_cin`
+/// adds a carry-in primary input (used when composing split adders).
+AdderNetlist build_rca(int width, bool with_cin = false);
+
+/// Brent-Kung parallel-prefix adder (paper Fig. 3). Width must be a
+/// power of two >= 2.
+AdderNetlist build_brent_kung(int width);
+
+/// Kogge-Stone parallel-prefix adder; any width >= 2.
+AdderNetlist build_kogge_stone(int width);
+
+/// Sklansky (divide-and-conquer) prefix adder. Width must be a power of
+/// two >= 2.
+AdderNetlist build_sklansky(int width);
+
+/// Carry-select adder with `block`-bit blocks (duplicated RCAs + mux).
+AdderNetlist build_carry_select(int width, int block = 4);
+
+/// Carry-skip adder: ripple blocks whose carries bypass fully-
+/// propagating blocks through a skip mux.
+AdderNetlist build_carry_skip(int width, int block = 4);
+
+/// Han-Carlson prefix adder (Kogge-Stone on the odd positions, one final
+/// combine for the even ones); width must be a power of two >= 2.
+AdderNetlist build_han_carlson(int width);
+
+/// Dispatch for the exact architectures above (approximate baselines have
+/// their own builders in approx_adders.hpp). Throws for approx kinds.
+AdderNetlist build_adder(AdderArch arch, int width);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_ADDERS_HPP

@@ -1,0 +1,186 @@
+#include "src/netlist/approx_adders.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// Creates operand inputs (shared with adders.cpp semantics).
+void make_operands(Netlist& nl, int width, std::vector<NetId>& a,
+                   std::vector<NetId>& b) {
+  for (int i = 0; i < width; ++i)
+    a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    b.push_back(nl.add_input("b" + std::to_string(i)));
+}
+
+/// Accurate ripple chain over bits [lo, width): fills sum bits and
+/// returns the carry-out. `cin` may be invalid_net (constant zero).
+NetId ripple_upper(Netlist& nl, const std::vector<NetId>& a,
+                   const std::vector<NetId>& b, int lo, int width, NetId cin,
+                   std::vector<NetId>& sum) {
+  NetId c = cin;
+  for (int i = lo; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const NetId p = nl.add_gate(CellKind::kXor2, {a[ui], b[ui]},
+                                "p" + std::to_string(i));
+    if (c == invalid_net) {
+      sum[ui] = p;
+      c = nl.add_gate(CellKind::kAnd2, {a[ui], b[ui]},
+                      "c" + std::to_string(i + 1));
+    } else {
+      sum[ui] = nl.add_gate(CellKind::kXor2, {p, c}, "sum" + std::to_string(i));
+      c = nl.add_gate(CellKind::kMaj3, {a[ui], b[ui], c},
+                      "c" + std::to_string(i + 1));
+    }
+  }
+  return c;
+}
+
+AdderNetlist make_shell(const std::string& name, int width, AdderArch arch) {
+  AdderNetlist out{.netlist = Netlist(name),
+                   .a = {},
+                   .b = {},
+                   .cin = invalid_net,
+                   .sum = {},
+                   .width = width,
+                   .arch = arch};
+  make_operands(out.netlist, width, out.a, out.b);
+  out.sum.resize(static_cast<std::size_t>(width) + 1, invalid_net);
+  return out;
+}
+
+void finish(AdderNetlist& out) {
+  for (NetId s : out.sum) out.netlist.mark_output(s);
+  out.netlist.finalize();
+}
+
+}  // namespace
+
+AdderNetlist build_lower_or(int width, int approx_bits) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  VOSIM_EXPECTS(approx_bits >= 1 && approx_bits < width);
+  AdderNetlist out = make_shell(
+      "loa" + std::to_string(width) + "_" + std::to_string(approx_bits),
+      width, AdderArch::kLowerOr);
+  Netlist& nl = out.netlist;
+
+  for (int i = 0; i < approx_bits; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    out.sum[ui] = nl.add_gate(CellKind::kOr2, {out.a[ui], out.b[ui]},
+                              "sum" + std::to_string(i));
+  }
+  // Carry prediction into the accurate part: both MSBs of the lower
+  // segment set means a carry almost surely crosses the boundary.
+  const auto k = static_cast<std::size_t>(approx_bits - 1);
+  const NetId cpred =
+      nl.add_gate(CellKind::kAnd2, {out.a[k], out.b[k]}, "cpred");
+  const NetId cout =
+      ripple_upper(nl, out.a, out.b, approx_bits, width, cpred, out.sum);
+  out.sum[static_cast<std::size_t>(width)] = cout;
+  finish(out);
+  return out;
+}
+
+AdderNetlist build_truncated(int width, int approx_bits) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  VOSIM_EXPECTS(approx_bits >= 1 && approx_bits < width);
+  AdderNetlist out = make_shell(
+      "trunc" + std::to_string(width) + "_" + std::to_string(approx_bits),
+      width, AdderArch::kTruncated);
+  Netlist& nl = out.netlist;
+
+  for (int i = 0; i < approx_bits; ++i)
+    out.sum[static_cast<std::size_t>(i)] =
+        nl.add_gate(CellKind::kTieLo, {}, "sum" + std::to_string(i));
+  const NetId cout = ripple_upper(nl, out.a, out.b, approx_bits, width,
+                                  invalid_net, out.sum);
+  out.sum[static_cast<std::size_t>(width)] = cout;
+  finish(out);
+  return out;
+}
+
+AdderNetlist build_carry_cut(int width, int cut_bit) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  VOSIM_EXPECTS(cut_bit >= 1 && cut_bit < width);
+  AdderNetlist out = make_shell(
+      "cut" + std::to_string(width) + "_" + std::to_string(cut_bit), width,
+      AdderArch::kCarryCut);
+  Netlist& nl = out.netlist;
+
+  // Lower segment: accurate, but its carry-out is dropped.
+  NetId dropped =
+      ripple_upper(nl, out.a, out.b, 0, cut_bit, invalid_net, out.sum);
+  // Keep the net observable so the netlist has no dangling logic; it is
+  // not part of the arithmetic result.
+  nl.mark_output(nl.add_gate(CellKind::kBuf, {dropped}, "cut_carry"));
+  const NetId cout = ripple_upper(nl, out.a, out.b, cut_bit, width,
+                                  invalid_net, out.sum);
+  out.sum[static_cast<std::size_t>(width)] = cout;
+  finish(out);
+  return out;
+}
+
+AdderNetlist build_speculative_window(int width, int window) {
+  VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
+  VOSIM_EXPECTS(window >= 1 && window <= width);
+  AdderNetlist out = make_shell(
+      "specw" + std::to_string(width) + "_" + std::to_string(window), width,
+      AdderArch::kSpeculativeWindow);
+  Netlist& nl = out.netlist;
+
+  std::vector<NetId> g(static_cast<std::size_t>(width));
+  std::vector<NetId> p(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    p[ui] = nl.add_gate(CellKind::kXor2, {out.a[ui], out.b[ui]},
+                        "p" + std::to_string(i));
+    g[ui] = nl.add_gate(CellKind::kAnd2, {out.a[ui], out.b[ui]},
+                        "g" + std::to_string(i));
+  }
+
+  // Carry into bit i from a window of `window` positions:
+  //   c_i = OR_{j=i-window}^{i-1} ( g_j & p_{j+1} & ... & p_{i-1} )
+  auto window_carry = [&](int i) -> NetId {
+    const int lo = std::max(0, i - window);
+    NetId acc = invalid_net;        // OR accumulation
+    NetId prun = invalid_net;       // running AND of p_{j+1..i-1}
+    for (int j = i - 1; j >= lo; --j) {
+      NetId term;
+      if (j == i - 1) {
+        term = g[static_cast<std::size_t>(j)];
+      } else {
+        prun = (prun == invalid_net)
+                   ? p[static_cast<std::size_t>(j + 1)]
+                   : nl.add_gate(CellKind::kAnd2,
+                                 {prun, p[static_cast<std::size_t>(j + 1)]});
+        term = nl.add_gate(CellKind::kAnd2,
+                           {g[static_cast<std::size_t>(j)], prun});
+      }
+      acc = (acc == invalid_net)
+                ? term
+                : nl.add_gate(CellKind::kOr2, {acc, term});
+    }
+    VOSIM_ENSURES(acc != invalid_net);
+    return acc;
+  };
+
+  out.sum[0] = p[0];
+  for (int i = 1; i < width; ++i) {
+    const NetId c = window_carry(i);
+    out.sum[static_cast<std::size_t>(i)] = nl.add_gate(
+        CellKind::kXor2, {p[static_cast<std::size_t>(i)], c},
+        "sum" + std::to_string(i));
+  }
+  out.sum[static_cast<std::size_t>(width)] = window_carry(width);
+  finish(out);
+  return out;
+}
+
+}  // namespace vosim

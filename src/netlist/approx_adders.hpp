@@ -1,0 +1,34 @@
+// Static approximate adders: the related-work baselines of the paper's
+// Section II (accurate/approximate split of Fig. 1, lower-part OR [14],
+// truncation, and speculative/window adders [13][16]).
+//
+// These trade accuracy at *design time*; the paper's VOS operators trade
+// it at *run time*. bench_ablation_baselines compares the two families.
+#ifndef VOSIM_NETLIST_APPROX_ADDERS_HPP
+#define VOSIM_NETLIST_APPROX_ADDERS_HPP
+
+#include "src/netlist/adders.hpp"
+
+namespace vosim {
+
+/// Lower-part OR adder: the k LSBs are approximated by OR gates, the
+/// upper bits use an accurate ripple chain seeded with carry
+/// AND(a[k-1], b[k-1]) (paper Fig. 1 principle).
+AdderNetlist build_lower_or(int width, int approx_bits);
+
+/// Truncated adder: the k LSBs are forced to zero and no carry enters
+/// the accurate upper part.
+AdderNetlist build_truncated(int width, int approx_bits);
+
+/// Carry-cut adder: both halves are accurate ripple adders, but the
+/// carry crossing bit k is dropped (segmented/speculative block adder).
+AdderNetlist build_carry_cut(int width, int cut_bit);
+
+/// Speculative window adder: every carry is computed from at most
+/// `window` previous positions — the hardware twin of the paper's
+/// add_modified model (Section IV).
+AdderNetlist build_speculative_window(int width, int window);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_APPROX_ADDERS_HPP

@@ -1,0 +1,37 @@
+#include "src/netlist/eval.hpp"
+
+#include "src/tech/cell.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+std::vector<std::uint8_t> evaluate_logic(
+    const Netlist& netlist, std::span<const std::uint8_t> inputs) {
+  VOSIM_EXPECTS(netlist.finalized());
+  VOSIM_EXPECTS(inputs.size() == netlist.primary_inputs().size());
+  std::vector<std::uint8_t> values(netlist.num_nets(), 0);
+  const auto pis = netlist.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    values[pis[i]] = inputs[i] ? 1 : 0;
+
+  for (const GateId gid : netlist.topo_order()) {
+    const Gate& g = netlist.gate(gid);
+    unsigned idx = 0;
+    for (std::uint8_t i = 0; i < g.num_inputs; ++i)
+      idx |= static_cast<unsigned>(values[g.in[i]] & 1u) << i;
+    values[g.out] =
+        static_cast<std::uint8_t>((cell_truth(g.kind) >> idx) & 1u);
+  }
+  return values;
+}
+
+std::uint64_t pack_word(std::span<const std::uint8_t> values,
+                        std::span<const NetId> nets) {
+  VOSIM_EXPECTS(nets.size() <= 64);
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    if (values[nets[i]] != 0) w |= (1ULL << i);
+  return w;
+}
+
+}  // namespace vosim

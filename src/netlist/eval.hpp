@@ -1,0 +1,26 @@
+// Zero-delay functional ("golden") evaluation of a netlist. Lives in
+// the netlist module (it needs only the canonical cell truth tables) so
+// structural passes can use it without depending on the simulators.
+#ifndef VOSIM_NETLIST_EVAL_HPP
+#define VOSIM_NETLIST_EVAL_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace vosim {
+
+/// Evaluates every net of the finalized netlist given primary-input
+/// values (in primary-input order). Returns one 0/1 value per net.
+std::vector<std::uint8_t> evaluate_logic(const Netlist& netlist,
+                                         std::span<const std::uint8_t> inputs);
+
+/// Packs selected net values into a word, bit i = value of nets[i].
+std::uint64_t pack_word(std::span<const std::uint8_t> values,
+                        std::span<const NetId> nets);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_EVAL_HPP

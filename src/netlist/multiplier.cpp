@@ -1,0 +1,195 @@
+#include "src/netlist/multiplier.hpp"
+
+#include <string>
+#include <utility>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+struct SumCarry {
+  NetId sum;
+  NetId carry;
+};
+
+/// Full adder from library cells (two XORs plus a MAJ3 carry).
+SumCarry full_adder(Netlist& nl, NetId x, NetId y, NetId z) {
+  const NetId p = nl.add_gate(CellKind::kXor2, {x, y});
+  return SumCarry{nl.add_gate(CellKind::kXor2, {p, z}),
+                  nl.add_gate(CellKind::kMaj3, {x, y, z})};
+}
+
+/// Half adder (XOR/AND).
+SumCarry half_adder(Netlist& nl, NetId x, NetId y) {
+  return SumCarry{nl.add_gate(CellKind::kXor2, {x, y}),
+                  nl.add_gate(CellKind::kAnd2, {x, y})};
+}
+
+}  // namespace
+
+MultiplierNetlist build_array_multiplier(int width) {
+  VOSIM_EXPECTS(width >= 2 && width <= 16);
+  MultiplierNetlist out{.netlist = Netlist("mul" + std::to_string(width)),
+                        .a = {},
+                        .b = {},
+                        .prod = {},
+                        .width = width};
+  Netlist& nl = out.netlist;
+  for (int i = 0; i < width; ++i)
+    out.a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    out.b.push_back(nl.add_input("b" + std::to_string(i)));
+  const auto uw = static_cast<std::size_t>(width);
+  out.prod.assign(2 * uw, invalid_net);
+
+  auto pp = [&](int i, int j) {
+    return nl.add_gate(CellKind::kAnd2,
+                       {out.a[static_cast<std::size_t>(i)],
+                        out.b[static_cast<std::size_t>(j)]},
+                       "pp" + std::to_string(i) + "_" + std::to_string(j));
+  };
+
+  // acc[i] holds the running-sum bit of weight (i + row); acc[width] is
+  // the carry-out of the previous row (weight width + row - 1), which
+  // aligns with this row's top column.
+  std::vector<NetId> acc(uw + 1, invalid_net);
+  for (int i = 0; i < width; ++i) acc[static_cast<std::size_t>(i)] = pp(i, 0);
+  out.prod[0] = acc[0];
+
+  for (int j = 1; j < width; ++j) {
+    std::vector<NetId> next(uw + 1, invalid_net);
+    NetId carry = invalid_net;
+    for (int i = 0; i < width; ++i) {
+      const NetId ppij = pp(i, j);
+      const NetId prev = acc[static_cast<std::size_t>(i) + 1];
+      SumCarry sc{invalid_net, invalid_net};
+      if (prev == invalid_net && carry == invalid_net) {
+        next[static_cast<std::size_t>(i)] = ppij;
+        continue;
+      }
+      if (prev == invalid_net) {
+        sc = half_adder(nl, ppij, carry);
+      } else if (carry == invalid_net) {
+        sc = half_adder(nl, ppij, prev);
+      } else {
+        sc = full_adder(nl, ppij, prev, carry);
+      }
+      next[static_cast<std::size_t>(i)] = sc.sum;
+      carry = sc.carry;
+    }
+    next[uw] = carry;
+    out.prod[static_cast<std::size_t>(j)] = next[0];
+    acc = std::move(next);
+  }
+
+  // Remaining accumulator bits are the top product bits.
+  for (int i = 1; i <= width; ++i)
+    out.prod[uw - 1 + static_cast<std::size_t>(i)] =
+        acc[static_cast<std::size_t>(i)];
+
+  for (NetId bit : out.prod) {
+    VOSIM_ENSURES(bit != invalid_net);
+    nl.mark_output(bit);
+  }
+  nl.finalize();
+  return out;
+}
+
+MultiplierNetlist build_wallace_multiplier(int width) {
+  VOSIM_EXPECTS(width >= 2 && width <= 16);
+  MultiplierNetlist out{.netlist = Netlist("wal" + std::to_string(width)),
+                        .a = {},
+                        .b = {},
+                        .prod = {},
+                        .width = width};
+  Netlist& nl = out.netlist;
+  for (int i = 0; i < width; ++i)
+    out.a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < width; ++i)
+    out.b.push_back(nl.add_input("b" + std::to_string(i)));
+  const auto uw = static_cast<std::size_t>(width);
+  out.prod.assign(2 * uw, invalid_net);
+
+  // columns[c] holds the nets of weight c awaiting reduction.
+  std::vector<std::vector<NetId>> columns(2 * uw);
+  for (int i = 0; i < width; ++i)
+    for (int j = 0; j < width; ++j)
+      columns[static_cast<std::size_t>(i + j)].push_back(nl.add_gate(
+          CellKind::kAnd2,
+          {out.a[static_cast<std::size_t>(i)],
+           out.b[static_cast<std::size_t>(j)]},
+          "pp" + std::to_string(i) + "_" + std::to_string(j)));
+
+  // Wallace reduction: compress every column with full/half adders until
+  // no column holds more than two bits.
+  auto needs_reduction = [&columns] {
+    for (const auto& col : columns)
+      if (col.size() > 2) return true;
+    return false;
+  };
+  while (needs_reduction()) {
+    std::vector<std::vector<NetId>> next(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      auto& col = columns[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const SumCarry sc =
+            full_adder(nl, col[i], col[i + 1], col[i + 2]);
+        next[c].push_back(sc.sum);
+        if (c + 1 < next.size()) next[c + 1].push_back(sc.carry);
+        i += 3;
+      }
+      if (col.size() - i == 2) {
+        const SumCarry sc = half_adder(nl, col[i], col[i + 1]);
+        next[c].push_back(sc.sum);
+        if (c + 1 < next.size()) next[c + 1].push_back(sc.carry);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) next[c].push_back(col[i]);
+    }
+    columns = std::move(next);
+  }
+
+  // Final two-row addition with a ripple of half/full adders.
+  NetId carry = invalid_net;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const auto& col = columns[c];
+    std::vector<NetId> addends(col.begin(), col.end());
+    if (carry != invalid_net) addends.push_back(carry);
+    carry = invalid_net;
+    NetId sum = invalid_net;
+    switch (addends.size()) {
+      case 0: sum = nl.add_gate(CellKind::kTieLo, {}); break;
+      case 1: sum = addends[0]; break;
+      case 2: {
+        const SumCarry sc = half_adder(nl, addends[0], addends[1]);
+        sum = sc.sum;
+        carry = sc.carry;
+        break;
+      }
+      default: {
+        VOSIM_ENSURES(addends.size() == 3);
+        const SumCarry sc =
+            full_adder(nl, addends[0], addends[1], addends[2]);
+        sum = sc.sum;
+        carry = sc.carry;
+        break;
+      }
+    }
+    out.prod[c] = sum;
+  }
+  // A structural carry out of the top column can exist, but it is
+  // provably zero (w·w products fit in 2w bits); it is left unconnected
+  // exactly as a synthesis flow would prune it.
+
+  for (NetId bit : out.prod) {
+    VOSIM_ENSURES(bit != invalid_net);
+    nl.mark_output(bit);
+  }
+  nl.finalize();
+  return out;
+}
+
+}  // namespace vosim

@@ -1,0 +1,34 @@
+// Unsigned array multiplier — an extension operator showing that the
+// characterization flow generalizes beyond adders (paper Section IV:
+// "compliant with different arithmetic configurations").
+#ifndef VOSIM_NETLIST_MULTIPLIER_HPP
+#define VOSIM_NETLIST_MULTIPLIER_HPP
+
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace vosim {
+
+/// A generated multiplier: netlist plus operand/product pinout.
+struct MultiplierNetlist {
+  Netlist netlist;
+  std::vector<NetId> a;     ///< operand A bits, LSB first (width bits)
+  std::vector<NetId> b;     ///< operand B bits, LSB first (width bits)
+  std::vector<NetId> prod;  ///< product bits, LSB first (2·width bits)
+  int width = 0;
+};
+
+/// Builds a classic ripple array multiplier (AND partial products,
+/// full-adder rows). Supported widths: 2..16.
+MultiplierNetlist build_array_multiplier(int width);
+
+/// Builds a Wallace-tree multiplier: the partial-product columns are
+/// reduced with 3:2/2:2 compressors until two rows remain, then summed
+/// by a ripple stage. Much shallower than the array multiplier — a
+/// different VOS failure topology. Supported widths: 2..16.
+MultiplierNetlist build_wallace_multiplier(int width);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_MULTIPLIER_HPP

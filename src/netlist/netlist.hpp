@@ -1,0 +1,101 @@
+// Gate-level combinational netlist: the structural representation the
+// paper's flow synthesizes and then characterizes in SPICE (Fig. 4).
+#ifndef VOSIM_NETLIST_NETLIST_HPP
+#define VOSIM_NETLIST_NETLIST_HPP
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/tech/cell.hpp"
+#include "src/tech/library.hpp"
+
+namespace vosim {
+
+using NetId = std::uint32_t;
+using GateId = std::uint32_t;
+
+inline constexpr NetId invalid_net = 0xFFFFFFFFu;
+inline constexpr GateId invalid_gate = 0xFFFFFFFFu;
+
+/// One gate instance: a library cell wired to up to three input nets and
+/// driving exactly one output net.
+struct Gate {
+  CellKind kind = CellKind::kInv;
+  std::array<NetId, 3> in{invalid_net, invalid_net, invalid_net};
+  std::uint8_t num_inputs = 0;
+  NetId out = invalid_net;
+};
+
+/// Directed acyclic gate network with named primary inputs/outputs.
+///
+/// Build with add_input/add_gate/mark_output, then call finalize() once;
+/// finalize validates the structure (single driver per net, no cycles)
+/// and computes the topological order and fanout index that STA and the
+/// simulators consume. The netlist is immutable afterwards.
+class Netlist {
+ public:
+  explicit Netlist(std::string name);
+
+  // -- construction ------------------------------------------------------
+  /// Creates a primary input net.
+  NetId add_input(std::string name);
+  /// Creates a gate plus its output net; returns the output net.
+  NetId add_gate(CellKind kind, std::initializer_list<NetId> inputs,
+                 std::string out_name = "");
+  /// Declares an existing net to be a primary output (order preserved;
+  /// a net may be marked at most once).
+  void mark_output(NetId net);
+  /// Validates and freezes the netlist. Throws ContractViolation on
+  /// structural errors (undriven nets, multiple drivers, cycles).
+  void finalize();
+
+  // -- observers ---------------------------------------------------------
+  const std::string& name() const noexcept { return name_; }
+  bool finalized() const noexcept { return finalized_; }
+  std::size_t num_nets() const noexcept { return net_names_.size(); }
+  std::size_t num_gates() const noexcept { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_.at(id); }
+  std::span<const Gate> gates() const noexcept { return gates_; }
+  const std::string& net_name(NetId net) const { return net_names_.at(net); }
+  std::span<const NetId> primary_inputs() const noexcept { return inputs_; }
+  std::span<const NetId> primary_outputs() const noexcept { return outputs_; }
+  bool is_primary_input(NetId net) const;
+  /// Driving gate of a net, or invalid_gate for primary inputs.
+  GateId driver(NetId net) const { return driver_.at(net); }
+
+  // -- derived structure (available after finalize) ----------------------
+  /// Gates in topological order (inputs before users).
+  std::span<const GateId> topo_order() const;
+  /// Gates reading a net.
+  std::span<const GateId> fanout(NetId net) const;
+  /// Capacitive load on a net at the library's wire model: fanout input
+  /// pins + wire + a register D pin for primary outputs (fF).
+  std::vector<double> compute_net_loads(const CellLibrary& lib) const;
+
+  /// Total combinational cell area (µm²).
+  double cell_area_um2(const CellLibrary& lib) const;
+  /// Total combinational leakage at the nominal corner (nW).
+  double cell_leakage_nw(const CellLibrary& lib) const;
+
+ private:
+  NetId new_net(std::string name);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<std::string> net_names_;
+  std::vector<GateId> driver_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  bool finalized_ = false;
+  std::vector<GateId> topo_;
+  std::vector<std::uint32_t> fanout_offset_;  // CSR over nets
+  std::vector<GateId> fanout_gates_;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_NETLIST_HPP

@@ -1,0 +1,114 @@
+#include "src/netlist/optimize.hpp"
+
+#include <algorithm>
+
+#include "src/netlist/eval.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+
+Netlist prune_dead_gates(const Netlist& netlist, PruneStats* stats,
+                         std::vector<NetId>* net_map) {
+  VOSIM_EXPECTS(netlist.finalized());
+
+  // Mark nets reaching a primary output by walking drivers backwards.
+  std::vector<std::uint8_t> live(netlist.num_nets(), 0);
+  std::vector<NetId> stack(netlist.primary_outputs().begin(),
+                           netlist.primary_outputs().end());
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    if (live[n]) continue;
+    live[n] = 1;
+    const GateId g = netlist.driver(n);
+    if (g == invalid_gate) continue;
+    const Gate& gate = netlist.gate(g);
+    for (std::uint8_t i = 0; i < gate.num_inputs; ++i)
+      stack.push_back(gate.in[i]);
+  }
+
+  Netlist out(netlist.name());
+  std::vector<NetId> map(netlist.num_nets(), invalid_net);
+  // Keep all primary inputs, in order, to preserve the pinout.
+  for (const NetId pi : netlist.primary_inputs())
+    map[pi] = out.add_input(netlist.net_name(pi));
+  // Re-emit live gates in topological order.
+  for (const GateId gid : netlist.topo_order()) {
+    const Gate& g = netlist.gate(gid);
+    if (!live[g.out]) continue;
+    switch (g.num_inputs) {
+      case 0:
+        map[g.out] = out.add_gate(g.kind, {}, netlist.net_name(g.out));
+        break;
+      case 1:
+        map[g.out] = out.add_gate(g.kind, {map[g.in[0]]},
+                                  netlist.net_name(g.out));
+        break;
+      case 2:
+        map[g.out] = out.add_gate(g.kind, {map[g.in[0]], map[g.in[1]]},
+                                  netlist.net_name(g.out));
+        break;
+      default:
+        map[g.out] =
+            out.add_gate(g.kind, {map[g.in[0]], map[g.in[1]], map[g.in[2]]},
+                         netlist.net_name(g.out));
+        break;
+    }
+    VOSIM_ENSURES(map[g.out] != invalid_net);
+  }
+  for (const NetId po : netlist.primary_outputs()) {
+    VOSIM_ENSURES(map[po] != invalid_net);
+    out.mark_output(map[po]);
+  }
+  out.finalize();
+
+  if (stats != nullptr) {
+    stats->gates_before = netlist.num_gates();
+    stats->gates_after = out.num_gates();
+    stats->nets_before = netlist.num_nets();
+    stats->nets_after = out.num_nets();
+  }
+  if (net_map != nullptr) *net_map = std::move(map);
+  return out;
+}
+
+bool probably_equivalent(const Netlist& a, const Netlist& b,
+                         std::uint64_t seed, int random_trials,
+                         int exhaustive_limit_bits) {
+  VOSIM_EXPECTS(a.finalized() && b.finalized());
+  VOSIM_EXPECTS(a.primary_inputs().size() == b.primary_inputs().size());
+  VOSIM_EXPECTS(a.primary_outputs().size() == b.primary_outputs().size());
+  const auto n_in = static_cast<int>(a.primary_inputs().size());
+
+  auto outputs_match = [&](const std::vector<std::uint8_t>& inputs) {
+    const auto va = evaluate_logic(a, inputs);
+    const auto vb = evaluate_logic(b, inputs);
+    return pack_word(va, a.primary_outputs()) ==
+           pack_word(vb, b.primary_outputs());
+  };
+
+  if (n_in <= exhaustive_limit_bits) {
+    const std::uint64_t combos = 1ULL << n_in;
+    for (std::uint64_t v = 0; v < combos; ++v) {
+      std::vector<std::uint8_t> inputs(static_cast<std::size_t>(n_in), 0);
+      for (int i = 0; i < n_in; ++i)
+        inputs[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((v >> i) & 1u);
+      if (!outputs_match(inputs)) return false;
+    }
+    return true;
+  }
+
+  Rng rng(seed);
+  for (int t = 0; t < random_trials; ++t) {
+    std::vector<std::uint8_t> inputs(static_cast<std::size_t>(n_in), 0);
+    for (int i = 0; i < n_in; ++i)
+      inputs[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(rng.flip(0.5) ? 1 : 0);
+    if (!outputs_match(inputs)) return false;
+  }
+  return true;
+}
+
+}  // namespace vosim

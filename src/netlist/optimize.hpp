@@ -1,0 +1,42 @@
+// Netlist cleanup passes: dead-gate pruning and lightweight random
+// equivalence checking — the hygiene steps a synthesis flow performs
+// after structural generation (e.g. the Wallace multiplier's provably-
+// zero top carry, the carry-cut adder's diagnostic buffer).
+#ifndef VOSIM_NETLIST_OPTIMIZE_HPP
+#define VOSIM_NETLIST_OPTIMIZE_HPP
+
+#include <cstdint>
+
+#include "src/netlist/netlist.hpp"
+
+namespace vosim {
+
+/// Statistics of a pruning pass.
+struct PruneStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t nets_before = 0;
+  std::size_t nets_after = 0;
+};
+
+/// Returns a copy of the netlist with every gate removed whose output
+/// reaches no primary output (transitively). Primary inputs are kept
+/// even when unused, preserving the operand pinout. The result is
+/// finalized. `stats` (optional) receives before/after counts.
+Netlist prune_dead_gates(const Netlist& netlist, PruneStats* stats = nullptr,
+                         /// Mapping from old net ids to new ones
+                         /// (invalid_net for pruned nets); resized by the
+                         /// call. Pass nullptr when not needed.
+                         std::vector<NetId>* net_map = nullptr);
+
+/// Randomized + (for small input counts) exhaustive equivalence check of
+/// two finalized netlists with identical PI/PO arity: simulates both on
+/// the same stimuli and compares packed outputs. Returns true when no
+/// mismatch is found; a probabilistic "yes" for wide inputs.
+bool probably_equivalent(const Netlist& a, const Netlist& b,
+                         std::uint64_t seed = 1, int random_trials = 4096,
+                         int exhaustive_limit_bits = 12);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_OPTIMIZE_HPP

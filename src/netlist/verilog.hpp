@@ -1,0 +1,25 @@
+// Structural Verilog export: lets generated netlists round-trip into a
+// conventional EDA flow (simulation, synthesis cross-checks), like the
+// gate-level HDL at the top of the paper's characterization flow
+// (Fig. 4).
+#ifndef VOSIM_NETLIST_VERILOG_HPP
+#define VOSIM_NETLIST_VERILOG_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace vosim {
+
+/// Writes the finalized netlist as a structural Verilog module using the
+/// library cell names (INV_X1, NAND2_X1, ...). Input pins are A, B, C in
+/// gate pin order; the output pin is Y. Tie cells become assigns.
+void write_verilog(const Netlist& netlist, std::ostream& os);
+
+/// Convenience wrapper returning the module text.
+std::string to_verilog(const Netlist& netlist);
+
+}  // namespace vosim
+
+#endif  // VOSIM_NETLIST_VERILOG_HPP

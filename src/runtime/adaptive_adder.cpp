@@ -1,0 +1,59 @@
+#include "src/runtime/adaptive_adder.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+AdaptiveVosAdder::AdaptiveVosAdder(const AdderNetlist& adder,
+                                   const CellLibrary& lib,
+                                   std::vector<TriadRung> ladder,
+                                   const SpeculationConfig& config,
+                                   const TimingSimConfig& sim_config)
+    : adder_(adder),
+      lib_(lib),
+      sim_config_(sim_config),
+      controller_(std::move(ladder), adder.width + 1, config) {
+  sims_.resize(controller_.ladder().size());
+}
+
+VosAdderSim& AdaptiveVosAdder::sim_for_rung(std::size_t rung) {
+  VOSIM_EXPECTS(rung < sims_.size());
+  if (!sims_[rung]) {
+    sims_[rung] = std::make_unique<VosAdderSim>(
+        adder_, lib_, controller_.ladder()[rung].triad, sim_config_);
+    // A freshly powered rung settles on the previous operands, like a
+    // datapath after a DVFS transition completes.
+    sims_[rung]->reset(last_a_, last_b_);
+  }
+  return *sims_[rung];
+}
+
+AdaptiveAddResult AdaptiveVosAdder::add(std::uint64_t a, std::uint64_t b) {
+  const std::size_t rung = controller_.rung_index();
+  VosAdderSim& sim = sim_for_rung(rung);
+  const VosAddResult r = sim.add(a, b);
+  last_a_ = a;
+  last_b_ = b;
+  energy_total_fj_ += r.energy_fj;
+  ++ops_;
+
+  AdaptiveAddResult out;
+  out.sampled = r.sampled;
+  out.settled = r.settled;
+  out.energy_fj = r.energy_fj;
+  out.action = controller_.observe(r.sampled, r.settled);
+  if (out.action != SpeculationAction::kHold) {
+    // Align the new rung's state with current data so its first
+    // operation transitions from the right previous vector.
+    sim_for_rung(controller_.rung_index()).reset(a, b);
+  }
+  out.rung = controller_.rung_index();
+  return out;
+}
+
+double AdaptiveVosAdder::mean_energy_fj() const noexcept {
+  if (ops_ == 0) return 0.0;
+  return energy_total_fj_ / static_cast<double>(ops_);
+}
+
+}  // namespace vosim

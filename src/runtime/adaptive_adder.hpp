@@ -1,0 +1,61 @@
+// Adaptive VOS adder: a hardware adder whose operating triad is managed
+// at run time by the dynamic speculation controller — the end-to-end
+// demonstration of the paper's "accurate to approximate mode" switching.
+#ifndef VOSIM_RUNTIME_ADAPTIVE_ADDER_HPP
+#define VOSIM_RUNTIME_ADAPTIVE_ADDER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/speculation.hpp"
+#include "src/sim/vos_adder.hpp"
+
+namespace vosim {
+
+/// Result of one adaptive addition.
+struct AdaptiveAddResult {
+  std::uint64_t sampled = 0;
+  std::uint64_t settled = 0;
+  double energy_fj = 0.0;
+  SpeculationAction action = SpeculationAction::kHold;
+  std::size_t rung = 0;
+};
+
+/// Owns one timing simulator per ladder rung (created lazily) and routes
+/// every addition through the controller's current rung, feeding the
+/// double-sampling observations back.
+class AdaptiveVosAdder {
+ public:
+  AdaptiveVosAdder(const AdderNetlist& adder, const CellLibrary& lib,
+                   std::vector<TriadRung> ladder,
+                   const SpeculationConfig& config = {},
+                   const TimingSimConfig& sim_config = {});
+
+  AdaptiveAddResult add(std::uint64_t a, std::uint64_t b);
+
+  const DynamicSpeculationController& controller() const noexcept {
+    return controller_;
+  }
+  const OperatingTriad& current_triad() const {
+    return controller_.current().triad;
+  }
+  /// Mean energy per operation so far (fJ).
+  double mean_energy_fj() const noexcept;
+
+ private:
+  VosAdderSim& sim_for_rung(std::size_t rung);
+
+  const AdderNetlist& adder_;
+  const CellLibrary& lib_;
+  TimingSimConfig sim_config_;
+  DynamicSpeculationController controller_;
+  std::vector<std::unique_ptr<VosAdderSim>> sims_;  // one per rung, lazy
+  std::uint64_t last_a_ = 0;
+  std::uint64_t last_b_ = 0;
+  double energy_total_fj_ = 0.0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_RUNTIME_ADAPTIVE_ADDER_HPP

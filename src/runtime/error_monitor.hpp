@@ -1,0 +1,52 @@
+// Runtime error estimation, emulating the double-sampling shadow
+// registers of the paper's dynamic speculation reference [17]: the main
+// register samples at Tclk, the shadow register samples after the
+// circuit settled; a mismatch flags a timing error.
+#ifndef VOSIM_RUNTIME_ERROR_MONITOR_HPP
+#define VOSIM_RUNTIME_ERROR_MONITOR_HPP
+
+#include <cstdint>
+#include <deque>
+
+namespace vosim {
+
+/// Sliding-window bit-error-rate estimator over double-sampled outputs.
+class DoubleSamplingMonitor {
+ public:
+  /// `word_bits` compared bits per operation; `window_ops` sliding
+  /// window length used for the running estimate.
+  DoubleSamplingMonitor(int word_bits, std::size_t window_ops);
+
+  /// Feeds one operation: the value captured at the clock edge and the
+  /// shadow (settled) value.
+  void observe(std::uint64_t sampled, std::uint64_t settled);
+
+  /// BER estimate over the current window.
+  double window_ber() const noexcept;
+  /// Fraction of operations in the window with any flagged bit.
+  double window_op_error_rate() const noexcept;
+  /// Lifetime counters.
+  std::uint64_t total_ops() const noexcept { return total_ops_; }
+  std::uint64_t total_flagged_ops() const noexcept { return total_err_ops_; }
+  double lifetime_ber() const noexcept;
+
+  std::size_t window_fill() const noexcept { return window_.size(); }
+  std::size_t window_capacity() const noexcept { return window_ops_; }
+  bool window_full() const noexcept { return window_.size() == window_ops_; }
+  /// Clears the sliding window (used after a triad switch).
+  void reset_window();
+
+ private:
+  int word_bits_;
+  std::size_t window_ops_;
+  std::deque<std::uint8_t> window_;  // flagged-bit count per op
+  std::uint64_t window_bit_errors_ = 0;
+  std::uint64_t window_err_ops_ = 0;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t total_bit_errors_ = 0;
+  std::uint64_t total_err_ops_ = 0;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_RUNTIME_ERROR_MONITOR_HPP

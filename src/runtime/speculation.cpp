@@ -1,0 +1,57 @@
+#include "src/runtime/speculation.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+DynamicSpeculationController::DynamicSpeculationController(
+    std::vector<TriadRung> ladder, int word_bits,
+    const SpeculationConfig& config)
+    : ladder_(std::move(ladder)),
+      config_(config),
+      monitor_(word_bits, config.window_ops) {
+  VOSIM_EXPECTS(!ladder_.empty());
+  VOSIM_EXPECTS(config_.ber_margin >= 0.0 && config_.ber_margin <= 1.0);
+  VOSIM_EXPECTS(config_.step_down_fraction > 0.0 &&
+                config_.step_down_fraction <= 1.0);
+}
+
+SpeculationAction DynamicSpeculationController::observe(
+    std::uint64_t sampled, std::uint64_t settled) {
+  monitor_.observe(sampled, settled);
+  ++dwell_;
+  if (dwell_ < config_.min_dwell_ops || !monitor_.window_full())
+    return SpeculationAction::kHold;
+  // Decisions happen once per epoch, not per operation: re-evaluating a
+  // nearly unchanged window every cycle would multiply the chance of a
+  // noise-induced switch (flapping).
+  dwell_ = 0;
+  return decide();
+}
+
+SpeculationAction DynamicSpeculationController::decide() {
+  const double ber = monitor_.window_ber();
+
+  if (ber > config_.ber_margin && rung_ > 0) {
+    --rung_;  // too many errors: back off toward the safe end
+    ++switches_;
+    monitor_.reset_window();
+    dwell_ = 0;
+    return SpeculationAction::kStepUp;
+  }
+  if (ber < config_.ber_margin * config_.step_down_fraction &&
+      rung_ + 1 < ladder_.size()) {
+    // Clean margin: speculate on the next cheaper rung only if its
+    // characterized BER also fits the budget (design-time prior).
+    if (ladder_[rung_ + 1].expected_ber <= config_.ber_margin) {
+      ++rung_;
+      ++switches_;
+      monitor_.reset_window();
+      dwell_ = 0;
+      return SpeculationAction::kStepDown;
+    }
+  }
+  return SpeculationAction::kHold;
+}
+
+}  // namespace vosim

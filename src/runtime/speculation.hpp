@@ -1,0 +1,67 @@
+// Dynamic speculation controller (paper Section V last paragraphs,
+// following the dynamic-speculation idea of reference [17]): monitor the
+// runtime error rate with double sampling and move along the triad
+// ladder to the cheapest operating point that respects a user-defined
+// error margin.
+#ifndef VOSIM_RUNTIME_SPECULATION_HPP
+#define VOSIM_RUNTIME_SPECULATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/error_monitor.hpp"
+#include "src/runtime/triad_ladder.hpp"
+
+namespace vosim {
+
+/// Controller tuning.
+struct SpeculationConfig {
+  double ber_margin = 0.05;       ///< user-defined tolerable BER
+  std::size_t window_ops = 512;   ///< estimation window per decision
+  /// Step down (cheaper) only when the window BER is below
+  /// margin * step_down_fraction — hysteresis against flapping.
+  double step_down_fraction = 0.5;
+  /// Minimum operations to dwell on a rung before another decision.
+  std::size_t min_dwell_ops = 512;
+};
+
+/// Decision issued after an observation.
+enum class SpeculationAction : std::uint8_t {
+  kHold,
+  kStepDown,  ///< move to a cheaper, riskier rung
+  kStepUp,    ///< back off to a safer rung
+};
+
+/// Walks a triad ladder under a BER budget using double-sampled outputs.
+class DynamicSpeculationController {
+ public:
+  DynamicSpeculationController(std::vector<TriadRung> ladder, int word_bits,
+                               const SpeculationConfig& config = {});
+
+  /// Feeds one operation's (sampled, settled) pair; returns the action
+  /// taken after this observation.
+  SpeculationAction observe(std::uint64_t sampled, std::uint64_t settled);
+
+  const TriadRung& current() const { return ladder_.at(rung_); }
+  std::size_t rung_index() const noexcept { return rung_; }
+  const std::vector<TriadRung>& ladder() const noexcept { return ladder_; }
+  const SpeculationConfig& config() const noexcept { return config_; }
+
+  std::uint64_t switches() const noexcept { return switches_; }
+  std::uint64_t ops_seen() const noexcept { return monitor_.total_ops(); }
+  double window_ber() const noexcept { return monitor_.window_ber(); }
+
+ private:
+  SpeculationAction decide();
+
+  std::vector<TriadRung> ladder_;
+  SpeculationConfig config_;
+  DoubleSamplingMonitor monitor_;
+  std::size_t rung_ = 0;  // start at the safest rung
+  std::size_t dwell_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_RUNTIME_SPECULATION_HPP

@@ -1,0 +1,39 @@
+#include "src/runtime/triad_ladder.hpp"
+
+#include <algorithm>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+std::vector<TriadRung> build_triad_ladder(
+    const std::vector<TriadResult>& results) {
+  VOSIM_EXPECTS(!results.empty());
+  std::vector<TriadRung> all;
+  all.reserve(results.size());
+  for (const TriadResult& r : results)
+    all.push_back(TriadRung{r.triad, r.ber, r.energy_per_op_fj});
+
+  // Energy ascending, ties by BER ascending.
+  std::sort(all.begin(), all.end(),
+            [](const TriadRung& x, const TriadRung& y) {
+              if (x.energy_per_op_fj != y.energy_per_op_fj)
+                return x.energy_per_op_fj < y.energy_per_op_fj;
+              return x.expected_ber < y.expected_ber;
+            });
+
+  // Pareto frontier: walking toward more expensive triads, keep a rung
+  // only when it buys a strictly lower BER than everything cheaper.
+  std::vector<TriadRung> frontier;
+  for (const TriadRung& rung : all) {
+    if (frontier.empty() || rung.expected_ber < frontier.back().expected_ber)
+      frontier.push_back(rung);
+  }
+
+  // Ladder convention: safest (most expensive) first.
+  std::reverse(frontier.begin(), frontier.end());
+  VOSIM_ENSURES(!frontier.empty());
+  return frontier;
+}
+
+}  // namespace vosim

@@ -1,0 +1,148 @@
+// Event-driven gate-level timing simulation with inertial delays.
+//
+// This is the reproduction's stand-in for the paper's transistor-level
+// Eldo SPICE runs (Fig. 4): it propagates input transitions through the
+// netlist with voltage/body-bias dependent gate delays and samples the
+// outputs at the clock period. A bit whose final transition has not
+// arrived by Tclk latches a stale or glitch value — exactly the timing
+// errors voltage over-scaling provokes.
+#ifndef VOSIM_SIM_EVENT_SIM_HPP
+#define VOSIM_SIM_EVENT_SIM_HPP
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/tech/operating_point.hpp"
+
+namespace vosim {
+
+/// Simulator knobs.
+struct TimingSimConfig {
+  /// Per-gate log-normal delay variation sigma (0 = deterministic).
+  /// Models within-die process variation; one sample is drawn per gate
+  /// at construction ("one die") and reused across operations.
+  double variation_sigma = 0.0;
+  /// Seed for the per-gate variation sample.
+  std::uint64_t variation_seed = 1;
+  /// Record every committed transition of the next step() for waveform
+  /// inspection (see src/sim/vcd.hpp). Off by default: tracing allocates
+  /// per event.
+  bool record_trace = false;
+};
+
+/// One committed transition (for waveform dumps).
+struct TraceEvent {
+  double time_ps = 0.0;
+  NetId net = invalid_net;
+  std::uint8_t value = 0;
+};
+
+/// Result of simulating one clocked operation (two-vector transition).
+struct StepResult {
+  /// Values sampled at t = Tclk (what the capture registers see).
+  std::uint64_t sampled_outputs = 0;  // packed in primary-output order
+  /// Fully settled values (t → ∞), i.e. the functionally correct result.
+  std::uint64_t settled_outputs = 0;
+  /// Time of the last committed transition (ps).
+  double settle_time_ps = 0.0;
+  /// Dynamic energy of transitions inside the clock window [0, Tclk) —
+  /// in a pipeline, switching after the clock edge belongs to the next
+  /// operation, and deep VOS truncates carry activity (DESIGN.md §6.3).
+  double window_energy_fj = 0.0;
+  /// Dynamic energy of *all* transitions until quiescence (what a
+  /// non-pipelined accounting would charge; see the energy-window
+  /// ablation bench).
+  double total_energy_fj = 0.0;
+  /// Transition counts (inside the window / total until settled).
+  std::uint32_t toggles_in_window = 0;
+  std::uint32_t toggles_total = 0;
+};
+
+/// Event-driven simulator bound to one netlist, library and triad.
+///
+/// Usage: settle() to establish the initial state, then step() per
+/// operation. State persists between steps like a real datapath between
+/// clock edges (DESIGN.md §6.5).
+class TimingSimulator {
+ public:
+  TimingSimulator(const Netlist& netlist, const CellLibrary& lib,
+                  const OperatingTriad& op, const TimingSimConfig& config = {});
+
+  /// Applies input values and lets the circuit settle completely
+  /// (no sampling, no energy accounting).
+  void settle(std::span<const std::uint8_t> inputs);
+
+  /// Applies a new input vector at t = 0, propagates events, samples at
+  /// Tclk and runs to quiescence. Returns packed outputs and energy.
+  StepResult step(std::span<const std::uint8_t> inputs);
+
+  /// Per-operation leakage energy at this triad (fJ): leakage power
+  /// integrated over one clock period.
+  double leakage_energy_fj_per_op() const noexcept {
+    return leakage_energy_fj_;
+  }
+
+  /// Current value of a net (after the last settle/step).
+  bool value(NetId net) const { return values_.at(net) != 0; }
+
+  /// Values sampled at the last step's clock edge, one per net.
+  std::span<const std::uint8_t> sampled_values() const noexcept {
+    return sampled_values_;
+  }
+
+  const OperatingTriad& triad() const noexcept { return op_; }
+  const Netlist& netlist() const noexcept { return netlist_; }
+
+  /// Assigned delay of a gate (after variation), ps.
+  double gate_delay(GateId gid) const { return gate_delay_ps_.at(gid); }
+
+  /// Transitions of the last step() (only when record_trace is set).
+  std::span<const TraceEvent> trace() const noexcept { return trace_; }
+  /// Net values at the start of the last step() (trace baseline).
+  std::span<const std::uint8_t> trace_initial_values() const noexcept {
+    return trace_initial_;
+  }
+
+ private:
+  struct Event {
+    double time_ps;
+    GateId gate;
+    std::uint64_t serial;  // cancellation token
+    std::uint8_t value;
+    friend bool operator>(const Event& x, const Event& y) {
+      return x.time_ps > y.time_ps;
+    }
+  };
+
+  void enqueue_fanout(NetId net, double now_ps);
+  void commit(NetId net, std::uint8_t value, double time_ps);
+  void run_events();
+
+  const Netlist& netlist_;
+  OperatingTriad op_;
+  double tclk_ps_ = 0.0;
+  double leakage_energy_fj_ = 0.0;
+
+  std::vector<double> gate_delay_ps_;   // per gate, incl. variation
+  std::vector<double> net_energy_fj_;   // per net, energy of one toggle
+  std::vector<std::uint8_t> values_;    // current value per net
+  std::vector<std::uint8_t> sampled_values_;
+  std::vector<std::uint64_t> gate_serial_;    // latest scheduled serial
+  std::vector<std::uint8_t> gate_target_;     // value it is heading to
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t next_serial_ = 1;
+
+  // Per-step scratch state.
+  bool sample_taken_ = false;
+  StepResult current_{};
+  bool record_trace_ = false;
+  std::vector<TraceEvent> trace_;
+  std::vector<std::uint8_t> trace_initial_;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_SIM_EVENT_SIM_HPP

@@ -1,0 +1,7 @@
+// Compatibility alias: golden evaluation moved to src/netlist/eval.hpp.
+#ifndef VOSIM_SIM_LOGIC_HPP
+#define VOSIM_SIM_LOGIC_HPP
+
+#include "src/netlist/eval.hpp"
+
+#endif  // VOSIM_SIM_LOGIC_HPP

@@ -1,0 +1,74 @@
+#include "src/sim/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// VCD identifier for a net: printable-ASCII base-94 code.
+std::string vcd_id(NetId net) {
+  std::string id;
+  std::uint32_t v = net;
+  do {
+    id.push_back(static_cast<char>('!' + (v % 94)));
+    v /= 94;
+  } while (v != 0);
+  return id;
+}
+
+constexpr const char* clk_id = "~~";  // reserved marker identifier
+
+}  // namespace
+
+void write_vcd(const TimingSimulator& sim, std::ostream& os) {
+  const auto initial = sim.trace_initial_values();
+  VOSIM_EXPECTS(!initial.empty());
+  const Netlist& nl = sim.netlist();
+
+  os << "$timescale 1ps $end\n";
+  os << "$scope module " << nl.name() << " $end\n";
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    os << "$var wire 1 " << vcd_id(n) << " " << nl.net_name(n) << " $end\n";
+  os << "$var wire 1 " << clk_id << " clk_sample $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  os << "#0\n$dumpvars\n";
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    os << static_cast<int>(initial[n]) << vcd_id(n) << "\n";
+  os << "0" << clk_id << "\n$end\n";
+
+  // Merge the transition trace with the sampling-edge marker.
+  const double tclk_ps = sim.triad().tclk_ns * 1e3;
+  std::vector<TraceEvent> events(sim.trace().begin(), sim.trace().end());
+  bool clk_emitted = false;
+  long last_time = -1;
+  auto emit_time = [&](double t_ps) {
+    const long t = std::lround(t_ps);
+    if (t != last_time) {
+      os << "#" << t << "\n";
+      last_time = t;
+    }
+  };
+  for (const TraceEvent& e : events) {
+    if (!clk_emitted && e.time_ps >= tclk_ps) {
+      emit_time(tclk_ps);
+      os << "1" << clk_id << "\n";
+      clk_emitted = true;
+    }
+    emit_time(e.time_ps);
+    os << static_cast<int>(e.value) << vcd_id(e.net) << "\n";
+  }
+  if (!clk_emitted) {
+    emit_time(tclk_ps);
+    os << "1" << clk_id << "\n";
+  }
+}
+
+}  // namespace vosim

@@ -1,0 +1,22 @@
+// VCD (Value Change Dump) waveform export of one simulated operation —
+// for inspecting how timing errors form in a waveform viewer (GTKWave
+// etc.). Requires the simulator to run with record_trace enabled.
+#ifndef VOSIM_SIM_VCD_HPP
+#define VOSIM_SIM_VCD_HPP
+
+#include <iosfwd>
+
+#include "src/sim/event_sim.hpp"
+
+namespace vosim {
+
+/// Writes the last step() of `sim` as a VCD file: all nets are declared,
+/// the pre-step values are dumped at #0 and every committed transition
+/// follows with 1 ps resolution. A `clk_sample` marker pulses at Tclk so
+/// the capture edge is visible. Throws ContractViolation when tracing
+/// was not enabled.
+void write_vcd(const TimingSimulator& sim, std::ostream& os);
+
+}  // namespace vosim
+
+#endif  // VOSIM_SIM_VCD_HPP

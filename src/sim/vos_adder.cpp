@@ -1,0 +1,67 @@
+#include "src/sim/vos_adder.hpp"
+
+#include <algorithm>
+
+#include "src/sim/logic.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// Position of `net` within the primary-input order.
+std::size_t pi_slot(const Netlist& nl, NetId net) {
+  const auto pis = nl.primary_inputs();
+  const auto it = std::find(pis.begin(), pis.end(), net);
+  VOSIM_EXPECTS(it != pis.end());
+  return static_cast<std::size_t>(it - pis.begin());
+}
+
+}  // namespace
+
+VosAdderSim::VosAdderSim(const AdderNetlist& adder, const CellLibrary& lib,
+                         const OperatingTriad& op,
+                         const TimingSimConfig& config)
+    : adder_(adder), sim_(adder.netlist, lib, op, config) {
+  input_buf_.assign(adder_.netlist.primary_inputs().size(), 0);
+  a_slot_.reserve(adder_.a.size());
+  b_slot_.reserve(adder_.b.size());
+  for (const NetId n : adder_.a) a_slot_.push_back(pi_slot(adder_.netlist, n));
+  for (const NetId n : adder_.b) b_slot_.push_back(pi_slot(adder_.netlist, n));
+  // A carry-in pin, if present, is held at zero (the paper's operators
+  // are plain two-operand adders).
+  reset(0, 0);
+}
+
+void VosAdderSim::fill_inputs(std::uint64_t a, std::uint64_t b) {
+  VOSIM_EXPECTS((a & ~mask_n(adder_.width)) == 0);
+  VOSIM_EXPECTS((b & ~mask_n(adder_.width)) == 0);
+  for (std::size_t i = 0; i < a_slot_.size(); ++i)
+    input_buf_[a_slot_[i]] =
+        static_cast<std::uint8_t>((a >> i) & 1ULL);
+  for (std::size_t i = 0; i < b_slot_.size(); ++i)
+    input_buf_[b_slot_[i]] =
+        static_cast<std::uint8_t>((b >> i) & 1ULL);
+}
+
+void VosAdderSim::reset(std::uint64_t a, std::uint64_t b) {
+  fill_inputs(a, b);
+  sim_.settle(input_buf_);
+}
+
+VosAddResult VosAdderSim::add(std::uint64_t a, std::uint64_t b) {
+  fill_inputs(a, b);
+  const StepResult st = sim_.step(input_buf_);
+
+  VosAddResult out;
+  out.sampled = pack_word(sim_.sampled_values(), adder_.sum);
+  // After run_events the simulator values are fully settled.
+  for (std::size_t i = 0; i < adder_.sum.size(); ++i)
+    if (sim_.value(adder_.sum[i])) out.settled |= (1ULL << i);
+  out.energy_fj = st.window_energy_fj + sim_.leakage_energy_fj_per_op();
+  out.settle_time_ps = st.settle_time_ps;
+  return out;
+}
+
+}  // namespace vosim

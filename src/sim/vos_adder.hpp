@@ -1,0 +1,62 @@
+// High-level word interface over the timing simulator: "an adder
+// operated at a voltage-over-scaled triad" (paper Fig. 2).
+#ifndef VOSIM_SIM_VOS_ADDER_HPP
+#define VOSIM_SIM_VOS_ADDER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/adders.hpp"
+#include "src/sim/event_sim.hpp"
+
+namespace vosim {
+
+/// Result of one voltage-over-scaled addition.
+struct VosAddResult {
+  /// The (width+1)-bit value captured at the clock edge — possibly wrong.
+  std::uint64_t sampled = 0;
+  /// The (width+1)-bit value the circuit settles to — the functional
+  /// result of this netlist (equals a+b only for exact architectures).
+  std::uint64_t settled = 0;
+  /// Dynamic + leakage energy of the operation (fJ).
+  double energy_fj = 0.0;
+  /// Arrival of the last transition (ps).
+  double settle_time_ps = 0.0;
+};
+
+/// Streams additions through an adder netlist at a fixed operating triad.
+/// Circuit state persists between add() calls, like a datapath between
+/// pipeline registers; reset() re-settles to a known input pair.
+class VosAdderSim {
+ public:
+  /// The adder must outlive the simulator.
+  VosAdderSim(const AdderNetlist& adder, const CellLibrary& lib,
+              const OperatingTriad& op, const TimingSimConfig& config = {});
+
+  /// Settles the circuit on (a, b) with no timing effects.
+  void reset(std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Performs one clocked addition. Operands must fit in width bits.
+  VosAddResult add(std::uint64_t a, std::uint64_t b);
+
+  int width() const noexcept { return adder_.width; }
+  const AdderNetlist& adder() const noexcept { return adder_; }
+  const OperatingTriad& triad() const noexcept { return sim_.triad(); }
+  /// Leakage energy charged to every operation at this triad (fJ).
+  double leakage_energy_fj() const noexcept {
+    return sim_.leakage_energy_fj_per_op();
+  }
+
+ private:
+  void fill_inputs(std::uint64_t a, std::uint64_t b);
+
+  const AdderNetlist& adder_;
+  TimingSimulator sim_;
+  std::vector<std::uint8_t> input_buf_;
+  std::vector<std::size_t> a_slot_;  // PI-vector position of a[i]
+  std::vector<std::size_t> b_slot_;  // PI-vector position of b[i]
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_SIM_VOS_ADDER_HPP

@@ -1,0 +1,63 @@
+#include "src/sim/word_sim.hpp"
+
+#include <algorithm>
+
+#include "src/sim/logic.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+VosWordSim::VosWordSim(const Netlist& netlist, const CellLibrary& lib,
+                       const OperatingTriad& op,
+                       std::vector<std::vector<NetId>> input_buses,
+                       std::vector<NetId> output_bus,
+                       const TimingSimConfig& config)
+    : sim_(netlist, lib, op, config), output_bus_(std::move(output_bus)) {
+  VOSIM_EXPECTS(!input_buses.empty());
+  VOSIM_EXPECTS(!output_bus_.empty() && output_bus_.size() <= 64);
+  const auto pis = netlist.primary_inputs();
+  input_buf_.assign(pis.size(), 0);
+  for (const auto& bus : input_buses) {
+    VOSIM_EXPECTS(!bus.empty() && bus.size() <= 64);
+    std::vector<std::size_t> slots;
+    slots.reserve(bus.size());
+    for (const NetId net : bus) {
+      const auto it = std::find(pis.begin(), pis.end(), net);
+      VOSIM_EXPECTS(it != pis.end());
+      slots.push_back(static_cast<std::size_t>(it - pis.begin()));
+    }
+    input_slots_.push_back(std::move(slots));
+  }
+}
+
+void VosWordSim::fill_inputs(const std::vector<std::uint64_t>& operands) {
+  VOSIM_EXPECTS(operands.size() == input_slots_.size());
+  for (std::size_t k = 0; k < operands.size(); ++k) {
+    const auto& slots = input_slots_[k];
+    VOSIM_EXPECTS((operands[k] &
+                   ~mask_n(static_cast<int>(slots.size()))) == 0);
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      input_buf_[slots[i]] =
+          static_cast<std::uint8_t>((operands[k] >> i) & 1ULL);
+  }
+}
+
+void VosWordSim::reset(const std::vector<std::uint64_t>& operands) {
+  fill_inputs(operands);
+  sim_.settle(input_buf_);
+}
+
+WordOpResult VosWordSim::apply(const std::vector<std::uint64_t>& operands) {
+  fill_inputs(operands);
+  const StepResult st = sim_.step(input_buf_);
+  WordOpResult out;
+  out.sampled = pack_word(sim_.sampled_values(), output_bus_);
+  for (std::size_t i = 0; i < output_bus_.size(); ++i)
+    if (sim_.value(output_bus_[i])) out.settled |= (1ULL << i);
+  out.energy_fj = st.window_energy_fj + sim_.leakage_energy_fj_per_op();
+  out.settle_time_ps = st.settle_time_ps;
+  return out;
+}
+
+}  // namespace vosim

@@ -1,0 +1,74 @@
+#include "src/tech/library.hpp"
+
+#include <utility>
+
+#include "src/util/contracts.hpp"
+#include "src/util/table.hpp"
+
+namespace vosim {
+
+CellLibrary::CellLibrary(std::string name,
+                         std::array<Cell, cell_kind_count> cells,
+                         TransistorModel model)
+    : name_(std::move(name)), cells_(cells), model_(model) {}
+
+const Cell& CellLibrary::cell(CellKind kind) const {
+  const auto idx = static_cast<std::size_t>(kind);
+  VOSIM_EXPECTS(idx < cells_.size());
+  const Cell& c = cells_[idx];
+  VOSIM_ENSURES(c.kind == kind);
+  return c;
+}
+
+namespace {
+
+/// Builds a cell record; the logic function and pin count come from the
+/// canonical per-kind tables so simulators and the library always agree.
+Cell make_cell(CellKind kind, double area, double cap, double intr,
+               double drive, double leak) {
+  return Cell{kind,  cell_num_inputs(kind), cell_truth(kind), area,
+              cap,   intr,                  drive,            leak};
+}
+
+std::array<Cell, cell_kind_count> fdsoi28_cells() {
+  std::array<Cell, cell_kind_count> cells{};
+  auto put = [&cells](const Cell& c) {
+    cells[static_cast<std::size_t>(c.kind)] = c;
+  };
+  //                    kind            area  cap   intr  drive leak
+  put(make_cell(CellKind::kInv,         0.65, 0.55,  6.0, 4.2, 1.5));
+  put(make_cell(CellKind::kBuf,         1.00, 0.60, 12.0, 3.8, 2.0));
+  put(make_cell(CellKind::kNand2,       0.85, 0.70,  8.0, 5.0, 2.2));
+  put(make_cell(CellKind::kNor2,        0.85, 0.70,  9.5, 5.8, 2.0));
+  put(make_cell(CellKind::kAnd2,        1.10, 0.70, 13.0, 4.6, 2.5));
+  put(make_cell(CellKind::kOr2,         1.10, 0.70, 14.0, 5.0, 2.4));
+  put(make_cell(CellKind::kXor2,        1.60, 1.05, 17.5, 5.4, 3.4));
+  put(make_cell(CellKind::kXnor2,       1.60, 1.05, 17.5, 5.4, 3.4));
+  put(make_cell(CellKind::kAoi21,       1.15, 0.75, 10.0, 6.0, 2.6));
+  put(make_cell(CellKind::kOai21,       1.15, 0.75, 10.0, 6.0, 2.6));
+  // AO21 is speed-skewed: it is the per-level carry cell of the
+  // parallel-prefix trees, sized for short stage delay.
+  put(make_cell(CellKind::kAo21,        1.20, 0.75,  7.0, 3.5, 2.6));
+  // MAJ3 is the mirror-adder carry stage of the ripple chain.
+  put(make_cell(CellKind::kMaj3,        1.40, 0.80, 12.0, 4.4, 3.0));
+  put(make_cell(CellKind::kTieLo,       0.30, 0.00,  0.0, 0.0, 0.3));
+  put(make_cell(CellKind::kTieHi,       0.30, 0.00,  0.0, 0.0, 0.3));
+  return cells;
+}
+
+}  // namespace
+
+const CellLibrary& make_fdsoi28_lvt() {
+  static const CellLibrary lib("fdsoi28_lvt", fdsoi28_cells(),
+                               TransistorModel(TransistorParams{}));
+  return lib;
+}
+
+CellLibrary make_fdsoi28_lvt_at(double temp_c) {
+  TransistorParams p;
+  p.temp_c = temp_c;
+  return CellLibrary("fdsoi28_lvt@" + format_double(temp_c, 0) + "C",
+                     fdsoi28_cells(), TransistorModel(p));
+}
+
+}  // namespace vosim

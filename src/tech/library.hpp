@@ -1,0 +1,56 @@
+// The technology library: a set of characterized cells plus the
+// transistor model used to scale them across operating points.
+#ifndef VOSIM_TECH_LIBRARY_HPP
+#define VOSIM_TECH_LIBRARY_HPP
+
+#include <array>
+#include <string>
+
+#include "src/tech/cell.hpp"
+#include "src/tech/transistor_model.hpp"
+
+namespace vosim {
+
+/// Immutable cell library. Construct via make_fdsoi28_lvt().
+class CellLibrary {
+ public:
+  CellLibrary(std::string name, std::array<Cell, cell_kind_count> cells,
+              TransistorModel model);
+
+  const std::string& name() const noexcept { return name_; }
+  const Cell& cell(CellKind kind) const;
+  const TransistorModel& transistor_model() const noexcept { return model_; }
+
+  /// Default wire load added to every net (fF); a crude but standard
+  /// stand-in for a wire-load model.
+  double wire_cap_ff() const noexcept { return wire_cap_ff_; }
+
+  /// Sequential-cell figures used for registered-IO synthesis reports and
+  /// primary-output loading (the paper's operators sit between pipeline
+  /// registers).
+  double dff_area_um2() const noexcept { return 4.2; }
+  double dff_d_cap_ff() const noexcept { return 1.5; }
+  double dff_leakage_nw() const noexcept { return 4.0; }
+  /// Internal clock/latch energy per flop per cycle at nominal Vdd (fJ).
+  double dff_clock_energy_fj() const noexcept { return 1.8; }
+
+ private:
+  std::string name_;
+  std::array<Cell, cell_kind_count> cells_;
+  TransistorModel model_;
+  double wire_cap_ff_ = 0.9;
+};
+
+/// Builds the 28nm-FDSOI-LVT-flavoured library used throughout the
+/// reproduction. Cell data are plausible for the node but synthetic
+/// (no proprietary PDK data; see DESIGN.md §2).
+const CellLibrary& make_fdsoi28_lvt();
+
+/// The same library at another junction temperature (corner analysis).
+/// Delay/leakage scale factors remain relative to the room-temperature
+/// nominal, so results across temperatures are directly comparable.
+CellLibrary make_fdsoi28_lvt_at(double temp_c);
+
+}  // namespace vosim
+
+#endif  // VOSIM_TECH_LIBRARY_HPP

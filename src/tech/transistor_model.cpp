@@ -1,0 +1,102 @@
+#include "src/tech/transistor_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+constexpr double kelvin(double temp_c) { return temp_c + 273.15; }
+}  // namespace
+
+TransistorModel::TransistorModel(const TransistorParams& params)
+    : params_(params) {
+  VOSIM_EXPECTS(params_.vt0_v > 0.0);
+  VOSIM_EXPECTS(params_.subthreshold_n >= 1.0);
+  VOSIM_EXPECTS(params_.phi_t_v > 0.0);
+  VOSIM_EXPECTS(params_.alpha >= 1.0 && params_.alpha <= 2.0);
+  VOSIM_EXPECTS(params_.nominal_vdd_v > params_.vt0_v);
+  VOSIM_EXPECTS(params_.temp_c > -273.15);
+  // Normalize against the *reference-corner* model so that instances at
+  // other temperatures report comparable scale factors.
+  if (params_.temp_c == params_.reference_temp_c) {
+    nominal_drive_ = 1.0;  // placeholder so raw_drive can run
+    nominal_drive_ = raw_drive(params_.nominal_vdd_v, 0.0);
+  } else {
+    TransistorParams ref = params_;
+    ref.temp_c = params_.reference_temp_c;
+    nominal_drive_ = TransistorModel(ref).nominal_drive_;
+  }
+}
+
+double TransistorModel::phi_t() const noexcept {
+  return params_.phi_t_v * kelvin(params_.temp_c) /
+         kelvin(params_.reference_temp_c);
+}
+
+double TransistorModel::vt_eff(double vbb_v) const noexcept {
+  const double vbb = std::clamp(vbb_v, -params_.vbb_max_v, params_.vbb_max_v);
+  const double dvt_temp =
+      params_.vt_temp_v_per_c * (params_.temp_c - params_.reference_temp_c);
+  return params_.vt0_v + dvt_temp - params_.body_coeff_v_per_v * vbb;
+}
+
+double TransistorModel::softplus_overdrive(double vdd_v,
+                                           double vbb_v) const noexcept {
+  const double denom = 2.0 * params_.subthreshold_n * phi_t();  // 2nφt
+  const double x = (vdd_v - vt_eff(vbb_v)) / denom;
+  // Numerically stable ln(1+e^x).
+  if (x > 30.0) return x;
+  return std::log1p(std::exp(x));
+}
+
+double TransistorModel::raw_drive(double vdd_v, double vbb_v) const {
+  VOSIM_EXPECTS(vdd_v >= params_.vdd_min_v);
+  const double f = softplus_overdrive(vdd_v, vbb_v);
+  const double mobility =
+      std::pow(kelvin(params_.temp_c) / kelvin(params_.reference_temp_c),
+               -params_.mobility_exp);
+  return mobility * std::pow(f, params_.alpha);
+}
+
+double TransistorModel::drive(double vdd_v, double vbb_v) const {
+  return raw_drive(vdd_v, vbb_v) / nominal_drive_;
+}
+
+double TransistorModel::delay_scale(double vdd_v, double vbb_v) const {
+  // Delay ∝ C·Vdd / I  (paper Eq. 2); normalized so the reference-corner
+  // nominal is 1.
+  const double i = drive(vdd_v, vbb_v);
+  VOSIM_ENSURES(i > 0.0);
+  return (vdd_v / params_.nominal_vdd_v) / i;
+}
+
+double TransistorModel::leakage_scale(double vdd_v, double vbb_v) const {
+  VOSIM_EXPECTS(vdd_v >= params_.vdd_min_v);
+  // Subthreshold conduction rises exponentially as Vt drops below its
+  // reference value — whether by forward body-bias or by heat. The
+  // effective exponent uses 2nφt (fitted; DESIGN.md §5 — keeps leakage
+  // a small fraction of energy/op as in the paper's adders).
+  const double denom = 2.0 * params_.subthreshold_n * phi_t();
+  const double dvt = params_.vt0_v - vt_eff(vbb_v);  // >0 under FBB/heat
+  const double body_term = std::exp(dvt / denom);
+  // DIBL-ish supply dependence plus linear conduction scaling.
+  const double dibl =
+      std::exp(params_.leak_dibl_per_v * (vdd_v - params_.nominal_vdd_v));
+  // Subthreshold current carries a φt² ∝ T² prefactor on top of the
+  // exponential Vt term.
+  const double t_ratio =
+      kelvin(params_.temp_c) / kelvin(params_.reference_temp_c);
+  return (vdd_v / params_.nominal_vdd_v) * body_term * dibl * t_ratio *
+         t_ratio;
+}
+
+TransistorModel TransistorModel::at_temperature(double temp_c) const {
+  TransistorParams p = params_;
+  p.temp_c = temp_c;
+  return TransistorModel(p);
+}
+
+}  // namespace vosim

@@ -1,0 +1,94 @@
+// Voltage / body-bias dependent drive and leakage model.
+//
+// Replaces the paper's Eldo SPICE + 28nm FDSOI LVT transistor libraries
+// (DESIGN.md §2). The drive current uses an EKV-flavoured smooth
+// interpolation valid from sub- to super-threshold:
+//
+//     I(Vdd, Vt)  ∝  [ ln(1 + exp((Vdd - Vt) / (2 n φt)) ) ]^α
+//
+// which tends to ((Vdd-Vt)/(2nφt))^α in strong inversion (alpha-power law,
+// paper Eq. 2) and to exp((Vdd-Vt)/(2nφt))·α′ decay below threshold.
+// FDSOI body-biasing shifts the threshold linearly: Vt_eff = Vt0 − γ·Vbb.
+#ifndef VOSIM_TECH_TRANSISTOR_MODEL_HPP
+#define VOSIM_TECH_TRANSISTOR_MODEL_HPP
+
+namespace vosim {
+
+/// Technology constants for the 28nm-FDSOI-LVT-flavoured model. Values are
+/// calibrated to reproduce the paper's qualitative behaviour (DESIGN.md §5),
+/// not any proprietary PDK.
+struct TransistorParams {
+  double vt0_v = 0.40;          ///< threshold voltage at the reference temp
+  double body_coeff_v_per_v = 0.12;  ///< γ: dVt per volt of body bias
+  double subthreshold_n = 1.5;  ///< slope ideality factor
+  double phi_t_v = 0.026;       ///< thermal voltage at the reference temp
+  double alpha = 1.8;           ///< velocity-saturation exponent
+  double nominal_vdd_v = 1.0;   ///< reference supply for scale factors
+  /// Additional DIBL-like leakage supply sensitivity (per volt).
+  double leak_dibl_per_v = 1.2;
+  /// Minimum supply the model accepts (deep sub-threshold guard).
+  double vdd_min_v = 0.2;
+  /// Maximum |Vbb| the flip-well biasing supports.
+  double vbb_max_v = 2.0;
+
+  // -- temperature corner -------------------------------------------------
+  /// Junction temperature of this model instance (°C). Scale factors stay
+  /// normalized to (nominal_vdd, no bias) at reference_temp_c, so models
+  /// at different temperatures are directly comparable.
+  double temp_c = 25.0;
+  double reference_temp_c = 25.0;
+  /// dVt/dT: thresholds drop as silicon heats (~ -1 mV/K).
+  double vt_temp_v_per_c = -0.001;
+  /// Mobility degradation exponent: drive ∝ (T/Tref)^-mobility_exp.
+  double mobility_exp = 1.5;
+};
+
+/// Evaluates delay/leakage scale factors at an operating voltage pair.
+/// All factors are relative to (nominal_vdd, Vbb = 0).
+class TransistorModel {
+ public:
+  TransistorModel() : TransistorModel(TransistorParams{}) {}
+  explicit TransistorModel(const TransistorParams& params);
+
+  const TransistorParams& params() const noexcept { return params_; }
+
+  /// Effective threshold voltage under body bias (clamped to the
+  /// supported ±vbb_max range).
+  double vt_eff(double vbb_v) const noexcept;
+
+  /// Normalized drive current; 1.0 at (nominal_vdd, 0 V bias).
+  double drive(double vdd_v, double vbb_v) const;
+
+  /// Gate-delay multiplier vs nominal:  (Vdd / I(Vdd,Vbb)) normalized.
+  /// > 1 means slower than nominal. Throws ContractViolation for
+  /// out-of-range supplies.
+  double delay_scale(double vdd_v, double vbb_v) const;
+
+  /// Leakage-power multiplier vs nominal. Forward body-bias increases
+  /// leakage exponentially; lowering Vdd decreases it (DIBL); heat
+  /// increases it (subthreshold slope + Vt drop).
+  double leakage_scale(double vdd_v, double vbb_v) const;
+
+  /// A copy of this model moved to another junction temperature; its
+  /// scale factors remain relative to the same room-temperature nominal,
+  /// so delay_scale across instances is directly comparable. Exposes the
+  /// near-threshold *temperature inversion* effect: heat slows strong-
+  /// inversion logic (mobility) but speeds up near-threshold logic
+  /// (lower Vt).
+  TransistorModel at_temperature(double temp_c) const;
+
+ private:
+  /// Thermal voltage at the instance temperature.
+  double phi_t() const noexcept;
+  /// Smooth EKV interpolation term ln(1+exp(x)).
+  double softplus_overdrive(double vdd_v, double vbb_v) const noexcept;
+  /// Unnormalized drive at this instance's temperature.
+  double raw_drive(double vdd_v, double vbb_v) const;
+
+  TransistorParams params_;
+  double nominal_drive_ = 1.0;  ///< cached reference-corner drive
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_TECH_TRANSISTOR_MODEL_HPP

@@ -1,0 +1,81 @@
+#include "src/util/args.hpp"
+
+#include <stdexcept>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  VOSIM_EXPECTS(argc >= 1);
+  program_ = argv[0];
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
+      continue;
+    }
+    // "--key value" when the next token is not an option itself;
+    // otherwise a bare flag.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      options_.emplace_back(body, args[i + 1]);
+      ++i;
+    } else {
+      options_.emplace_back(body, "");
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  for (const auto& [key, value] : options_)
+    if (key == name) return true;
+  return false;
+}
+
+std::optional<std::string> ArgParser::value(const std::string& name) const {
+  for (const auto& [key, val] : options_)
+    if (key == name) return val;
+  return std::nullopt;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  const auto v = value(name);
+  return v.has_value() ? *v : fallback;
+}
+
+long ArgParser::get_int(const std::string& name, long fallback) const {
+  const auto v = value(name);
+  if (!v.has_value()) return fallback;
+  std::size_t used = 0;
+  const long out = std::stol(*v, &used);
+  if (used != v->size())
+    throw std::invalid_argument("not an integer: --" + name + "=" + *v);
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v.has_value()) return fallback;
+  std::size_t used = 0;
+  const double out = std::stod(*v, &used);
+  if (used != v->size())
+    throw std::invalid_argument("not a number: --" + name + "=" + *v);
+  return out;
+}
+
+}  // namespace vosim

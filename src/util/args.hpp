@@ -1,0 +1,48 @@
+// Minimal command-line argument parsing for the vosim tools: positional
+// arguments plus --key=value / --key value options and --flags.
+#ifndef VOSIM_UTIL_ARGS_HPP
+#define VOSIM_UTIL_ARGS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vosim {
+
+/// Parsed argv. Options may appear anywhere; everything else is
+/// positional in order.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+  /// Convenience for tests.
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  const std::string& program() const noexcept { return program_; }
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// True when --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Option value; empty optional when absent.
+  std::optional<std::string> value(const std::string& name) const;
+
+  /// Typed getters with defaults. Throw std::invalid_argument on
+  /// malformed numbers.
+  std::string get(const std::string& name,
+                  const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::string program_ = "vosim";
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> options_;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_UTIL_ARGS_HPP

@@ -1,0 +1,64 @@
+// Bit-level helpers shared by adder generators, carry-chain analysis and
+// error metrics. All operands are std::uint64_t words holding <= 63-bit
+// values (DESIGN.md §6.1).
+#ifndef VOSIM_UTIL_BITS_HPP
+#define VOSIM_UTIL_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+/// Maximum operand width supported by the word-based arithmetic paths.
+inline constexpr int max_word_bits = 63;
+
+/// Mask with the low `n` bits set. Precondition: 0 <= n <= 64.
+constexpr std::uint64_t mask_n(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
+}
+
+/// Value of bit `i` of `x` as 0/1.
+constexpr int bit_of(std::uint64_t x, int i) {
+  return static_cast<int>((x >> i) & 1ULL);
+}
+
+/// `x` with bit `i` set to `v`.
+constexpr std::uint64_t with_bit(std::uint64_t x, int i, bool v) {
+  return v ? (x | (1ULL << i)) : (x & ~(1ULL << i));
+}
+
+/// Number of set bits.
+constexpr int popcount_u64(std::uint64_t x) { return std::popcount(x); }
+
+/// Hamming distance between two words restricted to their low `n` bits.
+constexpr int hamming_distance(std::uint64_t a, std::uint64_t b, int n) {
+  return std::popcount((a ^ b) & mask_n(n));
+}
+
+/// Length of the longest run of consecutive 1-bits in the low `n` bits.
+constexpr int longest_one_run(std::uint64_t x, int n) {
+  x &= mask_n(n);
+  int len = 0;
+  // Each AND-with-shift peels one bit off every run; the number of
+  // iterations until the word dies is the longest run length.
+  while (x != 0) {
+    x &= (x << 1);
+    ++len;
+  }
+  return len;
+}
+
+/// Reference n-bit addition: returns the (n+1)-bit exact result
+/// (sum plus carry-out in bit n). Preconditions: operands fit in n bits.
+inline std::uint64_t exact_add(std::uint64_t a, std::uint64_t b, int n,
+                               bool carry_in = false) {
+  VOSIM_EXPECTS(n >= 1 && n <= max_word_bits);
+  VOSIM_EXPECTS((a & ~mask_n(n)) == 0 && (b & ~mask_n(n)) == 0);
+  return (a + b + (carry_in ? 1u : 0u)) & mask_n(n + 1);
+}
+
+}  // namespace vosim
+
+#endif  // VOSIM_UTIL_BITS_HPP

@@ -1,0 +1,45 @@
+// Lightweight contract checking (C++ Core Guidelines I.6/I.8 style).
+//
+// VOSIM_EXPECTS checks a precondition, VOSIM_ENSURES a postcondition.
+// Both throw vosim::ContractViolation so that tests can assert on misuse
+// and applications can fail loudly instead of corrupting results.
+#ifndef VOSIM_UTIL_CONTRACTS_HPP
+#define VOSIM_UTIL_CONTRACTS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace vosim {
+
+/// Thrown when a precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace vosim
+
+#define VOSIM_EXPECTS(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::vosim::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                     __LINE__);                          \
+  } while (false)
+
+#define VOSIM_ENSURES(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::vosim::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                     __LINE__);                          \
+  } while (false)
+
+#endif  // VOSIM_UTIL_CONTRACTS_HPP

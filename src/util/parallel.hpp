@@ -1,0 +1,22 @@
+// Minimal fork-join parallel loop used by the characterization sweeps.
+#ifndef VOSIM_UTIL_PARALLEL_HPP
+#define VOSIM_UTIL_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace vosim {
+
+/// Number of hardware threads, at least 1.
+unsigned hardware_parallelism() noexcept;
+
+/// Runs `body(index)` for index in [0, count) across up to `max_threads`
+/// threads (0 = hardware default). Indices are dealt in contiguous chunks;
+/// the caller is responsible for making bodies independent. Exceptions
+/// thrown by bodies are rethrown (first one wins) after all threads join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned max_threads = 0);
+
+}  // namespace vosim
+
+#endif  // VOSIM_UTIL_PARALLEL_HPP

@@ -1,0 +1,252 @@
+// Application-kernel tests: routed arithmetic helpers, image pipeline,
+// FIR filtering and dot/SAD kernels, with exact and degraded adders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/apps/dot.hpp"
+#include "src/apps/fir.hpp"
+#include "src/apps/image.hpp"
+#include "src/model/prob_table.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+namespace {
+
+/// A deliberately degraded model: every chain longer than `window`
+/// truncates to it (deterministic worst case of a VOS table).
+VosAdderModel truncating_model(int width, int window) {
+  const auto n = static_cast<std::size_t>(width) + 1;
+  std::vector<std::vector<std::uint64_t>> counts(
+      n, std::vector<std::uint64_t>(n, 0));
+  for (int l = 0; l <= width; ++l)
+    counts[static_cast<std::size_t>(l)]
+          [static_cast<std::size_t>(std::min(l, window))] = 1;
+  return VosAdderModel(width, {0.3, 0.5, 0.0}, DistanceMetric::kMse,
+                       CarryChainProbTable::from_counts(width, counts));
+}
+
+// ------------------------------------------------------------ arith helpers
+TEST(ApproxArith, ExactAdderFnIsPlus) {
+  const AdderFn add = exact_adder_fn(16);
+  Rng rng(1);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(add(a, b), a + b);
+  }
+}
+
+TEST(ApproxArith, SubViaTwosComplement) {
+  const AdderFn add = exact_adder_fn(16);
+  Rng rng(2);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(approx_sub(add, 16, a, b), (a - b) & mask_n(16));
+  }
+}
+
+TEST(ApproxArith, MulViaShiftAdd) {
+  const AdderFn add = exact_adder_fn(16);
+  Rng rng(3);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    ASSERT_EQ(approx_mul(add, 16, a, b), (a * b) & mask_n(16));
+  }
+}
+
+TEST(ApproxArith, SaturatingAdd) {
+  const AdderFn add = exact_adder_fn(8);
+  EXPECT_EQ(approx_add_sat(add, 8, 250, 10), 255u);
+  EXPECT_EQ(approx_add_sat(add, 8, 100, 10), 110u);
+}
+
+TEST(ApproxArith, ModelAdderFnUsesModel) {
+  const VosAdderModel model = truncating_model(16, 0);  // adds become XOR
+  Rng rng(4);
+  const AdderFn add = model_adder_fn(model, rng);
+  EXPECT_EQ(add(0b1100, 0b1010), 0b1100ull ^ 0b1010ull);
+}
+
+// ------------------------------------------------------------------- image
+TEST(ImageKernels, SceneIsDeterministic) {
+  const GrayImage a = make_synthetic_scene(64, 48, 5);
+  const GrayImage b = make_synthetic_scene(64, 48, 5);
+  EXPECT_EQ(a.pixels, b.pixels);
+  const GrayImage c = make_synthetic_scene(64, 48, 6);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+TEST(ImageKernels, PsnrIdentityIsInfinite) {
+  const GrayImage img = make_synthetic_scene(32, 32, 1);
+  EXPECT_TRUE(std::isinf(psnr_db(img, img)));
+}
+
+TEST(ImageKernels, BlurWithExactAdderMatchesReference) {
+  const GrayImage img = make_synthetic_scene(48, 40, 7);
+  const GrayImage blurred = gaussian_blur3(img, exact_adder_fn(16));
+  // Integer reference straight from the kernel definition.
+  for (int y = 1; y + 1 < img.height; ++y) {
+    for (int x = 1; x + 1 < img.width; ++x) {
+      int acc = 0;
+      const int w[3] = {1, 2, 1};
+      for (int ky = -1; ky <= 1; ++ky)
+        for (int kx = -1; kx <= 1; ++kx)
+          acc += w[ky + 1] * w[kx + 1] * img.at(x + kx, y + ky);
+      ASSERT_EQ(blurred.at(x, y), std::min(255, acc / 16))
+          << "(" << x << "," << y << ")";
+    }
+  }
+  // Borders pass through.
+  EXPECT_EQ(blurred.at(0, 0), img.at(0, 0));
+}
+
+TEST(ImageKernels, BlurSmoothsNoise) {
+  const GrayImage img = make_synthetic_scene(64, 64, 8);
+  const GrayImage blurred = gaussian_blur3(img, exact_adder_fn(16));
+  // Blur must reduce local variance (crude smoothness check).
+  auto variance = [](const GrayImage& im) {
+    double mean = 0.0;
+    for (auto p : im.pixels) mean += p;
+    mean /= static_cast<double>(im.pixels.size());
+    double var = 0.0;
+    for (auto p : im.pixels) var += (p - mean) * (p - mean);
+    return var / static_cast<double>(im.pixels.size());
+  };
+  EXPECT_LT(variance(blurred), variance(img) * 1.01);
+}
+
+TEST(ImageKernels, SobelFindsVerticalEdges) {
+  // A hard vertical step: Sobel magnitude must peak on the edge column.
+  GrayImage img;
+  img.width = 16;
+  img.height = 16;
+  img.pixels.assign(16 * 16, 0);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 8; x < 16; ++x) img.set(x, y, 200);
+  const GrayImage edges = sobel_magnitude(img, exact_adder_fn(16));
+  EXPECT_GE(edges.at(8, 8), 200);  // saturated response on the step
+  EXPECT_EQ(edges.at(3, 8), 0);    // flat region
+  EXPECT_EQ(edges.at(13, 8), 0);
+}
+
+TEST(ImageKernels, QualityDegradesGracefullyWithWindow) {
+  // Tighter carry windows (deeper VOS) must monotonically reduce PSNR,
+  // and mild truncation should still be usable (paper's thesis).
+  const GrayImage img = make_synthetic_scene(64, 64, 9);
+  const GrayImage ref = gaussian_blur3(img, exact_adder_fn(16));
+  double prev_psnr = std::numeric_limits<double>::infinity();
+  for (const int window : {12, 8, 6, 4}) {
+    const VosAdderModel model = truncating_model(16, window);
+    Rng rng(10);
+    const AdderFn add = model_adder_fn(model, rng);
+    const GrayImage out = gaussian_blur3(img, add);
+    const double p = psnr_db(ref, out);
+    EXPECT_LE(p, prev_psnr) << "window " << window;
+    prev_psnr = p;
+  }
+  // A 12-bit window on 16-bit accumulators barely hurts.
+  const VosAdderModel mild = truncating_model(16, 12);
+  Rng rng(11);
+  const GrayImage out = gaussian_blur3(img, model_adder_fn(mild, rng));
+  EXPECT_GT(psnr_db(ref, out), 30.0);
+}
+
+// --------------------------------------------------------------------- fir
+TEST(FirKernels, SignalGeneratorBounds) {
+  const FixedSignal s = make_test_signal(512, 12, 3);
+  EXPECT_EQ(s.samples.size(), 512u);
+  for (const auto v : s.samples) EXPECT_LE(v, mask_n(12));
+}
+
+TEST(FirKernels, ExactFilterMatchesReference) {
+  const FixedSignal sig = make_test_signal(256, 12, 4);
+  const FixedSignal out = fir_lowpass5(sig, exact_adder_fn(16));
+  for (std::size_t i = 0; i < sig.samples.size(); ++i) {
+    auto sample = [&](long k) {
+      const long idx = std::min<long>(
+          std::max<long>(k, 0), static_cast<long>(sig.samples.size()) - 1);
+      return static_cast<long>(sig.samples[static_cast<std::size_t>(idx)]);
+    };
+    const auto si = static_cast<long>(i);
+    const long acc = sample(si - 2) + 4 * sample(si - 1) + 6 * sample(si) +
+                     4 * sample(si + 1) + sample(si + 2);
+    ASSERT_EQ(out.samples[i], static_cast<std::uint64_t>(acc / 16)) << i;
+  }
+}
+
+TEST(FirKernels, FilterAttenuatesNoise) {
+  const FixedSignal sig = make_test_signal(1024, 12, 5);
+  const FixedSignal out = fir_lowpass5(sig, exact_adder_fn(16));
+  // The low-pass must track the signal (SNR well above 10 dB).
+  EXPECT_GT(signal_snr_db(sig, out), 10.0);
+}
+
+TEST(FirKernels, SnrDegradesWithWindow) {
+  const FixedSignal sig = make_test_signal(1024, 12, 6);
+  const FixedSignal ref = fir_lowpass5(sig, exact_adder_fn(16));
+  double prev = std::numeric_limits<double>::infinity();
+  for (const int window : {12, 8, 5, 3}) {
+    const VosAdderModel model = truncating_model(16, window);
+    Rng rng(12);
+    const FixedSignal out = fir_lowpass5(sig, model_adder_fn(model, rng));
+    const double snr = signal_snr_db(ref, out);
+    EXPECT_LE(snr, prev) << "window " << window;
+    prev = snr;
+  }
+}
+
+// --------------------------------------------------------------------- dot
+TEST(DotKernels, ExactDotMatchesInteger) {
+  Rng rng(13);
+  std::vector<std::uint8_t> x(64);
+  std::vector<std::uint8_t> y(64);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& v : y) v = static_cast<std::uint8_t>(rng.below(256));
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    expect += static_cast<std::uint64_t>(x[i]) * y[i];
+  EXPECT_EQ(approx_dot(exact_adder_fn(24), x, y, 24), expect & mask_n(24));
+}
+
+TEST(DotKernels, ExactSadMatchesInteger) {
+  Rng rng(14);
+  std::vector<std::uint8_t> x(64);
+  std::vector<std::uint8_t> y(64);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& v : y) v = static_cast<std::uint8_t>(rng.below(256));
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    expect += static_cast<std::uint64_t>(
+        x[i] > y[i] ? x[i] - y[i] : y[i] - x[i]);
+  EXPECT_EQ(approx_sad(exact_adder_fn(20), x, y, 20), expect & mask_n(20));
+}
+
+TEST(DotKernels, ApproxSadStaysCorrelated) {
+  // Even with a small window, SAD should preserve the ordering between a
+  // matching block and a mismatched one (why block matching tolerates
+  // approximation).
+  Rng rng(15);
+  std::vector<std::uint8_t> block(64);
+  for (auto& v : block) v = static_cast<std::uint8_t>(rng.below(256));
+  std::vector<std::uint8_t> near_match = block;
+  for (std::size_t i = 0; i < 8; ++i)
+    near_match[i * 8] = static_cast<std::uint8_t>(
+        std::min(255, near_match[i * 8] + 3));
+  std::vector<std::uint8_t> mismatch(64);
+  for (auto& v : mismatch) v = static_cast<std::uint8_t>(rng.below(256));
+
+  const VosAdderModel model = truncating_model(20, 8);
+  Rng mrng(16);
+  const AdderFn add = model_adder_fn(model, mrng);
+  const std::uint64_t sad_near = approx_sad(add, block, near_match, 20);
+  const std::uint64_t sad_far = approx_sad(add, block, mismatch, 20);
+  EXPECT_LT(sad_near, sad_far);
+}
+
+}  // namespace
+}  // namespace vosim

@@ -1,0 +1,65 @@
+// Argument-parser tests.
+#include <gtest/gtest.h>
+
+#include "src/util/args.hpp"
+
+namespace vosim {
+namespace {
+
+TEST(Args, PositionalOrderPreserved) {
+  const ArgParser p({"characterize", "rca", "8"});
+  ASSERT_EQ(p.positional().size(), 3u);
+  EXPECT_EQ(p.positional()[0], "characterize");
+  EXPECT_EQ(p.positional()[2], "8");
+}
+
+TEST(Args, KeyEqualsValue) {
+  const ArgParser p({"--patterns=500", "--csv=out.csv"});
+  EXPECT_EQ(p.get_int("patterns", 0), 500);
+  EXPECT_EQ(p.get("csv", ""), "out.csv");
+}
+
+TEST(Args, KeySpaceValue) {
+  const ArgParser p({"--vdd", "0.7", "run"});
+  EXPECT_DOUBLE_EQ(p.get_double("vdd", 0.0), 0.7);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "run");
+}
+
+TEST(Args, BareFlagBeforeOption) {
+  const ArgParser p({"--verbose", "--out=model.txt"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_EQ(p.value("verbose").value(), "");
+  EXPECT_TRUE(p.has("out"));
+}
+
+TEST(Args, MissingOptionFallsBack) {
+  const ArgParser p({"cmd"});
+  EXPECT_FALSE(p.has("patterns"));
+  EXPECT_EQ(p.get_int("patterns", 123), 123);
+  EXPECT_DOUBLE_EQ(p.get_double("vdd", 0.5), 0.5);
+  EXPECT_EQ(p.get("csv", "default.csv"), "default.csv");
+  EXPECT_FALSE(p.value("csv").has_value());
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const ArgParser p({"--patterns=12x", "--vdd=zero"});
+  EXPECT_THROW(p.get_int("patterns", 0), std::invalid_argument);
+  EXPECT_THROW(p.get_double("vdd", 0.0), std::invalid_argument);
+}
+
+TEST(Args, ArgcArgvConstructor) {
+  const char* argv[] = {"vosim_cli", "synth", "rca", "--patterns", "99"};
+  const ArgParser p(5, argv);
+  EXPECT_EQ(p.program(), "vosim_cli");
+  EXPECT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.get_int("patterns", 0), 99);
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  const ArgParser p({"--vbb", "-2"});
+  EXPECT_DOUBLE_EQ(p.get_double("vbb", 0.0), -2.0);
+}
+
+}  // namespace
+}  // namespace vosim

@@ -1,0 +1,203 @@
+// Calibration tests: the DESIGN.md §5 anchors that tie the simulator to
+// the paper's qualitative results (Table II orderings, Fig. 5 shape,
+// FBB rescue, energy-efficiency bands, BKA staircase).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/characterize/characterizer.hpp"
+#include "src/characterize/report.hpp"
+#include "src/characterize/triads.hpp"
+#include "src/sta/synthesis_report.hpp"
+#include "src/tech/library.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+CharacterizeConfig fast_config() {
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 2000;
+  cfg.variation_sigma = 0.0;  // sharp thresholds for anchor checks
+  return cfg;
+}
+
+TEST(Calibration, SynthesisCriticalPathsNearPaper) {
+  // Paper Table II: 0.28 / 0.19 / 0.53 / 0.25 ns. Our library is
+  // synthetic, so allow ±35% on absolutes but require the orderings.
+  const double rca8 =
+      synthesize_report(build_rca(8).netlist, lib()).critical_path_ns;
+  const double bka8 =
+      synthesize_report(build_brent_kung(8).netlist, lib()).critical_path_ns;
+  const double rca16 =
+      synthesize_report(build_rca(16).netlist, lib()).critical_path_ns;
+  const double bka16 =
+      synthesize_report(build_brent_kung(16).netlist, lib())
+          .critical_path_ns;
+  EXPECT_NEAR(rca8, 0.28, 0.28 * 0.35);
+  EXPECT_NEAR(bka8, 0.19, 0.19 * 0.35);
+  EXPECT_NEAR(rca16, 0.53, 0.53 * 0.35);
+  EXPECT_NEAR(bka16, 0.25, 0.25 * 0.35);
+  // Ratio anchors (paper: BKA8/RCA8 = 0.68, BKA16/RCA16 = 0.47).
+  EXPECT_NEAR(bka8 / rca8, 0.68, 0.15);
+  EXPECT_NEAR(bka16 / rca16, 0.47, 0.15);
+}
+
+TEST(Calibration, TableTwoAreaOrderings) {
+  auto area = [&](const Netlist& nl) {
+    return synthesize_report(nl, lib()).area_um2;
+  };
+  const double rca8 = area(build_rca(8).netlist);
+  const double bka8 = area(build_brent_kung(8).netlist);
+  const double rca16 = area(build_rca(16).netlist);
+  const double bka16 = area(build_brent_kung(16).netlist);
+  // Paper: 114.7 < 174.1 < 224.5 < 265.5 (same ordering, synthetic
+  // absolute values).
+  EXPECT_LT(rca8, bka8);
+  EXPECT_LT(bka8, rca16);
+  EXPECT_LT(rca16, bka16);
+}
+
+/// Characterizes the 8-bit RCA at its synthesis-period with Vdd steps
+/// (Fig. 5 setup).
+std::vector<TriadResult> fig5_results() {
+  static const std::vector<TriadResult> results = [] {
+    const AdderNetlist rca = build_rca(8);
+    const double cp =
+        synthesize_report(rca.netlist, lib()).critical_path_ns;
+    std::vector<OperatingTriad> triads;
+    for (const double vdd : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5})
+      triads.push_back({cp, vdd, 0.0});
+    for (const double vdd : {0.6, 0.5, 0.4})
+      triads.push_back({cp, vdd, 2.0});
+    return characterize_adder(rca, lib(), triads, fast_config());
+  }();
+  return results;
+}
+
+TEST(Calibration, Fig5ErrorOnsetBelow0p9V) {
+  const auto res = fig5_results();
+  EXPECT_EQ(res[0].ber, 0.0);  // 1.0 V
+  EXPECT_EQ(res[1].ber, 0.0);  // 0.9 V (signoff margin holds)
+  EXPECT_GT(res[2].ber, 0.0);  // 0.8 V: MSBs start to fail
+  EXPECT_LT(res[2].ber, 0.05);
+}
+
+TEST(Calibration, Fig5MsbFailFirst) {
+  const auto res = fig5_results();
+  const auto& bw08 = res[2].bitwise_ber;  // 0.8 V
+  // Low bits clean, the top sum bits carry the first failures.
+  EXPECT_EQ(bw08[0], 0.0);
+  EXPECT_EQ(bw08[1], 0.0);
+  EXPECT_EQ(bw08[2], 0.0);
+  const double msb_side = bw08[6] + bw08[7] + bw08[8];
+  EXPECT_GT(msb_side, 0.0);
+}
+
+TEST(Calibration, Fig5MidBitsDominateAtDeepVos) {
+  const auto res = fig5_results();
+  const auto& bw05 = res[5].bitwise_ber;  // 0.5 V
+  // Paper: "all the middle order bits reach BER of 50% and above".
+  double mid_max = 0.0;
+  for (int i = 2; i <= 6; ++i)
+    mid_max = std::max(mid_max, bw05[static_cast<std::size_t>(i)]);
+  EXPECT_GE(mid_max, 0.40);
+  // Bit 0 never errs: its path is a single XOR.
+  EXPECT_EQ(bw05[0], 0.0);
+  // Mid bits err at least as much as the carry-out at deep VOS.
+  EXPECT_GE(mid_max, bw05[8]);
+}
+
+TEST(Calibration, Fig5MonotoneDegradationWithVdd) {
+  const auto res = fig5_results();
+  for (int i = 1; i <= 5; ++i)
+    EXPECT_GE(res[static_cast<std::size_t>(i)].ber,
+              res[static_cast<std::size_t>(i - 1)].ber)
+        << "Vdd step " << i;
+}
+
+TEST(Calibration, ForwardBodyBiasRescuesNearThreshold) {
+  const auto res = fig5_results();
+  // 0.6 V and 0.5 V with 2 V FBB: error-free (paper's 0%-BER region).
+  EXPECT_EQ(res[6].ber, 0.0);
+  EXPECT_GT(res[4].ber, 0.0);  // 0.6 V unbiased fails
+  EXPECT_EQ(res[7].ber, 0.0);  // 0.5 V FBB: the headline operating point
+  EXPECT_GT(res[5].ber, 0.10);  // 0.5 V unbiased is deeply broken
+  // 0.4 V FBB: small but nonzero BER (the cheap approximate mode).
+  EXPECT_GT(res[8].ber, 0.0);
+  EXPECT_LT(res[8].ber, 0.2);
+}
+
+TEST(Calibration, EnergyEfficiencyAnchors) {
+  const auto res = fig5_results();
+  // Baseline for Fig. 5-style sweep: the 1.0 V point at the same clock.
+  const double base = res[0].energy_per_op_fj;
+  const double ee_05_fbb = energy_efficiency(res[7].energy_per_op_fj, base);
+  // Paper: 76% saving at 0.5 V FBB with 0% BER (quadratic + body bias).
+  EXPECT_GT(ee_05_fbb, 0.60);
+  EXPECT_LT(ee_05_fbb, 0.85);
+  // 0.4 V FBB buys more at small BER (paper: 87%).
+  const double ee_04_fbb = energy_efficiency(res[8].energy_per_op_fj, base);
+  EXPECT_GT(ee_04_fbb, ee_05_fbb);
+  EXPECT_GT(ee_04_fbb, 0.75);
+}
+
+TEST(Calibration, DeepVosEnergySuperQuadratic) {
+  const auto res = fig5_results();
+  const double base_dyn = res[0].dynamic_energy_fj;
+  const double deep_dyn = res[5].dynamic_energy_fj;  // 0.5 V, broken
+  // Quadratic alone would give 0.25; truncated switching drops below.
+  EXPECT_LT(deep_dyn / base_dyn, 0.25);
+}
+
+TEST(Calibration, BkaShowsStaircaseRcaShowsSpread) {
+  // The parallel-prefix BKA has few distinct path-length classes, so
+  // sweeping Vdd produces clustered (staircase) BER values; the RCA's
+  // serial chain produces a broader spread (paper Fig. 8 discussion).
+  auto distinct_levels = [&](const AdderNetlist& adder) {
+    const double cp =
+        synthesize_report(adder.netlist, lib()).critical_path_ns;
+    std::vector<OperatingTriad> triads;
+    for (double vdd = 1.0; vdd > 0.395; vdd -= 0.05)
+      triads.push_back({cp, vdd, 0.0});
+    const auto res = characterize_adder(adder, lib(), triads, fast_config());
+    // Quantize BER to 2% buckets and count distinct non-zero levels.
+    std::set<int> levels;
+    for (const auto& r : res)
+      if (r.ber > 0.0) levels.insert(static_cast<int>(r.ber * 50.0));
+    return static_cast<int>(levels.size());
+  };
+  const AdderNetlist rca = build_rca(8);
+  const AdderNetlist bka = build_brent_kung(8);
+  EXPECT_LT(distinct_levels(bka), distinct_levels(rca));
+}
+
+TEST(Calibration, SixteenBitZeroBerSavingsSmallerThanEightBit) {
+  // Paper Table IV: 16-bit adders reach lower 0%-BER savings (60% vs
+  // 76%) because their longer paths leave less margin.
+  auto best_zero_ber_ee = [&](const AdderNetlist& adder, AdderArch arch,
+                              int width) {
+    const double cp =
+        synthesize_report(adder.netlist, lib()).critical_path_ns;
+    const auto triads = make_paper_triads(arch, width, cp);
+    CharacterizeConfig cfg = fast_config();
+    cfg.num_patterns = 1200;
+    const auto res = characterize_adder(adder, lib(), triads, cfg);
+    const double base = res[0].energy_per_op_fj;
+    double best = 0.0;
+    for (const auto& r : res)
+      if (r.ber == 0.0)
+        best = std::max(best, energy_efficiency(r.energy_per_op_fj, base));
+    return best;
+  };
+  const AdderNetlist rca8 = build_rca(8);
+  const AdderNetlist rca16 = build_rca(16);
+  const double ee8 = best_zero_ber_ee(rca8, AdderArch::kRipple, 8);
+  const double ee16 = best_zero_ber_ee(rca16, AdderArch::kRipple, 16);
+  EXPECT_GT(ee8, 0.55);
+  EXPECT_GT(ee16, 0.40);
+}
+
+}  // namespace
+}  // namespace vosim

@@ -1,0 +1,322 @@
+// Event-driven timing simulator tests: correctness at relaxed clocks,
+// timing-error generation under VOS, energy accounting, consistency with
+// STA and determinism of the variation model.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/netlist/adders.hpp"
+#include "src/sim/event_sim.hpp"
+#include "src/sim/vos_adder.hpp"
+#include "src/sta/sta.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+/// Relaxed clock: no timing errors possible.
+OperatingTriad relaxed(const Netlist& nl) {
+  const double cp =
+      analyze_timing(nl, lib(), {1, 1.0, 0.0}).critical_path_ps;
+  return {cp * 2.0e-3, 1.0, 0.0};
+}
+
+using ArchWidth = std::tuple<AdderArch, int>;
+class EventSimExactTest : public ::testing::TestWithParam<ArchWidth> {};
+
+TEST_P(EventSimExactTest, RelaxedClockMatchesGoldenStreaming) {
+  const auto [arch, width] = GetParam();
+  const AdderNetlist adder = build_adder(arch, width);
+  VosAdderSim sim(adder, lib(), relaxed(adder.netlist));
+  Rng rng(55);
+  for (int t = 0; t < 1500; ++t) {
+    const std::uint64_t a = rng.bits(width);
+    const std::uint64_t b = rng.bits(width);
+    const VosAddResult r = sim.add(a, b);
+    ASSERT_EQ(r.sampled, a + b) << adder_arch_name(arch) << width;
+    ASSERT_EQ(r.settled, a + b);
+    ASSERT_GT(r.energy_fj, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Archs, EventSimExactTest,
+    ::testing::Values(ArchWidth{AdderArch::kRipple, 8},
+                      ArchWidth{AdderArch::kRipple, 16},
+                      ArchWidth{AdderArch::kBrentKung, 8},
+                      ArchWidth{AdderArch::kBrentKung, 16},
+                      ArchWidth{AdderArch::kKoggeStone, 8},
+                      ArchWidth{AdderArch::kSklansky, 8},
+                      ArchWidth{AdderArch::kCarrySkip, 8},
+                      ArchWidth{AdderArch::kHanCarlson, 8},
+                      ArchWidth{AdderArch::kCarrySelect, 8}),
+    [](const ::testing::TestParamInfo<ArchWidth>& info) {
+      return adder_arch_name(std::get<0>(info.param)) +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EventSim, SettleTimeBoundedByStaCriticalPath) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ps =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps;
+  VosAdderSim sim(rca, lib(), relaxed(rca.netlist));
+  Rng rng(7);
+  double worst = 0.0;
+  for (int t = 0; t < 4000; ++t) {
+    const VosAddResult r = sim.add(rng.bits(8), rng.bits(8));
+    ASSERT_LE(r.settle_time_ps, cp_ps + 1e-6);
+    worst = std::max(worst, r.settle_time_ps);
+  }
+  // The worst observed settle should come close to the critical path
+  // once a long carry chain has been excited.
+  EXPECT_GT(worst, 0.6 * cp_ps);
+}
+
+TEST(EventSim, LongCarryChainExcitesCriticalPath) {
+  const AdderNetlist rca = build_rca(8);
+  VosAdderSim sim(rca, lib(), relaxed(rca.netlist));
+  sim.reset(0, 0);
+  // 0xFF + 0x01: carry ripples through every stage.
+  const VosAddResult r = sim.add(0xFF, 0x01);
+  EXPECT_EQ(r.sampled, 0x100u);
+  const double cp_ps =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps;
+  EXPECT_GT(r.settle_time_ps, 0.7 * cp_ps);
+}
+
+TEST(EventSim, OverclockingCausesErrors) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  VosAdderSim sim(rca, lib(), {0.4 * cp_ns, 1.0, 0.0});
+  Rng rng(11);
+  int errors = 0;
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    const VosAddResult r = sim.add(a, b);
+    ASSERT_EQ(r.settled, a + b);  // settles correctly eventually
+    if (r.sampled != a + b) ++errors;
+  }
+  EXPECT_GT(errors, 100);
+}
+
+TEST(EventSim, ErrorsDecreaseWithSlackerClock) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  auto count_errors = [&](double tclk_ns) {
+    VosAdderSim sim(rca, lib(), {tclk_ns, 1.0, 0.0});
+    Rng rng(13);
+    int errors = 0;
+    for (int t = 0; t < 1500; ++t) {
+      const std::uint64_t a = rng.bits(8);
+      const std::uint64_t b = rng.bits(8);
+      if (sim.add(a, b).sampled != a + b) ++errors;
+    }
+    return errors;
+  };
+  const int tight = count_errors(0.35 * cp_ns);
+  const int mid = count_errors(0.7 * cp_ns);
+  const int loose = count_errors(1.05 * cp_ns);
+  EXPECT_GT(tight, mid);
+  EXPECT_GE(mid, loose);
+  EXPECT_EQ(loose, 0);
+}
+
+TEST(EventSim, VoltageScalingCausesErrorsAtFixedClock) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  auto ber_at = [&](double vdd, double vbb) {
+    VosAdderSim sim(rca, lib(), {1.2 * cp_ns, vdd, vbb});
+    Rng rng(17);
+    int bit_errors = 0;
+    for (int t = 0; t < 1200; ++t) {
+      const std::uint64_t a = rng.bits(8);
+      const std::uint64_t b = rng.bits(8);
+      bit_errors += hamming_distance(sim.add(a, b).sampled, a + b, 9);
+    }
+    return bit_errors;
+  };
+  EXPECT_EQ(ber_at(1.0, 0.0), 0);
+  EXPECT_GT(ber_at(0.6, 0.0), 0);
+  EXPECT_GT(ber_at(0.5, 0.0), ber_at(0.6, 0.0));
+  // Forward body-bias rescues the 0.6 V point (paper's key effect).
+  EXPECT_EQ(ber_at(0.6, 2.0), 0);
+}
+
+TEST(EventSim, DynamicEnergyExactlyQuadraticAtZeroBer) {
+  // With uniformly scaled delays the event sequence is identical, so
+  // window energy scales exactly as Vdd^2 while no events are cut off.
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  const double tclk = 10.0 * cp_ns;  // everything settles far before Tclk
+  VosAdderSim nom(rca, lib(), {tclk, 1.0, 0.0});
+  VosAdderSim low(rca, lib(), {tclk, 0.8, 2.0});  // FBB keeps order same
+  Rng r1(19);
+  Rng r2(19);
+  double e_nom = 0.0;
+  double e_low = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    const std::uint64_t a = r1.bits(8);
+    const std::uint64_t b = r1.bits(8);
+    const std::uint64_t a2 = r2.bits(8);
+    const std::uint64_t b2 = r2.bits(8);
+    ASSERT_EQ(a, a2);
+    e_nom += nom.add(a, b).energy_fj - nom.leakage_energy_fj();
+    e_low += low.add(a2, b2).energy_fj - low.leakage_energy_fj();
+  }
+  EXPECT_NEAR(e_low / e_nom, 0.8 * 0.8, 1e-6);
+}
+
+TEST(EventSim, DeepVosTruncatesSwitchingEnergy) {
+  // Under deep VOS long carry chains never complete inside the clock
+  // window, so dynamic energy per op drops below the quadratic scaling
+  // (DESIGN.md §6.3; the paper's Fig. 8 energy taper).
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  auto dyn_energy = [&](double vdd) {
+    VosAdderSim sim(rca, lib(), {1.2 * cp_ns, vdd, 0.0});
+    Rng rng(23);
+    double e = 0.0;
+    for (int t = 0; t < 800; ++t)
+      e += sim.add(rng.bits(8), rng.bits(8)).energy_fj -
+           sim.leakage_energy_fj();
+    return e / 800.0;
+  };
+  const double e_nom = dyn_energy(1.0);
+  const double e_deep = dyn_energy(0.4);  // far past the error cliff
+  EXPECT_LT(e_deep / e_nom, 0.16);        // stronger than Vdd^2 alone
+}
+
+TEST(EventSim, TotalEnergyCoversWindowEnergy) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  // Deep VOS: the full-ripple stimulus 0 -> (0xFF, 0x01) leaves carry
+  // transitions stranded past the clock edge.
+  TimingSimulator sim(rca.netlist, lib(), {0.4 * cp_ns, 1.0, 0.0});
+  std::vector<std::uint8_t> zeros(rca.netlist.primary_inputs().size(), 0);
+  std::vector<std::uint8_t> ripple(rca.netlist.primary_inputs().size(), 0);
+  for (int i = 0; i < 8; ++i) ripple[static_cast<std::size_t>(i)] = 1;
+  ripple[8] = 1;  // b = 0x01
+  sim.settle(zeros);
+  const StepResult r = sim.step(ripple);
+  EXPECT_GT(r.total_energy_fj, r.window_energy_fj);
+  // At a relaxed clock both accountings agree.
+  TimingSimulator slow(rca.netlist, lib(), {10.0 * cp_ns, 1.0, 0.0});
+  slow.settle(zeros);
+  const StepResult rs = slow.step(ripple);
+  EXPECT_DOUBLE_EQ(rs.total_energy_fj, rs.window_energy_fj);
+}
+
+TEST(EventSim, LeakageEnergyGrowsWithTclkAndFbb) {
+  const AdderNetlist rca = build_rca(8);
+  VosAdderSim fast(rca, lib(), {0.5, 1.0, 0.0});
+  VosAdderSim slow(rca, lib(), {1.0, 1.0, 0.0});
+  EXPECT_NEAR(slow.leakage_energy_fj() / fast.leakage_energy_fj(), 2.0,
+              1e-9);
+  VosAdderSim fbb(rca, lib(), {0.5, 1.0, 2.0});
+  EXPECT_GT(fbb.leakage_energy_fj(), fast.leakage_energy_fj());
+}
+
+TEST(EventSim, VariationIsDeterministicPerSeed) {
+  const AdderNetlist rca = build_rca(8);
+  TimingSimConfig cfg;
+  cfg.variation_sigma = 0.05;
+  cfg.variation_seed = 1234;
+  const OperatingTriad op = relaxed(rca.netlist);
+  TimingSimulator s1(rca.netlist, lib(), op, cfg);
+  TimingSimulator s2(rca.netlist, lib(), op, cfg);
+  for (GateId g = 0; g < rca.netlist.num_gates(); ++g)
+    EXPECT_DOUBLE_EQ(s1.gate_delay(g), s2.gate_delay(g));
+  cfg.variation_seed = 4321;
+  TimingSimulator s3(rca.netlist, lib(), op, cfg);
+  int differing = 0;
+  for (GateId g = 0; g < rca.netlist.num_gates(); ++g)
+    if (s1.gate_delay(g) != s3.gate_delay(g)) ++differing;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(EventSim, ZeroTclkRejected) {
+  const AdderNetlist rca = build_rca(4);
+  EXPECT_THROW(TimingSimulator(rca.netlist, lib(), {0.0, 1.0, 0.0}),
+               ContractViolation);
+}
+
+TEST(EventSim, GlitchSwallowedByInertialDelay) {
+  // A NAND2 fed by complementary-delay paths can glitch; with a relaxed
+  // clock the sampled value must still be the settled one.
+  Netlist nl("glitch");
+  const NetId a = nl.add_input("a");
+  const NetId inv = nl.add_gate(CellKind::kInv, {a});
+  const NetId out = nl.add_gate(CellKind::kAnd2, {a, inv});  // a & !a == 0
+  nl.mark_output(out);
+  nl.finalize();
+  TimingSimulator sim(nl, lib(), {10.0, 1.0, 0.0});
+  std::vector<std::uint8_t> in0{0};
+  std::vector<std::uint8_t> in1{1};
+  sim.settle(in0);
+  const StepResult r = sim.step(in1);
+  EXPECT_EQ(r.settled_outputs, 0u);
+  EXPECT_EQ(r.sampled_outputs, 0u);
+}
+
+TEST(VosAdderSimTest, OperandBoundsChecked) {
+  const AdderNetlist rca = build_rca(8);
+  VosAdderSim sim(rca, lib(), relaxed(rca.netlist));
+  EXPECT_THROW(sim.add(0x100, 0), ContractViolation);
+  EXPECT_THROW(sim.add(0, 0x1FF), ContractViolation);
+}
+
+TEST(VosAdderSimTest, StreamsAreReproducible) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  const OperatingTriad op{0.5 * cp_ns, 1.0, 0.0};  // error-prone
+  VosAdderSim s1(rca, lib(), op);
+  VosAdderSim s2(rca, lib(), op);
+  Rng r1(3);
+  Rng r2(3);
+  for (int t = 0; t < 500; ++t) {
+    const VosAddResult x = s1.add(r1.bits(8), r1.bits(8));
+    const VosAddResult y = s2.add(r2.bits(8), r2.bits(8));
+    ASSERT_EQ(x.sampled, y.sampled);
+    ASSERT_DOUBLE_EQ(x.energy_fj, y.energy_fj);
+  }
+}
+
+TEST(VosAdderSimTest, ErrorsDependOnPreviousState) {
+  // The same operand pair can fail or succeed depending on the previous
+  // state — the signature of timing (not logic) errors.
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
+      1e-3;
+  VosAdderSim sim(rca, lib(), {0.45 * cp_ns, 1.0, 0.0});
+  // From a settled (0xFF, 0x01) state, re-adding the same pair is a
+  // no-op: no transitions, so the sampled output stays correct.
+  sim.reset(0xFF, 0x01);
+  EXPECT_EQ(sim.add(0xFF, 0x01).sampled, 0x100u);
+  // From (0, 0), the full carry ripple cannot finish in 45% of the CP.
+  sim.reset(0x00, 0x00);
+  EXPECT_NE(sim.add(0xFF, 0x01).sampled, 0x100u);
+}
+
+}  // namespace
+}  // namespace vosim

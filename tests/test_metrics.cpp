@@ -1,0 +1,108 @@
+// Error-metric accumulator tests with hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/characterize/metrics.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+namespace {
+
+TEST(Metrics, PerfectRunIsErrorFree) {
+  ErrorAccumulator acc(9);
+  for (std::uint64_t v : {0ull, 1ull, 255ull, 511ull}) acc.add(v, v);
+  EXPECT_EQ(acc.ops(), 4u);
+  EXPECT_EQ(acc.ber(), 0.0);
+  EXPECT_EQ(acc.op_error_rate(), 0.0);
+  EXPECT_EQ(acc.mse(), 0.0);
+  EXPECT_TRUE(std::isinf(acc.snr_db()));
+  EXPECT_EQ(acc.mean_hamming(), 0.0);
+}
+
+TEST(Metrics, HandComputedBer) {
+  ErrorAccumulator acc(8);
+  acc.add(0b00000000, 0b00000011);  // 2 bit errors
+  acc.add(0b11111111, 0b11111111);  // 0
+  acc.add(0b10101010, 0b10101000);  // 1
+  acc.add(0b00001111, 0b11110000);  // 8
+  // BER = 11 / (4 ops * 8 bits)
+  EXPECT_DOUBLE_EQ(acc.ber(), 11.0 / 32.0);
+  EXPECT_DOUBLE_EQ(acc.op_error_rate(), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean_hamming(), 11.0 / 4.0);
+  EXPECT_DOUBLE_EQ(acc.normalized_hamming(), 11.0 / 32.0);
+}
+
+TEST(Metrics, BitwiseErrorProbability) {
+  ErrorAccumulator acc(4);
+  acc.add(0b0000, 0b0001);  // bit0 err
+  acc.add(0b0000, 0b0001);  // bit0 err
+  acc.add(0b0000, 0b1000);  // bit3 err
+  acc.add(0b0000, 0b0000);
+  const auto bw = acc.bitwise_error_probability();
+  ASSERT_EQ(bw.size(), 4u);
+  EXPECT_DOUBLE_EQ(bw[0], 0.5);
+  EXPECT_DOUBLE_EQ(bw[1], 0.0);
+  EXPECT_DOUBLE_EQ(bw[2], 0.0);
+  EXPECT_DOUBLE_EQ(bw[3], 0.25);
+}
+
+TEST(Metrics, MseAndSnr) {
+  ErrorAccumulator acc(16);
+  acc.add(100, 90);   // err -10
+  acc.add(200, 220);  // err +20
+  EXPECT_DOUBLE_EQ(acc.mse(), (100.0 + 400.0) / 2.0);
+  const double snr = 10.0 * std::log10((100.0 * 100 + 200.0 * 200) /
+                                       (100.0 + 400.0));
+  EXPECT_NEAR(acc.snr_db(), snr, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.mean_abs_error(), 15.0);
+  EXPECT_DOUBLE_EQ(acc.max_abs_error(), 20.0);
+}
+
+TEST(Metrics, MergeMatchesSequential) {
+  ErrorAccumulator a(8);
+  ErrorAccumulator b(8);
+  ErrorAccumulator all(8);
+  for (int i = 0; i < 50; ++i) {
+    const auto ref = static_cast<std::uint64_t>(i * 3 % 256);
+    const auto act = static_cast<std::uint64_t>((i * 3 + (i % 4)) % 256);
+    all.add(ref, act);
+    (i % 2 ? a : b).add(ref, act);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.ops(), all.ops());
+  EXPECT_DOUBLE_EQ(a.ber(), all.ber());
+  EXPECT_DOUBLE_EQ(a.mse(), all.mse());
+  EXPECT_DOUBLE_EQ(a.mean_hamming(), all.mean_hamming());
+  EXPECT_DOUBLE_EQ(a.max_abs_error(), all.max_abs_error());
+}
+
+TEST(Metrics, WidthLimitsDifferences) {
+  ErrorAccumulator acc(4);
+  // Bits above the configured width must be ignored.
+  acc.add(0b10000, 0b00000);
+  EXPECT_EQ(acc.ber(), 0.0);
+}
+
+TEST(Metrics, MergeRequiresSameWidth) {
+  ErrorAccumulator a(8);
+  ErrorAccumulator b(9);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+TEST(Metrics, WidthValidated) {
+  EXPECT_THROW(ErrorAccumulator(0), ContractViolation);
+  EXPECT_THROW(ErrorAccumulator(65), ContractViolation);
+  EXPECT_NO_THROW(ErrorAccumulator(64));
+}
+
+TEST(Metrics, EmptyAccumulatorSafe) {
+  ErrorAccumulator acc(8);
+  EXPECT_EQ(acc.ber(), 0.0);
+  EXPECT_EQ(acc.mse(), 0.0);
+  EXPECT_EQ(acc.op_error_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace vosim

@@ -1,0 +1,94 @@
+// Netlist pruning and equivalence-checking tests.
+#include <gtest/gtest.h>
+
+#include "src/netlist/adders.hpp"
+#include "src/netlist/approx_adders.hpp"
+#include "src/netlist/eval.hpp"
+#include "src/netlist/multiplier.hpp"
+#include "src/netlist/optimize.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+namespace {
+
+TEST(Prune, RemovesUnreachableGates) {
+  Netlist nl("dead");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId keep = nl.add_gate(CellKind::kAnd2, {a, b}, "keep");
+  // Dead cone: two gates never reaching an output.
+  const NetId d1 = nl.add_gate(CellKind::kOr2, {a, b}, "d1");
+  nl.add_gate(CellKind::kInv, {d1}, "d2");
+  nl.mark_output(keep);
+  nl.finalize();
+
+  PruneStats stats;
+  const Netlist pruned = prune_dead_gates(nl, &stats);
+  EXPECT_EQ(stats.gates_before, 3u);
+  EXPECT_EQ(stats.gates_after, 1u);
+  EXPECT_EQ(pruned.num_gates(), 1u);
+  EXPECT_EQ(pruned.primary_inputs().size(), 2u);
+  EXPECT_TRUE(probably_equivalent(nl, pruned));
+}
+
+TEST(Prune, ExactNetlistsAreAlreadyClean) {
+  const AdderNetlist rca = build_rca(8);
+  PruneStats stats;
+  const Netlist pruned = prune_dead_gates(rca.netlist, &stats);
+  EXPECT_EQ(stats.gates_before, stats.gates_after);
+  EXPECT_TRUE(probably_equivalent(rca.netlist, pruned));
+}
+
+TEST(Prune, WallaceTopCarryConeIsPruned) {
+  const MultiplierNetlist wal = build_wallace_multiplier(8);
+  PruneStats stats;
+  const Netlist pruned = prune_dead_gates(wal.netlist, &stats);
+  EXPECT_LT(stats.gates_after, stats.gates_before);
+  EXPECT_TRUE(probably_equivalent(wal.netlist, pruned, /*seed=*/7,
+                                  /*random_trials=*/2000));
+}
+
+TEST(Prune, NetMapCoversOutputs) {
+  const AdderNetlist rca = build_rca(4);
+  std::vector<NetId> map;
+  const Netlist pruned = prune_dead_gates(rca.netlist, nullptr, &map);
+  for (const NetId po : rca.netlist.primary_outputs())
+    EXPECT_NE(map.at(po), invalid_net);
+  EXPECT_EQ(pruned.primary_outputs().size(),
+            rca.netlist.primary_outputs().size());
+}
+
+TEST(Equivalence, DetectsDifferentFunctions) {
+  // RCA vs LOA differ on carrying patterns.
+  const AdderNetlist rca = build_rca(8);
+  const AdderNetlist loa = build_lower_or(8, 4);
+  EXPECT_FALSE(probably_equivalent(rca.netlist, loa.netlist));
+}
+
+TEST(Equivalence, ArchitecturesOfSameFunctionAgree) {
+  const AdderNetlist rca = build_rca(8);
+  for (const AdderArch arch :
+       {AdderArch::kBrentKung, AdderArch::kKoggeStone, AdderArch::kSklansky,
+        AdderArch::kHanCarlson}) {
+    const AdderNetlist other = build_adder(arch, 8);
+    EXPECT_TRUE(probably_equivalent(rca.netlist, other.netlist))
+        << adder_arch_name(arch);
+  }
+}
+
+TEST(Equivalence, ArrayAndWallaceMultipliersAgree) {
+  const MultiplierNetlist arr = build_array_multiplier(6);
+  const MultiplierNetlist wal = build_wallace_multiplier(6);
+  EXPECT_TRUE(probably_equivalent(arr.netlist, wal.netlist));
+}
+
+TEST(Equivalence, ArityMismatchRejected) {
+  const AdderNetlist a8 = build_rca(8);
+  const AdderNetlist a4 = build_rca(4);
+  EXPECT_THROW(probably_equivalent(a8.netlist, a4.netlist),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace vosim

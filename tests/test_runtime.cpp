@@ -1,0 +1,268 @@
+// Runtime module tests: double-sampling monitor, Pareto triad ladder,
+// dynamic speculation controller and the adaptive adder integration.
+#include <gtest/gtest.h>
+
+#include "src/netlist/adders.hpp"
+#include "src/runtime/adaptive_adder.hpp"
+#include "src/runtime/error_monitor.hpp"
+#include "src/runtime/speculation.hpp"
+#include "src/runtime/triad_ladder.hpp"
+#include "src/sta/sta.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+namespace {
+
+// ----------------------------------------------------------------- monitor
+TEST(Monitor, ExactWindowBer) {
+  DoubleSamplingMonitor mon(8, 4);
+  mon.observe(0b00000000, 0b00000011);  // 2 flagged bits
+  mon.observe(0b11110000, 0b11110000);  // 0
+  mon.observe(0b00000001, 0b00000000);  // 1
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 3.0 / (3 * 8));
+  EXPECT_DOUBLE_EQ(mon.window_op_error_rate(), 2.0 / 3.0);
+  EXPECT_FALSE(mon.window_full());
+  mon.observe(0, 0);
+  EXPECT_TRUE(mon.window_full());
+}
+
+TEST(Monitor, SlidingWindowEvictsOldest) {
+  DoubleSamplingMonitor mon(8, 2);
+  mon.observe(0, 0xFF);  // 8 errors
+  mon.observe(0, 0);     // 0
+  mon.observe(0, 0);     // 0 -> the 8-error op falls out
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 0.0);
+  EXPECT_EQ(mon.total_flagged_ops(), 1u);
+  EXPECT_DOUBLE_EQ(mon.lifetime_ber(), 8.0 / (3 * 8));
+}
+
+TEST(Monitor, ResetWindowKeepsLifetime) {
+  DoubleSamplingMonitor mon(4, 8);
+  mon.observe(0, 0xF);
+  mon.reset_window();
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 0.0);
+  EXPECT_EQ(mon.total_ops(), 1u);
+  EXPECT_GT(mon.lifetime_ber(), 0.0);
+}
+
+TEST(Monitor, Validation) {
+  EXPECT_THROW(DoubleSamplingMonitor(0, 4), ContractViolation);
+  EXPECT_THROW(DoubleSamplingMonitor(8, 0), ContractViolation);
+}
+
+// ------------------------------------------------------------------ ladder
+std::vector<TriadResult> fake_results() {
+  auto mk = [](double tclk, double vdd, double ber, double e) {
+    TriadResult r;
+    r.triad = {tclk, vdd, 0.0};
+    r.ber = ber;
+    r.energy_per_op_fj = e;
+    return r;
+  };
+  return {
+      mk(0.5, 1.0, 0.00, 100.0), mk(0.4, 0.9, 0.00, 80.0),
+      mk(0.4, 0.8, 0.02, 60.0),  mk(0.4, 0.7, 0.01, 70.0),
+      mk(0.3, 0.6, 0.10, 40.0),  mk(0.3, 0.5, 0.30, 30.0),
+      mk(0.3, 0.9, 0.40, 90.0),  // dominated: expensive and bad
+  };
+}
+
+TEST(Ladder, ParetoFrontierStructure) {
+  const auto ladder = build_triad_ladder(fake_results());
+  ASSERT_GE(ladder.size(), 2u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    // Energy strictly decreasing, BER strictly increasing along rungs.
+    EXPECT_LT(ladder[i].energy_per_op_fj, ladder[i - 1].energy_per_op_fj);
+    EXPECT_GT(ladder[i].expected_ber, ladder[i - 1].expected_ber);
+  }
+  // The dominated 90fJ/0.40 triad must not appear.
+  for (const TriadRung& r : ladder)
+    EXPECT_FALSE(r.energy_per_op_fj == 90.0 && r.expected_ber == 0.40);
+  // The cheapest error-free triad must be the safest rung.
+  EXPECT_DOUBLE_EQ(ladder.front().expected_ber, 0.0);
+  EXPECT_DOUBLE_EQ(ladder.front().energy_per_op_fj, 80.0);
+}
+
+TEST(Ladder, EmptyRejected) {
+  EXPECT_THROW(build_triad_ladder({}), ContractViolation);
+}
+
+// -------------------------------------------------------------- controller
+std::vector<TriadRung> synthetic_ladder() {
+  return {
+      {{0.5, 1.0, 0.0}, 0.000, 100.0},
+      {{0.4, 0.8, 0.0}, 0.010, 60.0},
+      {{0.3, 0.6, 0.0}, 0.040, 40.0},
+      {{0.3, 0.5, 0.0}, 0.200, 25.0},
+  };
+}
+
+/// Simulates running the controller where each rung has its true BER.
+std::size_t run_controller(DynamicSpeculationController& ctl,
+                           std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    // Draw per-bit flags according to the current rung's BER.
+    const double ber = ctl.current().expected_ber;
+    std::uint64_t settled = 0;
+    std::uint64_t sampled = 0;
+    for (int bit = 0; bit < 9; ++bit)
+      if (rng.flip(ber)) sampled |= (1ULL << bit);
+    ctl.observe(sampled, settled);
+  }
+  return ctl.rung_index();
+}
+
+TEST(Controller, ConvergesToCheapestFeasibleRung) {
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.05;
+  cfg.window_ops = 256;
+  cfg.min_dwell_ops = 256;
+  DynamicSpeculationController ctl(synthetic_ladder(), 9, cfg);
+  const std::size_t rung = run_controller(ctl, 42, 20000);
+  // Rung 2 (BER 0.04) fits the 5% margin; rung 3 (0.20) does not.
+  EXPECT_EQ(rung, 2u);
+}
+
+TEST(Controller, TightMarginStaysSafe) {
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.004;
+  cfg.window_ops = 256;
+  cfg.min_dwell_ops = 256;
+  DynamicSpeculationController ctl(synthetic_ladder(), 9, cfg);
+  const std::size_t rung = run_controller(ctl, 43, 20000);
+  EXPECT_EQ(rung, 0u);  // only the error-free rung fits
+}
+
+TEST(Controller, LooseMarginGoesAggressive) {
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.5;
+  cfg.window_ops = 128;
+  cfg.min_dwell_ops = 128;
+  DynamicSpeculationController ctl(synthetic_ladder(), 9, cfg);
+  const std::size_t rung = run_controller(ctl, 44, 20000);
+  EXPECT_EQ(rung, synthetic_ladder().size() - 1);
+}
+
+TEST(Controller, HysteresisLimitsFlapping) {
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.05;
+  cfg.window_ops = 256;
+  cfg.min_dwell_ops = 512;
+  DynamicSpeculationController ctl(synthetic_ladder(), 9, cfg);
+  run_controller(ctl, 45, 30000);
+  // Walking down the ladder takes 2 switches; allow a few corrections
+  // but far fewer than constant oscillation.
+  EXPECT_LE(ctl.switches(), 8u);
+}
+
+TEST(Controller, BacksOffWhenErrorsSpike) {
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.05;
+  cfg.window_ops = 128;
+  cfg.min_dwell_ops = 128;
+  // Start the ladder at an infeasible rung by giving only bad rungs
+  // below the first.
+  std::vector<TriadRung> ladder{
+      {{0.5, 1.0, 0.0}, 0.00, 100.0},
+      {{0.3, 0.5, 0.0}, 0.30, 25.0},
+  };
+  DynamicSpeculationController ctl(ladder, 9, cfg);
+  // The controller never steps down because rung 1's prior exceeds the
+  // margin.
+  const std::size_t rung = run_controller(ctl, 46, 5000);
+  EXPECT_EQ(rung, 0u);
+  // Force it down by pretending the prior was fine.
+  std::vector<TriadRung> lying{
+      {{0.5, 1.0, 0.0}, 0.00, 100.0},
+      {{0.3, 0.5, 0.0}, 0.01, 25.0},  // prior says fine; reality: 30%
+  };
+  DynamicSpeculationController ctl2(lying, 9, cfg);
+  Rng rng(47);
+  std::size_t deepest = 0;
+  bool recovered = false;
+  for (int i = 0; i < 20000; ++i) {
+    const double real_ber = ctl2.rung_index() == 0 ? 0.0 : 0.30;
+    std::uint64_t sampled = 0;
+    for (int bit = 0; bit < 9; ++bit)
+      if (rng.flip(real_ber)) sampled |= (1ULL << bit);
+    ctl2.observe(sampled, 0);
+    deepest = std::max(deepest, ctl2.rung_index());
+    if (deepest > 0 && ctl2.rung_index() == 0) recovered = true;
+  }
+  EXPECT_EQ(deepest, 1u);   // it tried the cheap rung
+  EXPECT_TRUE(recovered);   // and backed off when reality disagreed
+}
+
+TEST(Controller, Validation) {
+  EXPECT_THROW(DynamicSpeculationController({}, 9), ContractViolation);
+  SpeculationConfig bad;
+  bad.ber_margin = 2.0;
+  EXPECT_THROW(DynamicSpeculationController(synthetic_ladder(), 9, bad),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------- adaptive adder
+TEST(AdaptiveAdderTest, WalksDownLadderAndSavesEnergy) {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib, {1, 1.0, 0.0}).critical_path_ps * 1e-3;
+
+  std::vector<TriadRung> ladder{
+      {{cp_ns * 1.6, 1.0, 0.0}, 0.0, 0.0},
+      {{cp_ns * 1.6, 0.8, 2.0}, 0.0, 0.0},  // FBB: still error-free
+  };
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.05;
+  cfg.window_ops = 64;
+  cfg.min_dwell_ops = 64;
+  AdaptiveVosAdder adder(rca, lib, ladder, cfg);
+
+  Rng rng(48);
+  std::size_t final_rung = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const AdaptiveAddResult r = adder.add(rng.bits(8), rng.bits(8));
+    final_rung = r.rung;
+  }
+  EXPECT_EQ(final_rung, 1u);  // moved to the cheaper error-free rung
+  EXPECT_GT(adder.controller().switches(), 0u);
+  EXPECT_GT(adder.mean_energy_fj(), 0.0);
+}
+
+TEST(AdaptiveAdderTest, RespectsMarginUnderRealErrors) {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const AdderNetlist rca = build_rca(8);
+  const double cp_ns =
+      analyze_timing(rca.netlist, lib, {1, 1.0, 0.0}).critical_path_ps * 1e-3;
+
+  // Second rung is deep VOS with massive BER; prior pretends it's okay,
+  // the monitor must bounce back up.
+  std::vector<TriadRung> ladder{
+      {{cp_ns * 1.6, 1.0, 0.0}, 0.0, 0.0},
+      {{cp_ns * 1.6, 0.5, 0.0}, 0.01, 0.0},
+  };
+  SpeculationConfig cfg;
+  cfg.ber_margin = 0.02;
+  cfg.window_ops = 64;
+  cfg.min_dwell_ops = 64;
+  AdaptiveVosAdder adder(rca, lib, ladder, cfg);
+  Rng rng(49);
+  std::size_t deepest = 0;
+  int ops_on_risky_rung = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const AdaptiveAddResult r = adder.add(rng.bits(8), rng.bits(8));
+    deepest = std::max(deepest, r.rung);
+    if (r.rung == 1) ++ops_on_risky_rung;
+  }
+  EXPECT_EQ(deepest, 1u);  // it probed the cheap rung...
+  // ...but the monitor kept pulling it back: the majority of operations
+  // run on the safe rung despite the optimistic prior.
+  EXPECT_LT(ops_on_risky_rung, 1500);
+  EXPECT_GT(adder.controller().switches(), 1u);
+}
+
+}  // namespace
+}  // namespace vosim

@@ -1,0 +1,85 @@
+// Slack / arrival-distribution analysis tests.
+#include <gtest/gtest.h>
+
+#include "src/netlist/adders.hpp"
+#include "src/sta/slack.hpp"
+#include "src/sta/sta.hpp"
+#include "src/sta/synthesis_report.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+TEST(Slack, PositiveAtRelaxedClockNegativeWhenOverclocked) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp =
+      synthesize_report(rca.netlist, lib()).tt_critical_path_ns;
+  for (const OutputSlack& s :
+       output_slacks(rca.netlist, lib(), {cp * 2.0, 1.0, 0.0}))
+    EXPECT_GT(s.slack_ps, 0.0);
+  EXPECT_EQ(failing_outputs(rca.netlist, lib(), {cp * 2.0, 1.0, 0.0}), 0);
+  EXPECT_GT(failing_outputs(rca.netlist, lib(), {cp * 0.5, 1.0, 0.0}), 3);
+}
+
+TEST(Slack, VoltageScalingErodesSlack) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp =
+      synthesize_report(rca.netlist, lib()).critical_path_ns;
+  const int at_nominal = failing_outputs(rca.netlist, lib(), {cp, 1.0, 0.0});
+  const int at_low = failing_outputs(rca.netlist, lib(), {cp, 0.6, 0.0});
+  EXPECT_EQ(at_nominal, 0);
+  EXPECT_GT(at_low, at_nominal);
+  // FBB restores the margin.
+  EXPECT_EQ(failing_outputs(rca.netlist, lib(), {cp, 0.6, 2.0}), 0);
+}
+
+TEST(Slack, FailureOrderFollowsArrivalOrder) {
+  // As the clock tightens, outputs fail from the latest-arriving first.
+  const AdderNetlist rca = build_rca(8);
+  const auto slacks =
+      output_slacks(rca.netlist, lib(), {0.1, 1.0, 0.0});
+  // MSB-side sum arrives later than LSB-side.
+  EXPECT_LT(slacks[7].slack_ps, slacks[1].slack_ps);
+}
+
+TEST(Slack, ArrivalHistogramNormalized) {
+  const AdderNetlist rca = build_rca(16);
+  const Histogram h =
+      arrival_histogram(rca.netlist, lib(), {1.0, 1.0, 0.0}, 8);
+  EXPECT_EQ(h.total(), 17u);  // one entry per output
+  // The latest bucket holds the critical output.
+  EXPECT_GE(h.count(7), 1u);
+}
+
+TEST(Slack, BrentKungHasFewerArrivalClassesThanRca) {
+  // The structural root of the staircase-vs-spread BER shapes.
+  const AdderNetlist rca = build_rca(16);
+  const AdderNetlist bka = build_brent_kung(16);
+  const OperatingTriad op{1.0, 1.0, 0.0};
+  // Class tolerance scaled to each design's own critical path (3%), so
+  // load-induced ps-level jitter does not mask the structural classes.
+  auto classes_of = [&](const Netlist& nl) {
+    const double cp =
+        analyze_timing(nl, lib(), op).critical_path_ps;
+    return distinct_arrival_classes(nl, lib(), op, 0.03 * cp);
+  };
+  const int rca_classes = classes_of(rca.netlist);
+  const int bka_classes = classes_of(bka.netlist);
+  EXPECT_LT(bka_classes, rca_classes);
+  EXPECT_GE(bka_classes, 2);
+}
+
+TEST(Slack, Validation) {
+  const AdderNetlist rca = build_rca(4);
+  EXPECT_THROW(output_slacks(rca.netlist, lib(), {0.0, 1.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(
+      distinct_arrival_classes(rca.netlist, lib(), {1, 1.0, 0.0}, -1.0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace vosim

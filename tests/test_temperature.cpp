@@ -1,0 +1,92 @@
+// Temperature-corner tests for the transistor model: mobility slowdown
+// at high temperature in strong inversion, temperature inversion near
+// threshold, leakage growth, and library-level corner factories.
+#include <gtest/gtest.h>
+
+#include "src/netlist/adders.hpp"
+#include "src/sta/sta.hpp"
+#include "src/tech/library.hpp"
+#include "src/tech/transistor_model.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+namespace {
+
+const TransistorModel& room() {
+  static const TransistorModel m{};
+  return m;
+}
+
+TEST(Temperature, ReferenceCornerUnchanged) {
+  const TransistorModel hot = room().at_temperature(25.0);
+  EXPECT_NEAR(hot.delay_scale(1.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(hot.leakage_scale(1.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Temperature, StrongInversionSlowsWhenHot) {
+  // At nominal supply the mobility loss dominates: hot is slower.
+  const TransistorModel hot = room().at_temperature(125.0);
+  EXPECT_GT(hot.delay_scale(1.0, 0.0), room().delay_scale(1.0, 0.0));
+  EXPECT_GT(hot.delay_scale(0.9, 0.0), room().delay_scale(0.9, 0.0));
+}
+
+TEST(Temperature, TemperatureInversionNearThreshold) {
+  // Near threshold the Vt drop wins: hot is *faster* — the classic
+  // low-voltage temperature-inversion effect.
+  const TransistorModel hot = room().at_temperature(125.0);
+  EXPECT_LT(hot.delay_scale(0.45, 0.0), room().delay_scale(0.45, 0.0));
+}
+
+TEST(Temperature, ColdCornerOpposite) {
+  const TransistorModel cold = room().at_temperature(-40.0);
+  // Cold: faster at nominal (mobility), slower near threshold (higher Vt).
+  EXPECT_LT(cold.delay_scale(1.0, 0.0), room().delay_scale(1.0, 0.0));
+  EXPECT_GT(cold.delay_scale(0.45, 0.0), room().delay_scale(0.45, 0.0));
+}
+
+TEST(Temperature, LeakageGrowsStronglyWithHeat) {
+  const TransistorModel hot = room().at_temperature(125.0);
+  EXPECT_GT(hot.leakage_scale(1.0, 0.0),
+            3.0 * room().leakage_scale(1.0, 0.0));
+  const TransistorModel cold = room().at_temperature(-40.0);
+  EXPECT_LT(cold.leakage_scale(1.0, 0.0), room().leakage_scale(1.0, 0.0));
+}
+
+TEST(Temperature, VtDropsWithHeat) {
+  const TransistorModel hot = room().at_temperature(125.0);
+  EXPECT_LT(hot.vt_eff(0.0), room().vt_eff(0.0));
+  EXPECT_NEAR(room().vt_eff(0.0) - hot.vt_eff(0.0), 0.001 * 100.0, 1e-9);
+}
+
+TEST(Temperature, LibraryCornerFactory) {
+  const CellLibrary hot_lib = make_fdsoi28_lvt_at(125.0);
+  EXPECT_NE(hot_lib.name().find("125"), std::string::npos);
+  // Same cells, different transistor corner.
+  EXPECT_EQ(hot_lib.cell(CellKind::kInv).area_um2,
+            make_fdsoi28_lvt().cell(CellKind::kInv).area_um2);
+
+  const AdderNetlist rca = build_rca(8);
+  const double cp_room =
+      analyze_timing(rca.netlist, make_fdsoi28_lvt(), {1, 1.0, 0.0})
+          .critical_path_ps;
+  const double cp_hot =
+      analyze_timing(rca.netlist, hot_lib, {1, 1.0, 0.0}).critical_path_ps;
+  EXPECT_GT(cp_hot, cp_room);  // mobility-dominated at 1 V
+
+  // Near threshold the same netlist is faster on the hot die.
+  const double nt_room =
+      analyze_timing(rca.netlist, make_fdsoi28_lvt(), {1, 0.45, 0.0})
+          .critical_path_ps;
+  const double nt_hot =
+      analyze_timing(rca.netlist, hot_lib, {1, 0.45, 0.0}).critical_path_ps;
+  EXPECT_LT(nt_hot, nt_room);
+}
+
+TEST(Temperature, AbsoluteZeroGuard) {
+  TransistorParams p;
+  p.temp_c = -300.0;
+  EXPECT_THROW(TransistorModel{p}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace vosim

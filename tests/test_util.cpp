@@ -1,0 +1,293 @@
+// Unit tests for src/util: RNG, bit helpers, statistics, tables,
+// parallel_for and contract macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "src/util/bits.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+
+namespace vosim {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(VOSIM_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(VOSIM_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, MessageNamesLocation) {
+  try {
+    VOSIM_EXPECTS(false);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------- rng
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(r.below(13), 13u);
+  EXPECT_THROW(r.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_THROW(r.in_range(3, 2), ContractViolation);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, BitsMasksWidth) {
+  Rng r(9);
+  for (int w : {0, 1, 8, 16, 33, 64}) {
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t v = r.bits(w);
+      if (w < 64) {
+        EXPECT_EQ(v >> w, 0u) << "width " << w;
+      }
+    }
+  }
+  EXPECT_THROW(r.bits(65), ContractViolation);
+  EXPECT_THROW(r.bits(-1), ContractViolation);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child = parent.split();
+  Rng parent2(42);
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child(), child2());
+  // Child differs from a fresh parent stream.
+  Rng fresh(42);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child() == fresh()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, FlipProbability) {
+  Rng r(21);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (r.flip(0.3)) ++heads;
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(Rng(1).flip(0.0));
+}
+
+// --------------------------------------------------------------------- bits
+TEST(Bits, MaskN) {
+  EXPECT_EQ(mask_n(0), 0u);
+  EXPECT_EQ(mask_n(1), 1u);
+  EXPECT_EQ(mask_n(8), 0xFFu);
+  EXPECT_EQ(mask_n(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(mask_n(64), ~0ull);
+}
+
+TEST(Bits, BitOfAndWithBit) {
+  EXPECT_EQ(bit_of(0b1010, 1), 1);
+  EXPECT_EQ(bit_of(0b1010, 0), 0);
+  EXPECT_EQ(with_bit(0, 3, true), 0b1000u);
+  EXPECT_EQ(with_bit(0b1111, 2, false), 0b1011u);
+}
+
+TEST(Bits, HammingDistanceRespectsWidth) {
+  EXPECT_EQ(hamming_distance(0xFF, 0x00, 8), 8);
+  EXPECT_EQ(hamming_distance(0xFF, 0x00, 4), 4);
+  EXPECT_EQ(hamming_distance(0b101, 0b100, 3), 1);
+  EXPECT_EQ(hamming_distance(~0ull, 0, 64), 64);
+}
+
+TEST(Bits, LongestOneRun) {
+  EXPECT_EQ(longest_one_run(0, 8), 0);
+  EXPECT_EQ(longest_one_run(0b1, 8), 1);
+  EXPECT_EQ(longest_one_run(0b0111'0110, 8), 3);
+  EXPECT_EQ(longest_one_run(0xFF, 8), 8);
+  EXPECT_EQ(longest_one_run(0xFF, 4), 4);  // width-limited
+}
+
+TEST(Bits, ExactAddMatchesArithmetic) {
+  EXPECT_EQ(exact_add(200, 100, 8), 300u);       // carry-out present
+  EXPECT_EQ(exact_add(0xFF, 0xFF, 8), 0x1FEu);
+  EXPECT_EQ(exact_add(5, 6, 8, true), 12u);
+  EXPECT_THROW(exact_add(0x100, 0, 8), ContractViolation);
+  EXPECT_THROW(exact_add(0, 0, 0), ContractViolation);
+}
+
+// -------------------------------------------------------------------- stats
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  Rng r(33);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform() * 10.0;
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+}
+
+TEST(HistogramTest, ClampsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bucket 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(42.0);   // clamps into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.center(0), 1.0);
+}
+
+// -------------------------------------------------------------------- table
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(2.0, 2), "2.0");
+  EXPECT_EQ(format_double(0.126, 2), "0.13");  // rounded
+  EXPECT_EQ(format_double(0.1, 3), "0.1");     // trailing zeros trimmed
+}
+
+TEST(Table, PrintAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripShape) {
+  TextTable t({"a", "b"});
+  t.add_row_values({1.25, 2.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.25,2.0\n");
+}
+
+TEST(Table, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+// ----------------------------------------------------------------- parallel
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, HardwareParallelismNonzero) {
+  EXPECT_GE(hardware_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace vosim

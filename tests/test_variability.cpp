@@ -1,0 +1,103 @@
+// Monte-Carlo variability study tests.
+#include <gtest/gtest.h>
+
+#include "src/characterize/variability.hpp"
+#include "src/sta/synthesis_report.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+VariabilityConfig small_config() {
+  VariabilityConfig cfg;
+  cfg.num_dies = 9;
+  cfg.num_patterns = 800;
+  return cfg;
+}
+
+TEST(Variability, SafeTriadYieldsAllCleanDies) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
+  const auto res = variability_study(rca, lib(), {{cp * 1.5, 1.0, 0.0}},
+                                     small_config());
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].dies, 9);
+  EXPECT_DOUBLE_EQ(res[0].error_free_die_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(res[0].ber.max, 0.0);
+  EXPECT_GT(res[0].energy_fj.mean, 0.0);
+}
+
+TEST(Variability, MarginalTriadSplitsTheDies) {
+  // Pick a point right at the pass/fail edge: with 5% per-gate sigma
+  // some dies close timing and some do not.
+  const AdderNetlist rca = build_rca(8);
+  const double cp_tt = synthesize_report(rca.netlist, lib())
+                           .tt_critical_path_ns;
+  VariabilityConfig cfg = small_config();
+  cfg.num_dies = 15;
+  cfg.variation_sigma = 0.08;
+  const auto res = variability_study(
+      rca, lib(), {{cp_tt * 1.02, 1.0, 0.0}}, cfg);
+  const VariabilityResult& r = res[0];
+  EXPECT_GT(r.error_free_die_fraction, 0.0);
+  EXPECT_LT(r.error_free_die_fraction, 1.0);
+  EXPECT_GT(r.ber.max, r.ber.min);
+}
+
+TEST(Variability, DeepVosFailsEveryDie) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
+  const auto res =
+      variability_study(rca, lib(), {{cp, 0.5, 0.0}}, small_config());
+  EXPECT_DOUBLE_EQ(res[0].error_free_die_fraction, 0.0);
+  EXPECT_GT(res[0].ber.median, 0.2);
+}
+
+TEST(Variability, SpreadQuantilesOrdered) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
+  VariabilityConfig cfg = small_config();
+  cfg.variation_sigma = 0.10;
+  const auto res =
+      variability_study(rca, lib(), {{cp, 0.7, 0.0}}, cfg);
+  const DieSpread& s = res[0].ber;
+  EXPECT_LE(s.min, s.q25);
+  EXPECT_LE(s.q25, s.median);
+  EXPECT_LE(s.median, s.q75);
+  EXPECT_LE(s.q75, s.max);
+  EXPECT_GE(s.stddev, 0.0);
+}
+
+TEST(Variability, DeterministicAcrossThreadCounts) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
+  VariabilityConfig cfg = small_config();
+  cfg.num_dies = 6;
+  const std::vector<OperatingTriad> triads{{cp, 0.7, 0.0},
+                                           {cp, 0.8, 0.0}};
+  VariabilityConfig serial = cfg;
+  serial.threads = 1;
+  const auto a = variability_study(rca, lib(), triads, serial);
+  const auto b = variability_study(rca, lib(), triads, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].ber.mean, b[i].ber.mean);
+    EXPECT_DOUBLE_EQ(a[i].energy_fj.mean, b[i].energy_fj.mean);
+  }
+}
+
+TEST(Variability, Validation) {
+  const AdderNetlist rca = build_rca(4);
+  VariabilityConfig bad;
+  bad.num_dies = 0;
+  EXPECT_THROW(variability_study(rca, lib(), {{1.0, 1.0, 0.0}}, bad),
+               ContractViolation);
+  EXPECT_THROW(variability_study(rca, lib(), {}, VariabilityConfig{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace vosim

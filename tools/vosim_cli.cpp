@@ -1,0 +1,196 @@
+// vosim command-line tool: synthesize, characterize, train models and
+// export netlists without writing C++.
+//
+//   vosim_cli synth <arch> <width>
+//   vosim_cli characterize <arch> <width> [--patterns N] [--csv out.csv]
+//   vosim_cli train <arch> <width> --tclk T --vdd V [--vbb B]
+//                   [--metric mse|hamming|whamming] [--out model.txt]
+//   vosim_cli verilog <arch> <width> [--prune]
+//   vosim_cli triads <arch> <width>
+//   vosim_cli variability <arch> <width> [--dies N] [--sigma S]
+//                         [--tclk NS --vdd V --vbb V]
+//
+// <arch> ∈ {rca, bka, ksa, skl, csel, cska, hca}; widths 2..63 (power of
+// two for bka/skl/hca).
+#include <fstream>
+#include <iostream>
+
+#include "src/util/args.hpp"
+#include "src/vosim.hpp"
+
+namespace {
+
+using namespace vosim;
+
+int usage(const std::string& program) {
+  std::cerr
+      << "usage: " << program << " <command> <arch> <width> [options]\n"
+      << "commands:\n"
+      << "  synth         area / power / critical-path report\n"
+      << "  variability   Monte-Carlo die-to-die spread at one triad\n"
+      << "  characterize  43-triad VOS sweep (BER + energy/op)\n"
+      << "  train         fit a statistical model at one triad\n"
+      << "  verilog       dump the structural netlist\n"
+      << "  triads        list the Table-III operating triads\n"
+      << "arch: rca | bka | ksa | skl | csel\n"
+      << "options: --patterns N --csv FILE --tclk NS --vdd V --vbb V\n"
+      << "         --metric mse|hamming|whamming --out FILE\n";
+  return 2;
+}
+
+AdderArch parse_arch(const std::string& name) {
+  if (name == "rca") return AdderArch::kRipple;
+  if (name == "bka") return AdderArch::kBrentKung;
+  if (name == "ksa") return AdderArch::kKoggeStone;
+  if (name == "skl") return AdderArch::kSklansky;
+  if (name == "csel") return AdderArch::kCarrySelect;
+  if (name == "cska") return AdderArch::kCarrySkip;
+  if (name == "hca") return AdderArch::kHanCarlson;
+  throw std::invalid_argument("unknown architecture: " + name);
+}
+
+DistanceMetric parse_metric(const std::string& name) {
+  if (name == "mse") return DistanceMetric::kMse;
+  if (name == "hamming") return DistanceMetric::kHamming;
+  if (name == "whamming") return DistanceMetric::kWeightedHamming;
+  throw std::invalid_argument("unknown metric: " + name);
+}
+
+int run(const ArgParser& args) {
+  if (args.positional().size() < 3) return usage(args.program());
+  const std::string command = args.positional()[0];
+  const AdderArch arch = parse_arch(args.positional()[1]);
+  const int width = static_cast<int>(std::stol(args.positional()[2]));
+
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const AdderNetlist adder = build_adder(arch, width);
+  const SynthesisReport rep = synthesize_report(adder.netlist, lib);
+
+  if (command == "synth") {
+    TextTable t({"design", "gates", "flops", "area (um2)", "power (uW)",
+                 "CP (ns)", "TT CP (ns)"});
+    t.add_row({rep.design, std::to_string(rep.num_gates),
+               std::to_string(rep.num_flops),
+               format_double(rep.area_um2, 1),
+               format_double(rep.total_power_uw, 1),
+               format_double(rep.critical_path_ns, 3),
+               format_double(rep.tt_critical_path_ns, 3)});
+    t.print(std::cout);
+    return 0;
+  }
+
+  if (command == "verilog") {
+    if (args.has("prune")) {
+      PruneStats stats;
+      const Netlist pruned = prune_dead_gates(adder.netlist, &stats);
+      std::cerr << "pruned " << (stats.gates_before - stats.gates_after)
+                << " dead gates\n";
+      write_verilog(pruned, std::cout);
+    } else {
+      write_verilog(adder.netlist, std::cout);
+    }
+    return 0;
+  }
+
+  if (command == "variability") {
+    VariabilityConfig vcfg;
+    vcfg.num_dies = static_cast<int>(args.get_int("dies", 25));
+    vcfg.variation_sigma = args.get_double("sigma", 0.05);
+    vcfg.num_patterns = static_cast<std::size_t>(
+        args.get_int("patterns", 3000));
+    const OperatingTriad triad{
+        args.get_double("tclk", rep.critical_path_ns),
+        args.get_double("vdd", 0.5), args.get_double("vbb", 2.0)};
+    const auto study = variability_study(adder, lib, {triad}, vcfg);
+    const VariabilityResult& r = study[0];
+    TextTable t({"triad", "dies", "clean [%]", "BER med [%]",
+                 "BER max [%]", "E/op med [fJ]"});
+    t.add_row({triad_label(r.triad), std::to_string(r.dies),
+               format_double(r.error_free_die_fraction * 100.0, 0),
+               format_double(r.ber.median * 100.0, 2),
+               format_double(r.ber.max * 100.0, 2),
+               format_double(r.energy_fj.median, 2)});
+    t.print(std::cout);
+    return 0;
+  }
+
+  const auto triads =
+      make_paper_triads(arch, width, rep.critical_path_ns);
+
+  if (command == "triads") {
+    table3_rows(rep.design, triads).print(std::cout);
+    TextTable t({"#", "triad"});
+    for (std::size_t i = 0; i < triads.size(); ++i)
+      t.add_row({std::to_string(i), triad_label(triads[i])});
+    t.print(std::cout);
+    return 0;
+  }
+
+  if (command == "characterize") {
+    CharacterizeConfig cfg;
+    cfg.num_patterns = static_cast<std::size_t>(
+        args.get_int("patterns", 20000));
+    const auto results = characterize_adder(adder, lib, triads, cfg);
+    const double baseline = results[0].energy_per_op_fj;
+    const TextTable t = fig8_table(sort_for_fig8(results), baseline);
+    t.print(std::cout);
+    if (args.has("csv"))
+      std::cout << "CSV: " << write_csv(t, args.get("csv", "sweep.csv"))
+                << "\n";
+    return 0;
+  }
+
+  if (command == "train") {
+    const OperatingTriad triad{
+        args.get_double("tclk", rep.critical_path_ns),
+        args.get_double("vdd", 0.7), args.get_double("vbb", 0.0)};
+    TrainerConfig cfg;
+    cfg.num_patterns = static_cast<std::size_t>(
+        args.get_int("patterns", 20000));
+    cfg.metric = parse_metric(args.get("metric", "mse"));
+    VosAdderSim sim(adder, lib, triad);
+    const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
+      return sim.add(a, b).sampled;
+    };
+    const VosAdderModel model =
+        train_vos_model(width, triad, oracle, cfg);
+    std::cout << "trained model at " << triad_label(triad) << " ("
+              << distance_metric_name(cfg.metric) << ")\n";
+    model.table().to_table(3).print(std::cout);
+    // Held-out fidelity check against a fresh simulator.
+    VosAdderSim eval_sim(adder, lib, triad);
+    const HardwareOracle eval_oracle = [&eval_sim](std::uint64_t a,
+                                                   std::uint64_t b) {
+      return eval_sim.add(a, b).sampled;
+    };
+    FidelityConfig fcfg;
+    fcfg.num_patterns = cfg.num_patterns;
+    const FidelityResult fr = evaluate_fidelity(model, eval_oracle, fcfg);
+    std::cout << "held-out fidelity: SNR "
+              << format_double(std::min(fr.snr_db, snr_display_cap_db), 1)
+              << " dB, normalized Hamming "
+              << format_double(fr.normalized_hamming, 4) << ", hardware BER "
+              << format_double(fr.oracle_ber * 100.0, 2) << "%\n";
+    if (args.has("out")) {
+      const std::string path = args.get("out", "model.txt");
+      std::ofstream f(path);
+      if (!f) throw std::runtime_error("cannot open " + path);
+      model.save(f);
+      std::cout << "saved: " << path << "\n";
+    }
+    return 0;
+  }
+
+  return usage(args.program());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(ArgParser(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
