@@ -14,12 +14,19 @@ VosWordSim::VosWordSim(const Netlist& netlist, const CellLibrary& lib,
                        std::vector<NetId> output_bus,
                        const TimingSimConfig& config)
     : sim_(netlist, lib, op, config), output_bus_(std::move(output_bus)) {
+  // Operand buses are capped at max_word_bits (not 64) so the
+  // word-arithmetic layer's contracts hold throughout; the output bus
+  // may be one bit wider — the (n+1)-bit exact-sum case — which still
+  // fits a std::uint64_t.
   VOSIM_EXPECTS(!input_buses.empty());
-  VOSIM_EXPECTS(!output_bus_.empty() && output_bus_.size() <= 64);
+  VOSIM_EXPECTS(!output_bus_.empty() &&
+                output_bus_.size() <=
+                    static_cast<std::size_t>(max_word_bits) + 1);
   const auto pis = netlist.primary_inputs();
   input_buf_.assign(pis.size(), 0);
   for (const auto& bus : input_buses) {
-    VOSIM_EXPECTS(!bus.empty() && bus.size() <= 64);
+    VOSIM_EXPECTS(!bus.empty() &&
+                  bus.size() <= static_cast<std::size_t>(max_word_bits));
     std::vector<std::size_t> slots;
     slots.reserve(bus.size());
     for (const NetId net : bus) {

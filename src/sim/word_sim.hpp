@@ -23,7 +23,9 @@ struct WordOpResult {
 
 /// Streams operand words through an arbitrary combinational netlist at a
 /// fixed operating triad. Operand buses are given as LSB-first net lists;
-/// unlisted primary inputs are held at zero.
+/// unlisted primary inputs are held at zero. Operand buses are limited
+/// to max_word_bits and the output bus to max_word_bits + 1 (the exact
+/// (n+1)-bit sum), per DESIGN.md §6.1.
 class VosWordSim {
  public:
   VosWordSim(const Netlist& netlist, const CellLibrary& lib,

@@ -17,10 +17,17 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
 ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
 
 void ArgParser::parse(const std::vector<std::string>& args) {
+  bool options_ended = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (options_ended || arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
+      continue;
+    }
+    // "--" ends option parsing; every later token is positional even if
+    // it starts with "--".
+    if (arg == "--") {
+      options_ended = true;
       continue;
     }
     const std::string body = arg.substr(2);
@@ -30,12 +37,14 @@ void ArgParser::parse(const std::vector<std::string>& args) {
       continue;
     }
     // "--key value" when the next token is not an option itself;
-    // otherwise a bare flag.
+    // otherwise a bare flag (no value). Flags are kept distinct from
+    // empty-valued options so the typed getters can reject "--key
+    // --other" loudly instead of misparsing --key as a flag.
     if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
       options_.emplace_back(body, args[i + 1]);
       ++i;
     } else {
-      options_.emplace_back(body, "");
+      options_.emplace_back(body, std::nullopt);
     }
   }
 }
@@ -48,18 +57,29 @@ bool ArgParser::has(const std::string& name) const {
 
 std::optional<std::string> ArgParser::value(const std::string& name) const {
   for (const auto& [key, val] : options_)
-    if (key == name) return val;
+    if (key == name) return val.value_or("");
+  return std::nullopt;
+}
+
+std::optional<std::string> ArgParser::required_value(
+    const std::string& name) const {
+  for (const auto& [key, val] : options_) {
+    if (key != name) continue;
+    if (!val.has_value())
+      throw std::invalid_argument("missing value for option --" + name);
+    return val;
+  }
   return std::nullopt;
 }
 
 std::string ArgParser::get(const std::string& name,
                            const std::string& fallback) const {
-  const auto v = value(name);
+  const auto v = required_value(name);
   return v.has_value() ? *v : fallback;
 }
 
 long ArgParser::get_int(const std::string& name, long fallback) const {
-  const auto v = value(name);
+  const auto v = required_value(name);
   if (!v.has_value()) return fallback;
   std::size_t used = 0;
   const long out = std::stol(*v, &used);
@@ -69,7 +89,7 @@ long ArgParser::get_int(const std::string& name, long fallback) const {
 }
 
 double ArgParser::get_double(const std::string& name, double fallback) const {
-  const auto v = value(name);
+  const auto v = required_value(name);
   if (!v.has_value()) return fallback;
   std::size_t used = 0;
   const double out = std::stod(*v, &used);

@@ -1,5 +1,6 @@
 // Minimal command-line argument parsing for the vosim tools: positional
-// arguments plus --key=value / --key value options and --flags.
+// arguments plus --key=value / --key value options and --flags. A bare
+// "--" ends option parsing; everything after it is positional.
 #ifndef VOSIM_UTIL_ARGS_HPP
 #define VOSIM_UTIL_ARGS_HPP
 
@@ -25,11 +26,13 @@ class ArgParser {
   /// True when --name was present (with or without a value).
   bool has(const std::string& name) const;
 
-  /// Option value; empty optional when absent.
+  /// Option value; empty optional when absent, "" for a bare flag.
   std::optional<std::string> value(const std::string& name) const;
 
   /// Typed getters with defaults. Throw std::invalid_argument on
-  /// malformed numbers.
+  /// malformed numbers, and when the option is present but has no value
+  /// (e.g. "--patterns --csv=x" — the value-taking key must not be
+  /// silently demoted to a flag).
   std::string get(const std::string& name,
                   const std::string& fallback) const;
   long get_int(const std::string& name, long fallback) const;
@@ -37,10 +40,14 @@ class ArgParser {
 
  private:
   void parse(const std::vector<std::string>& args);
+  /// Like value(), but throws std::invalid_argument when the option is
+  /// present as a bare flag — used by the value-taking getters.
+  std::optional<std::string> required_value(const std::string& name) const;
 
   std::string program_ = "vosim";
   std::vector<std::string> positional_;
-  std::vector<std::pair<std::string, std::string>> options_;
+  // nullopt value = bare flag; "" = explicitly empty value (--key=).
+  std::vector<std::pair<std::string, std::optional<std::string>>> options_;
 };
 
 }  // namespace vosim

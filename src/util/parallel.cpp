@@ -28,18 +28,26 @@ void parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
-    for (;;) {
+    // Check the stop flag in the claim loop so that once any worker
+    // fails, pending iterations are cancelled instead of drained — a
+    // contract violation at index 3 of a million-pattern sweep must not
+    // burn the remaining million-minus-three bodies.
+    while (!stop.load(std::memory_order_acquire)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_release);
         return;
       }
     }

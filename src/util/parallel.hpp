@@ -13,7 +13,9 @@ unsigned hardware_parallelism() noexcept;
 /// Runs `body(index)` for index in [0, count) across up to `max_threads`
 /// threads (0 = hardware default). Indices are dealt in contiguous chunks;
 /// the caller is responsible for making bodies independent. Exceptions
-/// thrown by bodies are rethrown (first one wins) after all threads join.
+/// thrown by bodies are rethrown (first one wins) after all threads join;
+/// once any body throws, not-yet-claimed indices are cancelled, so a
+/// failing sweep stops promptly instead of draining the remaining work.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned max_threads = 0);
 

@@ -61,5 +61,31 @@ TEST(Args, NegativeNumbersAsValues) {
   EXPECT_DOUBLE_EQ(p.get_double("vbb", 0.0), -2.0);
 }
 
+TEST(Args, DoubleDashEndsOptions) {
+  const ArgParser p({"--vdd", "0.7", "--", "--not-an-option", "plain"});
+  EXPECT_DOUBLE_EQ(p.get_double("vdd", 0.0), 0.7);
+  EXPECT_FALSE(p.has("not-an-option"));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "--not-an-option");
+  EXPECT_EQ(p.positional()[1], "plain");
+}
+
+TEST(Args, MissingValueForValueTakingKeyThrows) {
+  // "--patterns --csv=x" must not silently demote --patterns to a flag:
+  // asking for its value is an error, while flag-style queries still work.
+  const ArgParser p({"--patterns", "--csv=x"});
+  EXPECT_TRUE(p.has("patterns"));
+  EXPECT_EQ(p.value("patterns").value(), "");
+  EXPECT_THROW(p.get_int("patterns", 5), std::invalid_argument);
+  EXPECT_THROW(p.get("patterns", "d"), std::invalid_argument);
+  EXPECT_THROW(p.get_double("patterns", 1.0), std::invalid_argument);
+  EXPECT_EQ(p.get("csv", ""), "x");
+}
+
+TEST(Args, ExplicitEmptyValueIsNotMissing) {
+  const ArgParser p({"--csv="});
+  EXPECT_EQ(p.get("csv", "default"), "");
+}
+
 }  // namespace
 }  // namespace vosim

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
@@ -71,6 +73,21 @@ TEST(Rng, InRangeInclusive) {
   }
   EXPECT_EQ(seen.size(), 4u);
   EXPECT_THROW(r.in_range(3, 2), ContractViolation);
+}
+
+TEST(Rng, InRangeFullSpan) {
+  // [0, 2^64-1] must not overflow the span+1 computation in below();
+  // it degenerates to raw 64-bit draws.
+  Rng r(29);
+  bool high_half = false;
+  bool low_half = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = r.in_range(0, ~0ULL);
+    (v >> 63 ? high_half : low_half) = true;
+  }
+  EXPECT_TRUE(high_half);
+  EXPECT_TRUE(low_half);
+  EXPECT_EQ(Rng(1).in_range(~0ULL, ~0ULL), ~0ULL);
 }
 
 TEST(Rng, UniformInUnitInterval) {
@@ -159,6 +176,16 @@ TEST(Bits, LongestOneRun) {
   EXPECT_EQ(longest_one_run(0b0111'0110, 8), 3);
   EXPECT_EQ(longest_one_run(0xFF, 8), 8);
   EXPECT_EQ(longest_one_run(0xFF, 4), 4);  // width-limited
+}
+
+TEST(Bits, FullWidthEdgeCases) {
+  // n == 64 must behave: mask_n(64) covers the whole word and the run
+  // scan terminates on an all-ones word.
+  EXPECT_EQ(mask_n(64), ~0ULL);
+  EXPECT_EQ(longest_one_run(~0ULL, 64), 64);
+  EXPECT_EQ(longest_one_run(0xF00000000000000Full, 64), 4);
+  EXPECT_EQ(longest_one_run(1ULL << 63, 64), 1);
+  EXPECT_EQ(longest_one_run(~0ULL, 63), 63);
 }
 
 TEST(Bits, ExactAddMatchesArithmetic) {
@@ -283,6 +310,24 @@ TEST(ParallelFor, PropagatesExceptions) {
                      if (i == 13) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, CancelsPendingWorkAfterException) {
+  // A failure early in a large sweep must cancel the not-yet-claimed
+  // indices rather than letting the surviving workers drain all of them.
+  constexpr std::size_t count = 10000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          count,
+          [&](std::size_t i) {
+            if (i == 3) throw std::runtime_error("contract violation");
+            ++executed;
+            std::this_thread::sleep_for(std::chrono::microseconds(10));
+          },
+          4),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), count / 2);
 }
 
 TEST(ParallelFor, HardwareParallelismNonzero) {

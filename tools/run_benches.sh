@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Runs the vosim benchmark binaries and emits one machine-readable
+# BENCH_<name>.json per bench with wall-clock time, pattern budget and
+# exit status — the start of the repo's perf trajectory.
+#
+# Usage:
+#   tools/run_benches.sh [BUILD_DIR] [BENCH_NAME...]
+#
+#   BUILD_DIR     directory containing the bench_* binaries (default: build)
+#   BENCH_NAME    optional subset, e.g. "bench_fig5_ber_bitpos"; default is
+#                 every bench_* binary found in BUILD_DIR.
+#
+# Environment:
+#   VOSIM_PATTERNS   patterns per triad (default 200 here; the binaries
+#                    themselves default to the paper's 20000).
+#   VOSIM_BENCH_OUT  output directory for BENCH_*.json and bench CSVs
+#                    (default: BUILD_DIR).
+set -u
+
+build_dir="${1:-build}"
+shift 2>/dev/null || true
+
+if [ ! -d "${build_dir}" ]; then
+  echo "error: build dir '${build_dir}' not found (run cmake first)" >&2
+  exit 2
+fi
+
+build_dir="$(cd "${build_dir}" && pwd)"
+export VOSIM_PATTERNS="${VOSIM_PATTERNS:-200}"
+out_dir="${VOSIM_BENCH_OUT:-${build_dir}}"
+mkdir -p "${out_dir}"
+out_dir="$(cd "${out_dir}" && pwd)"
+
+if [ "$#" -gt 0 ]; then
+  benches=("$@")
+else
+  benches=()
+  for f in "${build_dir}"/bench_*; do
+    [ -x "$f" ] && [ ! -d "$f" ] && benches+=("$(basename "$f")")
+  done
+fi
+
+if [ "${#benches[@]}" -eq 0 ]; then
+  echo "error: no bench_* binaries in '${build_dir}'" >&2
+  exit 2
+fi
+
+echo "running ${#benches[@]} benches with VOSIM_PATTERNS=${VOSIM_PATTERNS}"
+failures=0
+for name in "${benches[@]}"; do
+  bin="${build_dir}/${name}"
+  if [ ! -x "${bin}" ]; then
+    echo "error: missing bench binary '${bin}'" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  log="${out_dir}/${name}.log"
+  start_ns=$(date +%s%N)
+  (cd "${out_dir}" && "${build_dir}/${name}" >"${name}.log" 2>&1)
+  status=$?
+  end_ns=$(date +%s%N)
+  wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+  json="${out_dir}/BENCH_${name#bench_}.json"
+  cat >"${json}" <<EOF
+{
+  "bench": "${name}",
+  "patterns_per_triad": ${VOSIM_PATTERNS},
+  "wall_seconds": ${wall_s},
+  "exit_code": ${status},
+  "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "log": "$(basename "${log}")"
+}
+EOF
+  if [ "${status}" -ne 0 ]; then
+    echo "FAIL ${name} (exit ${status}, ${wall_s}s) -> ${json}"
+    failures=$((failures + 1))
+  else
+    echo "ok   ${name} (${wall_s}s) -> ${json}"
+  fi
+done
+
+echo "bench results: $((${#benches[@]} - failures))/${#benches[@]} ok, JSON in ${out_dir}"
+[ "${failures}" -eq 0 ]
