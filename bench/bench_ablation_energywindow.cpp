@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
+#include "src/sim/event_sim.hpp"
 #include "src/sim/logic.hpp"
 #include "src/sim/vos_adder.hpp"
 #include "src/sta/synthesis_report.hpp"

@@ -2,6 +2,15 @@
 // 43 operating triads for the 8/16-bit RCA and BKA (sub-figures a-d).
 // Triads are printed in the paper's x-axis order (BER ascending, ties
 // by energy), with energy efficiency vs the relaxed nominal baseline.
+//
+// The sweep runs on both SimEngine backends: the event-driven engine
+// produces the reported tables; the bit-parallel levelized engine runs
+// the identical grid afterwards, and the bench prints machine-readable
+// LEVELIZED_SPEEDUP / LEVELIZED_BER_DEV_PP lines that
+// tools/run_benches.sh and CI gate on (speedup floor 5×, BER deviation
+// ≤ 2 percentage points on the 8-bit RCA).
+#include <chrono>
+#include <cmath>
 #include <iostream>
 
 #include "bench/bench_common.hpp"
@@ -10,15 +19,34 @@
 int main() {
   using namespace vosim;
   using namespace vosim::bench;
+  using clock = std::chrono::steady_clock;
   print_header("Fig. 8 — BER vs Energy/Operation across 43 triads",
                "paper Fig. 8a-d");
 
   const CellLibrary& lib = make_fdsoi28_lvt();
   const char* subfig = "abcd";
   int idx = 0;
+  double event_seconds = 0.0;
+  double levelized_seconds = 0.0;
+  double rca8_ber_dev_pp = 0.0;
   for (const Benchmark& b : paper_benchmarks()) {
+    const auto t0 = clock::now();
     const auto results =
         characterize_adder(b.adder, lib, b.triads, bench_config());
+    const auto t1 = clock::now();
+    CharacterizeConfig lev_cfg = bench_config();
+    lev_cfg.engine = EngineKind::kLevelized;
+    const auto lev_results =
+        characterize_adder(b.adder, lib, b.triads, lev_cfg);
+    const auto t2 = clock::now();
+    event_seconds += std::chrono::duration<double>(t1 - t0).count();
+    levelized_seconds += std::chrono::duration<double>(t2 - t1).count();
+    double dev = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i)
+      dev = std::max(dev,
+                     std::abs(results[i].ber - lev_results[i].ber));
+    if (b.arch == AdderArch::kRipple && b.width == 8)
+      rca8_ber_dev_pp = dev * 100.0;
     const double baseline = results[0].energy_per_op_fj;
     const auto sorted = sort_for_fig8(results);
 
@@ -39,7 +67,21 @@ int main() {
       if (r.ber == 0.0) ++zero_ber;
     std::cout << "triads at 0% BER: " << zero_ber
               << "  (paper: 16/14/15/18 for 8RCA/8BKA/16RCA/16BKA)\n";
+    std::cout << "levelized engine max |BER - event BER|: "
+              << format_double(dev * 100.0, 2) << " pp\n";
     ++idx;
   }
+
+  // Machine-readable engine comparison for tools/run_benches.sh / CI.
+  const double speedup =
+      levelized_seconds > 0.0 ? event_seconds / levelized_seconds : 0.0;
+  std::cout << "\n--- engine comparison (all four sweeps, equal patterns) ---\n"
+            << "event engine:     " << format_double(event_seconds, 3)
+            << " s\n"
+            << "levelized engine: " << format_double(levelized_seconds, 3)
+            << " s\n"
+            << "LEVELIZED_SPEEDUP " << format_double(speedup, 2) << "\n"
+            << "LEVELIZED_BER_DEV_PP " << format_double(rca8_ber_dev_pp, 3)
+            << "\n";
   return 0;
 }

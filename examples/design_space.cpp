@@ -30,6 +30,11 @@ int main() {
                "E/op [fJ]"});
   CharacterizeConfig cfg;
   cfg.num_patterns = 3000;
+  // A design-space walk multiplies operators × triads — exactly the
+  // workload the bit-parallel levelized engine accelerates ~10x+ while
+  // staying within a couple BER percentage points of the event-driven
+  // reference (DESIGN.md §7).
+  cfg.engine = EngineKind::kLevelized;
   for (const Entry& e : designs) {
     const SynthesisReport rep = synthesize_report(e.adder.netlist, lib);
     // Three operating points: nominal, the aggressive error-free FBB

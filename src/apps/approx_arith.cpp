@@ -19,6 +19,13 @@ AdderFn model_adder_fn(const VosAdderModel& model, Rng& rng) {
   };
 }
 
+AdderFn sim_adder_fn(VosAdderSim& sim) {
+  return [&sim](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t m = mask_n(sim.width());
+    return sim.add(a & m, b & m).sampled;
+  };
+}
+
 std::uint64_t approx_sub(const AdderFn& add, int width, std::uint64_t a,
                          std::uint64_t b) {
   const std::uint64_t m = mask_n(width);

@@ -1,5 +1,9 @@
 #include "src/characterize/characterizer.hpp"
 
+#include <algorithm>
+#include <numeric>
+
+#include "src/sim/levelized_sim.hpp"
 #include "src/sim/vos_adder.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
@@ -7,45 +11,234 @@
 
 namespace vosim {
 
+namespace {
+
+/// The shared stimulus sequence: pats[0] settles the initial state,
+/// pats[1..num_patterns] are streamed — identical at every triad
+/// (paper testbench), generated once per sweep instead of per triad.
+std::vector<OperandPair> generate_patterns(const CharacterizeConfig& config,
+                                           int width) {
+  std::vector<OperandPair> pats(config.num_patterns + 1);
+  PatternStream stream(config.policy, width, config.pattern_seed);
+  for (OperandPair& p : pats) p = stream.next();
+  return pats;
+}
+
+/// Grid fast path for the levelized engine: supply and body bias scale
+/// every gate delay by one common factor (delay_scale), and the
+/// levelized engine's inertial/glitch decisions are invariant under
+/// that scaling — so the whole Tclk/Vdd/Vbb grid shares one normalized
+/// timing structure per die. One step_batch_sweep pass evaluates every
+/// pattern against all triads at once: triad t becomes capture
+/// threshold tclk·scale_ref/scale_t, with window energy scaled by
+/// (Vdd/Vdd_ref)² and leakage computed per triad. The pattern stream
+/// is split into segments with exact warm starts (the streaming state
+/// is purely functional: the previous pattern's settled values), so
+/// segment-parallel results are bit-identical to the sequential chain.
+std::vector<TriadResult> characterize_levelized_sweep(
+    const AdderNetlist& adder, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const CharacterizeConfig& config, std::span<const OperandPair> pats) {
+  const std::size_t nthr = triads.size();
+  const std::size_t num_patterns = config.num_patterns;
+  const int width = adder.width;
+  const TransistorModel& tm = lib.transistor_model();
+
+  const OperatingTriad ref{1.0, 1.0, 0.0};
+  const double scale_ref = tm.delay_scale(ref.vdd_v, ref.vbb_v);
+  const double leak_nw_base = adder.netlist.cell_leakage_nw(lib);
+
+  std::vector<double> tau(nthr);     // threshold in the ref time base
+  std::vector<double> escale(nthr);  // dynamic-energy scale vs ref
+  std::vector<double> sscale(nthr);  // settle-time scale vs ref
+  std::vector<double> leak_fj(nthr);
+  for (std::size_t t = 0; t < nthr; ++t) {
+    const OperatingTriad& op = triads[t];
+    const double s_t = tm.delay_scale(op.vdd_v, op.vbb_v);
+    tau[t] = op.tclk_ns * 1e3 * scale_ref / s_t;
+    escale[t] = (op.vdd_v / ref.vdd_v) * (op.vdd_v / ref.vdd_v);
+    sscale[t] = s_t / scale_ref;
+    leak_fj[t] = leak_nw_base * tm.leakage_scale(op.vdd_v, op.vbb_v) *
+                 1e-3 * op.tclk_ns * 1e3 * 1e-3;
+  }
+  std::vector<std::size_t> order(nthr);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return tau[x] < tau[y]; });
+  std::vector<double> sorted_tau(nthr);
+  std::vector<std::size_t> pos(nthr);  // triad -> sorted position
+  for (std::size_t j = 0; j < nthr; ++j) {
+    sorted_tau[j] = tau[order[j]];
+    pos[order[j]] = j;
+  }
+
+  // The same operand-scatter / sum-gather mapping VosAdderSim uses, so
+  // the fast path cannot diverge from the per-triad path.
+  const AdderPinMap pins(adder);
+  const std::size_t npis = adder.netlist.primary_inputs().size();
+
+  // Segment the stream across the pool; each segment is large enough
+  // to amortize its simulator construction.
+  const unsigned workers =
+      config.threads == 0 ? hardware_parallelism() : config.threads;
+  const std::size_t nseg = std::clamp<std::size_t>(
+      std::min<std::size_t>(workers, num_patterns / 256), 1, 64);
+
+  struct Partial {
+    ErrorAccumulator acc;
+    double energy = 0.0;
+    double dyn = 0.0;
+    double settle = 0.0;
+  };
+  std::vector<std::vector<Partial>> parts(nseg);
+  for (auto& seg : parts) {
+    seg.reserve(nthr);
+    for (std::size_t t = 0; t < nthr; ++t)
+      seg.push_back(Partial{ErrorAccumulator(width + 1), 0.0, 0.0, 0.0});
+  }
+
+  shared_thread_pool().parallel(
+      nseg,
+      [&](std::size_t s) {
+        // Stream indices [begin, end) of pats; pats[begin-1] settles.
+        const std::size_t begin = 1 + s * num_patterns / nseg;
+        const std::size_t end = 1 + (s + 1) * num_patterns / nseg;
+
+        TimingSimConfig sim_cfg;
+        sim_cfg.variation_sigma = config.variation_sigma;
+        sim_cfg.variation_seed = config.variation_seed;
+        LevelizedSimulator eng(adder.netlist, lib, ref, sim_cfg);
+
+        std::vector<std::uint8_t> in(npis, 0);
+        pins.fill_inputs(pats[begin - 1].a, pats[begin - 1].b, in.data());
+        eng.reset(in);
+
+        constexpr std::size_t kChunk = LevelizedSimulator::kLanes;
+        std::vector<std::uint8_t> bytes(kChunk * npis, 0);
+        std::vector<StepResult> res(kChunk * nthr);
+        std::vector<Partial>& seg = parts[s];
+
+        for (std::size_t c = begin; c < end; c += kChunk) {
+          const std::size_t n = std::min(kChunk, end - c);
+          std::fill(bytes.begin(), bytes.begin() + n * npis, 0);
+          for (std::size_t i = 0; i < n; ++i)
+            pins.fill_inputs(pats[c + i].a, pats[c + i].b,
+                             bytes.data() + i * npis);
+          eng.step_batch_sweep({bytes.data(), n * npis}, n, sorted_tau,
+                               res);
+          for (std::size_t i = 0; i < n; ++i) {
+            const OperandPair& p = pats[c + i];
+            const std::uint64_t golden = exact_add(p.a, p.b, width);
+            for (std::size_t t = 0; t < nthr; ++t) {
+              const StepResult& st = res[i * nthr + pos[t]];
+              const std::uint64_t sampled =
+                  pins.gather_sum(st.sampled_outputs);
+              Partial& acc = seg[t];
+              acc.acc.add(golden, sampled);
+              const double win = st.window_energy_fj * escale[t];
+              acc.energy += win + leak_fj[t];
+              acc.dyn += win;
+              acc.settle += st.settle_time_ps * sscale[t];
+            }
+          }
+        }
+      },
+      config.threads);
+
+  std::vector<TriadResult> results(nthr);
+  for (std::size_t t = 0; t < nthr; ++t) {
+    ErrorAccumulator merged(width + 1);
+    double energy = 0.0;
+    double dyn = 0.0;
+    double settle = 0.0;
+    for (std::size_t s = 0; s < nseg; ++s) {
+      merged.merge(parts[s][t].acc);
+      energy += parts[s][t].energy;
+      dyn += parts[s][t].dyn;
+      settle += parts[s][t].settle;
+    }
+    TriadResult& res = results[t];
+    res.triad = triads[t];
+    res.ber = merged.ber();
+    res.bitwise_ber = merged.bitwise_error_probability();
+    res.op_error_rate = merged.op_error_rate();
+    res.mse = merged.mse();
+    const auto n = static_cast<double>(num_patterns);
+    res.energy_per_op_fj = energy / n;
+    res.dynamic_energy_fj = dyn / n;
+    res.leakage_energy_fj = leak_fj[t];
+    res.mean_settle_ps = settle / n;
+    res.patterns = num_patterns;
+  }
+  return results;
+}
+
+}  // namespace
+
 std::vector<TriadResult> characterize_adder(
     const AdderNetlist& adder, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const CharacterizeConfig& config) {
   VOSIM_EXPECTS(!triads.empty());
   VOSIM_EXPECTS(config.num_patterns > 0);
+  VOSIM_EXPECTS(config.batch_size > 0);
+
+  const std::vector<OperandPair> pats =
+      generate_patterns(config, adder.width);
+
+  if (config.engine == EngineKind::kLevelized && config.streaming_state)
+    return characterize_levelized_sweep(adder, lib, triads, config, pats);
+
   std::vector<TriadResult> results(triads.size());
 
-  parallel_for(
+  // One persistent pool across the whole grid (and across repeated
+  // sweeps in the same process): triads are the parallel unit, patterns
+  // stream through each simulator in batches.
+  shared_thread_pool().parallel(
       triads.size(),
       [&](std::size_t t) {
         const OperatingTriad& op = triads[t];
         TimingSimConfig sim_cfg;
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.variation_seed;
+        sim_cfg.engine = config.engine;
         VosAdderSim sim(adder, lib, op, sim_cfg);
 
-        // Identical stimulus sequence at every triad (paper testbench).
-        PatternStream patterns(config.policy, adder.width,
-                               config.pattern_seed);
         ErrorAccumulator acc(adder.width + 1);
         double energy = 0.0;
         double dyn = 0.0;
         double settle = 0.0;
 
         // Establish a settled initial state from the first pattern.
-        const OperandPair first = patterns.next();
-        sim.reset(first.a, first.b);
+        sim.reset(pats[0].a, pats[0].b);
 
-        for (std::size_t i = 0; i < config.num_patterns; ++i) {
-          const OperandPair pat = patterns.next();
-          if (!config.streaming_state) sim.reset(first.a, first.b);
-          const VosAddResult r = sim.add(pat.a, pat.b);
-          const std::uint64_t golden =
-              exact_add(pat.a, pat.b, adder.width);
-          acc.add(golden, r.sampled);
-          energy += r.energy_fj;
-          dyn += r.energy_fj - sim.leakage_energy_fj();
-          settle += r.settle_time_ps;
+        const std::size_t batch =
+            config.streaming_state ? config.batch_size : 1;
+        std::vector<std::uint64_t> a_buf(batch);
+        std::vector<std::uint64_t> b_buf(batch);
+        std::vector<VosAddResult> r_buf(batch);
+
+        std::size_t done = 0;
+        while (done < config.num_patterns) {
+          const std::size_t n =
+              std::min(batch, config.num_patterns - done);
+          for (std::size_t i = 0; i < n; ++i) {
+            a_buf[i] = pats[1 + done + i].a;
+            b_buf[i] = pats[1 + done + i].b;
+          }
+          if (!config.streaming_state) sim.reset(pats[0].a, pats[0].b);
+          sim.add_batch({a_buf.data(), n}, {b_buf.data(), n},
+                        {r_buf.data(), n});
+          for (std::size_t i = 0; i < n; ++i) {
+            const VosAddResult& r = r_buf[i];
+            const std::uint64_t golden =
+                exact_add(a_buf[i], b_buf[i], adder.width);
+            acc.add(golden, r.sampled);
+            energy += r.energy_fj;
+            dyn += r.energy_fj - sim.leakage_energy_fj();
+            settle += r.settle_time_ps;
+          }
+          done += n;
         }
 
         TriadResult& res = results[t];

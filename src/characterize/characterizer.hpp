@@ -1,7 +1,9 @@
-// Triad sweep driver: runs the timing simulator over a pattern set at
-// every operating triad and gathers error + energy statistics — the
+// Triad sweep driver: runs a timing-simulation engine over a pattern set
+// at every operating triad and gathers error + energy statistics — the
 // reproduction of the paper's characterization flow (Fig. 4) with the
-// event-driven simulator standing in for SPICE.
+// gate-level simulators standing in for SPICE. The backend is selected
+// per sweep: the event-driven reference, or the bit-parallel levelized
+// engine for order-of-magnitude faster full-grid sweeps.
 #ifndef VOSIM_CHARACTERIZE_CHARACTERIZER_HPP
 #define VOSIM_CHARACTERIZE_CHARACTERIZER_HPP
 
@@ -11,7 +13,7 @@
 #include "src/characterize/metrics.hpp"
 #include "src/characterize/patterns.hpp"
 #include "src/netlist/adders.hpp"
-#include "src/sim/event_sim.hpp"
+#include "src/sim/sim_engine.hpp"
 #include "src/tech/operating_point.hpp"
 
 namespace vosim {
@@ -27,6 +29,12 @@ struct CharacterizeConfig {
   /// Keep circuit state between operations (pipeline semantics). When
   /// false every operation starts from a settled previous pattern.
   bool streaming_state = true;
+  /// Simulation backend: the event-driven reference (default) or the
+  /// bit-parallel levelized engine (same stimuli, ~10x+ faster sweeps;
+  /// see DESIGN.md §7 for where the two diverge).
+  EngineKind engine = EngineKind::kEvent;
+  /// Patterns streamed per add_batch call in the sweep hot loop.
+  std::size_t batch_size = 256;
 };
 
 /// Per-triad characterization outcome.
@@ -45,7 +53,8 @@ struct TriadResult {
 
 /// Runs the sweep; one simulator per triad, all sharing the same pattern
 /// sequence and the same per-gate variation sample. Parallel over triads
-/// and bit-deterministic for a fixed config.
+/// on the shared persistent thread pool and bit-deterministic for a
+/// fixed config (including across engines at generous Tclk).
 std::vector<TriadResult> characterize_adder(
     const AdderNetlist& adder, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,

@@ -48,6 +48,7 @@ std::vector<VariabilityResult> variability_study(
         TimingSimConfig sim_cfg;
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.die_seed_base + die;
+        sim_cfg.engine = config.engine;
         VosAdderSim sim(adder, lib, triads[t], sim_cfg);
 
         PatternStream patterns(config.policy, adder.width,

@@ -44,6 +44,9 @@ struct VariabilityConfig {
   PatternPolicy policy = PatternPolicy::kCarryBalanced;
   std::uint64_t pattern_seed = 42;
   unsigned threads = 0;
+  /// Simulation backend; both backends draw identical per-die variation
+  /// samples, so die i names the same circuit under either engine.
+  EngineKind engine = EngineKind::kEvent;
 };
 
 /// Runs the Monte-Carlo study for each triad.

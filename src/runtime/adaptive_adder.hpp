@@ -21,9 +21,12 @@ struct AdaptiveAddResult {
   std::size_t rung = 0;
 };
 
-/// Owns one timing simulator per ladder rung (created lazily) and routes
-/// every addition through the controller's current rung, feeding the
-/// double-sampling observations back.
+/// Owns one timing-simulation engine per ladder rung (created lazily)
+/// and routes every addition through the controller's current rung,
+/// feeding the double-sampling observations back. The rung simulators
+/// run on the backend selected by `sim_config.engine` — the levelized
+/// engine makes long adaptive traces (e.g. the runtime benches) cheap
+/// while the controller logic stays backend-agnostic.
 class AdaptiveVosAdder {
  public:
   AdaptiveVosAdder(const AdderNetlist& adder, const CellLibrary& lib,
@@ -39,6 +42,8 @@ class AdaptiveVosAdder {
   const OperatingTriad& current_triad() const {
     return controller_.current().triad;
   }
+  /// Backend every rung simulates on (from the TimingSimConfig).
+  EngineKind engine_kind() const noexcept { return sim_config_.engine; }
   /// Mean energy per operation so far (fJ).
   double mean_energy_fj() const noexcept;
 

@@ -6,6 +6,11 @@
 // outputs at the clock period. A bit whose final transition has not
 // arrived by Tclk latches a stale or glitch value — exactly the timing
 // errors voltage over-scaling provokes.
+//
+// TimingSimulator is the accuracy-reference backend of the SimEngine
+// interface (src/sim/sim_engine.hpp); the bit-parallel levelized backend
+// (src/sim/levelized_sim.hpp) trades its glitch/inertial fidelity for an
+// order-of-magnitude faster sweep.
 #ifndef VOSIM_SIM_EVENT_SIM_HPP
 #define VOSIM_SIM_EVENT_SIM_HPP
 
@@ -15,58 +20,17 @@
 #include <vector>
 
 #include "src/netlist/netlist.hpp"
+#include "src/sim/sim_engine.hpp"
 #include "src/tech/operating_point.hpp"
 
 namespace vosim {
-
-/// Simulator knobs.
-struct TimingSimConfig {
-  /// Per-gate log-normal delay variation sigma (0 = deterministic).
-  /// Models within-die process variation; one sample is drawn per gate
-  /// at construction ("one die") and reused across operations.
-  double variation_sigma = 0.0;
-  /// Seed for the per-gate variation sample.
-  std::uint64_t variation_seed = 1;
-  /// Record every committed transition of the next step() for waveform
-  /// inspection (see src/sim/vcd.hpp). Off by default: tracing allocates
-  /// per event.
-  bool record_trace = false;
-};
-
-/// One committed transition (for waveform dumps).
-struct TraceEvent {
-  double time_ps = 0.0;
-  NetId net = invalid_net;
-  std::uint8_t value = 0;
-};
-
-/// Result of simulating one clocked operation (two-vector transition).
-struct StepResult {
-  /// Values sampled at t = Tclk (what the capture registers see).
-  std::uint64_t sampled_outputs = 0;  // packed in primary-output order
-  /// Fully settled values (t → ∞), i.e. the functionally correct result.
-  std::uint64_t settled_outputs = 0;
-  /// Time of the last committed transition (ps).
-  double settle_time_ps = 0.0;
-  /// Dynamic energy of transitions inside the clock window [0, Tclk) —
-  /// in a pipeline, switching after the clock edge belongs to the next
-  /// operation, and deep VOS truncates carry activity (DESIGN.md §6.3).
-  double window_energy_fj = 0.0;
-  /// Dynamic energy of *all* transitions until quiescence (what a
-  /// non-pipelined accounting would charge; see the energy-window
-  /// ablation bench).
-  double total_energy_fj = 0.0;
-  /// Transition counts (inside the window / total until settled).
-  std::uint32_t toggles_in_window = 0;
-  std::uint32_t toggles_total = 0;
-};
 
 /// Event-driven simulator bound to one netlist, library and triad.
 ///
 /// Usage: settle() to establish the initial state, then step() per
 /// operation. State persists between steps like a real datapath between
 /// clock edges (DESIGN.md §6.5).
-class TimingSimulator {
+class TimingSimulator final : public SimEngine {
  public:
   TimingSimulator(const Netlist& netlist, const CellLibrary& lib,
                   const OperatingTriad& op, const TimingSimConfig& config = {});
@@ -75,32 +39,59 @@ class TimingSimulator {
   /// (no sampling, no energy accounting).
   void settle(std::span<const std::uint8_t> inputs);
 
+  // -- SimEngine ---------------------------------------------------------
+  EngineKind kind() const noexcept override { return EngineKind::kEvent; }
+  const Netlist& netlist() const noexcept override { return netlist_; }
+  const OperatingTriad& triad() const noexcept override { return op_; }
+
+  void reset(std::span<const std::uint8_t> inputs) override {
+    settle(inputs);
+  }
+
   /// Applies a new input vector at t = 0, propagates events, samples at
   /// Tclk and runs to quiescence. Returns packed outputs and energy.
-  StepResult step(std::span<const std::uint8_t> inputs);
+  StepResult step(std::span<const std::uint8_t> inputs) override;
 
   /// Per-operation leakage energy at this triad (fJ): leakage power
   /// integrated over one clock period.
-  double leakage_energy_fj_per_op() const noexcept {
+  double leakage_energy_fj_per_op() const noexcept override {
     return leakage_energy_fj_;
   }
 
-  /// Current value of a net (after the last settle/step).
-  bool value(NetId net) const { return values_.at(net) != 0; }
-
   /// Values sampled at the last step's clock edge, one per net.
-  std::span<const std::uint8_t> sampled_values() const noexcept {
+  std::span<const std::uint8_t> sampled_values() const noexcept override {
     return sampled_values_;
   }
 
-  const OperatingTriad& triad() const noexcept { return op_; }
-  const Netlist& netlist() const noexcept { return netlist_; }
+  /// Fully settled values after the last settle/step, one per net.
+  std::span<const std::uint8_t> settled_values() const noexcept override {
+    return values_;
+  }
+
+  // -- event-engine specifics --------------------------------------------
+  /// Current value of a net (after the last settle/step).
+  bool value(NetId net) const { return values_.at(net) != 0; }
 
   /// Assigned delay of a gate (after variation), ps.
   double gate_delay(GateId gid) const { return gate_delay_ps_.at(gid); }
 
   /// Transitions of the last step() (only when record_trace is set).
+  /// The buffer belongs to the simulator and is overwritten by the next
+  /// step(); use take_trace() to assume ownership.
   std::span<const TraceEvent> trace() const noexcept { return trace_; }
+
+  /// Moves the last step()'s trace out of the simulator, releasing its
+  /// storage. Batch callers that leave record_trace enabled should take
+  /// the trace after the step they care about — the internal buffer is
+  /// reused (cleared, capacity kept) across steps, so an un-taken trace
+  /// never accumulates, but it does pin the largest step's allocation
+  /// until taken or destroyed.
+  std::vector<TraceEvent> take_trace() noexcept {
+    std::vector<TraceEvent> out = std::move(trace_);
+    trace_ = {};
+    return out;
+  }
+
   /// Net values at the start of the last step() (trace baseline).
   std::span<const std::uint8_t> trace_initial_values() const noexcept {
     return trace_initial_;

@@ -1,0 +1,618 @@
+#include "src/sim/levelized_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/netlist/eval.hpp"
+#include "src/sta/sta.hpp"
+#include "src/tech/gate_timing.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// Packed 64-lane evaluation of a cell function. Lane-wise identical to
+/// cell_truth(kind) — the SimEngine.PackedEvalMatchesTruthTables test
+/// checks every kind against every minterm.
+std::uint64_t eval_packed(CellKind kind, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  switch (kind) {
+    case CellKind::kInv: return ~a;
+    case CellKind::kBuf: return a;
+    case CellKind::kNand2: return ~(a & b);
+    case CellKind::kNor2: return ~(a | b);
+    case CellKind::kAnd2: return a & b;
+    case CellKind::kOr2: return a | b;
+    case CellKind::kXor2: return a ^ b;
+    case CellKind::kXnor2: return ~(a ^ b);
+    case CellKind::kAoi21: return ~((a & b) | c);
+    case CellKind::kOai21: return ~((a | b) & c);
+    case CellKind::kAo21: return (a & b) | c;
+    case CellKind::kMaj3: return (a & b) | (c & (a | b));
+    case CellKind::kTieLo: return 0;
+    case CellKind::kTieHi: return ~0ULL;
+  }
+  return 0;
+}
+
+std::uint64_t lane_mask(std::size_t lanes) {
+  return lanes >= 64 ? ~0ULL : ((1ULL << lanes) - 1ULL);
+}
+
+/// Accounting policy for one fixed clock threshold: fills per-lane
+/// StepResults and reports window membership so the caller can track
+/// the sampled (parity-of-commits-in-window) value.
+struct SingleThresholdAcct {
+  double tclk_ps;
+  StepResult* results;
+
+  bool commit(NetId /*net*/, int k, double tc, double energy) {
+    StepResult& r = results[k];
+    ++r.toggles_total;
+    r.total_energy_fj += energy;
+    r.settle_time_ps = std::max(r.settle_time_ps, tc);
+    if (tc < tclk_ps) {
+      ++r.toggles_in_window;
+      r.window_energy_fj += energy;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Accounting policy for a whole ascending threshold set: every commit
+/// lands in the bucket of the first threshold it misses, so one prefix
+/// pass later yields per-threshold window energy/toggle counts, and an
+/// XOR-difference per primary output yields per-threshold sampled
+/// words (a net's sampled value at τ is its stale value XOR the parity
+/// of its commits before τ).
+struct MultiThresholdAcct {
+  std::span<const double> thresholds_ps;
+  double* ediff;              // (nthr+1) × kLanes, bucket-major
+  std::uint32_t* tdiff;       // (nthr+1) × kLanes
+  std::uint64_t* sdiff;       // nPO × (nthr+1)
+  double* tot_e;              // per lane
+  std::uint32_t* tot_t;       // per lane
+  double* settle;             // per lane
+  const std::int32_t* po_index;
+
+  bool commit(NetId net, int k, double tc, double energy) {
+    const auto b = static_cast<std::size_t>(
+        std::upper_bound(thresholds_ps.begin(), thresholds_ps.end(), tc) -
+        thresholds_ps.begin());
+    const std::size_t lanes = LevelizedSimulator::kLanes;
+    ediff[b * lanes + static_cast<std::size_t>(k)] += energy;
+    ++tdiff[b * lanes + static_cast<std::size_t>(k)];
+    tot_e[k] += energy;
+    ++tot_t[k];
+    settle[k] = std::max(settle[k], tc);
+    const std::int32_t po = po_index[net];
+    if (po >= 0)
+      sdiff[static_cast<std::size_t>(po) * (thresholds_ps.size() + 1) + b] ^=
+          1ULL << k;
+    return false;  // no single sampled word is maintained in sweep mode
+  }
+};
+
+}  // namespace
+
+LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
+                                       const CellLibrary& lib,
+                                       const OperatingTriad& op,
+                                       const TimingSimConfig& config)
+    : netlist_(netlist), op_(op) {
+  VOSIM_EXPECTS(netlist.finalized());
+  VOSIM_EXPECTS(op.tclk_ns > 0.0);
+  VOSIM_EXPECTS(config.variation_sigma >= 0.0);
+  tclk_ps_ = op.tclk_ns * 1e3;
+
+  const std::vector<double> loads = netlist.compute_net_loads(lib);
+  const TransistorModel& tm = lib.transistor_model();
+
+  // Identical delay assignment (and variation-sample sequence) to the
+  // event engine: a given (sigma, seed) names the same die under both
+  // backends, so cross-backend comparisons see one circuit.
+  gate_delay_ps_.resize(netlist.num_gates());
+  Rng vrng(config.variation_seed);
+  for (GateId gid = 0; gid < netlist.num_gates(); ++gid) {
+    const Gate& g = netlist.gate(gid);
+    double d = gate_delay_ps(lib.cell(g.kind), loads[g.out], tm, op_);
+    if (config.variation_sigma > 0.0)
+      d *= std::exp(config.variation_sigma * vrng.gaussian());
+    gate_delay_ps_[gid] = d;
+  }
+
+  net_energy_fj_.resize(netlist.num_nets());
+  for (NetId n = 0; n < netlist.num_nets(); ++n)
+    net_energy_fj_[n] = toggle_energy_fj(loads[n], op_.vdd_v);
+
+  double leak_nw = netlist.cell_leakage_nw(lib);
+  leak_nw *= tm.leakage_scale(op_.vdd_v, op_.vbb_v);
+  leakage_energy_fj_ = leak_nw * 1e-3 * tclk_ps_ * 1e-3;  // nW·ps → fJ
+
+  arrival_ps_ = arrival_times_ps(netlist, gate_delay_ps_);
+  for (const NetId po : netlist.primary_outputs())
+    critical_path_ps_ = std::max(critical_path_ps_, arrival_ps_[po]);
+
+  settled_w_.assign(netlist.num_nets(), 0);
+  stale_w_.assign(netlist.num_nets(), 0);
+  sampled_w_.assign(netlist.num_nets(), 0);
+  time_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  pulsing_w_.assign(netlist.num_nets(), 0);
+  pulse_start_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  pulse_end_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+
+  po_index_.assign(netlist.num_nets(), -1);
+  const auto pos = netlist.primary_outputs();
+  for (std::size_t j = 0; j < pos.size(); ++j)
+    po_index_[pos[j]] = static_cast<std::int32_t>(j);
+
+  // Establish a consistent all-zero-input state.
+  std::vector<std::uint8_t> zeros(netlist.primary_inputs().size(), 0);
+  reset(zeros);
+}
+
+void LevelizedSimulator::reset(std::span<const std::uint8_t> inputs) {
+  VOSIM_EXPECTS(inputs.size() == netlist_.primary_inputs().size());
+  state_ = evaluate_logic(netlist_, inputs);
+  sampled_state_ = state_;
+}
+
+StepResult LevelizedSimulator::step(std::span<const std::uint8_t> inputs) {
+  const auto pis = netlist_.primary_inputs();
+  VOSIM_EXPECTS(inputs.size() == pis.size());
+  for (std::size_t j = 0; j < pis.size(); ++j)
+    settled_w_[pis[j]] = inputs[j] ? 1ULL : 0ULL;
+  StepResult result;
+  run_lanes(1, {&result, 1});
+  return result;
+}
+
+void LevelizedSimulator::step_batch(std::span<const std::uint8_t> inputs,
+                                    std::size_t count,
+                                    std::span<StepResult> results) {
+  const auto pis = netlist_.primary_inputs();
+  const std::size_t npis = pis.size();
+  VOSIM_EXPECTS(inputs.size() == count * npis);
+  VOSIM_EXPECTS(results.size() >= count);
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t lanes = std::min(kLanes, count - done);
+    for (std::size_t j = 0; j < npis; ++j) {
+      std::uint64_t w = 0;
+      for (std::size_t k = 0; k < lanes; ++k)
+        if (inputs[(done + k) * npis + j]) w |= 1ULL << k;
+      settled_w_[pis[j]] = w;
+    }
+    run_lanes(lanes, results.subspan(done, lanes));
+    done += lanes;
+  }
+}
+
+void LevelizedSimulator::step_batch_sweep(
+    std::span<const std::uint8_t> inputs, std::size_t count,
+    std::span<const double> thresholds_ps, std::span<StepResult> results) {
+  const auto pis = netlist_.primary_inputs();
+  const std::size_t npis = pis.size();
+  const std::size_t nthr = thresholds_ps.size();
+  VOSIM_EXPECTS(nthr > 0);
+  VOSIM_EXPECTS(std::is_sorted(thresholds_ps.begin(), thresholds_ps.end()));
+  VOSIM_EXPECTS(thresholds_ps.front() > 0.0);
+  VOSIM_EXPECTS(inputs.size() == count * npis);
+  VOSIM_EXPECTS(results.size() >= count * nthr);
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t lanes = std::min(kLanes, count - done);
+    for (std::size_t j = 0; j < npis; ++j) {
+      std::uint64_t w = 0;
+      for (std::size_t k = 0; k < lanes; ++k)
+        if (inputs[(done + k) * npis + j]) w |= 1ULL << k;
+      settled_w_[pis[j]] = w;
+    }
+    run_lanes_sweep(lanes, thresholds_ps,
+                    results.subspan(done * nthr, lanes * nthr));
+    done += lanes;
+  }
+}
+
+template <class Acct>
+void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
+  const std::uint64_t used = lane_mask(lanes);
+
+  // Primary inputs: lane k's stale value is lane k-1's value (lane 0
+  // continues from the carried state); input transitions commit at
+  // t = 0, like the event engine's launch-edge commits. Sampled values
+  // are tracked as stale XOR the parity of commits inside the window.
+  for (const NetId pi : netlist_.primary_inputs()) {
+    const std::uint64_t settled = settled_w_[pi] & used;
+    settled_w_[pi] = settled;
+    const std::uint64_t stale =
+        ((settled << 1) | static_cast<std::uint64_t>(state_[pi] & 1)) & used;
+    stale_w_[pi] = stale;
+    pulsing_w_[pi] = 0;
+    const double energy = net_energy_fj_[pi];
+    double* t = &time_ps_[static_cast<std::size_t>(pi) * kLanes];
+    std::uint64_t sampled = stale;
+    std::uint64_t m = settled ^ stale;
+    while (m != 0) {
+      const int k = std::countr_zero(m);
+      m &= m - 1;
+      t[k] = 0.0;
+      if (acct.commit(pi, k, 0.0, energy)) sampled ^= 1ULL << k;
+    }
+    sampled_w_[pi] = sampled;
+  }
+
+  // One levelized pass. Values: packed 64-lane evaluation per gate.
+  // Timing: each lane with input activity runs a miniature event
+  // simulation of just this gate over its ≤6 input events (one flip
+  // per changed input at its final transition time, a flip-and-return
+  // pair per pulsing input), with the event engine's inertial rule —
+  // in binary logic a scheduled commit is only ever cancelled (input
+  // pulse shorter than the gate delay), never rescheduled. Commits
+  // yield the output's transition time, glitch-pulse window, toggle
+  // energy, and the value the capture register samples at Tclk.
+  //
+  // The hot path dispatches lanes by changed-input count using packed
+  // subset words W[s] (the gate function with the inputs in s still at
+  // their stale values, evaluated for all 64 lanes at once): a
+  // non-sensitized single change costs nothing, sensitized one- and
+  // two-change lanes collapse to a handful of scalar operations, and
+  // only lanes fed by a glitch pulse take the generic event walk.
+  //
+  // The approximations relative to the full event engine: each changed
+  // input is forwarded as a single transition at its final commit time
+  // (pre-final bounces are not forwarded), and an unchanged output's
+  // commits are forwarded as one merged pulse.
+  for (const GateId gid : netlist_.topo_order()) {
+    const Gate& g = netlist_.gate(gid);
+    const NetId out = g.out;
+    const int n = g.num_inputs;
+    const unsigned full = (1u << n) - 1u;
+
+    std::uint64_t in_settled[3] = {0, 0, 0};
+    std::uint64_t in_stale[3] = {0, 0, 0};
+    std::uint64_t in_changed[3] = {0, 0, 0};
+    std::uint64_t in_pulsing[3] = {0, 0, 0};
+    const double* in_time[3] = {nullptr, nullptr, nullptr};
+    const double* in_ps[3] = {nullptr, nullptr, nullptr};
+    const double* in_pe[3] = {nullptr, nullptr, nullptr};
+    std::uint64_t any_pulse = 0;
+    for (int i = 0; i < n; ++i) {
+      const NetId in = g.in[i];
+      const auto base = static_cast<std::size_t>(in) * kLanes;
+      in_settled[i] = settled_w_[in];
+      in_stale[i] = stale_w_[in];
+      in_changed[i] = in_settled[i] ^ in_stale[i];
+      in_pulsing[i] = pulsing_w_[in];
+      in_time[i] = &time_ps_[base];
+      in_ps[i] = &pulse_start_ps_[base];
+      in_pe[i] = &pulse_end_ps_[base];
+      any_pulse |= in_pulsing[i];
+    }
+
+    // W[s]: packed gate value with the inputs in subset s still stale.
+    std::uint64_t W[8];
+    for (unsigned s = 0; s <= full; ++s) {
+      const std::uint64_t wa =
+          n > 0 ? ((s & 1u) ? in_stale[0] : in_settled[0]) : 0;
+      const std::uint64_t wb =
+          n > 1 ? ((s & 2u) ? in_stale[1] : in_settled[1]) : 0;
+      const std::uint64_t wc =
+          n > 2 ? ((s & 4u) ? in_stale[2] : in_settled[2]) : 0;
+      W[s] = eval_packed(g.kind, wa, wb, wc) & used;
+    }
+    const std::uint64_t settled = W[0];
+    settled_w_[out] = settled;
+    const std::uint64_t stale =
+        ((settled << 1) | static_cast<std::uint64_t>(state_[out] & 1)) & used;
+    stale_w_[out] = stale;
+    const std::uint64_t changed = settled ^ stale;
+
+    std::uint64_t sampled = stale;
+    std::uint64_t pulsing = 0;
+    const double delay = gate_delay_ps_[gid];
+    const double energy = net_energy_fj_[out];
+    const auto base_out = static_cast<std::size_t>(out) * kLanes;
+    double* tout = &time_ps_[base_out];
+    double* pout_s = &pulse_start_ps_[base_out];
+    double* pout_e = &pulse_end_ps_[base_out];
+
+    // Changed-input count masks, pulse-free lanes only.
+    const std::uint64_t ch0 = in_changed[0];
+    const std::uint64_t ch1 = in_changed[1];
+    const std::uint64_t ch2 = in_changed[2];
+    const std::uint64_t pairs = (ch0 & ch1) | (ch0 & ch2) | (ch1 & ch2);
+    const std::uint64_t three = ch0 & ch1 & ch2 & ~any_pulse & used;
+    const std::uint64_t two = pairs & ~(ch0 & ch1 & ch2) & ~any_pulse & used;
+    const std::uint64_t one =
+        (ch0 ^ ch1 ^ ch2) & ~pairs & ~any_pulse & used;
+
+    // Exactly one changed input: a sensitized lane commits once at
+    // t + delay; a non-sensitized lane does nothing at all.
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t m = one & in_changed[i] & (W[1u << i] ^ settled);
+      while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        const double tc = in_time[i][k] + delay;
+        if (acct.commit(out, k, tc, energy)) sampled ^= 1ULL << k;
+        tout[k] = tc;
+      }
+    }
+
+    // Exactly two changed inputs (i first, j second by transition
+    // time): the trajectory is stale → mid → settled with
+    // mid = W[{j}] while j is still old.
+    for (int i = 0; n >= 2 && i < n - 1; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        std::uint64_t m = two & in_changed[i] & in_changed[j];
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          const std::uint64_t bit = 1ULL << k;
+          double tf = in_time[i][k];
+          double ts = in_time[j][k];
+          std::uint64_t mid_w = W[1u << j];
+          if (ts < tf) {
+            std::swap(tf, ts);
+            mid_w = W[1u << i];
+          }
+          if ((changed & bit) != 0) {
+            // Single commit: at the first flip when it already
+            // produces the final value, else at the second.
+            const double tc =
+                (((mid_w ^ settled) & bit) == 0 ? tf : ts) + delay;
+            if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+            tout[k] = tc;
+          } else if (((mid_w ^ settled) & bit) != 0 && tf + delay <= ts) {
+            // Surviving glitch pulse [tf+delay, ts+delay) on an
+            // unchanged output: two commits, forwarded downstream;
+            // a capture edge inside it samples the transient.
+            const double t1 = tf + delay;
+            const double t2 = ts + delay;
+            if (acct.commit(out, k, t1, energy)) sampled ^= bit;
+            if (acct.commit(out, k, t2, energy)) sampled ^= bit;
+            pulsing |= bit;
+            pout_s[k] = t1;
+            pout_e[k] = t2;
+          }
+        }
+      }
+    }
+
+    // Three changed inputs: walk the four subset states in transition
+    // order with the inertial rule.
+    std::uint64_t m = three;
+    while (m != 0) {
+      const int k = std::countr_zero(m);
+      m &= m - 1;
+      int order[3] = {0, 1, 2};
+      if (in_time[order[1]][k] < in_time[order[0]][k])
+        std::swap(order[0], order[1]);
+      if (in_time[order[2]][k] < in_time[order[1]][k])
+        std::swap(order[1], order[2]);
+      if (in_time[order[1]][k] < in_time[order[0]][k])
+        std::swap(order[0], order[1]);
+      const std::uint64_t bit = 1ULL << k;
+      unsigned s = full;
+      unsigned cur = static_cast<unsigned>((stale >> k) & 1ULL);
+      bool pending = false;
+      double commit_t = 0.0;
+      double first_c = -1.0;
+      double last_c = 0.0;
+      int ncommits = 0;
+      const auto do_commit = [&](double tc) {
+        cur ^= 1u;
+        ++ncommits;
+        if (first_c < 0.0) first_c = tc;
+        last_c = tc;
+        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+      };
+      for (int j = 0; j < 3; ++j) {
+        const double t = in_time[order[j]][k];
+        if (pending && commit_t <= t) {
+          do_commit(commit_t);
+          pending = false;
+        }
+        s &= ~(1u << order[j]);
+        const auto v = static_cast<unsigned>((W[s] >> k) & 1ULL);
+        if (v != cur && !pending) {
+          pending = true;
+          commit_t = t + delay;
+        } else if (v == cur && pending) {
+          pending = false;  // inertial cancellation
+        }
+      }
+      if (pending) do_commit(commit_t);
+      if ((changed & bit) != 0) {
+        tout[k] = last_c;
+      } else if (ncommits >= 2) {
+        pulsing |= bit;
+        pout_s[k] = first_c;
+        pout_e[k] = last_c;
+      }
+    }
+
+    // Lanes fed by a glitch pulse: generic event walk over the ≤6
+    // input events (flip per changed input, flip-and-return pair per
+    // pulsing input).
+    m = any_pulse & used;
+    if (m != 0) {
+      const std::uint16_t truth = cell_truth(g.kind);
+      double ev_t[6];
+      std::uint8_t ev_i[6];
+      std::uint8_t ev_bit[6];
+      while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        int ne = 0;
+        unsigned idx = 0;
+        for (int i = 0; i < n; ++i) {
+          const auto sbit =
+              static_cast<std::uint8_t>((in_stale[i] >> k) & 1ULL);
+          idx |= static_cast<unsigned>(sbit) << i;
+          if (((in_changed[i] >> k) & 1ULL) != 0) {
+            ev_t[ne] = in_time[i][k];
+            ev_i[ne] = static_cast<std::uint8_t>(i);
+            ev_bit[ne] = static_cast<std::uint8_t>(sbit ^ 1u);
+            ++ne;
+          } else if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+            ev_t[ne] = in_ps[i][k];
+            ev_i[ne] = static_cast<std::uint8_t>(i);
+            ev_bit[ne] = static_cast<std::uint8_t>(sbit ^ 1u);
+            ++ne;
+            ev_t[ne] = in_pe[i][k];
+            ev_i[ne] = static_cast<std::uint8_t>(i);
+            ev_bit[ne] = sbit;
+            ++ne;
+          }
+        }
+        if (ne == 0) continue;
+        for (int x = 1; x < ne; ++x)  // insertion sort, ascending time
+          for (int y = x; y > 0 && ev_t[y] < ev_t[y - 1]; --y) {
+            std::swap(ev_t[y], ev_t[y - 1]);
+            std::swap(ev_i[y], ev_i[y - 1]);
+            std::swap(ev_bit[y], ev_bit[y - 1]);
+          }
+        const std::uint64_t bit = 1ULL << k;
+        unsigned cur = (truth >> idx) & 1u;
+        bool pending = false;
+        double commit_t = 0.0;
+        double first_c = -1.0;
+        double last_c = 0.0;
+        int ncommits = 0;
+        const auto do_commit = [&](double tc) {
+          cur ^= 1u;
+          ++ncommits;
+          if (first_c < 0.0) first_c = tc;
+          last_c = tc;
+          if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        };
+        for (int j = 0; j < ne; ++j) {
+          if (pending && commit_t <= ev_t[j]) {
+            do_commit(commit_t);
+            pending = false;
+          }
+          idx = (idx & ~(1u << ev_i[j])) |
+                (static_cast<unsigned>(ev_bit[j]) << ev_i[j]);
+          const unsigned v = (truth >> idx) & 1u;
+          if (v != cur && !pending) {
+            pending = true;
+            commit_t = ev_t[j] + delay;
+          } else if (v == cur && pending) {
+            pending = false;  // inertial cancellation
+          }
+        }
+        if (pending) do_commit(commit_t);
+        if ((changed & bit) != 0) {
+          tout[k] = last_c;
+        } else if (ncommits >= 2) {
+          pulsing |= bit;
+          pout_s[k] = first_c;
+          pout_e[k] = last_c;
+        }
+      }
+    }
+
+    sampled_w_[out] = sampled;
+    pulsing_w_[out] = pulsing;
+  }
+}
+
+void LevelizedSimulator::carry_state(std::size_t lanes) {
+  const std::size_t last = lanes - 1;
+  for (NetId n = 0; n < static_cast<NetId>(netlist_.num_nets()); ++n) {
+    state_[n] = static_cast<std::uint8_t>((settled_w_[n] >> last) & 1ULL);
+    sampled_state_[n] =
+        static_cast<std::uint8_t>((sampled_w_[n] >> last) & 1ULL);
+  }
+}
+
+void LevelizedSimulator::run_lanes(std::size_t lanes,
+                                   std::span<StepResult> results) {
+  for (std::size_t k = 0; k < lanes; ++k) results[k] = StepResult{};
+  SingleThresholdAcct acct{tclk_ps_, results.data()};
+  run_lanes_impl(lanes, acct);
+
+  const auto pos = netlist_.primary_outputs();
+  for (std::size_t k = 0; k < lanes; ++k) {
+    std::uint64_t sampled = 0;
+    std::uint64_t settled = 0;
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      sampled |= ((sampled_w_[pos[j]] >> k) & 1ULL) << j;
+      settled |= ((settled_w_[pos[j]] >> k) & 1ULL) << j;
+    }
+    results[k].sampled_outputs = sampled;
+    results[k].settled_outputs = settled;
+  }
+  carry_state(lanes);
+}
+
+void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
+                                         std::span<const double> thresholds_ps,
+                                         std::span<StepResult> results) {
+  const std::size_t nthr = thresholds_ps.size();
+  const auto pos = netlist_.primary_outputs();
+  const std::size_t npo = pos.size();
+
+  sweep_ediff_.assign((nthr + 1) * kLanes, 0.0);
+  sweep_tdiff_.assign((nthr + 1) * kLanes, 0);
+  sweep_sdiff_.assign(npo * (nthr + 1), 0);
+  sweep_tot_e_.assign(kLanes, 0.0);
+  sweep_tot_t_.assign(kLanes, 0);
+  sweep_settle_.assign(kLanes, 0.0);
+
+  MultiThresholdAcct acct{thresholds_ps,     sweep_ediff_.data(),
+                          sweep_tdiff_.data(), sweep_sdiff_.data(),
+                          sweep_tot_e_.data(), sweep_tot_t_.data(),
+                          sweep_settle_.data(), po_index_.data()};
+  run_lanes_impl(lanes, acct);
+
+  // Prefix over buckets: threshold j sees every commit in buckets ≤ j.
+  // sweep_ediff_/tdiff_ become per-threshold window sums in place;
+  // sweep_sdiff_ becomes per-threshold sampled words (base: stale).
+  for (std::size_t j = 1; j < nthr; ++j) {
+    double* ej = &sweep_ediff_[j * kLanes];
+    const double* ep = &sweep_ediff_[(j - 1) * kLanes];
+    std::uint32_t* tj = &sweep_tdiff_[j * kLanes];
+    const std::uint32_t* tp = &sweep_tdiff_[(j - 1) * kLanes];
+    for (std::size_t k = 0; k < lanes; ++k) {
+      ej[k] += ep[k];
+      tj[k] += tp[k];
+    }
+  }
+  for (std::size_t p = 0; p < npo; ++p) {
+    std::uint64_t run = stale_w_[pos[p]];
+    for (std::size_t j = 0; j < nthr; ++j) {
+      run ^= sweep_sdiff_[p * (nthr + 1) + j];
+      sweep_sdiff_[p * (nthr + 1) + j] = run;
+    }
+  }
+
+  for (std::size_t k = 0; k < lanes; ++k) {
+    std::uint64_t settled = 0;
+    for (std::size_t p = 0; p < npo; ++p)
+      settled |= ((settled_w_[pos[p]] >> k) & 1ULL) << p;
+    for (std::size_t j = 0; j < nthr; ++j) {
+      StepResult& r = results[k * nthr + j];
+      std::uint64_t sampled = 0;
+      for (std::size_t p = 0; p < npo; ++p)
+        sampled |=
+            ((sweep_sdiff_[p * (nthr + 1) + j] >> k) & 1ULL) << p;
+      r.sampled_outputs = sampled;
+      r.settled_outputs = settled;
+      r.window_energy_fj = sweep_ediff_[j * kLanes + k];
+      r.toggles_in_window = sweep_tdiff_[j * kLanes + k];
+      r.total_energy_fj = sweep_tot_e_[k];
+      r.toggles_total = sweep_tot_t_[k];
+      r.settle_time_ps = sweep_settle_[k];
+    }
+  }
+  carry_state(lanes);
+}
+
+}  // namespace vosim

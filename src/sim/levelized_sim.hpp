@@ -1,0 +1,149 @@
+// Bit-parallel levelized timing simulation: the fast SimEngine backend.
+//
+// The netlist is levelized once (the topological order computed by
+// Netlist::finalize) and every pass evaluates up to 64 patterns at a
+// time, one pattern per bit of a packed uint64_t lane word per net.
+// Timing errors are modeled without an event queue: each net makes at
+// most one transition per operation, at a data-dependent transition
+// time bounded by the STA arrival model (src/sta/sta.hpp) — the
+// transition time of a gate output is the latest transition among its
+// *changed* inputs plus the gate delay. A lane whose transition time
+// exceeds Tclk latches its stale lane value (the previous pattern's
+// settled value), reproducing the paper's VOS timing-error semantics.
+//
+// Divergences from the event-driven reference (DESIGN.md §7): no
+// glitches (a sampled value is always old-or-new, never a transient),
+// no inertial pulse filtering, and dynamic energy counts at most one
+// toggle per net per operation.
+#ifndef VOSIM_SIM_LEVELIZED_SIM_HPP
+#define VOSIM_SIM_LEVELIZED_SIM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/sim/sim_engine.hpp"
+#include "src/tech/operating_point.hpp"
+
+namespace vosim {
+
+/// Levelized bit-parallel simulator bound to one netlist, library and
+/// triad. Same streaming-state semantics as TimingSimulator: lane k's
+/// stale value is lane k-1's settled value (lane 0 continues from the
+/// state left by the previous reset/step/step_batch).
+class LevelizedSimulator final : public SimEngine {
+ public:
+  /// Patterns evaluated per packed pass.
+  static constexpr std::size_t kLanes = 64;
+
+  LevelizedSimulator(const Netlist& netlist, const CellLibrary& lib,
+                     const OperatingTriad& op,
+                     const TimingSimConfig& config = {});
+
+  // -- SimEngine ---------------------------------------------------------
+  EngineKind kind() const noexcept override { return EngineKind::kLevelized; }
+  const Netlist& netlist() const noexcept override { return netlist_; }
+  const OperatingTriad& triad() const noexcept override { return op_; }
+
+  void reset(std::span<const std::uint8_t> inputs) override;
+  StepResult step(std::span<const std::uint8_t> inputs) override;
+  void step_batch(std::span<const std::uint8_t> inputs, std::size_t count,
+                  std::span<StepResult> results) override;
+
+  /// One timing pass, many capture thresholds: simulates the batch with
+  /// this simulator's delays and evaluates every pattern against each
+  /// clock threshold (ps, ascending), filling
+  /// results[i * thresholds.size() + j] exactly as if step_batch had
+  /// run with Tclk = thresholds[j]. Because supply and body bias scale
+  /// every gate delay by one common factor (gate_delay_ps = nominal ×
+  /// delay_scale(Vdd, Vbb)) and the inertial pulse-survival rule is
+  /// scale-invariant, a whole Tclk/Vdd/Vbb characterization grid
+  /// reduces to one normalized timing pass per die: triad (T, V, B)
+  /// is threshold T·1e3·delay_scale(ref)/delay_scale(V, B) with window
+  /// energies scaled by (V/V_ref)² — see characterize_adder.
+  /// Leakage is NOT included in the energies (it is per-triad).
+  /// After this call sampled_values() reflects no single threshold.
+  void step_batch_sweep(std::span<const std::uint8_t> inputs,
+                        std::size_t count,
+                        std::span<const double> thresholds_ps,
+                        std::span<StepResult> results);
+
+  double leakage_energy_fj_per_op() const noexcept override {
+    return leakage_energy_fj_;
+  }
+  std::span<const std::uint8_t> sampled_values() const noexcept override {
+    return sampled_state_;
+  }
+  std::span<const std::uint8_t> settled_values() const noexcept override {
+    return state_;
+  }
+
+  // -- levelized-engine specifics ----------------------------------------
+  /// STA worst-case arrival of a net at this triad, with this die's
+  /// per-gate variation applied (ps).
+  double arrival_ps(NetId net) const { return arrival_ps_.at(net); }
+  /// Latest primary-output arrival (ps).
+  double critical_path_ps() const noexcept { return critical_path_ps_; }
+  /// Assigned delay of a gate (after variation), ps.
+  double gate_delay(GateId gid) const { return gate_delay_ps_.at(gid); }
+
+ private:
+  /// Evaluates one packed pass over `lanes` patterns already loaded into
+  /// the primary-input lane words; `acct` records every net commit
+  /// (transition) and decides window membership for sampling.
+  template <class Acct>
+  void run_lanes_impl(std::size_t lanes, Acct& acct);
+
+  /// Single-threshold pass at this simulator's Tclk, filling `results`.
+  void run_lanes(std::size_t lanes, std::span<StepResult> results);
+
+  /// Multi-threshold pass; results is lanes × thresholds pattern-major.
+  void run_lanes_sweep(std::size_t lanes,
+                       std::span<const double> thresholds_ps,
+                       std::span<StepResult> results);
+
+  /// Carries the last lane's settled (and sampled) values into state_.
+  void carry_state(std::size_t lanes);
+
+  const Netlist& netlist_;
+  OperatingTriad op_;
+  double tclk_ps_ = 0.0;
+  double leakage_energy_fj_ = 0.0;
+  double critical_path_ps_ = 0.0;
+
+  std::vector<double> gate_delay_ps_;  // per gate, incl. variation
+  std::vector<double> net_energy_fj_;  // per net, energy of one toggle
+  std::vector<double> arrival_ps_;     // per net, STA bound
+
+  // Streaming state carried between operations (one value per net).
+  std::vector<std::uint8_t> state_;          // settled after last op
+  std::vector<std::uint8_t> sampled_state_;  // sampled at last op's edge
+
+  // Per-pass scratch, indexed by net (lane words) / net*kLanes (times).
+  std::vector<std::uint64_t> settled_w_;
+  std::vector<std::uint64_t> stale_w_;
+  std::vector<std::uint64_t> sampled_w_;
+  std::vector<double> time_ps_;  // transition time per net per lane
+  // Glitch pulses on unchanged nets: lanes flagged in pulsing_w_ carry
+  // one surviving pulse (value = complement of the settled value)
+  // spanning [pulse_start, pulse_end) — propagated downstream and
+  // sampled when the capture edge falls inside it.
+  std::vector<std::uint64_t> pulsing_w_;
+  std::vector<double> pulse_start_ps_;
+  std::vector<double> pulse_end_ps_;
+
+  // Sweep support: primary-output index per net (-1 if not a PO) and
+  // per-batch threshold-bucket scratch (sized on first sweep call).
+  std::vector<std::int32_t> po_index_;
+  std::vector<double> sweep_ediff_;        // (nthr+1) × kLanes
+  std::vector<std::uint32_t> sweep_tdiff_;  // (nthr+1) × kLanes
+  std::vector<std::uint64_t> sweep_sdiff_;  // nPO × (nthr+1)
+  std::vector<double> sweep_tot_e_;         // per lane
+  std::vector<std::uint32_t> sweep_tot_t_;  // per lane
+  std::vector<double> sweep_settle_;        // per lane
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_SIM_LEVELIZED_SIM_HPP

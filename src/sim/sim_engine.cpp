@@ -1,0 +1,49 @@
+#include "src/sim/sim_engine.hpp"
+
+#include <stdexcept>
+
+#include "src/sim/event_sim.hpp"
+#include "src/sim/levelized_sim.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+std::string engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kEvent: return "event";
+    case EngineKind::kLevelized: return "levelized";
+  }
+  return "unknown";
+}
+
+EngineKind parse_engine_kind(const std::string& name) {
+  if (name == "event") return EngineKind::kEvent;
+  if (name == "levelized") return EngineKind::kLevelized;
+  throw std::invalid_argument("unknown engine: " + name +
+                              " (expected event|levelized)");
+}
+
+void SimEngine::step_batch(std::span<const std::uint8_t> inputs,
+                           std::size_t count,
+                           std::span<StepResult> results) {
+  const std::size_t npis = netlist().primary_inputs().size();
+  VOSIM_EXPECTS(inputs.size() == count * npis);
+  VOSIM_EXPECTS(results.size() >= count);
+  for (std::size_t k = 0; k < count; ++k)
+    results[k] = step(inputs.subspan(k * npis, npis));
+}
+
+std::unique_ptr<SimEngine> make_engine(const Netlist& netlist,
+                                       const CellLibrary& lib,
+                                       const OperatingTriad& op,
+                                       const TimingSimConfig& config) {
+  switch (config.engine) {
+    case EngineKind::kEvent:
+      return std::make_unique<TimingSimulator>(netlist, lib, op, config);
+    case EngineKind::kLevelized:
+      return std::make_unique<LevelizedSimulator>(netlist, lib, op, config);
+  }
+  throw std::invalid_argument("unknown EngineKind");
+}
+
+}  // namespace vosim

@@ -1,0 +1,147 @@
+// SimEngine: the common interface of the gate-level VOS simulators.
+//
+// The characterization flow (Fig. 4) runs ~20k patterns per operating
+// triad over a large Tclk/Vdd/Vbb grid; every consumer — characterizer,
+// apps, runtime controllers, benches — talks to the simulator through
+// this interface so the backend can be chosen per sweep:
+//
+//   kEvent      event-driven simulation with inertial delays — the
+//               accuracy reference (src/sim/event_sim.hpp).
+//   kLevelized  bit-parallel levelized simulation — one topological
+//               pass evaluates 64 patterns at once in packed uint64_t
+//               lanes, with per-lane transition times bounded by the
+//               STA arrival model (src/sim/levelized_sim.hpp). An
+//               order of magnitude faster on full-grid sweeps.
+//
+// DESIGN.md §7 documents the levelized error model and when the two
+// backends diverge (glitches, inertial pulse filtering).
+#ifndef VOSIM_SIM_SIM_ENGINE_HPP
+#define VOSIM_SIM_SIM_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+#include "src/tech/operating_point.hpp"
+
+namespace vosim {
+
+/// Available simulation backends.
+enum class EngineKind : std::uint8_t {
+  kEvent,      ///< event queue + inertial delays (accuracy reference)
+  kLevelized,  ///< bit-parallel levelized arrival-time model (fast)
+};
+
+/// Display/CLI name: "event" or "levelized".
+std::string engine_kind_name(EngineKind kind);
+
+/// Parses "event" / "levelized"; throws std::invalid_argument otherwise.
+EngineKind parse_engine_kind(const std::string& name);
+
+/// Simulator knobs, shared by both backends.
+struct TimingSimConfig {
+  /// Per-gate log-normal delay variation sigma (0 = deterministic).
+  /// Models within-die process variation; one sample is drawn per gate
+  /// at construction ("one die") and reused across operations. Both
+  /// backends draw the identical sample sequence, so a given
+  /// (sigma, seed) names the same die under either engine.
+  double variation_sigma = 0.0;
+  /// Seed for the per-gate variation sample.
+  std::uint64_t variation_seed = 1;
+  /// Record every committed transition of the next step() for waveform
+  /// inspection (see src/sim/vcd.hpp). Off by default: tracing allocates
+  /// per event. Event engine only. Collect with
+  /// TimingSimulator::take_trace().
+  bool record_trace = false;
+  /// Backend built by make_engine() and the engine-generic wrappers
+  /// (VosAdderSim, characterize_adder, AdaptiveVosAdder).
+  EngineKind engine = EngineKind::kEvent;
+};
+
+/// One committed transition (for waveform dumps).
+struct TraceEvent {
+  double time_ps = 0.0;
+  NetId net = invalid_net;
+  std::uint8_t value = 0;
+};
+
+/// Result of simulating one clocked operation (two-vector transition).
+struct StepResult {
+  /// Values sampled at t = Tclk (what the capture registers see).
+  std::uint64_t sampled_outputs = 0;  // packed in primary-output order
+  /// Fully settled values (t → ∞), i.e. the functionally correct result.
+  std::uint64_t settled_outputs = 0;
+  /// Time of the last committed transition (ps).
+  double settle_time_ps = 0.0;
+  /// Dynamic energy of transitions inside the clock window [0, Tclk) —
+  /// in a pipeline, switching after the clock edge belongs to the next
+  /// operation, and deep VOS truncates carry activity (DESIGN.md §6.3).
+  double window_energy_fj = 0.0;
+  /// Dynamic energy of *all* transitions until quiescence (what a
+  /// non-pipelined accounting would charge; see the energy-window
+  /// ablation bench).
+  double total_energy_fj = 0.0;
+  /// Transition counts (inside the window / total until settled).
+  std::uint32_t toggles_in_window = 0;
+  std::uint32_t toggles_total = 0;
+};
+
+/// Abstract gate-level simulator bound to one netlist, library and triad.
+///
+/// Usage: reset() to establish the initial state, then step() per
+/// operation (state persists between steps like a real datapath between
+/// clock edges, DESIGN.md §6.5) or step_batch() to stream many
+/// operations with the same semantics.
+class SimEngine {
+ public:
+  virtual ~SimEngine() = default;
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  virtual EngineKind kind() const noexcept = 0;
+  virtual const Netlist& netlist() const noexcept = 0;
+  virtual const OperatingTriad& triad() const noexcept = 0;
+
+  /// Applies input values and lets the circuit settle completely
+  /// (no sampling, no energy accounting).
+  virtual void reset(std::span<const std::uint8_t> inputs) = 0;
+
+  /// Applies a new input vector at t = 0, propagates it, samples at
+  /// Tclk and settles. Returns packed outputs and energy.
+  virtual StepResult step(std::span<const std::uint8_t> inputs) = 0;
+
+  /// Streams `count` operations: pattern k occupies
+  /// inputs[k*P, (k+1)*P) where P = netlist().primary_inputs().size(),
+  /// and its outcome lands in results[k]. Equivalent to `count` calls
+  /// to step(); the levelized backend overrides this to evaluate 64
+  /// patterns per pass in packed lanes.
+  virtual void step_batch(std::span<const std::uint8_t> inputs,
+                          std::size_t count, std::span<StepResult> results);
+
+  /// Per-operation leakage energy at this triad (fJ): leakage power
+  /// integrated over one clock period.
+  virtual double leakage_energy_fj_per_op() const noexcept = 0;
+
+  /// Values sampled at the last step's clock edge, one per net. After
+  /// step_batch(), the last pattern's sample.
+  virtual std::span<const std::uint8_t> sampled_values() const noexcept = 0;
+
+  /// Fully settled values after the last reset/step (one per net).
+  virtual std::span<const std::uint8_t> settled_values() const noexcept = 0;
+
+ protected:
+  SimEngine() = default;
+};
+
+/// Builds the backend selected by `config.engine`.
+std::unique_ptr<SimEngine> make_engine(const Netlist& netlist,
+                                       const CellLibrary& lib,
+                                       const OperatingTriad& op,
+                                       const TimingSimConfig& config = {});
+
+}  // namespace vosim
+
+#endif  // VOSIM_SIM_SIM_ENGINE_HPP

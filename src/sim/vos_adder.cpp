@@ -1,67 +1,55 @@
 #include "src/sim/vos_adder.hpp"
 
-#include <algorithm>
-
-#include "src/sim/logic.hpp"
-#include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
 
 namespace vosim {
 
-namespace {
-
-/// Position of `net` within the primary-input order.
-std::size_t pi_slot(const Netlist& nl, NetId net) {
-  const auto pis = nl.primary_inputs();
-  const auto it = std::find(pis.begin(), pis.end(), net);
-  VOSIM_EXPECTS(it != pis.end());
-  return static_cast<std::size_t>(it - pis.begin());
-}
-
-}  // namespace
-
 VosAdderSim::VosAdderSim(const AdderNetlist& adder, const CellLibrary& lib,
                          const OperatingTriad& op,
                          const TimingSimConfig& config)
-    : adder_(adder), sim_(adder.netlist, lib, op, config) {
+    : adder_(adder),
+      pins_(adder),
+      sim_(make_engine(adder.netlist, lib, op, config)) {
   input_buf_.assign(adder_.netlist.primary_inputs().size(), 0);
-  a_slot_.reserve(adder_.a.size());
-  b_slot_.reserve(adder_.b.size());
-  for (const NetId n : adder_.a) a_slot_.push_back(pi_slot(adder_.netlist, n));
-  for (const NetId n : adder_.b) b_slot_.push_back(pi_slot(adder_.netlist, n));
   // A carry-in pin, if present, is held at zero (the paper's operators
   // are plain two-operand adders).
   reset(0, 0);
 }
 
-void VosAdderSim::fill_inputs(std::uint64_t a, std::uint64_t b) {
-  VOSIM_EXPECTS((a & ~mask_n(adder_.width)) == 0);
-  VOSIM_EXPECTS((b & ~mask_n(adder_.width)) == 0);
-  for (std::size_t i = 0; i < a_slot_.size(); ++i)
-    input_buf_[a_slot_[i]] =
-        static_cast<std::uint8_t>((a >> i) & 1ULL);
-  for (std::size_t i = 0; i < b_slot_.size(); ++i)
-    input_buf_[b_slot_[i]] =
-        static_cast<std::uint8_t>((b >> i) & 1ULL);
+VosAddResult VosAdderSim::unpack(const StepResult& st) const {
+  VosAddResult out;
+  out.sampled = pins_.gather_sum(st.sampled_outputs);
+  out.settled = pins_.gather_sum(st.settled_outputs);
+  out.energy_fj = st.window_energy_fj + sim_->leakage_energy_fj_per_op();
+  out.settle_time_ps = st.settle_time_ps;
+  return out;
 }
 
 void VosAdderSim::reset(std::uint64_t a, std::uint64_t b) {
-  fill_inputs(a, b);
-  sim_.settle(input_buf_);
+  pins_.fill_inputs(a, b, input_buf_.data());
+  sim_->reset(input_buf_);
 }
 
 VosAddResult VosAdderSim::add(std::uint64_t a, std::uint64_t b) {
-  fill_inputs(a, b);
-  const StepResult st = sim_.step(input_buf_);
+  pins_.fill_inputs(a, b, input_buf_.data());
+  return unpack(sim_->step(input_buf_));
+}
 
-  VosAddResult out;
-  out.sampled = pack_word(sim_.sampled_values(), adder_.sum);
-  // After run_events the simulator values are fully settled.
-  for (std::size_t i = 0; i < adder_.sum.size(); ++i)
-    if (sim_.value(adder_.sum[i])) out.settled |= (1ULL << i);
-  out.energy_fj = st.window_energy_fj + sim_.leakage_energy_fj_per_op();
-  out.settle_time_ps = st.settle_time_ps;
-  return out;
+void VosAdderSim::add_batch(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b,
+                            std::span<VosAddResult> results) {
+  VOSIM_EXPECTS(a.size() == b.size());
+  VOSIM_EXPECTS(results.size() >= a.size());
+  const std::size_t count = a.size();
+  if (count == 0) return;
+  const std::size_t npis = input_buf_.size();
+  // Unset PIs (e.g. a carry-in pin) stay zero across the whole batch.
+  batch_buf_.assign(count * npis, 0);
+  step_buf_.resize(count);
+  for (std::size_t k = 0; k < count; ++k)
+    pins_.fill_inputs(a[k], b[k], batch_buf_.data() + k * npis);
+  sim_->step_batch(batch_buf_, count, step_buf_);
+  for (std::size_t k = 0; k < count; ++k) results[k] = unpack(step_buf_[k]);
 }
 
 }  // namespace vosim

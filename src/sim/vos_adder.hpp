@@ -1,13 +1,17 @@
-// High-level word interface over the timing simulator: "an adder
-// operated at a voltage-over-scaled triad" (paper Fig. 2).
+// High-level word interface over a timing-simulation engine: "an adder
+// operated at a voltage-over-scaled triad" (paper Fig. 2). The backend
+// (event-driven reference or bit-parallel levelized) is chosen by
+// TimingSimConfig::engine.
 #ifndef VOSIM_SIM_VOS_ADDER_HPP
 #define VOSIM_SIM_VOS_ADDER_HPP
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/netlist/adders.hpp"
-#include "src/sim/event_sim.hpp"
+#include "src/sim/sim_engine.hpp"
 
 namespace vosim {
 
@@ -29,7 +33,8 @@ struct VosAddResult {
 /// pipeline registers; reset() re-settles to a known input pair.
 class VosAdderSim {
  public:
-  /// The adder must outlive the simulator.
+  /// The adder must outlive the simulator. `config.engine` selects the
+  /// backend (event-driven by default).
   VosAdderSim(const AdderNetlist& adder, const CellLibrary& lib,
               const OperatingTriad& op, const TimingSimConfig& config = {});
 
@@ -39,22 +44,35 @@ class VosAdderSim {
   /// Performs one clocked addition. Operands must fit in width bits.
   VosAddResult add(std::uint64_t a, std::uint64_t b);
 
+  /// Streams `a.size()` clocked additions (a[i], b[i]) with the same
+  /// state semantics as consecutive add() calls, filling results[i].
+  /// The levelized backend evaluates these 64 patterns per pass, which
+  /// is where its order-of-magnitude sweep speedup comes from.
+  void add_batch(std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b,
+                 std::span<VosAddResult> results);
+
   int width() const noexcept { return adder_.width; }
   const AdderNetlist& adder() const noexcept { return adder_; }
-  const OperatingTriad& triad() const noexcept { return sim_.triad(); }
+  const OperatingTriad& triad() const noexcept { return sim_->triad(); }
   /// Leakage energy charged to every operation at this triad (fJ).
   double leakage_energy_fj() const noexcept {
-    return sim_.leakage_energy_fj_per_op();
+    return sim_->leakage_energy_fj_per_op();
   }
+  /// Backend this simulator runs on.
+  EngineKind engine_kind() const noexcept { return sim_->kind(); }
+  /// The underlying engine (e.g. for net-level inspection).
+  const SimEngine& engine() const noexcept { return *sim_; }
 
  private:
-  void fill_inputs(std::uint64_t a, std::uint64_t b);
+  VosAddResult unpack(const StepResult& st) const;
 
   const AdderNetlist& adder_;
-  TimingSimulator sim_;
+  AdderPinMap pins_;
+  std::unique_ptr<SimEngine> sim_;
   std::vector<std::uint8_t> input_buf_;
-  std::vector<std::size_t> a_slot_;  // PI-vector position of a[i]
-  std::vector<std::size_t> b_slot_;  // PI-vector position of b[i]
+  std::vector<std::uint8_t> batch_buf_;  // batched input vectors
+  std::vector<StepResult> step_buf_;     // batched step results
 };
 
 }  // namespace vosim

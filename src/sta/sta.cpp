@@ -50,6 +50,21 @@ TimingAnalysis analyze_timing(const Netlist& netlist, const CellLibrary& lib,
   return out;
 }
 
+std::vector<double> arrival_times_ps(const Netlist& netlist,
+                                     std::span<const double> gate_delay_ps) {
+  VOSIM_EXPECTS(netlist.finalized());
+  VOSIM_EXPECTS(gate_delay_ps.size() == netlist.num_gates());
+  std::vector<double> arrival(netlist.num_nets(), 0.0);
+  for (const GateId gid : netlist.topo_order()) {
+    const Gate& g = netlist.gate(gid);
+    double in_arr = 0.0;
+    for (std::uint8_t i = 0; i < g.num_inputs; ++i)
+      in_arr = std::max(in_arr, arrival[g.in[i]]);
+    arrival[g.out] = in_arr + gate_delay_ps[gid];
+  }
+  return arrival;
+}
+
 std::vector<double> contamination_delays_ps(const Netlist& netlist,
                                             const CellLibrary& lib,
                                             const OperatingTriad& op) {

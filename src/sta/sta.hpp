@@ -6,6 +6,7 @@
 #ifndef VOSIM_STA_STA_HPP
 #define VOSIM_STA_STA_HPP
 
+#include <span>
 #include <vector>
 
 #include "src/netlist/netlist.hpp"
@@ -30,6 +31,16 @@ struct TimingAnalysis {
 /// not an input to arrival times).
 TimingAnalysis analyze_timing(const Netlist& netlist, const CellLibrary& lib,
                               const OperatingTriad& op);
+
+/// Worst-case arrival time per net when the per-gate delays are supplied
+/// externally, e.g. with a process-variation sample applied (the same
+/// "die" the simulators use): primary inputs arrive at 0 and
+/// arrival[gate.out] = max over gate inputs + gate_delay_ps[gate].
+/// `gate_delay_ps` must have one entry per gate. This is the arrival
+/// model the levelized simulation backend latches stale values against
+/// (src/sim/levelized_sim.hpp).
+std::vector<double> arrival_times_ps(const Netlist& netlist,
+                                     std::span<const double> gate_delay_ps);
 
 /// Shortest-path (contamination) delay per primary output at `op` (ps).
 std::vector<double> contamination_delays_ps(const Netlist& netlist,

@@ -1,63 +1,121 @@
 #include "src/util/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <limits>
 
 namespace vosim {
+
+namespace {
+// Set while a thread executes pool work; reentrant parallel() calls from
+// such a thread run inline instead of deadlocking on the sleeping pool.
+thread_local bool in_pool_body = false;
+}  // namespace
 
 unsigned hardware_parallelism() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
-void parallel_for(std::size_t count,
-                  const std::function<void(std::size_t)>& body,
-                  unsigned max_threads) {
-  if (count == 0) return;
-  unsigned workers = max_threads == 0 ? hardware_parallelism() : max_threads;
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, count));
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = hardware_parallelism() - 1;
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
 
-  if (workers <= 1) {
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+void ThreadPool::work_on(Job& job, std::unique_lock<std::mutex>& lk) {
+  // Claim indices one at a time under the pool lock; bodies are coarse
+  // (whole-triad characterizations), so claim cost is negligible. Once
+  // any body fails, job.stop cancels the unclaimed remainder — a
+  // contract violation at index 3 of a large sweep must not burn the
+  // remaining bodies.
+  ++busy_;
+  while (!job.stop && job.next < job.count) {
+    const std::size_t i = job.next++;
+    lk.unlock();
+    std::exception_ptr err;
+    const bool was_in_body = in_pool_body;
+    in_pool_body = true;
+    try {
+      (*job.body)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    in_pool_body = was_in_body;
+    lk.lock();
+    if (err) {
+      if (!job.error) job.error = err;
+      job.stop = true;
+    }
+  }
+  --busy_;
+  done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    wake_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (job == nullptr || job->participants >= job->max_participants)
+      continue;
+    ++job->participants;
+    work_on(*job, lk);
+  }
+}
+
+void ThreadPool::parallel(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          unsigned max_threads) {
+  if (count == 0) return;
+  const std::size_t cap =
+      max_threads == 0 ? std::numeric_limits<std::size_t>::max() : max_threads;
+  if (in_pool_body || workers_.empty() || cap <= 1 || count == 1) {
+    // Serial (or reentrant) path: in index order on the calling thread.
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> stop{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::lock_guard<std::mutex> submit_lock(submit_m_);
+  Job job;
+  job.count = count;
+  job.body = &body;
+  job.max_participants = static_cast<unsigned>(
+      std::min({cap, count, workers_.size() + 1}));
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    job_ = &job;
+    ++generation_;
+    wake_cv_.notify_all();
+    ++job.participants;  // the submitter works too
+    work_on(job, lk);
+    done_cv_.wait(lk, [&] { return busy_ == 0; });
+    job_ = nullptr;  // late-waking workers must not touch the dead job
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
 
-  auto worker = [&] {
-    // Check the stop flag in the claim loop so that once any worker
-    // fails, pending iterations are cancelled instead of drained — a
-    // contract violation at index 3 of a million-pattern sweep must not
-    // burn the remaining million-minus-three bodies.
-    while (!stop.load(std::memory_order_acquire)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        stop.store(true, std::memory_order_release);
-        return;
-      }
-    }
-  };
+ThreadPool& shared_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned max_threads) {
+  shared_thread_pool().parallel(count, body, max_threads);
 }
 
 }  // namespace vosim

@@ -46,7 +46,9 @@
 #include "src/runtime/speculation.hpp"
 #include "src/runtime/triad_ladder.hpp"
 #include "src/sim/event_sim.hpp"
+#include "src/sim/levelized_sim.hpp"
 #include "src/sim/logic.hpp"
+#include "src/sim/sim_engine.hpp"
 #include "src/sim/vcd.hpp"
 #include "src/sim/vos_adder.hpp"
 #include "src/sim/word_sim.hpp"

@@ -1,0 +1,344 @@
+// SimEngine abstraction + cross-backend equivalence suite: the
+// bit-parallel levelized engine must agree with the event-driven
+// reference bit-exactly when timing is relaxed, and within a documented
+// BER tolerance when over-scaled (DESIGN.md §7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/characterize/characterizer.hpp"
+#include "src/characterize/patterns.hpp"
+#include "src/netlist/adders.hpp"
+#include "src/netlist/approx_adders.hpp"
+#include "src/netlist/eval.hpp"
+#include "src/sim/event_sim.hpp"
+#include "src/sim/levelized_sim.hpp"
+#include "src/sim/sim_engine.hpp"
+#include "src/sim/vos_adder.hpp"
+#include "src/sta/sta.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/bits.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+double critical_path_ns(const Netlist& nl, const OperatingTriad& op) {
+  return analyze_timing(nl, lib(), op).critical_path_ps * 1e-3;
+}
+
+TEST(SimEngine, KindNamesRoundTrip) {
+  EXPECT_EQ(engine_kind_name(EngineKind::kEvent), "event");
+  EXPECT_EQ(engine_kind_name(EngineKind::kLevelized), "levelized");
+  EXPECT_EQ(parse_engine_kind("event"), EngineKind::kEvent);
+  EXPECT_EQ(parse_engine_kind("levelized"), EngineKind::kLevelized);
+  EXPECT_THROW(parse_engine_kind("spice"), std::invalid_argument);
+}
+
+TEST(SimEngine, FactoryBuildsSelectedBackend) {
+  const AdderNetlist rca = build_rca(4);
+  TimingSimConfig cfg;
+  cfg.engine = EngineKind::kLevelized;
+  const auto lev = make_engine(rca.netlist, lib(), {1.0, 1.0, 0.0}, cfg);
+  EXPECT_EQ(lev->kind(), EngineKind::kLevelized);
+  EXPECT_NE(dynamic_cast<LevelizedSimulator*>(lev.get()), nullptr);
+  cfg.engine = EngineKind::kEvent;
+  const auto ev = make_engine(rca.netlist, lib(), {1.0, 1.0, 0.0}, cfg);
+  EXPECT_EQ(ev->kind(), EngineKind::kEvent);
+  EXPECT_NE(dynamic_cast<TimingSimulator*>(ev.get()), nullptr);
+}
+
+// The packed 64-lane cell evaluator must agree with cell_truth() for
+// every cell kind on every minterm.
+TEST(SimEngine, PackedEvalMatchesTruthTables) {
+  const CellKind kinds[] = {
+      CellKind::kInv,   CellKind::kBuf,   CellKind::kNand2,
+      CellKind::kNor2,  CellKind::kAnd2,  CellKind::kOr2,
+      CellKind::kXor2,  CellKind::kXnor2, CellKind::kAoi21,
+      CellKind::kOai21, CellKind::kAo21,  CellKind::kMaj3};
+  for (const CellKind kind : kinds) {
+    const int n = cell_num_inputs(kind);
+    Netlist nl("cell_" + cell_kind_name(kind));
+    std::vector<NetId> pis;
+    for (int i = 0; i < n; ++i) pis.push_back(nl.add_input("i" + std::to_string(i)));
+    NetId out = invalid_net;
+    switch (n) {
+      case 1: out = nl.add_gate(kind, {pis[0]}); break;
+      case 2: out = nl.add_gate(kind, {pis[0], pis[1]}); break;
+      default: out = nl.add_gate(kind, {pis[0], pis[1], pis[2]}); break;
+    }
+    nl.mark_output(out);
+    nl.finalize();
+
+    TimingSimConfig cfg;
+    cfg.engine = EngineKind::kLevelized;
+    // Generous clock: the evaluation is purely functional.
+    LevelizedSimulator sim(nl, lib(), {100.0, 1.0, 0.0}, cfg);
+    for (unsigned minterm = 0; minterm < (1u << n); ++minterm) {
+      std::vector<std::uint8_t> in(static_cast<std::size_t>(n), 0);
+      for (int i = 0; i < n; ++i)
+        in[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((minterm >> i) & 1u);
+      const StepResult r = sim.step(in);
+      const auto expected =
+          static_cast<std::uint64_t>((cell_truth(kind) >> minterm) & 1u);
+      EXPECT_EQ(r.settled_outputs, expected)
+          << cell_kind_name(kind) << " minterm " << minterm;
+      EXPECT_EQ(r.sampled_outputs, expected)
+          << cell_kind_name(kind) << " minterm " << minterm;
+    }
+  }
+}
+
+// At generous Tclk both engines must agree bit-exactly with the golden
+// zero-delay evaluation on every adder architecture — same stimuli,
+// same per-gate variation die.
+TEST(SimEngine, GenerousTclkBitExactAcrossArchitectures) {
+  const AdderArch archs[] = {
+      AdderArch::kRipple,      AdderArch::kBrentKung, AdderArch::kKoggeStone,
+      AdderArch::kSklansky,    AdderArch::kCarrySelect,
+      AdderArch::kCarrySkip,   AdderArch::kHanCarlson};
+  for (const AdderArch arch : archs) {
+    const AdderNetlist adder = build_adder(arch, 8);
+    const double cp = critical_path_ns(adder.netlist, {1.0, 1.0, 0.0});
+    const OperatingTriad relaxed{2.0 * cp, 1.0, 0.0};
+
+    TimingSimConfig cfg;
+    cfg.variation_sigma = 0.03;
+    cfg.variation_seed = 7;
+    cfg.engine = EngineKind::kEvent;
+    VosAdderSim event_sim(adder, lib(), relaxed, cfg);
+    cfg.engine = EngineKind::kLevelized;
+    VosAdderSim lev_sim(adder, lib(), relaxed, cfg);
+    EXPECT_EQ(event_sim.engine_kind(), EngineKind::kEvent);
+    EXPECT_EQ(lev_sim.engine_kind(), EngineKind::kLevelized);
+
+    PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 42);
+    for (int i = 0; i < 200; ++i) {
+      const OperandPair p = patterns.next();
+      const VosAddResult re = event_sim.add(p.a, p.b);
+      const VosAddResult rl = lev_sim.add(p.a, p.b);
+      const std::uint64_t golden = exact_add(p.a, p.b, 8);
+      EXPECT_EQ(re.sampled, golden) << adder_arch_name(arch);
+      EXPECT_EQ(rl.sampled, golden) << adder_arch_name(arch);
+      EXPECT_EQ(re.settled, golden) << adder_arch_name(arch);
+      EXPECT_EQ(rl.settled, golden) << adder_arch_name(arch);
+    }
+  }
+}
+
+// Approximate architectures: the engines must agree with each other and
+// with the netlist's own functional (settled) behavior.
+TEST(SimEngine, GenerousTclkApproxAdderAgreesAcrossEngines) {
+  const AdderNetlist loa = build_lower_or(8, 3);
+  const double cp = critical_path_ns(loa.netlist, {1.0, 1.0, 0.0});
+  const OperatingTriad relaxed{2.0 * cp, 1.0, 0.0};
+  TimingSimConfig cfg;
+  cfg.engine = EngineKind::kEvent;
+  VosAdderSim event_sim(loa, lib(), relaxed, cfg);
+  cfg.engine = EngineKind::kLevelized;
+  VosAdderSim lev_sim(loa, lib(), relaxed, cfg);
+  PatternStream patterns(PatternPolicy::kUniform, 8, 9);
+  for (int i = 0; i < 200; ++i) {
+    const OperandPair p = patterns.next();
+    const VosAddResult re = event_sim.add(p.a, p.b);
+    const VosAddResult rl = lev_sim.add(p.a, p.b);
+    EXPECT_EQ(re.sampled, rl.sampled);
+    EXPECT_EQ(re.settled, rl.settled);
+  }
+}
+
+// Batched evaluation must reproduce the per-step streaming semantics of
+// the levelized engine exactly (values, energy and settle times).
+TEST(SimEngine, LevelizedBatchMatchesStep) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = critical_path_ns(rca.netlist, {1.0, 0.7, 0.0});
+  const OperatingTriad stressed{0.6 * cp, 0.7, 0.0};
+  TimingSimConfig cfg;
+  cfg.engine = EngineKind::kLevelized;
+
+  VosAdderSim stepper(rca, lib(), stressed, cfg);
+  VosAdderSim batcher(rca, lib(), stressed, cfg);
+  stepper.reset(1, 2);
+  batcher.reset(1, 2);
+
+  constexpr std::size_t n = 200;  // exercises several 64-lane passes
+  PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 5);
+  std::vector<std::uint64_t> a(n);
+  std::vector<std::uint64_t> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const OperandPair p = patterns.next();
+    a[i] = p.a;
+    b[i] = p.b;
+  }
+  std::vector<VosAddResult> batched(n);
+  batcher.add_batch(a, b, batched);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VosAddResult r = stepper.add(a[i], b[i]);
+    EXPECT_EQ(batched[i].sampled, r.sampled) << "pattern " << i;
+    EXPECT_EQ(batched[i].settled, r.settled) << "pattern " << i;
+    EXPECT_DOUBLE_EQ(batched[i].energy_fj, r.energy_fj) << "pattern " << i;
+    EXPECT_DOUBLE_EQ(batched[i].settle_time_ps, r.settle_time_ps)
+        << "pattern " << i;
+  }
+}
+
+// Deep over-scaling: when every path misses the clock, each operation
+// samples the previous operation's settled result — in both engines.
+TEST(SimEngine, DeepOverscalingLatchesPreviousResult) {
+  const AdderNetlist rca = build_rca(8);
+  const OperatingTriad tiny{0.001, 1.0, 0.0};  // 1 ps: everything is late
+  for (const EngineKind kind :
+       {EngineKind::kEvent, EngineKind::kLevelized}) {
+    TimingSimConfig cfg;
+    cfg.engine = kind;
+    VosAdderSim sim(rca, lib(), tiny, cfg);
+    sim.reset(0, 0);
+    std::uint64_t prev_settled = 0;  // sum of the reset state
+    PatternStream patterns(PatternPolicy::kUniform, 8, 3);
+    for (int i = 0; i < 100; ++i) {
+      const OperandPair p = patterns.next();
+      const VosAddResult r = sim.add(p.a, p.b);
+      EXPECT_EQ(r.sampled, prev_settled)
+          << engine_kind_name(kind) << " op " << i;
+      EXPECT_EQ(r.settled, exact_add(p.a, p.b, 8));
+      prev_settled = r.settled;
+    }
+  }
+}
+
+// At over-scaled Tclk the levelized BER must track the event-sim BER
+// within the documented tolerance (DESIGN.md §7: ≤ 2 percentage points
+// on RCA8) — same patterns, same die.
+TEST(SimEngine, OverscaledBerWithinToleranceOnRca8) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = critical_path_ns(rca.netlist, {1.0, 0.8, 0.0});
+  std::vector<OperatingTriad> triads;
+  for (const double ratio : {1.0, 0.85, 0.7, 0.55, 0.4})
+    triads.push_back({ratio * cp, 0.8, 0.0});
+
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 4000;
+  cfg.engine = EngineKind::kEvent;
+  const auto event_res = characterize_adder(rca, lib(), triads, cfg);
+  cfg.engine = EngineKind::kLevelized;
+  const auto lev_res = characterize_adder(rca, lib(), triads, cfg);
+
+  ASSERT_EQ(event_res.size(), lev_res.size());
+  for (std::size_t t = 0; t < triads.size(); ++t) {
+    EXPECT_NEAR(lev_res[t].ber, event_res[t].ber, 0.02)
+        << "triad " << triad_label(triads[t]);
+  }
+  // The sweep actually exercises the error regime.
+  EXPECT_GT(event_res.back().ber, 0.01);
+}
+
+// The characterizer produces identical results through the batched
+// streaming path as the seed's per-pattern loop did (event engine is
+// the default and the reference).
+TEST(SimEngine, CharacterizerDefaultsToEventEngine) {
+  CharacterizeConfig cfg;
+  EXPECT_EQ(cfg.engine, EngineKind::kEvent);
+}
+
+// The characterizer's levelized grid fast path (one normalized timing
+// pass, per-triad capture thresholds) must reproduce what a per-triad
+// levelized simulator computes: delay scaling is uniform in (Vdd, Vbb)
+// and the engine's decisions are scale-invariant, so the two paths may
+// differ only by floating-point rounding on knife-edge commits.
+TEST(SimEngine, SweepFastPathMatchesPerTriadLevelized) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = critical_path_ns(rca.netlist, {1.0, 0.8, 0.0});
+  const std::vector<OperatingTriad> triads{
+      {2.0 * cp, 1.0, 0.0}, {0.8 * cp, 0.8, 0.0}, {0.6 * cp, 0.7, 2.0}};
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 1500;
+  cfg.engine = EngineKind::kLevelized;
+  const auto fast = characterize_adder(rca, lib(), triads, cfg);
+
+  const std::vector<OperandPair> pats = [&] {
+    std::vector<OperandPair> out(cfg.num_patterns + 1);
+    PatternStream ps(cfg.policy, 8, cfg.pattern_seed);
+    for (OperandPair& p : out) p = ps.next();
+    return out;
+  }();
+  for (std::size_t t = 0; t < triads.size(); ++t) {
+    TimingSimConfig sim_cfg;
+    sim_cfg.variation_sigma = cfg.variation_sigma;
+    sim_cfg.variation_seed = cfg.variation_seed;
+    sim_cfg.engine = EngineKind::kLevelized;
+    VosAdderSim sim(rca, lib(), triads[t], sim_cfg);
+    sim.reset(pats[0].a, pats[0].b);
+    ErrorAccumulator acc(9);
+    double energy = 0.0;
+    for (std::size_t i = 1; i <= cfg.num_patterns; ++i) {
+      const VosAddResult r = sim.add(pats[i].a, pats[i].b);
+      acc.add(exact_add(pats[i].a, pats[i].b, 8), r.sampled);
+      energy += r.energy_fj;
+    }
+    EXPECT_NEAR(fast[t].ber, acc.ber(), 1e-4)
+        << triad_label(triads[t]);
+    EXPECT_NEAR(fast[t].energy_per_op_fj,
+                energy / static_cast<double>(cfg.num_patterns),
+                1e-6 * energy) << triad_label(triads[t]);
+  }
+}
+
+// Non-streaming (reset-per-op) characterization works on both engines.
+TEST(SimEngine, NonStreamingCharacterizeBothEngines) {
+  const AdderNetlist rca = build_rca(8);
+  const double cp = critical_path_ns(rca.netlist, {1.0, 1.0, 0.0});
+  const std::vector<OperatingTriad> relaxed{{2.0 * cp, 1.0, 0.0}};
+  for (const EngineKind kind :
+       {EngineKind::kEvent, EngineKind::kLevelized}) {
+    CharacterizeConfig cfg;
+    cfg.num_patterns = 300;
+    cfg.streaming_state = false;
+    cfg.engine = kind;
+    const auto res = characterize_adder(rca, lib(), relaxed, cfg);
+    EXPECT_EQ(res[0].ber, 0.0) << engine_kind_name(kind);
+    EXPECT_GT(res[0].energy_per_op_fj, 0.0);
+  }
+}
+
+// The levelized arrival model must reproduce STA: its per-net arrivals
+// at zero variation equal analyze_timing's, and its critical path too.
+TEST(SimEngine, LevelizedArrivalsMatchSta) {
+  const AdderNetlist bk = build_brent_kung(8);
+  const OperatingTriad op{1.0, 0.6, 0.0};
+  TimingSimConfig cfg;
+  cfg.engine = EngineKind::kLevelized;
+  LevelizedSimulator sim(bk.netlist, lib(), op, cfg);
+  const TimingAnalysis sta = analyze_timing(bk.netlist, lib(), op);
+  for (NetId n = 0; n < static_cast<NetId>(bk.netlist.num_nets()); ++n)
+    EXPECT_NEAR(sim.arrival_ps(n), sta.arrival_ps[n], 1e-9);
+  EXPECT_NEAR(sim.critical_path_ps(), sta.critical_path_ps, 1e-9);
+}
+
+// arrival_times_ps with externally supplied delays (the variation die)
+// bounds every per-op settle time the levelized engine reports.
+TEST(SimEngine, StaArrivalBoundsSettleTimes) {
+  const AdderNetlist rca = build_rca(8);
+  const OperatingTriad op{0.5, 0.7, 0.0};
+  TimingSimConfig cfg;
+  cfg.variation_sigma = 0.05;
+  cfg.variation_seed = 11;
+  cfg.engine = EngineKind::kLevelized;
+  VosAdderSim sim(rca, lib(), op, cfg);
+  const LevelizedSimulator& eng =
+      dynamic_cast<const LevelizedSimulator&>(sim.engine());
+  double cp = 0.0;
+  for (NetId n = 0; n < static_cast<NetId>(rca.netlist.num_nets()); ++n)
+    cp = std::max(cp, eng.arrival_ps(n));
+  PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 21);
+  for (int i = 0; i < 200; ++i) {
+    const OperandPair p = patterns.next();
+    EXPECT_LE(sim.add(p.a, p.b).settle_time_ps, cp + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vosim

@@ -334,5 +334,55 @@ TEST(ParallelFor, HardwareParallelismNonzero) {
   EXPECT_GE(hardware_parallelism(), 1u);
 }
 
+// ---------------------------------------------------------------- ThreadPool
+TEST(ThreadPool, ReusedAcrossJobs) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsPersistent) {
+  ThreadPool& a = shared_thread_pool();
+  ThreadPool& b = shared_thread_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel(64,
+                    [](std::size_t i) {
+                      if (i == 7) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> n{0};
+  pool.parallel(10, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, ReentrantBodiesRunInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallel(4, [&](std::size_t) {
+    // A body dispatching into the pool again must not deadlock on the
+    // busy workers; reentrant calls run inline on the calling thread.
+    shared_thread_pool().parallel(8, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, MaxThreadsOneIsOrdered) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  pool.parallel(
+      6, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
 }  // namespace
 }  // namespace vosim

@@ -72,6 +72,26 @@ TEST(Vcd, RequiresTracing) {
   EXPECT_THROW(write_vcd(sim, os), ContractViolation);
 }
 
+TEST(Vcd, TakeTraceTransfersOwnership) {
+  const AdderNetlist rca = build_rca(4);
+  TimingSimConfig cfg;
+  cfg.record_trace = true;
+  TimingSimulator sim(rca.netlist, lib(), {1.0, 1.0, 0.0}, cfg);
+  std::vector<std::uint8_t> in(rca.netlist.primary_inputs().size(), 0);
+  in[0] = 1;
+  const StepResult r = sim.step(in);
+
+  std::vector<TraceEvent> trace = sim.take_trace();
+  EXPECT_EQ(trace.size(), r.toggles_total);
+  // The simulator no longer holds the events (or their allocation).
+  EXPECT_EQ(sim.trace().size(), 0u);
+  // The next traced step records into a fresh buffer.
+  in[0] = 0;
+  const StepResult r2 = sim.step(in);
+  EXPECT_EQ(sim.trace().size(), r2.toggles_total);
+  EXPECT_GT(sim.trace().size(), 0u);
+}
+
 TEST(Vcd, TraceClearedBetweenSteps) {
   const AdderNetlist rca = build_rca(4);
   TimingSimConfig cfg;

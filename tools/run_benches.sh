@@ -15,6 +15,13 @@
 #                    themselves default to the paper's 20000).
 #   VOSIM_BENCH_OUT  output directory for BENCH_*.json and bench CSVs
 #                    (default: BUILD_DIR).
+#   VOSIM_MIN_ENGINE_SPEEDUP
+#                    floor for the levelized-vs-event speedup printed by
+#                    bench_fig8_ber_energy (default 5; the run fails if
+#                    the measured LEVELIZED_SPEEDUP drops below it).
+#   VOSIM_MAX_BER_DEV_PP
+#                    ceiling for the RCA8 BER deviation between engines,
+#                    in percentage points (default 2.0).
 set -u
 
 build_dir="${1:-build}"
@@ -61,6 +68,34 @@ for name in "${benches[@]}"; do
   end_ns=$(date +%s%N)
   wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
   json="${out_dir}/BENCH_${name#bench_}.json"
+  # bench_fig8_ber_energy runs its sweep on both engines and prints
+  # machine-readable comparison lines; carry them into the JSON and
+  # enforce the speedup floor / BER-deviation ceiling.
+  engine_fields=""
+  if [ "${name}" = "bench_fig8_ber_energy" ] && [ "${status}" -eq 0 ]; then
+    speedup=$(sed -n 's/^LEVELIZED_SPEEDUP //p' "${log}" | tail -n 1)
+    ber_dev=$(sed -n 's/^LEVELIZED_BER_DEV_PP //p' "${log}" | tail -n 1)
+    if [ -n "${speedup}" ] && [ -n "${ber_dev}" ]; then
+      engine_fields=",
+  \"levelized_speedup\": ${speedup},
+  \"levelized_ber_dev_pp\": ${ber_dev}"
+      min_speedup="${VOSIM_MIN_ENGINE_SPEEDUP:-5}"
+      max_dev="${VOSIM_MAX_BER_DEV_PP:-2.0}"
+      if ! awk -v s="${speedup}" -v m="${min_speedup}" \
+           'BEGIN{exit !(s >= m)}'; then
+        echo "FAIL ${name}: levelized speedup ${speedup}x < ${min_speedup}x floor" >&2
+        status=1
+      fi
+      if ! awk -v d="${ber_dev}" -v m="${max_dev}" \
+           'BEGIN{exit !(d <= m)}'; then
+        echo "FAIL ${name}: RCA8 BER deviation ${ber_dev}pp > ${max_dev}pp ceiling" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing LEVELIZED_SPEEDUP/LEVELIZED_BER_DEV_PP in log" >&2
+      status=1
+    fi
+  fi
   cat >"${json}" <<EOF
 {
   "bench": "${name}",
@@ -68,7 +103,7 @@ for name in "${benches[@]}"; do
   "wall_seconds": ${wall_s},
   "exit_code": ${status},
   "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "log": "$(basename "${log}")"
+  "log": "$(basename "${log}")"${engine_fields}
 }
 EOF
   if [ "${status}" -ne 0 ]; then

@@ -3,12 +3,15 @@
 //
 //   vosim_cli synth <arch> <width>
 //   vosim_cli characterize <arch> <width> [--patterns N] [--csv out.csv]
+//                          [--engine event|levelized]
 //   vosim_cli train <arch> <width> --tclk T --vdd V [--vbb B]
 //                   [--metric mse|hamming|whamming] [--out model.txt]
+//                   [--engine event|levelized]
 //   vosim_cli verilog <arch> <width> [--prune]
 //   vosim_cli triads <arch> <width>
 //   vosim_cli variability <arch> <width> [--dies N] [--sigma S]
 //                         [--tclk NS --vdd V --vbb V]
+//                         [--engine event|levelized]
 //
 // <arch> ∈ {rca, bka, ksa, skl, csel, cska, hca}; widths 2..63 (power of
 // two for bka/skl/hca).
@@ -34,7 +37,9 @@ int usage(const std::string& program) {
       << "  triads        list the Table-III operating triads\n"
       << "arch: rca | bka | ksa | skl | csel\n"
       << "options: --patterns N --csv FILE --tclk NS --vdd V --vbb V\n"
-      << "         --metric mse|hamming|whamming --out FILE\n";
+      << "         --metric mse|hamming|whamming --out FILE\n"
+      << "         --engine event|levelized (simulation backend;\n"
+      << "           levelized = bit-parallel, ~10x+ faster sweeps)\n";
   return 2;
 }
 
@@ -65,6 +70,7 @@ int run(const ArgParser& args) {
   const CellLibrary& lib = make_fdsoi28_lvt();
   const AdderNetlist adder = build_adder(arch, width);
   const SynthesisReport rep = synthesize_report(adder.netlist, lib);
+  const EngineKind engine = parse_engine_kind(args.get("engine", "event"));
 
   if (command == "synth") {
     TextTable t({"design", "gates", "flops", "area (um2)", "power (uW)",
@@ -98,6 +104,7 @@ int run(const ArgParser& args) {
     vcfg.variation_sigma = args.get_double("sigma", 0.05);
     vcfg.num_patterns = static_cast<std::size_t>(
         args.get_int("patterns", 3000));
+    vcfg.engine = engine;
     const OperatingTriad triad{
         args.get_double("tclk", rep.critical_path_ns),
         args.get_double("vdd", 0.5), args.get_double("vbb", 2.0)};
@@ -130,6 +137,8 @@ int run(const ArgParser& args) {
     CharacterizeConfig cfg;
     cfg.num_patterns = static_cast<std::size_t>(
         args.get_int("patterns", 20000));
+    cfg.engine = engine;
+    std::cerr << "engine: " << engine_kind_name(engine) << "\n";
     const auto results = characterize_adder(adder, lib, triads, cfg);
     const double baseline = results[0].energy_per_op_fj;
     const TextTable t = fig8_table(sort_for_fig8(results), baseline);
@@ -148,17 +157,20 @@ int run(const ArgParser& args) {
     cfg.num_patterns = static_cast<std::size_t>(
         args.get_int("patterns", 20000));
     cfg.metric = parse_metric(args.get("metric", "mse"));
-    VosAdderSim sim(adder, lib, triad);
+    TimingSimConfig sim_cfg;
+    sim_cfg.engine = engine;
+    VosAdderSim sim(adder, lib, triad, sim_cfg);
     const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
       return sim.add(a, b).sampled;
     };
     const VosAdderModel model =
         train_vos_model(width, triad, oracle, cfg);
     std::cout << "trained model at " << triad_label(triad) << " ("
-              << distance_metric_name(cfg.metric) << ")\n";
+              << distance_metric_name(cfg.metric) << ", "
+              << engine_kind_name(engine) << " engine)\n";
     model.table().to_table(3).print(std::cout);
     // Held-out fidelity check against a fresh simulator.
-    VosAdderSim eval_sim(adder, lib, triad);
+    VosAdderSim eval_sim(adder, lib, triad, sim_cfg);
     const HardwareOracle eval_oracle = [&eval_sim](std::uint64_t a,
                                                    std::uint64_t b) {
       return eval_sim.add(a, b).sampled;
