@@ -10,6 +10,8 @@
 #include "bench/bench_common.hpp"
 #include "src/characterize/report.hpp"
 #include "src/netlist/approx_adders.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/util/bits.hpp"
 
 int main() {
   using namespace vosim;
@@ -20,13 +22,20 @@ int main() {
 
   const CellLibrary& lib = make_fdsoi28_lvt();
   CharacterizeConfig cfg = bench_config();
+  // This bench compares designs on the same plane, so every BER is
+  // measured against exact addition — the static designs' structural
+  // approximation error is the whole point (the default settled-
+  // function reference would hide it).
+  cfg.golden = [](std::span<const std::uint64_t> ops) {
+    return exact_add(ops[0], ops[1], 8);
+  };
 
   // VOS sweep of the exact 8-bit RCA (the paper's approach).
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const SynthesisReport rep = synthesize_report(rca.netlist, lib);
   const auto triads = make_paper_triads(AdderArch::kRipple, 8,
                                         rep.critical_path_ns);
-  const auto vos = characterize_adder(rca, lib, triads, cfg);
+  const auto vos = characterize_dut(rca, lib, triads, cfg);
   const double baseline_fj = vos[0].energy_per_op_fj;
 
   TextTable t({"design", "operating point", "BER [%]", "MSE",
@@ -59,19 +68,19 @@ int main() {
   // and at a scaled-supply error-free point: their BER is structural.
   struct StaticDesign {
     std::string name;
-    AdderNetlist adder;
+    DutNetlist dut;
   };
   std::vector<StaticDesign> designs;
-  designs.push_back({"TRUNC8 k=2", build_truncated(8, 2)});
-  designs.push_back({"TRUNC8 k=4", build_truncated(8, 4)});
-  designs.push_back({"LOA8 k=2", build_lower_or(8, 2)});
-  designs.push_back({"LOA8 k=4", build_lower_or(8, 4)});
-  designs.push_back({"CUT8 k=4", build_carry_cut(8, 4)});
-  designs.push_back({"SPECW8 w=4", build_speculative_window(8, 4)});
-  designs.push_back({"SPECW8 w=6", build_speculative_window(8, 6)});
+  designs.push_back({"TRUNC8 k=2", to_dut(build_truncated(8, 2))});
+  designs.push_back({"TRUNC8 k=4", to_dut(build_truncated(8, 4))});
+  designs.push_back({"LOA8 k=2", to_dut(build_lower_or(8, 2))});
+  designs.push_back({"LOA8 k=4", to_dut(build_lower_or(8, 4))});
+  designs.push_back({"CUT8 k=4", to_dut(build_carry_cut(8, 4))});
+  designs.push_back({"SPECW8 w=4", to_dut(build_speculative_window(8, 4))});
+  designs.push_back({"SPECW8 w=6", to_dut(build_speculative_window(8, 6))});
 
   for (const StaticDesign& d : designs) {
-    const SynthesisReport r = synthesize_report(d.adder.netlist, lib);
+    const SynthesisReport r = synthesize_report(d.dut.netlist, lib);
     // Run each static adder at its own relaxed nominal clock and at a
     // near-threshold FBB point where its (shorter) paths still close.
     const std::vector<OperatingTriad> pts{
@@ -79,7 +88,7 @@ int main() {
          1.0, 0.0},
         {r.critical_path_ns, 0.5, 2.0},
     };
-    const auto res = characterize_adder(d.adder, lib, pts, cfg);
+    const auto res = characterize_dut(d.dut, lib, pts, cfg);
     add_row(d.name + " @nominal", res[0]);
     add_row(d.name + " @0.5V FBB", res[1]);
   }

@@ -69,14 +69,14 @@ int main() {
     parallel_for(b.triads.size(), [&](std::size_t ti) {
       const OperatingTriad& triad = b.triads[ti];
       // --- fit both models on the training stream ---
-      VosAdderSim train_sim(b.adder, lib, triad);
+      VosDutSim train_sim(b.dut, lib, triad);
       ErrorAccumulator train_acc(b.width + 1);
       PatternStream train_patterns(PatternPolicy::kCarryBalanced, b.width,
                                    42);
       // Shared pass: collect bitwise flip stats for the naive model.
       for (std::size_t i = 0; i < budget; ++i) {
         const OperandPair p = train_patterns.next();
-        const std::uint64_t hw = train_sim.add(p.a, p.b).sampled;
+        const std::uint64_t hw = train_sim.apply(p.a, p.b).sampled;
         train_acc.add(p.a + p.b, hw);
       }
       if (train_acc.ber() == 0.0) return;  // uninformative triad
@@ -86,9 +86,9 @@ int main() {
                                     train_acc.bitwise_error_probability());
       // Carry-chain model trained from a replay oracle over the same
       // stream (deterministic streaming semantics).
-      VosAdderSim replay_sim(b.adder, lib, triad);
+      VosDutSim replay_sim(b.dut, lib, triad);
       const HardwareOracle oracle = [&](std::uint64_t x, std::uint64_t y) {
-        return replay_sim.add(x, y).sampled;
+        return replay_sim.apply(x, y).sampled;
       };
       TrainerConfig tcfg;
       tcfg.num_patterns = budget;
@@ -96,7 +96,7 @@ int main() {
           train_vos_model(b.width, triad, oracle, tcfg);
 
       // --- evaluate both on held-out patterns ---
-      VosAdderSim eval_sim(b.adder, lib, triad);
+      VosDutSim eval_sim(b.dut, lib, triad);
       PatternStream eval_patterns(PatternPolicy::kCarryBalanced, b.width,
                                   1729);
       Rng chain_rng(99);
@@ -105,7 +105,7 @@ int main() {
       ErrorAccumulator flip_acc(b.width + 1);
       for (std::size_t i = 0; i < budget; ++i) {
         const OperandPair p = eval_patterns.next();
-        const std::uint64_t hw = eval_sim.add(p.a, p.b).sampled;
+        const std::uint64_t hw = eval_sim.apply(p.a, p.b).sampled;
         chain_acc.add(hw, chain_model.add(p.a, p.b, chain_rng));
         flip_acc.add(hw, flip_model.add(p.a, p.b, flip_rng));
       }

@@ -20,8 +20,9 @@ std::vector<Benchmark> paper_benchmarks() {
       {"16-bit BKA", AdderArch::kBrentKung, 16},
   };
   for (const auto& s : specs) {
-    Benchmark b{s.name, s.arch, s.width, build_adder(s.arch, s.width), {},
-                {}};
+    Benchmark b{s.name, s.arch, s.width, build_adder(s.arch, s.width),
+                {},     {},     {}};
+    b.dut = to_dut(b.adder);  // one generation, one copy
     b.report = synthesize_report(b.adder.netlist, lib);
     b.triads =
         make_paper_triads(s.arch, s.width, b.report.critical_path_ns);

@@ -11,17 +11,22 @@
 #include "src/characterize/characterizer.hpp"
 #include "src/characterize/triads.hpp"
 #include "src/netlist/adders.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/tech/library.hpp"
 
 namespace vosim::bench {
 
-/// One of the paper's four benchmark operators.
+/// One of the paper's four benchmark operators. `adder` keeps the
+/// architecture-specific view for the carry-chain/energy model benches;
+/// `dut` is the same netlist as the generic DUT every simulator and
+/// sweep consumes.
 struct Benchmark {
   std::string name;  ///< e.g. "8-bit RCA"
   AdderArch arch;
   int width;
   AdderNetlist adder;
+  DutNetlist dut;
   SynthesisReport report;
   std::vector<OperatingTriad> triads;  ///< Table III sweep (43 triads)
 };

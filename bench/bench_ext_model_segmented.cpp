@@ -39,22 +39,22 @@ int main() {
       TrainerConfig cfg;
       cfg.num_patterns = budget;
 
-      VosAdderSim train_base(b.adder, lib, triad);
+      VosDutSim train_base(b.dut, lib, triad);
       const HardwareOracle obase = [&](std::uint64_t x, std::uint64_t y) {
-        return train_base.add(x, y).sampled;
+        return train_base.apply(x, y).sampled;
       };
       const VosAdderModel base =
           train_vos_model(b.width, triad, obase, cfg);
 
-      VosAdderSim train_seg(b.adder, lib, triad);
+      VosDutSim train_seg(b.dut, lib, triad);
       const HardwareOracle oseg = [&](std::uint64_t x, std::uint64_t y) {
-        return train_seg.add(x, y).sampled;
+        return train_seg.apply(x, y).sampled;
       };
       const SegmentedVosModel seg =
           train_segmented_model(b.width, triad, oseg, segments, cfg);
 
-      VosAdderSim eval_base(b.adder, lib, triad);
-      VosAdderSim eval_seg(b.adder, lib, triad);
+      VosDutSim eval_base(b.dut, lib, triad);
+      VosDutSim eval_seg(b.dut, lib, triad);
       PatternStream pat_base(PatternPolicy::kCarryBalanced, b.width, 1729);
       PatternStream pat_seg(PatternPolicy::kCarryBalanced, b.width, 1729);
       Rng rng_base(9);
@@ -64,11 +64,11 @@ int main() {
       bool oracle_errs = false;
       for (std::size_t i = 0; i < budget; ++i) {
         const OperandPair pb = pat_base.next();
-        const std::uint64_t hwb = eval_base.add(pb.a, pb.b).sampled;
+        const std::uint64_t hwb = eval_base.apply(pb.a, pb.b).sampled;
         oracle_errs |= hwb != pb.a + pb.b;
         acc_base.add(hwb, base.add(pb.a, pb.b, rng_base));
         const OperandPair ps = pat_seg.next();
-        acc_seg.add(eval_seg.add(ps.a, ps.b).sampled,
+        acc_seg.add(eval_seg.apply(ps.a, ps.b).sampled,
                     seg.add(ps.a, ps.b, rng_seg));
       }
       if (!oracle_errs) return;

@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.hpp"
 #include "src/characterize/variability.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/util/table.hpp"
 
 int main() {
@@ -18,7 +19,7 @@ int main() {
       "Extension — temperature corners and Monte-Carlo variability",
       "paper Sections II-III variability discussion");
 
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp =
       synthesize_report(rca.netlist, make_fdsoi28_lvt()).critical_path_ns;
 
@@ -35,7 +36,7 @@ int main() {
         {cp, 0.5, 2.0},  // headline 0%-BER point
         {cp, 0.8, 0.0},  // first failing unbiased point
     };
-    const auto res = characterize_adder(rca, lib_t, triads, cfg);
+    const auto res = characterize_dut(rca, lib_t, triads, cfg);
     for (const TriadResult& r : res) {
       tc.add_row({format_double(temp, 0) + "C", triad_label(r.triad),
                   format_double(r.ber * 100.0, 2),

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/characterize/report.hpp"
 #include "src/util/table.hpp"
 
@@ -19,7 +20,7 @@ int main() {
       "paper Fig. 5");
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = synthesize_report(rca.netlist, lib).critical_path_ns;
   std::cout << "Tclk = synthesis critical path = " << format_double(cp, 3)
             << " ns, no body-bias\n";
@@ -27,7 +28,7 @@ int main() {
   std::vector<OperatingTriad> triads;
   for (const double vdd : {0.8, 0.7, 0.6, 0.5})
     triads.push_back({cp, vdd, 0.0});
-  const auto results = characterize_adder(rca, lib, triads, bench_config());
+  const auto results = characterize_dut(rca, lib, triads, bench_config());
 
   std::vector<std::string> header{"Vdd [V]"};
   for (int i = 0; i <= 8; ++i)

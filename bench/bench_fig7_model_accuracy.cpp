@@ -40,10 +40,10 @@ int main() {
       std::vector<FidelityResult> runs(b.triads.size());
       parallel_for(b.triads.size(), [&](std::size_t t) {
         const OperatingTriad& triad = b.triads[t];
-        VosAdderSim train_sim(b.adder, lib, triad);
+        VosDutSim train_sim(b.dut, lib, triad);
         const HardwareOracle train_oracle = [&](std::uint64_t x,
                                                 std::uint64_t y) {
-          return train_sim.add(x, y).sampled;
+          return train_sim.apply(x, y).sampled;
         };
         TrainerConfig tcfg;
         tcfg.num_patterns = budget;
@@ -51,10 +51,10 @@ int main() {
         const VosAdderModel model =
             train_vos_model(b.width, triad, train_oracle, tcfg);
 
-        VosAdderSim eval_sim(b.adder, lib, triad);
+        VosDutSim eval_sim(b.dut, lib, triad);
         const HardwareOracle eval_oracle = [&](std::uint64_t x,
                                                std::uint64_t y) {
-          return eval_sim.add(x, y).sampled;
+          return eval_sim.apply(x, y).sampled;
         };
         FidelityConfig fcfg;
         fcfg.num_patterns = budget;

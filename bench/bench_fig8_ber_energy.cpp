@@ -32,12 +32,12 @@ int main() {
   for (const Benchmark& b : paper_benchmarks()) {
     const auto t0 = clock::now();
     const auto results =
-        characterize_adder(b.adder, lib, b.triads, bench_config());
+        characterize_dut(b.dut, lib, b.triads, bench_config());
     const auto t1 = clock::now();
     CharacterizeConfig lev_cfg = bench_config();
     lev_cfg.engine = EngineKind::kLevelized;
     const auto lev_results =
-        characterize_adder(b.adder, lib, b.triads, lev_cfg);
+        characterize_dut(b.dut, lib, b.triads, lev_cfg);
     const auto t2 = clock::now();
     event_seconds += std::chrono::duration<double>(t1 - t0).count();
     levelized_seconds += std::chrono::duration<double>(t2 - t1).count();

@@ -21,7 +21,8 @@
 #include "bench/bench_common.hpp"
 #include "src/model/vos_model.hpp"
 #include "src/model/windowed_add.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/util/parallel.hpp"
 
@@ -31,8 +32,8 @@ using namespace vosim;
 
 const CellLibrary& lib() { return make_fdsoi28_lvt(); }
 
-const AdderNetlist& rca8() {
-  static const AdderNetlist a = build_rca(8);
+const DutNetlist& rca8() {
+  static const DutNetlist a = to_dut(build_rca(8));
   return a;
 }
 
@@ -53,9 +54,9 @@ const std::vector<OperatingTriad>& table3_triads() {
 
 const VosAdderModel& trained_model() {
   static const VosAdderModel model = [] {
-    VosAdderSim sim(rca8(), lib(), stressed());
+    VosDutSim sim(rca8(), lib(), stressed());
     const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.add(a, b).sampled;
+      return sim.apply(a, b).sampled;
     };
     TrainerConfig cfg;
     cfg.num_patterns = 5000;
@@ -103,13 +104,13 @@ void BM_StatisticalModelAdd(benchmark::State& state) {
 BENCHMARK(BM_StatisticalModelAdd);
 
 void BM_EventDrivenTimingSim(benchmark::State& state) {
-  VosAdderSim sim(rca8(), lib(), stressed());
+  VosDutSim sim(rca8(), lib(), stressed());
   Rng rng(5);
   std::uint64_t acc = 0;
   for (auto _ : state) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    benchmark::DoNotOptimize(acc ^= sim.add(a, b).sampled);
+    benchmark::DoNotOptimize(acc ^= sim.apply(a, b).sampled);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -118,13 +119,13 @@ BENCHMARK(BM_EventDrivenTimingSim);
 void BM_LevelizedTimingSim(benchmark::State& state) {
   TimingSimConfig cfg;
   cfg.engine = EngineKind::kLevelized;
-  VosAdderSim sim(rca8(), lib(), stressed(), cfg);
+  VosDutSim sim(rca8(), lib(), stressed(), cfg);
   Rng rng(5);
   std::uint64_t acc = 0;
   for (auto _ : state) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    benchmark::DoNotOptimize(acc ^= sim.add(a, b).sampled);
+    benchmark::DoNotOptimize(acc ^= sim.apply(a, b).sampled);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -133,19 +134,19 @@ BENCHMARK(BM_LevelizedTimingSim);
 void BM_LevelizedBatchAdd(benchmark::State& state) {
   TimingSimConfig cfg;
   cfg.engine = EngineKind::kLevelized;
-  VosAdderSim sim(rca8(), lib(), stressed(), cfg);
+  VosDutSim sim(rca8(), lib(), stressed(), cfg);
   Rng rng(6);
   constexpr std::size_t kBatch = 64;
   std::vector<std::uint64_t> a(kBatch);
   std::vector<std::uint64_t> b(kBatch);
-  std::vector<VosAddResult> out(kBatch);
+  std::vector<VosOpResult> out(kBatch);
   std::uint64_t acc = 0;
   for (auto _ : state) {
     for (std::size_t i = 0; i < kBatch; ++i) {
       a[i] = rng.bits(8);
       b[i] = rng.bits(8);
     }
-    sim.add_batch(a, b, out);
+    sim.apply_batch(a, b, out);
     benchmark::DoNotOptimize(acc ^= out[kBatch - 1].sampled);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -166,7 +167,7 @@ void BM_CharacterizeOneTriad(benchmark::State& state) {
     cfg.engine = engine;
     const std::vector<OperatingTriad> one{stressed()};
     benchmark::DoNotOptimize(
-        characterize_adder(rca8(), lib(), one, cfg));
+        characterize_dut(rca8(), lib(), one, cfg));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
@@ -186,7 +187,7 @@ void BM_Table3Sweep(benchmark::State& state) {
     cfg.num_patterns = patterns;
     cfg.engine = engine;
     benchmark::DoNotOptimize(
-        characterize_adder(rca8(), lib(), table3_triads(), cfg));
+        characterize_dut(rca8(), lib(), table3_triads(), cfg));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(patterns * 43));
@@ -195,7 +196,7 @@ BENCHMARK(BM_Table3Sweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_DispatchSpawnThreads(benchmark::State& state) {
   // Fork-join dispatch cost when every sweep spawns fresh threads —
-  // what characterize_adder paid per call before the shared pool.
+  // what characterize_dut paid per call before the shared pool.
   const unsigned n = std::max(2u, hardware_parallelism());
   for (auto _ : state) {
     std::vector<std::thread> pool;

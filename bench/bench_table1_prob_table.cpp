@@ -8,7 +8,8 @@
 #include "bench/bench_common.hpp"
 #include "src/model/trainer.hpp"
 #include "src/model/vos_model.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/util/table.hpp"
 
 int main() {
@@ -19,16 +20,16 @@ int main() {
       "paper Table I (template) + Section IV Algorithm 1");
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist rca = build_rca(4);
+  const DutNetlist rca = to_dut(build_rca(4));
   const double cp = synthesize_report(rca.netlist, lib).critical_path_ns;
 
   // A mid-VOS triad: deep enough that long chains truncate.
   const OperatingTriad triad{cp, 0.62, 0.0};
   std::cout << "triad: " << triad_label(triad) << "  (Tclk = synthesis CP)\n";
 
-  VosAdderSim sim(rca, lib, triad);
+  VosDutSim sim(rca, lib, triad);
   const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-    return sim.add(a, b).sampled;
+    return sim.apply(a, b).sampled;
   };
   TrainerConfig cfg;
   cfg.num_patterns = pattern_budget();

@@ -1,0 +1,112 @@
+// Table-III-style triad sweep over 8x8 multipliers (ours): the paper's
+// characterization methodology applied beyond adders — Section IV claims
+// it is "compliant with different arithmetic configurations". The array
+// multiplier (deep carry-save rows) and the Wallace tree (shallow
+// compressor tree) have very different failure topologies, the
+// multiplier analogue of the RCA-vs-BKA contrast of Fig. 8.
+//
+// Each multiplier's 43-triad grid runs on both SimEngine backends: the
+// event-driven engine produces the reported tables; the bit-parallel
+// levelized engine runs the identical grid through its one-pass
+// step_batch_sweep fast path, and the bench prints machine-readable
+// LEVELIZED_SPEEDUP / LEVELIZED_BER_DEV_PP lines that
+// tools/run_benches.sh and CI gate on (speedup floor 5x, BER deviation
+// <= 2 percentage points), mirroring the fig8 adder gate. A MAC-tree
+// sweep (levelized only) closes with the composite-DUT view.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/characterize/report.hpp"
+#include "src/netlist/dut.hpp"
+
+int main() {
+  using namespace vosim;
+  using namespace vosim::bench;
+  using clock = std::chrono::steady_clock;
+  print_header("Table III extension — 43-triad sweep of 8x8 multipliers",
+               "paper Section IV generalization claim");
+
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  double event_seconds = 0.0;
+  double levelized_seconds = 0.0;
+  double ber_dev_pp = 0.0;
+
+  for (const char* spec : {"mul8-array", "mul8-wallace"}) {
+    const DutNetlist dut = build_circuit(spec);
+    const SynthesisReport rep = synthesize_report(dut.netlist, lib);
+    const auto triads = make_dut_triads(rep.critical_path_ns);
+
+    const auto t0 = clock::now();
+    const auto results = characterize_dut(dut, lib, triads, bench_config());
+    const auto t1 = clock::now();
+    CharacterizeConfig lev_cfg = bench_config();
+    lev_cfg.engine = EngineKind::kLevelized;
+    const auto lev_results = characterize_dut(dut, lib, triads, lev_cfg);
+    const auto t2 = clock::now();
+    event_seconds += std::chrono::duration<double>(t1 - t0).count();
+    levelized_seconds += std::chrono::duration<double>(t2 - t1).count();
+
+    double dev = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i)
+      dev = std::max(dev,
+                     std::abs(results[i].ber - lev_results[i].ber));
+    ber_dev_pp = std::max(ber_dev_pp, dev * 100.0);
+
+    const double baseline = results[0].energy_per_op_fj;
+    std::cout << "\n--- " << dut.display_name << ": " << rep.num_gates
+              << " gates, " << format_double(rep.area_um2, 1)
+              << " um2, CP " << format_double(rep.critical_path_ns, 3)
+              << " ns (baseline " << format_double(baseline, 2)
+              << " fJ/op at " << triad_label(results[0].triad)
+              << ") ---\n";
+    fig8_table(sort_for_fig8(results), baseline).print(std::cout);
+
+    int zero_ber = 0;
+    for (const auto& r : results)
+      if (r.ber == 0.0) ++zero_ber;
+    std::cout << "triads at 0% BER: " << zero_ber << "/"
+              << results.size()
+              << "; levelized engine max |BER - event BER|: "
+              << format_double(dev * 100.0, 2) << " pp\n";
+  }
+
+  // Composite DUT: a 4-term MAC tree, swept on the levelized fast path
+  // only (the grid collapses into one normalized timing pass).
+  {
+    const DutNetlist mac = build_circuit("mac4x8");
+    const SynthesisReport rep = synthesize_report(mac.netlist, lib);
+    CharacterizeConfig cfg = bench_config();
+    cfg.engine = EngineKind::kLevelized;
+    const auto triads = make_dut_triads(rep.critical_path_ns);
+    const auto results = characterize_dut(mac, lib, triads, cfg);
+    const double baseline = results[0].energy_per_op_fj;
+    std::cout << "\n--- " << mac.display_name << ": " << rep.num_gates
+              << " gates, CP " << format_double(rep.critical_path_ns, 3)
+              << " ns (levelized sweep) ---\n";
+    fig8_table(sort_for_fig8(results), baseline).print(std::cout);
+  }
+
+  std::cout << "\nreading: both multipliers show the VOS signature the"
+               " paper identified on adders — the bits fed by the longest"
+               " reduction paths fail first and forward body-bias restores"
+               " margin. The Wallace tree clocks ~1.5x faster for the same"
+               " function, and its denser path-depth distribution makes"
+               " its BER rise steeper once over-scaled.\n";
+
+  // Machine-readable engine comparison for tools/run_benches.sh / CI.
+  const double speedup =
+      levelized_seconds > 0.0 ? event_seconds / levelized_seconds : 0.0;
+  std::cout << "\n--- engine comparison (both mul8 sweeps, equal patterns)"
+               " ---\n"
+            << "event engine:     " << format_double(event_seconds, 3)
+            << " s\n"
+            << "levelized engine: " << format_double(levelized_seconds, 3)
+            << " s\n"
+            << "LEVELIZED_SPEEDUP " << format_double(speedup, 2) << "\n"
+            << "LEVELIZED_BER_DEV_PP " << format_double(ber_dev_pp, 3)
+            << "\n";
+  return 0;
+}

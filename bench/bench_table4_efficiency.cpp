@@ -19,7 +19,7 @@ int main() {
   std::vector<std::vector<TriadResult>> all_results;
   for (const Benchmark& b : paper_benchmarks()) {
     const auto results =
-        characterize_adder(b.adder, lib, b.triads, bench_config());
+        characterize_dut(b.dut, lib, b.triads, bench_config());
     const double baseline = results[0].energy_per_op_fj;
     for (const EfficiencyBand& band : table4_bands(results, baseline)) {
       t.add_row({band.label, b.name, std::to_string(band.triad_count),

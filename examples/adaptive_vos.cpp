@@ -11,7 +11,7 @@ int main() {
   std::cout << "== adaptive voltage over-scaling ==\n";
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist adder = build_rca(8);
+  const DutNetlist adder = to_dut(build_rca(8));
   const SynthesisReport rep = synthesize_report(adder.netlist, lib);
 
   // Characterize the paper's 43-triad sweep, then distill the Pareto
@@ -20,7 +20,7 @@ int main() {
       make_paper_triads(AdderArch::kRipple, 8, rep.critical_path_ns);
   CharacterizeConfig ccfg;
   ccfg.num_patterns = 3000;
-  const auto results = characterize_adder(adder, lib, triads, ccfg);
+  const auto results = characterize_dut(adder, lib, triads, ccfg);
   const double base_fj = results[0].energy_per_op_fj;
   const auto ladder = build_triad_ladder(results);
   std::cout << "\nPareto triad ladder (" << ladder.size() << " rungs):\n";
@@ -36,7 +36,7 @@ int main() {
   scfg.ber_margin = 0.05;
   scfg.window_ops = 256;
   scfg.min_dwell_ops = 256;
-  AdaptiveVosAdder runtime(adder, lib, ladder, scfg);
+  AdaptiveVosUnit runtime(adder, lib, ladder, scfg);
 
   PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 4242);
   ErrorAccumulator acc(9);
@@ -45,7 +45,7 @@ int main() {
   const int ops = 20000;
   for (int i = 0; i < ops; ++i) {
     const OperandPair p = patterns.next();
-    const AdaptiveAddResult r = runtime.add(p.a, p.b);
+    const AdaptiveOpResult r = runtime.apply(p.a, p.b);
     acc.add(p.a + p.b, r.sampled);
     if (r.rung != last_rung) {
       std::cout << "  op " << i << ": rung " << last_rung << " -> "

@@ -15,16 +15,16 @@ int main() {
 
   struct Entry {
     std::string name;
-    AdderNetlist adder;
+    DutNetlist dut;
   };
   std::vector<Entry> designs;
-  designs.push_back({"RCA8", build_rca(8)});
-  designs.push_back({"BKA8", build_brent_kung(8)});
-  designs.push_back({"KSA8", build_kogge_stone(8)});
-  designs.push_back({"SKL8", build_sklansky(8)});
-  designs.push_back({"CSeL8", build_carry_select(8, 4)});
-  designs.push_back({"SPECW8 w=4", build_speculative_window(8, 4)});
-  designs.push_back({"LOA8 k=4", build_lower_or(8, 4)});
+  designs.push_back({"RCA8", to_dut(build_rca(8))});
+  designs.push_back({"BKA8", to_dut(build_brent_kung(8))});
+  designs.push_back({"KSA8", to_dut(build_kogge_stone(8))});
+  designs.push_back({"SKL8", to_dut(build_sklansky(8))});
+  designs.push_back({"CSeL8", to_dut(build_carry_select(8, 4))});
+  designs.push_back({"SPECW8 w=4", to_dut(build_speculative_window(8, 4))});
+  designs.push_back({"LOA8 k=4", to_dut(build_lower_or(8, 4))});
 
   TextTable t({"design", "area [um2]", "CP [ns]", "triad", "BER [%]",
                "E/op [fJ]"});
@@ -36,7 +36,7 @@ int main() {
   // reference (DESIGN.md §7).
   cfg.engine = EngineKind::kLevelized;
   for (const Entry& e : designs) {
-    const SynthesisReport rep = synthesize_report(e.adder.netlist, lib);
+    const SynthesisReport rep = synthesize_report(e.dut.netlist, lib);
     // Three operating points: nominal, the aggressive error-free FBB
     // point, and one over-scaled point at the design's own clock.
     const std::vector<OperatingTriad> triads{
@@ -44,7 +44,7 @@ int main() {
         {rep.critical_path_ns, 0.5, 2.0},
         {rep.critical_path_ns, 0.6, 0.0},
     };
-    const auto results = characterize_adder(e.adder, lib, triads, cfg);
+    const auto results = characterize_dut(e.dut, lib, triads, cfg);
     for (const TriadResult& r : results) {
       t.add_row({e.name, format_double(rep.area_um2, 1),
                  format_double(rep.critical_path_ns, 3),

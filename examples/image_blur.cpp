@@ -16,7 +16,7 @@ int main() {
   std::cout << "== image blur under voltage over-scaling ==\n";
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist adder = build_rca(16);
+  const DutNetlist adder = to_dut(build_rca(16));
   const SynthesisReport rep = synthesize_report(adder.netlist, lib);
 
   // A ladder of representative triads at the synthesis clock: nominal,
@@ -28,7 +28,7 @@ int main() {
   };
   CharacterizeConfig ccfg;
   ccfg.num_patterns = 4000;
-  const auto results = characterize_adder(adder, lib, triads, ccfg);
+  const auto results = characterize_dut(adder, lib, triads, ccfg);
   const double base_fj = results[0].energy_per_op_fj;
 
   const GrayImage scene = make_synthetic_scene(96, 96, 2024);
@@ -38,9 +38,9 @@ int main() {
                "energy saving [%]"});
   for (const TriadResult& r : results) {
     // Train the model for this triad and run the blur with it.
-    VosAdderSim sim(adder, lib, r.triad);
+    VosDutSim sim(adder, lib, r.triad);
     const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.add(a, b).sampled;
+      return sim.apply(a, b).sampled;
     };
     TrainerConfig tcfg;
     tcfg.num_patterns = 6000;

@@ -11,7 +11,7 @@ int main() {
   std::cout << "== k-means clustering under voltage over-scaling ==\n";
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist adder = build_rca(16);
+  const DutNetlist adder = to_dut(build_rca(16));
   const SynthesisReport rep = synthesize_report(adder.netlist, lib);
 
   const std::vector<OperatingTriad> triads{
@@ -21,7 +21,7 @@ int main() {
   };
   CharacterizeConfig ccfg;
   ccfg.num_patterns = 4000;
-  const auto results = characterize_adder(adder, lib, triads, ccfg);
+  const auto results = characterize_dut(adder, lib, triads, ccfg);
   const double base_fj = results[0].energy_per_op_fj;
 
   const ClusterDataset data = make_cluster_dataset(4, 120, 2026);
@@ -35,9 +35,9 @@ int main() {
   TextTable t({"triad", "adder BER [%]", "accuracy [%]", "iterations",
                "energy saving [%]"});
   for (const TriadResult& r : results) {
-    VosAdderSim sim(adder, lib, r.triad);
+    VosDutSim sim(adder, lib, r.triad);
     const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.add(a, b).sampled;
+      return sim.apply(a, b).sampled;
     };
     TrainerConfig tcfg;
     tcfg.num_patterns = 6000;

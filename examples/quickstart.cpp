@@ -15,8 +15,8 @@ int main() {
   using namespace vosim;
   std::cout << "== vosim quickstart ==\n\n";
 
-  // 1. The operator under study.
-  const AdderNetlist adder = build_rca(8);
+  // 1. The operator under study, wrapped as a generic DUT.
+  const DutNetlist adder = to_dut(build_rca(8));
   const CellLibrary& lib = make_fdsoi28_lvt();
 
   // 2. Synthesis-style report (paper Table II flavour).
@@ -28,14 +28,14 @@ int main() {
 
   // 3. Voltage over-scaling: run at the synthesis clock but only 0.6 V.
   const OperatingTriad vos{rep.critical_path_ns, 0.6, 0.0};
-  VosAdderSim sim(adder, lib, vos);
+  VosDutSim sim(adder, lib, vos);
   std::cout << "\noperating triad " << triad_label(vos) << ":\n";
   ErrorAccumulator acc(9);
   PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 42);
   double energy = 0.0;
   for (int i = 0; i < 5000; ++i) {
     const OperandPair p = patterns.next();
-    const VosAddResult r = sim.add(p.a, p.b);
+    const VosOpResult r = sim.apply(p.a, p.b);
     acc.add(p.a + p.b, r.sampled);
     energy += r.energy_fj;
   }
@@ -46,7 +46,7 @@ int main() {
 
   // 4. Train the statistical model against the simulator (Algorithm 1).
   const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-    return sim.add(a, b).sampled;
+    return sim.apply(a, b).sampled;
   };
   TrainerConfig tcfg;
   tcfg.num_patterns = 10000;
@@ -66,10 +66,10 @@ int main() {
   }
 
   // Fidelity of the model against held-out simulator behaviour.
-  VosAdderSim eval_sim(adder, lib, vos);
+  VosDutSim eval_sim(adder, lib, vos);
   const HardwareOracle eval_oracle = [&eval_sim](std::uint64_t a,
                                                  std::uint64_t b) {
-    return eval_sim.add(a, b).sampled;
+    return eval_sim.apply(a, b).sampled;
   };
   FidelityConfig fcfg;
   fcfg.num_patterns = 5000;

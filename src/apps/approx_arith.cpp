@@ -19,10 +19,12 @@ AdderFn model_adder_fn(const VosAdderModel& model, Rng& rng) {
   };
 }
 
-AdderFn sim_adder_fn(VosAdderSim& sim) {
+AdderFn sim_adder_fn(VosDutSim& sim) {
+  VOSIM_EXPECTS(sim.num_operands() == 2);
   return [&sim](std::uint64_t a, std::uint64_t b) {
-    const std::uint64_t m = mask_n(sim.width());
-    return sim.add(a & m, b & m).sampled;
+    const std::uint64_t ma = mask_n(sim.operand_width(0));
+    const std::uint64_t mb = mask_n(sim.operand_width(1));
+    return sim.apply(a & ma, b & mb).sampled;
   };
 }
 

@@ -10,7 +10,7 @@
 #include <functional>
 
 #include "src/model/vos_model.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 
 namespace vosim {
 
@@ -25,10 +25,10 @@ AdderFn exact_adder_fn(int width);
 AdderFn model_adder_fn(const VosAdderModel& model, Rng& rng);
 
 /// A gate-level VOS simulation as an adder (sampled, possibly faulty
-/// outputs); `sim` must outlive the function. The engine behind `sim`
-/// (event-driven or levelized) is whatever it was built with, so
-/// kernels run identically on either backend.
-AdderFn sim_adder_fn(VosAdderSim& sim);
+/// outputs); `sim` must be a two-operand DUT and outlive the function.
+/// The engine behind `sim` (event-driven or levelized) is whatever it
+/// was built with, so kernels run identically on either backend.
+AdderFn sim_adder_fn(VosDutSim& sim);
 
 /// Subtraction a-b via two's complement (two routed additions); result
 /// masked to `width` bits (wraps like hardware).

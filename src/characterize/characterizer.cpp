@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "src/sim/levelized_sim.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/parallel.hpp"
@@ -13,15 +13,29 @@ namespace vosim {
 
 namespace {
 
-/// The shared stimulus sequence: pats[0] settles the initial state,
-/// pats[1..num_patterns] are streamed — identical at every triad
-/// (paper testbench), generated once per sweep instead of per triad.
-std::vector<OperandPair> generate_patterns(const CharacterizeConfig& config,
-                                           int width) {
-  std::vector<OperandPair> pats(config.num_patterns + 1);
-  PatternStream stream(config.policy, width, config.pattern_seed);
-  for (OperandPair& p : pats) p = stream.next();
+/// The shared stimulus sequence, flattened pattern-major (pattern p's
+/// operands at [p*nops, (p+1)*nops)): patterns[0] settles the initial
+/// state, patterns[1..num_patterns] are streamed — identical at every
+/// triad (paper testbench), generated once per sweep instead of per
+/// triad.
+std::vector<std::uint64_t> generate_patterns(
+    const CharacterizeConfig& config, const DutNetlist& dut) {
+  const std::size_t nops = dut.num_operands();
+  std::vector<std::uint64_t> pats((config.num_patterns + 1) * nops);
+  DutPatternStream stream(config.policy, dut.operand_widths(),
+                          config.pattern_seed);
+  for (std::size_t p = 0; p <= config.num_patterns; ++p)
+    stream.next({pats.data() + p * nops, nops});
   return pats;
+}
+
+/// Reference output for one pattern: the user-provided golden function,
+/// or the DUT's own settled value (timing errors only — correct for
+/// approximate units and non-adders alike).
+std::uint64_t golden_of(const CharacterizeConfig& config,
+                        std::span<const std::uint64_t> ops,
+                        std::uint64_t settled) {
+  return config.golden ? config.golden(ops) : settled;
 }
 
 /// Grid fast path for the levelized engine: supply and body bias scale
@@ -35,18 +49,20 @@ std::vector<OperandPair> generate_patterns(const CharacterizeConfig& config,
 /// is split into segments with exact warm starts (the streaming state
 /// is purely functional: the previous pattern's settled values), so
 /// segment-parallel results are bit-identical to the sequential chain.
+/// Nothing in the pass depends on the DUT being an adder — the same
+/// code serves multipliers and MAC trees.
 std::vector<TriadResult> characterize_levelized_sweep(
-    const AdderNetlist& adder, const CellLibrary& lib,
+    const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
-    const CharacterizeConfig& config, std::span<const OperandPair> pats) {
+    const CharacterizeConfig& config,
+    std::span<const std::uint64_t> pats) {
   const std::size_t nthr = triads.size();
   const std::size_t num_patterns = config.num_patterns;
-  const int width = adder.width;
   const TransistorModel& tm = lib.transistor_model();
 
   const OperatingTriad ref{1.0, 1.0, 0.0};
   const double scale_ref = tm.delay_scale(ref.vdd_v, ref.vbb_v);
-  const double leak_nw_base = adder.netlist.cell_leakage_nw(lib);
+  const double leak_nw_base = dut.netlist.cell_leakage_nw(lib);
 
   std::vector<double> tau(nthr);     // threshold in the ref time base
   std::vector<double> escale(nthr);  // dynamic-energy scale vs ref
@@ -72,10 +88,12 @@ std::vector<TriadResult> characterize_levelized_sweep(
     pos[order[j]] = j;
   }
 
-  // The same operand-scatter / sum-gather mapping VosAdderSim uses, so
+  // The same operand-scatter / output-gather mapping VosDutSim uses, so
   // the fast path cannot diverge from the per-triad path.
-  const AdderPinMap pins(adder);
-  const std::size_t npis = adder.netlist.primary_inputs().size();
+  const DutPinMap pins(dut);
+  const std::size_t nops = pins.num_operands();
+  const int out_bits = pins.output_width();
+  const std::size_t npis = dut.netlist.primary_inputs().size();
 
   // Segment the stream across the pool; each segment is large enough
   // to amortize its simulator construction.
@@ -94,23 +112,24 @@ std::vector<TriadResult> characterize_levelized_sweep(
   for (auto& seg : parts) {
     seg.reserve(nthr);
     for (std::size_t t = 0; t < nthr; ++t)
-      seg.push_back(Partial{ErrorAccumulator(width + 1), 0.0, 0.0, 0.0});
+      seg.push_back(Partial{ErrorAccumulator(out_bits), 0.0, 0.0, 0.0});
   }
 
   shared_thread_pool().parallel(
       nseg,
       [&](std::size_t s) {
-        // Stream indices [begin, end) of pats; pats[begin-1] settles.
+        // Stream indices [begin, end) of patterns; begin-1 settles.
         const std::size_t begin = 1 + s * num_patterns / nseg;
         const std::size_t end = 1 + (s + 1) * num_patterns / nseg;
 
         TimingSimConfig sim_cfg;
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.variation_seed;
-        LevelizedSimulator eng(adder.netlist, lib, ref, sim_cfg);
+        LevelizedSimulator eng(dut.netlist, lib, ref, sim_cfg);
 
         std::vector<std::uint8_t> in(npis, 0);
-        pins.fill_inputs(pats[begin - 1].a, pats[begin - 1].b, in.data());
+        pins.fill_inputs({pats.data() + (begin - 1) * nops, nops},
+                         in.data());
         eng.reset(in);
 
         constexpr std::size_t kChunk = LevelizedSimulator::kLanes;
@@ -122,17 +141,23 @@ std::vector<TriadResult> characterize_levelized_sweep(
           const std::size_t n = std::min(kChunk, end - c);
           std::fill(bytes.begin(), bytes.begin() + n * npis, 0);
           for (std::size_t i = 0; i < n; ++i)
-            pins.fill_inputs(pats[c + i].a, pats[c + i].b,
+            pins.fill_inputs({pats.data() + (c + i) * nops, nops},
                              bytes.data() + i * npis);
           eng.step_batch_sweep({bytes.data(), n * npis}, n, sorted_tau,
                                res);
           for (std::size_t i = 0; i < n; ++i) {
-            const OperandPair& p = pats[c + i];
-            const std::uint64_t golden = exact_add(p.a, p.b, width);
+            const std::span<const std::uint64_t> ops{
+                pats.data() + (c + i) * nops, nops};
+            // Settled outputs are functional, hence identical across
+            // the thresholds of one pattern — read them once.
+            const std::uint64_t settled =
+                pins.gather_output(res[i * nthr].settled_outputs);
+            const std::uint64_t golden =
+                golden_of(config, ops, settled);
             for (std::size_t t = 0; t < nthr; ++t) {
               const StepResult& st = res[i * nthr + pos[t]];
               const std::uint64_t sampled =
-                  pins.gather_sum(st.sampled_outputs);
+                  pins.gather_output(st.sampled_outputs);
               Partial& acc = seg[t];
               acc.acc.add(golden, sampled);
               const double win = st.window_energy_fj * escale[t];
@@ -147,7 +172,7 @@ std::vector<TriadResult> characterize_levelized_sweep(
 
   std::vector<TriadResult> results(nthr);
   for (std::size_t t = 0; t < nthr; ++t) {
-    ErrorAccumulator merged(width + 1);
+    ErrorAccumulator merged(out_bits);
     double energy = 0.0;
     double dyn = 0.0;
     double settle = 0.0;
@@ -163,6 +188,7 @@ std::vector<TriadResult> characterize_levelized_sweep(
     res.bitwise_ber = merged.bitwise_error_probability();
     res.op_error_rate = merged.op_error_rate();
     res.mse = merged.mse();
+    res.mred = merged.mred();
     const auto n = static_cast<double>(num_patterns);
     res.energy_per_op_fj = energy / n;
     res.dynamic_energy_fj = dyn / n;
@@ -175,19 +201,19 @@ std::vector<TriadResult> characterize_levelized_sweep(
 
 }  // namespace
 
-std::vector<TriadResult> characterize_adder(
-    const AdderNetlist& adder, const CellLibrary& lib,
+std::vector<TriadResult> characterize_dut(
+    const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const CharacterizeConfig& config) {
   VOSIM_EXPECTS(!triads.empty());
   VOSIM_EXPECTS(config.num_patterns > 0);
   VOSIM_EXPECTS(config.batch_size > 0);
 
-  const std::vector<OperandPair> pats =
-      generate_patterns(config, adder.width);
+  const std::vector<std::uint64_t> pats = generate_patterns(config, dut);
+  const std::size_t nops = dut.num_operands();
 
   if (config.engine == EngineKind::kLevelized && config.streaming_state)
-    return characterize_levelized_sweep(adder, lib, triads, config, pats);
+    return characterize_levelized_sweep(dut, lib, triads, config, pats);
 
   std::vector<TriadResult> results(triads.size());
 
@@ -202,38 +228,33 @@ std::vector<TriadResult> characterize_adder(
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.variation_seed;
         sim_cfg.engine = config.engine;
-        VosAdderSim sim(adder, lib, op, sim_cfg);
+        VosDutSim sim(dut, lib, op, sim_cfg);
 
-        ErrorAccumulator acc(adder.width + 1);
+        ErrorAccumulator acc(sim.output_width());
         double energy = 0.0;
         double dyn = 0.0;
         double settle = 0.0;
 
         // Establish a settled initial state from the first pattern.
-        sim.reset(pats[0].a, pats[0].b);
+        sim.reset({pats.data(), nops});
 
         const std::size_t batch =
             config.streaming_state ? config.batch_size : 1;
-        std::vector<std::uint64_t> a_buf(batch);
-        std::vector<std::uint64_t> b_buf(batch);
-        std::vector<VosAddResult> r_buf(batch);
+        std::vector<VosOpResult> r_buf(batch);
 
         std::size_t done = 0;
         while (done < config.num_patterns) {
           const std::size_t n =
               std::min(batch, config.num_patterns - done);
+          const std::span<const std::uint64_t> ops_flat{
+              pats.data() + (1 + done) * nops, n * nops};
+          if (!config.streaming_state) sim.reset({pats.data(), nops});
+          sim.apply_batch(ops_flat, n, {r_buf.data(), n});
           for (std::size_t i = 0; i < n; ++i) {
-            a_buf[i] = pats[1 + done + i].a;
-            b_buf[i] = pats[1 + done + i].b;
-          }
-          if (!config.streaming_state) sim.reset(pats[0].a, pats[0].b);
-          sim.add_batch({a_buf.data(), n}, {b_buf.data(), n},
-                        {r_buf.data(), n});
-          for (std::size_t i = 0; i < n; ++i) {
-            const VosAddResult& r = r_buf[i];
-            const std::uint64_t golden =
-                exact_add(a_buf[i], b_buf[i], adder.width);
-            acc.add(golden, r.sampled);
+            const VosOpResult& r = r_buf[i];
+            const std::span<const std::uint64_t> ops =
+                ops_flat.subspan(i * nops, nops);
+            acc.add(golden_of(config, ops, r.settled), r.sampled);
             energy += r.energy_fj;
             dyn += r.energy_fj - sim.leakage_energy_fj();
             settle += r.settle_time_ps;
@@ -247,6 +268,7 @@ std::vector<TriadResult> characterize_adder(
         res.bitwise_ber = acc.bitwise_error_probability();
         res.op_error_rate = acc.op_error_rate();
         res.mse = acc.mse();
+        res.mred = acc.mred();
         const auto n = static_cast<double>(config.num_patterns);
         res.energy_per_op_fj = energy / n;
         res.dynamic_energy_fj = dyn / n;

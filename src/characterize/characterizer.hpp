@@ -1,22 +1,30 @@
 // Triad sweep driver: runs a timing-simulation engine over a pattern set
 // at every operating triad and gathers error + energy statistics — the
 // reproduction of the paper's characterization flow (Fig. 4) with the
-// gate-level simulators standing in for SPICE. The backend is selected
+// gate-level simulators standing in for SPICE, generalized to any
+// DutNetlist (adders, multipliers, MAC trees). The backend is selected
 // per sweep: the event-driven reference, or the bit-parallel levelized
 // engine for order-of-magnitude faster full-grid sweeps.
 #ifndef VOSIM_CHARACTERIZE_CHARACTERIZER_HPP
 #define VOSIM_CHARACTERIZE_CHARACTERIZER_HPP
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "src/characterize/metrics.hpp"
 #include "src/characterize/patterns.hpp"
-#include "src/netlist/adders.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/sim/sim_engine.hpp"
 #include "src/tech/operating_point.hpp"
 
 namespace vosim {
+
+/// External error reference: maps one pattern's operand words to the
+/// reference output word (see CharacterizeConfig::golden).
+using GoldenFn =
+    std::function<std::uint64_t(std::span<const std::uint64_t>)>;
 
 /// Sweep configuration.
 struct CharacterizeConfig {
@@ -33,17 +41,25 @@ struct CharacterizeConfig {
   /// bit-parallel levelized engine (same stimuli, ~10x+ faster sweeps;
   /// see DESIGN.md §7 for where the two diverge).
   EngineKind engine = EngineKind::kEvent;
-  /// Patterns streamed per add_batch call in the sweep hot loop.
+  /// Patterns streamed per apply_batch call in the sweep hot loop.
   std::size_t batch_size = 256;
+  /// Error reference. Default (empty): the DUT's own settled function,
+  /// so BER/MRED measure timing errors only and stay meaningful for
+  /// approximate adders and multipliers alike (DESIGN.md §8). Supply a
+  /// GoldenFn to measure against an external reference instead — e.g.
+  /// exact addition when quantifying a static approximate adder's
+  /// total (design-time + timing) error.
+  GoldenFn golden;
 };
 
 /// Per-triad characterization outcome.
 struct TriadResult {
   OperatingTriad triad;
-  double ber = 0.0;                 ///< bit error rate vs exact addition
+  double ber = 0.0;                 ///< bit error rate vs the reference
   std::vector<double> bitwise_ber;  ///< per output position (Fig. 5)
   double op_error_rate = 0.0;
   double mse = 0.0;
+  double mred = 0.0;                ///< mean relative error distance
   double energy_per_op_fj = 0.0;    ///< dynamic window + leakage
   double dynamic_energy_fj = 0.0;
   double leakage_energy_fj = 0.0;
@@ -54,11 +70,25 @@ struct TriadResult {
 /// Runs the sweep; one simulator per triad, all sharing the same pattern
 /// sequence and the same per-gate variation sample. Parallel over triads
 /// on the shared persistent thread pool and bit-deterministic for a
-/// fixed config (including across engines at generous Tclk).
-std::vector<TriadResult> characterize_adder(
-    const AdderNetlist& adder, const CellLibrary& lib,
+/// fixed config (including across engines at generous Tclk). With the
+/// levelized engine the whole Tclk/Vdd/Vbb grid collapses into one
+/// normalized timing pass (step_batch_sweep) regardless of the DUT.
+std::vector<TriadResult> characterize_dut(
+    const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const CharacterizeConfig& config = {});
+
+/// Deprecated adder entry point: converts and forwards. Note the error
+/// reference is the netlist's settled function now (identical for the
+/// exact architectures; pass config.golden for the old exact-addition
+/// reference on approximate adders).
+[[deprecated("use characterize_dut over to_dut(adder)")]]
+inline std::vector<TriadResult> characterize_adder(
+    const AdderNetlist& adder, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const CharacterizeConfig& config = {}) {
+  return characterize_dut(to_dut(adder), lib, triads, config);
+}
 
 /// Energy efficiency vs a baseline energy (paper's "energy saving
 /// compared to ideal test case"): 1 − E/E_baseline.

@@ -31,6 +31,7 @@ void ErrorAccumulator::add(std::uint64_t reference, std::uint64_t actual) {
   sum_sq_err_ += e * e;
   sum_ref_sq_ += r * r;
   sum_abs_err_ += std::abs(e);
+  sum_rel_err_ += std::abs(e) / std::max(r, 1.0);
   max_abs_err_ = std::max(max_abs_err_, std::abs(e));
 }
 
@@ -44,6 +45,7 @@ void ErrorAccumulator::merge(const ErrorAccumulator& other) {
   sum_sq_err_ += other.sum_sq_err_;
   sum_ref_sq_ += other.sum_ref_sq_;
   sum_abs_err_ += other.sum_abs_err_;
+  sum_rel_err_ += other.sum_rel_err_;
   max_abs_err_ = std::max(max_abs_err_, other.max_abs_err_);
   hamming_total_ += other.hamming_total_;
 }
@@ -91,6 +93,11 @@ double ErrorAccumulator::normalized_hamming() const noexcept {
 double ErrorAccumulator::mean_abs_error() const noexcept {
   if (ops_ == 0) return 0.0;
   return sum_abs_err_ / static_cast<double>(ops_);
+}
+
+double ErrorAccumulator::mred() const noexcept {
+  if (ops_ == 0) return 0.0;
+  return sum_rel_err_ / static_cast<double>(ops_);
 }
 
 }  // namespace vosim

@@ -40,6 +40,10 @@ class ErrorAccumulator {
   /// Mean absolute numerical error.
   double mean_abs_error() const noexcept;
   double max_abs_error() const noexcept { return max_abs_err_; }
+  /// Mean relative error distance: mean of |ref − actual| / max(ref, 1)
+  /// — the approximate-multiplier literature's MRED, with the zero-
+  /// reference convention that divides by one.
+  double mred() const noexcept;
 
  private:
   int nbits_;
@@ -50,6 +54,7 @@ class ErrorAccumulator {
   double sum_sq_err_ = 0.0;
   double sum_ref_sq_ = 0.0;
   double sum_abs_err_ = 0.0;
+  double sum_rel_err_ = 0.0;
   double max_abs_err_ = 0.0;
   std::uint64_t hamming_total_ = 0;
 };

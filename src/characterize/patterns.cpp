@@ -46,6 +46,32 @@ OperandPair PatternStream::next_carry_balanced() {
   return OperandPair{a, b};
 }
 
+DutPatternStream::DutPatternStream(PatternPolicy policy,
+                                   std::vector<int> operand_widths,
+                                   std::uint64_t seed)
+    : policy_(policy), widths_(std::move(operand_widths)) {
+  VOSIM_EXPECTS(!widths_.empty());
+  std::size_t i = 0;
+  std::uint64_t k = 0;
+  while (i < widths_.size()) {
+    const bool paired =
+        i + 1 < widths_.size() && widths_[i + 1] == widths_[i];
+    sources_.push_back(
+        Source{PatternStream(policy, widths_[i], seed + k), i, paired});
+    i += paired ? 2 : 1;
+    ++k;
+  }
+}
+
+void DutPatternStream::next(std::span<std::uint64_t> operands) {
+  VOSIM_EXPECTS(operands.size() == widths_.size());
+  for (Source& src : sources_) {
+    const OperandPair p = src.stream.next();
+    operands[src.first] = p.a;
+    if (src.paired) operands[src.first + 1] = p.b;
+  }
+}
+
 OperandPair PatternStream::next_walk() {
   const std::uint64_t m = mask_n(width_);
   // Small signed increments emulate slowly-varying application data.

@@ -9,7 +9,9 @@
 #define VOSIM_CHARACTERIZE_PATTERNS_HPP
 
 #include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "src/util/rng.hpp"
 
@@ -49,6 +51,37 @@ class PatternStream {
   int width_;
   Rng rng_;
   OperandPair last_{};  // for the correlated walk
+};
+
+/// Deterministic multi-operand stimulus for DUT characterization.
+/// Operand buses are consumed in adjacent pairs; pair k (equal widths)
+/// draws an OperandPair from its own PatternStream seeded seed + k, so
+/// the carry-balanced policy keeps its pairwise propagate semantics on
+/// every operand pair of a tree or MAC. A plain two-operand DUT (adder,
+/// multiplier) therefore sees exactly the classic PatternStream(policy,
+/// width, seed) sequence. A trailing or width-mismatched bus draws a
+/// pair of its own and keeps the first word.
+class DutPatternStream {
+ public:
+  DutPatternStream(PatternPolicy policy, std::vector<int> operand_widths,
+                   std::uint64_t seed);
+
+  /// Fills operands[0..num_operands()).
+  void next(std::span<std::uint64_t> operands);
+
+  std::size_t num_operands() const noexcept { return widths_.size(); }
+  PatternPolicy policy() const noexcept { return policy_; }
+
+ private:
+  struct Source {
+    PatternStream stream;
+    std::size_t first;  ///< operand index the pair lands in
+    bool paired;        ///< fills operands first and first+1
+  };
+
+  PatternPolicy policy_;
+  std::vector<int> widths_;
+  std::vector<Source> sources_;
 };
 
 }  // namespace vosim

@@ -47,4 +47,12 @@ std::vector<OperatingTriad> make_paper_triads(AdderArch arch, int width,
   return make_triad_set(tclk);
 }
 
+std::vector<OperatingTriad> make_dut_triads(double synthesis_cp_ns) {
+  VOSIM_EXPECTS(synthesis_cp_ns > 0.0);
+  const double ratios[] = {1.5, 1.0, 0.8, 0.6};
+  std::vector<double> tclk;
+  for (const double r : ratios) tclk.push_back(r * synthesis_cp_ns);
+  return make_triad_set(tclk);
+}
+
 }  // namespace vosim

@@ -31,6 +31,13 @@ std::vector<OperatingTriad> make_triad_set(
 std::vector<OperatingTriad> make_paper_triads(AdderArch arch, int width,
                                               double synthesis_cp_ns);
 
+/// Table-III-style sweep for an arbitrary DUT (multiplier, MAC tree, …)
+/// whose synthesis-reported critical path is `synthesis_cp_ns`: one
+/// relaxed nominal period (1.5·CP) plus {1.0, 0.8, 0.6}·CP swept across
+/// the paper's supply and body-bias steps — the same 43-point grid
+/// shape as the adder benchmarks.
+std::vector<OperatingTriad> make_dut_triads(double synthesis_cp_ns);
+
 /// Supplies swept by the paper (V).
 std::vector<double> paper_vdd_steps();
 

@@ -1,6 +1,6 @@
 #include "src/characterize/variability.hpp"
 
-#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/parallel.hpp"
@@ -27,7 +27,7 @@ DieSpread spread_of(std::vector<double> samples) {
 }  // namespace
 
 std::vector<VariabilityResult> variability_study(
-    const AdderNetlist& adder, const CellLibrary& lib,
+    const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const VariabilityConfig& config) {
   VOSIM_EXPECTS(!triads.empty());
@@ -39,6 +39,7 @@ std::vector<VariabilityResult> variability_study(
   const std::size_t dies = static_cast<std::size_t>(config.num_dies);
   std::vector<double> ber(triads.size() * dies, 0.0);
   std::vector<double> energy(triads.size() * dies, 0.0);
+  const std::size_t nops = dut.num_operands();
 
   parallel_for(
       triads.size() * dies,
@@ -49,18 +50,19 @@ std::vector<VariabilityResult> variability_study(
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.die_seed_base + die;
         sim_cfg.engine = config.engine;
-        VosAdderSim sim(adder, lib, triads[t], sim_cfg);
+        VosDutSim sim(dut, lib, triads[t], sim_cfg);
 
-        PatternStream patterns(config.policy, adder.width,
-                               config.pattern_seed);
-        ErrorAccumulator acc(adder.width + 1);
+        DutPatternStream patterns(config.policy, dut.operand_widths(),
+                                  config.pattern_seed);
+        ErrorAccumulator acc(sim.output_width());
         double e = 0.0;
-        const OperandPair first = patterns.next();
-        sim.reset(first.a, first.b);
+        std::vector<std::uint64_t> ops(nops, 0);
+        patterns.next(ops);
+        sim.reset(ops);
         for (std::size_t i = 0; i < config.num_patterns; ++i) {
-          const OperandPair p = patterns.next();
-          const VosAddResult r = sim.add(p.a, p.b);
-          acc.add(exact_add(p.a, p.b, adder.width), r.sampled);
+          patterns.next(ops);
+          const VosOpResult r = sim.apply(ops);
+          acc.add(r.settled, r.sampled);
           e += r.energy_fj;
         }
         ber[job] = acc.ber();

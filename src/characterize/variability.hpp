@@ -49,11 +49,21 @@ struct VariabilityConfig {
   EngineKind engine = EngineKind::kEvent;
 };
 
-/// Runs the Monte-Carlo study for each triad.
+/// Runs the Monte-Carlo study for each triad over any DUT. Errors are
+/// counted against the DUT's settled function (timing errors only).
 std::vector<VariabilityResult> variability_study(
-    const AdderNetlist& adder, const CellLibrary& lib,
+    const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const VariabilityConfig& config = {});
+
+/// Deprecated adder entry point: converts and forwards.
+[[deprecated("use variability_study over to_dut(adder)")]]
+inline std::vector<VariabilityResult> variability_study(
+    const AdderNetlist& adder, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const VariabilityConfig& config = {}) {
+  return variability_study(to_dut(adder), lib, triads, config);
+}
 
 }  // namespace vosim
 

@@ -3,7 +3,8 @@
 #include <cmath>
 
 #include "src/model/carry_chain.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/tech/gate_timing.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
@@ -116,7 +117,8 @@ VosEnergyModel train_energy_model(const AdderNetlist& adder,
                                   const OperatingTriad& triad,
                                   const EnergyTrainerConfig& config) {
   VOSIM_EXPECTS(config.num_patterns >= 16);
-  VosAdderSim sim(adder, lib, triad, config.sim_config);
+  const DutNetlist dut = to_dut(adder);
+  VosDutSim sim(dut, lib, triad, config.sim_config);
   PatternStream patterns(config.policy, adder.width, config.pattern_seed);
   const double clamp = chain_budget(adder, lib, triad);
 
@@ -126,7 +128,7 @@ VosEnergyModel train_energy_model(const AdderNetlist& adder,
   sim.reset(prev.a, prev.b);
   for (std::size_t i = 0; i < config.num_patterns; ++i) {
     const OperandPair cur = patterns.next();
-    const double y = sim.add(cur.a, cur.b).energy_fj;
+    const double y = sim.apply(cur.a, cur.b).energy_fj;
     const auto f =
         features(adder.width, prev.a, prev.b, cur.a, cur.b, clamp);
     for (int r = 0; r < nf; ++r) {
@@ -146,7 +148,8 @@ EnergyFit evaluate_energy_model(const VosEnergyModel& model,
                                 const CellLibrary& lib,
                                 std::size_t num_patterns,
                                 std::uint64_t pattern_seed) {
-  VosAdderSim sim(adder, lib, model.triad());
+  const DutNetlist dut = to_dut(adder);
+  VosDutSim sim(dut, lib, model.triad());
   PatternStream patterns(PatternPolicy::kCarryBalanced, adder.width,
                          pattern_seed);
   OperandPair prev = patterns.next();
@@ -159,7 +162,7 @@ EnergyFit evaluate_energy_model(const VosEnergyModel& model,
   ys.reserve(num_patterns);
   for (std::size_t i = 0; i < num_patterns; ++i) {
     const OperandPair cur = patterns.next();
-    const double y = sim.add(cur.a, cur.b).energy_fj;
+    const double y = sim.apply(cur.a, cur.b).energy_fj;
     const double yhat = model.predict_fj(prev.a, prev.b, cur.a, cur.b);
     sum_y += y;
     sum_sq_err += (y - yhat) * (y - yhat);

@@ -16,7 +16,7 @@ namespace vosim {
 
 /// The "hardware adder" of Algorithm 1: returns the sampled (width+1)-bit
 /// output for an operand pair. In this reproduction it is usually a
-/// VosAdderSim closure, but it can wrap a silicon trace or another model.
+/// VosDutSim closure, but it can wrap a silicon trace or another model.
 using HardwareOracle =
     std::function<std::uint64_t(std::uint64_t a, std::uint64_t b)>;
 

@@ -7,7 +7,8 @@
 
 #include "src/model/carry_chain.hpp"
 #include "src/model/windowed_add.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/parallel.hpp"
 
@@ -98,10 +99,11 @@ ModelLibrary train_model_library(const AdderNetlist& adder,
   parallel_for(
       triads.size(),
       [&](std::size_t t) {
-        VosAdderSim sim(adder, lib, triads[t], sim_config);
+        const DutNetlist dut = to_dut(adder);
+        VosDutSim sim(dut, lib, triads[t], sim_config);
         const HardwareOracle oracle = [&sim](std::uint64_t a,
                                              std::uint64_t b) {
-          return sim.add(a, b).sampled;
+          return sim.apply(a, b).sampled;
         };
         slots[t] = train_vos_model(adder.width, triads[t], oracle, config);
       },

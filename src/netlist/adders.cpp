@@ -235,6 +235,12 @@ std::size_t net_slot(std::span<const NetId> nets, NetId net) {
 
 }  // namespace
 
+// Definitions for the deprecated AdderPinMap shim.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 AdderPinMap::AdderPinMap(const AdderNetlist& adder) : width(adder.width) {
   const auto pis = adder.netlist.primary_inputs();
   const auto pos = adder.netlist.primary_outputs();
@@ -262,6 +268,10 @@ std::uint64_t AdderPinMap::gather_sum(std::uint64_t po_word) const {
     sum |= ((po_word >> sum_slot[i]) & 1ULL) << i;
   return sum;
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 AdderNetlist build_rca(int width, bool with_cin) {
   VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);

@@ -43,12 +43,10 @@ struct AdderNetlist {
   AdderArch arch = AdderArch::kRipple;
 };
 
-/// Pin mapping of a generated adder: positions of the operand bits in
-/// the primary-input vector and of the sum bits in the primary-output
-/// word. Shared by the simulator wrappers (VosAdderSim) and the
-/// characterizer's grid fast path so operand scatter and sum gather
-/// cannot diverge between them.
-struct AdderPinMap {
+/// Pin mapping of a generated adder. Deprecated: DutPinMap
+/// (src/netlist/dut.hpp) is the N-operand generalization that the
+/// simulators and the characterizer's grid fast path share now.
+struct [[deprecated("use DutPinMap over a DutNetlist")]] AdderPinMap {
   explicit AdderPinMap(const AdderNetlist& adder);
 
   /// Scatters a and b into a primary-input value vector (one entry per

@@ -7,6 +7,14 @@
 
 namespace vosim {
 
+std::string mul_arch_name(MulArch arch) {
+  switch (arch) {
+    case MulArch::kArray: return "array";
+    case MulArch::kWallace: return "wallace";
+  }
+  return "?";
+}
+
 namespace {
 
 struct SumCarry {
@@ -35,7 +43,8 @@ MultiplierNetlist build_array_multiplier(int width) {
                         .a = {},
                         .b = {},
                         .prod = {},
-                        .width = width};
+                        .width = width,
+                        .arch = MulArch::kArray};
   Netlist& nl = out.netlist;
   for (int i = 0; i < width; ++i)
     out.a.push_back(nl.add_input("a" + std::to_string(i)));
@@ -103,7 +112,8 @@ MultiplierNetlist build_wallace_multiplier(int width) {
                         .a = {},
                         .b = {},
                         .prod = {},
-                        .width = width};
+                        .width = width,
+                        .arch = MulArch::kWallace};
   Netlist& nl = out.netlist;
   for (int i = 0; i < width; ++i)
     out.a.push_back(nl.add_input("a" + std::to_string(i)));

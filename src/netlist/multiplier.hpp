@@ -4,11 +4,22 @@
 #ifndef VOSIM_NETLIST_MULTIPLIER_HPP
 #define VOSIM_NETLIST_MULTIPLIER_HPP
 
+#include <string>
 #include <vector>
 
 #include "src/netlist/netlist.hpp"
 
 namespace vosim {
+
+/// Multiplier architectures: deep carry-save array vs shallow Wallace
+/// tree — two very different VOS failure topologies.
+enum class MulArch {
+  kArray,
+  kWallace,
+};
+
+/// Short display name, e.g. "array", "wallace".
+std::string mul_arch_name(MulArch arch);
 
 /// A generated multiplier: netlist plus operand/product pinout.
 struct MultiplierNetlist {
@@ -17,6 +28,7 @@ struct MultiplierNetlist {
   std::vector<NetId> b;     ///< operand B bits, LSB first (width bits)
   std::vector<NetId> prod;  ///< product bits, LSB first (2·width bits)
   int width = 0;
+  MulArch arch = MulArch::kArray;
 };
 
 /// Builds a classic ripple array multiplier (AND partial products,

@@ -42,6 +42,21 @@ NetId Netlist::add_gate(CellKind kind, std::initializer_list<NetId> inputs,
   return g.out;
 }
 
+NetId Netlist::add_gate(CellKind kind, std::span<const NetId> inputs,
+                        std::string out_name) {
+  VOSIM_EXPECTS(inputs.size() <= 3);
+  switch (inputs.size()) {
+    case 1: return add_gate(kind, {inputs[0]}, std::move(out_name));
+    case 2: return add_gate(kind, {inputs[0], inputs[1]}, std::move(out_name));
+    case 3:
+      return add_gate(kind, {inputs[0], inputs[1], inputs[2]},
+                      std::move(out_name));
+    default: break;
+  }
+  VOSIM_EXPECTS(!inputs.empty());
+  return invalid_net;
+}
+
 void Netlist::mark_output(NetId net) {
   VOSIM_EXPECTS(!finalized_);
   VOSIM_EXPECTS(net < net_names_.size());
@@ -156,6 +171,30 @@ double Netlist::cell_leakage_nw(const CellLibrary& lib) const {
   double leak = 0.0;
   for (const Gate& g : gates_) leak += lib.cell(g.kind).leakage_nw;
   return leak;
+}
+
+std::vector<NetId> append_copy(Netlist& dst, const Netlist& src,
+                               std::span<const NetId> pi_substitutes,
+                               const std::string& prefix) {
+  VOSIM_EXPECTS(!dst.finalized());
+  VOSIM_EXPECTS(pi_substitutes.size() == src.primary_inputs().size());
+  std::vector<NetId> map(src.num_nets(), invalid_net);
+  const auto pis = src.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    map[pis[i]] = pi_substitutes[i];
+  // Gates were appended in construction order, which is topological
+  // (a gate's inputs always exist before the gate), so one pass maps
+  // every internal net.
+  for (const Gate& g : src.gates()) {
+    std::array<NetId, 3> in{};
+    for (std::uint8_t i = 0; i < g.num_inputs; ++i) {
+      VOSIM_EXPECTS(map[g.in[i]] != invalid_net);
+      in[i] = map[g.in[i]];
+    }
+    map[g.out] = dst.add_gate(g.kind, {in.data(), g.num_inputs},
+                              prefix + src.net_name(g.out));
+  }
+  return map;
 }
 
 }  // namespace vosim

@@ -46,6 +46,9 @@ class Netlist {
   /// Creates a gate plus its output net; returns the output net.
   NetId add_gate(CellKind kind, std::initializer_list<NetId> inputs,
                  std::string out_name = "");
+  /// Same, from a dynamically-sized input list (still at most 3 nets).
+  NetId add_gate(CellKind kind, std::span<const NetId> inputs,
+                 std::string out_name = "");
   /// Declares an existing net to be a primary output (order preserved;
   /// a net may be marked at most once).
   void mark_output(NetId net);
@@ -95,6 +98,19 @@ class Netlist {
   std::vector<std::uint32_t> fanout_offset_;  // CSR over nets
   std::vector<GateId> fanout_gates_;
 };
+
+/// Instantiates a copy of `src` (finalized) inside `dst` (under
+/// construction): every src gate is replicated, with src primary input
+/// i replaced by the existing dst net pi_substitutes[i]. Returns a
+/// src-net -> dst-net map (primary inputs map to their substitutes).
+/// Net names are copied with `prefix` prepended so instances stay
+/// distinguishable. Nothing is marked as a dst output — the caller
+/// decides which mapped nets are visible. This is how composite DUTs
+/// (e.g. MAC trees: multipliers feeding an adder tree) are assembled
+/// from the single-operator generators.
+std::vector<NetId> append_copy(Netlist& dst, const Netlist& src,
+                               std::span<const NetId> pi_substitutes,
+                               const std::string& prefix = "");
 
 }  // namespace vosim
 

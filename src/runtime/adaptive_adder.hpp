@@ -1,64 +1,40 @@
-// Adaptive VOS adder: a hardware adder whose operating triad is managed
-// at run time by the dynamic speculation controller — the end-to-end
-// demonstration of the paper's "accurate to approximate mode" switching.
+// Deprecated adder-specific adaptive runtime, kept as a thin shim over
+// AdaptiveVosUnit (src/runtime/adaptive_unit.hpp), which manages any
+// DutNetlist — including multipliers and MAC trees — under the same
+// dynamic speculation controller.
 #ifndef VOSIM_RUNTIME_ADAPTIVE_ADDER_HPP
 #define VOSIM_RUNTIME_ADAPTIVE_ADDER_HPP
 
-#include <memory>
-#include <vector>
-
-#include "src/runtime/speculation.hpp"
+#include "src/runtime/adaptive_unit.hpp"
 #include "src/sim/vos_adder.hpp"
 
 namespace vosim {
 
-/// Result of one adaptive addition.
-struct AdaptiveAddResult {
-  std::uint64_t sampled = 0;
-  std::uint64_t settled = 0;
-  double energy_fj = 0.0;
-  SpeculationAction action = SpeculationAction::kHold;
-  std::size_t rung = 0;
-};
+/// Result of one adaptive addition (alias of the generic result).
+using AdaptiveAddResult = AdaptiveOpResult;
 
-/// Owns one timing-simulation engine per ladder rung (created lazily)
-/// and routes every addition through the controller's current rung,
-/// feeding the double-sampling observations back. The rung simulators
-/// run on the backend selected by `sim_config.engine` — the levelized
-/// engine makes long adaptive traces (e.g. the runtime benches) cheap
-/// while the controller logic stays backend-agnostic.
-class AdaptiveVosAdder {
+/// Deprecated: a copy-converting wrapper over AdaptiveVosUnit.
+class [[deprecated("use AdaptiveVosUnit over to_dut(adder)")]]
+AdaptiveVosAdder : private detail::DutHolder,
+                   public AdaptiveVosUnit {
  public:
   AdaptiveVosAdder(const AdderNetlist& adder, const CellLibrary& lib,
                    std::vector<TriadRung> ladder,
                    const SpeculationConfig& config = {},
-                   const TimingSimConfig& sim_config = {});
+                   const TimingSimConfig& sim_config = {})
+      : detail::DutHolder{to_dut(adder)},
+        AdaptiveVosUnit(detail::DutHolder::dut, lib, std::move(ladder),
+                        config, sim_config) {}
 
-  AdaptiveAddResult add(std::uint64_t a, std::uint64_t b);
+  // Not movable: the AdaptiveVosUnit base references the DutHolder base
+  // of this same object, so a move would dangle into the moved-from
+  // shim.
+  AdaptiveVosAdder(AdaptiveVosAdder&&) = delete;
+  AdaptiveVosAdder& operator=(AdaptiveVosAdder&&) = delete;
 
-  const DynamicSpeculationController& controller() const noexcept {
-    return controller_;
+  AdaptiveAddResult add(std::uint64_t a, std::uint64_t b) {
+    return apply(a, b);
   }
-  const OperatingTriad& current_triad() const {
-    return controller_.current().triad;
-  }
-  /// Backend every rung simulates on (from the TimingSimConfig).
-  EngineKind engine_kind() const noexcept { return sim_config_.engine; }
-  /// Mean energy per operation so far (fJ).
-  double mean_energy_fj() const noexcept;
-
- private:
-  VosAdderSim& sim_for_rung(std::size_t rung);
-
-  const AdderNetlist& adder_;
-  const CellLibrary& lib_;
-  TimingSimConfig sim_config_;
-  DynamicSpeculationController controller_;
-  std::vector<std::unique_ptr<VosAdderSim>> sims_;  // one per rung, lazy
-  std::uint64_t last_a_ = 0;
-  std::uint64_t last_b_ = 0;
-  double energy_total_fj_ = 0.0;
-  std::uint64_t ops_ = 0;
 };
 
 }  // namespace vosim

@@ -1,0 +1,67 @@
+#include "src/runtime/adaptive_unit.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+AdaptiveVosUnit::AdaptiveVosUnit(const DutNetlist& dut,
+                                 const CellLibrary& lib,
+                                 std::vector<TriadRung> ladder,
+                                 const SpeculationConfig& config,
+                                 const TimingSimConfig& sim_config)
+    : dut_(dut),
+      lib_(lib),
+      sim_config_(sim_config),
+      controller_(std::move(ladder), dut.output_width(), config),
+      last_ops_(dut.num_operands(), 0) {
+  sims_.resize(controller_.ladder().size());
+}
+
+VosDutSim& AdaptiveVosUnit::sim_for_rung(std::size_t rung) {
+  VOSIM_EXPECTS(rung < sims_.size());
+  if (!sims_[rung]) {
+    sims_[rung] = std::make_unique<VosDutSim>(
+        dut_, lib_, controller_.ladder()[rung].triad, sim_config_);
+    // A freshly powered rung settles on the previous operands, like a
+    // datapath after a DVFS transition completes.
+    sims_[rung]->reset(last_ops_);
+  }
+  return *sims_[rung];
+}
+
+AdaptiveOpResult AdaptiveVosUnit::apply(
+    std::span<const std::uint64_t> operands) {
+  VOSIM_EXPECTS(operands.size() == last_ops_.size());
+  const std::size_t rung = controller_.rung_index();
+  VosDutSim& sim = sim_for_rung(rung);
+  const VosOpResult r = sim.apply(operands);
+  last_ops_.assign(operands.begin(), operands.end());
+  energy_total_fj_ += r.energy_fj;
+  ++ops_;
+
+  AdaptiveOpResult out;
+  out.sampled = r.sampled;
+  out.settled = r.settled;
+  out.energy_fj = r.energy_fj;
+  out.action = controller_.observe(r.sampled, r.settled);
+  if (out.action != SpeculationAction::kHold) {
+    // Align the new rung's state with current data so its first
+    // operation transitions from the right previous vector.
+    sim_for_rung(controller_.rung_index()).reset(last_ops_);
+  }
+  out.rung = controller_.rung_index();
+  return out;
+}
+
+AdaptiveOpResult AdaptiveVosUnit::apply(std::uint64_t a, std::uint64_t b) {
+  VOSIM_EXPECTS(last_ops_.size() == 2);
+  const std::uint64_t ops[2] = {a, b};
+  return apply({ops, 2});
+}
+
+double AdaptiveVosUnit::mean_energy_fj() const noexcept {
+  if (ops_ == 0) return 0.0;
+  return energy_total_fj_ / static_cast<double>(ops_);
+}
+
+}  // namespace vosim

@@ -1,0 +1,71 @@
+// Adaptive VOS unit: a hardware datapath operator (adder, multiplier,
+// MAC tree — any DutNetlist) whose operating triad is managed at run
+// time by the dynamic speculation controller — the end-to-end
+// demonstration of the paper's "accurate to approximate mode"
+// switching, generalized beyond adders.
+#ifndef VOSIM_RUNTIME_ADAPTIVE_UNIT_HPP
+#define VOSIM_RUNTIME_ADAPTIVE_UNIT_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/speculation.hpp"
+#include "src/sim/vos_dut.hpp"
+
+namespace vosim {
+
+/// Result of one adaptive operation.
+struct AdaptiveOpResult {
+  std::uint64_t sampled = 0;
+  std::uint64_t settled = 0;
+  double energy_fj = 0.0;
+  SpeculationAction action = SpeculationAction::kHold;
+  std::size_t rung = 0;
+};
+
+/// Owns one timing-simulation engine per ladder rung (created lazily)
+/// and routes every operation through the controller's current rung,
+/// feeding the double-sampling observations back. The rung simulators
+/// run on the backend selected by `sim_config.engine` — the levelized
+/// engine makes long adaptive traces (e.g. the runtime benches) cheap
+/// while the controller logic stays backend-agnostic.
+class AdaptiveVosUnit {
+ public:
+  AdaptiveVosUnit(const DutNetlist& dut, const CellLibrary& lib,
+                  std::vector<TriadRung> ladder,
+                  const SpeculationConfig& config = {},
+                  const TimingSimConfig& sim_config = {});
+
+  /// One clocked operation through the current rung.
+  AdaptiveOpResult apply(std::span<const std::uint64_t> operands);
+  /// Two-operand convenience (adders, multipliers).
+  AdaptiveOpResult apply(std::uint64_t a, std::uint64_t b);
+
+  const DynamicSpeculationController& controller() const noexcept {
+    return controller_;
+  }
+  const OperatingTriad& current_triad() const {
+    return controller_.current().triad;
+  }
+  const DutNetlist& dut() const noexcept { return dut_; }
+  /// Backend every rung simulates on (from the TimingSimConfig).
+  EngineKind engine_kind() const noexcept { return sim_config_.engine; }
+  /// Mean energy per operation so far (fJ).
+  double mean_energy_fj() const noexcept;
+
+ private:
+  VosDutSim& sim_for_rung(std::size_t rung);
+
+  const DutNetlist& dut_;
+  const CellLibrary& lib_;
+  TimingSimConfig sim_config_;
+  DynamicSpeculationController controller_;
+  std::vector<std::unique_ptr<VosDutSim>> sims_;  // one per rung, lazy
+  std::vector<std::uint64_t> last_ops_;
+  double energy_total_fj_ = 0.0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_RUNTIME_ADAPTIVE_UNIT_HPP

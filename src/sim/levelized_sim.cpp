@@ -144,6 +144,9 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
   pulsing_w_.assign(netlist.num_nets(), 0);
   pulse_start_ps_.assign(netlist.num_nets() * kLanes, 0.0);
   pulse_end_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  pulsing2_w_.assign(netlist.num_nets(), 0);
+  pulse2_start_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  pulse2_end_ps_.assign(netlist.num_nets() * kLanes, 0.0);
 
   po_index_.assign(netlist.num_nets(), -1);
   const auto pos = netlist.primary_outputs();
@@ -233,6 +236,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         ((settled << 1) | static_cast<std::uint64_t>(state_[pi] & 1)) & used;
     stale_w_[pi] = stale;
     pulsing_w_[pi] = 0;
+    pulsing2_w_[pi] = 0;
     const double energy = net_energy_fj_[pi];
     double* t = &time_ps_[static_cast<std::size_t>(pi) * kLanes];
     std::uint64_t sampled = stale;
@@ -263,10 +267,12 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
   // two-change lanes collapse to a handful of scalar operations, and
   // only lanes fed by a glitch pulse take the generic event walk.
   //
-  // The approximations relative to the full event engine: each changed
-  // input is forwarded as a single transition at its final commit time
-  // (pre-final bounces are not forwarded), and an unchanged output's
-  // commits are forwarded as one merged pulse.
+  // The approximations relative to the full event engine: a changed
+  // input is forwarded as one transition at its commit time — or, when
+  // it bounced on the way to the settled value, as its first flip plus
+  // one return pulse (middle bounces of longer chatter are merged) —
+  // and an unchanged output's commits are forwarded as one merged
+  // pulse.
   for (const GateId gid : netlist_.topo_order()) {
     const Gate& g = netlist_.gate(gid);
     const NetId out = g.out;
@@ -277,9 +283,12 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     std::uint64_t in_stale[3] = {0, 0, 0};
     std::uint64_t in_changed[3] = {0, 0, 0};
     std::uint64_t in_pulsing[3] = {0, 0, 0};
+    std::uint64_t in_pulsing2[3] = {0, 0, 0};
     const double* in_time[3] = {nullptr, nullptr, nullptr};
     const double* in_ps[3] = {nullptr, nullptr, nullptr};
     const double* in_pe[3] = {nullptr, nullptr, nullptr};
+    const double* in_ps2[3] = {nullptr, nullptr, nullptr};
+    const double* in_pe2[3] = {nullptr, nullptr, nullptr};
     std::uint64_t any_pulse = 0;
     for (int i = 0; i < n; ++i) {
       const NetId in = g.in[i];
@@ -288,10 +297,13 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       in_stale[i] = stale_w_[in];
       in_changed[i] = in_settled[i] ^ in_stale[i];
       in_pulsing[i] = pulsing_w_[in];
+      in_pulsing2[i] = pulsing2_w_[in];
       in_time[i] = &time_ps_[base];
       in_ps[i] = &pulse_start_ps_[base];
       in_pe[i] = &pulse_end_ps_[base];
-      any_pulse |= in_pulsing[i];
+      in_ps2[i] = &pulse2_start_ps_[base];
+      in_pe2[i] = &pulse2_end_ps_[base];
+      any_pulse |= in_pulsing[i] | in_pulsing2[i];
     }
 
     // W[s]: packed gate value with the inputs in subset s still stale.
@@ -314,12 +326,15 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
 
     std::uint64_t sampled = stale;
     std::uint64_t pulsing = 0;
+    std::uint64_t pulsing2 = 0;
     const double delay = gate_delay_ps_[gid];
     const double energy = net_energy_fj_[out];
     const auto base_out = static_cast<std::size_t>(out) * kLanes;
     double* tout = &time_ps_[base_out];
     double* pout_s = &pulse_start_ps_[base_out];
     double* pout_e = &pulse_end_ps_[base_out];
+    double* pout2_s = &pulse2_start_ps_[base_out];
+    double* pout2_e = &pulse2_end_ps_[base_out];
 
     // Changed-input count masks, pulse-free lanes only.
     const std::uint64_t ch0 = in_changed[0];
@@ -402,13 +417,15 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       unsigned cur = static_cast<unsigned>((stale >> k) & 1ULL);
       bool pending = false;
       double commit_t = 0.0;
-      double first_c = -1.0;
+      // At most three commits here (three input events), so first /
+      // second / last capture the whole trajectory exactly.
+      double cts[3] = {0.0, 0.0, 0.0};
       double last_c = 0.0;
       int ncommits = 0;
       const auto do_commit = [&](double tc) {
         cur ^= 1u;
+        if (ncommits < 3) cts[ncommits] = tc;
         ++ncommits;
-        if (first_c < 0.0) first_c = tc;
         last_c = tc;
         if (acct.commit(out, k, tc, energy)) sampled ^= bit;
       };
@@ -429,23 +446,39 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       }
       if (pending) do_commit(commit_t);
       if ((changed & bit) != 0) {
-        tout[k] = last_c;
+        if (ncommits >= 3) {
+          // The output bounced on its way to the settled value
+          // (stale → settled → stale → settled). Forward the full
+          // trajectory — first flip plus a return pulse — instead of
+          // one late flip: collapsing it to the final commit time
+          // systematically over-ages downstream transitions on
+          // reconvergent structures (array multipliers) and inflates
+          // deep-VOS BER versus the event engine.
+          tout[k] = cts[0];
+          pulsing |= bit;
+          pout_s[k] = cts[1];
+          pout_e[k] = last_c;
+        } else {
+          tout[k] = last_c;
+        }
       } else if (ncommits >= 2) {
         pulsing |= bit;
-        pout_s[k] = first_c;
-        pout_e[k] = last_c;
+        pout_s[k] = cts[0];
+        pout_e[k] = cts[1];
       }
     }
 
-    // Lanes fed by a glitch pulse: generic event walk over the ≤6
+    // Lanes fed by a glitch pulse: generic event walk over the ≤9
     // input events (flip per changed input, flip-and-return pair per
-    // pulsing input).
+    // pulsing input, all three for a bouncing changed input).
     m = any_pulse & used;
     if (m != 0) {
       const std::uint16_t truth = cell_truth(g.kind);
-      double ev_t[6];
-      std::uint8_t ev_i[6];
-      std::uint8_t ev_bit[6];
+      // Up to five events per input: a changed input that bounced
+      // twice carries its first flip plus two return pulses.
+      double ev_t[15];
+      std::uint8_t ev_i[15];
+      std::uint8_t ev_bit[15];
       while (m != 0) {
         const int k = std::countr_zero(m);
         m &= m - 1;
@@ -455,20 +488,36 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           const auto sbit =
               static_cast<std::uint8_t>((in_stale[i] >> k) & 1ULL);
           idx |= static_cast<unsigned>(sbit) << i;
+          const auto push = [&](double t, std::uint8_t v) {
+            ev_t[ne] = t;
+            ev_i[ne] = static_cast<std::uint8_t>(i);
+            ev_bit[ne] = v;
+            ++ne;
+          };
+          const auto nbit = static_cast<std::uint8_t>(sbit ^ 1u);
           if (((in_changed[i] >> k) & 1ULL) != 0) {
-            ev_t[ne] = in_time[i][k];
-            ev_i[ne] = static_cast<std::uint8_t>(i);
-            ev_bit[ne] = static_cast<std::uint8_t>(sbit ^ 1u);
-            ++ne;
-          } else if (((in_pulsing[i] >> k) & 1ULL) != 0) {
-            ev_t[ne] = in_ps[i][k];
-            ev_i[ne] = static_cast<std::uint8_t>(i);
-            ev_bit[ne] = static_cast<std::uint8_t>(sbit ^ 1u);
-            ++ne;
-            ev_t[ne] = in_pe[i][k];
-            ev_i[ne] = static_cast<std::uint8_t>(i);
-            ev_bit[ne] = sbit;
-            ++ne;
+            // First flip to the settled value; each forwarded pulse is
+            // a late return trip back to the stale value and out again.
+            push(in_time[i][k], nbit);
+            if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+              push(in_ps[i][k], sbit);
+              push(in_pe[i][k], nbit);
+            }
+            if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
+              push(in_ps2[i][k], sbit);
+              push(in_pe2[i][k], nbit);
+            }
+          } else {
+            // Unchanged input: each pulse is an excursion to the
+            // complement of the settled value and back.
+            if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+              push(in_ps[i][k], nbit);
+              push(in_pe[i][k], sbit);
+            }
+            if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
+              push(in_ps2[i][k], nbit);
+              push(in_pe2[i][k], sbit);
+            }
           }
         }
         if (ne == 0) continue;
@@ -482,13 +531,13 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         unsigned cur = (truth >> idx) & 1u;
         bool pending = false;
         double commit_t = 0.0;
-        double first_c = -1.0;
+        double cts[4] = {0.0, 0.0, 0.0, 0.0};
         double last_c = 0.0;
         int ncommits = 0;
         const auto do_commit = [&](double tc) {
           cur ^= 1u;
+          if (ncommits < 4) cts[ncommits] = tc;
           ++ncommits;
-          if (first_c < 0.0) first_c = tc;
           last_c = tc;
           if (acct.commit(out, k, tc, energy)) sampled ^= bit;
         };
@@ -509,17 +558,38 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
         if (pending) do_commit(commit_t);
         if ((changed & bit) != 0) {
-          tout[k] = last_c;
+          if (ncommits >= 3) {
+            // Bouncing changed output: first flip + return pulses (see
+            // the three-changed walk above). Five or more commits
+            // merge the tail bounces into the second pulse.
+            tout[k] = cts[0];
+            pulsing |= bit;
+            pout_s[k] = cts[1];
+            pout_e[k] = ncommits == 3 ? last_c : cts[2];
+            if (ncommits >= 5) {
+              pulsing2 |= bit;
+              pout2_s[k] = cts[3];
+              pout2_e[k] = last_c;
+            }
+          } else {
+            tout[k] = last_c;
+          }
         } else if (ncommits >= 2) {
           pulsing |= bit;
-          pout_s[k] = first_c;
-          pout_e[k] = last_c;
+          pout_s[k] = cts[0];
+          pout_e[k] = ncommits == 2 ? last_c : cts[1];
+          if (ncommits >= 4) {
+            pulsing2 |= bit;
+            pout2_s[k] = cts[2];
+            pout2_e[k] = last_c;
+          }
         }
       }
     }
 
     sampled_w_[out] = sampled;
     pulsing_w_[out] = pulsing;
+    pulsing2_w_[out] = pulsing2;
   }
 }
 

@@ -3,18 +3,19 @@
 // The netlist is levelized once (the topological order computed by
 // Netlist::finalize) and every pass evaluates up to 64 patterns at a
 // time, one pattern per bit of a packed uint64_t lane word per net.
-// Timing errors are modeled without an event queue: each net makes at
-// most one transition per operation, at a data-dependent transition
-// time bounded by the STA arrival model (src/sta/sta.hpp) — the
-// transition time of a gate output is the latest transition among its
-// *changed* inputs plus the gate delay. A lane whose transition time
-// exceeds Tclk latches its stale lane value (the previous pattern's
-// settled value), reproducing the paper's VOS timing-error semantics.
+// Timing errors are modeled without an event queue: each gate runs a
+// per-lane miniature event simulation over its own input transitions
+// (data-dependent times bounded by the STA arrival model,
+// src/sta/sta.hpp) and forwards at most a first flip plus one return
+// pulse downstream. A lane whose transitions all exceed Tclk latches
+// its stale lane value (the previous pattern's settled value),
+// reproducing the paper's VOS timing-error semantics.
 //
-// Divergences from the event-driven reference (DESIGN.md §7): no
-// glitches (a sampled value is always old-or-new, never a transient),
-// no inertial pulse filtering, and dynamic energy counts at most one
-// toggle per net per operation.
+// Divergences from the event-driven reference (DESIGN.md §7): a net
+// forwards at most one flip plus two pulses per operation (longer
+// chatter merges its tail bounces into the second pulse), so deeply
+// over-scaled reconvergent structures can still drift by fractions of
+// a BER percentage point against the event engine.
 #ifndef VOSIM_SIM_LEVELIZED_SIM_HPP
 #define VOSIM_SIM_LEVELIZED_SIM_HPP
 
@@ -61,7 +62,7 @@ class LevelizedSimulator final : public SimEngine {
   /// scale-invariant, a whole Tclk/Vdd/Vbb characterization grid
   /// reduces to one normalized timing pass per die: triad (T, V, B)
   /// is threshold T·1e3·delay_scale(ref)/delay_scale(V, B) with window
-  /// energies scaled by (V/V_ref)² — see characterize_adder.
+  /// energies scaled by (V/V_ref)² — see characterize_dut.
   /// Leakage is NOT included in the energies (it is per-triad).
   /// After this call sampled_values() reflects no single threshold.
   void step_batch_sweep(std::span<const std::uint8_t> inputs,
@@ -125,13 +126,20 @@ class LevelizedSimulator final : public SimEngine {
   std::vector<std::uint64_t> stale_w_;
   std::vector<std::uint64_t> sampled_w_;
   std::vector<double> time_ps_;  // transition time per net per lane
-  // Glitch pulses on unchanged nets: lanes flagged in pulsing_w_ carry
-  // one surviving pulse (value = complement of the settled value)
-  // spanning [pulse_start, pulse_end) — propagated downstream and
-  // sampled when the capture edge falls inside it.
+  // Glitch pulses: lanes flagged in pulsing_w_ carry a surviving pulse
+  // spanning [pulse_start, pulse_end) — on an unchanged net the value
+  // inside the pulse is the complement of the settled value; on a
+  // changed (bouncing) net the pulse is the return trip back to the
+  // stale value after the first flip at time_ps_. A second pulse
+  // (pulsing2_w_) captures four-commit chatter exactly; longer chatter
+  // merges its tail into the second pulse. Pulses are propagated
+  // downstream and sampled when the capture edge falls inside them.
   std::vector<std::uint64_t> pulsing_w_;
   std::vector<double> pulse_start_ps_;
   std::vector<double> pulse_end_ps_;
+  std::vector<std::uint64_t> pulsing2_w_;
+  std::vector<double> pulse2_start_ps_;
+  std::vector<double> pulse2_end_ps_;
 
   // Sweep support: primary-output index per net (-1 if not a PO) and
   // per-batch threshold-bucket scratch (sized on first sweep call).

@@ -56,7 +56,7 @@ struct TimingSimConfig {
   /// TimingSimulator::take_trace().
   bool record_trace = false;
   /// Backend built by make_engine() and the engine-generic wrappers
-  /// (VosAdderSim, characterize_adder, AdaptiveVosAdder).
+  /// (VosDutSim, characterize_dut, AdaptiveVosUnit).
   EngineKind engine = EngineKind::kEvent;
 };
 

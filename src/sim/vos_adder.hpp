@@ -1,78 +1,61 @@
-// High-level word interface over a timing-simulation engine: "an adder
-// operated at a voltage-over-scaled triad" (paper Fig. 2). The backend
-// (event-driven reference or bit-parallel levelized) is chosen by
-// TimingSimConfig::engine.
+// Deprecated adder-specific adapter, kept as a thin shim so pre-DUT
+// call sites keep compiling. New code builds a DutNetlist
+// (src/netlist/dut.hpp) and drives it with VosDutSim
+// (src/sim/vos_dut.hpp); `add` is spelled `apply` there.
 #ifndef VOSIM_SIM_VOS_ADDER_HPP
 #define VOSIM_SIM_VOS_ADDER_HPP
 
 #include <cstdint>
-#include <memory>
 #include <span>
-#include <vector>
 
 #include "src/netlist/adders.hpp"
-#include "src/sim/sim_engine.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 
 namespace vosim {
 
-/// Result of one voltage-over-scaled addition.
-struct VosAddResult {
-  /// The (width+1)-bit value captured at the clock edge — possibly wrong.
-  std::uint64_t sampled = 0;
-  /// The (width+1)-bit value the circuit settles to — the functional
-  /// result of this netlist (equals a+b only for exact architectures).
-  std::uint64_t settled = 0;
-  /// Dynamic + leakage energy of the operation (fJ).
-  double energy_fj = 0.0;
-  /// Arrival of the last transition (ps).
-  double settle_time_ps = 0.0;
+/// Result of one voltage-over-scaled addition (alias of the generic
+/// operation result; the sampled/settled words are (width+1) bits).
+using VosAddResult = VosOpResult;
+
+namespace detail {
+/// Base-class holder so a deprecated shim can own the DutNetlist its
+/// VosDutSim base references (the base subobject is constructed first).
+struct DutHolder {
+  DutNetlist dut;
 };
+}  // namespace detail
 
-/// Streams additions through an adder netlist at a fixed operating triad.
-/// Circuit state persists between add() calls, like a datapath between
-/// pipeline registers; reset() re-settles to a known input pair.
-class VosAdderSim {
+/// Streams additions through an adder netlist at a fixed operating
+/// triad. Deprecated: a copy-converting wrapper over VosDutSim.
+class [[deprecated("use VosDutSim over to_dut(adder)")]] VosAdderSim
+    : private detail::DutHolder,
+      public VosDutSim {
  public:
-  /// The adder must outlive the simulator. `config.engine` selects the
-  /// backend (event-driven by default).
   VosAdderSim(const AdderNetlist& adder, const CellLibrary& lib,
-              const OperatingTriad& op, const TimingSimConfig& config = {});
+              const OperatingTriad& op, const TimingSimConfig& config = {})
+      : detail::DutHolder{to_dut(adder)},
+        VosDutSim(detail::DutHolder::dut, lib, op, config) {}
 
-  /// Settles the circuit on (a, b) with no timing effects.
-  void reset(std::uint64_t a = 0, std::uint64_t b = 0);
+  // Not movable: the VosDutSim base references the DutHolder base of
+  // this same object, so a move would dangle into the moved-from shim.
+  VosAdderSim(VosAdderSim&&) = delete;
+  VosAdderSim& operator=(VosAdderSim&&) = delete;
 
   /// Performs one clocked addition. Operands must fit in width bits.
-  VosAddResult add(std::uint64_t a, std::uint64_t b);
+  VosAddResult add(std::uint64_t a, std::uint64_t b) {
+    return apply(a, b);
+  }
 
-  /// Streams `a.size()` clocked additions (a[i], b[i]) with the same
-  /// state semantics as consecutive add() calls, filling results[i].
-  /// The levelized backend evaluates these 64 patterns per pass, which
-  /// is where its order-of-magnitude sweep speedup comes from.
+  /// Streams `a.size()` clocked additions (a[i], b[i]).
   void add_batch(std::span<const std::uint64_t> a,
                  std::span<const std::uint64_t> b,
-                 std::span<VosAddResult> results);
-
-  int width() const noexcept { return adder_.width; }
-  const AdderNetlist& adder() const noexcept { return adder_; }
-  const OperatingTriad& triad() const noexcept { return sim_->triad(); }
-  /// Leakage energy charged to every operation at this triad (fJ).
-  double leakage_energy_fj() const noexcept {
-    return sim_->leakage_energy_fj_per_op();
+                 std::span<VosAddResult> results) {
+    apply_batch(a, b, results);
   }
-  /// Backend this simulator runs on.
-  EngineKind engine_kind() const noexcept { return sim_->kind(); }
-  /// The underlying engine (e.g. for net-level inspection).
-  const SimEngine& engine() const noexcept { return *sim_; }
 
- private:
-  VosAddResult unpack(const StepResult& st) const;
-
-  const AdderNetlist& adder_;
-  AdderPinMap pins_;
-  std::unique_ptr<SimEngine> sim_;
-  std::vector<std::uint8_t> input_buf_;
-  std::vector<std::uint8_t> batch_buf_;  // batched input vectors
-  std::vector<StepResult> step_buf_;     // batched step results
+  int width() const { return operand_width(0); }
+  const AdderNetlist& adder() const = delete;  // the DUT owns a copy
 };
 
 }  // namespace vosim

@@ -1,0 +1,90 @@
+#include "src/sim/vos_dut.hpp"
+
+#include <algorithm>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+VosDutSim::VosDutSim(const DutNetlist& dut, const CellLibrary& lib,
+                     const OperatingTriad& op,
+                     const TimingSimConfig& config)
+    : dut_(dut),
+      pins_(dut),
+      sim_(make_engine(dut.netlist, lib, op, config)) {
+  op_buf_.assign(pins_.num_operands(), 0);
+  input_buf_.assign(dut_.netlist.primary_inputs().size(), 0);
+  // Pins outside the operand buses (e.g. a carry-in) stay at zero.
+  reset();
+}
+
+VosOpResult VosDutSim::unpack(const StepResult& st) const {
+  VosOpResult out;
+  out.sampled = pins_.gather_output(st.sampled_outputs);
+  out.settled = pins_.gather_output(st.settled_outputs);
+  out.energy_fj = st.window_energy_fj + sim_->leakage_energy_fj_per_op();
+  out.settle_time_ps = st.settle_time_ps;
+  return out;
+}
+
+void VosDutSim::reset(std::span<const std::uint64_t> operands) {
+  pins_.fill_inputs(operands, input_buf_.data());
+  sim_->reset(input_buf_);
+}
+
+void VosDutSim::reset() {
+  std::fill(op_buf_.begin(), op_buf_.end(), 0);
+  reset(op_buf_);
+}
+
+void VosDutSim::reset(std::uint64_t a, std::uint64_t b) {
+  VOSIM_EXPECTS(pins_.num_operands() == 2);
+  op_buf_[0] = a;
+  op_buf_[1] = b;
+  reset(op_buf_);
+}
+
+VosOpResult VosDutSim::apply(std::span<const std::uint64_t> operands) {
+  pins_.fill_inputs(operands, input_buf_.data());
+  return unpack(sim_->step(input_buf_));
+}
+
+VosOpResult VosDutSim::apply(std::uint64_t a, std::uint64_t b) {
+  VOSIM_EXPECTS(pins_.num_operands() == 2);
+  op_buf_[0] = a;
+  op_buf_[1] = b;
+  return apply(op_buf_);
+}
+
+void VosDutSim::apply_batch(std::span<const std::uint64_t> operands,
+                            std::size_t count,
+                            std::span<VosOpResult> results) {
+  const std::size_t nops = pins_.num_operands();
+  VOSIM_EXPECTS(operands.size() == count * nops);
+  VOSIM_EXPECTS(results.size() >= count);
+  if (count == 0) return;
+  const std::size_t npis = input_buf_.size();
+  // Uncovered PIs (e.g. a carry-in pin) stay zero across the batch.
+  batch_buf_.assign(count * npis, 0);
+  step_buf_.resize(count);
+  for (std::size_t k = 0; k < count; ++k)
+    pins_.fill_inputs(operands.subspan(k * nops, nops),
+                      batch_buf_.data() + k * npis);
+  sim_->step_batch(batch_buf_, count, step_buf_);
+  for (std::size_t k = 0; k < count; ++k) results[k] = unpack(step_buf_[k]);
+}
+
+void VosDutSim::apply_batch(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b,
+                            std::span<VosOpResult> results) {
+  VOSIM_EXPECTS(pins_.num_operands() == 2);
+  VOSIM_EXPECTS(a.size() == b.size());
+  flat_buf_.resize(2 * a.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    flat_buf_[2 * k] = a[k];
+    flat_buf_[2 * k + 1] = b[k];
+  }
+  apply_batch(flat_buf_, a.size(), results);
+}
+
+}  // namespace vosim

@@ -1,64 +1,56 @@
-// Generic word-level interface over the timing simulator: any netlist
-// whose primary inputs form operand buses and whose interesting result
-// is a bus of nets. Used to extend VOS characterization beyond adders
-// (e.g. the array multiplier), per the paper's Section IV claim that the
-// methodology is "compliant with different arithmetic configurations".
+// Deprecated ad-hoc word-level interface, kept as a thin shim. Its job
+// — driving an arbitrary netlist through operand buses — is what the
+// DutNetlist abstraction does properly now: wrap the netlist with
+// make_dut()/to_dut() (src/netlist/dut.hpp) and drive it with
+// VosDutSim (src/sim/vos_dut.hpp). Bus-width contracts (including
+// 2·width-bit product buses up to 64 bits) are enforced by DutPinMap.
 #ifndef VOSIM_SIM_WORD_SIM_HPP
 #define VOSIM_SIM_WORD_SIM_HPP
 
 #include <cstdint>
 #include <vector>
 
-#include "src/sim/event_sim.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 
 namespace vosim {
 
-/// Result of one clocked word operation.
-struct WordOpResult {
-  std::uint64_t sampled = 0;  ///< output bus at the clock edge
-  std::uint64_t settled = 0;  ///< output bus after full settling
-  double energy_fj = 0.0;     ///< window dynamic + leakage
-  double settle_time_ps = 0.0;
-};
+/// Result of one clocked word operation (alias of the generic result).
+using WordOpResult = VosOpResult;
 
-/// Streams operand words through an arbitrary combinational netlist at a
-/// fixed operating triad. Operand buses are given as LSB-first net lists;
-/// unlisted primary inputs are held at zero. Operand buses are limited
-/// to max_word_bits and the output bus to max_word_bits + 1 (the exact
-/// (n+1)-bit sum), per DESIGN.md §6.1.
-class VosWordSim {
+/// Streams operand words through an arbitrary combinational netlist at
+/// a fixed operating triad. Deprecated: a copy-converting wrapper over
+/// VosDutSim.
+class [[deprecated("wrap the netlist with make_dut() and use VosDutSim")]]
+VosWordSim : private detail::DutHolder,
+             public VosDutSim {
  public:
   VosWordSim(const Netlist& netlist, const CellLibrary& lib,
              const OperatingTriad& op,
              std::vector<std::vector<NetId>> input_buses,
              std::vector<NetId> output_bus,
-             const TimingSimConfig& config = {});
+             const TimingSimConfig& config = {})
+      : detail::DutHolder{make_dut(netlist, std::move(input_buses),
+                                   std::move(output_bus))},
+        VosDutSim(detail::DutHolder::dut, lib, op, config) {}
 
-  /// Settles the circuit on the given operand words (no timing effects).
-  void reset(const std::vector<std::uint64_t>& operands);
+  // Not movable: the VosDutSim base references the DutHolder base of
+  // this same object, so a move would dangle into the moved-from shim.
+  VosWordSim(VosWordSim&&) = delete;
+  VosWordSim& operator=(VosWordSim&&) = delete;
+
+  /// Settles the circuit on the given operand words.
+  void reset(const std::vector<std::uint64_t>& operands) {
+    VosDutSim::reset(
+        std::span<const std::uint64_t>(operands.data(), operands.size()));
+  }
 
   /// One clocked operation; operands must fit their bus widths.
-  WordOpResult apply(const std::vector<std::uint64_t>& operands);
-
-  std::size_t num_operands() const noexcept { return input_slots_.size(); }
-  int operand_width(std::size_t i) const {
-    return static_cast<int>(input_slots_.at(i).size());
+  WordOpResult apply(const std::vector<std::uint64_t>& operands) {
+    return VosDutSim::apply(
+        std::span<const std::uint64_t>(operands.data(), operands.size()));
   }
-  int output_width() const noexcept {
-    return static_cast<int>(output_bus_.size());
-  }
-  double leakage_energy_fj() const noexcept {
-    return sim_.leakage_energy_fj_per_op();
-  }
-  const OperatingTriad& triad() const noexcept { return sim_.triad(); }
-
- private:
-  void fill_inputs(const std::vector<std::uint64_t>& operands);
-
-  TimingSimulator sim_;
-  std::vector<std::vector<std::size_t>> input_slots_;  // PI positions
-  std::vector<NetId> output_bus_;
-  std::vector<std::uint8_t> input_buf_;
 };
 
 }  // namespace vosim

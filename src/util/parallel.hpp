@@ -75,7 +75,7 @@ class ThreadPool {
   unsigned busy_ = 0;  // workers currently executing job bodies
 };
 
-/// The process-wide pool used by characterize_adder and parallel_for.
+/// The process-wide pool used by characterize_dut and parallel_for.
 ThreadPool& shared_thread_pool();
 
 /// Runs `body(index)` for index in [0, count) across up to `max_threads`

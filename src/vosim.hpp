@@ -3,13 +3,14 @@
 // arithmetic operators (reproduction of Ragavan et al., DATE 2017).
 //
 // Typical flow:
-//   1. build an adder            (src/netlist/adders.hpp)
+//   1. build a DUT               (src/netlist/dut.hpp — adders,
+//                                 multipliers, adder/MAC trees)
 //   2. synthesize a report       (src/sta/synthesis_report.hpp)
 //   3. derive the triad sweep    (src/characterize/triads.hpp)
 //   4. characterize under VOS    (src/characterize/characterizer.hpp)
 //   5. train statistical models  (src/model/vos_model.hpp)
 //   6. run applications on them  (src/apps/*.hpp)
-//   7. adapt triads at runtime   (src/runtime/adaptive_adder.hpp)
+//   7. adapt triads at runtime   (src/runtime/adaptive_unit.hpp)
 #ifndef VOSIM_VOSIM_HPP
 #define VOSIM_VOSIM_HPP
 
@@ -35,6 +36,7 @@
 #include "src/model/windowed_add.hpp"
 #include "src/netlist/adder_tree.hpp"
 #include "src/netlist/adders.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/netlist/eval.hpp"
 #include "src/netlist/optimize.hpp"
 #include "src/netlist/approx_adders.hpp"
@@ -42,6 +44,7 @@
 #include "src/netlist/netlist.hpp"
 #include "src/netlist/verilog.hpp"
 #include "src/runtime/adaptive_adder.hpp"
+#include "src/runtime/adaptive_unit.hpp"
 #include "src/runtime/error_monitor.hpp"
 #include "src/runtime/speculation.hpp"
 #include "src/runtime/triad_ladder.hpp"
@@ -51,6 +54,7 @@
 #include "src/sim/sim_engine.hpp"
 #include "src/sim/vcd.hpp"
 #include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sim/word_sim.hpp"
 #include "src/sta/slack.hpp"
 #include "src/sta/sta.hpp"

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <span>
 
 #include "src/netlist/adder_tree.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/sim/logic.hpp"
-#include "src/sim/word_sim.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -76,16 +78,13 @@ TEST(AdderTree, Validation) {
 TEST(AdderTree, VosErrorsConcentrateInUpperBits) {
   // Under mild VOS the final (widest) stage fails first: upper result
   // bits err while the low bits stay clean.
-  const AdderTreeNetlist tree = build_adder_tree(8, 8);
+  const DutNetlist tree = to_dut(build_adder_tree(8, 8));
   const double cp_ns =
       analyze_timing(tree.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
-  std::vector<std::vector<NetId>> buses(tree.leaves.begin(),
-                                        tree.leaves.end());
-  VosWordSim sim(tree.netlist, lib(), {0.85 * cp_ns, 1.0, 0.0}, buses,
-                 tree.sum);
+  VosDutSim sim(tree, lib(), {0.85 * cp_ns, 1.0, 0.0});
   Rng rng(7);
-  const int out_bits = static_cast<int>(tree.sum.size());
+  const int out_bits = tree.output_width();
   std::vector<int> bit_err(static_cast<std::size_t>(out_bits), 0);
   int err_ops = 0;
   for (int t = 0; t < 2500; ++t) {
@@ -95,7 +94,8 @@ TEST(AdderTree, VosErrorsConcentrateInUpperBits) {
       xs.push_back(rng.bits(8));
       expect += xs.back();
     }
-    const std::uint64_t diff = sim.apply(xs).sampled ^ expect;
+    const std::uint64_t diff =
+        sim.apply(std::span<const std::uint64_t>(xs)).sampled ^ expect;
     if (diff != 0) ++err_ops;
     for (int i = 0; i < out_bits; ++i)
       if (bit_of(diff, i) != 0) ++bit_err[static_cast<std::size_t>(i)];

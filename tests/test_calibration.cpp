@@ -7,6 +7,7 @@
 
 #include "src/characterize/characterizer.hpp"
 #include "src/characterize/report.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/characterize/triads.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/tech/library.hpp"
@@ -63,7 +64,7 @@ TEST(Calibration, TableTwoAreaOrderings) {
 /// (Fig. 5 setup).
 std::vector<TriadResult> fig5_results() {
   static const std::vector<TriadResult> results = [] {
-    const AdderNetlist rca = build_rca(8);
+    const DutNetlist rca = to_dut(build_rca(8));
     const double cp =
         synthesize_report(rca.netlist, lib()).critical_path_ns;
     std::vector<OperatingTriad> triads;
@@ -71,7 +72,7 @@ std::vector<TriadResult> fig5_results() {
       triads.push_back({cp, vdd, 0.0});
     for (const double vdd : {0.6, 0.5, 0.4})
       triads.push_back({cp, vdd, 2.0});
-    return characterize_adder(rca, lib(), triads, fast_config());
+    return characterize_dut(rca, lib(), triads, fast_config());
   }();
   return results;
 }
@@ -155,35 +156,35 @@ TEST(Calibration, BkaShowsStaircaseRcaShowsSpread) {
   // The parallel-prefix BKA has few distinct path-length classes, so
   // sweeping Vdd produces clustered (staircase) BER values; the RCA's
   // serial chain produces a broader spread (paper Fig. 8 discussion).
-  auto distinct_levels = [&](const AdderNetlist& adder) {
+  auto distinct_levels = [&](const DutNetlist& adder) {
     const double cp =
         synthesize_report(adder.netlist, lib()).critical_path_ns;
     std::vector<OperatingTriad> triads;
     for (double vdd = 1.0; vdd > 0.395; vdd -= 0.05)
       triads.push_back({cp, vdd, 0.0});
-    const auto res = characterize_adder(adder, lib(), triads, fast_config());
+    const auto res = characterize_dut(adder, lib(), triads, fast_config());
     // Quantize BER to 2% buckets and count distinct non-zero levels.
     std::set<int> levels;
     for (const auto& r : res)
       if (r.ber > 0.0) levels.insert(static_cast<int>(r.ber * 50.0));
     return static_cast<int>(levels.size());
   };
-  const AdderNetlist rca = build_rca(8);
-  const AdderNetlist bka = build_brent_kung(8);
+  const DutNetlist rca = to_dut(build_rca(8));
+  const DutNetlist bka = to_dut(build_brent_kung(8));
   EXPECT_LT(distinct_levels(bka), distinct_levels(rca));
 }
 
 TEST(Calibration, SixteenBitZeroBerSavingsSmallerThanEightBit) {
   // Paper Table IV: 16-bit adders reach lower 0%-BER savings (60% vs
   // 76%) because their longer paths leave less margin.
-  auto best_zero_ber_ee = [&](const AdderNetlist& adder, AdderArch arch,
+  auto best_zero_ber_ee = [&](const DutNetlist& adder, AdderArch arch,
                               int width) {
     const double cp =
         synthesize_report(adder.netlist, lib()).critical_path_ns;
     const auto triads = make_paper_triads(arch, width, cp);
     CharacterizeConfig cfg = fast_config();
     cfg.num_patterns = 1200;
-    const auto res = characterize_adder(adder, lib(), triads, cfg);
+    const auto res = characterize_dut(adder, lib(), triads, cfg);
     const double base = res[0].energy_per_op_fj;
     double best = 0.0;
     for (const auto& r : res)
@@ -191,8 +192,8 @@ TEST(Calibration, SixteenBitZeroBerSavingsSmallerThanEightBit) {
         best = std::max(best, energy_efficiency(r.energy_per_op_fj, base));
     return best;
   };
-  const AdderNetlist rca8 = build_rca(8);
-  const AdderNetlist rca16 = build_rca(16);
+  const DutNetlist rca8 = to_dut(build_rca(8));
+  const DutNetlist rca16 = to_dut(build_rca(16));
   const double ee8 = best_zero_ber_ee(rca8, AdderArch::kRipple, 8);
   const double ee16 = best_zero_ber_ee(rca16, AdderArch::kRipple, 16);
   EXPECT_GT(ee8, 0.55);

@@ -2,7 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "src/model/energy_model.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/contracts.hpp"
@@ -50,7 +51,8 @@ TEST(EnergyModel, AggregateEnergyTracksSimulator) {
   const VosEnergyModel model =
       train_energy_model(setup().adder, lib(), triad, cfg);
 
-  VosAdderSim sim(setup().adder, lib(), triad);
+  const DutNetlist dut = to_dut(build_rca(8));
+  VosDutSim sim(dut, lib(), triad);
   PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 9999);
   OperandPair prev = patterns.next();
   sim.reset(prev.a, prev.b);
@@ -58,7 +60,7 @@ TEST(EnergyModel, AggregateEnergyTracksSimulator) {
   double predicted = 0.0;
   for (int i = 0; i < 4000; ++i) {
     const OperandPair cur = patterns.next();
-    simulated += sim.add(cur.a, cur.b).energy_fj;
+    simulated += sim.apply(cur.a, cur.b).energy_fj;
     predicted += model.predict_fj(prev.a, prev.b, cur.a, cur.b);
     prev = cur;
   }

@@ -6,8 +6,9 @@
 #include <tuple>
 
 #include "src/netlist/adders.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/sim/event_sim.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -31,13 +32,13 @@ class EventSimExactTest : public ::testing::TestWithParam<ArchWidth> {};
 
 TEST_P(EventSimExactTest, RelaxedClockMatchesGoldenStreaming) {
   const auto [arch, width] = GetParam();
-  const AdderNetlist adder = build_adder(arch, width);
-  VosAdderSim sim(adder, lib(), relaxed(adder.netlist));
+  const DutNetlist adder = to_dut(build_adder(arch, width));
+  VosDutSim sim(adder, lib(), relaxed(adder.netlist));
   Rng rng(55);
   for (int t = 0; t < 1500; ++t) {
     const std::uint64_t a = rng.bits(width);
     const std::uint64_t b = rng.bits(width);
-    const VosAddResult r = sim.add(a, b);
+    const VosOpResult r = sim.apply(a, b);
     ASSERT_EQ(r.sampled, a + b) << adder_arch_name(arch) << width;
     ASSERT_EQ(r.settled, a + b);
     ASSERT_GT(r.energy_fj, 0.0);
@@ -61,14 +62,14 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(EventSim, SettleTimeBoundedByStaCriticalPath) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ps =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps;
-  VosAdderSim sim(rca, lib(), relaxed(rca.netlist));
+  VosDutSim sim(rca, lib(), relaxed(rca.netlist));
   Rng rng(7);
   double worst = 0.0;
   for (int t = 0; t < 4000; ++t) {
-    const VosAddResult r = sim.add(rng.bits(8), rng.bits(8));
+    const VosOpResult r = sim.apply(rng.bits(8), rng.bits(8));
     ASSERT_LE(r.settle_time_ps, cp_ps + 1e-6);
     worst = std::max(worst, r.settle_time_ps);
   }
@@ -78,11 +79,11 @@ TEST(EventSim, SettleTimeBoundedByStaCriticalPath) {
 }
 
 TEST(EventSim, LongCarryChainExcitesCriticalPath) {
-  const AdderNetlist rca = build_rca(8);
-  VosAdderSim sim(rca, lib(), relaxed(rca.netlist));
+  const DutNetlist rca = to_dut(build_rca(8));
+  VosDutSim sim(rca, lib(), relaxed(rca.netlist));
   sim.reset(0, 0);
   // 0xFF + 0x01: carry ripples through every stage.
-  const VosAddResult r = sim.add(0xFF, 0x01);
+  const VosOpResult r = sim.apply(0xFF, 0x01);
   EXPECT_EQ(r.sampled, 0x100u);
   const double cp_ps =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps;
@@ -90,17 +91,17 @@ TEST(EventSim, LongCarryChainExcitesCriticalPath) {
 }
 
 TEST(EventSim, OverclockingCausesErrors) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
-  VosAdderSim sim(rca, lib(), {0.4 * cp_ns, 1.0, 0.0});
+  VosDutSim sim(rca, lib(), {0.4 * cp_ns, 1.0, 0.0});
   Rng rng(11);
   int errors = 0;
   for (int t = 0; t < 2000; ++t) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    const VosAddResult r = sim.add(a, b);
+    const VosOpResult r = sim.apply(a, b);
     ASSERT_EQ(r.settled, a + b);  // settles correctly eventually
     if (r.sampled != a + b) ++errors;
   }
@@ -108,18 +109,18 @@ TEST(EventSim, OverclockingCausesErrors) {
 }
 
 TEST(EventSim, ErrorsDecreaseWithSlackerClock) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
   auto count_errors = [&](double tclk_ns) {
-    VosAdderSim sim(rca, lib(), {tclk_ns, 1.0, 0.0});
+    VosDutSim sim(rca, lib(), {tclk_ns, 1.0, 0.0});
     Rng rng(13);
     int errors = 0;
     for (int t = 0; t < 1500; ++t) {
       const std::uint64_t a = rng.bits(8);
       const std::uint64_t b = rng.bits(8);
-      if (sim.add(a, b).sampled != a + b) ++errors;
+      if (sim.apply(a, b).sampled != a + b) ++errors;
     }
     return errors;
   };
@@ -132,18 +133,18 @@ TEST(EventSim, ErrorsDecreaseWithSlackerClock) {
 }
 
 TEST(EventSim, VoltageScalingCausesErrorsAtFixedClock) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
   auto ber_at = [&](double vdd, double vbb) {
-    VosAdderSim sim(rca, lib(), {1.2 * cp_ns, vdd, vbb});
+    VosDutSim sim(rca, lib(), {1.2 * cp_ns, vdd, vbb});
     Rng rng(17);
     int bit_errors = 0;
     for (int t = 0; t < 1200; ++t) {
       const std::uint64_t a = rng.bits(8);
       const std::uint64_t b = rng.bits(8);
-      bit_errors += hamming_distance(sim.add(a, b).sampled, a + b, 9);
+      bit_errors += hamming_distance(sim.apply(a, b).sampled, a + b, 9);
     }
     return bit_errors;
   };
@@ -157,13 +158,13 @@ TEST(EventSim, VoltageScalingCausesErrorsAtFixedClock) {
 TEST(EventSim, DynamicEnergyExactlyQuadraticAtZeroBer) {
   // With uniformly scaled delays the event sequence is identical, so
   // window energy scales exactly as Vdd^2 while no events are cut off.
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
   const double tclk = 10.0 * cp_ns;  // everything settles far before Tclk
-  VosAdderSim nom(rca, lib(), {tclk, 1.0, 0.0});
-  VosAdderSim low(rca, lib(), {tclk, 0.8, 2.0});  // FBB keeps order same
+  VosDutSim nom(rca, lib(), {tclk, 1.0, 0.0});
+  VosDutSim low(rca, lib(), {tclk, 0.8, 2.0});  // FBB keeps order same
   Rng r1(19);
   Rng r2(19);
   double e_nom = 0.0;
@@ -174,8 +175,8 @@ TEST(EventSim, DynamicEnergyExactlyQuadraticAtZeroBer) {
     const std::uint64_t a2 = r2.bits(8);
     const std::uint64_t b2 = r2.bits(8);
     ASSERT_EQ(a, a2);
-    e_nom += nom.add(a, b).energy_fj - nom.leakage_energy_fj();
-    e_low += low.add(a2, b2).energy_fj - low.leakage_energy_fj();
+    e_nom += nom.apply(a, b).energy_fj - nom.leakage_energy_fj();
+    e_low += low.apply(a2, b2).energy_fj - low.leakage_energy_fj();
   }
   EXPECT_NEAR(e_low / e_nom, 0.8 * 0.8, 1e-6);
 }
@@ -184,16 +185,16 @@ TEST(EventSim, DeepVosTruncatesSwitchingEnergy) {
   // Under deep VOS long carry chains never complete inside the clock
   // window, so dynamic energy per op drops below the quadratic scaling
   // (DESIGN.md §6.3; the paper's Fig. 8 energy taper).
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
   auto dyn_energy = [&](double vdd) {
-    VosAdderSim sim(rca, lib(), {1.2 * cp_ns, vdd, 0.0});
+    VosDutSim sim(rca, lib(), {1.2 * cp_ns, vdd, 0.0});
     Rng rng(23);
     double e = 0.0;
     for (int t = 0; t < 800; ++t)
-      e += sim.add(rng.bits(8), rng.bits(8)).energy_fj -
+      e += sim.apply(rng.bits(8), rng.bits(8)).energy_fj -
            sim.leakage_energy_fj();
     return e / 800.0;
   };
@@ -203,7 +204,7 @@ TEST(EventSim, DeepVosTruncatesSwitchingEnergy) {
 }
 
 TEST(EventSim, TotalEnergyCoversWindowEnergy) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
@@ -225,17 +226,17 @@ TEST(EventSim, TotalEnergyCoversWindowEnergy) {
 }
 
 TEST(EventSim, LeakageEnergyGrowsWithTclkAndFbb) {
-  const AdderNetlist rca = build_rca(8);
-  VosAdderSim fast(rca, lib(), {0.5, 1.0, 0.0});
-  VosAdderSim slow(rca, lib(), {1.0, 1.0, 0.0});
+  const DutNetlist rca = to_dut(build_rca(8));
+  VosDutSim fast(rca, lib(), {0.5, 1.0, 0.0});
+  VosDutSim slow(rca, lib(), {1.0, 1.0, 0.0});
   EXPECT_NEAR(slow.leakage_energy_fj() / fast.leakage_energy_fj(), 2.0,
               1e-9);
-  VosAdderSim fbb(rca, lib(), {0.5, 1.0, 2.0});
+  VosDutSim fbb(rca, lib(), {0.5, 1.0, 2.0});
   EXPECT_GT(fbb.leakage_energy_fj(), fast.leakage_energy_fj());
 }
 
 TEST(EventSim, VariationIsDeterministicPerSeed) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   TimingSimConfig cfg;
   cfg.variation_sigma = 0.05;
   cfg.variation_seed = 1234;
@@ -253,7 +254,7 @@ TEST(EventSim, VariationIsDeterministicPerSeed) {
 }
 
 TEST(EventSim, ZeroTclkRejected) {
-  const AdderNetlist rca = build_rca(4);
+  const DutNetlist rca = to_dut(build_rca(4));
   EXPECT_THROW(TimingSimulator(rca.netlist, lib(), {0.0, 1.0, 0.0}),
                ContractViolation);
 }
@@ -276,46 +277,46 @@ TEST(EventSim, GlitchSwallowedByInertialDelay) {
   EXPECT_EQ(r.sampled_outputs, 0u);
 }
 
-TEST(VosAdderSimTest, OperandBoundsChecked) {
-  const AdderNetlist rca = build_rca(8);
-  VosAdderSim sim(rca, lib(), relaxed(rca.netlist));
-  EXPECT_THROW(sim.add(0x100, 0), ContractViolation);
-  EXPECT_THROW(sim.add(0, 0x1FF), ContractViolation);
+TEST(VosDutSimTest, OperandBoundsChecked) {
+  const DutNetlist rca = to_dut(build_rca(8));
+  VosDutSim sim(rca, lib(), relaxed(rca.netlist));
+  EXPECT_THROW(sim.apply(0x100, 0), ContractViolation);
+  EXPECT_THROW(sim.apply(0, 0x1FF), ContractViolation);
 }
 
-TEST(VosAdderSimTest, StreamsAreReproducible) {
-  const AdderNetlist rca = build_rca(8);
+TEST(VosDutSimTest, StreamsAreReproducible) {
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
   const OperatingTriad op{0.5 * cp_ns, 1.0, 0.0};  // error-prone
-  VosAdderSim s1(rca, lib(), op);
-  VosAdderSim s2(rca, lib(), op);
+  VosDutSim s1(rca, lib(), op);
+  VosDutSim s2(rca, lib(), op);
   Rng r1(3);
   Rng r2(3);
   for (int t = 0; t < 500; ++t) {
-    const VosAddResult x = s1.add(r1.bits(8), r1.bits(8));
-    const VosAddResult y = s2.add(r2.bits(8), r2.bits(8));
+    const VosOpResult x = s1.apply(r1.bits(8), r1.bits(8));
+    const VosOpResult y = s2.apply(r2.bits(8), r2.bits(8));
     ASSERT_EQ(x.sampled, y.sampled);
     ASSERT_DOUBLE_EQ(x.energy_fj, y.energy_fj);
   }
 }
 
-TEST(VosAdderSimTest, ErrorsDependOnPreviousState) {
+TEST(VosDutSimTest, ErrorsDependOnPreviousState) {
   // The same operand pair can fail or succeed depending on the previous
   // state — the signature of timing (not logic) errors.
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
-  VosAdderSim sim(rca, lib(), {0.45 * cp_ns, 1.0, 0.0});
+  VosDutSim sim(rca, lib(), {0.45 * cp_ns, 1.0, 0.0});
   // From a settled (0xFF, 0x01) state, re-adding the same pair is a
   // no-op: no transitions, so the sampled output stays correct.
   sim.reset(0xFF, 0x01);
-  EXPECT_EQ(sim.add(0xFF, 0x01).sampled, 0x100u);
+  EXPECT_EQ(sim.apply(0xFF, 0x01).sampled, 0x100u);
   // From (0, 0), the full carry ripple cannot finish in 45% of the CP.
   sim.reset(0x00, 0x00);
-  EXPECT_NE(sim.add(0xFF, 0x01).sampled, 0x100u);
+  EXPECT_NE(sim.apply(0xFF, 0x01).sampled, 0x100u);
 }
 
 }  // namespace

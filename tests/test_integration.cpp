@@ -7,7 +7,8 @@
 #include "src/model/evaluation.hpp"
 #include "src/model/vos_model.hpp"
 #include "src/runtime/triad_ladder.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/tech/library.hpp"
 
@@ -18,6 +19,7 @@ const CellLibrary& lib() { return make_fdsoi28_lvt(); }
 
 struct Pipeline {
   AdderNetlist adder = build_rca(8);
+  DutNetlist dut = to_dut(build_rca(8));
   SynthesisReport report;
   std::vector<OperatingTriad> triads;
   std::vector<TriadResult> results;
@@ -31,7 +33,7 @@ const Pipeline& pipeline() {
                                  q.report.critical_path_ns);
     CharacterizeConfig cfg;
     cfg.num_patterns = 2500;  // reduced for test runtime
-    q.results = characterize_adder(q.adder, lib(), q.triads, cfg);
+    q.results = characterize_dut(q.dut, lib(), q.triads, cfg);
     return q;
   }();
   return p;
@@ -123,9 +125,9 @@ TEST(Integration, ModelsTrackSimulatorAcrossTriads) {
   for (const OperatingTriad& t : picks) {
     const VosAdderModel* m = ml.find(t);
     ASSERT_NE(m, nullptr);
-    VosAdderSim sim(p.adder, lib(), t);
+    VosDutSim sim(p.dut, lib(), t);
     const HardwareOracle oracle = [&](std::uint64_t a, std::uint64_t b) {
-      return sim.add(a, b).sampled;
+      return sim.apply(a, b).sampled;
     };
     FidelityConfig fcfg;
     fcfg.num_patterns = 2500;
@@ -148,9 +150,9 @@ TEST(Integration, CharacterizationIsThreadCountInvariant) {
   const auto serial = [&] {
     CharacterizeConfig c = cfg;
     c.threads = 1;
-    return characterize_adder(p.adder, lib(), few, c);
+    return characterize_dut(p.dut, lib(), few, c);
   }();
-  const auto parallel = characterize_adder(p.adder, lib(), few, cfg);
+  const auto parallel = characterize_dut(p.dut, lib(), few, cfg);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_DOUBLE_EQ(serial[i].ber, parallel[i].ber);

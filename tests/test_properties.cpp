@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/characterize/characterizer.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -23,12 +24,12 @@ class ArchPropertyTest : public ::testing::TestWithParam<AdderArch> {
 };
 
 TEST_P(ArchPropertyTest, BerMonotoneInSupply) {
-  const AdderNetlist adder = build_adder(GetParam(), 8);
+  const DutNetlist adder = to_dut(build_adder(GetParam(), 8));
   const double cp = synthesize_report(adder.netlist, lib()).critical_path_ns;
   std::vector<OperatingTriad> triads;
   for (const double vdd : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5})
     triads.push_back({cp, vdd, 0.0});
-  const auto res = characterize_adder(adder, lib(), triads, config());
+  const auto res = characterize_dut(adder, lib(), triads, config());
   for (std::size_t i = 1; i < res.size(); ++i)
     EXPECT_GE(res[i].ber, res[i - 1].ber)
         << adder_arch_name(GetParam()) << " step " << i;
@@ -37,10 +38,10 @@ TEST_P(ArchPropertyTest, BerMonotoneInSupply) {
 }
 
 TEST_P(ArchPropertyTest, ForwardBodyBiasNeverHurtsAccuracy) {
-  const AdderNetlist adder = build_adder(GetParam(), 8);
+  const DutNetlist adder = to_dut(build_adder(GetParam(), 8));
   const double cp = synthesize_report(adder.netlist, lib()).critical_path_ns;
   for (const double vdd : {0.8, 0.6, 0.5}) {
-    const auto res = characterize_adder(
+    const auto res = characterize_dut(
         adder, lib(), {{cp, vdd, 0.0}, {cp, vdd, 2.0}}, config());
     EXPECT_LE(res[1].ber, res[0].ber)
         << adder_arch_name(GetParam()) << " at " << vdd;
@@ -48,9 +49,9 @@ TEST_P(ArchPropertyTest, ForwardBodyBiasNeverHurtsAccuracy) {
 }
 
 TEST_P(ArchPropertyTest, EnergyDropsWithSupplyWhileErrorFree) {
-  const AdderNetlist adder = build_adder(GetParam(), 8);
+  const DutNetlist adder = to_dut(build_adder(GetParam(), 8));
   const double cp = synthesize_report(adder.netlist, lib()).critical_path_ns;
-  const auto res = characterize_adder(
+  const auto res = characterize_dut(
       adder, lib(), {{cp, 1.0, 0.0}, {cp, 0.9, 0.0}, {cp, 0.6, 2.0}},
       config());
   ASSERT_EQ(res[0].ber, 0.0);
@@ -61,10 +62,10 @@ TEST_P(ArchPropertyTest, EnergyDropsWithSupplyWhileErrorFree) {
 }
 
 TEST_P(ArchPropertyTest, BitwiseBerAveragesToTotalBer) {
-  const AdderNetlist adder = build_adder(GetParam(), 8);
+  const DutNetlist adder = to_dut(build_adder(GetParam(), 8));
   const double cp = synthesize_report(adder.netlist, lib()).critical_path_ns;
   const auto res =
-      characterize_adder(adder, lib(), {{cp, 0.65, 0.0}}, config());
+      characterize_dut(adder, lib(), {{cp, 0.65, 0.0}}, config());
   const TriadResult& r = res[0];
   double sum = 0.0;
   for (const double b : r.bitwise_ber) sum += b;
@@ -73,10 +74,10 @@ TEST_P(ArchPropertyTest, BitwiseBerAveragesToTotalBer) {
 }
 
 TEST_P(ArchPropertyTest, LeakagePlusDynamicEqualsTotal) {
-  const AdderNetlist adder = build_adder(GetParam(), 8);
+  const DutNetlist adder = to_dut(build_adder(GetParam(), 8));
   const double cp = synthesize_report(adder.netlist, lib()).critical_path_ns;
   const auto res =
-      characterize_adder(adder, lib(), {{cp, 0.8, 0.0}}, config());
+      characterize_dut(adder, lib(), {{cp, 0.8, 0.0}}, config());
   EXPECT_NEAR(res[0].dynamic_energy_fj + res[0].leakage_energy_fj,
               res[0].energy_per_op_fj, 1e-9);
   EXPECT_GT(res[0].dynamic_energy_fj, res[0].leakage_energy_fj);

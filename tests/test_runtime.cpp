@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "src/netlist/adders.hpp"
-#include "src/runtime/adaptive_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/runtime/adaptive_unit.hpp"
 #include "src/runtime/error_monitor.hpp"
 #include "src/runtime/speculation.hpp"
 #include "src/runtime/triad_ladder.hpp"
@@ -204,10 +205,10 @@ TEST(Controller, Validation) {
                ContractViolation);
 }
 
-// ---------------------------------------------------------- adaptive adder
-TEST(AdaptiveAdderTest, WalksDownLadderAndSavesEnergy) {
+// ----------------------------------------------------------- adaptive unit
+TEST(AdaptiveUnitTest, WalksDownLadderAndSavesEnergy) {
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib, {1, 1.0, 0.0}).critical_path_ps * 1e-3;
 
@@ -219,12 +220,12 @@ TEST(AdaptiveAdderTest, WalksDownLadderAndSavesEnergy) {
   cfg.ber_margin = 0.05;
   cfg.window_ops = 64;
   cfg.min_dwell_ops = 64;
-  AdaptiveVosAdder adder(rca, lib, ladder, cfg);
+  AdaptiveVosUnit adder(rca, lib, ladder, cfg);
 
   Rng rng(48);
   std::size_t final_rung = 0;
   for (int i = 0; i < 1000; ++i) {
-    const AdaptiveAddResult r = adder.add(rng.bits(8), rng.bits(8));
+    const AdaptiveOpResult r = adder.apply(rng.bits(8), rng.bits(8));
     final_rung = r.rung;
   }
   EXPECT_EQ(final_rung, 1u);  // moved to the cheaper error-free rung
@@ -232,9 +233,9 @@ TEST(AdaptiveAdderTest, WalksDownLadderAndSavesEnergy) {
   EXPECT_GT(adder.mean_energy_fj(), 0.0);
 }
 
-TEST(AdaptiveAdderTest, RespectsMarginUnderRealErrors) {
+TEST(AdaptiveUnitTest, RespectsMarginUnderRealErrors) {
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(rca.netlist, lib, {1, 1.0, 0.0}).critical_path_ps * 1e-3;
 
@@ -248,12 +249,12 @@ TEST(AdaptiveAdderTest, RespectsMarginUnderRealErrors) {
   cfg.ber_margin = 0.02;
   cfg.window_ops = 64;
   cfg.min_dwell_ops = 64;
-  AdaptiveVosAdder adder(rca, lib, ladder, cfg);
+  AdaptiveVosUnit adder(rca, lib, ladder, cfg);
   Rng rng(49);
   std::size_t deepest = 0;
   int ops_on_risky_rung = 0;
   for (int i = 0; i < 3000; ++i) {
-    const AdaptiveAddResult r = adder.add(rng.bits(8), rng.bits(8));
+    const AdaptiveOpResult r = adder.apply(rng.bits(8), rng.bits(8));
     deepest = std::max(deepest, r.rung);
     if (r.rung == 1) ++ops_on_risky_rung;
   }

@@ -10,7 +10,8 @@
 #include "src/model/segmented_model.hpp"
 #include "src/model/vos_model.hpp"
 #include "src/model/windowed_add.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -144,30 +145,30 @@ TEST(SegmentedModel, SaveLoadRoundTrip) {
 TEST(SegmentedModel, ImprovesBrentKungFidelity) {
   // The single-window model averages the BKA's region-dependent failure
   // depths; per-segment windows should track the simulator better.
-  const AdderNetlist bka = build_brent_kung(8);
+  const DutNetlist bka = to_dut(build_brent_kung(8));
   const double cp_ns =
       analyze_timing(bka.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
   const OperatingTriad triad{cp_ns, 0.68, 0.0};
 
-  auto oracle_for = [&](VosAdderSim& sim) {
+  auto oracle_for = [&](VosDutSim& sim) {
     return [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.add(a, b).sampled;
+      return sim.apply(a, b).sampled;
     };
   };
   TrainerConfig cfg;
   cfg.num_patterns = 8000;
 
-  VosAdderSim train_base(bka, lib(), triad);
+  VosDutSim train_base(bka, lib(), triad);
   const VosAdderModel base =
       train_vos_model(8, triad, oracle_for(train_base), cfg);
-  VosAdderSim train_seg(bka, lib(), triad);
+  VosDutSim train_seg(bka, lib(), triad);
   const SegmentedVosModel seg =
       train_segmented_model(8, triad, oracle_for(train_seg), 3, cfg);
 
   // Evaluate both on held-out patterns against fresh simulators.
-  VosAdderSim eval_base(bka, lib(), triad);
-  VosAdderSim eval_seg(bka, lib(), triad);
+  VosDutSim eval_base(bka, lib(), triad);
+  VosDutSim eval_seg(bka, lib(), triad);
   PatternStream pat_base(PatternPolicy::kCarryBalanced, 8, 1729);
   PatternStream pat_seg(PatternPolicy::kCarryBalanced, 8, 1729);
   Rng rng_base(5);
@@ -176,10 +177,10 @@ TEST(SegmentedModel, ImprovesBrentKungFidelity) {
   ErrorAccumulator acc_seg(9);
   for (int t = 0; t < 8000; ++t) {
     const OperandPair pb = pat_base.next();
-    acc_base.add(eval_base.add(pb.a, pb.b).sampled,
+    acc_base.add(eval_base.apply(pb.a, pb.b).sampled,
                  base.add(pb.a, pb.b, rng_base));
     const OperandPair ps = pat_seg.next();
-    acc_seg.add(eval_seg.add(ps.a, ps.b).sampled,
+    acc_seg.add(eval_seg.apply(ps.a, ps.b).sampled,
                 seg.add(ps.a, ps.b, rng_seg));
   }
   // Oracle must actually err for this comparison to mean anything.

@@ -16,7 +16,8 @@
 #include "src/sim/event_sim.hpp"
 #include "src/sim/levelized_sim.hpp"
 #include "src/sim/sim_engine.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -102,7 +103,7 @@ TEST(SimEngine, GenerousTclkBitExactAcrossArchitectures) {
       AdderArch::kSklansky,    AdderArch::kCarrySelect,
       AdderArch::kCarrySkip,   AdderArch::kHanCarlson};
   for (const AdderArch arch : archs) {
-    const AdderNetlist adder = build_adder(arch, 8);
+    const DutNetlist adder = to_dut(build_adder(arch, 8));
     const double cp = critical_path_ns(adder.netlist, {1.0, 1.0, 0.0});
     const OperatingTriad relaxed{2.0 * cp, 1.0, 0.0};
 
@@ -110,17 +111,17 @@ TEST(SimEngine, GenerousTclkBitExactAcrossArchitectures) {
     cfg.variation_sigma = 0.03;
     cfg.variation_seed = 7;
     cfg.engine = EngineKind::kEvent;
-    VosAdderSim event_sim(adder, lib(), relaxed, cfg);
+    VosDutSim event_sim(adder, lib(), relaxed, cfg);
     cfg.engine = EngineKind::kLevelized;
-    VosAdderSim lev_sim(adder, lib(), relaxed, cfg);
+    VosDutSim lev_sim(adder, lib(), relaxed, cfg);
     EXPECT_EQ(event_sim.engine_kind(), EngineKind::kEvent);
     EXPECT_EQ(lev_sim.engine_kind(), EngineKind::kLevelized);
 
     PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 42);
     for (int i = 0; i < 200; ++i) {
       const OperandPair p = patterns.next();
-      const VosAddResult re = event_sim.add(p.a, p.b);
-      const VosAddResult rl = lev_sim.add(p.a, p.b);
+      const VosOpResult re = event_sim.apply(p.a, p.b);
+      const VosOpResult rl = lev_sim.apply(p.a, p.b);
       const std::uint64_t golden = exact_add(p.a, p.b, 8);
       EXPECT_EQ(re.sampled, golden) << adder_arch_name(arch);
       EXPECT_EQ(rl.sampled, golden) << adder_arch_name(arch);
@@ -133,19 +134,19 @@ TEST(SimEngine, GenerousTclkBitExactAcrossArchitectures) {
 // Approximate architectures: the engines must agree with each other and
 // with the netlist's own functional (settled) behavior.
 TEST(SimEngine, GenerousTclkApproxAdderAgreesAcrossEngines) {
-  const AdderNetlist loa = build_lower_or(8, 3);
+  const DutNetlist loa = to_dut(build_lower_or(8, 3));
   const double cp = critical_path_ns(loa.netlist, {1.0, 1.0, 0.0});
   const OperatingTriad relaxed{2.0 * cp, 1.0, 0.0};
   TimingSimConfig cfg;
   cfg.engine = EngineKind::kEvent;
-  VosAdderSim event_sim(loa, lib(), relaxed, cfg);
+  VosDutSim event_sim(loa, lib(), relaxed, cfg);
   cfg.engine = EngineKind::kLevelized;
-  VosAdderSim lev_sim(loa, lib(), relaxed, cfg);
+  VosDutSim lev_sim(loa, lib(), relaxed, cfg);
   PatternStream patterns(PatternPolicy::kUniform, 8, 9);
   for (int i = 0; i < 200; ++i) {
     const OperandPair p = patterns.next();
-    const VosAddResult re = event_sim.add(p.a, p.b);
-    const VosAddResult rl = lev_sim.add(p.a, p.b);
+    const VosOpResult re = event_sim.apply(p.a, p.b);
+    const VosOpResult rl = lev_sim.apply(p.a, p.b);
     EXPECT_EQ(re.sampled, rl.sampled);
     EXPECT_EQ(re.settled, rl.settled);
   }
@@ -154,14 +155,14 @@ TEST(SimEngine, GenerousTclkApproxAdderAgreesAcrossEngines) {
 // Batched evaluation must reproduce the per-step streaming semantics of
 // the levelized engine exactly (values, energy and settle times).
 TEST(SimEngine, LevelizedBatchMatchesStep) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = critical_path_ns(rca.netlist, {1.0, 0.7, 0.0});
   const OperatingTriad stressed{0.6 * cp, 0.7, 0.0};
   TimingSimConfig cfg;
   cfg.engine = EngineKind::kLevelized;
 
-  VosAdderSim stepper(rca, lib(), stressed, cfg);
-  VosAdderSim batcher(rca, lib(), stressed, cfg);
+  VosDutSim stepper(rca, lib(), stressed, cfg);
+  VosDutSim batcher(rca, lib(), stressed, cfg);
   stepper.reset(1, 2);
   batcher.reset(1, 2);
 
@@ -174,10 +175,10 @@ TEST(SimEngine, LevelizedBatchMatchesStep) {
     a[i] = p.a;
     b[i] = p.b;
   }
-  std::vector<VosAddResult> batched(n);
-  batcher.add_batch(a, b, batched);
+  std::vector<VosOpResult> batched(n);
+  batcher.apply_batch(a, b, batched);
   for (std::size_t i = 0; i < n; ++i) {
-    const VosAddResult r = stepper.add(a[i], b[i]);
+    const VosOpResult r = stepper.apply(a[i], b[i]);
     EXPECT_EQ(batched[i].sampled, r.sampled) << "pattern " << i;
     EXPECT_EQ(batched[i].settled, r.settled) << "pattern " << i;
     EXPECT_DOUBLE_EQ(batched[i].energy_fj, r.energy_fj) << "pattern " << i;
@@ -189,19 +190,19 @@ TEST(SimEngine, LevelizedBatchMatchesStep) {
 // Deep over-scaling: when every path misses the clock, each operation
 // samples the previous operation's settled result — in both engines.
 TEST(SimEngine, DeepOverscalingLatchesPreviousResult) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const OperatingTriad tiny{0.001, 1.0, 0.0};  // 1 ps: everything is late
   for (const EngineKind kind :
        {EngineKind::kEvent, EngineKind::kLevelized}) {
     TimingSimConfig cfg;
     cfg.engine = kind;
-    VosAdderSim sim(rca, lib(), tiny, cfg);
+    VosDutSim sim(rca, lib(), tiny, cfg);
     sim.reset(0, 0);
     std::uint64_t prev_settled = 0;  // sum of the reset state
     PatternStream patterns(PatternPolicy::kUniform, 8, 3);
     for (int i = 0; i < 100; ++i) {
       const OperandPair p = patterns.next();
-      const VosAddResult r = sim.add(p.a, p.b);
+      const VosOpResult r = sim.apply(p.a, p.b);
       EXPECT_EQ(r.sampled, prev_settled)
           << engine_kind_name(kind) << " op " << i;
       EXPECT_EQ(r.settled, exact_add(p.a, p.b, 8));
@@ -214,7 +215,7 @@ TEST(SimEngine, DeepOverscalingLatchesPreviousResult) {
 // within the documented tolerance (DESIGN.md §7: ≤ 2 percentage points
 // on RCA8) — same patterns, same die.
 TEST(SimEngine, OverscaledBerWithinToleranceOnRca8) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = critical_path_ns(rca.netlist, {1.0, 0.8, 0.0});
   std::vector<OperatingTriad> triads;
   for (const double ratio : {1.0, 0.85, 0.7, 0.55, 0.4})
@@ -223,9 +224,9 @@ TEST(SimEngine, OverscaledBerWithinToleranceOnRca8) {
   CharacterizeConfig cfg;
   cfg.num_patterns = 4000;
   cfg.engine = EngineKind::kEvent;
-  const auto event_res = characterize_adder(rca, lib(), triads, cfg);
+  const auto event_res = characterize_dut(rca, lib(), triads, cfg);
   cfg.engine = EngineKind::kLevelized;
-  const auto lev_res = characterize_adder(rca, lib(), triads, cfg);
+  const auto lev_res = characterize_dut(rca, lib(), triads, cfg);
 
   ASSERT_EQ(event_res.size(), lev_res.size());
   for (std::size_t t = 0; t < triads.size(); ++t) {
@@ -250,14 +251,14 @@ TEST(SimEngine, CharacterizerDefaultsToEventEngine) {
 // and the engine's decisions are scale-invariant, so the two paths may
 // differ only by floating-point rounding on knife-edge commits.
 TEST(SimEngine, SweepFastPathMatchesPerTriadLevelized) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = critical_path_ns(rca.netlist, {1.0, 0.8, 0.0});
   const std::vector<OperatingTriad> triads{
       {2.0 * cp, 1.0, 0.0}, {0.8 * cp, 0.8, 0.0}, {0.6 * cp, 0.7, 2.0}};
   CharacterizeConfig cfg;
   cfg.num_patterns = 1500;
   cfg.engine = EngineKind::kLevelized;
-  const auto fast = characterize_adder(rca, lib(), triads, cfg);
+  const auto fast = characterize_dut(rca, lib(), triads, cfg);
 
   const std::vector<OperandPair> pats = [&] {
     std::vector<OperandPair> out(cfg.num_patterns + 1);
@@ -270,12 +271,12 @@ TEST(SimEngine, SweepFastPathMatchesPerTriadLevelized) {
     sim_cfg.variation_sigma = cfg.variation_sigma;
     sim_cfg.variation_seed = cfg.variation_seed;
     sim_cfg.engine = EngineKind::kLevelized;
-    VosAdderSim sim(rca, lib(), triads[t], sim_cfg);
+    VosDutSim sim(rca, lib(), triads[t], sim_cfg);
     sim.reset(pats[0].a, pats[0].b);
     ErrorAccumulator acc(9);
     double energy = 0.0;
     for (std::size_t i = 1; i <= cfg.num_patterns; ++i) {
-      const VosAddResult r = sim.add(pats[i].a, pats[i].b);
+      const VosOpResult r = sim.apply(pats[i].a, pats[i].b);
       acc.add(exact_add(pats[i].a, pats[i].b, 8), r.sampled);
       energy += r.energy_fj;
     }
@@ -289,7 +290,7 @@ TEST(SimEngine, SweepFastPathMatchesPerTriadLevelized) {
 
 // Non-streaming (reset-per-op) characterization works on both engines.
 TEST(SimEngine, NonStreamingCharacterizeBothEngines) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = critical_path_ns(rca.netlist, {1.0, 1.0, 0.0});
   const std::vector<OperatingTriad> relaxed{{2.0 * cp, 1.0, 0.0}};
   for (const EngineKind kind :
@@ -298,7 +299,7 @@ TEST(SimEngine, NonStreamingCharacterizeBothEngines) {
     cfg.num_patterns = 300;
     cfg.streaming_state = false;
     cfg.engine = kind;
-    const auto res = characterize_adder(rca, lib(), relaxed, cfg);
+    const auto res = characterize_dut(rca, lib(), relaxed, cfg);
     EXPECT_EQ(res[0].ber, 0.0) << engine_kind_name(kind);
     EXPECT_GT(res[0].energy_per_op_fj, 0.0);
   }
@@ -307,7 +308,7 @@ TEST(SimEngine, NonStreamingCharacterizeBothEngines) {
 // The levelized arrival model must reproduce STA: its per-net arrivals
 // at zero variation equal analyze_timing's, and its critical path too.
 TEST(SimEngine, LevelizedArrivalsMatchSta) {
-  const AdderNetlist bk = build_brent_kung(8);
+  const DutNetlist bk = to_dut(build_brent_kung(8));
   const OperatingTriad op{1.0, 0.6, 0.0};
   TimingSimConfig cfg;
   cfg.engine = EngineKind::kLevelized;
@@ -321,13 +322,13 @@ TEST(SimEngine, LevelizedArrivalsMatchSta) {
 // arrival_times_ps with externally supplied delays (the variation die)
 // bounds every per-op settle time the levelized engine reports.
 TEST(SimEngine, StaArrivalBoundsSettleTimes) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const OperatingTriad op{0.5, 0.7, 0.0};
   TimingSimConfig cfg;
   cfg.variation_sigma = 0.05;
   cfg.variation_seed = 11;
   cfg.engine = EngineKind::kLevelized;
-  VosAdderSim sim(rca, lib(), op, cfg);
+  VosDutSim sim(rca, lib(), op, cfg);
   const LevelizedSimulator& eng =
       dynamic_cast<const LevelizedSimulator&>(sim.engine());
   double cp = 0.0;
@@ -336,7 +337,7 @@ TEST(SimEngine, StaArrivalBoundsSettleTimes) {
   PatternStream patterns(PatternPolicy::kCarryBalanced, 8, 21);
   for (int i = 0; i < 200; ++i) {
     const OperandPair p = patterns.next();
-    EXPECT_LE(sim.add(p.a, p.b).settle_time_ps, cp + 1e-9);
+    EXPECT_LE(sim.apply(p.a, p.b).settle_time_ps, cp + 1e-9);
   }
 }
 

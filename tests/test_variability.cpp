@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/characterize/variability.hpp"
+#include "src/netlist/dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/contracts.hpp"
@@ -19,7 +20,7 @@ VariabilityConfig small_config() {
 }
 
 TEST(Variability, SafeTriadYieldsAllCleanDies) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
   const auto res = variability_study(rca, lib(), {{cp * 1.5, 1.0, 0.0}},
                                      small_config());
@@ -33,7 +34,7 @@ TEST(Variability, SafeTriadYieldsAllCleanDies) {
 TEST(Variability, MarginalTriadSplitsTheDies) {
   // Pick a point right at the pass/fail edge: with 5% per-gate sigma
   // some dies close timing and some do not.
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp_tt = synthesize_report(rca.netlist, lib())
                            .tt_critical_path_ns;
   VariabilityConfig cfg = small_config();
@@ -48,7 +49,7 @@ TEST(Variability, MarginalTriadSplitsTheDies) {
 }
 
 TEST(Variability, DeepVosFailsEveryDie) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
   const auto res =
       variability_study(rca, lib(), {{cp, 0.5, 0.0}}, small_config());
@@ -57,7 +58,7 @@ TEST(Variability, DeepVosFailsEveryDie) {
 }
 
 TEST(Variability, SpreadQuantilesOrdered) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
   VariabilityConfig cfg = small_config();
   cfg.variation_sigma = 0.10;
@@ -72,7 +73,7 @@ TEST(Variability, SpreadQuantilesOrdered) {
 }
 
 TEST(Variability, DeterministicAcrossThreadCounts) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const double cp = synthesize_report(rca.netlist, lib()).critical_path_ns;
   VariabilityConfig cfg = small_config();
   cfg.num_dies = 6;
@@ -90,7 +91,7 @@ TEST(Variability, DeterministicAcrossThreadCounts) {
 }
 
 TEST(Variability, Validation) {
-  const AdderNetlist rca = build_rca(4);
+  const DutNetlist rca = to_dut(build_rca(4));
   VariabilityConfig bad;
   bad.num_dies = 0;
   EXPECT_THROW(variability_study(rca, lib(), {{1.0, 1.0, 0.0}}, bad),

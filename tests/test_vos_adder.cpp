@@ -1,9 +1,10 @@
-// VosAdderSim adapter tests: pin mapping, carry-in handling, approximate
-// netlists, and energy bookkeeping.
+// VosDutSim adapter tests on adder DUTs: pin mapping, carry-in
+// handling, approximate netlists, and energy bookkeeping.
 #include <gtest/gtest.h>
 
 #include "src/netlist/approx_adders.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -20,25 +21,25 @@ OperatingTriad relaxed(const Netlist& nl) {
   return {cp * 2.0e-3, 1.0, 0.0};
 }
 
-TEST(VosAdderAdapter, CarryInPinnedLow) {
-  const AdderNetlist adder = build_rca(8, /*with_cin=*/true);
-  VosAdderSim sim(adder, lib(), relaxed(adder.netlist));
+TEST(VosDutAdapter, CarryInPinnedLow) {
+  const DutNetlist adder = to_dut(build_rca(8, /*with_cin=*/true));
+  VosDutSim sim(adder, lib(), relaxed(adder.netlist));
   Rng rng(1);
   for (int t = 0; t < 500; ++t) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    ASSERT_EQ(sim.add(a, b).sampled, a + b);  // cin contributes nothing
+    ASSERT_EQ(sim.apply(a, b).sampled, a + b);  // cin contributes nothing
   }
 }
 
-TEST(VosAdderAdapter, ApproxAdderSettlesToItsOwnFunction) {
-  const AdderNetlist loa = build_lower_or(8, 4);
-  VosAdderSim sim(loa, lib(), relaxed(loa.netlist));
+TEST(VosDutAdapter, ApproxAdderSettlesToItsOwnFunction) {
+  const DutNetlist loa = to_dut(build_lower_or(8, 4));
+  VosDutSim sim(loa, lib(), relaxed(loa.netlist));
   Rng rng(2);
   for (int t = 0; t < 500; ++t) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    const VosAddResult r = sim.add(a, b);
+    const VosOpResult r = sim.apply(a, b);
     // At a relaxed clock the sampled value equals the settled one, which
     // is the LOA function — not necessarily a+b.
     ASSERT_EQ(r.sampled, r.settled);
@@ -49,51 +50,56 @@ TEST(VosAdderAdapter, ApproxAdderSettlesToItsOwnFunction) {
   }
 }
 
-TEST(VosAdderAdapter, CarryCutExtraOutputDoesNotCorruptSumWord) {
+TEST(VosDutAdapter, CarryCutExtraOutputDoesNotCorruptSumWord) {
   // build_carry_cut marks an extra diagnostic output before the sum
   // bits; the adapter must still extract the arithmetic word correctly.
-  const AdderNetlist cut = build_carry_cut(8, 4);
-  VosAdderSim sim(cut, lib(), relaxed(cut.netlist));
-  const VosAddResult r = sim.add(0x23, 0x14);
+  const DutNetlist cut = to_dut(build_carry_cut(8, 4));
+  VosDutSim sim(cut, lib(), relaxed(cut.netlist));
+  const VosOpResult r = sim.apply(0x23, 0x14);
   EXPECT_EQ(r.sampled & mask_n(9), static_cast<std::uint64_t>(0x23 + 0x14));
 }
 
-TEST(VosAdderAdapter, AccessorsConsistent) {
-  const AdderNetlist adder = build_rca(8);
+TEST(VosDutAdapter, AccessorsConsistent) {
+  const DutNetlist adder = to_dut(build_rca(8));
   const OperatingTriad op = relaxed(adder.netlist);
-  VosAdderSim sim(adder, lib(), op);
-  EXPECT_EQ(sim.width(), 8);
-  EXPECT_EQ(&sim.adder(), &adder);
+  VosDutSim sim(adder, lib(), op);
+  EXPECT_EQ(sim.num_operands(), 2u);
+  EXPECT_EQ(sim.operand_width(0), 8);
+  EXPECT_EQ(sim.operand_width(1), 8);
+  EXPECT_EQ(sim.output_width(), 9);
+  EXPECT_EQ(&sim.dut(), &adder);
   EXPECT_EQ(sim.triad(), op);
   EXPECT_GT(sim.leakage_energy_fj(), 0.0);
+  EXPECT_EQ(adder.kind, "rca8");
+  EXPECT_EQ(adder.display_name, "8-bit RCA");
 }
 
-TEST(VosAdderAdapter, EnergyIncludesLeakageShare) {
-  const AdderNetlist adder = build_rca(8);
-  VosAdderSim sim(adder, lib(), relaxed(adder.netlist));
+TEST(VosDutAdapter, EnergyIncludesLeakageShare) {
+  const DutNetlist adder = to_dut(build_rca(8));
+  VosDutSim sim(adder, lib(), relaxed(adder.netlist));
   // Repeating identical operands toggles nothing: energy collapses to
   // the leakage share alone.
   sim.reset(5, 9);
-  const VosAddResult r = sim.add(5, 9);
+  const VosOpResult r = sim.apply(5, 9);
   EXPECT_DOUBLE_EQ(r.energy_fj, sim.leakage_energy_fj());
   EXPECT_EQ(r.settle_time_ps, 0.0);
 }
 
-TEST(VosAdderAdapter, ResetReestablishesState) {
-  const AdderNetlist adder = build_rca(8);
+TEST(VosDutAdapter, ResetReestablishesState) {
+  const DutNetlist adder = to_dut(build_rca(8));
   const double cp_ns =
       analyze_timing(adder.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
       1e-3;
-  VosAdderSim sim(adder, lib(), {0.45 * cp_ns, 1.0, 0.0});
+  VosDutSim sim(adder, lib(), {0.45 * cp_ns, 1.0, 0.0});
   sim.reset(0, 0);
-  const VosAddResult first = sim.add(0xFF, 0x01);
+  const VosOpResult first = sim.apply(0xFF, 0x01);
   sim.reset(0, 0);
-  const VosAddResult again = sim.add(0xFF, 0x01);
+  const VosOpResult again = sim.apply(0xFF, 0x01);
   EXPECT_EQ(first.sampled, again.sampled);
   EXPECT_DOUBLE_EQ(first.energy_fj, again.energy_fj);
 }
 
-TEST(VosAdderAdapter, SpeculativeWindowUnderVosStillWindowed) {
+TEST(VosDutAdapter, SpeculativeWindowUnderVosStillWindowed) {
   // A window adder has short paths only; it should tolerate clocks that
   // break the full RCA.
   const AdderNetlist rca = build_rca(16);

@@ -6,7 +6,8 @@
 
 #include "src/model/evaluation.hpp"
 #include "src/model/vos_model.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -28,10 +29,10 @@ double rca8_cp_ns() {
 OperatingTriad stressed_triad() { return {rca8_cp_ns(), 0.7, 0.0}; }
 
 TEST(VosModel, TrainedModelTracksSimulatorClosely) {
-  const AdderNetlist rca = build_rca(8);
-  VosAdderSim train_sim(rca, lib(), stressed_triad());
+  const DutNetlist rca = to_dut(build_rca(8));
+  VosDutSim train_sim(rca, lib(), stressed_triad());
   const HardwareOracle train_oracle = [&](std::uint64_t a, std::uint64_t b) {
-    return train_sim.add(a, b).sampled;
+    return train_sim.apply(a, b).sampled;
   };
   TrainerConfig cfg;
   cfg.num_patterns = 6000;
@@ -39,9 +40,9 @@ TEST(VosModel, TrainedModelTracksSimulatorClosely) {
       train_vos_model(8, stressed_triad(), train_oracle, cfg);
   EXPECT_FALSE(model.is_exact());
 
-  VosAdderSim eval_sim(rca, lib(), stressed_triad());
+  VosDutSim eval_sim(rca, lib(), stressed_triad());
   const HardwareOracle eval_oracle = [&](std::uint64_t a, std::uint64_t b) {
-    return eval_sim.add(a, b).sampled;
+    return eval_sim.apply(a, b).sampled;
   };
   FidelityConfig fcfg;
   fcfg.num_patterns = 6000;
@@ -56,11 +57,11 @@ TEST(VosModel, TrainedModelTracksSimulatorClosely) {
 }
 
 TEST(VosModel, RelaxedTriadYieldsExactModel) {
-  const AdderNetlist rca = build_rca(8);
+  const DutNetlist rca = to_dut(build_rca(8));
   const OperatingTriad relaxed{rca8_cp_ns() * 2.0, 1.0, 0.0};
-  VosAdderSim sim(rca, lib(), relaxed);
+  VosDutSim sim(rca, lib(), relaxed);
   const HardwareOracle oracle = [&](std::uint64_t a, std::uint64_t b) {
-    return sim.add(a, b).sampled;
+    return sim.apply(a, b).sampled;
   };
   TrainerConfig cfg;
   cfg.num_patterns = 3000;

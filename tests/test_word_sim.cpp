@@ -1,9 +1,11 @@
-// Generic word-operator simulator tests, including VOS characterization
-// of the array multiplier (the paper's "different arithmetic
-// configurations" extension).
+// Generic word-operator simulation on multiplier DUTs (the paper's
+// "different arithmetic configurations" extension), plus the deprecated
+// VosWordSim shim staying faithful to VosDutSim.
 #include <gtest/gtest.h>
 
+#include "src/netlist/dut.hpp"
 #include "src/netlist/multiplier.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sim/word_sim.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
@@ -26,32 +28,31 @@ double mul8_cp_ns() {
 }
 
 TEST(WordSim, MultiplierExactAtRelaxedClock) {
-  const MultiplierNetlist mul = build_array_multiplier(8);
-  VosWordSim sim(mul.netlist, lib(), {mul8_cp_ns() * 2.0, 1.0, 0.0},
-                 {mul.a, mul.b}, mul.prod);
+  const DutNetlist mul = to_dut(build_array_multiplier(8));
+  VosDutSim sim(mul, lib(), {mul8_cp_ns() * 2.0, 1.0, 0.0});
   EXPECT_EQ(sim.num_operands(), 2u);
   EXPECT_EQ(sim.operand_width(0), 8);
   EXPECT_EQ(sim.output_width(), 16);
+  EXPECT_EQ(mul.kind, "mul8-array");
   Rng rng(1);
   for (int t = 0; t < 800; ++t) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    const WordOpResult r = sim.apply({a, b});
+    const VosOpResult r = sim.apply(a, b);
     ASSERT_EQ(r.sampled, a * b);
     ASSERT_EQ(r.settled, a * b);
   }
 }
 
 TEST(WordSim, MultiplierBreaksUnderVos) {
-  const MultiplierNetlist mul = build_array_multiplier(8);
-  VosWordSim sim(mul.netlist, lib(), {mul8_cp_ns(), 0.6, 0.0},
-                 {mul.a, mul.b}, mul.prod);
+  const DutNetlist mul = to_dut(build_array_multiplier(8));
+  VosDutSim sim(mul, lib(), {mul8_cp_ns(), 0.6, 0.0});
   Rng rng(2);
   int errors = 0;
   for (int t = 0; t < 800; ++t) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    const WordOpResult r = sim.apply({a, b});
+    const VosOpResult r = sim.apply(a, b);
     ASSERT_EQ(r.settled, a * b);  // functionally still a multiplier
     if (r.sampled != a * b) ++errors;
   }
@@ -61,15 +62,14 @@ TEST(WordSim, MultiplierBreaksUnderVos) {
 TEST(WordSim, MultiplierMidProductBitsFailMost) {
   // The array multiplier's longest paths end in the middle product
   // columns — the same "middle bits dominate" signature as Fig. 5.
-  const MultiplierNetlist mul = build_array_multiplier(8);
-  VosWordSim sim(mul.netlist, lib(), {mul8_cp_ns() * 0.75, 1.0, 0.0},
-                 {mul.a, mul.b}, mul.prod);
+  const DutNetlist mul = to_dut(build_array_multiplier(8));
+  VosDutSim sim(mul, lib(), {mul8_cp_ns() * 0.75, 1.0, 0.0});
   Rng rng(3);
   std::vector<int> bit_err(16, 0);
   for (int t = 0; t < 3000; ++t) {
     const std::uint64_t a = rng.bits(8);
     const std::uint64_t b = rng.bits(8);
-    const std::uint64_t diff = sim.apply({a, b}).sampled ^ (a * b);
+    const std::uint64_t diff = sim.apply(a, b).sampled ^ (a * b);
     for (int i = 0; i < 16; ++i)
       if (bit_of(diff, i) != 0) ++bit_err[static_cast<std::size_t>(i)];
   }
@@ -81,16 +81,15 @@ TEST(WordSim, MultiplierMidProductBitsFailMost) {
 }
 
 TEST(WordSim, FbbRescuesMultiplierToo) {
-  const MultiplierNetlist mul = build_array_multiplier(8);
+  const DutNetlist mul = to_dut(build_array_multiplier(8));
   auto errors_at = [&](double vdd, double vbb) {
-    VosWordSim sim(mul.netlist, lib(), {mul8_cp_ns() * 1.55, vdd, vbb},
-                   {mul.a, mul.b}, mul.prod);
+    VosDutSim sim(mul, lib(), {mul8_cp_ns() * 1.55, vdd, vbb});
     Rng rng(4);
     int errors = 0;
     for (int t = 0; t < 500; ++t) {
       const std::uint64_t a = rng.bits(8);
       const std::uint64_t b = rng.bits(8);
-      if (sim.apply({a, b}).sampled != a * b) ++errors;
+      if (sim.apply(a, b).sampled != a * b) ++errors;
     }
     return errors;
   };
@@ -99,32 +98,58 @@ TEST(WordSim, FbbRescuesMultiplierToo) {
 }
 
 TEST(WordSim, OperandValidation) {
-  const MultiplierNetlist mul = build_array_multiplier(4);
-  VosWordSim sim(mul.netlist, lib(), {10.0, 1.0, 0.0}, {mul.a, mul.b},
-                 mul.prod);
-  EXPECT_THROW(sim.apply({0x10, 0}), ContractViolation);  // 5 bits into 4
-  EXPECT_THROW(sim.apply({0}), ContractViolation);        // missing operand
+  const DutNetlist mul = to_dut(build_array_multiplier(4));
+  VosDutSim sim(mul, lib(), {10.0, 1.0, 0.0});
+  EXPECT_THROW(sim.apply(0x10, 0), ContractViolation);  // 5 bits into 4
+  const std::uint64_t one_op[1] = {0};
+  EXPECT_THROW(sim.apply({one_op, 1}), ContractViolation);  // missing op
 }
 
 TEST(WordSim, BusNetsMustBePrimaryInputs) {
   const MultiplierNetlist mul = build_array_multiplier(4);
   std::vector<NetId> bogus{mul.prod[0]};  // an output net, not a PI
-  EXPECT_THROW(VosWordSim(mul.netlist, lib(), {10.0, 1.0, 0.0},
-                          {mul.a, bogus}, mul.prod),
-               ContractViolation);
+  const DutNetlist dut =
+      make_dut(mul.netlist, {mul.a, bogus}, mul.prod);
+  EXPECT_THROW(DutPinMap{dut}, ContractViolation);
 }
 
 TEST(WordSim, EnergyScalesWithActivity) {
-  const MultiplierNetlist mul = build_array_multiplier(8);
-  VosWordSim sim(mul.netlist, lib(), {mul8_cp_ns() * 2.0, 1.0, 0.0},
-                 {mul.a, mul.b}, mul.prod);
-  sim.reset({0, 0});
+  const DutNetlist mul = to_dut(build_array_multiplier(8));
+  VosDutSim sim(mul, lib(), {mul8_cp_ns() * 2.0, 1.0, 0.0});
+  sim.reset(0, 0);
   // Re-applying identical operands costs only leakage.
-  const WordOpResult idle = sim.apply({0, 0});
+  const VosOpResult idle = sim.apply(0, 0);
   EXPECT_DOUBLE_EQ(idle.energy_fj, sim.leakage_energy_fj());
-  const WordOpResult busy = sim.apply({0xFF, 0xFF});
+  const VosOpResult busy = sim.apply(0xFF, 0xFF);
   EXPECT_GT(busy.energy_fj, 10.0 * idle.energy_fj);
 }
+
+// The deprecated shim must keep the old interface working on top of
+// VosDutSim (suppress the intentional deprecation warnings).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(WordSim, DeprecatedShimMatchesVosDutSim) {
+  const MultiplierNetlist mul = build_array_multiplier(4);
+  const DutNetlist dut = to_dut(build_array_multiplier(4));
+  const OperatingTriad op{mul8_cp_ns() * 0.4, 0.8, 0.0};  // error-prone
+  VosWordSim shim(mul.netlist, lib(), op, {mul.a, mul.b}, mul.prod);
+  VosDutSim direct(dut, lib(), op);
+  Rng rng(7);
+  for (int t = 0; t < 300; ++t) {
+    const std::uint64_t a = rng.bits(4);
+    const std::uint64_t b = rng.bits(4);
+    const WordOpResult rs = shim.apply({a, b});
+    const VosOpResult rd = direct.apply(a, b);
+    ASSERT_EQ(rs.sampled, rd.sampled);
+    ASSERT_EQ(rs.settled, rd.settled);
+    ASSERT_DOUBLE_EQ(rs.energy_fj, rd.energy_fj);
+  }
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace vosim

@@ -17,11 +17,14 @@
 #                    (default: BUILD_DIR).
 #   VOSIM_MIN_ENGINE_SPEEDUP
 #                    floor for the levelized-vs-event speedup printed by
-#                    bench_fig8_ber_energy (default 5; the run fails if
-#                    the measured LEVELIZED_SPEEDUP drops below it).
+#                    bench_fig8_ber_energy (adders) and
+#                    bench_table3_multiplier (mul8 array/Wallace)
+#                    (default 5; the run fails if a measured
+#                    LEVELIZED_SPEEDUP drops below it).
 #   VOSIM_MAX_BER_DEV_PP
-#                    ceiling for the RCA8 BER deviation between engines,
-#                    in percentage points (default 2.0).
+#                    ceiling for the BER deviation between engines
+#                    (RCA8 for fig8, mul8 for table3_multiplier), in
+#                    percentage points (default 2.0).
 set -u
 
 build_dir="${1:-build}"
@@ -68,11 +71,14 @@ for name in "${benches[@]}"; do
   end_ns=$(date +%s%N)
   wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
   json="${out_dir}/BENCH_${name#bench_}.json"
-  # bench_fig8_ber_energy runs its sweep on both engines and prints
-  # machine-readable comparison lines; carry them into the JSON and
-  # enforce the speedup floor / BER-deviation ceiling.
+  # bench_fig8_ber_energy (adders) and bench_table3_multiplier (mul8)
+  # run their sweeps on both engines and print machine-readable
+  # comparison lines; carry them into the JSON and enforce the speedup
+  # floor / BER-deviation ceiling.
   engine_fields=""
-  if [ "${name}" = "bench_fig8_ber_energy" ] && [ "${status}" -eq 0 ]; then
+  if { [ "${name}" = "bench_fig8_ber_energy" ] || \
+       [ "${name}" = "bench_table3_multiplier" ]; } && \
+     [ "${status}" -eq 0 ]; then
     speedup=$(sed -n 's/^LEVELIZED_SPEEDUP //p' "${log}" | tail -n 1)
     ber_dev=$(sed -n 's/^LEVELIZED_BER_DEV_PP //p' "${log}" | tail -n 1)
     if [ -n "${speedup}" ] && [ -n "${ber_dev}" ]; then
@@ -88,7 +94,7 @@ for name in "${benches[@]}"; do
       fi
       if ! awk -v d="${ber_dev}" -v m="${max_dev}" \
            'BEGIN{exit !(d <= m)}'; then
-        echo "FAIL ${name}: RCA8 BER deviation ${ber_dev}pp > ${max_dev}pp ceiling" >&2
+        echo "FAIL ${name}: BER deviation ${ber_dev}pp > ${max_dev}pp ceiling" >&2
         status=1
       fi
     else

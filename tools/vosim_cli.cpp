@@ -1,22 +1,26 @@
 // vosim command-line tool: synthesize, characterize, train models and
-// export netlists without writing C++.
+// export netlists without writing C++ — for any supported DUT circuit.
 //
-//   vosim_cli synth <arch> <width>
-//   vosim_cli characterize <arch> <width> [--patterns N] [--csv out.csv]
+//   vosim_cli synth <circuit>
+//   vosim_cli characterize <circuit> [--patterns N] [--csv out.csv]
 //                          [--engine event|levelized]
-//   vosim_cli train <arch> <width> --tclk T --vdd V [--vbb B]
+//   vosim_cli train <circuit> --tclk T --vdd V [--vbb B]
 //                   [--metric mse|hamming|whamming] [--out model.txt]
-//                   [--engine event|levelized]
-//   vosim_cli verilog <arch> <width> [--prune]
-//   vosim_cli triads <arch> <width>
-//   vosim_cli variability <arch> <width> [--dies N] [--sigma S]
+//                   [--engine event|levelized]      (adders only)
+//   vosim_cli verilog <circuit> [--prune]
+//   vosim_cli triads <circuit>
+//   vosim_cli variability <circuit> [--dies N] [--sigma S]
 //                         [--tclk NS --vdd V --vbb V]
 //                         [--engine event|levelized]
 //
-// <arch> ∈ {rca, bka, ksa, skl, csel, cska, hca}; widths 2..63 (power of
-// two for bka/skl/hca).
+// <circuit> is either a registry spec — rca8, bka16, mul8-array,
+// mul8-wallace, tree8x8, mac4x8, loa8-4, … (also accepted via
+// --circuit SPEC) — or the legacy "<arch> <width>" positional pair
+// with <arch> ∈ {rca, bka, ksa, skl, csel, cska, hca}.
+#include <cctype>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "src/util/args.hpp"
 #include "src/vosim.hpp"
@@ -27,15 +31,17 @@ using namespace vosim;
 
 int usage(const std::string& program) {
   std::cerr
-      << "usage: " << program << " <command> <arch> <width> [options]\n"
+      << "usage: " << program
+      << " <command> (<circuit> | <arch> <width> | --circuit SPEC)"
+         " [options]\n"
       << "commands:\n"
       << "  synth         area / power / critical-path report\n"
       << "  variability   Monte-Carlo die-to-die spread at one triad\n"
       << "  characterize  43-triad VOS sweep (BER + energy/op)\n"
-      << "  train         fit a statistical model at one triad\n"
+      << "  train         fit a statistical model at one triad (adders)\n"
       << "  verilog       dump the structural netlist\n"
       << "  triads        list the Table-III operating triads\n"
-      << "arch: rca | bka | ksa | skl | csel\n"
+      << known_circuits_help() << "\n"
       << "options: --patterns N --csv FILE --tclk NS --vdd V --vbb V\n"
       << "         --metric mse|hamming|whamming --out FILE\n"
       << "         --engine event|levelized (simulation backend;\n"
@@ -43,15 +49,38 @@ int usage(const std::string& program) {
   return 2;
 }
 
-AdderArch parse_arch(const std::string& name) {
-  if (name == "rca") return AdderArch::kRipple;
-  if (name == "bka") return AdderArch::kBrentKung;
-  if (name == "ksa") return AdderArch::kKoggeStone;
-  if (name == "skl") return AdderArch::kSklansky;
-  if (name == "csel") return AdderArch::kCarrySelect;
-  if (name == "cska") return AdderArch::kCarrySkip;
-  if (name == "hca") return AdderArch::kHanCarlson;
-  throw std::invalid_argument("unknown architecture: " + name);
+/// The circuit spec from --circuit, one positional ("rca8") or the
+/// legacy positional pair ("rca 8").
+std::string circuit_spec(const ArgParser& args) {
+  if (args.has("circuit")) return args.get("circuit", "");
+  if (args.positional().size() >= 3)
+    return args.positional()[1] + args.positional()[2];
+  if (args.positional().size() >= 2) return args.positional()[1];
+  throw std::invalid_argument("missing circuit spec");
+}
+
+/// Exact adder specs keep the paper's Table III clock ratios; every
+/// other DUT gets the generic Table-III-style grid.
+std::vector<OperatingTriad> triads_for(const DutNetlist& dut,
+                                       double synthesis_cp_ns) {
+  const struct {
+    const char* tok;
+    AdderArch arch;
+  } adders[] = {
+      {"rca", AdderArch::kRipple},     {"bka", AdderArch::kBrentKung},
+      {"ksa", AdderArch::kKoggeStone}, {"skl", AdderArch::kSklansky},
+      {"csel", AdderArch::kCarrySelect}, {"cska", AdderArch::kCarrySkip},
+      {"hca", AdderArch::kHanCarlson},
+  };
+  for (const auto& entry : adders) {
+    const std::string tok = entry.tok;
+    if (dut.kind.size() > tok.size() && dut.kind.compare(0, tok.size(), tok) == 0 &&
+        std::isdigit(static_cast<unsigned char>(dut.kind[tok.size()]))) {
+      const int width = std::stoi(dut.kind.substr(tok.size()));
+      return make_paper_triads(entry.arch, width, synthesis_cp_ns);
+    }
+  }
+  return make_dut_triads(synthesis_cp_ns);
 }
 
 DistanceMetric parse_metric(const std::string& name) {
@@ -62,14 +91,18 @@ DistanceMetric parse_metric(const std::string& name) {
 }
 
 int run(const ArgParser& args) {
-  if (args.positional().size() < 3) return usage(args.program());
+  if (args.positional().empty()) return usage(args.program());
   const std::string command = args.positional()[0];
-  const AdderArch arch = parse_arch(args.positional()[1]);
-  const int width = static_cast<int>(std::stol(args.positional()[2]));
+  std::string spec;
+  try {
+    spec = circuit_spec(args);
+  } catch (const std::invalid_argument&) {
+    return usage(args.program());
+  }
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const AdderNetlist adder = build_adder(arch, width);
-  const SynthesisReport rep = synthesize_report(adder.netlist, lib);
+  const DutNetlist dut = build_circuit(spec);
+  const SynthesisReport rep = synthesize_report(dut.netlist, lib);
   const EngineKind engine = parse_engine_kind(args.get("engine", "event"));
 
   if (command == "synth") {
@@ -88,12 +121,12 @@ int run(const ArgParser& args) {
   if (command == "verilog") {
     if (args.has("prune")) {
       PruneStats stats;
-      const Netlist pruned = prune_dead_gates(adder.netlist, &stats);
+      const Netlist pruned = prune_dead_gates(dut.netlist, &stats);
       std::cerr << "pruned " << (stats.gates_before - stats.gates_after)
                 << " dead gates\n";
       write_verilog(pruned, std::cout);
     } else {
-      write_verilog(adder.netlist, std::cout);
+      write_verilog(dut.netlist, std::cout);
     }
     return 0;
   }
@@ -108,7 +141,7 @@ int run(const ArgParser& args) {
     const OperatingTriad triad{
         args.get_double("tclk", rep.critical_path_ns),
         args.get_double("vdd", 0.5), args.get_double("vbb", 2.0)};
-    const auto study = variability_study(adder, lib, {triad}, vcfg);
+    const auto study = variability_study(dut, lib, {triad}, vcfg);
     const VariabilityResult& r = study[0];
     TextTable t({"triad", "dies", "clean [%]", "BER med [%]",
                  "BER max [%]", "E/op med [fJ]"});
@@ -121,8 +154,7 @@ int run(const ArgParser& args) {
     return 0;
   }
 
-  const auto triads =
-      make_paper_triads(arch, width, rep.critical_path_ns);
+  const auto triads = triads_for(dut, rep.critical_path_ns);
 
   if (command == "triads") {
     table3_rows(rep.design, triads).print(std::cout);
@@ -138,8 +170,9 @@ int run(const ArgParser& args) {
     cfg.num_patterns = static_cast<std::size_t>(
         args.get_int("patterns", 20000));
     cfg.engine = engine;
-    std::cerr << "engine: " << engine_kind_name(engine) << "\n";
-    const auto results = characterize_adder(adder, lib, triads, cfg);
+    std::cerr << "circuit: " << dut.display_name
+              << ", engine: " << engine_kind_name(engine) << "\n";
+    const auto results = characterize_dut(dut, lib, triads, cfg);
     const double baseline = results[0].energy_per_op_fj;
     const TextTable t = fig8_table(sort_for_fig8(results), baseline);
     t.print(std::cout);
@@ -150,6 +183,15 @@ int run(const ArgParser& args) {
   }
 
   if (command == "train") {
+    // The carry-chain model is an adder model: two equal operands and
+    // a (width+1)-bit sum word.
+    if (dut.num_operands() != 2 ||
+        dut.operand_width(0) != dut.operand_width(1) ||
+        dut.output_width() != dut.operand_width(0) + 1)
+      throw std::invalid_argument(
+          "train fits the carry-chain adder model; circuit '" + spec +
+          "' is not an adder");
+    const int width = dut.operand_width(0);
     const OperatingTriad triad{
         args.get_double("tclk", rep.critical_path_ns),
         args.get_double("vdd", 0.7), args.get_double("vbb", 0.0)};
@@ -159,9 +201,9 @@ int run(const ArgParser& args) {
     cfg.metric = parse_metric(args.get("metric", "mse"));
     TimingSimConfig sim_cfg;
     sim_cfg.engine = engine;
-    VosAdderSim sim(adder, lib, triad, sim_cfg);
+    VosDutSim sim(dut, lib, triad, sim_cfg);
     const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.add(a, b).sampled;
+      return sim.apply(a, b).sampled;
     };
     const VosAdderModel model =
         train_vos_model(width, triad, oracle, cfg);
@@ -170,10 +212,10 @@ int run(const ArgParser& args) {
               << engine_kind_name(engine) << " engine)\n";
     model.table().to_table(3).print(std::cout);
     // Held-out fidelity check against a fresh simulator.
-    VosAdderSim eval_sim(adder, lib, triad, sim_cfg);
+    VosDutSim eval_sim(dut, lib, triad, sim_cfg);
     const HardwareOracle eval_oracle = [&eval_sim](std::uint64_t a,
                                                    std::uint64_t b) {
-      return eval_sim.add(a, b).sampled;
+      return eval_sim.apply(a, b).sampled;
     };
     FidelityConfig fcfg;
     fcfg.num_patterns = cfg.num_patterns;
