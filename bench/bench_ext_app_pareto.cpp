@@ -1,0 +1,103 @@
+// Extension bench: application-level quality-energy Pareto fronts from
+// the campaign subsystem — the paper's Section IV "error-resilient
+// applications" story at production scale (Fig. 8's BER axis replaced
+// by each workload's own quality metric).
+//
+// Part 1 sweeps every registered workload over the full Table-III
+// 43-triad grid of the 16-bit RCA on the statistical-model backend and
+// prints per-workload Pareto points plus the minimum-energy triad at a
+// 0.9 quality floor. As a benchmark it must measure fresh compute, so
+// it deletes any previous campaign_pareto.jsonl first; the store it
+// writes is kept for inspection and CI artifact upload (the resume
+// path is exercised by the campaign_smoke pseudo-bench in
+// tools/run_benches.sh and by tests/test_campaign.cpp).
+//
+// Part 2 replays two workloads through the gate-level levelized
+// simulator on a reduced triad ladder and prints machine-readable
+// MODEL_QUALITY_DEV / MODEL_QUALITY_DEV_MEAN lines (normalized quality
+// percentage points) that tools/run_benches.sh and CI gate on — the
+// model backend must track gate-level truth at application level, not
+// just at BER level.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/campaign/report.hpp"
+#include "src/campaign/runner.hpp"
+
+int main() {
+  using namespace vosim;
+  using namespace vosim::bench;
+  print_header("Application Pareto — quality vs energy campaigns",
+               "paper Section IV / Fig. 8, application level");
+
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const std::size_t budget = pattern_budget();
+  const double floor = 0.9;
+
+  // ---- Part 1: full 43-triad grid, model backend, every workload ----
+  CampaignConfig cfg;
+  cfg.workloads = {"fir", "blur", "sobel", "kmeans", "dot"};
+  cfg.circuits = {"rca16"};
+  cfg.backends = {ArithBackend::kModel};
+  cfg.characterize_patterns = budget;
+  cfg.train_patterns = budget * 5;  // Algorithm-1 histograms need depth
+  cfg.progress = &std::cerr;
+  std::remove("campaign_pareto.jsonl");  // benchmark = fresh compute
+  CampaignStore store("campaign_pareto.jsonl");
+  const CampaignOutcome outcome = run_campaign(lib, cfg, store);
+  std::cout << "grid: " << outcome.cells.size() << " cells ("
+            << outcome.reused << " reused, " << outcome.computed
+            << " computed), store campaign_pareto.jsonl\n";
+
+  for (const std::string& workload : cfg.workloads) {
+    const auto group = select_cells(outcome.cells, workload, "model");
+    const auto front = pareto_front(group);
+    std::cout << "\n--- Pareto front: " << workload << " (model, 43 triads)"
+              << " ---\n";
+    const TextTable t = pareto_table(front);
+    t.print(std::cout);
+    write_csv(t, "pareto_" + workload + ".csv");
+    const auto pick = min_energy_at_floor(group, floor);
+    std::cout << "PARETO_POINTS_" << workload << " " << front.size()
+              << "\n";
+    if (pick.has_value())
+      std::cout << "quality floor " << format_double(floor, 2)
+                << " -> min energy "
+                << format_double(pick->energy_per_op_fj, 2) << " fJ/op at "
+                << triad_label(pick->key.triad) << " (saving "
+                << format_double(energy_efficiency(pick->energy_per_op_fj,
+                                                   pick->baseline_fj) *
+                                     100.0,
+                                 1)
+                << "%)\n";
+    else
+      std::cout << "quality floor " << format_double(floor, 2)
+                << " -> unreachable on this grid\n";
+  }
+
+  // ---- Part 2: model vs gate level on a reduced ladder -------------
+  CampaignConfig dev_cfg;
+  dev_cfg.workloads = {"fir", "kmeans"};
+  dev_cfg.circuits = {"rca16"};
+  dev_cfg.backends = {ArithBackend::kModel, ArithBackend::kSimLevelized};
+  // Nominal, the error-free FBB region and the quality cliff — the
+  // places where model fidelity matters most.
+  dev_cfg.triad_specs = {{1.0, 1.0, 0.0}, {1.0, 0.9, 0.0}, {1.0, 0.8, 0.0},
+                         {1.0, 0.7, 2.0}, {1.0, 0.7, 0.0}, {1.0, 0.6, 2.0},
+                         {1.0, 0.5, 2.0}, {1.0, 0.6, 0.0}};
+  dev_cfg.characterize_patterns = budget;
+  dev_cfg.train_patterns = budget * 5;
+  dev_cfg.progress = &std::cerr;
+  CampaignStore dev_store;  // in-memory: always measured fresh
+  const CampaignOutcome dev_outcome = run_campaign(lib, dev_cfg, dev_store);
+  const QualityDeviation dev = model_quality_deviation(dev_outcome.cells);
+
+  std::cout << "\n--- model vs gate-level quality ("
+            << dev.cells << " cell pairs, levelized engine) ---\n";
+  campaign_table(dev_outcome.cells).print(std::cout);
+  std::cout << "MODEL_QUALITY_DEV " << format_double(dev.max_pp, 3) << "\n"
+            << "MODEL_QUALITY_DEV_MEAN " << format_double(dev.mean_pp, 3)
+            << "\n";
+  return 0;
+}

@@ -2,12 +2,12 @@
 // accumulating adder is voltage over-scaled — the error-resilient
 // application class of the paper's introduction.
 //
-// For each triad of the 16-bit RCA sweep we train a statistical model,
-// run the blur with it, and report PSNR against the exact-adder result
-// next to the characterized energy saving.
-#include <cmath>
+// For each triad of the 16-bit RCA ladder the campaign subsystem
+// trains a statistical model, runs the blur with it, and reports PSNR
+// against the exact-adder result next to the characterized energy
+// saving — the hand-rolled sweep of the original demo reduced to a
+// grid declaration.
 #include <iostream>
-#include <string>
 
 #include "src/vosim.hpp"
 
@@ -15,48 +15,22 @@ int main() {
   using namespace vosim;
   std::cout << "== image blur under voltage over-scaling ==\n";
 
-  const CellLibrary& lib = make_fdsoi28_lvt();
-  const DutNetlist adder = to_dut(build_rca(16));
-  const SynthesisReport rep = synthesize_report(adder.netlist, lib);
-
+  CampaignConfig cfg;
+  cfg.workloads = {"blur"};
+  cfg.circuits = {"rca16"};
+  cfg.backends = {ArithBackend::kModel};
   // A ladder of representative triads at the synthesis clock: nominal,
-  // near-threshold + FBB (error-free), and three over-scaled points.
-  const std::vector<OperatingTriad> triads{
-      {rep.critical_path_ns, 1.0, 0.0}, {rep.critical_path_ns, 0.6, 2.0},
-      {rep.critical_path_ns, 0.5, 2.0}, {rep.critical_path_ns, 0.4, 2.0},
-      {rep.critical_path_ns, 0.7, 0.0}, {rep.critical_path_ns, 0.6, 0.0},
-  };
-  CharacterizeConfig ccfg;
-  ccfg.num_patterns = 4000;
-  const auto results = characterize_dut(adder, lib, triads, ccfg);
-  const double base_fj = results[0].energy_per_op_fj;
+  // near-threshold + FBB (error-free), and over-scaled points.
+  cfg.triad_specs = {{1.0, 1.0, 0.0}, {1.0, 0.6, 2.0}, {1.0, 0.5, 2.0},
+                     {1.0, 0.4, 2.0}, {1.0, 0.7, 0.0}, {1.0, 0.6, 0.0}};
+  cfg.characterize_patterns = 4000;
+  cfg.train_patterns = 6000;
 
-  const GrayImage scene = make_synthetic_scene(96, 96, 2024);
-  const GrayImage reference = gaussian_blur3(scene, exact_adder_fn(16));
+  CampaignStore store;
+  const CampaignOutcome outcome =
+      run_campaign(make_fdsoi28_lvt(), cfg, store);
+  campaign_table(outcome.cells).print(std::cout);
 
-  TextTable t({"triad", "adder BER [%]", "blur PSNR [dB]",
-               "energy saving [%]"});
-  for (const TriadResult& r : results) {
-    // Train the model for this triad and run the blur with it.
-    VosDutSim sim(adder, lib, r.triad);
-    const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.apply(a, b).sampled;
-    };
-    TrainerConfig tcfg;
-    tcfg.num_patterns = 6000;
-    const VosAdderModel model = train_vos_model(16, r.triad, oracle, tcfg);
-    Rng rng(5);
-    const GrayImage blurred =
-        gaussian_blur3(scene, model_adder_fn(model, rng));
-    const double psnr = psnr_db(reference, blurred);
-    t.add_row({triad_label(r.triad), format_double(r.ber * 100.0, 2),
-               std::isinf(psnr) ? std::string("inf")
-                                : format_double(psnr, 1),
-               format_double(
-                   energy_efficiency(r.energy_per_op_fj, base_fj) * 100.0,
-                   1)});
-  }
-  t.print(std::cout);
   std::cout << "\nreading: near-threshold + forward body-bias buys large"
                " savings at infinite/high PSNR; pushing Vdd lower trades"
                " visible quality for the last few percent — the knob the"

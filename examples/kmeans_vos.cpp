@@ -1,7 +1,9 @@
 // Machine-learning demo: k-means clustering quality vs energy when the
 // distance datapath runs on a voltage-over-scaled adder — the "data
 // mining / machine learning" error-resilient workload of the paper's
-// introduction.
+// introduction. The sweep itself is one campaign over the kmeans
+// workload; the Pareto front shows the cheapest triad that still
+// clusters correctly.
 #include <iostream>
 
 #include "src/vosim.hpp"
@@ -10,50 +12,25 @@ int main() {
   using namespace vosim;
   std::cout << "== k-means clustering under voltage over-scaling ==\n";
 
-  const CellLibrary& lib = make_fdsoi28_lvt();
-  const DutNetlist adder = to_dut(build_rca(16));
-  const SynthesisReport rep = synthesize_report(adder.netlist, lib);
+  CampaignConfig cfg;
+  cfg.workloads = {"kmeans"};
+  cfg.circuits = {"rca16"};
+  cfg.backends = {ArithBackend::kModel};
+  cfg.triad_specs = {{1.0, 1.0, 0.0}, {1.0, 0.5, 2.0}, {1.0, 0.4, 2.0},
+                     {1.0, 0.65, 0.0}, {1.0, 0.6, 0.0}};
+  cfg.characterize_patterns = 4000;
+  cfg.train_patterns = 6000;
 
-  const std::vector<OperatingTriad> triads{
-      {rep.critical_path_ns, 1.0, 0.0}, {rep.critical_path_ns, 0.5, 2.0},
-      {rep.critical_path_ns, 0.4, 2.0}, {rep.critical_path_ns, 0.65, 0.0},
-      {rep.critical_path_ns, 0.6, 0.0},
-  };
-  CharacterizeConfig ccfg;
-  ccfg.num_patterns = 4000;
-  const auto results = characterize_dut(adder, lib, triads, ccfg);
-  const double base_fj = results[0].energy_per_op_fj;
+  CampaignStore store;
+  const CampaignOutcome outcome =
+      run_campaign(make_fdsoi28_lvt(), cfg, store);
+  campaign_table(outcome.cells).print(std::cout);
 
-  const ClusterDataset data = make_cluster_dataset(4, 120, 2026);
-  const KmeansResult exact = kmeans(data.points, 4, exact_adder_fn(16));
-  std::cout << "exact-adder accuracy: "
-            << format_double(clustering_accuracy(data, exact.assignment) *
-                                 100.0,
-                             1)
-            << " % (" << exact.iterations << " iterations)\n\n";
+  const auto front = pareto_front(
+      select_cells(outcome.cells, "kmeans", "model"));
+  std::cout << "\nPareto front (accuracy vs energy):\n";
+  pareto_table(front).print(std::cout);
 
-  TextTable t({"triad", "adder BER [%]", "accuracy [%]", "iterations",
-               "energy saving [%]"});
-  for (const TriadResult& r : results) {
-    VosDutSim sim(adder, lib, r.triad);
-    const HardwareOracle oracle = [&sim](std::uint64_t a, std::uint64_t b) {
-      return sim.apply(a, b).sampled;
-    };
-    TrainerConfig tcfg;
-    tcfg.num_patterns = 6000;
-    const VosAdderModel model = train_vos_model(16, r.triad, oracle, tcfg);
-    Rng rng(3);
-    const AdderFn add = model_adder_fn(model, rng);
-    const KmeansResult res = kmeans(data.points, 4, add);
-    t.add_row({triad_label(r.triad), format_double(r.ber * 100.0, 2),
-               format_double(
-                   clustering_accuracy(data, res.assignment) * 100.0, 1),
-               std::to_string(res.iterations),
-               format_double(
-                   energy_efficiency(r.energy_per_op_fj, base_fj) * 100.0,
-                   1)});
-  }
-  t.print(std::cout);
   std::cout << "\nreading: cluster assignment only needs distance"
                " *orderings*, so k-means shrugs off double-digit BER —"
                " the archetype of the error resilience the paper exploits.\n";

@@ -1,0 +1,113 @@
+#include "src/campaign/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "src/characterize/characterizer.hpp"
+
+namespace vosim {
+
+std::vector<CampaignCell> pareto_front(std::vector<CampaignCell> cells) {
+  std::sort(cells.begin(), cells.end(),
+            [](const CampaignCell& a, const CampaignCell& b) {
+              if (a.energy_per_op_fj != b.energy_per_op_fj)
+                return a.energy_per_op_fj < b.energy_per_op_fj;
+              return a.normalized > b.normalized;
+            });
+  std::vector<CampaignCell> front;
+  double best = -1.0;
+  for (const CampaignCell& cell : cells) {
+    if (cell.normalized > best) {
+      front.push_back(cell);
+      best = cell.normalized;
+    }
+  }
+  return front;
+}
+
+std::optional<CampaignCell> min_energy_at_floor(
+    const std::vector<CampaignCell>& cells, double floor) {
+  std::optional<CampaignCell> best;
+  for (const CampaignCell& cell : cells) {
+    if (cell.normalized < floor) continue;
+    if (!best.has_value() ||
+        cell.energy_per_op_fj < best->energy_per_op_fj)
+      best = cell;
+  }
+  return best;
+}
+
+std::vector<CampaignCell> select_cells(
+    const std::vector<CampaignCell>& cells, const std::string& workload,
+    const std::string& backend) {
+  std::vector<CampaignCell> out;
+  for (const CampaignCell& cell : cells)
+    if (cell.key.workload == workload && cell.key.backend == backend)
+      out.push_back(cell);
+  return out;
+}
+
+TextTable campaign_table(const std::vector<CampaignCell>& cells) {
+  TextTable t({"workload", "circuit", "backend", "triad", "metric",
+               "quality", "norm", "BER [%]", "E/op [fJ]", "saving [%]"});
+  for (const CampaignCell& cell : cells) {
+    const double saving =
+        cell.baseline_fj > 0.0
+            ? energy_efficiency(cell.energy_per_op_fj, cell.baseline_fj) *
+                  100.0
+            : 0.0;
+    t.add_row({cell.key.workload, cell.key.circuit, cell.key.backend,
+               triad_label(cell.key.triad), cell.metric,
+               format_double(cell.quality, 3),
+               format_double(cell.normalized, 3),
+               format_double(cell.ber * 100.0, 2),
+               format_double(cell.energy_per_op_fj, 2),
+               format_double(saving, 1)});
+  }
+  return t;
+}
+
+TextTable pareto_table(const std::vector<CampaignCell>& front) {
+  TextTable t({"workload", "circuit", "triad", "metric", "quality",
+               "norm", "E/op [fJ]", "saving [%]"});
+  for (const CampaignCell& cell : front) {
+    const double saving =
+        cell.baseline_fj > 0.0
+            ? energy_efficiency(cell.energy_per_op_fj, cell.baseline_fj) *
+                  100.0
+            : 0.0;
+    t.add_row({cell.key.workload, cell.key.circuit,
+               triad_label(cell.key.triad), cell.metric,
+               format_double(cell.quality, 3),
+               format_double(cell.normalized, 3),
+               format_double(cell.energy_per_op_fj, 2),
+               format_double(saving, 1)});
+  }
+  return t;
+}
+
+QualityDeviation model_quality_deviation(
+    const std::vector<CampaignCell>& cells) {
+  QualityDeviation dev;
+  double sum = 0.0;
+  for (const CampaignCell& m : cells) {
+    if (m.key.backend != "model") continue;
+    for (const CampaignCell& s : cells) {
+      if (s.key.backend != "sim-event" &&
+          s.key.backend != "sim-levelized")
+        continue;
+      if (s.key.workload != m.key.workload ||
+          s.key.circuit != m.key.circuit || s.key.triad != m.key.triad)
+        continue;
+      const double pp = std::abs(m.normalized - s.normalized) * 100.0;
+      ++dev.cells;
+      sum += pp;
+      dev.max_pp = std::max(dev.max_pp, pp);
+    }
+  }
+  if (dev.cells > 0) dev.mean_pp = sum / static_cast<double>(dev.cells);
+  return dev;
+}
+
+}  // namespace vosim

@@ -1,0 +1,58 @@
+// Campaign aggregation: Pareto fronts over the quality-energy plane,
+// quality-floor queries, model-vs-gate-level quality deviation, and
+// text/CSV rendering — the application-level counterpart of the
+// paper's Fig. 8 (BER vs energy) with BER replaced by each workload's
+// own quality metric.
+#ifndef VOSIM_CAMPAIGN_REPORT_HPP
+#define VOSIM_CAMPAIGN_REPORT_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/campaign/store.hpp"
+#include "src/util/table.hpp"
+
+namespace vosim {
+
+/// The Pareto-optimal subset of `cells` on the (energy ascending,
+/// normalized quality descending) plane: a cell survives iff no other
+/// cell has energy <= and quality >= with at least one strict.
+/// Returned sorted by energy ascending (quality strictly increasing
+/// along the front). Callers normally pass one (workload, backend)
+/// group — mixing metrics is meaningful only because `normalized` is
+/// unit-free.
+std::vector<CampaignCell> pareto_front(std::vector<CampaignCell> cells);
+
+/// Cheapest cell whose normalized quality meets `floor` (the "quality
+/// floor -> minimum-energy triad" query); nullopt when unreachable.
+std::optional<CampaignCell> min_energy_at_floor(
+    const std::vector<CampaignCell>& cells, double floor);
+
+/// Cells of one (workload, backend) pair, grid order preserved.
+std::vector<CampaignCell> select_cells(
+    const std::vector<CampaignCell>& cells, const std::string& workload,
+    const std::string& backend);
+
+/// Full-grid listing: one row per cell.
+TextTable campaign_table(const std::vector<CampaignCell>& cells);
+
+/// Pareto listing with energy saving vs each cell's own circuit
+/// baseline (the relaxed-nominal triad).
+TextTable pareto_table(const std::vector<CampaignCell>& front);
+
+/// Model-vs-gate-level agreement: for every (workload, circuit, triad)
+/// present on both the model backend and a sim-* backend, the absolute
+/// difference of normalized quality, in percentage points.
+struct QualityDeviation {
+  std::size_t cells = 0;   ///< matched (model, sim) pairs
+  double mean_pp = 0.0;
+  double max_pp = 0.0;
+};
+QualityDeviation model_quality_deviation(
+    const std::vector<CampaignCell>& cells);
+
+}  // namespace vosim
+
+#endif  // VOSIM_CAMPAIGN_REPORT_HPP

@@ -1,0 +1,354 @@
+#include "src/campaign/runner.hpp"
+
+#include <chrono>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "src/characterize/characterizer.hpp"
+#include "src/characterize/triads.hpp"
+#include "src/model/vos_model.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/sim/vos_dut.hpp"
+#include "src/sta/synthesis_report.hpp"
+#include "src/util/parallel.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// FNV-1a over the cell key, mixed with the campaign seed — a
+/// schedule-independent per-cell seed (determinism across thread
+/// counts depends on this never seeing worker identity).
+std::uint64_t content_seed(std::uint64_t seed, const std::string& key) {
+  std::uint64_t h = 14695981039346656037ULL ^ seed;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Everything computed once per circuit and shared by its cells.
+struct CircuitContext {
+  DutNetlist dut;
+  double critical_path_ns = 0.0;
+  std::vector<OperatingTriad> triads;
+  std::vector<TriadResult> characterized;  ///< energy/BER join, per triad
+  std::vector<std::optional<VosAdderModel>> models;  ///< model backend
+};
+
+bool is_adder_shaped(const DutNetlist& dut, int width) {
+  return dut.num_operands() == 2 && dut.operand_width(0) == width &&
+         dut.operand_width(1) == width &&
+         dut.output_width() == width + 1;
+}
+
+/// Relaxation ranking of a triad: the most relaxed operating point
+/// (highest Vdd, then longest clock, then least body-bias) is the
+/// energy baseline — the relaxed-nominal triad on every
+/// Table-III-shaped grid. Chosen by content, never by grid position,
+/// so reordered or resumed grids agree on it.
+std::tuple<double, double, double> relaxation_rank(
+    const OperatingTriad& t) {
+  return std::make_tuple(t.vdd_v, t.tclk_ns, -t.vbb_v);
+}
+
+std::size_t baseline_index(const std::vector<OperatingTriad>& triads) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < triads.size(); ++i)
+    if (relaxation_rank(triads[i]) > relaxation_rank(triads[best]))
+      best = i;
+  return best;
+}
+
+/// The workload's input data must be identical across backends and
+/// triads (deviation and Pareto compare cells at fixed stimuli), so it
+/// derives from the campaign seed and the workload only.
+std::uint64_t data_seed(std::uint64_t seed, const std::string& workload) {
+  return content_seed(seed, "data|" + workload);
+}
+
+CircuitContext make_context(const CellLibrary& lib,
+                            const CampaignConfig& config,
+                            const std::string& spec, int adder_width,
+                            bool needs_model, bool needs_gate_level) {
+  CircuitContext ctx;
+  ctx.dut = build_circuit(spec);
+  ctx.critical_path_ns =
+      synthesize_report(ctx.dut.netlist, lib).critical_path_ns;
+
+  if ((needs_model || needs_gate_level) &&
+      !is_adder_shaped(ctx.dut, adder_width))
+    throw std::invalid_argument(
+        "campaign: circuit '" + spec + "' cannot back the workloads' " +
+        std::to_string(adder_width) + "-bit routed adder (needs a " +
+        std::to_string(adder_width) + "-bit two-operand adder)");
+
+  if (!config.triads.empty()) {
+    ctx.triads = config.triads;
+  } else if (!config.triad_specs.empty()) {
+    for (const TriadSpec& s : config.triad_specs)
+      ctx.triads.push_back(OperatingTriad{
+          s.tclk_scale * ctx.critical_path_ns, s.vdd_v, s.vbb_v});
+  } else {
+    ctx.triads = make_circuit_triads(ctx.dut, ctx.critical_path_ns);
+  }
+  if (config.max_triads != 0 && ctx.triads.size() > config.max_triads)
+    ctx.triads.resize(config.max_triads);
+  return ctx;
+}
+
+/// Characterization and model training for one circuit — deferred
+/// until the grid enumeration proves the circuit has missing cells, so
+/// a fully-resumed campaign answers from the store without touching a
+/// simulator. `model_triads[t]` marks the triads some pending cell
+/// will actually read a model for; only those are trained (resuming a
+/// finished model grid with a new cheap backend must not re-train 43
+/// models nobody reads).
+void prepare_context(const CellLibrary& lib, const CampaignConfig& config,
+                     CircuitContext& ctx,
+                     const std::vector<char>& model_triads,
+                     std::ostream* progress) {
+  // Gate-level energy + BER for the join, once per (circuit, triad):
+  // the levelized engine collapses the whole grid into one normalized
+  // timing pass.
+  CharacterizeConfig ccfg;
+  ccfg.num_patterns = config.characterize_patterns;
+  ccfg.engine = EngineKind::kLevelized;
+  ccfg.threads = config.jobs;
+  if (progress != nullptr)
+    *progress << "campaign: characterizing " << ctx.dut.display_name
+              << " over " << ctx.triads.size() << " triads\n";
+  ctx.characterized = characterize_dut(ctx.dut, lib, ctx.triads, ccfg);
+
+  std::vector<std::size_t> to_train;
+  for (std::size_t t = 0; t < model_triads.size(); ++t)
+    if (model_triads[t] != 0) to_train.push_back(t);
+  if (to_train.empty()) return;
+  if (progress != nullptr)
+    *progress << "campaign: training " << to_train.size()
+              << " models for " << ctx.dut.display_name << "\n";
+  ctx.models.resize(ctx.triads.size());
+  auto& ctx_ref = ctx;
+  parallel_for(
+      to_train.size(),
+      [&lib, &config, &ctx_ref, &to_train](std::size_t i) {
+        const std::size_t t = to_train[i];
+        TimingSimConfig sim_cfg;
+        sim_cfg.engine = EngineKind::kLevelized;
+        VosDutSim sim(ctx_ref.dut, lib, ctx_ref.triads[t], sim_cfg);
+        const HardwareOracle oracle = [&sim](std::uint64_t a,
+                                             std::uint64_t b) {
+          return sim.apply(a, b).sampled;
+        };
+        TrainerConfig tcfg;
+        tcfg.num_patterns = config.train_patterns;
+        ctx_ref.models[t] = train_vos_model(
+            ctx_ref.dut.operand_width(0), ctx_ref.triads[t], oracle,
+            tcfg);
+      },
+      config.jobs);
+}
+
+}  // namespace
+
+const char* arith_backend_name(ArithBackend backend) {
+  switch (backend) {
+    case ArithBackend::kExact: return "exact";
+    case ArithBackend::kModel: return "model";
+    case ArithBackend::kSimEvent: return "sim-event";
+    case ArithBackend::kSimLevelized: return "sim-levelized";
+  }
+  return "?";
+}
+
+ArithBackend parse_arith_backend(const std::string& name) {
+  if (name == "exact") return ArithBackend::kExact;
+  if (name == "model") return ArithBackend::kModel;
+  if (name == "sim-event") return ArithBackend::kSimEvent;
+  if (name == "sim-levelized" || name == "sim")
+    return ArithBackend::kSimLevelized;
+  throw std::invalid_argument(
+      "unknown backend '" + name +
+      "' (expected exact | model | sim-event | sim-levelized)");
+}
+
+CampaignOutcome run_campaign(const CellLibrary& lib,
+                             const CampaignConfig& config,
+                             CampaignStore& store) {
+  const std::vector<Workload> workloads =
+      resolve_workloads(config.workloads);
+  if (config.circuits.empty())
+    throw std::invalid_argument("campaign: no circuits selected");
+  if (config.backends.empty())
+    throw std::invalid_argument("campaign: no backends selected");
+  // Every built-in workload routes the same adder width; the circuit
+  // must expose it for the model/gate-level backends.
+  const int adder_width = workloads.front().width;
+  for (const Workload& w : workloads)
+    if (w.width != adder_width)
+      throw std::invalid_argument(
+          "campaign: workloads disagree on adder width");
+  bool needs_model = false;
+  bool needs_gate_level = false;
+  for (const ArithBackend b : config.backends) {
+    needs_model = needs_model || b == ArithBackend::kModel;
+    needs_gate_level = needs_gate_level || b == ArithBackend::kSimEvent ||
+                       b == ArithBackend::kSimLevelized;
+  }
+
+  // Phase 1 — per-circuit netlist, synthesis and triad grid (the cell
+  // keys need these; characterization waits until the store has been
+  // consulted).
+  std::vector<CircuitContext> contexts;
+  contexts.reserve(config.circuits.size());
+  for (const std::string& spec : config.circuits)
+    contexts.push_back(make_context(lib, config, spec, adder_width,
+                                    needs_model, needs_gate_level));
+
+  // Phase 2 — enumerate the grid, answer finished cells from the store
+  // and queue the rest.
+  struct PendingCell {
+    std::size_t slot;      ///< position in the outcome grid
+    std::size_t workload;
+    std::size_t circuit;
+    std::size_t triad;
+    ArithBackend backend;
+    CampaignCellKey key;
+  };
+  CampaignOutcome outcome;
+  std::vector<PendingCell> pending;
+  std::set<std::string> enumerated;  // dedup repeated axis entries
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (std::size_t c = 0; c < contexts.size(); ++c) {
+      for (std::size_t t = 0; t < contexts[c].triads.size(); ++t) {
+        for (const ArithBackend backend : config.backends) {
+          CampaignCellKey key;
+          key.workload = workloads[w].name;
+          key.circuit = config.circuits[c];
+          key.backend = arith_backend_name(backend);
+          key.triad = contexts[c].triads[t];
+          key.seed = config.seed;
+          key.train_patterns =
+              backend == ArithBackend::kModel ? config.train_patterns : 0;
+          // The joined energy/BER depend on the characterization
+          // budget, so it is part of the cell's identity too.
+          key.characterize_patterns = config.characterize_patterns;
+          // "--workloads fir,fir" or repeated backends must not
+          // compute (and report) the same cell twice.
+          if (!enumerated.insert(key.to_string()).second) continue;
+          const std::size_t slot = outcome.cells.size();
+          const auto hit = store.find(key);
+          if (hit.has_value()) {
+            outcome.cells.push_back(*hit);
+            ++outcome.reused;
+          } else {
+            outcome.cells.push_back(CampaignCell{});  // filled below
+            pending.push_back({slot, w, c, t, backend, key});
+          }
+        }
+      }
+    }
+  }
+  if (config.progress != nullptr)
+    *config.progress << "campaign: grid " << outcome.cells.size()
+                     << " cells, " << outcome.reused << " from store, "
+                     << pending.size() << " to compute\n";
+
+  // Phase 2.5 — characterize only the circuits that still have missing
+  // cells, and train only the (circuit, triad) models some pending
+  // model-backend cell will read (characterization and training
+  // parallelize internally over the shared pool).
+  std::vector<bool> circuit_pending(contexts.size(), false);
+  std::vector<std::vector<char>> model_triads(contexts.size());
+  for (std::size_t c = 0; c < contexts.size(); ++c)
+    model_triads[c].assign(contexts[c].triads.size(), 0);
+  for (const PendingCell& p : pending) {
+    circuit_pending[p.circuit] = true;
+    if (p.backend == ArithBackend::kModel)
+      model_triads[p.circuit][p.triad] = 1;
+  }
+  for (std::size_t c = 0; c < contexts.size(); ++c)
+    if (circuit_pending[c])
+      prepare_context(lib, config, contexts[c], model_triads[c],
+                      config.progress);
+
+  // Phase 3 — run the missing cells on the pool. Cells are coarse
+  // (one full workload run), so index-claiming costs are negligible.
+  auto& cells = outcome.cells;
+  parallel_for(
+      pending.size(),
+      [&](std::size_t i) {
+        const PendingCell& p = pending[i];
+        const Workload& wl = workloads[p.workload];
+        const CircuitContext& ctx = contexts[p.circuit];
+        const TriadResult& tr = ctx.characterized[p.triad];
+        const auto t0 = std::chrono::steady_clock::now();
+
+        QualityResult q;
+        const std::uint64_t dseed = data_seed(config.seed, wl.name);
+        switch (p.backend) {
+          case ArithBackend::kExact: {
+            q = wl.run(exact_adder_fn(wl.width), dseed);
+            break;
+          }
+          case ArithBackend::kModel: {
+            Rng rng(content_seed(config.seed, p.key.to_string()));
+            q = wl.run(model_adder_fn(*ctx.models[p.triad], rng), dseed);
+            break;
+          }
+          case ArithBackend::kSimEvent:
+          case ArithBackend::kSimLevelized: {
+            TimingSimConfig sim_cfg;
+            sim_cfg.engine = p.backend == ArithBackend::kSimEvent
+                                 ? EngineKind::kEvent
+                                 : EngineKind::kLevelized;
+            VosDutSim sim(ctx.dut, lib, ctx.triads[p.triad], sim_cfg);
+            q = wl.run(sim_adder_fn(sim), dseed);
+            break;
+          }
+        }
+
+        CampaignCell cell;
+        cell.key = p.key;
+        cell.metric = q.metric;
+        cell.quality = q.value;
+        cell.normalized = q.normalized;
+        cell.energy_per_op_fj = tr.energy_per_op_fj;
+        cell.baseline_fj =
+            ctx.characterized[baseline_index(ctx.triads)].energy_per_op_fj;
+        cell.ber = tr.ber;
+        cell.adds = q.adds;
+        cell.elapsed_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        store.insert(cell);  // append-on-complete
+        cells[p.slot] = cell;
+      },
+      config.jobs);
+  outcome.computed = pending.size();
+
+  // Reused cells carry the baseline their original grid had; rebase
+  // every cell of a circuit on the current grid's most relaxed triad
+  // (per-triad energy is backend-independent, so any cell at that
+  // triad knows it) so one report never mixes savings baselines.
+  for (const std::string& circuit : config.circuits) {
+    const CampaignCell* base = nullptr;
+    for (const CampaignCell& cell : outcome.cells)
+      if (cell.key.circuit == circuit &&
+          (base == nullptr || relaxation_rank(cell.key.triad) >
+                                  relaxation_rank(base->key.triad)))
+        base = &cell;
+    if (base == nullptr) continue;
+    const double baseline = base->energy_per_op_fj;
+    for (CampaignCell& cell : outcome.cells)
+      if (cell.key.circuit == circuit) cell.baseline_fj = baseline;
+  }
+  return outcome;
+}
+
+}  // namespace vosim

@@ -1,0 +1,168 @@
+#include "src/campaign/store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vosim {
+
+namespace {
+
+/// Shortest round-trippable decimal form of a double. %.17g always
+/// round-trips; try %.15g first so common values stay readable.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  if (std::strtod(buf, nullptr) != v)
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Extracts the raw token after `"field":` — a number, or the body of
+/// a quoted string. Returns false when the field is absent.
+bool raw_field(const std::string& line, const std::string& field,
+               std::string& out) {
+  const std::string needle = "\"" + field + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  if (begin >= line.size()) return false;
+  if (line[begin] == '"') {
+    const std::size_t end = line.find('"', begin + 1);
+    if (end == std::string::npos) return false;
+    out = line.substr(begin + 1, end - begin - 1);
+    return true;
+  }
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out = line.substr(begin, end - begin);
+  return !out.empty();
+}
+
+bool num_field(const std::string& line, const std::string& field,
+               double& out) {
+  std::string raw;
+  if (!raw_field(line, field, raw)) return false;
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool u64_field(const std::string& line, const std::string& field,
+               std::uint64_t& out) {
+  std::string raw;
+  if (!raw_field(line, field, raw)) return false;
+  // strtoull would silently wrap "-1"; these fields are never written
+  // negative, so a sign means corruption.
+  if (raw[0] == '-' || raw[0] == '+') return false;
+  char* end = nullptr;
+  out = std::strtoull(raw.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+std::string CampaignCellKey::to_string() const {
+  std::ostringstream os;
+  os << workload << '|' << circuit << '|' << backend << '|'
+     << num(triad.tclk_ns) << ',' << num(triad.vdd_v) << ','
+     << num(triad.vbb_v) << '|' << seed << '|' << train_patterns << '|'
+     << characterize_patterns;
+  return os.str();
+}
+
+CampaignStore::CampaignStore(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in) return;  // a fresh store: the file appears on first insert
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto cell = parse_jsonl(line);
+    if (cell.has_value())
+      cells_.insert_or_assign(cell->key.to_string(), *cell);
+  }
+}
+
+std::size_t CampaignStore::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return cells_.size();
+}
+
+std::optional<CampaignCell> CampaignStore::find(
+    const CampaignCellKey& key) const {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = cells_.find(key.to_string());
+  if (it == cells_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CampaignStore::insert(const CampaignCell& cell) {
+  std::lock_guard<std::mutex> lock(m_);
+  cells_.insert_or_assign(cell.key.to_string(), cell);
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  if (!out)
+    throw std::runtime_error("campaign store: cannot append to " + path_);
+  out << to_jsonl(cell) << '\n';
+  out.flush();
+}
+
+std::vector<CampaignCell> CampaignStore::cells() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<CampaignCell> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) out.push_back(cell);
+  return out;
+}
+
+std::string CampaignStore::to_jsonl(const CampaignCell& cell) {
+  // Names are identifiers (registry tokens), so no string escaping is
+  // needed; parse_jsonl rejects anything it did not write.
+  std::ostringstream os;
+  os << "{\"workload\":\"" << cell.key.workload << "\""
+     << ",\"circuit\":\"" << cell.key.circuit << "\""
+     << ",\"backend\":\"" << cell.key.backend << "\""
+     << ",\"tclk_ns\":" << num(cell.key.triad.tclk_ns)
+     << ",\"vdd_v\":" << num(cell.key.triad.vdd_v)
+     << ",\"vbb_v\":" << num(cell.key.triad.vbb_v)
+     << ",\"seed\":" << cell.key.seed
+     << ",\"train_patterns\":" << cell.key.train_patterns
+     << ",\"characterize_patterns\":" << cell.key.characterize_patterns
+     << ",\"metric\":\"" << cell.metric << "\""
+     << ",\"quality\":" << num(cell.quality)
+     << ",\"normalized\":" << num(cell.normalized)
+     << ",\"energy_per_op_fj\":" << num(cell.energy_per_op_fj)
+     << ",\"baseline_fj\":" << num(cell.baseline_fj)
+     << ",\"ber\":" << num(cell.ber)
+     << ",\"adds\":" << cell.adds
+     << ",\"elapsed_s\":" << num(cell.elapsed_s) << "}";
+  return os.str();
+}
+
+std::optional<CampaignCell> CampaignStore::parse_jsonl(
+    const std::string& line) {
+  CampaignCell cell;
+  if (!raw_field(line, "workload", cell.key.workload) ||
+      !raw_field(line, "circuit", cell.key.circuit) ||
+      !raw_field(line, "backend", cell.key.backend) ||
+      !num_field(line, "tclk_ns", cell.key.triad.tclk_ns) ||
+      !num_field(line, "vdd_v", cell.key.triad.vdd_v) ||
+      !num_field(line, "vbb_v", cell.key.triad.vbb_v) ||
+      !u64_field(line, "seed", cell.key.seed) ||
+      !u64_field(line, "train_patterns", cell.key.train_patterns) ||
+      !u64_field(line, "characterize_patterns",
+                 cell.key.characterize_patterns) ||
+      !raw_field(line, "metric", cell.metric) ||
+      !num_field(line, "quality", cell.quality) ||
+      !num_field(line, "normalized", cell.normalized) ||
+      !num_field(line, "energy_per_op_fj", cell.energy_per_op_fj) ||
+      !num_field(line, "baseline_fj", cell.baseline_fj) ||
+      !num_field(line, "ber", cell.ber) ||
+      !u64_field(line, "adds", cell.adds) ||
+      !num_field(line, "elapsed_s", cell.elapsed_s))
+    return std::nullopt;
+  return cell;
+}
+
+}  // namespace vosim

@@ -1,0 +1,95 @@
+// Content-keyed JSONL result store — what makes campaigns resumable.
+//
+// Every finished campaign cell is appended to a JSONL file as one
+// self-describing line keyed by the cell's content (workload, circuit,
+// backend, triad, seed, training budget). On construction the store
+// loads every valid line, so a re-run of the same campaign finds its
+// finished cells by key and recomputes only the missing ones
+// (append-on-complete, load-on-start; DESIGN.md §9). The store is
+// thread-safe: the campaign runner inserts from pool workers.
+#ifndef VOSIM_CAMPAIGN_STORE_HPP
+#define VOSIM_CAMPAIGN_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tech/operating_point.hpp"
+
+namespace vosim {
+
+/// Identity of one campaign cell. Two runs that agree on every field
+/// compute the same quality value (the grid is deterministic), so the
+/// canonical string below is a safe cache key.
+struct CampaignCellKey {
+  std::string workload;
+  std::string circuit;
+  std::string backend;          ///< arith_backend_name() token
+  OperatingTriad triad;
+  std::uint64_t seed = 0;       ///< campaign seed
+  std::uint64_t train_patterns = 0;  ///< model-training budget (0 when
+                                     ///< the backend trains nothing)
+  std::uint64_t characterize_patterns = 0;  ///< energy/BER join budget
+
+  /// Canonical content key, e.g.
+  /// "fir|rca16|model|0.53,0.5,2|1|4000|2000".
+  std::string to_string() const;
+
+  friend bool operator==(const CampaignCellKey&,
+                         const CampaignCellKey&) = default;
+};
+
+/// One finished cell: key plus the measured quality and the joined
+/// per-op energy/BER of the cell's (circuit, triad) characterization.
+struct CampaignCell {
+  CampaignCellKey key;
+  std::string metric;           ///< QualityResult metric token
+  double quality = 0.0;         ///< metric's native unit
+  double normalized = 0.0;      ///< [0, 1] quality score
+  double energy_per_op_fj = 0.0;
+  double baseline_fj = 0.0;     ///< circuit's relaxed-nominal energy/op
+  double ber = 0.0;             ///< adder BER at this triad
+  std::uint64_t adds = 0;       ///< routed additions in the workload run
+  double elapsed_s = 0.0;
+};
+
+/// JSONL persistence + in-memory index of campaign cells.
+class CampaignStore {
+ public:
+  /// In-memory store (no persistence) — used by examples and tests.
+  CampaignStore() = default;
+  /// Backed by `path`: loads every parseable line (last occurrence of a
+  /// key wins, malformed lines are skipped), appends on insert.
+  explicit CampaignStore(std::string path);
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t size() const;
+
+  /// Finished cell for this key, or nullopt.
+  std::optional<CampaignCell> find(const CampaignCellKey& key) const;
+
+  /// Records a finished cell: indexes it and (when file-backed) appends
+  /// its JSONL line immediately, so a killed campaign keeps everything
+  /// completed so far. Thread-safe.
+  void insert(const CampaignCell& cell);
+
+  /// All cells in canonical key order.
+  std::vector<CampaignCell> cells() const;
+
+  /// One cell as a single JSONL line (no trailing newline).
+  static std::string to_jsonl(const CampaignCell& cell);
+  /// Parses a line written by to_jsonl; nullopt when malformed.
+  static std::optional<CampaignCell> parse_jsonl(const std::string& line);
+
+ private:
+  mutable std::mutex m_;
+  std::string path_;
+  std::map<std::string, CampaignCell> cells_;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_CAMPAIGN_STORE_HPP

@@ -16,6 +16,8 @@
 
 namespace vosim {
 
+struct DutNetlist;
+
 /// Clock periods relative to the benchmark's own synthesis critical path,
 /// transcribed from Table III (first entry = relaxed nominal period).
 std::vector<double> paper_tclk_ratios(AdderArch arch, int width);
@@ -37,6 +39,14 @@ std::vector<OperatingTriad> make_paper_triads(AdderArch arch, int width,
 /// the paper's supply and body-bias steps — the same 43-point grid
 /// shape as the adder benchmarks.
 std::vector<OperatingTriad> make_dut_triads(double synthesis_cp_ns);
+
+/// The Table-III sweep for any registry circuit: exact adder kinds
+/// ("rca8", "bka16", …) keep the paper's per-benchmark clock ratios,
+/// every other DUT gets the generic make_dut_triads grid. This is the
+/// one triad-derivation rule shared by the CLI and the campaign
+/// runner, keyed on DutNetlist::kind.
+std::vector<OperatingTriad> make_circuit_triads(const DutNetlist& dut,
+                                                double synthesis_cp_ns);
 
 /// Supplies swept by the paper (V).
 std::vector<double> paper_vdd_steps();

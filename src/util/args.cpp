@@ -88,6 +88,27 @@ long ArgParser::get_int(const std::string& name, long fallback) const {
   return out;
 }
 
+std::vector<std::string> ArgParser::get_list(
+    const std::string& name,
+    const std::vector<std::string>& fallback) const {
+  std::vector<std::string> items;
+  bool present = false;
+  for (const auto& [key, val] : options_) {
+    if (key != name) continue;
+    present = true;
+    if (!val.has_value())
+      throw std::invalid_argument("missing value for option --" + name);
+    std::size_t begin = 0;
+    while (begin <= val->size()) {
+      std::size_t end = val->find(',', begin);
+      if (end == std::string::npos) end = val->size();
+      if (end > begin) items.push_back(val->substr(begin, end - begin));
+      begin = end + 1;
+    }
+  }
+  return present ? items : fallback;
+}
+
 double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto v = required_value(name);
   if (!v.has_value()) return fallback;

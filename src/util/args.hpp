@@ -38,6 +38,15 @@ class ArgParser {
   long get_int(const std::string& name, long fallback) const;
   double get_double(const std::string& name, double fallback) const;
 
+  /// List-valued option: every occurrence of --name contributes its
+  /// comma-separated items in order ("--w fir,blur --w dot" ->
+  /// {fir, blur, dot}); empty items are dropped. Returns `fallback`
+  /// when the option never appears, and throws std::invalid_argument
+  /// when any occurrence is a bare value-less flag.
+  std::vector<std::string> get_list(
+      const std::string& name,
+      const std::vector<std::string>& fallback = {}) const;
+
  private:
   void parse(const std::vector<std::string>& args);
   /// Like value(), but throws std::invalid_argument when the option is

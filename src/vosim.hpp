@@ -19,6 +19,10 @@
 #include "src/apps/fir.hpp"
 #include "src/apps/image.hpp"
 #include "src/apps/kmeans.hpp"
+#include "src/campaign/report.hpp"
+#include "src/campaign/runner.hpp"
+#include "src/campaign/store.hpp"
+#include "src/campaign/workload.hpp"
 #include "src/characterize/characterizer.hpp"
 #include "src/characterize/metrics.hpp"
 #include "src/characterize/patterns.hpp"

@@ -65,6 +65,81 @@ TEST(ApproxArith, SaturatingAdd) {
   EXPECT_EQ(approx_add_sat(add, 8, 100, 10), 110u);
 }
 
+// Width 63 is the widest the (width+1)-bit AdderFn contract supports
+// (max_word_bits); width 64 still works for the masking-only helpers
+// when the adder itself wraps. Pin both boundaries.
+TEST(ApproxArith, Width63MaskingAndSaturation) {
+  const AdderFn add = exact_adder_fn(63);
+  const std::uint64_t m = mask_n(63);
+  // Saturation at max operands: the exact 64-bit sum 2m overflows the
+  // 63-bit range, so the saturating add must clamp to m.
+  EXPECT_EQ(approx_add_sat(add, 63, m, m), m);
+  EXPECT_EQ(approx_add_sat(add, 63, m, 1), m);
+  EXPECT_EQ(approx_add_sat(add, 63, m - 1, 1), m);
+  EXPECT_EQ(approx_add_sat(add, 63, 5, 6), 11u);
+  // Subtraction wraps within the 63-bit mask.
+  EXPECT_EQ(approx_sub(add, 63, 0, 1), m);
+  EXPECT_EQ(approx_sub(add, 63, m, m), 0u);
+  EXPECT_EQ(approx_sub(add, 63, 1, m), 2u);
+  // Operands above the mask are masked before use, not trusted.
+  EXPECT_EQ(approx_add_sat(add, 63, ~0ULL, 0), m);
+  Rng rng(17);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.bits(63);
+    const std::uint64_t b = rng.bits(63);
+    EXPECT_EQ(approx_sub(add, 63, a, b), (a - b) & m);
+    EXPECT_EQ(approx_add_sat(add, 63, a, b),
+              (a + b) > m ? m : (a + b));
+  }
+}
+
+TEST(ApproxArith, Width63MulMasksPartialProducts) {
+  const AdderFn add = exact_adder_fn(63);
+  const std::uint64_t m = mask_n(63);
+  // Max x max: the helper must mask every shifted partial product into
+  // the 63-bit accumulator (native 64-bit wrap would differ).
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 63; ++i) expect = (expect + ((m << i) & m)) & m;
+  EXPECT_EQ(approx_mul(add, 63, m, m), expect);
+  EXPECT_EQ(approx_mul(add, 63, m, 0), 0u);
+  EXPECT_EQ(approx_mul(add, 63, m, 1), m);
+  Rng rng(18);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t a = rng.bits(32);
+    const std::uint64_t b = rng.bits(31);
+    EXPECT_EQ(approx_mul(add, 63, a, b), (a * b) & m);
+  }
+}
+
+TEST(ApproxArith, Width64HelpersWrapWithAWrappingAdder) {
+  // exact_adder_fn stops at max_word_bits = 63; a plain wrapping lambda
+  // stands in at 64, where mask_n(64) must behave as ~0 (no UB shift).
+  const AdderFn wrap = [](std::uint64_t a, std::uint64_t b) {
+    return a + b;
+  };
+  EXPECT_EQ(mask_n(64), ~0ULL);
+  EXPECT_EQ(approx_sub(wrap, 64, 0, 1), ~0ULL);
+  EXPECT_EQ(approx_sub(wrap, 64, 5, ~0ULL), 6u);
+  EXPECT_EQ(approx_mul(wrap, 64, ~0ULL, ~0ULL), 1u);  // (-1)^2 mod 2^64
+  Rng rng(19);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    EXPECT_EQ(approx_sub(wrap, 64, a, b), a - b);
+    EXPECT_EQ(approx_mul(wrap, 64, a, b), a * b);
+  }
+  // At width 64 a carry-out is unrepresentable, so the saturating add
+  // cannot detect overflow: it degrades to the wrapping sum. Pin that
+  // boundary so a silent contract change is caught.
+  EXPECT_EQ(approx_add_sat(wrap, 64, ~0ULL, 1), 0u);
+  EXPECT_EQ(approx_add_sat(wrap, 64, 7, 8), 15u);
+}
+
+TEST(ApproxArith, ExactAdderFnRejectsOutOfRangeWidths) {
+  EXPECT_THROW(exact_adder_fn(64), ContractViolation);
+  EXPECT_THROW(exact_adder_fn(0), ContractViolation);
+}
+
 TEST(ApproxArith, ModelAdderFnUsesModel) {
   const VosAdderModel model = truncating_model(16, 0);  // adds become XOR
   Rng rng(4);

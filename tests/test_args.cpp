@@ -87,5 +87,41 @@ TEST(Args, ExplicitEmptyValueIsNotMissing) {
   EXPECT_EQ(p.get("csv", "default"), "");
 }
 
+TEST(Args, ListFromCommaSeparatedValue) {
+  const ArgParser p({"--workloads", "fir,blur,kmeans"});
+  const std::vector<std::string> expect{"fir", "blur", "kmeans"};
+  EXPECT_EQ(p.get_list("workloads"), expect);
+}
+
+TEST(Args, ListFromRepeatedOptions) {
+  const ArgParser p({"--w", "fir,blur", "--w=dot", "--w", "kmeans"});
+  const std::vector<std::string> expect{"fir", "blur", "dot", "kmeans"};
+  EXPECT_EQ(p.get_list("w"), expect);
+}
+
+TEST(Args, ListDropsEmptyItems) {
+  const ArgParser p({"--w", ",fir,,blur,"});
+  const std::vector<std::string> expect{"fir", "blur"};
+  EXPECT_EQ(p.get_list("w"), expect);
+}
+
+TEST(Args, ListFallsBackWhenAbsent) {
+  const ArgParser p({"cmd"});
+  EXPECT_TRUE(p.get_list("w").empty());
+  const std::vector<std::string> fallback{"fir", "dot"};
+  EXPECT_EQ(p.get_list("w", fallback), fallback);
+  // A present-but-empty list beats the fallback: "--w ," means
+  // "explicitly none", not "use the default".
+  const ArgParser q({"--w", ","});
+  EXPECT_TRUE(q.get_list("w", fallback).empty());
+}
+
+TEST(Args, ListRejectsBareFlagOccurrence) {
+  const ArgParser p({"--w", "--csv=x"});
+  EXPECT_THROW(p.get_list("w"), std::invalid_argument);
+  const ArgParser q({"--w", "fir", "--w"});
+  EXPECT_THROW(q.get_list("w"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vosim

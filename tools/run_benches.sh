@@ -25,6 +25,16 @@
 #                    ceiling for the BER deviation between engines
 #                    (RCA8 for fig8, mul8 for table3_multiplier), in
 #                    percentage points (default 2.0).
+#   VOSIM_MAX_MODEL_QUALITY_DEV_PP
+#                    ceiling for the model-vs-gate-level application
+#                    quality deviation printed by bench_ext_app_pareto
+#                    (normalized quality percentage points, default 35).
+#
+# After the bench set, a tiny smoke campaign (2 workloads x 1 circuit x
+# 4 triads on the model backend) runs twice through vosim_cli: the
+# second pass must resume every cell from the JSONL store. Emits
+# BENCH_campaign_smoke.json; the store is kept as campaign_smoke.jsonl
+# for CI artifact upload.
 set -u
 
 build_dir="${1:-build}"
@@ -41,23 +51,35 @@ out_dir="${VOSIM_BENCH_OUT:-${build_dir}}"
 mkdir -p "${out_dir}"
 out_dir="$(cd "${out_dir}" && pwd)"
 
+# "campaign_smoke" is a pseudo-bench: it selects the vosim_cli smoke
+# campaign below instead of a bench_* binary. With no arguments both
+# the full bench set and the smoke campaign run.
+run_smoke=0
 if [ "$#" -gt 0 ]; then
-  benches=("$@")
+  benches=()
+  for name in "$@"; do
+    if [ "${name}" = "campaign_smoke" ]; then
+      run_smoke=1
+    else
+      benches+=("${name}")
+    fi
+  done
 else
+  run_smoke=1
   benches=()
   for f in "${build_dir}"/bench_*; do
     [ -x "$f" ] && [ ! -d "$f" ] && benches+=("$(basename "$f")")
   done
 fi
 
-if [ "${#benches[@]}" -eq 0 ]; then
+if [ "${#benches[@]}" -eq 0 ] && [ "${run_smoke}" -eq 0 ]; then
   echo "error: no bench_* binaries in '${build_dir}'" >&2
   exit 2
 fi
 
 echo "running ${#benches[@]} benches with VOSIM_PATTERNS=${VOSIM_PATTERNS}"
 failures=0
-for name in "${benches[@]}"; do
+for name in ${benches[@]+"${benches[@]}"}; do
   bin="${build_dir}/${name}"
   if [ ! -x "${bin}" ]; then
     echo "error: missing bench binary '${bin}'" >&2
@@ -102,6 +124,27 @@ for name in "${benches[@]}"; do
       status=1
     fi
   fi
+  # bench_ext_app_pareto replays workloads through the statistical
+  # model and the gate-level simulator; gate the application-level
+  # quality deviation between the two.
+  if [ "${name}" = "bench_ext_app_pareto" ] && [ "${status}" -eq 0 ]; then
+    q_dev=$(sed -n 's/^MODEL_QUALITY_DEV //p' "${log}" | tail -n 1)
+    q_dev_mean=$(sed -n 's/^MODEL_QUALITY_DEV_MEAN //p' "${log}" | tail -n 1)
+    if [ -n "${q_dev}" ] && [ -n "${q_dev_mean}" ]; then
+      engine_fields=",
+  \"model_quality_dev_pp\": ${q_dev},
+  \"model_quality_dev_mean_pp\": ${q_dev_mean}"
+      max_q_dev="${VOSIM_MAX_MODEL_QUALITY_DEV_PP:-35}"
+      if ! awk -v d="${q_dev}" -v m="${max_q_dev}" \
+           'BEGIN{exit !(d <= m)}'; then
+        echo "FAIL ${name}: model quality deviation ${q_dev}pp > ${max_q_dev}pp ceiling" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing MODEL_QUALITY_DEV in log" >&2
+      status=1
+    fi
+  fi
   cat >"${json}" <<EOF
 {
   "bench": "${name}",
@@ -120,5 +163,60 @@ EOF
   fi
 done
 
-echo "bench results: $((${#benches[@]} - failures))/${#benches[@]} ok, JSON in ${out_dir}"
+# ---- smoke campaign: tiny grid + resume check through vosim_cli ----
+total="${#benches[@]}"
+if [ "${run_smoke}" -eq 1 ]; then
+  total=$((total + 1))
+  cli="${build_dir}/vosim_cli"
+  smoke_status=0
+  store="${out_dir}/campaign_smoke.jsonl"
+  log="${out_dir}/campaign_smoke.log"
+  smoke_patterns=300
+  smoke_args=(campaign --workloads fir,kmeans --circuits rca16
+              --backends model --max-triads 4 --patterns "${smoke_patterns}"
+              --train-patterns 1000 --store "${store}")
+  rm -f "${store}"
+  start_ns=$(date +%s%N)
+  if [ -x "${cli}" ]; then
+    # Pass 1 computes the 2x1x4 grid; pass 2 must answer every cell
+    # from the JSONL store (resume semantics, DESIGN.md §9).
+    (cd "${out_dir}" && "${cli}" "${smoke_args[@]}" >"${log}" 2>&1) || smoke_status=1
+    cells=$(sed -n 's/^campaign: \([0-9]*\) cells.*/\1/p' "${log}" | tail -n 1)
+    (cd "${out_dir}" && "${cli}" "${smoke_args[@]}" >>"${log}" 2>&1) || smoke_status=1
+    reused=$(sed -n 's/^campaign: [0-9]* cells (\([0-9]*\) reused.*/\1/p' "${log}" | tail -n 1)
+    if [ "${smoke_status}" -eq 0 ] && { [ -z "${cells}" ] || \
+         [ "${cells}" -eq 0 ] || [ "${reused:-0}" != "${cells}" ]; }; then
+      echo "FAIL campaign_smoke: resume reused ${reused:-?} of ${cells:-?} cells" >&2
+      smoke_status=1
+    fi
+  else
+    echo "FAIL campaign_smoke: missing ${cli}" >&2
+    smoke_status=1
+    cells=0
+    reused=0
+  fi
+  end_ns=$(date +%s%N)
+  wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+  cat >"${out_dir}/BENCH_campaign_smoke.json" <<EOF
+{
+  "bench": "campaign_smoke",
+  "patterns_per_triad": ${smoke_patterns},
+  "wall_seconds": ${wall_s},
+  "exit_code": ${smoke_status},
+  "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "log": "campaign_smoke.log",
+  "grid_cells": ${cells:-0},
+  "resumed_cells": ${reused:-0},
+  "store": "campaign_smoke.jsonl"
+}
+EOF
+  if [ "${smoke_status}" -ne 0 ]; then
+    echo "FAIL campaign_smoke (${wall_s}s) -> BENCH_campaign_smoke.json"
+    failures=$((failures + 1))
+  else
+    echo "ok   campaign_smoke (${wall_s}s, ${reused}/${cells} cells resumed) -> BENCH_campaign_smoke.json"
+  fi
+fi
+
+echo "bench results: $((total - failures))/${total} ok, JSON in ${out_dir}"
 [ "${failures}" -eq 0 ]

@@ -12,6 +12,11 @@
 //   vosim_cli variability <circuit> [--dies N] [--sigma S]
 //                         [--tclk NS --vdd V --vbb V]
 //                         [--engine event|levelized]
+//   vosim_cli campaign [--workloads W1,W2|all] [--circuits C1,C2]
+//                      [--backends exact|model|sim-event|sim-levelized]
+//                      [--store campaign.jsonl] [--quality-floor F]
+//                      [--patterns N] [--train-patterns N] [--seed S]
+//                      [--max-triads N] [--jobs N] [--csv out.csv]
 //
 // <circuit> is either a registry spec — rca8, bka16, mul8-array,
 // mul8-wallace, tree8x8, mac4x8, loa8-4, … (also accepted via
@@ -41,11 +46,18 @@ int usage(const std::string& program) {
       << "  train         fit a statistical model at one triad (adders)\n"
       << "  verilog       dump the structural netlist\n"
       << "  triads        list the Table-III operating triads\n"
+      << "  campaign      resumable workload x circuit x triad x backend\n"
+      << "                quality-energy sweep with Pareto fronts\n"
       << known_circuits_help() << "\n"
+      << known_workloads_help() << "\n"
       << "options: --patterns N --csv FILE --tclk NS --vdd V --vbb V\n"
       << "         --metric mse|hamming|whamming --out FILE\n"
       << "         --engine event|levelized (simulation backend;\n"
-      << "           levelized = bit-parallel, ~10x+ faster sweeps)\n";
+      << "           levelized = bit-parallel, ~10x+ faster sweeps)\n"
+      << "campaign: --workloads L --circuits L --backends L (comma lists)\n"
+      << "          --store FILE (JSONL; resumes finished cells)\n"
+      << "          --quality-floor F --train-patterns N --seed S\n"
+      << "          --max-triads N --jobs N\n";
   return 2;
 }
 
@@ -59,30 +71,6 @@ std::string circuit_spec(const ArgParser& args) {
   throw std::invalid_argument("missing circuit spec");
 }
 
-/// Exact adder specs keep the paper's Table III clock ratios; every
-/// other DUT gets the generic Table-III-style grid.
-std::vector<OperatingTriad> triads_for(const DutNetlist& dut,
-                                       double synthesis_cp_ns) {
-  const struct {
-    const char* tok;
-    AdderArch arch;
-  } adders[] = {
-      {"rca", AdderArch::kRipple},     {"bka", AdderArch::kBrentKung},
-      {"ksa", AdderArch::kKoggeStone}, {"skl", AdderArch::kSklansky},
-      {"csel", AdderArch::kCarrySelect}, {"cska", AdderArch::kCarrySkip},
-      {"hca", AdderArch::kHanCarlson},
-  };
-  for (const auto& entry : adders) {
-    const std::string tok = entry.tok;
-    if (dut.kind.size() > tok.size() && dut.kind.compare(0, tok.size(), tok) == 0 &&
-        std::isdigit(static_cast<unsigned char>(dut.kind[tok.size()]))) {
-      const int width = std::stoi(dut.kind.substr(tok.size()));
-      return make_paper_triads(entry.arch, width, synthesis_cp_ns);
-    }
-  }
-  return make_dut_triads(synthesis_cp_ns);
-}
-
 DistanceMetric parse_metric(const std::string& name) {
   if (name == "mse") return DistanceMetric::kMse;
   if (name == "hamming") return DistanceMetric::kHamming;
@@ -90,9 +78,79 @@ DistanceMetric parse_metric(const std::string& name) {
   throw std::invalid_argument("unknown metric: " + name);
 }
 
+/// The campaign subcommand: a resumable quality-energy sweep over the
+/// workload x circuit x triad x backend grid with Pareto aggregation.
+int run_campaign_command(const ArgParser& args) {
+  CampaignConfig cfg;
+  cfg.workloads = args.get_list("workloads", cfg.workloads);
+  cfg.circuits = args.get_list("circuits", cfg.circuits);
+  cfg.backends.clear();
+  for (const std::string& name : args.get_list("backends", {"model"}))
+    cfg.backends.push_back(parse_arith_backend(name));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.characterize_patterns =
+      static_cast<std::size_t>(args.get_int("patterns", 2000));
+  cfg.train_patterns =
+      static_cast<std::size_t>(args.get_int("train-patterns", 4000));
+  cfg.max_triads =
+      static_cast<std::size_t>(args.get_int("max-triads", 0));
+  cfg.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  cfg.progress = &std::cerr;
+  const double floor = args.get_double("quality-floor", 0.9);
+
+  CampaignStore store(args.get("store", ""));
+  const CampaignOutcome outcome =
+      run_campaign(make_fdsoi28_lvt(), cfg, store);
+  std::cout << "campaign: " << outcome.cells.size() << " cells ("
+            << outcome.reused << " reused, " << outcome.computed
+            << " computed)";
+  if (!store.path().empty()) std::cout << ", store: " << store.path();
+  std::cout << "\n\n";
+
+  const TextTable grid = campaign_table(outcome.cells);
+  grid.print(std::cout);
+  if (args.has("csv"))
+    std::cout << "CSV: " << write_csv(grid, args.get("csv", "campaign.csv"))
+              << "\n";
+
+  // Resolve again so the "all" alias expands to real workload names
+  // (cell keys never contain the alias).
+  for (const Workload& workload_entry : resolve_workloads(cfg.workloads)) {
+    const std::string& workload = workload_entry.name;
+    for (const ArithBackend backend : cfg.backends) {
+      if (backend == ArithBackend::kExact) continue;  // flat quality
+      const auto group = select_cells(outcome.cells, workload,
+                                      arith_backend_name(backend));
+      if (group.empty()) continue;
+      std::cout << "\n--- Pareto front: " << workload << " / "
+                << arith_backend_name(backend) << " ---\n";
+      pareto_table(pareto_front(group)).print(std::cout);
+      const auto pick = min_energy_at_floor(group, floor);
+      std::cout << "quality floor " << format_double(floor, 2) << ": ";
+      if (pick.has_value())
+        std::cout << "min energy " << format_double(pick->energy_per_op_fj, 2)
+                  << " fJ/op at " << triad_label(pick->key.triad) << " ("
+                  << pick->metric << " "
+                  << format_double(pick->quality, 3) << ")\n";
+      else
+        std::cout << "unreachable on this grid\n";
+    }
+  }
+
+  const QualityDeviation dev = model_quality_deviation(outcome.cells);
+  if (dev.cells > 0)
+    std::cout << "\nMODEL_QUALITY_DEV " << format_double(dev.max_pp, 3)
+              << "\nmodel vs gate-level quality deviation over "
+              << dev.cells << " cells: mean "
+              << format_double(dev.mean_pp, 2) << " pp, max "
+              << format_double(dev.max_pp, 2) << " pp\n";
+  return 0;
+}
+
 int run(const ArgParser& args) {
   if (args.positional().empty()) return usage(args.program());
   const std::string command = args.positional()[0];
+  if (command == "campaign") return run_campaign_command(args);
   std::string spec;
   try {
     spec = circuit_spec(args);
@@ -154,7 +212,7 @@ int run(const ArgParser& args) {
     return 0;
   }
 
-  const auto triads = triads_for(dut, rep.critical_path_ns);
+  const auto triads = make_circuit_triads(dut, rep.critical_path_ns);
 
   if (command == "triads") {
     table3_rows(rep.design, triads).print(std::cout);
