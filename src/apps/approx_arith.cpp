@@ -1,5 +1,6 @@
 #include "src/apps/approx_arith.hpp"
 
+#include "src/seq/seq_sim.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
 
@@ -25,6 +26,16 @@ AdderFn sim_adder_fn(VosDutSim& sim) {
     const std::uint64_t ma = mask_n(sim.operand_width(0));
     const std::uint64_t mb = mask_n(sim.operand_width(1));
     return sim.apply(a & ma, b & mb).sampled;
+  };
+}
+
+AdderFn seq_adder_fn(SeqSim& sim) {
+  VOSIM_EXPECTS(sim.num_operands() == 2);
+  VOSIM_EXPECTS(sim.latency_cycles() == 1);
+  return [&sim](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t ma = mask_n(sim.seq().operand_width(0));
+    const std::uint64_t mb = mask_n(sim.seq().operand_width(1));
+    return sim.step_cycle(a & ma, b & mb).captured;
   };
 }
 

@@ -30,6 +30,17 @@ AdderFn model_adder_fn(const VosAdderModel& model, Rng& rng);
 /// was built with, so kernels run identically on either backend.
 AdderFn sim_adder_fn(VosDutSim& sim);
 
+class SeqSim;
+
+/// A clocked (registered) pipeline simulation as an adder: each call is
+/// one clock cycle, and because a single-stage pipeline's result
+/// registers at the very next edge, the captured output IS this call's
+/// sum. `sim` must wrap a two-operand single-stage SeqDut (see
+/// wrap_as_pipeline) and outlive the function. This is the campaign's
+/// sim-seq backend: truncating clocked semantics, per-flop setup
+/// margin, register energy — the sequential view of the same adder.
+AdderFn seq_adder_fn(SeqSim& sim);
+
 /// Subtraction a-b via two's complement (two routed additions); result
 /// masked to `width` bits (wraps like hardware).
 std::uint64_t approx_sub(const AdderFn& add, int width, std::uint64_t a,

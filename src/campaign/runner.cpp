@@ -11,6 +11,8 @@
 #include "src/characterize/triads.hpp"
 #include "src/model/vos_model.hpp"
 #include "src/netlist/dut.hpp"
+#include "src/seq/seq_dut.hpp"
+#include "src/seq/seq_sim.hpp"
 #include "src/sim/vos_dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/util/parallel.hpp"
@@ -38,6 +40,7 @@ struct CircuitContext {
   std::vector<OperatingTriad> triads;
   std::vector<TriadResult> characterized;  ///< energy/BER join, per triad
   std::vector<std::optional<VosAdderModel>> models;  ///< model backend
+  std::optional<SeqDut> seq;  ///< registered view, sim-seq backend only
 };
 
 bool is_adder_shaped(const DutNetlist& dut, int width) {
@@ -74,7 +77,8 @@ std::uint64_t data_seed(std::uint64_t seed, const std::string& workload) {
 CircuitContext make_context(const CellLibrary& lib,
                             const CampaignConfig& config,
                             const std::string& spec, int adder_width,
-                            bool needs_model, bool needs_gate_level) {
+                            bool needs_model, bool needs_gate_level,
+                            bool needs_seq) {
   CircuitContext ctx;
   ctx.dut = build_circuit(spec);
   ctx.critical_path_ns =
@@ -86,6 +90,8 @@ CircuitContext make_context(const CellLibrary& lib,
         "campaign: circuit '" + spec + "' cannot back the workloads' " +
         std::to_string(adder_width) + "-bit routed adder (needs a " +
         std::to_string(adder_width) + "-bit two-operand adder)");
+  if (needs_seq)
+    ctx.seq = wrap_as_pipeline(ctx.dut);  // one wrap per circuit
 
   if (!config.triads.empty()) {
     ctx.triads = config.triads;
@@ -161,6 +167,7 @@ const char* arith_backend_name(ArithBackend backend) {
     case ArithBackend::kModel: return "model";
     case ArithBackend::kSimEvent: return "sim-event";
     case ArithBackend::kSimLevelized: return "sim-levelized";
+    case ArithBackend::kSimSeq: return "sim-seq";
   }
   return "?";
 }
@@ -171,9 +178,10 @@ ArithBackend parse_arith_backend(const std::string& name) {
   if (name == "sim-event") return ArithBackend::kSimEvent;
   if (name == "sim-levelized" || name == "sim")
     return ArithBackend::kSimLevelized;
+  if (name == "sim-seq") return ArithBackend::kSimSeq;
   throw std::invalid_argument(
       "unknown backend '" + name +
-      "' (expected exact | model | sim-event | sim-levelized)");
+      "' (expected exact | model | sim-event | sim-levelized | sim-seq)");
 }
 
 CampaignOutcome run_campaign(const CellLibrary& lib,
@@ -194,10 +202,13 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
           "campaign: workloads disagree on adder width");
   bool needs_model = false;
   bool needs_gate_level = false;
+  bool needs_seq = false;
   for (const ArithBackend b : config.backends) {
     needs_model = needs_model || b == ArithBackend::kModel;
     needs_gate_level = needs_gate_level || b == ArithBackend::kSimEvent ||
-                       b == ArithBackend::kSimLevelized;
+                       b == ArithBackend::kSimLevelized ||
+                       b == ArithBackend::kSimSeq;
+    needs_seq = needs_seq || b == ArithBackend::kSimSeq;
   }
 
   // Phase 1 — per-circuit netlist, synthesis and triad grid (the cell
@@ -207,7 +218,8 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
   contexts.reserve(config.circuits.size());
   for (const std::string& spec : config.circuits)
     contexts.push_back(make_context(lib, config, spec, adder_width,
-                                    needs_model, needs_gate_level));
+                                    needs_model, needs_gate_level,
+                                    needs_seq));
 
   // Phase 2 — enumerate the grid, answer finished cells from the store
   // and queue the rest.
@@ -289,6 +301,7 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
         const auto t0 = std::chrono::steady_clock::now();
 
         QualityResult q;
+        double register_energy_fj = 0.0;  // sim-seq: bank clock/latch
         const std::uint64_t dseed = data_seed(config.seed, wl.name);
         switch (p.backend) {
           case ArithBackend::kExact: {
@@ -310,6 +323,18 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             q = wl.run(sim_adder_fn(sim), dseed);
             break;
           }
+          case ArithBackend::kSimSeq: {
+            // The adder between real registers: truncating clocked
+            // semantics on the levelized backend. The joined energy/op
+            // additionally pays the bank's clock/latch energy.
+            TimingSimConfig sim_cfg;
+            sim_cfg.engine = EngineKind::kLevelized;
+            SeqSim sim(*ctx.seq, lib, ctx.triads[p.triad], sim_cfg);
+            register_energy_fj = seq_clock_energy_fj(
+                *ctx.seq, lib, ctx.triads[p.triad].vdd_v);
+            q = wl.run(seq_adder_fn(sim), dseed);
+            break;
+          }
         }
 
         CampaignCell cell;
@@ -317,7 +342,7 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
         cell.metric = q.metric;
         cell.quality = q.value;
         cell.normalized = q.normalized;
-        cell.energy_per_op_fj = tr.energy_per_op_fj;
+        cell.energy_per_op_fj = tr.energy_per_op_fj + register_energy_fj;
         cell.baseline_fj =
             ctx.characterized[baseline_index(ctx.triads)].energy_per_op_fj;
         cell.ber = tr.ber;
@@ -334,19 +359,28 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
 
   // Reused cells carry the baseline their original grid had; rebase
   // every cell of a circuit on the current grid's most relaxed triad
-  // (per-triad energy is backend-independent, so any cell at that
-  // triad knows it) so one report never mixes savings baselines.
+  // so one report never mixes savings baselines. Per-triad energy is
+  // backend-independent within an energy class — but sim-seq charges
+  // the register clock energy on top, so registered and combinational
+  // cells rebase separately (a registered design's guard-banded
+  // baseline pays its flops too).
+  const auto is_seq = [](const CampaignCell& cell) {
+    return cell.key.backend == "sim-seq";
+  };
   for (const std::string& circuit : config.circuits) {
-    const CampaignCell* base = nullptr;
-    for (const CampaignCell& cell : outcome.cells)
-      if (cell.key.circuit == circuit &&
-          (base == nullptr || relaxation_rank(cell.key.triad) >
-                                  relaxation_rank(base->key.triad)))
-        base = &cell;
-    if (base == nullptr) continue;
-    const double baseline = base->energy_per_op_fj;
-    for (CampaignCell& cell : outcome.cells)
-      if (cell.key.circuit == circuit) cell.baseline_fj = baseline;
+    for (const bool seq_class : {false, true}) {
+      const CampaignCell* base = nullptr;
+      for (const CampaignCell& cell : outcome.cells)
+        if (cell.key.circuit == circuit && is_seq(cell) == seq_class &&
+            (base == nullptr || relaxation_rank(cell.key.triad) >
+                                    relaxation_rank(base->key.triad)))
+          base = &cell;
+      if (base == nullptr) continue;
+      const double baseline = base->energy_per_op_fj;
+      for (CampaignCell& cell : outcome.cells)
+        if (cell.key.circuit == circuit && is_seq(cell) == seq_class)
+          cell.baseline_fj = baseline;
+    }
   }
   return outcome;
 }

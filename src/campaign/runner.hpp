@@ -38,11 +38,15 @@ enum class ArithBackend {
   kModel,         ///< trained statistical VOS model (prob-table injection)
   kSimEvent,      ///< gate-level, event-driven engine
   kSimLevelized,  ///< gate-level, bit-parallel levelized engine
+  kSimSeq,        ///< gate-level, clocked single-stage pipeline: the
+                  ///< adder between registers with truncating cycle
+                  ///< semantics, per-flop setup margin and register
+                  ///< clock energy in the joined energy/op (src/seq)
 };
 
 const char* arith_backend_name(ArithBackend backend);
 /// Parses "exact" | "model" | "sim-event" | "sim-levelized" (alias
-/// "sim"); throws std::invalid_argument otherwise.
+/// "sim") | "sim-seq"; throws std::invalid_argument otherwise.
 ArithBackend parse_arith_backend(const std::string& name);
 
 /// Relative operating point: Tclk as a multiple of the circuit's own

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/seq/seq_dut.hpp"
+#include "src/seq/seq_sim.hpp"
 #include "src/sim/levelized_sim.hpp"
 #include "src/sim/vos_dut.hpp"
 #include "src/util/bits.hpp"
@@ -278,6 +280,70 @@ std::vector<TriadResult> characterize_dut(
       },
       config.threads);
 
+  return results;
+}
+
+std::vector<TriadResult> characterize_seq_dut(
+    const SeqDut& seq, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const CharacterizeConfig& config) {
+  VOSIM_EXPECTS(!triads.empty());
+  VOSIM_EXPECTS(config.num_patterns > 0);
+
+  // The shared stimulus sequence over the pipeline's external operands
+  // (stage 0's buses) — identical at every triad, like the
+  // combinational sweep.
+  const std::size_t nops = seq.num_operands();
+  std::vector<std::uint64_t> pats(config.num_patterns * nops);
+  DutPatternStream stream(config.policy, seq.operand_widths(),
+                          config.pattern_seed);
+  for (std::size_t p = 0; p < config.num_patterns; ++p)
+    stream.next({pats.data() + p * nops, nops});
+
+  std::vector<TriadResult> results(triads.size());
+  shared_thread_pool().parallel(
+      triads.size(),
+      [&](std::size_t t) {
+        TimingSimConfig sim_cfg;
+        sim_cfg.variation_sigma = config.variation_sigma;
+        sim_cfg.variation_seed = config.variation_seed;
+        sim_cfg.engine = config.engine;
+        SeqSim sim(seq, lib, triads[t], sim_cfg);
+
+        ErrorAccumulator acc(sim.output_width());
+        double energy = 0.0;
+        double settle = 0.0;
+        const std::vector<std::uint64_t> flush(nops, 0);
+        const std::size_t cycles =
+            config.num_patterns + sim.latency_cycles() - 1;
+        for (std::size_t c = 0; c < cycles; ++c) {
+          const std::span<const std::uint64_t> ops =
+              c < config.num_patterns
+                  ? std::span<const std::uint64_t>{pats.data() + c * nops,
+                                                   nops}
+                  : std::span<const std::uint64_t>{flush};
+          const SeqCycleResult r = sim.step_cycle(ops);
+          energy += r.energy_fj;
+          settle += r.max_settle_ps;
+          if (r.output_valid) acc.add(r.expected, r.captured);
+        }
+
+        TriadResult& res = results[t];
+        res.triad = triads[t];
+        res.ber = acc.ber();
+        res.bitwise_ber = acc.bitwise_error_probability();
+        res.op_error_rate = acc.op_error_rate();
+        res.mse = acc.mse();
+        res.mred = acc.mred();
+        const auto n = static_cast<double>(cycles);
+        res.energy_per_op_fj = energy / n;
+        res.dynamic_energy_fj =
+            energy / n - sim.leakage_energy_fj_per_cycle();
+        res.leakage_energy_fj = sim.leakage_energy_fj_per_cycle();
+        res.mean_settle_ps = settle / n;
+        res.patterns = config.num_patterns;
+      },
+      config.threads);
   return results;
 }
 

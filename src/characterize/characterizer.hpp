@@ -78,6 +78,23 @@ std::vector<TriadResult> characterize_dut(
     const std::vector<OperatingTriad>& triads,
     const CharacterizeConfig& config = {});
 
+struct SeqDut;
+
+/// Sequential variant: sweeps a pipelined DUT with the clocked SeqSim.
+/// Each triad streams the same operand patterns through the pipeline
+/// (one new operation per cycle plus latency-1 flush cycles), scoring
+/// the captured output register against the pipeline's settled function
+/// aligned by latency — so errors that latch in an early stage and
+/// corrupt later cycles are charged to the pattern that suffered them.
+/// Per-op energy is per *cycle*: stage window dynamic + stage leakage +
+/// register clock/latch energy. config.golden is ignored (the reference
+/// is always the pipeline's own settled composition);
+/// config.streaming_state is inherent (registers carry state).
+std::vector<TriadResult> characterize_seq_dut(
+    const SeqDut& seq, const CellLibrary& lib,
+    const std::vector<OperatingTriad>& triads,
+    const CharacterizeConfig& config = {});
+
 /// Deprecated adder entry point: converts and forwards. Note the error
 /// reference is the netlist's settled function now (identical for the
 /// exact architectures; pass config.golden for the old exact-addition

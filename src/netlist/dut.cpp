@@ -9,6 +9,7 @@
 #include "src/netlist/approx_adders.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
+#include "src/util/fuzzy.hpp"
 
 namespace vosim {
 
@@ -238,8 +239,12 @@ DutNetlist build_mac_dut(int terms, int width) {
 namespace {
 
 [[noreturn]] void bad_spec(const std::string& spec) {
-  throw std::invalid_argument("unknown circuit spec '" + spec + "'; " +
-                              known_circuits_help());
+  std::string msg =
+      "unknown circuit spec '" + spec + "'; " + known_circuits_help();
+  const std::vector<std::string> examples = circuit_registry_examples();
+  const std::string near = closest_match(spec, examples);
+  if (!near.empty()) msg += " — did you mean '" + near + "'?";
+  throw std::invalid_argument(msg);
 }
 
 /// Parses the decimal run starting at spec[pos]; advances pos.
@@ -333,6 +338,13 @@ std::string known_circuits_help() {
          "specw<w>[-k] | mul<w>-array mul<w>-wallace | "
          "tree<leaves>x<w> | mac<terms>x<w> (e.g. rca8, mul8-wallace, "
          "mac4x8)";
+}
+
+std::vector<std::string> circuit_registry_examples() {
+  return {"rca8",     "rca16",   "bka8",        "bka16",       "ksa16",
+          "skl16",    "csel16",  "cska16",      "hca16",       "loa8-4",
+          "trunc8-4", "cut8-4",  "specw8-3",    "mul8-array",
+          "mul8-wallace", "tree8x8", "mac4x8"};
 }
 
 }  // namespace vosim

@@ -131,6 +131,11 @@ DutNetlist build_circuit(const std::string& spec);
 /// One-line list of supported circuit spec forms (for CLI usage text).
 std::string known_circuits_help();
 
+/// Canonical example specs covering every combinational registry family
+/// (one buildable spec per form) — the corpus behind `--list-circuits`
+/// and the registry's "did you mean …?" suggestions.
+std::vector<std::string> circuit_registry_examples();
+
 }  // namespace vosim
 
 #endif  // VOSIM_NETLIST_DUT_HPP

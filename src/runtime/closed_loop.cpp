@@ -1,0 +1,125 @@
+#include "src/runtime/closed_loop.hpp"
+
+#include <algorithm>
+
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+ClosedLoopController::ClosedLoopController(std::size_t num_rungs,
+                                           const ClosedLoopConfig& config)
+    : num_rungs_(num_rungs), config_(config), barred_rung_(num_rungs) {
+  VOSIM_EXPECTS(num_rungs >= 1);
+  VOSIM_EXPECTS(config.op_error_margin >= 0.0);
+  VOSIM_EXPECTS(config.window_cycles >= 1);
+  VOSIM_EXPECTS(config.step_down_fraction > 0.0 &&
+                config.step_down_fraction <= 1.0);
+}
+
+SpeculationAction ClosedLoopController::observe(double worst_stage_rate,
+                                                bool window_full) {
+  ++dwell_;
+  if (dwell_ < config_.min_dwell_cycles || !window_full)
+    return SpeculationAction::kHold;
+
+  // A measured violation backs off immediately toward the safe end and
+  // bars the failing rung (exponential re-probe backoff): without the
+  // bar, the controller would re-enter the bad rung after every dwell
+  // and its steady-state error rate would exceed the promised floor.
+  if (worst_stage_rate > config_.op_error_margin && rung_ > 0) {
+    if (rung_ == barred_rung_) {
+      barred_penalty_ = std::min<std::size_t>(barred_penalty_ * 2, 64);
+    } else {
+      barred_rung_ = rung_;
+      barred_penalty_ = 1;
+    }
+    barred_cooldown_ = config_.reprobe_backoff_windows * barred_penalty_;
+    --rung_;
+    ++switches_;
+    dwell_ = 0;
+    return SpeculationAction::kStepUp;
+  }
+  // Surviving a full decision window on the barred rung clears the bar.
+  if (rung_ == barred_rung_) {
+    barred_rung_ = num_rungs_;
+    barred_penalty_ = 1;
+  }
+  if (worst_stage_rate <
+          config_.op_error_margin * config_.step_down_fraction &&
+      rung_ + 1 < num_rungs_) {
+    if (rung_ + 1 == barred_rung_ && barred_cooldown_ > 0) {
+      --barred_cooldown_;  // suppressed probe
+      dwell_ = 0;          // wait a fresh window before reconsidering
+      return SpeculationAction::kHold;
+    }
+    ++rung_;
+    ++switches_;
+    dwell_ = 0;
+    return SpeculationAction::kStepDown;
+  }
+  return SpeculationAction::kHold;
+}
+
+ClosedLoopSeqUnit::ClosedLoopSeqUnit(const SeqDut& seq,
+                                     const CellLibrary& lib,
+                                     std::vector<TriadRung> ladder,
+                                     const ClosedLoopConfig& config,
+                                     const TimingSimConfig& sim_config)
+    : seq_(seq),
+      lib_(lib),
+      ladder_(std::move(ladder)),
+      config_(config),
+      sim_config_(sim_config),
+      controller_(ladder_.size(), config) {
+  VOSIM_EXPECTS(!ladder_.empty());
+  sims_.resize(ladder_.size());
+}
+
+SeqSim& ClosedLoopSeqUnit::sim_for_rung(std::size_t rung) {
+  auto& slot = sims_.at(rung);
+  if (!slot)
+    slot = std::make_unique<SeqSim>(seq_, lib_, ladder_[rung].triad,
+                                    sim_config_, config_.window_cycles);
+  return *slot;
+}
+
+const SeqSim& ClosedLoopSeqUnit::current_sim() const {
+  const auto& slot = sims_.at(controller_.rung());
+  VOSIM_EXPECTS(slot != nullptr);
+  return *slot;
+}
+
+ClosedLoopCycleResult ClosedLoopSeqUnit::step_cycle(
+    std::span<const std::uint64_t> operands) {
+  const std::size_t rung = controller_.rung();
+  SeqSim& sim = sim_for_rung(rung);
+
+  ClosedLoopCycleResult r;
+  r.cycle = sim.step_cycle(operands);
+  r.rung = rung;
+  energy_total_fj_ += r.cycle.energy_fj;
+  ++cycles_;
+
+  r.action = controller_.observe(sim.worst_stage_op_error_rate(),
+                                 sim.stage_monitor(0).window_full());
+  if (r.action != SpeculationAction::kHold) {
+    // The DVS transition flushes the new rung's pipeline: refill from a
+    // clean state, and measure the new rung with fresh windows.
+    SeqSim& next = sim_for_rung(controller_.rung());
+    next.reset();
+  }
+  return r;
+}
+
+ClosedLoopCycleResult ClosedLoopSeqUnit::step_cycle(std::uint64_t a,
+                                                    std::uint64_t b) {
+  const std::uint64_t ops[2] = {a, b};
+  return step_cycle(std::span<const std::uint64_t>(ops, 2));
+}
+
+double ClosedLoopSeqUnit::mean_energy_fj() const noexcept {
+  return cycles_ == 0 ? 0.0
+                      : energy_total_fj_ / static_cast<double>(cycles_);
+}
+
+}  // namespace vosim

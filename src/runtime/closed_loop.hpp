@@ -1,0 +1,129 @@
+// Closed-loop VOS control: climbs the TriadRung ladder from *measured*
+// per-stage Razor error rates instead of open-loop speculation. The
+// sensors are the DoubleSamplingMonitors inside the clocked pipeline
+// simulator (src/seq/seq_sim.hpp) — shadow-vs-main samples produced by
+// the simulator itself, the in-silicon feedback loop of
+// timing-error-correction DVS (Kaul et al.) closed over our gate-level
+// truth.
+#ifndef VOSIM_RUNTIME_CLOSED_LOOP_HPP
+#define VOSIM_RUNTIME_CLOSED_LOOP_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/speculation.hpp"
+#include "src/seq/seq_sim.hpp"
+
+namespace vosim {
+
+/// Controller tuning. The regulated signal is the worst per-stage
+/// flagged-operation rate over the Razor monitor window — a rate the
+/// hardware actually observes, unlike output BER.
+struct ClosedLoopConfig {
+  /// Tolerable flagged-op rate per stage (the quality floor).
+  double op_error_margin = 0.05;
+  /// Razor monitor window (cycles) per stage.
+  std::size_t window_cycles = 256;
+  /// Step down (cheaper) only when the measured rate is below
+  /// margin × step_down_fraction — hysteresis against flapping.
+  double step_down_fraction = 0.5;
+  /// Minimum cycles on a rung before another decision.
+  std::size_t min_dwell_cycles = 256;
+  /// Re-probe backoff: after retreating from a rung that violated the
+  /// floor, that rung is barred for this many decision windows, and the
+  /// bar doubles on every failed re-probe (capped at ×64). Without it
+  /// the controller would re-enter the bad rung after every dwell and
+  /// the steady-state error rate would exceed the floor it promises.
+  std::size_t reprobe_backoff_windows = 4;
+};
+
+/// The ladder-walking policy: feed it the measured worst-stage rate
+/// every cycle; it answers hold / step-up / step-down. Pure decision
+/// logic, so it is unit-testable without a simulator.
+class ClosedLoopController {
+ public:
+  ClosedLoopController(std::size_t num_rungs,
+                       const ClosedLoopConfig& config = {});
+
+  /// One cycle's measurement: the worst windowed per-stage flagged-op
+  /// rate and whether the window has filled since the last switch.
+  /// Returns the action taken (the caller switches rungs and resets
+  /// the monitors on anything but kHold).
+  SpeculationAction observe(double worst_stage_rate, bool window_full);
+
+  std::size_t rung() const noexcept { return rung_; }
+  std::size_t num_rungs() const noexcept { return num_rungs_; }
+  std::uint64_t switches() const noexcept { return switches_; }
+  const ClosedLoopConfig& config() const noexcept { return config_; }
+
+  /// Rung currently barred by the re-probe backoff (num_rungs() when
+  /// none).
+  std::size_t barred_rung() const noexcept { return barred_rung_; }
+
+ private:
+  std::size_t num_rungs_;
+  ClosedLoopConfig config_;
+  std::size_t rung_ = 0;  // safest first
+  std::size_t dwell_ = 0;
+  std::uint64_t switches_ = 0;
+  std::size_t barred_rung_;       // failed rung under backoff
+  std::size_t barred_cooldown_ = 0;  // suppressed probes remaining
+  std::size_t barred_penalty_ = 1;   // doubles per failed re-probe
+};
+
+/// Outcome of one closed-loop pipeline cycle.
+struct ClosedLoopCycleResult {
+  SeqCycleResult cycle;
+  SpeculationAction action = SpeculationAction::kHold;
+  std::size_t rung = 0;
+};
+
+/// A pipelined operator under closed-loop VOS control: one clocked
+/// simulator per ladder rung (created lazily), every cycle routed
+/// through the current rung, the controller fed from that rung's own
+/// Razor monitors. A rung switch resets the new rung's pipeline (the
+/// refill penalty a real DVS transition pays; refill outputs report
+/// output_valid = false).
+class ClosedLoopSeqUnit {
+ public:
+  /// `ladder` follows the build_triad_ladder convention: safest (most
+  /// expensive) rung first.
+  ClosedLoopSeqUnit(const SeqDut& seq, const CellLibrary& lib,
+                    std::vector<TriadRung> ladder,
+                    const ClosedLoopConfig& config = {},
+                    const TimingSimConfig& sim_config = {});
+
+  ClosedLoopCycleResult step_cycle(std::span<const std::uint64_t> operands);
+  ClosedLoopCycleResult step_cycle(std::uint64_t a, std::uint64_t b);
+
+  const ClosedLoopController& controller() const noexcept {
+    return controller_;
+  }
+  const std::vector<TriadRung>& ladder() const noexcept { return ladder_; }
+  const OperatingTriad& current_triad() const {
+    return ladder_.at(controller_.rung()).triad;
+  }
+  const SeqDut& seq() const noexcept { return seq_; }
+  /// Mean energy per cycle so far, register clock energy included (fJ).
+  double mean_energy_fj() const noexcept;
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  /// The active rung's simulator (e.g. to read its stage monitors).
+  const SeqSim& current_sim() const;
+
+ private:
+  SeqSim& sim_for_rung(std::size_t rung);
+
+  const SeqDut& seq_;
+  const CellLibrary& lib_;
+  std::vector<TriadRung> ladder_;
+  ClosedLoopConfig config_;
+  TimingSimConfig sim_config_;
+  ClosedLoopController controller_;
+  std::vector<std::unique_ptr<SeqSim>> sims_;  // one per rung, lazy
+  double energy_total_fj_ = 0.0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_RUNTIME_CLOSED_LOOP_HPP

@@ -1,10 +1,25 @@
 #include "src/runtime/triad_ladder.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/contracts.hpp"
 
 namespace vosim {
+
+namespace {
+
+/// Energies within one part in 10⁹ are one rung cost-wise: measured
+/// energies are floating-point sums, so exact == would let two triads
+/// that cost the same (up to rounding noise) both survive the Pareto
+/// filter with different BERs — the ladder would then contain a rung
+/// strictly worse than its neighbor.
+bool same_energy(double x, double y) {
+  return std::abs(x - y) <=
+         1e-9 * std::max(1.0, std::max(std::abs(x), std::abs(y)));
+}
+
+}  // namespace
 
 std::vector<TriadRung> build_triad_ladder(
     const std::vector<TriadResult>& results) {
@@ -24,8 +39,17 @@ std::vector<TriadRung> build_triad_ladder(
 
   // Pareto frontier: walking toward more expensive triads, keep a rung
   // only when it buys a strictly lower BER than everything cheaper.
+  // Rungs whose energies tie (within tolerance) collapse onto the
+  // lower-BER one — only it can sit on the frontier.
   std::vector<TriadRung> frontier;
   for (const TriadRung& rung : all) {
+    if (!frontier.empty() &&
+        same_energy(rung.energy_per_op_fj,
+                    frontier.back().energy_per_op_fj)) {
+      if (rung.expected_ber < frontier.back().expected_ber)
+        frontier.back() = rung;
+      continue;
+    }
     if (frontier.empty() || rung.expected_ber < frontier.back().expected_ber)
       frontier.push_back(rung);
   }

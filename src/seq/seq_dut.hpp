@@ -1,0 +1,119 @@
+// Sequential (pipelined) DUT: the paper's operators "sit between
+// pipeline registers" (src/tech/library.hpp), and this module makes the
+// registers real. A SeqDut is an ordered list of combinational
+// DutNetlist stages with an implicit register bank between consecutive
+// stages (plus registered external inputs and a registered output):
+// stage k's operand buses are fed, in bus order, by consecutive bits of
+// stage k-1's registered output word. The clocked simulator
+// (src/seq/seq_sim.hpp) latches each stage's Tclk-sampled output into
+// the next bank every cycle, so timing errors propagate across cycles —
+// the regime of timing-error-correction DVS (Kaul et al.) and
+// block-level accuracy-configurable VOS (Bahoo et al.).
+#ifndef VOSIM_SEQ_SEQ_DUT_HPP
+#define VOSIM_SEQ_SEQ_DUT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/netlist/dut.hpp"
+
+namespace vosim {
+
+class CellLibrary;
+
+/// A validated pipeline of combinational stages. Build via make_seq_dut,
+/// wrap_as_pipeline or build_seq_circuit.
+struct SeqDut {
+  std::vector<DutNetlist> stages;
+  std::string kind;          ///< registry spec, e.g. "pipe2-mul8"
+  std::string display_name;  ///< e.g. "2-stage pipelined 8x8 multiplier"
+
+  std::size_t num_stages() const noexcept { return stages.size(); }
+  const DutNetlist& stage(std::size_t k) const { return stages.at(k); }
+  /// External operand widths — stage 0's buses.
+  std::vector<int> operand_widths() const {
+    return stages.front().operand_widths();
+  }
+  std::size_t num_operands() const { return stages.front().num_operands(); }
+  int operand_width(std::size_t i) const {
+    return stages.front().operand_width(i);
+  }
+  /// Pipeline result width — the last stage's output bus.
+  int output_width() const { return stages.back().output_width(); }
+  /// Cycles from applying operands to capturing their result: operands
+  /// latch into the input bank at a cycle's launch edge, each stage
+  /// takes one cycle, and the result latches at the last stage's
+  /// capture edge — num_stages() cycles end to end.
+  std::size_t latency_cycles() const noexcept { return stages.size(); }
+  /// Register bits: the input bank (stage 0 operands) plus one bank per
+  /// stage output (inter-stage banks and the output register).
+  int num_flops() const;
+  /// Total combinational gate count across stages.
+  std::size_t num_gates() const;
+};
+
+/// Validates and wraps stages as a pipeline. Throws ContractViolation
+/// when a stage boundary does not line up (stage k's operand widths
+/// must sum to stage k-1's output width) or a stage violates the
+/// DutPinMap bus contracts.
+SeqDut make_seq_dut(std::vector<DutNetlist> stages, std::string kind,
+                    std::string display_name);
+
+/// Wraps one combinational DUT as a single-stage pipeline: registered
+/// inputs, registered output, clocked (truncating) evaluation — the
+/// sequential view of any registry circuit (used by the campaign's
+/// sim-seq backend).
+SeqDut wrap_as_pipeline(DutNetlist dut);
+
+/// The pipeline's functional (zero-delay) result: the composition of
+/// the stages' settled functions. This is the golden reference the
+/// characterizer and the Razor monitors score against. operands.size()
+/// must equal num_operands() and operand k must fit its bus width.
+std::uint64_t seq_settled_output(const SeqDut& seq,
+                                 std::span<const std::uint64_t> operands);
+
+/// Splits one registered bank word into per-bus operand words: widths
+/// are consumed LSB-first, exactly how stage k's buses read stage
+/// k-1's output register.
+std::vector<std::uint64_t> split_bank_word(std::uint64_t word,
+                                           std::span<const int> widths);
+
+/// Clock/latch energy every cycle charges for the register banks:
+/// num_flops() × the library's per-flop clock energy, scaled by
+/// (Vdd / 1 V)² (clocking is a CV² cost like any other toggle).
+double seq_clock_energy_fj(const SeqDut& seq, const CellLibrary& lib,
+                           double vdd_v);
+
+/// Builds a pipelined circuit from a registry spec:
+///   pipe2-mul8     2-stage 8x8 multiplier: four 4x4 partial products,
+///                  then a shift-align adder tree
+///   pipe3-mac4x8   3-stage 4-term 8-bit MAC: multipliers, pairwise
+///                  adds, final add
+///   fir4-pipe      3-stage 4-tap moving-sum FIR: x0+x1, +x2, +x3 with
+///                  delay registers carrying the later taps
+/// Throws std::invalid_argument (with a near-match suggestion) on a
+/// malformed spec.
+SeqDut build_seq_circuit(const std::string& spec);
+
+/// True when `spec` names a sequential registry circuit (routes the CLI
+/// and the campaign between build_circuit and build_seq_circuit).
+bool is_seq_circuit_spec(const std::string& spec);
+
+/// Diagnostic for an unknown circuit spec across BOTH registries:
+/// combinational grammar help + pipeline help + the nearest registered
+/// spec from either corpus. The CLI rethrows with this, so a pipeline
+/// typo that happened to route through the combinational parser (e.g.
+/// "pip2-mul8") still suggests the pipeline it meant.
+std::string unknown_circuit_message(const std::string& spec);
+
+/// The canonical sequential registry specs.
+std::vector<std::string> seq_circuit_registry();
+
+/// One-line list of the sequential circuit specs (CLI usage text).
+std::string known_seq_circuits_help();
+
+}  // namespace vosim
+
+#endif  // VOSIM_SEQ_SEQ_DUT_HPP

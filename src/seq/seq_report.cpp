@@ -1,0 +1,32 @@
+#include "src/seq/seq_report.hpp"
+
+#include <algorithm>
+
+namespace vosim {
+
+std::vector<StageSlack> seq_stage_slacks(const SeqDut& seq,
+                                         const CellLibrary& lib,
+                                         const OperatingTriad& op) {
+  std::vector<const Netlist*> nets;
+  nets.reserve(seq.num_stages());
+  for (const DutNetlist& stage : seq.stages) nets.push_back(&stage.netlist);
+  return stage_slacks(nets, lib, op);
+}
+
+std::vector<SynthesisReport> seq_stage_reports(const SeqDut& seq,
+                                               const CellLibrary& lib) {
+  std::vector<SynthesisReport> reports;
+  reports.reserve(seq.num_stages());
+  for (const DutNetlist& stage : seq.stages)
+    reports.push_back(synthesize_report(stage.netlist, lib));
+  return reports;
+}
+
+double seq_critical_path_ns(const SeqDut& seq, const CellLibrary& lib) {
+  double cp = 0.0;
+  for (const SynthesisReport& r : seq_stage_reports(seq, lib))
+    cp = std::max(cp, r.critical_path_ns);
+  return cp;
+}
+
+}  // namespace vosim

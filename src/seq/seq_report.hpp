@@ -1,0 +1,32 @@
+// Synthesis/timing views of a pipeline: per-stage slack at a triad and
+// the pipeline clock constraint (the slowest stage sets Tclk for every
+// register bank, which is the whole point of pipelining the operator).
+#ifndef VOSIM_SEQ_SEQ_REPORT_HPP
+#define VOSIM_SEQ_SEQ_REPORT_HPP
+
+#include <vector>
+
+#include "src/seq/seq_dut.hpp"
+#include "src/sta/slack.hpp"
+#include "src/sta/synthesis_report.hpp"
+
+namespace vosim {
+
+/// Per-stage slack of the pipeline at `op` (sta/slack.hpp stage_slacks
+/// over the stage netlists).
+std::vector<StageSlack> seq_stage_slacks(const SeqDut& seq,
+                                         const CellLibrary& lib,
+                                         const OperatingTriad& op);
+
+/// Signoff synthesis report per stage (Table-II style, one row each).
+std::vector<SynthesisReport> seq_stage_reports(const SeqDut& seq,
+                                               const CellLibrary& lib);
+
+/// The pipeline's synthesis clock constraint: the largest per-stage
+/// signoff critical path (ns). Triad grids for pipelines scale off this
+/// (make_dut_triads), exactly like a combinational DUT's own CP.
+double seq_critical_path_ns(const SeqDut& seq, const CellLibrary& lib);
+
+}  // namespace vosim
+
+#endif  // VOSIM_SEQ_SEQ_REPORT_HPP

@@ -1,0 +1,182 @@
+#include "src/seq/seq_sim.hpp"
+
+#include <algorithm>
+
+#include "src/netlist/eval.hpp"
+#include "src/sim/event_sim.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+namespace {
+
+/// Packs per-bus operand words back into one registered bank word
+/// (inverse of split_bank_word).
+std::uint64_t pack_bank_word(std::span<const std::uint64_t> words,
+                             std::span<const int> widths) {
+  VOSIM_EXPECTS(words.size() == widths.size());
+  std::uint64_t out = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    out |= words[i] << shift;
+    shift += widths[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+SeqSim::SeqSim(const SeqDut& seq, const CellLibrary& lib,
+               const OperatingTriad& op, const TimingSimConfig& config,
+               std::size_t monitor_window)
+    : seq_(seq), op_(op) {
+  VOSIM_EXPECTS(!seq.stages.empty());
+  // Per-flop setup check: every stage engine captures at Tclk − t_setup,
+  // so a transition inside the setup window misses the register. The
+  // engines run entirely on that shortened period (launch and capture
+  // coincide; the setup window is borrowed from the next cycle's
+  // propagation — DESIGN.md §10); leakage, a per-real-Tclk cost, is
+  // rescaled back to the full period.
+  const double setup_ns = lib.dff_setup_ps() * 1e-3;
+  VOSIM_EXPECTS(op.tclk_ns > setup_ns);
+  const OperatingTriad capture{op.tclk_ns - setup_ns, op.vdd_v, op.vbb_v};
+  capture_tclk_ps_ = capture.tclk_ns * 1e3;
+  leakage_scale_ = op.tclk_ns / capture.tclk_ns;
+
+  tracing_ = config.record_trace && config.engine == EngineKind::kEvent;
+  clock_energy_fj_ = seq_clock_energy_fj(seq, lib, op.vdd_v);
+
+  pins_.reserve(seq.stages.size());
+  stage_widths_.reserve(seq.stages.size());
+  engines_.reserve(seq.stages.size());
+  for (const DutNetlist& stage : seq.stages) {
+    pins_.emplace_back(stage);
+    stage_widths_.push_back(stage.operand_widths());
+    engines_.push_back(make_engine(stage.netlist, lib, capture, config));
+  }
+  bank_.resize(seq.stages.size());
+  stage_sampled_.assign(seq.stages.size(), 0);
+  monitors_.reserve(seq.stages.size());
+  for (std::size_t k = 0; k < seq.stages.size(); ++k)
+    monitors_.emplace_back(seq.stages[k].output_width(), monitor_window);
+  reset();
+}
+
+void SeqSim::reset() {
+  for (std::size_t k = 0; k < engines_.size(); ++k) {
+    const std::size_t npis =
+        seq_.stages[k].netlist.primary_inputs().size();
+    const std::vector<std::uint8_t> zeros(npis, 0);
+    engines_[k]->reset(zeros);
+    bank_[k].assign(seq_.stages[k].num_operands(), 0);
+    // The stage drives its settled-at-zero outputs into the bank wires;
+    // that is what the next capture edge would latch.
+    stage_sampled_[k] = pins_[k].gather_output(pack_word(
+        engines_[k]->settled_values(),
+        seq_.stages[k].netlist.primary_outputs()));
+    monitors_[k].reset_window();
+  }
+  golden_.clear();
+  traces_.clear();
+  cycles_ = 0;
+}
+
+double SeqSim::leakage_energy_fj_per_cycle() const noexcept {
+  double leak = 0.0;
+  for (const auto& e : engines_) leak += e->leakage_energy_fj_per_op();
+  return leak * leakage_scale_;
+}
+
+std::uint64_t SeqSim::golden_output(
+    std::span<const std::uint64_t> operands) {
+  golden_words_.assign(operands.begin(), operands.end());
+  std::uint64_t out = 0;
+  for (std::size_t k = 0; k < seq_.stages.size(); ++k) {
+    const Netlist& nl = seq_.stages[k].netlist;
+    if (k > 0) golden_words_ = split_bank_word(out, stage_widths_[k]);
+    input_buf_.assign(nl.primary_inputs().size(), 0);
+    pins_[k].fill_inputs(golden_words_, input_buf_.data());
+    out = pins_[k].gather_output(
+        pack_word(evaluate_logic(nl, input_buf_), nl.primary_outputs()));
+  }
+  return out;
+}
+
+double SeqSim::worst_stage_op_error_rate() const {
+  double worst = 0.0;
+  for (const DoubleSamplingMonitor& m : monitors_)
+    worst = std::max(worst, m.window_op_error_rate());
+  return worst;
+}
+
+void SeqSim::reset_monitor_windows() {
+  for (DoubleSamplingMonitor& m : monitors_) m.reset_window();
+}
+
+SeqCycleResult SeqSim::step_cycle(std::span<const std::uint64_t> operands) {
+  VOSIM_EXPECTS(operands.size() == seq_.num_operands());
+  const std::size_t stages = engines_.size();
+
+  // 1. Launch edge — all banks latch simultaneously: bank k takes stage
+  // k-1's sample from the previous capture edge, the input bank takes
+  // the new operands.
+  for (std::size_t k = stages; k-- > 1;)
+    bank_[k] = split_bank_word(stage_sampled_[k - 1], stage_widths_[k]);
+  bank_[0].assign(operands.begin(), operands.end());
+  golden_.push_back(golden_output(operands));
+
+  SeqCycleResult r;
+  r.energy_fj = clock_energy_fj_;
+  SeqCycleTrace trace;
+  if (tracing_) {
+    trace.bank_words.reserve(stages + 1);
+    for (std::size_t k = 0; k < stages; ++k)
+      trace.bank_words.push_back(
+          pack_bank_word(bank_[k], stage_widths_[k]));
+  }
+
+  // 2. + 3. One clock period per stage, capture at Tclk − setup, and
+  // Razor shadow comparison against the stage's functional result.
+  for (std::size_t k = 0; k < stages; ++k) {
+    const Netlist& nl = seq_.stages[k].netlist;
+    input_buf_.assign(nl.primary_inputs().size(), 0);
+    pins_[k].fill_inputs(bank_[k], input_buf_.data());
+    const StepResult st = engines_[k]->step_cycle(input_buf_);
+    const std::uint64_t sampled = pins_[k].gather_output(st.sampled_outputs);
+    const std::uint64_t shadow = pins_[k].gather_output(st.settled_outputs);
+    stage_sampled_[k] = sampled;
+    monitors_[k].observe(sampled, shadow);
+    if (sampled != shadow) r.razor_flags |= 1u << k;
+    r.energy_fj += st.window_energy_fj +
+                   engines_[k]->leakage_energy_fj_per_op() * leakage_scale_;
+    r.max_settle_ps = std::max(r.max_settle_ps, st.settle_time_ps);
+    if (tracing_) {
+      auto* ev = dynamic_cast<TimingSimulator*>(engines_[k].get());
+      VOSIM_ENSURES(ev != nullptr);
+      trace.stage_initial.emplace_back(ev->trace_initial_values().begin(),
+                                       ev->trace_initial_values().end());
+      trace.stage_events.push_back(ev->take_trace());
+    }
+  }
+
+  r.captured = stage_sampled_[stages - 1];
+  if (golden_.size() == latency_cycles()) {
+    r.expected = golden_.front();
+    golden_.pop_front();
+    r.output_valid = true;
+  }
+  if (tracing_) {
+    trace.bank_words.push_back(r.captured);
+    traces_.push_back(std::move(trace));
+  }
+  ++cycles_;
+  return r;
+}
+
+SeqCycleResult SeqSim::step_cycle(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t ops[2] = {a, b};
+  return step_cycle(std::span<const std::uint64_t>(ops, 2));
+}
+
+}  // namespace vosim

@@ -1,0 +1,161 @@
+// Clocked simulation of a SeqDut: one SimEngine per stage, explicit
+// register banks, per-flop setup margin, per-cycle clock/latch energy
+// and in-simulator Razor detection.
+//
+// Every step_cycle():
+//   1. Launch edge — the register banks latch simultaneously: the input
+//      bank takes the new external operands, bank k takes stage k-1's
+//      output as sampled at the previous capture edge (errors included).
+//   2. Each stage propagates its newly latched operands for one clock
+//      period on its engine's step_cycle path, so transitions that miss
+//      the capture edge latch wrong values and carry into later cycles.
+//   3. Capture edge — each stage is sampled at Tclk − t_setup (per-flop
+//      setup check); the shadow sample is the stage's functional settled
+//      value, and every (main, shadow) pair feeds that stage's
+//      DoubleSamplingMonitor — Razor flags from simulator truth, not
+//      synthetic injection (paper [17], Kaul et al.).
+//
+// Per-cycle energy = Σ stage window dynamic energy + Σ stage leakage +
+// register clock/latch energy (num_flops × dff_clock_energy × Vdd²).
+#ifndef VOSIM_SEQ_SEQ_SIM_HPP
+#define VOSIM_SEQ_SEQ_SIM_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/runtime/error_monitor.hpp"
+#include "src/seq/seq_dut.hpp"
+#include "src/sim/sim_engine.hpp"
+
+namespace vosim {
+
+/// Outcome of one pipeline clock cycle.
+struct SeqCycleResult {
+  /// Output-register value latched at this cycle's capture edge.
+  std::uint64_t captured = 0;
+  /// Golden (zero-delay) pipeline output aligned with `captured` —
+  /// the result the operands applied latency_cycles()-1 calls ago
+  /// should have produced. Only meaningful once `output_valid`.
+  std::uint64_t expected = 0;
+  /// False during pipeline fill (the first latency_cycles()-1 cycles).
+  bool output_valid = false;
+  /// Window dynamic + leakage + register clock/latch energy (fJ).
+  double energy_fj = 0.0;
+  /// Worst stage settle estimate this cycle (ps).
+  double max_settle_ps = 0.0;
+  /// Bit k set: stage k's Razor shadow disagreed with its main sample
+  /// this cycle (a local timing error, not an inherited one).
+  std::uint32_t razor_flags = 0;
+};
+
+/// Per-cycle event traces for multi-cycle VCD export (event engine with
+/// record_trace only).
+struct SeqCycleTrace {
+  std::vector<std::vector<TraceEvent>> stage_events;        ///< per stage
+  std::vector<std::vector<std::uint8_t>> stage_initial;     ///< per stage
+  std::vector<std::uint64_t> bank_words;  ///< latched banks, input first
+};
+
+/// Streams clocked operations through a pipelined DUT at one operating
+/// triad. All register banks start at the all-zero settled state.
+class SeqSim {
+ public:
+  /// The SeqDut must outlive the simulator. `config.engine` selects the
+  /// backend for every stage; `config.record_trace` (event engine only)
+  /// accumulates per-cycle traces for write_seq_vcd.
+  /// `monitor_window` sizes each stage's Razor monitor window.
+  SeqSim(const SeqDut& seq, const CellLibrary& lib,
+         const OperatingTriad& op, const TimingSimConfig& config = {},
+         std::size_t monitor_window = 256);
+
+  /// Re-settles every stage and bank to the all-zero state; clears the
+  /// golden queue and trace accumulator (monitors keep lifetime counts,
+  /// windows are reset).
+  void reset();
+
+  /// One clock cycle: operands.size() must equal num_operands() and
+  /// operand k must fit operand_width(k) bits.
+  SeqCycleResult step_cycle(std::span<const std::uint64_t> operands);
+  /// Two-operand convenience.
+  SeqCycleResult step_cycle(std::uint64_t a, std::uint64_t b);
+
+  const SeqDut& seq() const noexcept { return seq_; }
+  std::size_t num_stages() const noexcept { return engines_.size(); }
+  std::size_t num_operands() const noexcept { return seq_.num_operands(); }
+  int output_width() const noexcept { return seq_.output_width(); }
+  std::size_t latency_cycles() const noexcept {
+    return seq_.latency_cycles();
+  }
+  const OperatingTriad& triad() const noexcept { return op_; }
+  EngineKind engine_kind() const noexcept { return engines_[0]->kind(); }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Register clock/latch energy charged every cycle (fJ).
+  double clock_energy_fj_per_cycle() const noexcept {
+    return clock_energy_fj_;
+  }
+  /// Σ stage leakage per cycle (fJ), integrated over the full Tclk —
+  /// the stage engines run on the capture period (Tclk − setup), so
+  /// their per-op leakage is rescaled by Tclk / (Tclk − setup).
+  double leakage_energy_fj_per_cycle() const noexcept;
+  /// The period the stage engines actually propagate and rebase on:
+  /// Tclk − t_setup (ps). Launch and capture edges coincide there —
+  /// the setup window is borrowed from the next cycle's propagation,
+  /// a deliberate simplification (DESIGN.md §10); the multi-cycle VCD
+  /// spaces cycles by this period so event times stay aligned.
+  double capture_period_ps() const noexcept { return capture_tclk_ps_; }
+
+  /// Stage k's Razor monitor (shadow-vs-main statistics from the
+  /// simulator, the closed-loop controller's sensor).
+  const DoubleSamplingMonitor& stage_monitor(std::size_t k) const {
+    return monitors_.at(k);
+  }
+  /// Stage k's flagged-operation rate over the monitor window.
+  double stage_op_error_rate(std::size_t k) const {
+    return monitors_.at(k).window_op_error_rate();
+  }
+  /// Highest windowed flagged-op rate across stages — the signal the
+  /// closed-loop controller regulates.
+  double worst_stage_op_error_rate() const;
+  /// Clears every stage monitor's window (after a triad switch).
+  void reset_monitor_windows();
+
+  /// Per-cycle traces accumulated since the last reset/clear (event
+  /// engine with record_trace; empty otherwise).
+  std::span<const SeqCycleTrace> cycle_traces() const noexcept {
+    return traces_;
+  }
+  void clear_traces() { traces_.clear(); }
+
+ private:
+  /// The pipeline's settled function on the cached pin maps (the
+  /// per-cycle golden; avoids rebuilding DutPinMaps in the hot loop).
+  std::uint64_t golden_output(std::span<const std::uint64_t> operands);
+
+  const SeqDut& seq_;
+  OperatingTriad op_;
+  double capture_tclk_ps_ = 0.0;
+  double leakage_scale_ = 1.0;  ///< Tclk / (Tclk − setup)
+  bool tracing_ = false;
+  double clock_energy_fj_ = 0.0;
+  std::vector<DutPinMap> pins_;
+  std::vector<std::vector<int>> stage_widths_;  ///< operand widths / stage
+  std::vector<std::unique_ptr<SimEngine>> engines_;
+  /// bank_[0]: external operand words; bank_[k]: stage k's operand
+  /// words, split from stage k-1's sampled output.
+  std::vector<std::vector<std::uint64_t>> bank_;
+  std::vector<std::uint64_t> stage_sampled_;  ///< last capture, per stage
+  std::vector<DoubleSamplingMonitor> monitors_;
+  std::deque<std::uint64_t> golden_;  ///< expected outputs in flight
+  std::vector<std::uint8_t> input_buf_;
+  std::vector<std::uint64_t> golden_words_;  ///< golden-eval scratch
+  std::vector<SeqCycleTrace> traces_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace vosim
+
+#endif  // VOSIM_SEQ_SEQ_SIM_HPP

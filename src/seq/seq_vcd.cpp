@@ -1,0 +1,38 @@
+#include "src/seq/seq_vcd.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "src/sim/vcd.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+
+void write_seq_vcd(const SeqSim& sim, std::ostream& os) {
+  const auto traces = sim.cycle_traces();
+  if (traces.empty())
+    throw ContractViolation(
+        "write_seq_vcd: no cycle traces (run the event engine with "
+        "record_trace and step at least one cycle)");
+
+  const SeqDut& seq = sim.seq();
+  // Cycles are spaced by the period the engines actually simulate on
+  // (Tclk − setup), so per-cycle event times land inside their cycle.
+  VcdWriter writer(sim.capture_period_ps());
+  for (std::size_t k = 0; k < seq.num_stages(); ++k)
+    writer.add_scope("stage" + std::to_string(k),
+                     seq.stages[k].netlist);
+  for (std::size_t k = 0; k < seq.num_stages(); ++k) {
+    const std::vector<int> widths = seq.stages[k].operand_widths();
+    const int bits = std::accumulate(widths.begin(), widths.end(), 0);
+    writer.add_word(k == 0 ? "bank_in" : "bank" + std::to_string(k), bits);
+  }
+  writer.add_word("out_reg", seq.output_width());
+
+  writer.begin(traces.front().stage_initial);
+  for (const SeqCycleTrace& t : traces)
+    writer.append_cycle(t.stage_events, t.bank_words);
+  writer.write(os);
+}
+
+}  // namespace vosim

@@ -1,0 +1,21 @@
+// Multi-cycle VCD export of a pipelined run: one scope per stage, the
+// register banks as multi-bit words latched at each launch edge, and
+// per-cycle timestamps — a pipelined trace that opens cleanly in
+// GTKWave. Requires a SeqSim on the event backend with record_trace.
+#ifndef VOSIM_SEQ_SEQ_VCD_HPP
+#define VOSIM_SEQ_SEQ_VCD_HPP
+
+#include <iosfwd>
+
+#include "src/seq/seq_sim.hpp"
+
+namespace vosim {
+
+/// Writes every cycle accumulated in `sim` since its last
+/// reset/clear_traces. Throws ContractViolation when the simulator has
+/// no traces (not the event backend, record_trace off, or no cycles).
+void write_seq_vcd(const SeqSim& sim, std::ostream& os);
+
+}  // namespace vosim
+
+#endif  // VOSIM_SEQ_SEQ_VCD_HPP

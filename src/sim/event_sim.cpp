@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/netlist/eval.hpp"
 #include "src/sim/logic.hpp"
 #include "src/tech/gate_timing.hpp"
 #include "src/util/contracts.hpp"
@@ -107,8 +108,8 @@ void TimingSimulator::enqueue_fanout(NetId net, double now_ps) {
   }
 }
 
-void TimingSimulator::run_events() {
-  while (!queue_.empty()) {
+void TimingSimulator::run_events(double until_ps) {
+  while (!queue_.empty() && queue_.top().time_ps < until_ps) {
     const Event e = queue_.top();
     queue_.pop();
     if (e.serial != gate_serial_[e.gate]) continue;  // superseded
@@ -124,7 +125,7 @@ void TimingSimulator::run_events() {
   }
 }
 
-StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
+void TimingSimulator::launch_inputs(std::span<const std::uint8_t> inputs) {
   const auto pis = netlist_.primary_inputs();
   VOSIM_EXPECTS(inputs.size() == pis.size());
   current_ = StepResult{};
@@ -133,14 +134,16 @@ StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
     trace_.clear();
     trace_initial_ = values_;
   }
-
   // Launch edge: primary inputs switch at t = 0.
   for (std::size_t i = 0; i < pis.size(); ++i) {
     const auto v = static_cast<std::uint8_t>(inputs[i] ? 1 : 0);
     if (values_[pis[i]] != v) commit(pis[i], v, 0.0);
   }
   for (std::size_t i = 0; i < pis.size(); ++i) enqueue_fanout(pis[i], 0.0);
+}
 
+StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
+  launch_inputs(inputs);
   run_events();
   if (!sample_taken_) {
     sampled_values_ = values_;  // settled before the capture edge
@@ -150,6 +153,44 @@ StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
   current_.sampled_outputs =
       pack_word(sampled_values_, netlist_.primary_outputs());
   current_.settled_outputs = pack_word(values_, netlist_.primary_outputs());
+  return current_;
+}
+
+StepResult TimingSimulator::step_cycle(std::span<const std::uint8_t> inputs) {
+  launch_inputs(inputs);
+
+  // Process events strictly before the capture edge; later events stay
+  // in flight. The commit() window test (time < Tclk) holds for every
+  // event processed here, so the whole cycle's switching is charged to
+  // this cycle's window energy — including arrivals launched in earlier
+  // cycles. (run_events' capture branch never fires under this bound.)
+  run_events(tclk_ps_);
+
+  // Register capture at the edge: whatever the nets hold right now.
+  sampled_values_ = values_;
+  sample_taken_ = true;
+  current_.sampled_outputs =
+      pack_word(sampled_values_, netlist_.primary_outputs());
+  // Razor shadow reference: the zero-delay functional result for these
+  // inputs (computed on the side; the event state stays mid-flight).
+  current_.settled_outputs =
+      pack_word(evaluate_logic(netlist_, inputs), netlist_.primary_outputs());
+  current_.total_energy_fj = current_.window_energy_fj;
+  current_.toggles_total = current_.toggles_in_window;
+
+  // Rebase the surviving in-flight events onto the next cycle's time
+  // axis (their times are >= Tclk, so they stay non-negative).
+  if (!queue_.empty()) {
+    std::vector<Event> carried;
+    carried.reserve(queue_.size());
+    while (!queue_.empty()) {
+      Event e = queue_.top();
+      queue_.pop();
+      e.time_ps -= tclk_ps_;
+      carried.push_back(e);
+    }
+    for (const Event& e : carried) queue_.push(e);
+  }
   return current_;
 }
 

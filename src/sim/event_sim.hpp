@@ -15,6 +15,7 @@
 #define VOSIM_SIM_EVENT_SIM_HPP
 
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <span>
 #include <vector>
@@ -51,6 +52,14 @@ class TimingSimulator final : public SimEngine {
   /// Applies a new input vector at t = 0, propagates events, samples at
   /// Tclk and runs to quiescence. Returns packed outputs and energy.
   StepResult step(std::span<const std::uint8_t> inputs) override;
+
+  /// Clocked step: processes only events inside [0, Tclk). Events still
+  /// pending at the edge stay queued (rebased to the next cycle's time
+  /// axis) and land in later cycles with their remaining delay — the
+  /// still-in-flight transitions of a real pipeline stage.
+  /// settled_outputs is the zero-delay functional result; the event
+  /// state is not settled. See SimEngine::step_cycle.
+  StepResult step_cycle(std::span<const std::uint8_t> inputs) override;
 
   /// Per-operation leakage energy at this triad (fJ): leakage power
   /// integrated over one clock period.
@@ -110,7 +119,11 @@ class TimingSimulator final : public SimEngine {
 
   void enqueue_fanout(NetId net, double now_ps);
   void commit(NetId net, std::uint8_t value, double time_ps);
-  void run_events();
+  /// Resets per-step state and commits the t = 0 input transitions.
+  void launch_inputs(std::span<const std::uint8_t> inputs);
+  /// Processes queued events with time < until_ps (default: drain).
+  void run_events(double until_ps =
+                      std::numeric_limits<double>::infinity());
 
   const Netlist& netlist_;
   OperatingTriad op_;

@@ -174,6 +174,20 @@ StepResult LevelizedSimulator::step(std::span<const std::uint8_t> inputs) {
   return result;
 }
 
+StepResult LevelizedSimulator::step_cycle(
+    std::span<const std::uint8_t> inputs) {
+  const auto pis = netlist_.primary_inputs();
+  VOSIM_EXPECTS(inputs.size() == pis.size());
+  for (std::size_t j = 0; j < pis.size(); ++j)
+    settled_w_[pis[j]] = inputs[j] ? 1ULL : 0ULL;
+  StepResult result;
+  run_lanes(1, {&result, 1}, /*truncate_state=*/true);
+  // Nothing is simulated past the edge in cycle mode.
+  result.total_energy_fj = result.window_energy_fj;
+  result.toggles_total = result.toggles_in_window;
+  return result;
+}
+
 void LevelizedSimulator::step_batch(std::span<const std::uint8_t> inputs,
                                     std::size_t count,
                                     std::span<StepResult> results) {
@@ -327,6 +341,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     std::uint64_t sampled = stale;
     std::uint64_t pulsing = 0;
     std::uint64_t pulsing2 = 0;
+    std::uint64_t committed = 0;  // lanes whose output committed a flip
     const double delay = gate_delay_ps_[gid];
     const double energy = net_energy_fj_[out];
     const auto base_out = static_cast<std::size_t>(out) * kLanes;
@@ -355,6 +370,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         m &= m - 1;
         const double tc = in_time[i][k] + delay;
         if (acct.commit(out, k, tc, energy)) sampled ^= 1ULL << k;
+        committed |= 1ULL << k;
         tout[k] = tc;
       }
     }
@@ -382,6 +398,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
             const double tc =
                 (((mid_w ^ settled) & bit) == 0 ? tf : ts) + delay;
             if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+            committed |= bit;
             tout[k] = tc;
           } else if (((mid_w ^ settled) & bit) != 0 && tf + delay <= ts) {
             // Surviving glitch pulse [tf+delay, ts+delay) on an
@@ -428,6 +445,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         ++ncommits;
         last_c = tc;
         if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        committed |= bit;
       };
       for (int j = 0; j < 3; ++j) {
         const double t = in_time[order[j]][k];
@@ -540,6 +558,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           ++ncommits;
           last_c = tc;
           if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+          committed |= bit;
         };
         for (int j = 0; j < ne; ++j) {
           if (pending && commit_t <= ev_t[j]) {
@@ -587,23 +606,50 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       }
     }
 
+    // Cycle-mode catch-up: a lane whose truncated launch value differs
+    // from its settled function but committed nothing above would stay
+    // wrong for every following cycle, while the event engine's
+    // in-flight transition lands within one gate delay of the edge.
+    // Commit the final value at the gate's own delay (the upper bound
+    // on the in-flight remainder), clamped inside the capture window —
+    // a gate slower than the whole clock period must still resolve, or
+    // the repair would re-fail every cycle and the net stay wrong
+    // forever. Under the streaming invariant (stale = settled function
+    // of stale inputs) this mask is empty, so step()/step_batch/sweep
+    // behavior is untouched.
+    std::uint64_t m_catch = changed & ~committed & used;
+    if (m_catch != 0) {
+      const double tc = std::min(delay, 0.999 * tclk_ps_);
+      while (m_catch != 0) {
+        const int k = std::countr_zero(m_catch);
+        m_catch &= m_catch - 1;
+        const std::uint64_t bit = 1ULL << k;
+        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        tout[k] = tc;
+      }
+    }
+
     sampled_w_[out] = sampled;
     pulsing_w_[out] = pulsing;
     pulsing2_w_[out] = pulsing2;
   }
 }
 
-void LevelizedSimulator::carry_state(std::size_t lanes) {
+void LevelizedSimulator::carry_state(std::size_t lanes, bool truncate) {
   const std::size_t last = lanes - 1;
   for (NetId n = 0; n < static_cast<NetId>(netlist_.num_nets()); ++n) {
-    state_[n] = static_cast<std::uint8_t>((settled_w_[n] >> last) & 1ULL);
-    sampled_state_[n] =
+    const auto settled =
+        static_cast<std::uint8_t>((settled_w_[n] >> last) & 1ULL);
+    const auto sampled =
         static_cast<std::uint8_t>((sampled_w_[n] >> last) & 1ULL);
+    state_[n] = truncate ? sampled : settled;
+    sampled_state_[n] = sampled;
   }
 }
 
 void LevelizedSimulator::run_lanes(std::size_t lanes,
-                                   std::span<StepResult> results) {
+                                   std::span<StepResult> results,
+                                   bool truncate_state) {
   for (std::size_t k = 0; k < lanes; ++k) results[k] = StepResult{};
   SingleThresholdAcct acct{tclk_ps_, results.data()};
   run_lanes_impl(lanes, acct);
@@ -619,7 +665,7 @@ void LevelizedSimulator::run_lanes(std::size_t lanes,
     results[k].sampled_outputs = sampled;
     results[k].settled_outputs = settled;
   }
-  carry_state(lanes);
+  carry_state(lanes, truncate_state);
 }
 
 void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,

@@ -49,6 +49,17 @@ class LevelizedSimulator final : public SimEngine {
 
   void reset(std::span<const std::uint8_t> inputs) override;
   StepResult step(std::span<const std::uint8_t> inputs) override;
+
+  /// Clocked step: one single-lane pass whose carried state is the
+  /// *sampled* (at-edge) value of every net instead of the settled one,
+  /// so the next cycle launches from the truncated state. Unlike the
+  /// event backend, transitions past the edge are dropped rather than
+  /// kept in flight (the levelized model has no cross-pass event queue);
+  /// the next cycle's trajectory runs from the truncated values toward
+  /// the new settled function with fresh arrival times. DESIGN.md §10
+  /// quantifies the divergence. See SimEngine::step_cycle.
+  StepResult step_cycle(std::span<const std::uint8_t> inputs) override;
+
   void step_batch(std::span<const std::uint8_t> inputs, std::size_t count,
                   std::span<StepResult> results) override;
 
@@ -97,15 +108,19 @@ class LevelizedSimulator final : public SimEngine {
   void run_lanes_impl(std::size_t lanes, Acct& acct);
 
   /// Single-threshold pass at this simulator's Tclk, filling `results`.
-  void run_lanes(std::size_t lanes, std::span<StepResult> results);
+  /// `truncate_state` carries the sampled (at-edge) values instead of
+  /// the settled ones into the next pass (step_cycle semantics).
+  void run_lanes(std::size_t lanes, std::span<StepResult> results,
+                 bool truncate_state = false);
 
   /// Multi-threshold pass; results is lanes × thresholds pattern-major.
   void run_lanes_sweep(std::size_t lanes,
                        std::span<const double> thresholds_ps,
                        std::span<StepResult> results);
 
-  /// Carries the last lane's settled (and sampled) values into state_.
-  void carry_state(std::size_t lanes);
+  /// Carries the last lane's settled (and sampled) values into state_;
+  /// with `truncate` the sampled values become state_ (step_cycle).
+  void carry_state(std::size_t lanes, bool truncate = false);
 
   const Netlist& netlist_;
   OperatingTriad op_;

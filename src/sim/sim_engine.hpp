@@ -113,6 +113,29 @@ class SimEngine {
   /// Tclk and settles. Returns packed outputs and energy.
   virtual StepResult step(std::span<const std::uint8_t> inputs) = 0;
 
+  /// Clocked variant for sequential (pipelined) operation: propagates
+  /// only until the capture edge at Tclk. The at-edge net values —
+  /// including nets whose final transition has not arrived — become the
+  /// persistent launch state of the next cycle, so timing errors latch
+  /// and propagate across cycles instead of being settled away.
+  ///
+  ///   - sampled_outputs: values at the Tclk edge (what the capture
+  ///     registers latch).
+  ///   - settled_outputs: the functional (zero-delay) result for these
+  ///     inputs — the Razor shadow-register reference.
+  ///   - window_energy_fj / toggles_in_window: every commit inside this
+  ///     cycle, which on the event backend includes transitions launched
+  ///     in earlier cycles that land in this one (still-in-flight events
+  ///     carry across the edge with their remaining delay). The
+  ///     levelized backend truncates in-flight transitions at the edge
+  ///     instead; the next cycle relaunches from the truncated state.
+  ///   - total_energy_fj == window_energy_fj here (nothing is simulated
+  ///     past the edge).
+  ///
+  /// Do not interleave step() and step_cycle() on one engine without a
+  /// reset() in between: step() assumes a quiescent circuit.
+  virtual StepResult step_cycle(std::span<const std::uint8_t> inputs) = 0;
+
   /// Streams `count` operations: pattern k occupies
   /// inputs[k*P, (k+1)*P) where P = netlist().primary_inputs().size(),
   /// and its outcome lands in results[k]. Equivalent to `count` calls

@@ -25,6 +25,12 @@ std::string vcd_id(NetId net) {
 
 constexpr const char* clk_id = "~~";  // reserved marker identifier
 
+/// Identifier for VcdWriter vars: a distinct "=" prefix keeps the
+/// writer's id space disjoint from clk_id regardless of count.
+std::string writer_id(std::size_t index) {
+  return "=" + vcd_id(static_cast<NetId>(index));
+}
+
 }  // namespace
 
 void write_vcd(const TimingSimulator& sim, std::ostream& os) {
@@ -67,6 +73,128 @@ void write_vcd(const TimingSimulator& sim, std::ostream& os) {
   }
   if (!clk_emitted) {
     emit_time(tclk_ps);
+    os << "1" << clk_id << "\n";
+  }
+}
+
+VcdWriter::VcdWriter(double tclk_ps) : tclk_ps_(tclk_ps) {
+  VOSIM_EXPECTS(tclk_ps > 0.0);
+}
+
+std::size_t VcdWriter::add_scope(std::string name, const Netlist& netlist) {
+  VOSIM_EXPECTS(!begun_);
+  scopes_.push_back(Scope{std::move(name), &netlist, next_id_});
+  next_id_ += netlist.num_nets();
+  return scopes_.size() - 1;
+}
+
+std::size_t VcdWriter::add_word(std::string name, int bits) {
+  VOSIM_EXPECTS(!begun_);
+  VOSIM_EXPECTS(bits >= 1 && bits <= 64);
+  words_.push_back(Word{std::move(name), bits, next_id_});
+  ++next_id_;
+  return words_.size() - 1;
+}
+
+void VcdWriter::begin(std::vector<std::vector<std::uint8_t>> scope_initial) {
+  VOSIM_EXPECTS(!begun_);
+  VOSIM_EXPECTS(scope_initial.size() == scopes_.size());
+  for (std::size_t s = 0; s < scopes_.size(); ++s)
+    VOSIM_EXPECTS(scope_initial[s].size() == scopes_[s].netlist->num_nets());
+  initial_ = std::move(scope_initial);
+  begun_ = true;
+}
+
+void VcdWriter::append_cycle(
+    std::vector<std::vector<TraceEvent>> scope_events,
+    std::vector<std::uint64_t> words) {
+  VOSIM_EXPECTS(begun_);
+  VOSIM_EXPECTS(scope_events.size() == scopes_.size());
+  VOSIM_EXPECTS(words.size() == words_.size());
+  cycles_.push_back(Cycle{std::move(scope_events), std::move(words)});
+}
+
+void VcdWriter::write(std::ostream& os) const {
+  VOSIM_EXPECTS(begun_);
+  VOSIM_EXPECTS(!cycles_.empty());
+
+  os << "$timescale 1ps $end\n";
+  for (const Scope& scope : scopes_) {
+    os << "$scope module " << scope.name << " $end\n";
+    for (NetId n = 0; n < scope.netlist->num_nets(); ++n)
+      os << "$var wire 1 " << writer_id(scope.id_offset + n) << " "
+         << scope.netlist->net_name(n) << " $end\n";
+    os << "$upscope $end\n";
+  }
+  os << "$scope module registers $end\n";
+  for (const Word& w : words_)
+    os << "$var wire " << w.bits << " " << writer_id(w.id) << " " << w.name
+       << " [" << (w.bits - 1) << ":0] $end\n";
+  os << "$var wire 1 " << clk_id << " clk $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  const auto emit_word = [&os](const Word& w, std::uint64_t value) {
+    os << "b";
+    for (int bit = w.bits - 1; bit >= 0; --bit)
+      os << ((value >> bit) & 1ULL);
+    os << " " << writer_id(w.id) << "\n";
+  };
+
+  // #0 baseline: net values, cycle-0 bank words, clk low.
+  os << "#0\n$dumpvars\n";
+  for (std::size_t s = 0; s < scopes_.size(); ++s)
+    for (NetId n = 0; n < scopes_[s].netlist->num_nets(); ++n)
+      os << static_cast<int>(initial_[s][n])
+         << writer_id(scopes_[s].id_offset + n) << "\n";
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    emit_word(words_[w], cycles_.front().words[w]);
+  os << "0" << clk_id << "\n$end\n";
+
+  long last_time = 0;
+  const auto emit_time = [&](double t_ps) {
+    const long t = std::lround(t_ps);
+    if (t != last_time) {
+      os << "#" << t << "\n";
+      last_time = t;
+    }
+  };
+
+  std::vector<std::uint64_t> word_now = cycles_.front().words;
+  for (std::size_t c = 0; c < cycles_.size(); ++c) {
+    const double base = static_cast<double>(c) * tclk_ps_;
+    if (c > 0) {
+      // Launch edge: the banks latch their new words at the edge.
+      emit_time(base);
+      for (std::size_t w = 0; w < words_.size(); ++w) {
+        if (cycles_[c].words[w] != word_now[w]) {
+          word_now[w] = cycles_[c].words[w];
+          emit_word(words_[w], word_now[w]);
+        }
+      }
+    }
+    // Merge this cycle's per-scope transitions in time order; the clk
+    // fall (1 ps after the launch edge, so the capture pulse stays
+    // visible) rides along as a sentinel event.
+    std::vector<TraceEvent> merged;
+    if (c > 0) merged.push_back(TraceEvent{1.0, invalid_net, 0});
+    for (std::size_t s = 0; s < scopes_.size(); ++s)
+      for (const TraceEvent& e : cycles_[c].scope_events[s])
+        merged.push_back(TraceEvent{
+            e.time_ps,
+            static_cast<NetId>(scopes_[s].id_offset + e.net), e.value});
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& x, const TraceEvent& y) {
+                       return x.time_ps < y.time_ps;
+                     });
+    for (const TraceEvent& e : merged) {
+      emit_time(base + e.time_ps);
+      if (e.net == invalid_net)
+        os << static_cast<int>(e.value) << clk_id << "\n";
+      else
+        os << static_cast<int>(e.value) << writer_id(e.net) << "\n";
+    }
+    // Capture edge closes the cycle.
+    emit_time(base + tclk_ps_);
     os << "1" << clk_id << "\n";
   }
 }

@@ -33,6 +33,12 @@ class CellLibrary {
   double dff_leakage_nw() const noexcept { return 4.0; }
   /// Internal clock/latch energy per flop per cycle at nominal Vdd (fJ).
   double dff_clock_energy_fj() const noexcept { return 1.8; }
+  /// Flop setup time (ps): data must be stable this long before the
+  /// clock edge to latch. The sequential simulator (src/seq) captures
+  /// each stage at Tclk − setup — a transition inside the setup window
+  /// misses the flop. Held constant across operating points (a mild
+  /// simplification; gate delays scale, setup is charged flat).
+  double dff_setup_ps() const noexcept { return 8.0; }
 
  private:
   std::string name_;

@@ -1,0 +1,41 @@
+#include "src/util/fuzzy.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vosim {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+std::string closest_match(std::string_view name,
+                          std::span<const std::string> candidates) {
+  const std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+  std::size_t best = budget + 1;
+  std::string pick;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best) {
+      best = d;
+      pick = c;
+    }
+  }
+  return pick;
+}
+
+}  // namespace vosim

@@ -1,0 +1,23 @@
+// Small fuzzy string matching for "did you mean …?" diagnostics (the
+// circuit registries use it to turn an unknown spec into a suggestion).
+#ifndef VOSIM_UTIL_FUZZY_HPP
+#define VOSIM_UTIL_FUZZY_HPP
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vosim {
+
+/// Levenshtein edit distance (insert/delete/substitute, each cost 1).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name`, or "" when nothing is close enough:
+/// a match must be within max(2, |name| / 3) edits. Ties keep the first
+/// candidate, so registry order decides.
+std::string closest_match(std::string_view name,
+                          std::span<const std::string> candidates);
+
+}  // namespace vosim
+
+#endif  // VOSIM_UTIL_FUZZY_HPP

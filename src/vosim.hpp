@@ -11,6 +11,8 @@
 //   5. train statistical models  (src/model/vos_model.hpp)
 //   6. run applications on them  (src/apps/*.hpp)
 //   7. adapt triads at runtime   (src/runtime/adaptive_unit.hpp)
+//   8. pipeline + close the loop (src/seq/*.hpp,
+//                                 src/runtime/closed_loop.hpp)
 #ifndef VOSIM_VOSIM_HPP
 #define VOSIM_VOSIM_HPP
 
@@ -49,9 +51,14 @@
 #include "src/netlist/verilog.hpp"
 #include "src/runtime/adaptive_adder.hpp"
 #include "src/runtime/adaptive_unit.hpp"
+#include "src/runtime/closed_loop.hpp"
 #include "src/runtime/error_monitor.hpp"
 #include "src/runtime/speculation.hpp"
 #include "src/runtime/triad_ladder.hpp"
+#include "src/seq/seq_dut.hpp"
+#include "src/seq/seq_report.hpp"
+#include "src/seq/seq_sim.hpp"
+#include "src/seq/seq_vcd.hpp"
 #include "src/sim/event_sim.hpp"
 #include "src/sim/levelized_sim.hpp"
 #include "src/sim/logic.hpp"
@@ -70,6 +77,7 @@
 #include "src/tech/transistor_model.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
+#include "src/util/fuzzy.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"

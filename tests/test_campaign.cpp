@@ -17,6 +17,7 @@
 #include "src/characterize/triads.hpp"
 #include "src/model/prob_table.hpp"
 #include "src/netlist/dut.hpp"
+#include "src/seq/seq_dut.hpp"
 #include "src/tech/library.hpp"
 
 namespace vosim {
@@ -107,7 +108,7 @@ TEST(WorkloadRegistry, NormalizedQualityMapping) {
 TEST(ArithBackends, ParseAndNameRoundTrip) {
   for (const ArithBackend b :
        {ArithBackend::kExact, ArithBackend::kModel, ArithBackend::kSimEvent,
-        ArithBackend::kSimLevelized})
+        ArithBackend::kSimLevelized, ArithBackend::kSimSeq})
     EXPECT_EQ(parse_arith_backend(arith_backend_name(b)), b);
   EXPECT_EQ(parse_arith_backend("sim"), ArithBackend::kSimLevelized);
   EXPECT_THROW(parse_arith_backend("spice"), std::invalid_argument);
@@ -358,6 +359,47 @@ TEST(CampaignRunner, ModelTracksGateLevelOnReducedGrid) {
   // must track the gate-level replay closely.
   EXPECT_LE(dev.max_pp, 10.0);
   EXPECT_LE(dev.mean_pp, 5.0);
+}
+
+TEST(CampaignRunner, SimSeqBackendRunsAndChargesRegisterEnergy) {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  CampaignConfig cfg;
+  cfg.workloads = {"fir"};
+  cfg.circuits = {"rca16"};
+  cfg.backends = {ArithBackend::kSimLevelized, ArithBackend::kSimSeq};
+  cfg.triad_specs = {{1.2, 1.0, 0.0}, {1.0, 0.8, 2.0}};
+  cfg.characterize_patterns = 300;
+  CampaignStore store;
+  const CampaignOutcome outcome = run_campaign(lib, cfg, store);
+  ASSERT_EQ(outcome.cells.size(), 4u);
+  for (const CampaignCell& seq_cell : outcome.cells) {
+    if (seq_cell.key.backend != "sim-seq") continue;
+    // Its combinational sibling at the same triad.
+    const CampaignCell* comb = nullptr;
+    for (const CampaignCell& c : outcome.cells)
+      if (c.key.backend == "sim-levelized" &&
+          c.key.triad == seq_cell.key.triad)
+        comb = &c;
+    ASSERT_NE(comb, nullptr);
+    // The registered adder pays the bank clock/latch energy on top of
+    // the identical characterized combinational energy.
+    const double expected_extra = seq_clock_energy_fj(
+        wrap_as_pipeline(build_circuit("rca16")), lib,
+        seq_cell.key.triad.vdd_v);
+    EXPECT_NEAR(seq_cell.energy_per_op_fj - comb->energy_per_op_fj,
+                expected_extra, 1e-9);
+    // At a relaxed triad the clocked replay is quality-equivalent.
+    if (seq_cell.key.triad.vdd_v == 1.0)
+      EXPECT_NEAR(seq_cell.normalized, comb->normalized, 1e-12);
+    // Savings baselines rebase per energy class: a registered cell's
+    // baseline pays the flops (at the baseline triad's nominal Vdd), a
+    // combinational cell's does not — the sim-seq register energy must
+    // never leak into the combinational backends' savings.
+    EXPECT_NEAR(seq_cell.baseline_fj - comb->baseline_fj,
+                seq_clock_energy_fj(
+                    wrap_as_pipeline(build_circuit("rca16")), lib, 1.0),
+                1e-9);
+  }
 }
 
 TEST(CampaignRunner, RejectsCircuitsThatCannotBackTheWorkloads) {

@@ -90,6 +90,118 @@ TEST(Ladder, EmptyRejected) {
   EXPECT_THROW(build_triad_ladder({}), ContractViolation);
 }
 
+TEST(Ladder, EqualEnergyTieKeepsOnlyLowerBer) {
+  auto mk = [](double ber, double e) {
+    TriadResult r;
+    r.triad = {0.4, 0.8, 0.0};
+    r.ber = ber;
+    r.energy_per_op_fj = e;
+    return r;
+  };
+  // Two rungs at exactly the same energy: only the lower-BER one may
+  // survive the Pareto filter.
+  const auto ladder = build_triad_ladder({mk(0.5, 60.0), mk(0.1, 60.0)});
+  ASSERT_EQ(ladder.size(), 1u);
+  EXPECT_DOUBLE_EQ(ladder[0].expected_ber, 0.1);
+}
+
+TEST(Ladder, NearEqualEnergyTieCollapses) {
+  auto mk = [](double ber, double e) {
+    TriadResult r;
+    r.triad = {0.4, 0.8, 0.0};
+    r.ber = ber;
+    r.energy_per_op_fj = e;
+    return r;
+  };
+  // Energies differing only by floating-point rounding noise are one
+  // rung: without a tolerance the lower-BER-but-epsilon-more-expensive
+  // triad would coexist with the worse one.
+  const double e = 60.0;
+  const auto ladder =
+      build_triad_ladder({mk(0.5, e), mk(0.1, e * (1.0 + 1e-12))});
+  ASSERT_EQ(ladder.size(), 1u);
+  EXPECT_DOUBLE_EQ(ladder[0].expected_ber, 0.1);
+  // And the collapse keeps the ladder monotone when flanked by real
+  // rungs on both sides.
+  auto full = std::vector<TriadResult>{
+      mk(0.0, 100.0), mk(0.5, e), mk(0.1, e * (1.0 + 1e-12)),
+      mk(0.9, 20.0)};
+  const auto ladder2 = build_triad_ladder(full);
+  ASSERT_EQ(ladder2.size(), 3u);
+  for (std::size_t i = 1; i < ladder2.size(); ++i) {
+    EXPECT_LT(ladder2[i].energy_per_op_fj,
+              ladder2[i - 1].energy_per_op_fj);
+    EXPECT_GT(ladder2[i].expected_ber, ladder2[i - 1].expected_ber);
+  }
+}
+
+// --------------------------------------------- monitor edge cases
+TEST(Monitor, SingleOpWindow) {
+  // A window of one operation: every observation replaces the estimate.
+  DoubleSamplingMonitor mon(8, 1);
+  mon.observe(0, 0xFF);
+  EXPECT_TRUE(mon.window_full());
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 1.0);
+  EXPECT_DOUBLE_EQ(mon.window_op_error_rate(), 1.0);
+  mon.observe(0, 0);
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 0.0);
+  EXPECT_DOUBLE_EQ(mon.window_op_error_rate(), 0.0);
+  EXPECT_EQ(mon.total_ops(), 2u);
+}
+
+TEST(Monitor, Width63Masks) {
+  // 63-bit words (max_word_bits): a flip in bit 62 counts, a flip in
+  // bit 63 — outside the compared word — must not.
+  DoubleSamplingMonitor mon(63, 4);
+  mon.observe(0, 1ULL << 62);
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 1.0 / 63.0);
+  mon.observe(0, 1ULL << 63);
+  EXPECT_DOUBLE_EQ(mon.window_op_error_rate(), 0.5);
+  EXPECT_EQ(mon.total_flagged_ops(), 1u);
+  // All 63 bits wrong in one op saturates that op's contribution.
+  DoubleSamplingMonitor full(63, 2);
+  full.observe(0, ~0ULL >> 1);
+  EXPECT_DOUBLE_EQ(full.window_ber(), 1.0);
+}
+
+TEST(Monitor, FlaggedOpVsFlaggedBitDivergence) {
+  // One op with three bad bits vs three ops with one bad bit each:
+  // identical BER, very different op-error rates — the two signals the
+  // closed-loop controller must not conflate.
+  DoubleSamplingMonitor burst(8, 8);
+  burst.observe(0, 0b111);
+  burst.observe(0, 0);
+  burst.observe(0, 0);
+  DoubleSamplingMonitor spread(8, 8);
+  spread.observe(0, 0b001);
+  spread.observe(0, 0b010);
+  spread.observe(0, 0b100);
+  EXPECT_DOUBLE_EQ(burst.window_ber(), spread.window_ber());
+  EXPECT_DOUBLE_EQ(burst.window_op_error_rate(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(spread.window_op_error_rate(), 1.0);
+}
+
+TEST(Monitor, ResetBetweenCampaigns) {
+  // A monitor reused across campaigns: reset_window isolates the new
+  // campaign's window statistics while lifetime counters keep growing.
+  DoubleSamplingMonitor mon(8, 4);
+  for (int i = 0; i < 6; ++i) mon.observe(0, 0xFF);
+  EXPECT_TRUE(mon.window_full());
+  mon.reset_window();
+  EXPECT_EQ(mon.window_fill(), 0u);
+  EXPECT_FALSE(mon.window_full());
+  EXPECT_DOUBLE_EQ(mon.window_ber(), 0.0);
+  EXPECT_DOUBLE_EQ(mon.window_op_error_rate(), 0.0);
+  EXPECT_EQ(mon.total_ops(), 6u);
+  EXPECT_EQ(mon.total_flagged_ops(), 6u);
+  // The next campaign's observations rebuild the window from scratch.
+  mon.observe(0, 0);
+  mon.observe(0, 1);
+  EXPECT_EQ(mon.window_fill(), 2u);
+  EXPECT_DOUBLE_EQ(mon.window_op_error_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(mon.lifetime_ber(), (6.0 * 8 + 1) / (8.0 * 8));
+}
+
 // -------------------------------------------------------------- controller
 std::vector<TriadRung> synthetic_ladder() {
   return {

@@ -1,0 +1,192 @@
+// Sequential subsystem structure tests: pipeline registry, stage
+// boundary validation, settled (golden) functions, bank-word packing,
+// flop counting, clock energy and the per-stage slack report.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/netlist/dut.hpp"
+#include "src/seq/seq_dut.hpp"
+#include "src/seq/seq_report.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/fuzzy.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+namespace {
+
+TEST(SeqDutTest, RegistryShapes) {
+  const SeqDut mul = build_seq_circuit("pipe2-mul8");
+  EXPECT_EQ(mul.num_stages(), 2u);
+  EXPECT_EQ(mul.num_operands(), 2u);
+  EXPECT_EQ(mul.operand_width(0), 8);
+  EXPECT_EQ(mul.operand_width(1), 8);
+  EXPECT_EQ(mul.latency_cycles(), 2u);
+
+  const SeqDut mac = build_seq_circuit("pipe3-mac4x8");
+  EXPECT_EQ(mac.num_stages(), 3u);
+  EXPECT_EQ(mac.num_operands(), 8u);
+  EXPECT_EQ(mac.output_width(), 18);
+
+  const SeqDut fir = build_seq_circuit("fir4-pipe");
+  EXPECT_EQ(fir.num_stages(), 3u);
+  EXPECT_EQ(fir.num_operands(), 4u);
+  EXPECT_EQ(fir.output_width(), 11);
+}
+
+TEST(SeqDutTest, SettledFunctions) {
+  const SeqDut mul = build_seq_circuit("pipe2-mul8");
+  const SeqDut mac = build_seq_circuit("pipe3-mac4x8");
+  const SeqDut fir = build_seq_circuit("fir4-pipe");
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng() & 0xFF;
+    const std::uint64_t b = rng() & 0xFF;
+    const std::uint64_t ops2[2] = {a, b};
+    EXPECT_EQ(seq_settled_output(mul, ops2), a * b);
+
+    std::uint64_t ops8[8];
+    std::uint64_t acc = 0;
+    for (int t = 0; t < 4; ++t) {
+      ops8[2 * t] = rng() & 0xFF;
+      ops8[2 * t + 1] = rng() & 0xFF;
+      acc += ops8[2 * t] * ops8[2 * t + 1];
+    }
+    EXPECT_EQ(seq_settled_output(mac, ops8), acc);
+
+    std::uint64_t ops4[4];
+    std::uint64_t sum = 0;
+    for (int t = 0; t < 4; ++t) {
+      ops4[t] = rng() & 0xFF;
+      sum += ops4[t];
+    }
+    EXPECT_EQ(seq_settled_output(fir, ops4), sum);
+  }
+}
+
+TEST(SeqDutTest, StageBoundariesLineUp) {
+  for (const std::string& spec : seq_circuit_registry()) {
+    const SeqDut seq = build_seq_circuit(spec);
+    for (std::size_t k = 1; k < seq.num_stages(); ++k) {
+      int fed = 0;
+      for (const int w : seq.stages[k].operand_widths()) fed += w;
+      EXPECT_EQ(fed, seq.stages[k - 1].output_width()) << spec;
+    }
+  }
+}
+
+TEST(SeqDutTest, MisalignedStagesRejected) {
+  // mul8-array registers 16 bits; an rca8 stage consumes 16 too — but
+  // rca16 (32 consumed) does not.
+  std::vector<DutNetlist> ok;
+  ok.push_back(build_circuit("mul8-array"));
+  ok.push_back(build_circuit("rca8"));
+  EXPECT_NO_THROW(make_seq_dut(std::move(ok), "t", "t"));
+  std::vector<DutNetlist> bad;
+  bad.push_back(build_circuit("mul8-array"));
+  bad.push_back(build_circuit("rca16"));
+  EXPECT_THROW(make_seq_dut(std::move(bad), "t", "t"),
+               ContractViolation);
+  EXPECT_THROW(make_seq_dut({}, "t", "t"), ContractViolation);
+}
+
+TEST(SeqDutTest, WrapAsPipeline) {
+  const SeqDut seq = wrap_as_pipeline(build_circuit("rca16"));
+  EXPECT_EQ(seq.num_stages(), 1u);
+  EXPECT_EQ(seq.kind, "seq(rca16)");
+  EXPECT_EQ(seq.latency_cycles(), 1u);
+  // Flops: 16 + 16 operand bits in, 17 result bits out.
+  EXPECT_EQ(seq.num_flops(), 32 + 17);
+  const std::uint64_t ops[2] = {1234, 4321};
+  EXPECT_EQ(seq_settled_output(seq, ops), 1234u + 4321u);
+}
+
+TEST(SeqDutTest, FlopCountAndClockEnergy) {
+  const SeqDut mul = build_seq_circuit("pipe2-mul8");
+  // input bank 16 + stage0 out 32 + stage1 out 18.
+  EXPECT_EQ(mul.num_flops(), 16 + 32 + 18);
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const double nominal = seq_clock_energy_fj(mul, lib, 1.0);
+  EXPECT_DOUBLE_EQ(nominal, mul.num_flops() * lib.dff_clock_energy_fj());
+  // CV² scaling: half the supply, a quarter of the clock energy.
+  EXPECT_NEAR(seq_clock_energy_fj(mul, lib, 0.5), nominal / 4.0, 1e-12);
+}
+
+TEST(SeqDutTest, SplitBankWordRoundTrip) {
+  const int widths[3] = {9, 8, 8};
+  const std::uint64_t word = (0x55ULL << 17) | (0xA3ULL << 9) | 0x1F0ULL;
+  const auto parts = split_bank_word(word, widths);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], word & 0x1FFULL);
+  EXPECT_EQ(parts[1], (word >> 9) & 0xFFULL);
+  EXPECT_EQ(parts[2], (word >> 17) & 0xFFULL);
+}
+
+TEST(SeqDutTest, UnknownSpecSuggestsNearMatch) {
+  try {
+    build_seq_circuit("pipe2-mul9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pipe2-mul8"),
+              std::string::npos);
+  }
+  // The combinational registry suggests too (satellite: unknown
+  // --circuit errors suggest near-matches).
+  try {
+    build_circuit("mul8-walace");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mul8-wallace"),
+              std::string::npos);
+  }
+}
+
+TEST(SeqDutTest, SpecRouting) {
+  EXPECT_TRUE(is_seq_circuit_spec("pipe2-mul8"));
+  EXPECT_TRUE(is_seq_circuit_spec("fir4-pipe"));
+  EXPECT_FALSE(is_seq_circuit_spec("mul8-array"));
+  EXPECT_FALSE(is_seq_circuit_spec("rca16"));
+  // Every registry example still builds.
+  for (const std::string& spec : circuit_registry_examples())
+    EXPECT_NO_THROW(build_circuit(spec)) << spec;
+}
+
+TEST(FuzzyTest, EditDistanceAndClosestMatch) {
+  EXPECT_EQ(edit_distance("rca8", "rca8"), 0u);
+  EXPECT_EQ(edit_distance("rca8", "rca16"), 2u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  const std::vector<std::string> c = {"rca8", "bka16", "mul8-array"};
+  EXPECT_EQ(closest_match("rca9", c), "rca8");
+  EXPECT_EQ(closest_match("mul8-aray", c), "mul8-array");
+  EXPECT_EQ(closest_match("zzzzzzzz", c), "");
+}
+
+TEST(SeqReportTest, StageSlacks) {
+  const SeqDut seq = build_seq_circuit("pipe2-mul8");
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const double cp_ns = seq_critical_path_ns(seq, lib);
+  EXPECT_GT(cp_ns, 0.0);
+  // At the pipeline's own signoff CP every stage has non-negative slack
+  // and nothing misses the capture edge.
+  const auto relaxed = seq_stage_slacks(seq, lib, {cp_ns, 1.0, 0.0});
+  ASSERT_EQ(relaxed.size(), seq.num_stages());
+  double min_slack = 1e18;
+  for (const StageSlack& s : relaxed) {
+    EXPECT_GT(s.critical_path_ps, 0.0);
+    EXPECT_GE(s.slack_ps, 0.0);
+    EXPECT_EQ(s.failing_outputs, 0);
+    min_slack = std::min(min_slack, s.slack_ps);
+  }
+  // The slowest stage defines the constraint: its typical-corner path
+  // leaves less slack than the signoff CP margin.
+  EXPECT_LT(min_slack, cp_ns * 1e3);
+  // Heavily over-scaled, the multiplier stage must start failing.
+  const auto scaled = seq_stage_slacks(seq, lib, {cp_ns * 0.2, 0.5, 0.0});
+  int failing = 0;
+  for (const StageSlack& s : scaled) failing += s.failing_outputs;
+  EXPECT_GT(failing, 0);
+}
+
+}  // namespace
+}  // namespace vosim

@@ -29,6 +29,13 @@
 #                    ceiling for the model-vs-gate-level application
 #                    quality deviation printed by bench_ext_app_pareto
 #                    (normalized quality percentage points, default 35).
+#   VOSIM_MIN_CLOSED_LOOP_SAVINGS_PCT
+#                    floor for the closed-loop-vs-safest-rung energy
+#                    saving printed by bench_pipeline (default 10; the
+#                    run fails if CLOSED_LOOP_SAVINGS_PCT drops below
+#                    it). bench_pipeline's SEQ_BER_DEV_PP (cross-engine
+#                    step_cycle BER deviation over the error-onset
+#                    band) is gated by VOSIM_MAX_BER_DEV_PP too.
 #
 # After the bench set, a tiny smoke campaign (2 workloads x 1 circuit x
 # 4 triads on the model backend) runs twice through vosim_cli: the
@@ -121,6 +128,36 @@ for name in ${benches[@]+"${benches[@]}"}; do
       fi
     else
       echo "FAIL ${name}: missing LEVELIZED_SPEEDUP/LEVELIZED_BER_DEV_PP in log" >&2
+      status=1
+    fi
+  fi
+  # bench_pipeline sweeps the pipelined circuits on both engines'
+  # clocked step_cycle paths and runs the closed-loop controller; gate
+  # the cross-engine BER deviation (error-onset band) and the
+  # closed-loop energy saving vs the safest rung.
+  if [ "${name}" = "bench_pipeline" ] && [ "${status}" -eq 0 ]; then
+    seq_dev=$(sed -n 's/^SEQ_BER_DEV_PP //p' "${log}" | tail -n 1)
+    cl_savings=$(sed -n 's/^CLOSED_LOOP_SAVINGS_PCT //p' "${log}" | tail -n 1)
+    seq_speedup=$(sed -n 's/^SEQ_LEVELIZED_SPEEDUP //p' "${log}" | tail -n 1)
+    if [ -n "${seq_dev}" ] && [ -n "${cl_savings}" ]; then
+      engine_fields=",
+  \"seq_levelized_speedup\": ${seq_speedup:-0},
+  \"seq_ber_dev_pp\": ${seq_dev},
+  \"closed_loop_savings_pct\": ${cl_savings}"
+      max_dev="${VOSIM_MAX_BER_DEV_PP:-2.0}"
+      min_savings="${VOSIM_MIN_CLOSED_LOOP_SAVINGS_PCT:-10}"
+      if ! awk -v d="${seq_dev}" -v m="${max_dev}" \
+           'BEGIN{exit !(d <= m)}'; then
+        echo "FAIL ${name}: sequential BER deviation ${seq_dev}pp > ${max_dev}pp ceiling" >&2
+        status=1
+      fi
+      if ! awk -v s="${cl_savings}" -v m="${min_savings}" \
+           'BEGIN{exit !(s >= m)}'; then
+        echo "FAIL ${name}: closed-loop savings ${cl_savings}% < ${min_savings}% floor" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing SEQ_BER_DEV_PP/CLOSED_LOOP_SAVINGS_PCT in log" >&2
       status=1
     fi
   fi

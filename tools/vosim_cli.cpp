@@ -41,6 +41,7 @@ int usage(const std::string& program) {
          " [options]\n"
       << "commands:\n"
       << "  synth         area / power / critical-path report\n"
+      << "                (pipelines: per-stage report + slack)\n"
       << "  variability   Monte-Carlo die-to-die spread at one triad\n"
       << "  characterize  43-triad VOS sweep (BER + energy/op)\n"
       << "  train         fit a statistical model at one triad (adders)\n"
@@ -49,16 +50,119 @@ int usage(const std::string& program) {
       << "  campaign      resumable workload x circuit x triad x backend\n"
       << "                quality-energy sweep with Pareto fronts\n"
       << known_circuits_help() << "\n"
+      << known_seq_circuits_help() << "\n"
       << known_workloads_help() << "\n"
       << "options: --patterns N --csv FILE --tclk NS --vdd V --vbb V\n"
       << "         --metric mse|hamming|whamming --out FILE\n"
       << "         --engine event|levelized (simulation backend;\n"
       << "           levelized = bit-parallel, ~10x+ faster sweeps)\n"
-      << "campaign: --workloads L --circuits L --backends L (comma lists)\n"
+      << "         --list-circuits (print the whole circuit registry\n"
+      << "           with operand widths and gate counts, then exit)\n"
+      << "campaign: --workloads L --circuits L --backends L (comma lists;\n"
+      << "          backends: exact model sim-event sim-levelized sim-seq)\n"
       << "          --store FILE (JSONL; resumes finished cells)\n"
       << "          --quality-floor F --train-patterns N --seed S\n"
       << "          --max-triads N --jobs N\n";
   return 2;
+}
+
+/// --list-circuits: builds every registry example and prints one row
+/// per spec with its pinout and size — combinational and pipelined.
+int list_circuits() {
+  TextTable t({"spec", "display", "operands", "out bits", "gates",
+               "stages"});
+  for (const std::string& spec : circuit_registry_examples()) {
+    const DutNetlist dut = build_circuit(spec);
+    std::string widths;
+    for (std::size_t i = 0; i < dut.num_operands(); ++i) {
+      if (!widths.empty()) widths += ",";
+      widths += std::to_string(dut.operand_width(i));
+    }
+    t.add_row({spec, dut.display_name,
+               std::to_string(dut.num_operands()) + "x" + widths,
+               std::to_string(dut.output_width()),
+               std::to_string(dut.netlist.num_gates()), "-"});
+  }
+  for (const std::string& spec : seq_circuit_registry()) {
+    const SeqDut seq = build_seq_circuit(spec);
+    std::string widths;
+    for (std::size_t i = 0; i < seq.num_operands(); ++i) {
+      if (!widths.empty()) widths += ",";
+      widths += std::to_string(seq.operand_width(i));
+    }
+    t.add_row({spec, seq.display_name,
+               std::to_string(seq.num_operands()) + "x" + widths,
+               std::to_string(seq.output_width()),
+               std::to_string(seq.num_gates()),
+               std::to_string(seq.num_stages())});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+/// Pipelined circuits route synth/triads/characterize through the
+/// sequential subsystem; the remaining commands are combinational-only.
+int run_seq(const ArgParser& args, const std::string& command,
+            const std::string& spec) {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const SeqDut seq = build_seq_circuit(spec);
+  const EngineKind engine = parse_engine_kind(args.get("engine", "event"));
+  const double cp_ns = seq_critical_path_ns(seq, lib);
+
+  if (command == "synth") {
+    const std::vector<SynthesisReport> reports =
+        seq_stage_reports(seq, lib);
+    TextTable t({"stage", "gates", "area (um2)", "power (uW)", "CP (ns)",
+                 "slack @CP (ps)"});
+    const OperatingTriad nominal{cp_ns, 1.0, 0.0};
+    const std::vector<StageSlack> slacks =
+        seq_stage_slacks(seq, lib, nominal);
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+      const SynthesisReport& r = reports[k];
+      t.add_row({std::to_string(k), std::to_string(r.num_gates),
+                 format_double(r.area_um2, 1),
+                 format_double(r.total_power_uw, 1),
+                 format_double(r.critical_path_ns, 3),
+                 format_double(slacks[k].slack_ps, 1)});
+    }
+    t.print(std::cout);
+    std::cout << seq.display_name << ": " << seq.num_stages()
+              << " stages, " << seq.num_gates() << " gates, "
+              << seq.num_flops() << " flops, pipeline CP "
+              << format_double(cp_ns, 3) << " ns\n";
+    return 0;
+  }
+
+  const auto triads = make_dut_triads(cp_ns);
+
+  if (command == "triads") {
+    TextTable t({"#", "triad"});
+    for (std::size_t i = 0; i < triads.size(); ++i)
+      t.add_row({std::to_string(i), triad_label(triads[i])});
+    t.print(std::cout);
+    return 0;
+  }
+
+  if (command == "characterize") {
+    CharacterizeConfig cfg;
+    cfg.num_patterns =
+        static_cast<std::size_t>(args.get_int("patterns", 20000));
+    cfg.engine = engine;
+    std::cerr << "pipeline: " << seq.display_name
+              << ", engine: " << engine_kind_name(engine) << "\n";
+    const auto results = characterize_seq_dut(seq, lib, triads, cfg);
+    const double baseline = results[0].energy_per_op_fj;
+    const TextTable t = fig8_table(sort_for_fig8(results), baseline);
+    t.print(std::cout);
+    if (args.has("csv"))
+      std::cout << "CSV: " << write_csv(t, args.get("csv", "sweep.csv"))
+                << "\n";
+    return 0;
+  }
+
+  throw std::invalid_argument(
+      "command '" + command + "' supports combinational circuits only; "
+      "pipelines support synth | triads | characterize");
 }
 
 /// The circuit spec from --circuit, one positional ("rca8") or the
@@ -148,6 +252,7 @@ int run_campaign_command(const ArgParser& args) {
 }
 
 int run(const ArgParser& args) {
+  if (args.has("list-circuits")) return list_circuits();
   if (args.positional().empty()) return usage(args.program());
   const std::string command = args.positional()[0];
   if (command == "campaign") return run_campaign_command(args);
@@ -157,9 +262,17 @@ int run(const ArgParser& args) {
   } catch (const std::invalid_argument&) {
     return usage(args.program());
   }
+  if (is_seq_circuit_spec(spec)) return run_seq(args, command, spec);
 
   const CellLibrary& lib = make_fdsoi28_lvt();
-  const DutNetlist dut = build_circuit(spec);
+  DutNetlist dut;
+  try {
+    dut = build_circuit(spec);
+  } catch (const std::invalid_argument&) {
+    // Re-diagnose across both registries so a pipeline typo that fell
+    // through the combinational parser still suggests the pipeline.
+    throw std::invalid_argument(unknown_circuit_message(spec));
+  }
   const SynthesisReport rep = synthesize_report(dut.netlist, lib);
   const EngineKind engine = parse_engine_kind(args.get("engine", "event"));
 
