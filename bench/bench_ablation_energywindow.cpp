@@ -8,7 +8,7 @@
 #include "bench/bench_common.hpp"
 #include "src/sim/event_sim.hpp"
 #include "src/sim/logic.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/sta/synthesis_report.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/table.hpp"

@@ -10,6 +10,7 @@
 #include <array>
 #include <iostream>
 
+#include "src/sim/vos_dut.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"
 
@@ -17,7 +18,6 @@
 #include "src/characterize/metrics.hpp"
 #include "src/model/evaluation.hpp"
 #include "src/model/vos_model.hpp"
-#include "src/sim/vos_adder.hpp"
 #include "src/util/parallel.hpp"
 
 namespace {

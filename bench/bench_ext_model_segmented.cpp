@@ -11,7 +11,7 @@
 #include "src/characterize/metrics.hpp"
 #include "src/model/segmented_model.hpp"
 #include "src/model/vos_model.hpp"
-#include "src/sim/vos_adder.hpp"
+#include "src/sim/vos_dut.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"

@@ -9,12 +9,12 @@
 // models are the most faithful in SNR.
 #include <iostream>
 
+#include "src/sim/vos_dut.hpp"
 #include "src/util/table.hpp"
 
 #include "bench/bench_common.hpp"
 #include "src/model/evaluation.hpp"
 #include "src/model/vos_model.hpp"
-#include "src/sim/vos_adder.hpp"
 #include "src/util/parallel.hpp"
 
 int main() {

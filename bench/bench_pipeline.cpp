@@ -1,10 +1,14 @@
 // Sequential pipeline bench: clocked multi-stage operators under VOS
 // and the closed-loop controller that exploits them.
 //
-// Part 1 — per-stage synthesis/slack and the 43-triad sweep of the
-// pipelined circuits (pipe2-mul8, pipe3-mac4x8) on both engines'
-// step_cycle paths. Machine-readable lines:
-//   SEQ_LEVELIZED_SPEEDUP  event/levelized wall-clock ratio
+// Part 1 — per-stage synthesis/slack and the 43-triad sweep of every
+// registry pipeline (pipe2-mul8, pipe3-mac4x8, fir4-pipe) on both
+// engines' batched step_cycle paths. Machine-readable lines:
+//   SEQ_LEVELIZED_SPEEDUP  event/levelized wall-clock ratio, summed
+//                          over all pipelines (gated >= 10 in
+//                          run_benches.sh/CI), plus one
+//                          SEQ_LEVELIZED_SPEEDUP_<spec> line per
+//                          pipeline
 //   SEQ_BER_DEV_PP         max |event-lev| BER over the error-onset
 //                          band (event BER <= 2%, the regime a quality
 //                          floor can accept; past the knee the
@@ -46,7 +50,8 @@ int main() {
   OperatingTriad mul_nominal{};
   double mul_nominal_energy = 0.0;
 
-  for (const char* spec : {"pipe2-mul8", "pipe3-mac4x8"}) {
+  std::vector<std::pair<std::string, double>> per_spec;
+  for (const char* spec : {"pipe2-mul8", "pipe3-mac4x8", "fir4-pipe"}) {
     const SeqDut seq = build_seq_circuit(spec);
     const double cp = seq_critical_path_ns(seq, lib);
     const auto triads = make_dut_triads(cp);
@@ -70,8 +75,11 @@ int main() {
     cfg.engine = EngineKind::kLevelized;
     const auto lev = characterize_seq_dut(seq, lib, triads, cfg);
     const auto t2 = clock::now();
-    event_seconds += std::chrono::duration<double>(t1 - t0).count();
-    levelized_seconds += std::chrono::duration<double>(t2 - t1).count();
+    const double ev_s = std::chrono::duration<double>(t1 - t0).count();
+    const double lev_s = std::chrono::duration<double>(t2 - t1).count();
+    event_seconds += ev_s;
+    levelized_seconds += lev_s;
+    per_spec.emplace_back(spec, lev_s > 0.0 ? ev_s / lev_s : 0.0);
 
     double dev = 0.0;
     int onset_points = 0;
@@ -164,8 +172,11 @@ int main() {
             << format_double(levelized_seconds > 0.0
                                  ? event_seconds / levelized_seconds
                                  : 0.0,
-                             2)
-            << "\nSEQ_BER_DEV_PP " << format_double(onset_dev_pp, 3)
+                             2);
+  for (const auto& [name, ratio] : per_spec)
+    std::cout << "\nSEQ_LEVELIZED_SPEEDUP_" << name << " "
+              << format_double(ratio, 2);
+  std::cout << "\nSEQ_BER_DEV_PP " << format_double(onset_dev_pp, 3)
             << "\nCLOSED_LOOP_SAVINGS_PCT " << format_double(savings, 1)
             << "\n";
   return 0;

@@ -39,6 +39,27 @@ AdderFn seq_adder_fn(SeqSim& sim) {
   };
 }
 
+BatchAdderFn seq_batch_adder_fn(SeqSim& sim) {
+  VOSIM_EXPECTS(sim.num_operands() == 2);
+  VOSIM_EXPECTS(sim.latency_cycles() == 1);
+  return [&sim](std::span<const std::uint64_t> a,
+                std::span<const std::uint64_t> b,
+                std::span<std::uint64_t> out) {
+    VOSIM_EXPECTS(a.size() == b.size() && a.size() == out.size());
+    const std::uint64_t ma = mask_n(sim.seq().operand_width(0));
+    const std::uint64_t mb = mask_n(sim.seq().operand_width(1));
+    const std::size_t n = a.size();
+    std::vector<std::uint64_t> ops(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ops[2 * i] = a[i] & ma;
+      ops[2 * i + 1] = b[i] & mb;
+    }
+    std::vector<SeqCycleResult> rs(n);
+    sim.step_cycle_batch(ops, n, rs);
+    for (std::size_t i = 0; i < n; ++i) out[i] = rs[i].captured;
+  };
+}
+
 std::uint64_t approx_sub(const AdderFn& add, int width, std::uint64_t a,
                          std::uint64_t b) {
   const std::uint64_t m = mask_n(width);

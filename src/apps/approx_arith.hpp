@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "src/model/vos_model.hpp"
 #include "src/sim/vos_dut.hpp"
@@ -17,6 +19,14 @@ namespace vosim {
 /// An n-bit adder returning the (n+1)-bit sum. The kernel masks or
 /// saturates as it needs.
 using AdderFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+/// A streaming n-bit adder: element-wise `out[i] = a[i] + b[i]` over
+/// equal-length spans. Kernels whose additions are independent within a
+/// pass use this to stream whole operand vectors through a clocked
+/// pipeline back-to-back (one add per cycle, no per-call round trip).
+using BatchAdderFn = std::function<void(
+    std::span<const std::uint64_t>, std::span<const std::uint64_t>,
+    std::span<std::uint64_t>)>;
 
 /// Exact reference adder.
 AdderFn exact_adder_fn(int width);
@@ -40,6 +50,13 @@ class SeqSim;
 /// sim-seq backend: truncating clocked semantics, per-flop setup
 /// margin, register energy — the sequential view of the same adder.
 AdderFn seq_adder_fn(SeqSim& sim);
+
+/// The streaming view of the same clocked adder: the operand vectors
+/// latch back-to-back through SeqSim::step_cycle_batch, one element per
+/// cycle on the packed-lane path. Error patterns follow the streamed
+/// schedule (each add launches from the previous element's at-edge
+/// state), exactly as the registered datapath would see them.
+BatchAdderFn seq_batch_adder_fn(SeqSim& sim);
 
 /// Subtraction a-b via two's complement (two routed additions); result
 /// masked to `width` bits (wraps like hardware).

@@ -63,6 +63,41 @@ FixedSignal fir_lowpass5(const FixedSignal& input, const AdderFn& add) {
   return out;
 }
 
+FixedSignal fir_lowpass5(const FixedSignal& input,
+                         const BatchAdderFn& add) {
+  constexpr int acc_bits = 16;
+  const std::uint64_t m = mask_n(acc_bits);
+  FixedSignal out;
+  out.sample_bits = input.sample_bits;
+  const auto n = input.samples.size();
+  out.samples.resize(n, 0);
+
+  const auto sample = [&](long k) {
+    const long idx =
+        std::min<long>(std::max<long>(k, 0), static_cast<long>(n) - 1);
+    return input.samples[static_cast<std::size_t>(idx)];
+  };
+  // One term vector per accumulation pass, mirroring the scalar
+  // clamped-edge convolution with taps {1,4,6,4,1}.
+  std::vector<std::uint64_t> acc(n, 0);
+  std::vector<std::uint64_t> term(n);
+  const auto pass = [&](auto&& term_of) {
+    for (std::size_t i = 0; i < n; ++i)
+      term[i] = term_of(static_cast<long>(i)) & m;
+    add(acc, term, acc);
+    for (std::size_t i = 0; i < n; ++i) acc[i] &= m;
+  };
+  pass([&](long i) { return sample(i - 2); });
+  pass([&](long i) { return sample(i + 2); });
+  pass([&](long i) { return sample(i - 1) << 2; });
+  pass([&](long i) { return sample(i + 1) << 2; });
+  pass([&](long i) { return sample(i) << 2; });
+  pass([&](long i) { return sample(i) << 1; });
+  for (std::size_t i = 0; i < n; ++i)
+    out.samples[i] = (acc[i] >> 4) & mask_n(input.sample_bits);
+  return out;
+}
+
 double signal_snr_db(const FixedSignal& reference, const FixedSignal& test) {
   VOSIM_EXPECTS(reference.samples.size() == test.samples.size());
   double sig = 0.0;

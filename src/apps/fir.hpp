@@ -25,6 +25,15 @@ FixedSignal make_test_signal(std::size_t length, int sample_bits,
 /// input's sample width.
 FixedSignal fir_lowpass5(const FixedSignal& input, const AdderFn& add);
 
+/// Streaming variant for clocked pipelines: the same filter issued as
+/// six whole-signal passes (one per tap term). Within a pass every
+/// sample's addition is independent, so each pass streams the full
+/// signal through the adder back-to-back; only the six accumulation
+/// passes serialize. Add count and masking match the scalar variant;
+/// under timing errors the error pattern follows the streamed schedule.
+FixedSignal fir_lowpass5(const FixedSignal& input,
+                         const BatchAdderFn& add);
+
 /// Signal-to-noise ratio of `test` against `reference` (dB, +inf when
 /// identical): the reference signal is the "signal", their difference
 /// the "noise".

@@ -332,7 +332,12 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             SeqSim sim(*ctx.seq, lib, ctx.triads[p.triad], sim_cfg);
             register_energy_fj = seq_clock_energy_fj(
                 *ctx.seq, lib, ctx.triads[p.triad].vdd_v);
-            q = wl.run(seq_adder_fn(sim), dseed);
+            // Stream-capable kernels latch whole operand vectors
+            // through the packed-lane batch path; dependency-bound
+            // ones fall back to one scalar step_cycle per add.
+            q = wl.run_batch != nullptr
+                    ? wl.run_batch(seq_batch_adder_fn(sim), dseed)
+                    : wl.run(seq_adder_fn(sim), dseed);
             break;
           }
         }

@@ -41,6 +41,22 @@ QualityResult run_fir(const AdderFn& add, std::uint64_t seed) {
   return quality("snr_db", signal_snr_db(reference, filtered), adds);
 }
 
+QualityResult run_fir_batch(const BatchAdderFn& add,
+                            std::uint64_t seed) {
+  const FixedSignal signal = make_test_signal(768, 12, seed);
+  const FixedSignal reference = fir_lowpass5(signal, exact_adder_fn(16));
+  std::uint64_t adds = 0;
+  const BatchAdderFn counted_batch =
+      [&add, &adds](std::span<const std::uint64_t> a,
+                    std::span<const std::uint64_t> b,
+                    std::span<std::uint64_t> out) {
+        adds += a.size();
+        add(a, b, out);
+      };
+  const FixedSignal filtered = fir_lowpass5(signal, counted_batch);
+  return quality("snr_db", signal_snr_db(reference, filtered), adds);
+}
+
 QualityResult run_blur(const AdderFn& add, std::uint64_t seed) {
   const GrayImage scene = make_synthetic_scene(72, 72, seed);
   const GrayImage reference = gaussian_blur3(scene, exact_adder_fn(16));
@@ -93,7 +109,7 @@ QualityResult run_dot(const AdderFn& add, std::uint64_t seed) {
 const std::vector<Workload>& workload_registry() {
   static const std::vector<Workload> registry = {
       {"fir", "FIR low-pass filtering (signal processing)", "snr_db", 16,
-       run_fir},
+       run_fir, run_fir_batch},
       {"blur", "Gaussian 3x3 image blur (image processing)", "psnr_db", 16,
        run_blur},
       {"sobel", "Sobel edge magnitude (image processing)", "psnr_db", 16,

@@ -38,6 +38,12 @@ struct Workload {
   std::string metric;  ///< metric token of the QualityResult it emits
   int width = 16;      ///< routed adder width
   std::function<QualityResult(const AdderFn&, std::uint64_t seed)> run;
+  /// Streaming variant for clocked backends, set only when the kernel
+  /// can restructure its additions into independent whole-vector
+  /// passes (e.g. fir). Null for dependency-bound kernels — the runner
+  /// falls back to the scalar path.
+  std::function<QualityResult(const BatchAdderFn&, std::uint64_t seed)>
+      run_batch;
 };
 
 /// The built-in workloads: fir (SNR), blur + sobel (PSNR), kmeans

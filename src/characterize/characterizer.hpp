@@ -43,6 +43,18 @@ struct CharacterizeConfig {
   EngineKind engine = EngineKind::kEvent;
   /// Patterns streamed per apply_batch call in the sweep hot loop.
   std::size_t batch_size = 256;
+  /// Sequential levelized fast path only: a capture threshold whose
+  /// first 64-cycle probe word already shows an op-error rate at or
+  /// above this fraction is far past the error-onset knee (register
+  /// feedback makes onset a cliff), and its replay stops at the probe
+  /// instead of spending the full pattern budget. Estimates stay
+  /// unbiased — only the sample count shrinks, and TriadResult::
+  /// patterns reports the count actually used. Thresholds near the
+  /// onset band never trip the probe (a true rate under ~12% has
+  /// vanishing probability of reading >= 0.25 on 62 samples), so the
+  /// event-vs-levelized conformance band is unaffected. Set above 1.0
+  /// to force every replay through the full budget.
+  double seq_saturation_threshold = 0.25;
   /// Error reference. Default (empty): the DUT's own settled function,
   /// so BER/MRED measure timing errors only and stay meaningful for
   /// approximate adders and multipliers alike (DESIGN.md §8). Supply a
@@ -94,18 +106,6 @@ std::vector<TriadResult> characterize_seq_dut(
     const SeqDut& seq, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const CharacterizeConfig& config = {});
-
-/// Deprecated adder entry point: converts and forwards. Note the error
-/// reference is the netlist's settled function now (identical for the
-/// exact architectures; pass config.golden for the old exact-addition
-/// reference on approximate adders).
-[[deprecated("use characterize_dut over to_dut(adder)")]]
-inline std::vector<TriadResult> characterize_adder(
-    const AdderNetlist& adder, const CellLibrary& lib,
-    const std::vector<OperatingTriad>& triads,
-    const CharacterizeConfig& config = {}) {
-  return characterize_dut(to_dut(adder), lib, triads, config);
-}
 
 /// Energy efficiency vs a baseline energy (paper's "energy saving
 /// compared to ideal test case"): 1 − E/E_baseline.

@@ -56,15 +56,6 @@ std::vector<VariabilityResult> variability_study(
     const std::vector<OperatingTriad>& triads,
     const VariabilityConfig& config = {});
 
-/// Deprecated adder entry point: converts and forwards.
-[[deprecated("use variability_study over to_dut(adder)")]]
-inline std::vector<VariabilityResult> variability_study(
-    const AdderNetlist& adder, const CellLibrary& lib,
-    const std::vector<OperatingTriad>& triads,
-    const VariabilityConfig& config = {}) {
-  return variability_study(to_dut(adder), lib, triads, config);
-}
-
 }  // namespace vosim
 
 #endif  // VOSIM_CHARACTERIZE_VARIABILITY_HPP

@@ -224,55 +224,6 @@ void sklansky_tree(Netlist& nl, std::vector<GpPair>& gp) {
 
 }  // namespace
 
-namespace {
-
-/// Position of `net` within a net span (primary inputs or outputs).
-std::size_t net_slot(std::span<const NetId> nets, NetId net) {
-  const auto it = std::find(nets.begin(), nets.end(), net);
-  VOSIM_EXPECTS(it != nets.end());
-  return static_cast<std::size_t>(it - nets.begin());
-}
-
-}  // namespace
-
-// Definitions for the deprecated AdderPinMap shim.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-AdderPinMap::AdderPinMap(const AdderNetlist& adder) : width(adder.width) {
-  const auto pis = adder.netlist.primary_inputs();
-  const auto pos = adder.netlist.primary_outputs();
-  a_slot.reserve(adder.a.size());
-  b_slot.reserve(adder.b.size());
-  sum_slot.reserve(adder.sum.size());
-  for (const NetId n : adder.a) a_slot.push_back(net_slot(pis, n));
-  for (const NetId n : adder.b) b_slot.push_back(net_slot(pis, n));
-  for (const NetId n : adder.sum) sum_slot.push_back(net_slot(pos, n));
-}
-
-void AdderPinMap::fill_inputs(std::uint64_t a, std::uint64_t b,
-                              std::uint8_t* inputs) const {
-  VOSIM_EXPECTS((a & ~mask_n(width)) == 0);
-  VOSIM_EXPECTS((b & ~mask_n(width)) == 0);
-  for (std::size_t i = 0; i < a_slot.size(); ++i)
-    inputs[a_slot[i]] = static_cast<std::uint8_t>((a >> i) & 1ULL);
-  for (std::size_t i = 0; i < b_slot.size(); ++i)
-    inputs[b_slot[i]] = static_cast<std::uint8_t>((b >> i) & 1ULL);
-}
-
-std::uint64_t AdderPinMap::gather_sum(std::uint64_t po_word) const {
-  std::uint64_t sum = 0;
-  for (std::size_t i = 0; i < sum_slot.size(); ++i)
-    sum |= ((po_word >> sum_slot[i]) & 1ULL) << i;
-  return sum;
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 AdderNetlist build_rca(int width, bool with_cin) {
   VOSIM_EXPECTS(width >= 2 && width <= max_word_bits);
   AdderNetlist out{.netlist =

@@ -43,29 +43,6 @@ struct AdderNetlist {
   AdderArch arch = AdderArch::kRipple;
 };
 
-/// Pin mapping of a generated adder. Deprecated: DutPinMap
-/// (src/netlist/dut.hpp) is the N-operand generalization that the
-/// simulators and the characterizer's grid fast path share now.
-struct [[deprecated("use DutPinMap over a DutNetlist")]] AdderPinMap {
-  explicit AdderPinMap(const AdderNetlist& adder);
-
-  /// Scatters a and b into a primary-input value vector (one entry per
-  /// PI). Unlisted pins — e.g. a carry-in — are left untouched, so a
-  /// zero-initialized buffer holds them at zero. Operands must fit in
-  /// `width` bits.
-  void fill_inputs(std::uint64_t a, std::uint64_t b,
-                   std::uint8_t* inputs) const;
-
-  /// Extracts the (width+1)-bit sum word from values packed in
-  /// primary-output order (bit i = output i).
-  std::uint64_t gather_sum(std::uint64_t po_word) const;
-
-  int width = 0;
-  std::vector<std::size_t> a_slot;    ///< PI-vector position of a[i]
-  std::vector<std::size_t> b_slot;    ///< PI-vector position of b[i]
-  std::vector<std::size_t> sum_slot;  ///< PO-vector position of sum[i]
-};
-
 /// Ripple-carry adder (serial prefix; paper Section III). `with_cin`
 /// adds a carry-in primary input (used when composing split adders).
 AdderNetlist build_rca(int width, bool with_cin = false);

@@ -84,6 +84,17 @@ class DutPinMap {
     return static_cast<int>(out_slot_.size());
   }
 
+  /// PI position of every bit of operand bus `i` (bit order). Exposed
+  /// so batched simulators can scatter operand bits directly instead of
+  /// going through a per-cycle fill_inputs round-trip.
+  std::span<const std::size_t> input_slots(std::size_t i) const {
+    return in_slots_.at(i);
+  }
+  /// PO position of every output-bus bit (bit order).
+  std::span<const std::size_t> output_slots() const noexcept {
+    return out_slot_;
+  }
+
  private:
   std::vector<std::vector<std::size_t>> in_slots_;  ///< PI positions
   std::vector<std::size_t> out_slot_;               ///< PO positions

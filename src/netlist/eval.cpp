@@ -1,5 +1,7 @@
 #include "src/netlist/eval.hpp"
 
+#include <algorithm>
+
 #include "src/tech/cell.hpp"
 #include "src/util/contracts.hpp"
 
@@ -23,6 +25,24 @@ std::vector<std::uint8_t> evaluate_logic(
         static_cast<std::uint8_t>((cell_truth(g.kind) >> idx) & 1u);
   }
   return values;
+}
+
+void evaluate_logic_packed(const Netlist& netlist,
+                           std::span<const lanes::Word> pi_words,
+                           std::span<lanes::Word> values) {
+  VOSIM_EXPECTS(netlist.finalized());
+  VOSIM_EXPECTS(pi_words.size() == netlist.primary_inputs().size());
+  VOSIM_EXPECTS(values.size() == netlist.num_nets());
+  std::fill(values.begin(), values.end(), lanes::Word{0});
+  const auto pis = netlist.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) values[pis[i]] = pi_words[i];
+  for (const GateId gid : netlist.topo_order()) {
+    const Gate& g = netlist.gate(gid);
+    values[g.out] = eval_cell_packed(
+        g.kind, g.num_inputs > 0 ? values[g.in[0]] : lanes::Word{0},
+        g.num_inputs > 1 ? values[g.in[1]] : lanes::Word{0},
+        g.num_inputs > 2 ? values[g.in[2]] : lanes::Word{0});
+  }
 }
 
 std::uint64_t pack_word(std::span<const std::uint8_t> values,

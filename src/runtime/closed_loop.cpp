@@ -60,6 +60,20 @@ SpeculationAction ClosedLoopController::observe(double worst_stage_rate,
   return SpeculationAction::kHold;
 }
 
+std::size_t ClosedLoopController::cycles_until_decision(
+    std::size_t window_fill, std::size_t window_capacity) const {
+  // observe() returns kHold before reading the rate whenever
+  // dwell_ + i < min_dwell_cycles or the window is not yet full; one
+  // observation lands per cycle, so the first call that may decide is
+  // the max of the two deficits (and never before the very next call).
+  const std::size_t need_dwell = config_.min_dwell_cycles > dwell_
+                                     ? config_.min_dwell_cycles - dwell_
+                                     : 0;
+  const std::size_t need_fill =
+      window_capacity > window_fill ? window_capacity - window_fill : 0;
+  return std::max<std::size_t>({need_dwell, need_fill, 1});
+}
+
 ClosedLoopSeqUnit::ClosedLoopSeqUnit(const SeqDut& seq,
                                      const CellLibrary& lib,
                                      std::vector<TriadRung> ladder,
@@ -109,6 +123,46 @@ ClosedLoopCycleResult ClosedLoopSeqUnit::step_cycle(
     next.reset();
   }
   return r;
+}
+
+void ClosedLoopSeqUnit::run_batch(std::span<const std::uint64_t> operands,
+                                  std::size_t count,
+                                  std::span<ClosedLoopCycleResult> results) {
+  const std::size_t nops = seq_.num_operands();
+  VOSIM_EXPECTS(operands.size() == count * nops);
+  VOSIM_EXPECTS(results.size() >= count);
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t rung = controller_.rung();
+    SeqSim& sim = sim_for_rung(rung);
+    const DoubleSamplingMonitor& mon = sim.stage_monitor(0);
+    const std::size_t n =
+        std::min(count - done, controller_.cycles_until_decision(
+                                   mon.window_fill(), mon.window_capacity()));
+    batch_cycles_.resize(n);
+    sim.step_cycle_batch(operands.subspan(done * nops, n * nops), n,
+                         batch_cycles_);
+    for (std::size_t i = 0; i < n; ++i) {
+      ClosedLoopCycleResult& r = results[done + i];
+      r.cycle = batch_cycles_[i];
+      r.rung = rung;
+      r.action = SpeculationAction::kHold;
+      energy_total_fj_ += r.cycle.energy_fj;
+      ++cycles_;
+    }
+    // The first n-1 observations are guaranteed early holds; fold them
+    // into the dwell counter and run the real decision on the last one.
+    controller_.advance_dwell(n - 1);
+    ClosedLoopCycleResult& last = results[done + n - 1];
+    last.action = controller_.observe(sim.worst_stage_op_error_rate(),
+                                      sim.stage_monitor(0).window_full());
+    if (last.action != SpeculationAction::kHold) {
+      // The DVS transition flushes the new rung's pipeline (see
+      // step_cycle).
+      sim_for_rung(controller_.rung()).reset();
+    }
+    done += n;
+  }
 }
 
 ClosedLoopCycleResult ClosedLoopSeqUnit::step_cycle(std::uint64_t a,

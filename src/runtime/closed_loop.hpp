@@ -51,6 +51,20 @@ class ClosedLoopController {
   /// the monitors on anything but kHold).
   SpeculationAction observe(double worst_stage_rate, bool window_full);
 
+  /// Number of upcoming observe() calls guaranteed to return kHold
+  /// without evaluating the measured rate, because the minimum dwell or
+  /// the sensor window cannot be satisfied earlier. Always >= 1: the
+  /// n-th call is the first that may actually decide.
+  /// `window_fill`/`window_capacity` describe the monitor window
+  /// feeding observe() (one observation lands per cycle).
+  std::size_t cycles_until_decision(std::size_t window_fill,
+                                    std::size_t window_capacity) const;
+
+  /// Accounts `n` guaranteed-hold observations at once — equivalent to
+  /// n observe() calls that return early with kHold (they only bump the
+  /// dwell counter). Precondition: n < cycles_until_decision(...).
+  void advance_dwell(std::size_t n) noexcept { dwell_ += n; }
+
   std::size_t rung() const noexcept { return rung_; }
   std::size_t num_rungs() const noexcept { return num_rungs_; }
   std::uint64_t switches() const noexcept { return switches_; }
@@ -96,6 +110,19 @@ class ClosedLoopSeqUnit {
   ClosedLoopCycleResult step_cycle(std::span<const std::uint64_t> operands);
   ClosedLoopCycleResult step_cycle(std::uint64_t a, std::uint64_t b);
 
+  /// Runs `count` cycles (cycle c's operands at
+  /// operands[c*num_operands(), ...), outcome in results[c]),
+  /// equivalent to `count` step_cycle() calls. Cycles that the
+  /// controller is guaranteed to hold through — the minimum dwell and
+  /// the window refill after every rung switch — are streamed through
+  /// the active rung's SeqSim::step_cycle_batch in one call; the
+  /// controller then observes once with the dwell advanced in bulk.
+  /// Once a rung's window is full and its dwell is served, decisions
+  /// are due every cycle and the batch degenerates to scalar stepping,
+  /// exactly like the scalar loop.
+  void run_batch(std::span<const std::uint64_t> operands, std::size_t count,
+                 std::span<ClosedLoopCycleResult> results);
+
   const ClosedLoopController& controller() const noexcept {
     return controller_;
   }
@@ -120,6 +147,7 @@ class ClosedLoopSeqUnit {
   TimingSimConfig sim_config_;
   ClosedLoopController controller_;
   std::vector<std::unique_ptr<SeqSim>> sims_;  // one per rung, lazy
+  std::vector<SeqCycleResult> batch_cycles_;   // run_batch scratch
   double energy_total_fj_ = 0.0;
   std::uint64_t cycles_ = 0;
 };

@@ -14,7 +14,11 @@ DoubleSamplingMonitor::DoubleSamplingMonitor(int word_bits,
 
 void DoubleSamplingMonitor::observe(std::uint64_t sampled,
                                     std::uint64_t settled) {
-  const int flagged = hamming_distance(sampled, settled, word_bits_);
+  record_word(sampled ^ settled);
+}
+
+void DoubleSamplingMonitor::record_word(std::uint64_t diff) {
+  const int flagged = popcount_u64(diff & mask_n(word_bits_));
   ++total_ops_;
   total_bit_errors_ += static_cast<std::uint64_t>(flagged);
   if (flagged > 0) ++total_err_ops_;

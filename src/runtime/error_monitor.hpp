@@ -18,8 +18,16 @@ class DoubleSamplingMonitor {
   DoubleSamplingMonitor(int word_bits, std::size_t window_ops);
 
   /// Feeds one operation: the value captured at the clock edge and the
-  /// shadow (settled) value.
+  /// shadow (settled) value. Equivalent to record_word(sampled ^
+  /// settled).
   void observe(std::uint64_t sampled, std::uint64_t settled);
+
+  /// Word ingest for the batched clocked path: feeds one operation
+  /// given the main-vs-shadow XOR difference directly (flagged bits =
+  /// popcount of the word restricted to the compared width). Identical
+  /// statistics to observe() — the batch path must not change what the
+  /// monitor reports.
+  void record_word(std::uint64_t diff);
 
   /// BER estimate over the current window.
   double window_ber() const noexcept;

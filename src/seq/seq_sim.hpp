@@ -82,6 +82,20 @@ class SeqSim {
   /// Two-operand convenience.
   SeqCycleResult step_cycle(std::uint64_t a, std::uint64_t b);
 
+  /// Batched clocked stepping: cycle c's operands occupy
+  /// operands[c*num_operands(), (c+1)*num_operands()) and its outcome
+  /// lands in results[c]. Bit-exact with `count` sequential
+  /// step_cycle() calls — captured/expected words, per-cycle energy
+  /// (same floating-point accumulation order) and Razor monitor
+  /// statistics are all identical. Each stage engine runs its native
+  /// step_cycle_batch (64 cycles per levelized pass; the register
+  /// banks between stages become packed lane words shifted by one
+  /// cycle) and the golden pipeline is evaluated lane-parallel.
+  /// Tracing simulators fall back to the scalar loop.
+  void step_cycle_batch(std::span<const std::uint64_t> operands,
+                        std::size_t count,
+                        std::span<SeqCycleResult> results);
+
   const SeqDut& seq() const noexcept { return seq_; }
   std::size_t num_stages() const noexcept { return engines_.size(); }
   std::size_t num_operands() const noexcept { return seq_.num_operands(); }
@@ -107,6 +121,17 @@ class SeqSim {
   /// a deliberate simplification (DESIGN.md §10); the multi-cycle VCD
   /// spaces cycles by this period so event times stay aligned.
   double capture_period_ps() const noexcept { return capture_tclk_ps_; }
+
+  /// Moves every stage engine's capture threshold to `capture_ps` on
+  /// the same die (SimEngine::retarget_tclk_ps) and refreshes the
+  /// hoisted per-stage leakage. Returns false — and changes nothing —
+  /// unless every stage runs the levelized backend. This is the
+  /// characterizer's normalized-grid tool: Vdd/Vbb move as one common
+  /// delay-scale factor, so a whole triad ladder replays on one
+  /// normalized pipeline by sliding the threshold (energies rescaled
+  /// by the caller); triad() keeps reporting the constructed triad.
+  /// Call reset() before the next stream.
+  bool retarget_capture_ps(double capture_ps);
 
   /// Stage k's Razor monitor (shadow-vs-main statistics from the
   /// simulator, the closed-loop controller's sensor).
@@ -135,6 +160,12 @@ class SeqSim {
   /// per-cycle golden; avoids rebuilding DutPinMaps in the hot loop).
   std::uint64_t golden_output(std::span<const std::uint64_t> operands);
 
+  /// Lane-parallel golden: out[c] = golden_output(cycle c's operands)
+  /// for up to lanes::kWordLanes cycles, one packed evaluate_logic
+  /// pass per stage. Bit-identical to the scalar golden (pure logic).
+  void golden_output_batch(std::span<const std::uint64_t> operands,
+                           std::size_t count, std::uint64_t* out);
+
   const SeqDut& seq_;
   OperatingTriad op_;
   double capture_tclk_ps_ = 0.0;
@@ -143,6 +174,18 @@ class SeqSim {
   double clock_energy_fj_ = 0.0;
   std::vector<DutPinMap> pins_;
   std::vector<std::vector<int>> stage_widths_;  ///< operand widths / stage
+  /// Stage k's PI slot for every bit of its packed register-bank word
+  /// (operand buses concatenated in split_bank_word order): the batch
+  /// path scatters bank bits straight into engine input buffers with no
+  /// per-cycle split_bank_word/fill_inputs round-trip (k >= 1; stage 0
+  /// is fed from the separate external operand words).
+  std::vector<std::vector<std::size_t>> bank_slot_;
+  /// Net feeding output-bus bit i of stage k (primary-output order
+  /// resolved through the pin map), for lane-word golden gathers.
+  std::vector<std::vector<NetId>> stage_po_net_;
+  /// Per-stage leakage × Tclk/(Tclk−setup), precomputed: the identical
+  /// product the scalar path used to evaluate every cycle.
+  std::vector<double> stage_leak_fj_;
   std::vector<std::unique_ptr<SimEngine>> engines_;
   /// bank_[0]: external operand words; bank_[k]: stage k's operand
   /// words, split from stage k-1's sampled output.
@@ -154,6 +197,14 @@ class SeqSim {
   std::vector<std::uint64_t> golden_words_;  ///< golden-eval scratch
   std::vector<SeqCycleTrace> traces_;
   std::uint64_t cycles_ = 0;
+  // step_cycle_batch scratch (avoids per-chunk allocation).
+  std::vector<std::uint8_t> batch_inputs_;     ///< chunk × stage PIs
+  std::vector<StepResult> batch_results_;      ///< stages × chunk
+  std::vector<std::uint64_t> batch_sampled_w_;  ///< stages × chunk
+  std::vector<std::uint64_t> batch_shadow_w_;   ///< stages × chunk
+  std::vector<std::uint64_t> batch_golden_;     ///< per-cycle golden
+  std::vector<std::uint64_t> golden_pi_words_;  ///< per-PI lane words
+  std::vector<std::uint64_t> golden_values_;    ///< per-net lane words
 };
 
 }  // namespace vosim

@@ -4,6 +4,10 @@
 #include <bit>
 #include <cmath>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "src/netlist/eval.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/gate_timing.hpp"
@@ -14,52 +18,189 @@ namespace vosim {
 
 namespace {
 
-/// Packed 64-lane evaluation of a cell function. Lane-wise identical to
-/// cell_truth(kind) — the SimEngine.PackedEvalMatchesTruthTables test
-/// checks every kind against every minterm.
-std::uint64_t eval_packed(CellKind kind, std::uint64_t a, std::uint64_t b,
-                          std::uint64_t c) {
-  switch (kind) {
-    case CellKind::kInv: return ~a;
-    case CellKind::kBuf: return a;
-    case CellKind::kNand2: return ~(a & b);
-    case CellKind::kNor2: return ~(a | b);
-    case CellKind::kAnd2: return a & b;
-    case CellKind::kOr2: return a | b;
-    case CellKind::kXor2: return a ^ b;
-    case CellKind::kXnor2: return ~(a ^ b);
-    case CellKind::kAoi21: return ~((a & b) | c);
-    case CellKind::kOai21: return ~((a | b) & c);
-    case CellKind::kAo21: return (a & b) | c;
-    case CellKind::kMaj3: return (a & b) | (c & (a | b));
-    case CellKind::kTieLo: return 0;
-    case CellKind::kTieHi: return ~0ULL;
-  }
-  return 0;
-}
-
-std::uint64_t lane_mask(std::size_t lanes) {
-  return lanes >= 64 ? ~0ULL : ((1ULL << lanes) - 1ULL);
-}
-
-/// Accounting policy for one fixed clock threshold: fills per-lane
-/// StepResults and reports window membership so the caller can track
-/// the sampled (parity-of-commits-in-window) value.
+/// Accounting policy for one fixed clock threshold: per-lane SoA
+/// accumulators (folded into StepResults by run_lanes — contiguous
+/// arrays keep the hot commit loops cache-dense and vectorizable).
+/// kWindowOnly drops the totals: the cycle-mode callers (step_cycle /
+/// step_cycle_batch) define totals == window ("nothing is simulated
+/// past the edge") and overwrite them, so tracking both is pure waste
+/// there.
+template <bool kWindowOnly>
 struct SingleThresholdAcct {
   double tclk_ps;
-  StepResult* results;
+  std::size_t nlanes;  ///< word sweeps stop here (1 for scalar passes)
+  double* win_e;
+  double* settle;
+  std::uint32_t* win_t;
+  double* tot_e;         // null when kWindowOnly
+  std::uint32_t* tot_t;  // null when kWindowOnly
+
+  /// Word-commit eligible: launch-edge (t = 0) commits account a whole
+  /// lane word per call instead of per-lane commits.
+  static constexpr bool kWordCommit = true;
 
   bool commit(NetId /*net*/, int k, double tc, double energy) {
-    StepResult& r = results[k];
-    ++r.toggles_total;
-    r.total_energy_fj += energy;
-    r.settle_time_ps = std::max(r.settle_time_ps, tc);
+    if constexpr (!kWindowOnly) {
+      ++tot_t[k];
+      tot_e[k] += energy;
+    }
+    settle[k] = std::max(settle[k], tc);
     if (tc < tclk_ps) {
-      ++r.toggles_in_window;
-      r.window_energy_fj += energy;
+      ++win_t[k];
+      win_e[k] += energy;
       return true;
     }
     return false;
+  }
+
+#if defined(__AVX2__)
+  /// Vectorized in-window single-flip commits: every lane in `m`
+  /// commits exactly once at t_in[k] + delay (the caller proved STA
+  /// arrival < Tclk, so the window test is statically true). Per-lane
+  /// arithmetic is exactly commit()'s — one IEEE add per accumulator,
+  /// one max — and vectorization only changes which lanes run
+  /// together, never a lane's own operation sequence, so the results
+  /// are bit-identical to the scalar loop. Inactive lanes are masked
+  /// to += 0.0 / max-with-0.0 no-ops (the accumulators are sums of
+  /// non-negative terms, never -0.0, and settle >= 0); their t_in may
+  /// be uninitialized but never escapes the mask.
+  void commit_flips_simd(std::uint64_t m, const double* t_in, double delay,
+                         double energy, double* tout) {
+    const __m256d vd = _mm256_set1_pd(delay);
+    const __m256d ve = _mm256_set1_pd(energy);
+    const __m256i lanebit = _mm256_setr_epi64x(1, 2, 4, 8);
+    for (std::size_t base = 0; base < LevelizedSimulator::kLanes;
+         base += 4) {
+      const auto nib = static_cast<long long>((m >> base) & 0xF);
+      if (nib == 0) continue;
+      const __m256i sel = _mm256_cmpeq_epi64(
+          _mm256_and_si256(_mm256_set1_epi64x(nib), lanebit), lanebit);
+      const __m256d mask = _mm256_castsi256_pd(sel);
+      const __m256d tc = _mm256_and_pd(
+          mask, _mm256_add_pd(_mm256_loadu_pd(t_in + base), vd));
+      const __m256d em = _mm256_and_pd(mask, ve);
+      _mm256_storeu_pd(
+          win_e + base,
+          _mm256_add_pd(_mm256_loadu_pd(win_e + base), em));
+      _mm256_storeu_pd(
+          settle + base,
+          _mm256_max_pd(_mm256_loadu_pd(settle + base), tc));
+      _mm256_storeu_pd(
+          tout + base,
+          _mm256_blendv_pd(_mm256_loadu_pd(tout + base), tc, mask));
+      if constexpr (!kWindowOnly)
+        _mm256_storeu_pd(
+            tot_e + base,
+            _mm256_add_pd(_mm256_loadu_pd(tot_e + base), em));
+    }
+    std::uint64_t mm = m;
+    while (mm != 0) {
+      const int k = std::countr_zero(mm);
+      mm &= mm - 1;
+      ++win_t[k];
+      if constexpr (!kWindowOnly) ++tot_t[k];
+    }
+  }
+
+  /// Vectorized two-changed-input single commits for an in-window
+  /// gate: every lane in `m` has exactly inputs i and j changed
+  /// (pulse-free) and a changed output, so it commits once — at the
+  /// first input event when that already yields the settled value,
+  /// else at the second (two_changed_lane's commit branch, same
+  /// min/max/select arithmetic, so bit-identical results). wi/wj are
+  /// the gate subset words W[1<<i] / W[1<<j], `settled` the settled
+  /// output word.
+  void commit_two_simd(std::uint64_t m, const double* ti, const double* tj,
+                       std::uint64_t wi, std::uint64_t wj,
+                       std::uint64_t settled, double delay, double energy,
+                       double* tout) {
+    const __m256d vd = _mm256_set1_pd(delay);
+    const __m256d ve = _mm256_set1_pd(energy);
+    const __m256i lanebit = _mm256_setr_epi64x(1, 2, 4, 8);
+    const __m256i one64 = _mm256_set1_epi64x(1);
+    const __m256i vwi = _mm256_set1_epi64x(static_cast<long long>(wi));
+    const __m256i vwj = _mm256_set1_epi64x(static_cast<long long>(wj));
+    const __m256i vst = _mm256_set1_epi64x(static_cast<long long>(settled));
+    for (std::size_t base = 0; base < LevelizedSimulator::kLanes;
+         base += 4) {
+      const auto nib = static_cast<long long>((m >> base) & 0xF);
+      if (nib == 0) continue;
+      const __m256i am = _mm256_cmpeq_epi64(
+          _mm256_and_si256(_mm256_set1_epi64x(nib), lanebit), lanebit);
+      const __m256d amd = _mm256_castsi256_pd(am);
+      const __m256d vti = _mm256_loadu_pd(ti + base);
+      const __m256d vtj = _mm256_loadu_pd(tj + base);
+      // sel: the second (j) input flipped first, so the mid state has
+      // input i still stale (two_changed_lane's swap branch).
+      const __m256i sel = _mm256_castpd_si256(
+          _mm256_cmp_pd(vtj, vti, _CMP_LT_OQ));
+      const __m256i sh = _mm256_add_epi64(
+          _mm256_set1_epi64x(static_cast<long long>(base)),
+          _mm256_setr_epi64x(0, 1, 2, 3));
+      const __m256i bi =
+          _mm256_and_si256(_mm256_srlv_epi64(vwi, sh), one64);
+      const __m256i bj =
+          _mm256_and_si256(_mm256_srlv_epi64(vwj, sh), one64);
+      const __m256i bs =
+          _mm256_and_si256(_mm256_srlv_epi64(vst, sh), one64);
+      const __m256i mid = _mm256_blendv_epi8(bj, bi, sel);
+      const __m256d use_first =
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(mid, bs));
+      const __m256d tf = _mm256_min_pd(vti, vtj);
+      const __m256d ts = _mm256_max_pd(vti, vtj);
+      const __m256d tc = _mm256_and_pd(
+          amd,
+          _mm256_add_pd(_mm256_blendv_pd(ts, tf, use_first), vd));
+      const __m256d em = _mm256_and_pd(amd, ve);
+      _mm256_storeu_pd(
+          win_e + base,
+          _mm256_add_pd(_mm256_loadu_pd(win_e + base), em));
+      _mm256_storeu_pd(
+          settle + base,
+          _mm256_max_pd(_mm256_loadu_pd(settle + base), tc));
+      _mm256_storeu_pd(
+          tout + base,
+          _mm256_blendv_pd(_mm256_loadu_pd(tout + base), tc, amd));
+      if constexpr (!kWindowOnly)
+        _mm256_storeu_pd(
+            tot_e + base,
+            _mm256_add_pd(_mm256_loadu_pd(tot_e + base), em));
+    }
+    std::uint64_t mm = m;
+    while (mm != 0) {
+      const int k = std::countr_zero(mm);
+      mm &= mm - 1;
+      ++win_t[k];
+      if constexpr (!kWindowOnly) ++tot_t[k];
+    }
+  }
+#endif  // __AVX2__
+
+  /// Word commit at t = 0 (primary-input launch commits): in-window by
+  /// definition, and settle = max(settle, 0) is a no-op. The
+  /// branchless sweep auto-vectorizes; inactive lanes contribute
+  /// bitwise-identity no-ops — += 0.0 (the accumulators are sums of
+  /// non-negative terms, never -0.0) and a tout self-assign — so each
+  /// lane holds exactly what per-lane commit() calls would produce.
+  void commit_word_zero(std::uint64_t m, double energy, double* tout) {
+    double* __restrict we = win_e;
+    double* __restrict to = tout;
+    std::uint32_t* __restrict wt = win_t;
+    for (std::size_t k = 0; k < nlanes; ++k) {
+      const bool a = ((m >> k) & 1ULL) != 0;
+      we[k] += a ? energy : 0.0;
+      to[k] = a ? 0.0 : to[k];
+      wt[k] += static_cast<std::uint32_t>(a);
+    }
+    if constexpr (!kWindowOnly) {
+      double* __restrict te = tot_e;
+      std::uint32_t* __restrict tt = tot_t;
+      for (std::size_t k = 0; k < nlanes; ++k) {
+        const bool a = ((m >> k) & 1ULL) != 0;
+        te[k] += a ? energy : 0.0;
+        tt[k] += static_cast<std::uint32_t>(a);
+      }
+    }
   }
 };
 
@@ -70,6 +211,8 @@ struct SingleThresholdAcct {
 /// words (a net's sampled value at τ is its stale value XOR the parity
 /// of its commits before τ).
 struct MultiThresholdAcct {
+  static constexpr bool kWordCommit = false;  // every commit is bucketed
+
   std::span<const double> thresholds_ps;
   double* ediff;              // (nthr+1) × kLanes, bucket-major
   std::uint32_t* tdiff;       // (nthr+1) × kLanes
@@ -114,12 +257,18 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
 
   // Identical delay assignment (and variation-sample sequence) to the
   // event engine: a given (sigma, seed) names the same die under both
-  // backends, so cross-backend comparisons see one circuit.
+  // backends, so cross-backend comparisons see one circuit. The
+  // triad's delay scale is gate-independent, so it is evaluated once
+  // (same product, bit-identical to gate_delay_ps per gate).
   gate_delay_ps_.resize(netlist.num_gates());
   Rng vrng(config.variation_seed);
+  const double dscale = tm.delay_scale(op_.vdd_v, op_.vbb_v);
   for (GateId gid = 0; gid < netlist.num_gates(); ++gid) {
     const Gate& g = netlist.gate(gid);
-    double d = gate_delay_ps(lib.cell(g.kind), loads[g.out], tm, op_);
+    const Cell& cell = lib.cell(g.kind);
+    const double nominal_ps =
+        cell.intrinsic_delay_ps + cell.drive_ps_per_ff * loads[g.out];
+    double d = nominal_ps * dscale;
     if (config.variation_sigma > 0.0)
       d *= std::exp(config.variation_sigma * vrng.gaussian());
     gate_delay_ps_[gid] = d;
@@ -131,22 +280,40 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
 
   double leak_nw = netlist.cell_leakage_nw(lib);
   leak_nw *= tm.leakage_scale(op_.vdd_v, op_.vbb_v);
+  leak_nw_scaled_ = leak_nw;
   leakage_energy_fj_ = leak_nw * 1e-3 * tclk_ps_ * 1e-3;  // nW·ps → fJ
 
   arrival_ps_ = arrival_times_ps(netlist, gate_delay_ps_);
   for (const NetId po : netlist.primary_outputs())
     critical_path_ps_ = std::max(critical_path_ps_, arrival_ps_[po]);
 
+  // Cycle-mode fast-path eligibility. Every commit time at a gate is an
+  // event-time + delay chain bounded by the same IEEE additions the STA
+  // recurrence performs (PIs commit at 0, catch-ups below Tclk), so
+  // arrival < Tclk proves all of the gate's commits land in-window in
+  // every lane of every cycle: its sampled word equals its settled word
+  // and stale(k) = sampled(k-1) collapses to the streaming recurrence
+  // stale(k) = settled(k-1).
+  cycle_safe_.resize(netlist.num_gates());
+  for (GateId gid = 0; gid < netlist.num_gates(); ++gid)
+    cycle_safe_[gid] =
+        arrival_ps_[netlist.gate(gid).out] < tclk_ps_ ? 1 : 0;
+
   settled_w_.assign(netlist.num_nets(), 0);
   stale_w_.assign(netlist.num_nets(), 0);
   sampled_w_.assign(netlist.num_nets(), 0);
-  time_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  time_ps_ = std::make_unique_for_overwrite<double[]>(
+      netlist.num_nets() * kLanes);
   pulsing_w_.assign(netlist.num_nets(), 0);
-  pulse_start_ps_.assign(netlist.num_nets() * kLanes, 0.0);
-  pulse_end_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  pulse_start_ps_ = std::make_unique_for_overwrite<double[]>(
+      netlist.num_nets() * kLanes);
+  pulse_end_ps_ = std::make_unique_for_overwrite<double[]>(
+      netlist.num_nets() * kLanes);
   pulsing2_w_.assign(netlist.num_nets(), 0);
-  pulse2_start_ps_.assign(netlist.num_nets() * kLanes, 0.0);
-  pulse2_end_ps_.assign(netlist.num_nets() * kLanes, 0.0);
+  pulse2_start_ps_ = std::make_unique_for_overwrite<double[]>(
+      netlist.num_nets() * kLanes);
+  pulse2_end_ps_ = std::make_unique_for_overwrite<double[]>(
+      netlist.num_nets() * kLanes);
 
   po_index_.assign(netlist.num_nets(), -1);
   const auto pos = netlist.primary_outputs();
@@ -156,6 +323,18 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
   // Establish a consistent all-zero-input state.
   std::vector<std::uint8_t> zeros(netlist.primary_inputs().size(), 0);
   reset(zeros);
+}
+
+bool LevelizedSimulator::retarget_tclk_ps(double tclk_ps) {
+  VOSIM_EXPECTS(tclk_ps > 0.0);
+  tclk_ps_ = tclk_ps;
+  op_.tclk_ns = tclk_ps * 1e-3;
+  // Same expressions as construction, against the cached die.
+  leakage_energy_fj_ = leak_nw_scaled_ * 1e-3 * tclk_ps_ * 1e-3;
+  for (GateId gid = 0; gid < netlist_.num_gates(); ++gid)
+    cycle_safe_[gid] =
+        arrival_ps_[netlist_.gate(gid).out] < tclk_ps_ ? 1 : 0;
+  return true;
 }
 
 void LevelizedSimulator::reset(std::span<const std::uint8_t> inputs) {
@@ -181,7 +360,7 @@ StepResult LevelizedSimulator::step_cycle(
   for (std::size_t j = 0; j < pis.size(); ++j)
     settled_w_[pis[j]] = inputs[j] ? 1ULL : 0ULL;
   StepResult result;
-  run_lanes(1, {&result, 1}, /*truncate_state=*/true);
+  run_lanes(1, {&result, 1}, /*cycle_mode=*/true);
   // Nothing is simulated past the edge in cycle mode.
   result.total_energy_fj = result.window_energy_fj;
   result.toggles_total = result.toggles_in_window;
@@ -206,6 +385,32 @@ void LevelizedSimulator::step_batch(std::span<const std::uint8_t> inputs,
     }
     run_lanes(lanes, results.subspan(done, lanes));
     done += lanes;
+  }
+}
+
+void LevelizedSimulator::step_cycle_batch(std::span<const std::uint8_t> inputs,
+                                          std::size_t count,
+                                          std::span<StepResult> results) {
+  const auto pis = netlist_.primary_inputs();
+  const std::size_t npis = pis.size();
+  VOSIM_EXPECTS(inputs.size() == count * npis);
+  VOSIM_EXPECTS(results.size() >= count);
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t lanes = std::min(kLanes, count - done);
+    for (std::size_t j = 0; j < npis; ++j) {
+      std::uint64_t w = 0;
+      for (std::size_t k = 0; k < lanes; ++k)
+        if (inputs[(done + k) * npis + j]) w |= 1ULL << k;
+      settled_w_[pis[j]] = w;
+    }
+    run_lanes(lanes, results.subspan(done, lanes), /*cycle_mode=*/true);
+    done += lanes;
+  }
+  // Nothing is simulated past the edge in cycle mode.
+  for (std::size_t k = 0; k < count; ++k) {
+    results[k].total_energy_fj = results[k].window_energy_fj;
+    results[k].toggles_total = results[k].toggles_in_window;
   }
 }
 
@@ -235,14 +440,18 @@ void LevelizedSimulator::step_batch_sweep(
   }
 }
 
-template <class Acct>
+template <bool kCycleMode, class Acct>
 void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
-  const std::uint64_t used = lane_mask(lanes);
+  const std::uint64_t used = lanes::mask(lanes);
 
   // Primary inputs: lane k's stale value is lane k-1's value (lane 0
   // continues from the carried state); input transitions commit at
   // t = 0, like the event engine's launch-edge commits. Sampled values
   // are tracked as stale XOR the parity of commits inside the window.
+  // PIs always commit at t = 0 < Tclk, so their sampled value equals
+  // their settled value and the streaming recurrence stale(k) =
+  // settled(k-1) coincides with the cycle-mode recurrence stale(k) =
+  // sampled(k-1): this block serves both modes unchanged.
   for (const NetId pi : netlist_.primary_inputs()) {
     const std::uint64_t settled = settled_w_[pi] & used;
     settled_w_[pi] = settled;
@@ -253,15 +462,22 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     pulsing2_w_[pi] = 0;
     const double energy = net_energy_fj_[pi];
     double* t = &time_ps_[static_cast<std::size_t>(pi) * kLanes];
-    std::uint64_t sampled = stale;
     std::uint64_t m = settled ^ stale;
-    while (m != 0) {
-      const int k = std::countr_zero(m);
-      m &= m - 1;
-      t[k] = 0.0;
-      if (acct.commit(pi, k, 0.0, energy)) sampled ^= 1ULL << k;
+    if constexpr (Acct::kWordCommit) {
+      // Every launch commit is in-window, so the sampled word is just
+      // the settled word.
+      if (m != 0) acct.commit_word_zero(m, energy, t);
+      sampled_w_[pi] = settled;
+    } else {
+      std::uint64_t sampled = stale;
+      while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        t[k] = 0.0;
+        if (acct.commit(pi, k, 0.0, energy)) sampled ^= 1ULL << k;
+      }
+      sampled_w_[pi] = sampled;
     }
-    sampled_w_[pi] = sampled;
   }
 
   // One levelized pass. Values: packed 64-lane evaluation per gate.
@@ -287,6 +503,17 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
   // one return pulse (middle bounces of longer chatter are merged) —
   // and an unchanged output's commits are forwarded as one merged
   // pulse.
+  //
+  // Lane semantics differ per mode. Streaming (step/step_batch/sweep):
+  // lane k is an independent pattern whose stale value is lane k-1's
+  // settled value, so stale/changed are whole-word shifts and lanes
+  // are order-free. Cycle mode (step_cycle/step_cycle_batch): lane k
+  // is clock cycle k and launches from lane k-1's *sampled* (at-edge
+  // truncated) value, so active lanes resolve in ascending lane order
+  // — each per-lane body below is shared verbatim between the two
+  // dispatch loops, which keeps the commit sequence (and therefore
+  // the floating-point energy accumulation) of any one lane identical
+  // whether it was reached by streaming masks or by the cycle scan.
   for (const GateId gid : netlist_.topo_order()) {
     const Gate& g = netlist_.gate(gid);
     const NetId out = g.out;
@@ -298,26 +525,82 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     std::uint64_t in_changed[3] = {0, 0, 0};
     std::uint64_t in_pulsing[3] = {0, 0, 0};
     std::uint64_t in_pulsing2[3] = {0, 0, 0};
-    const double* in_time[3] = {nullptr, nullptr, nullptr};
-    const double* in_ps[3] = {nullptr, nullptr, nullptr};
-    const double* in_pe[3] = {nullptr, nullptr, nullptr};
-    const double* in_ps2[3] = {nullptr, nullptr, nullptr};
-    const double* in_pe2[3] = {nullptr, nullptr, nullptr};
     std::uint64_t any_pulse = 0;
+    std::uint64_t any_changed = 0;
     for (int i = 0; i < n; ++i) {
       const NetId in = g.in[i];
-      const auto base = static_cast<std::size_t>(in) * kLanes;
       in_settled[i] = settled_w_[in];
       in_stale[i] = stale_w_[in];
       in_changed[i] = in_settled[i] ^ in_stale[i];
       in_pulsing[i] = pulsing_w_[in];
       in_pulsing2[i] = pulsing2_w_[in];
+      any_pulse |= in_pulsing[i] | in_pulsing2[i];
+      any_changed |= in_changed[i];
+    }
+
+    // Quiet-gate fast exit: no input changed and nothing pulses, so no
+    // lane walks, no subset words beyond W[0] and no pulse bookkeeping.
+    // All that remains of the general path is the settled/stale/sampled
+    // word hand-off plus the catch-up sweep over changed-but-inactive
+    // lanes (cycle mode; empty under the streaming invariant) — commit
+    // for commit what the full dispatch would do on such a gate.
+    if (((any_changed | any_pulse) & used) == 0) {
+      const std::uint64_t settled =
+          eval_cell_packed(g.kind, in_settled[0], in_settled[1],
+                           in_settled[2]) &
+          used;
+      settled_w_[out] = settled;
+      const std::uint64_t state0 =
+          static_cast<std::uint64_t>(state_[out] & 1);
+      const bool word_recurrence = !kCycleMode || cycle_safe_[gid] != 0;
+      std::uint64_t sampled;
+      std::uint64_t m_catch;
+      if (word_recurrence) {
+        const std::uint64_t stale = ((settled << 1) | state0) & used;
+        stale_w_[out] = stale;
+        sampled = stale;
+        m_catch = (settled ^ stale) & used;
+      } else {
+        // Every lane is inactive: sampled(k) = settled(k) (the only
+        // possible commit is the in-window catch-up), so the stale
+        // chain is the settled word shifted by one cycle.
+        sampled = settled;
+        const std::uint64_t stale = ((settled << 1) | state0) & used;
+        stale_w_[out] = stale;
+        m_catch = (settled ^ stale) & used;
+      }
+      if (m_catch != 0) {
+        const double delay = gate_delay_ps_[gid];
+        const double energy = net_energy_fj_[out];
+        const double tc = std::min(delay, 0.999 * tclk_ps_);
+        double* tout = &time_ps_[static_cast<std::size_t>(out) * kLanes];
+        std::uint64_t m = m_catch;
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          if (acct.commit(out, k, tc, energy))
+            sampled = (sampled & ~(1ULL << k)) | (settled & (1ULL << k));
+          tout[k] = tc;
+        }
+      }
+      sampled_w_[out] = sampled;
+      pulsing_w_[out] = 0;
+      pulsing2_w_[out] = 0;
+      continue;
+    }
+
+    const double* in_time[3] = {nullptr, nullptr, nullptr};
+    const double* in_ps[3] = {nullptr, nullptr, nullptr};
+    const double* in_pe[3] = {nullptr, nullptr, nullptr};
+    const double* in_ps2[3] = {nullptr, nullptr, nullptr};
+    const double* in_pe2[3] = {nullptr, nullptr, nullptr};
+    for (int i = 0; i < n; ++i) {
+      const auto base = static_cast<std::size_t>(g.in[i]) * kLanes;
       in_time[i] = &time_ps_[base];
       in_ps[i] = &pulse_start_ps_[base];
       in_pe[i] = &pulse_end_ps_[base];
       in_ps2[i] = &pulse2_start_ps_[base];
       in_pe2[i] = &pulse2_end_ps_[base];
-      any_pulse |= in_pulsing[i] | in_pulsing2[i];
     }
 
     // W[s]: packed gate value with the inputs in subset s still stale.
@@ -329,21 +612,43 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           n > 1 ? ((s & 2u) ? in_stale[1] : in_settled[1]) : 0;
       const std::uint64_t wc =
           n > 2 ? ((s & 4u) ? in_stale[2] : in_settled[2]) : 0;
-      W[s] = eval_packed(g.kind, wa, wb, wc) & used;
+      W[s] = eval_cell_packed(g.kind, wa, wb, wc) & used;
     }
     const std::uint64_t settled = W[0];
     settled_w_[out] = settled;
-    const std::uint64_t stale =
-        ((settled << 1) | static_cast<std::uint64_t>(state_[out] & 1)) & used;
-    stale_w_[out] = stale;
-    const std::uint64_t changed = settled ^ stale;
+    const std::uint64_t state0 = static_cast<std::uint64_t>(state_[out] & 1);
 
-    std::uint64_t sampled = stale;
+    // A cycle-safe gate (STA arrival < Tclk, cycle_safe_) never commits
+    // past the edge, and neither does anything in its fan-in cone
+    // (arrival is nondecreasing along paths), so its sampled word always
+    // equals its settled word and stale(k) = sampled(k-1) collapses to
+    // the streaming recurrence — such gates take the packed streaming
+    // dispatch even in cycle mode. Only gates reachable past the edge
+    // pay the serial ascending lane scan.
+    const bool word_recurrence = !kCycleMode || cycle_safe_[gid] != 0;
+    std::uint64_t stale;
+    std::uint64_t changed;
+    std::uint64_t sampled;
+    if (word_recurrence) {
+      stale = ((settled << 1) | state0) & used;
+      stale_w_[out] = stale;
+      changed = settled ^ stale;
+      sampled = stale;
+    } else {
+      // Built lane by lane in the cycle scan below; lanes without input
+      // activity sample their settled value (their only possible commit
+      // is the catch-up, which always lands inside the window).
+      stale = 0;
+      changed = 0;
+      sampled = settled;
+    }
+
     std::uint64_t pulsing = 0;
     std::uint64_t pulsing2 = 0;
     std::uint64_t committed = 0;  // lanes whose output committed a flip
     const double delay = gate_delay_ps_[gid];
     const double energy = net_energy_fj_[out];
+    const std::uint16_t truth = cell_truth(g.kind);
     const auto base_out = static_cast<std::size_t>(out) * kLanes;
     double* tout = &time_ps_[base_out];
     double* pout_s = &pulse_start_ps_[base_out];
@@ -351,77 +656,166 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     double* pout2_s = &pulse2_start_ps_[base_out];
     double* pout2_e = &pulse2_end_ps_[base_out];
 
-    // Changed-input count masks, pulse-free lanes only.
     const std::uint64_t ch0 = in_changed[0];
     const std::uint64_t ch1 = in_changed[1];
     const std::uint64_t ch2 = in_changed[2];
-    const std::uint64_t pairs = (ch0 & ch1) | (ch0 & ch2) | (ch1 & ch2);
-    const std::uint64_t three = ch0 & ch1 & ch2 & ~any_pulse & used;
-    const std::uint64_t two = pairs & ~(ch0 & ch1 & ch2) & ~any_pulse & used;
-    const std::uint64_t one =
-        (ch0 ^ ch1 ^ ch2) & ~pairs & ~any_pulse & used;
 
-    // Exactly one changed input: a sensitized lane commits once at
-    // t + delay; a non-sensitized lane does nothing at all.
-    for (int i = 0; i < n; ++i) {
-      std::uint64_t m = one & in_changed[i] & (W[1u << i] ^ settled);
-      while (m != 0) {
-        const int k = std::countr_zero(m);
-        m &= m - 1;
-        const double tc = in_time[i][k] + delay;
-        if (acct.commit(out, k, tc, energy)) sampled ^= 1ULL << k;
-        committed |= 1ULL << k;
-        tout[k] = tc;
+    // Single-pulse classification. A lane whose only input activity is
+    // one surviving pulse on input i (no changed inputs, no second
+    // pulse, no pulse on another input) splits by sensitization at the
+    // lane's settled (== stale) input state: not sensitized means the
+    // generic walk would build zero output events — the lane needs no
+    // walk at all (pulse_skip) — and sensitized means the walk is a
+    // single closed-form excursion (thru[i] → pulse_through_lane).
+    // Both reproduce pulse_lane bit-exactly; at deep over-scaling,
+    // where glitch fanout makes the generic walk the dominant cost,
+    // most pulse-fed lanes fall into these two classes.
+    std::uint64_t thru[3] = {0, 0, 0};
+    std::uint64_t pulse_skip = 0;
+    // Changed+pulse pairs: lanes whose only activity is one changed
+    // input j (no bounce) plus one surviving pulse on unchanged input
+    // i. Their generic walk has exactly three events with values drawn
+    // from four packed words, so it collapses to a closed-form walk
+    // (changed_pulse_lane) with no event-list build, truth lookups or
+    // per-input pointer chasing. cp_m/cp_j/cp_i/cp_est/cp_ese hold the
+    // per-pair lane masks and the two extra packed evaluations (input
+    // i complemented, with j stale resp. settled).
+    int cp_j[6];
+    int cp_i[6];
+    std::uint64_t cp_m[6];
+    std::uint64_t cp_est[6];
+    std::uint64_t cp_ese[6];
+    int ncp = 0;
+    std::uint64_t cp_all = 0;
+    // Pure bounce class: one changed input j carrying its own return
+    // pulse, every other input quiet (bounce_lane below).
+    std::uint64_t bn[3] = {0, 0, 0};
+    std::uint64_t bn_all = 0;
+    int bc_j[6];
+    int bc_l[6];
+    std::uint64_t bc_m[6];
+    int nbc = 0;
+    std::uint64_t bc_all = 0;
+    if (any_pulse != 0) {
+      const std::uint64_t quiet = ~(ch0 | ch1 | ch2);
+      // Packed evaluation with input i complemented and input js (or
+      // none, js < 0) at its stale word: the value the gate shows
+      // during an excursion of input i.
+      const auto eval_comp = [&](int i, int js) {
+        std::uint64_t wa = js == 0 ? in_stale[0] : in_settled[0];
+        std::uint64_t wb = n > 1 ? (js == 1 ? in_stale[1] : in_settled[1]) : 0;
+        std::uint64_t wc = n > 2 ? (js == 2 ? in_stale[2] : in_settled[2]) : 0;
+        if (i == 0) wa = ~wa;
+        if (i == 1) wb = ~wb;
+        if (i == 2) wc = ~wc;
+        return eval_cell_packed(g.kind, wa, wb, wc);
+      };
+      for (int i = 0; i < n; ++i) {
+        std::uint64_t only = in_pulsing[i] & ~in_pulsing2[i] & quiet & used;
+        for (int j = 0; j < n; ++j)
+          if (j != i) only &= ~(in_pulsing[j] | in_pulsing2[j]);
+        if (only == 0) continue;
+        const std::uint64_t sens = (eval_comp(i, -1) ^ settled) & only;
+        thru[i] = sens;
+        pulse_skip |= only & ~sens;
       }
-    }
-
-    // Exactly two changed inputs (i first, j second by transition
-    // time): the trajectory is stale → mid → settled with
-    // mid = W[{j}] while j is still old.
-    for (int i = 0; n >= 2 && i < n - 1; ++i) {
-      for (int j = i + 1; j < n; ++j) {
-        std::uint64_t m = two & in_changed[i] & in_changed[j];
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
-          const std::uint64_t bit = 1ULL << k;
-          double tf = in_time[i][k];
-          double ts = in_time[j][k];
-          std::uint64_t mid_w = W[1u << j];
-          if (ts < tf) {
-            std::swap(tf, ts);
-            mid_w = W[1u << i];
-          }
-          if ((changed & bit) != 0) {
-            // Single commit: at the first flip when it already
-            // produces the final value, else at the second.
-            const double tc =
-                (((mid_w ^ settled) & bit) == 0 ? tf : ts) + delay;
-            if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-            committed |= bit;
-            tout[k] = tc;
-          } else if (((mid_w ^ settled) & bit) != 0 && tf + delay <= ts) {
-            // Surviving glitch pulse [tf+delay, ts+delay) on an
-            // unchanged output: two commits, forwarded downstream;
-            // a capture edge inside it samples the transient.
-            const double t1 = tf + delay;
-            const double t2 = ts + delay;
-            if (acct.commit(out, k, t1, energy)) sampled ^= bit;
-            if (acct.commit(out, k, t2, energy)) sampled ^= bit;
-            pulsing |= bit;
-            pout_s[k] = t1;
-            pout_e[k] = t2;
-          }
+      for (int j = 0; any_changed != 0 && j < n; ++j) {
+        std::uint64_t chonly =
+            in_changed[j] & ~in_pulsing[j] & ~in_pulsing2[j] & used;
+        for (int t = 0; t < n; ++t)
+          if (t != j) chonly &= ~in_changed[t];
+        if (chonly == 0) continue;
+        for (int i = 0; i < n; ++i) {
+          if (i == j) continue;
+          std::uint64_t m = chonly & in_pulsing[i] & ~in_pulsing2[i];
+          for (int t = 0; t < n; ++t)
+            if (t != i) m &= ~(in_pulsing[t] | in_pulsing2[t]);
+          if (m == 0) continue;
+          cp_j[ncp] = j;
+          cp_i[ncp] = i;
+          cp_m[ncp] = m;
+          cp_est[ncp] = eval_comp(i, j);
+          cp_ese[ncp] = eval_comp(i, -1);
+          cp_all |= m;
+          ++ncp;
+        }
+      }
+      for (int j = 0; any_changed != 0 && j < n; ++j) {
+        std::uint64_t m = in_changed[j] & in_pulsing[j] & ~in_pulsing2[j] & used;
+        for (int t = 0; t < n; ++t)
+          if (t != j) m &= ~(in_changed[t] | in_pulsing[t] | in_pulsing2[t]);
+        bn[j] = m;
+        bn_all |= m;
+      }
+      // Two changed inputs, one of them bouncing: j carries its first
+      // flip plus a return pulse, l flips once, nothing else is
+      // active. All four reachable gate values are subset words, so
+      // the walk needs no extra packed evaluations (bc_lane below).
+      for (int j = 0; any_changed != 0 && j < n; ++j) {
+        std::uint64_t mj = in_changed[j] & in_pulsing[j] & ~in_pulsing2[j] & used;
+        if (mj == 0) continue;
+        for (int l = 0; l < n; ++l) {
+          if (l == j) continue;
+          std::uint64_t m =
+              mj & in_changed[l] & ~in_pulsing[l] & ~in_pulsing2[l];
+          for (int t = 0; t < n; ++t)
+            if (t != j && t != l)
+              m &= ~(in_changed[t] | in_pulsing[t] | in_pulsing2[t]);
+          if (m == 0) continue;
+          bc_j[nbc] = j;
+          bc_l[nbc] = l;
+          bc_m[nbc] = m;
+          bc_all |= m;
+          ++nbc;
         }
       }
     }
+    const std::uint64_t thru_all = thru[0] | thru[1] | thru[2];
+
+    // -- shared per-lane bodies -------------------------------------------
+
+    // Sensitized single flip at tc (one-changed lanes and the
+    // single-commit branch of two-changed lanes).
+    const auto commit_flip = [&](int k, double tc) {
+      if (acct.commit(out, k, tc, energy)) sampled ^= 1ULL << k;
+      committed |= 1ULL << k;
+      tout[k] = tc;
+    };
+
+    // Exactly two changed inputs i and j (i < j): the trajectory is
+    // stale → mid → settled with mid = the gate with only the later
+    // input still old.
+    const auto two_changed_lane = [&](int k, int i, int j) {
+      const std::uint64_t bit = 1ULL << k;
+      double tf = in_time[i][k];
+      double ts = in_time[j][k];
+      std::uint64_t mid_w = W[1u << j];
+      if (ts < tf) {
+        std::swap(tf, ts);
+        mid_w = W[1u << i];
+      }
+      if ((changed & bit) != 0) {
+        // Single commit: at the first flip when it already produces
+        // the final value, else at the second.
+        const double tc = (((mid_w ^ settled) & bit) == 0 ? tf : ts) + delay;
+        commit_flip(k, tc);
+      } else if (((mid_w ^ settled) & bit) != 0 && tf + delay <= ts) {
+        // Surviving glitch pulse [tf+delay, ts+delay) on an unchanged
+        // output: two commits, forwarded downstream; a capture edge
+        // inside it samples the transient.
+        const double t1 = tf + delay;
+        const double t2 = ts + delay;
+        if (acct.commit(out, k, t1, energy)) sampled ^= bit;
+        if (acct.commit(out, k, t2, energy)) sampled ^= bit;
+        pulsing |= bit;
+        pout_s[k] = t1;
+        pout_e[k] = t2;
+      }
+    };
 
     // Three changed inputs: walk the four subset states in transition
     // order with the inertial rule.
-    std::uint64_t m = three;
-    while (m != 0) {
-      const int k = std::countr_zero(m);
-      m &= m - 1;
+    const auto three_changed_lane = [&](int k, unsigned cur0) {
       int order[3] = {0, 1, 2};
       if (in_time[order[1]][k] < in_time[order[0]][k])
         std::swap(order[0], order[1]);
@@ -431,7 +825,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         std::swap(order[0], order[1]);
       const std::uint64_t bit = 1ULL << k;
       unsigned s = full;
-      unsigned cur = static_cast<unsigned>((stale >> k) & 1ULL);
+      unsigned cur = cur0;
       bool pending = false;
       double commit_t = 0.0;
       // At most three commits here (three input events), so first /
@@ -484,127 +878,379 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         pout_s[k] = cts[0];
         pout_e[k] = cts[1];
       }
-    }
+    };
 
-    // Lanes fed by a glitch pulse: generic event walk over the ≤9
-    // input events (flip per changed input, flip-and-return pair per
-    // pulsing input, all three for a bouncing changed input).
-    m = any_pulse & used;
-    if (m != 0) {
-      const std::uint16_t truth = cell_truth(g.kind);
+    // Lane fed by a glitch pulse: generic event walk over the ≤9 input
+    // events (flip per changed input, flip-and-return pair per pulsing
+    // input, all three for a bouncing changed input).
+    const auto pulse_lane = [&](int k) {
       // Up to five events per input: a changed input that bounced
       // twice carries its first flip plus two return pulses.
       double ev_t[15];
       std::uint8_t ev_i[15];
       std::uint8_t ev_bit[15];
-      while (m != 0) {
-        const int k = std::countr_zero(m);
-        m &= m - 1;
-        int ne = 0;
-        unsigned idx = 0;
-        for (int i = 0; i < n; ++i) {
-          const auto sbit =
-              static_cast<std::uint8_t>((in_stale[i] >> k) & 1ULL);
-          idx |= static_cast<unsigned>(sbit) << i;
-          const auto push = [&](double t, std::uint8_t v) {
-            ev_t[ne] = t;
-            ev_i[ne] = static_cast<std::uint8_t>(i);
-            ev_bit[ne] = v;
-            ++ne;
-          };
-          const auto nbit = static_cast<std::uint8_t>(sbit ^ 1u);
-          if (((in_changed[i] >> k) & 1ULL) != 0) {
-            // First flip to the settled value; each forwarded pulse is
-            // a late return trip back to the stale value and out again.
-            push(in_time[i][k], nbit);
-            if (((in_pulsing[i] >> k) & 1ULL) != 0) {
-              push(in_ps[i][k], sbit);
-              push(in_pe[i][k], nbit);
-            }
-            if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
-              push(in_ps2[i][k], sbit);
-              push(in_pe2[i][k], nbit);
-            }
-          } else {
-            // Unchanged input: each pulse is an excursion to the
-            // complement of the settled value and back.
-            if (((in_pulsing[i] >> k) & 1ULL) != 0) {
-              push(in_ps[i][k], nbit);
-              push(in_pe[i][k], sbit);
-            }
-            if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
-              push(in_ps2[i][k], nbit);
-              push(in_pe2[i][k], sbit);
-            }
-          }
-        }
-        if (ne == 0) continue;
-        for (int x = 1; x < ne; ++x)  // insertion sort, ascending time
-          for (int y = x; y > 0 && ev_t[y] < ev_t[y - 1]; --y) {
-            std::swap(ev_t[y], ev_t[y - 1]);
-            std::swap(ev_i[y], ev_i[y - 1]);
-            std::swap(ev_bit[y], ev_bit[y - 1]);
-          }
-        const std::uint64_t bit = 1ULL << k;
-        unsigned cur = (truth >> idx) & 1u;
-        bool pending = false;
-        double commit_t = 0.0;
-        double cts[4] = {0.0, 0.0, 0.0, 0.0};
-        double last_c = 0.0;
-        int ncommits = 0;
-        const auto do_commit = [&](double tc) {
-          cur ^= 1u;
-          if (ncommits < 4) cts[ncommits] = tc;
-          ++ncommits;
-          last_c = tc;
-          if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-          committed |= bit;
+      int ne = 0;
+      unsigned idx = 0;
+      for (int i = 0; i < n; ++i) {
+        const auto sbit =
+            static_cast<std::uint8_t>((in_stale[i] >> k) & 1ULL);
+        idx |= static_cast<unsigned>(sbit) << i;
+        const auto push = [&](double t, std::uint8_t v) {
+          ev_t[ne] = t;
+          ev_i[ne] = static_cast<std::uint8_t>(i);
+          ev_bit[ne] = v;
+          ++ne;
         };
-        for (int j = 0; j < ne; ++j) {
-          if (pending && commit_t <= ev_t[j]) {
-            do_commit(commit_t);
-            pending = false;
+        const auto nbit = static_cast<std::uint8_t>(sbit ^ 1u);
+        if (((in_changed[i] >> k) & 1ULL) != 0) {
+          // First flip to the settled value; each forwarded pulse is
+          // a late return trip back to the stale value and out again.
+          push(in_time[i][k], nbit);
+          if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+            push(in_ps[i][k], sbit);
+            push(in_pe[i][k], nbit);
           }
-          idx = (idx & ~(1u << ev_i[j])) |
-                (static_cast<unsigned>(ev_bit[j]) << ev_i[j]);
-          const unsigned v = (truth >> idx) & 1u;
-          if (v != cur && !pending) {
-            pending = true;
-            commit_t = ev_t[j] + delay;
-          } else if (v == cur && pending) {
-            pending = false;  // inertial cancellation
+          if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
+            push(in_ps2[i][k], sbit);
+            push(in_pe2[i][k], nbit);
           }
-        }
-        if (pending) do_commit(commit_t);
-        if ((changed & bit) != 0) {
-          if (ncommits >= 3) {
-            // Bouncing changed output: first flip + return pulses (see
-            // the three-changed walk above). Five or more commits
-            // merge the tail bounces into the second pulse.
-            tout[k] = cts[0];
-            pulsing |= bit;
-            pout_s[k] = cts[1];
-            pout_e[k] = ncommits == 3 ? last_c : cts[2];
-            if (ncommits >= 5) {
-              pulsing2 |= bit;
-              pout2_s[k] = cts[3];
-              pout2_e[k] = last_c;
-            }
-          } else {
-            tout[k] = last_c;
+        } else {
+          // Unchanged input: each pulse is an excursion to the
+          // complement of the settled value and back.
+          if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+            push(in_ps[i][k], nbit);
+            push(in_pe[i][k], sbit);
           }
-        } else if (ncommits >= 2) {
-          pulsing |= bit;
-          pout_s[k] = cts[0];
-          pout_e[k] = ncommits == 2 ? last_c : cts[1];
-          if (ncommits >= 4) {
-            pulsing2 |= bit;
-            pout2_s[k] = cts[2];
-            pout2_e[k] = last_c;
+          if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
+            push(in_ps2[i][k], nbit);
+            push(in_pe2[i][k], sbit);
           }
         }
       }
-    }
+      if (ne == 0) return;
+      for (int x = 1; x < ne; ++x)  // insertion sort, ascending time
+        for (int y = x; y > 0 && ev_t[y] < ev_t[y - 1]; --y) {
+          std::swap(ev_t[y], ev_t[y - 1]);
+          std::swap(ev_i[y], ev_i[y - 1]);
+          std::swap(ev_bit[y], ev_bit[y - 1]);
+        }
+      const std::uint64_t bit = 1ULL << k;
+      unsigned cur = (truth >> idx) & 1u;
+      bool pending = false;
+      double commit_t = 0.0;
+      double cts[4] = {0.0, 0.0, 0.0, 0.0};
+      double last_c = 0.0;
+      int ncommits = 0;
+      const auto do_commit = [&](double tc) {
+        cur ^= 1u;
+        if (ncommits < 4) cts[ncommits] = tc;
+        ++ncommits;
+        last_c = tc;
+        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        committed |= bit;
+      };
+      for (int j = 0; j < ne; ++j) {
+        if (pending && commit_t <= ev_t[j]) {
+          do_commit(commit_t);
+          pending = false;
+        }
+        idx = (idx & ~(1u << ev_i[j])) |
+              (static_cast<unsigned>(ev_bit[j]) << ev_i[j]);
+        const unsigned v = (truth >> idx) & 1u;
+        if (v != cur && !pending) {
+          pending = true;
+          commit_t = ev_t[j] + delay;
+        } else if (v == cur && pending) {
+          pending = false;  // inertial cancellation
+        }
+      }
+      if (pending) do_commit(commit_t);
+      if ((changed & bit) != 0) {
+        if (ncommits >= 3) {
+          // Bouncing changed output: first flip + return pulses (see
+          // the three-changed walk above). Five or more commits
+          // merge the tail bounces into the second pulse.
+          tout[k] = cts[0];
+          pulsing |= bit;
+          pout_s[k] = cts[1];
+          pout_e[k] = ncommits == 3 ? last_c : cts[2];
+          if (ncommits >= 5) {
+            pulsing2 |= bit;
+            pout2_s[k] = cts[3];
+            pout2_e[k] = last_c;
+          }
+        } else {
+          tout[k] = last_c;
+        }
+      } else if (ncommits >= 2) {
+        pulsing |= bit;
+        pout_s[k] = cts[0];
+        pout_e[k] = ncommits == 2 ? last_c : cts[1];
+        if (ncommits >= 4) {
+          pulsing2 |= bit;
+          pout2_s[k] = cts[2];
+          pout2_e[k] = last_c;
+        }
+      }
+    };
+
+    // Quiet lane fed by exactly one surviving pulse on input i, with
+    // the gate sensitized to i (thru[i]): the generic walk reduces to
+    // one excursion — a pending flip at ps + delay, inertially
+    // cancelled when the pulse is narrower than the gate delay, else
+    // two commits and a forwarded pulse. Matches pulse_lane commit for
+    // commit on these lanes (same times, same bookkeeping) without
+    // building and sorting the event list.
+    const auto pulse_through_lane = [&](int k, int i) {
+      const std::uint64_t bit = 1ULL << k;
+      const double ps = in_ps[i][k];
+      const double pe = in_pe[i][k];
+      const double t1 = ps + delay;
+      if (t1 > pe) return;  // absorbed; a changed lane takes catch-up
+      const double t2 = pe + delay;
+      if (acct.commit(out, k, t1, energy)) sampled ^= bit;
+      if (acct.commit(out, k, t2, energy)) sampled ^= bit;
+      committed |= bit;
+      if ((changed & bit) != 0) {
+        tout[k] = t2;  // two-commit changed output: merged single flip
+      } else {
+        pulsing |= bit;
+        pout_s[k] = t1;
+        pout_e[k] = t2;
+      }
+    };
+
+    // Lane whose only activity is one bouncing changed input j (its
+    // first flip plus one forwarded return pulse, no other input
+    // active): three events on a single input, already in ascending
+    // time order by construction (a forwarded pulse window always
+    // trails the flip it returns from), toggling the gate between two
+    // packed values — W[1<<j] (j stale) and the settled word. Same
+    // inertial walk and tail as pulse_lane, commit for commit.
+    const auto bounce_lane = [&](int k, int j, std::uint64_t w_jst) {
+      const std::uint64_t bit = 1ULL << k;
+      const double et[3] = {in_time[j][k], in_ps[j][k], in_pe[j][k]};
+      const unsigned a = static_cast<unsigned>((w_jst >> k) & 1ULL);
+      const unsigned b = static_cast<unsigned>((settled >> k) & 1ULL);
+      const unsigned vs[3] = {b, a, b};
+      unsigned cur = a;
+      bool pending = false;
+      double commit_t = 0.0;
+      double cts[3] = {0.0, 0.0, 0.0};
+      double last_c = 0.0;
+      int ncommits = 0;
+      const auto do_commit = [&](double tc) {
+        cur ^= 1u;
+        if (ncommits < 3) cts[ncommits] = tc;
+        ++ncommits;
+        last_c = tc;
+        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        committed |= bit;
+      };
+      for (int e = 0; e < 3; ++e) {
+        if (pending && commit_t <= et[e]) {
+          do_commit(commit_t);
+          pending = false;
+        }
+        const unsigned v = vs[e];
+        if (v != cur && !pending) {
+          pending = true;
+          commit_t = et[e] + delay;
+        } else if (v == cur && pending) {
+          pending = false;  // inertial cancellation
+        }
+      }
+      if (pending) do_commit(commit_t);
+      if ((changed & bit) != 0) {
+        if (ncommits >= 3) {
+          tout[k] = cts[0];
+          pulsing |= bit;
+          pout_s[k] = cts[1];
+          pout_e[k] = last_c;
+        } else {
+          tout[k] = last_c;
+        }
+      } else if (ncommits >= 2) {
+        pulsing |= bit;
+        pout_s[k] = cts[0];
+        pout_e[k] = ncommits == 2 ? last_c : cts[1];
+      }
+    };
+
+    // Lane with two changed inputs where j bounces (flip + return
+    // pulse) and l flips once, nothing else active: four events whose
+    // reachable values are all subset words W[s]. Event order is the
+    // ascending-time stable order of pulse_lane's build list — the
+    // bounce chain (tj <= ps <= pe) is pre-sorted, so only l's flip
+    // needs placing, with tie-breaking by build position. Up to four
+    // commits, so the full generic tail (including the second
+    // forwarded pulse of an unchanged output) is replicated.
+    const auto bc_lane = [&](int k, int j, int l) {
+      const std::uint64_t bit = 1ULL << k;
+      const double tl = in_time[l][k];
+      double et[4] = {in_time[j][k], in_ps[j][k], in_pe[j][k], 0.0};
+      // Actions: 0 = j to settled, 1 = j back to stale, 2 = j to
+      // settled, 3 = l to settled.
+      unsigned act[4] = {0, 1, 2, 3};
+      const int pos = l < j ? static_cast<int>(et[0] < tl) +
+                                  static_cast<int>(et[1] < tl) +
+                                  static_cast<int>(et[2] < tl)
+                            : static_cast<int>(et[0] <= tl) +
+                                  static_cast<int>(et[1] <= tl) +
+                                  static_cast<int>(et[2] <= tl);
+      for (int x = 2; x >= pos; --x) {
+        et[x + 1] = et[x];
+        act[x + 1] = act[x];
+      }
+      et[pos] = tl;
+      act[pos] = 3;
+      const unsigned bj = 1u << j;
+      const unsigned bl = 1u << l;
+      unsigned sub = bj | bl;
+      unsigned cur = static_cast<unsigned>((W[sub] >> k) & 1ULL);
+      bool pending = false;
+      double commit_t = 0.0;
+      double cts[4] = {0.0, 0.0, 0.0, 0.0};
+      double last_c = 0.0;
+      int ncommits = 0;
+      const auto do_commit = [&](double tc) {
+        cur ^= 1u;
+        if (ncommits < 4) cts[ncommits] = tc;
+        ++ncommits;
+        last_c = tc;
+        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        committed |= bit;
+      };
+      for (int e = 0; e < 4; ++e) {
+        if (pending && commit_t <= et[e]) {
+          do_commit(commit_t);
+          pending = false;
+        }
+        switch (act[e]) {
+          case 0: sub &= ~bj; break;
+          case 1: sub |= bj; break;
+          case 2: sub &= ~bj; break;
+          default: sub &= ~bl; break;
+        }
+        const unsigned v = static_cast<unsigned>((W[sub] >> k) & 1ULL);
+        if (v != cur && !pending) {
+          pending = true;
+          commit_t = et[e] + delay;
+        } else if (v == cur && pending) {
+          pending = false;  // inertial cancellation
+        }
+      }
+      if (pending) do_commit(commit_t);
+      if ((changed & bit) != 0) {
+        if (ncommits >= 3) {
+          tout[k] = cts[0];
+          pulsing |= bit;
+          pout_s[k] = cts[1];
+          pout_e[k] = ncommits == 3 ? last_c : cts[2];
+        } else {
+          tout[k] = last_c;
+        }
+      } else if (ncommits >= 2) {
+        pulsing |= bit;
+        pout_s[k] = cts[0];
+        pout_e[k] = ncommits == 2 ? last_c : cts[1];
+        if (ncommits >= 4) {
+          pulsing2 |= bit;
+          pout2_s[k] = cts[2];
+          pout2_e[k] = last_c;
+        }
+      }
+    };
+
+    // Lane whose only activity is one changed input j plus one
+    // surviving pulse on unchanged input i: the generic walk over its
+    // three events (flip of j, excursion out and back of i), with the
+    // four reachable gate values precomputed as packed words. Same
+    // build order, stable sort, inertial rule and tail bookkeeping as
+    // pulse_lane, commit for commit — with at most three events there
+    // are at most three commits, so the second-pulse branches of the
+    // generic tail can never fire and are dropped.
+    const auto changed_pulse_lane = [&](int k, int j, int i,
+                                        std::uint64_t w_jst,
+                                        std::uint64_t w_jst_ic,
+                                        std::uint64_t w_jse_ic) {
+      const std::uint64_t bit = 1ULL << k;
+      // Ascending-time event order with pulse_lane's tie-breaking: the
+      // generic walk builds events in ascending input index and sorts
+      // with strict comparisons, so ties keep build order. With one
+      // flip (tj) and one ordered excursion (ps <= pe) that leaves
+      // three possible orders, selected directly. Actions: 0 = input j
+      // flips to settled, 1 = excursion of i out, 2 = excursion back.
+      const double tj = in_time[j][k];
+      const double ps = in_ps[i][k];
+      const double pe = in_pe[i][k];
+      double et[3];
+      unsigned act[3];
+      const bool j_first = j < i ? !(ps < tj) : tj < ps;
+      const bool j_last = j < i ? pe < tj : !(tj < pe);
+      if (j_first) {
+        et[0] = tj; et[1] = ps; et[2] = pe;
+        act[0] = 0; act[1] = 1; act[2] = 2;
+      } else if (j_last) {
+        et[0] = ps; et[1] = pe; et[2] = tj;
+        act[0] = 1; act[1] = 2; act[2] = 0;
+      } else {
+        et[0] = ps; et[1] = tj; et[2] = pe;
+        act[0] = 1; act[1] = 0; act[2] = 2;
+      }
+      // Gate value per input state, indexed (j settled ? 2 : 0) |
+      // (i complemented ? 1 : 0). Unchanged inputs sit at their
+      // settled values on these lanes, so four words cover the walk.
+      const unsigned nib =
+          static_cast<unsigned>((w_jst >> k) & 1ULL) |
+          (static_cast<unsigned>((w_jst_ic >> k) & 1ULL) << 1) |
+          (static_cast<unsigned>((settled >> k) & 1ULL) << 2) |
+          (static_cast<unsigned>((w_jse_ic >> k) & 1ULL) << 3);
+      unsigned st = 0;
+      unsigned cur = nib & 1u;
+      bool pending = false;
+      double commit_t = 0.0;
+      double cts[3] = {0.0, 0.0, 0.0};
+      double last_c = 0.0;
+      int ncommits = 0;
+      const auto do_commit = [&](double tc) {
+        cur ^= 1u;
+        if (ncommits < 3) cts[ncommits] = tc;
+        ++ncommits;
+        last_c = tc;
+        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
+        committed |= bit;
+      };
+      for (int e = 0; e < 3; ++e) {
+        if (pending && commit_t <= et[e]) {
+          do_commit(commit_t);
+          pending = false;
+        }
+        st = act[e] == 0 ? (st | 2u) : (act[e] == 1 ? (st | 1u) : (st & ~1u));
+        const unsigned v = (nib >> st) & 1u;
+        if (v != cur && !pending) {
+          pending = true;
+          commit_t = et[e] + delay;
+        } else if (v == cur && pending) {
+          pending = false;  // inertial cancellation
+        }
+      }
+      if (pending) do_commit(commit_t);
+      if ((changed & bit) != 0) {
+        if (ncommits >= 3) {
+          tout[k] = cts[0];
+          pulsing |= bit;
+          pout_s[k] = cts[1];
+          pout_e[k] = last_c;
+        } else {
+          tout[k] = last_c;
+        }
+      } else if (ncommits >= 2) {
+        pulsing |= bit;
+        pout_s[k] = cts[0];
+        pout_e[k] = ncommits == 2 ? last_c : cts[1];
+      }
+    };
 
     // Cycle-mode catch-up: a lane whose truncated launch value differs
     // from its settled function but committed nothing above would stay
@@ -614,19 +1260,232 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // on the in-flight remainder), clamped inside the capture window —
     // a gate slower than the whole clock period must still resolve, or
     // the repair would re-fail every cycle and the net stay wrong
-    // forever. Under the streaming invariant (stale = settled function
-    // of stale inputs) this mask is empty, so step()/step_batch/sweep
-    // behavior is untouched.
-    std::uint64_t m_catch = changed & ~committed & used;
-    if (m_catch != 0) {
+    // forever. The catch-up commit always lands inside the window, so
+    // the lane samples its settled value.
+    const auto catch_up_lane = [&](int k) {
+      const std::uint64_t bit = 1ULL << k;
       const double tc = std::min(delay, 0.999 * tclk_ps_);
+      if (acct.commit(out, k, tc, energy))
+        sampled = (sampled & ~bit) | (settled & bit);
+      tout[k] = tc;
+    };
+
+    // -- dispatch ---------------------------------------------------------
+
+    if (word_recurrence) {
+      // Streaming recurrence (streaming mode, or a cycle-safe gate in
+      // cycle mode): lanes are order-free, so each changed-input class
+      // is swept as a packed mask (pulse-free lanes only; pulse-fed
+      // lanes take the generic walk).
+      const std::uint64_t pairs = (ch0 & ch1) | (ch0 & ch2) | (ch1 & ch2);
+      const std::uint64_t three = ch0 & ch1 & ch2 & ~any_pulse & used;
+      const std::uint64_t two = pairs & ~(ch0 & ch1 & ch2) & ~any_pulse & used;
+      const std::uint64_t one =
+          (ch0 ^ ch1 ^ ch2) & ~pairs & ~any_pulse & used;
+
+      // SIMD eligibility: single-threshold accounting, a full lane
+      // word, and an arrival-bounded gate (cycle_safe_ — every commit
+      // provably in-window, so the per-lane window test vanishes and
+      // whole commit classes become branchless vector sweeps). Partial
+      // words, unsafe gates and the sweep accounting keep the scalar
+      // loops; both produce bit-identical per-lane values.
+      bool simd_gate = false;
+      (void)simd_gate;
+#if defined(__AVX2__)
+      if constexpr (Acct::kWordCommit)
+        simd_gate = acct.nlanes == kLanes && cycle_safe_[gid] != 0;
+#endif
+
+      // Exactly one changed input: a sensitized lane commits once at
+      // t + delay; a non-sensitized lane does nothing at all.
+      for (int i = 0; i < n; ++i) {
+        std::uint64_t m = one & in_changed[i] & (W[1u << i] ^ settled);
+        if (m == 0) continue;
+#if defined(__AVX2__)
+        if constexpr (Acct::kWordCommit) {
+          if (simd_gate) {
+            acct.commit_flips_simd(m, in_time[i], delay, energy, tout);
+            sampled ^= m;
+            committed |= m;
+            continue;
+          }
+        }
+#endif
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          commit_flip(k, in_time[i][k] + delay);
+        }
+      }
+
+      for (int i = 0; n >= 2 && i < n - 1; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          std::uint64_t m = two & in_changed[i] & in_changed[j];
+          if (m == 0) continue;
+#if defined(__AVX2__)
+          if constexpr (Acct::kWordCommit) {
+            if (simd_gate) {
+              // Changed-output lanes commit exactly once, vectorized;
+              // unchanged-output lanes (possible glitch pulse, with
+              // its pulse bookkeeping) stay scalar. Each lane is in
+              // exactly one group, so per-lane commit order is
+              // untouched.
+              const std::uint64_t mc = m & changed;
+              if (mc != 0) {
+                acct.commit_two_simd(mc, in_time[i], in_time[j],
+                                     W[1u << i], W[1u << j], settled,
+                                     delay, energy, tout);
+                sampled ^= mc;
+                committed |= mc;
+              }
+              m &= ~changed;
+            }
+          }
+#endif
+          while (m != 0) {
+            const int k = std::countr_zero(m);
+            m &= m - 1;
+            two_changed_lane(k, i, j);
+          }
+        }
+      }
+
+      std::uint64_t m = three;
+      while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        three_changed_lane(k, static_cast<unsigned>((stale >> k) & 1ULL));
+      }
+
+      for (int i = 0; i < n; ++i) {
+        m = thru[i];
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          pulse_through_lane(k, i);
+        }
+      }
+      for (int p = 0; p < ncp; ++p) {
+        m = cp_m[p];
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          changed_pulse_lane(k, cp_j[p], cp_i[p], W[1u << cp_j[p]],
+                             cp_est[p], cp_ese[p]);
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        m = bn[j];
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          bounce_lane(k, j, W[1u << j]);
+        }
+      }
+      for (int p = 0; p < nbc; ++p) {
+        m = bc_m[p];
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          bc_lane(k, bc_j[p], bc_l[p]);
+        }
+      }
+      m = any_pulse & used & ~thru_all & ~pulse_skip & ~cp_all & ~bn_all &
+          ~bc_all;
+      while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        pulse_lane(k);
+      }
+
+      // Under the streaming invariant (stale = settled function of
+      // stale inputs) nothing is ever changed-but-uncommitted, so this
+      // mask is empty and step()/step_batch/sweep behavior is
+      // untouched; it guards states left by an unreset step_cycle. The
+      // invariant also covers cycle-safe gates in cycle mode: their
+      // whole fan-in cone is cycle-safe, so every stale input equals
+      // its settled value of the previous lane.
+      std::uint64_t m_catch = changed & ~committed & used;
       while (m_catch != 0) {
         const int k = std::countr_zero(m_catch);
         m_catch &= m_catch - 1;
-        const std::uint64_t bit = 1ULL << k;
-        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-        tout[k] = tc;
+        catch_up_lane(k);
       }
+    } else {
+      // Cycle mode: lane k launches from lane k-1's sampled value, so
+      // lanes with input activity resolve serially in ascending lane
+      // order (the stale/changed bits of lane k are only known once
+      // lane k-1's sampled bit is final). Lanes without input activity
+      // need no per-lane walk: their only possible commit is the
+      // catch-up, which always lands in the window, so their sampled
+      // value is their settled value — exactly the pre-filled word.
+      // pulse_skip lanes have no changed input and provably no commits,
+      // so — like lanes without input activity — their sampled value is
+      // settled (catch-up) and they can skip the serial scan entirely.
+      const std::uint64_t active =
+          (ch0 | ch1 | ch2 | any_pulse) & used & ~pulse_skip;
+      std::uint64_t m = active;
+      while (m != 0) {
+        const int k = std::countr_zero(m);
+        m &= m - 1;
+        const std::uint64_t bit = 1ULL << k;
+        const std::uint64_t sb =
+            k == 0 ? state0 : ((sampled >> (k - 1)) & 1ULL);
+        sampled = (sampled & ~bit) | (sb << k);
+        changed = (changed & ~bit) | ((((settled >> k) ^ sb) & 1ULL) << k);
+        if (((any_pulse >> k) & 1ULL) != 0) {
+          if ((thru[0] & bit) != 0)
+            pulse_through_lane(k, 0);
+          else if ((thru[1] & bit) != 0)
+            pulse_through_lane(k, 1);
+          else if ((thru[2] & bit) != 0)
+            pulse_through_lane(k, 2);
+          else if ((cp_all & bit) != 0) {
+            for (int p = 0; p < ncp; ++p)
+              if ((cp_m[p] & bit) != 0) {
+                changed_pulse_lane(k, cp_j[p], cp_i[p], W[1u << cp_j[p]],
+                                   cp_est[p], cp_ese[p]);
+                break;
+              }
+          } else if ((bn_all & bit) != 0) {
+            const int j = (bn[0] & bit) != 0 ? 0 : ((bn[1] & bit) != 0 ? 1 : 2);
+            bounce_lane(k, j, W[1u << j]);
+          } else if ((bc_all & bit) != 0) {
+            for (int p = 0; p < nbc; ++p)
+              if ((bc_m[p] & bit) != 0) {
+                bc_lane(k, bc_j[p], bc_l[p]);
+                break;
+              }
+          } else {
+            pulse_lane(k);
+          }
+        } else {
+          const int c0 = static_cast<int>((ch0 >> k) & 1ULL);
+          const int c1 = static_cast<int>((ch1 >> k) & 1ULL);
+          const int c2 = static_cast<int>((ch2 >> k) & 1ULL);
+          const int cnt = c0 + c1 + c2;
+          if (cnt == 1) {
+            const int i = c0 ? 0 : (c1 ? 1 : 2);
+            if ((((W[1u << i] ^ settled) >> k) & 1ULL) != 0)
+              commit_flip(k, in_time[i][k] + delay);
+          } else if (cnt == 2) {
+            two_changed_lane(k, c0 ? 0 : 1, c2 ? 2 : 1);
+          } else if (cnt == 3) {
+            three_changed_lane(k, static_cast<unsigned>(sb));
+          }
+        }
+        if ((((changed & ~committed) >> k) & 1ULL) != 0) catch_up_lane(k);
+      }
+      // Inactive lanes: stale(k) = sampled(k-1) is final now; the
+      // changed ones take their catch-up commit (sampled stays settled).
+      const std::uint64_t stale_word = ((sampled << 1) | state0) & used;
+      std::uint64_t m_catch = (settled ^ stale_word) & ~active & used;
+      while (m_catch != 0) {
+        const int k = std::countr_zero(m_catch);
+        m_catch &= m_catch - 1;
+        catch_up_lane(k);
+      }
+      stale_w_[out] = stale_word;
     }
 
     sampled_w_[out] = sampled;
@@ -649,10 +1508,36 @@ void LevelizedSimulator::carry_state(std::size_t lanes, bool truncate) {
 
 void LevelizedSimulator::run_lanes(std::size_t lanes,
                                    std::span<StepResult> results,
-                                   bool truncate_state) {
-  for (std::size_t k = 0; k < lanes; ++k) results[k] = StepResult{};
-  SingleThresholdAcct acct{tclk_ps_, results.data()};
-  run_lanes_impl(lanes, acct);
+                                   bool cycle_mode) {
+  acc_win_e_.assign(kLanes, 0.0);
+  acc_settle_.assign(kLanes, 0.0);
+  acc_win_t_.assign(kLanes, 0);
+  if (cycle_mode) {
+    // Window-only accounting: the cycle callers define totals ==
+    // window and overwrite them.
+    SingleThresholdAcct<true> acct{tclk_ps_,           lanes,
+                                   acc_win_e_.data(),  acc_settle_.data(),
+                                   acc_win_t_.data(),  nullptr,
+                                   nullptr};
+    run_lanes_impl<true>(lanes, acct);
+  } else {
+    acc_tot_e_.assign(kLanes, 0.0);
+    acc_tot_t_.assign(kLanes, 0);
+    SingleThresholdAcct<false> acct{tclk_ps_,           lanes,
+                                    acc_win_e_.data(),  acc_settle_.data(),
+                                    acc_win_t_.data(),  acc_tot_e_.data(),
+                                    acc_tot_t_.data()};
+    run_lanes_impl<false>(lanes, acct);
+  }
+  for (std::size_t k = 0; k < lanes; ++k) {
+    StepResult& r = results[k];
+    r = StepResult{};
+    r.window_energy_fj = acc_win_e_[k];
+    r.toggles_in_window = acc_win_t_[k];
+    r.settle_time_ps = acc_settle_[k];
+    r.total_energy_fj = cycle_mode ? acc_win_e_[k] : acc_tot_e_[k];
+    r.toggles_total = cycle_mode ? acc_win_t_[k] : acc_tot_t_[k];
+  }
 
   const auto pos = netlist_.primary_outputs();
   for (std::size_t k = 0; k < lanes; ++k) {
@@ -665,7 +1550,7 @@ void LevelizedSimulator::run_lanes(std::size_t lanes,
     results[k].sampled_outputs = sampled;
     results[k].settled_outputs = settled;
   }
-  carry_state(lanes, truncate_state);
+  carry_state(lanes, /*truncate=*/cycle_mode);
 }
 
 void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
@@ -686,7 +1571,7 @@ void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
                           sweep_tdiff_.data(), sweep_sdiff_.data(),
                           sweep_tot_e_.data(), sweep_tot_t_.data(),
                           sweep_settle_.data(), po_index_.data()};
-  run_lanes_impl(lanes, acct);
+  run_lanes_impl<false>(lanes, acct);
 
   // Prefix over buckets: threshold j sees every commit in buckets ≤ j.
   // sweep_ediff_/tdiff_ become per-threshold window sums in place;

@@ -20,23 +20,28 @@
 #define VOSIM_SIM_LEVELIZED_SIM_HPP
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/netlist/netlist.hpp"
 #include "src/sim/sim_engine.hpp"
 #include "src/tech/operating_point.hpp"
+#include "src/util/lanes.hpp"
 
 namespace vosim {
 
 /// Levelized bit-parallel simulator bound to one netlist, library and
 /// triad. Same streaming-state semantics as TimingSimulator: lane k's
 /// stale value is lane k-1's settled value (lane 0 continues from the
-/// state left by the previous reset/step/step_batch).
+/// state left by the previous reset/step/step_batch). In cycle-batch
+/// mode (step_cycle_batch) lane k is instead clock cycle k and launches
+/// from lane k-1's *sampled* (at-edge truncated) value — DESIGN.md §10.
 class LevelizedSimulator final : public SimEngine {
  public:
-  /// Patterns evaluated per packed pass.
-  static constexpr std::size_t kLanes = 64;
+  /// Patterns (or, in cycle-batch mode, cycles) evaluated per packed
+  /// pass — one per bit of a lanes::Word.
+  static constexpr std::size_t kLanes = lanes::kWordLanes;
 
   LevelizedSimulator(const Netlist& netlist, const CellLibrary& lib,
                      const OperatingTriad& op,
@@ -63,6 +68,16 @@ class LevelizedSimulator final : public SimEngine {
   void step_batch(std::span<const std::uint8_t> inputs, std::size_t count,
                   std::span<StepResult> results) override;
 
+  /// Native 64-cycles-per-pass clocked batch: bit-exact with `count`
+  /// sequential step_cycle() calls (outputs, per-cycle energy, commit
+  /// order), but the packed lanes stay alive across cycles — lane k of
+  /// every net launches from lane k-1's sampled (truncated) value, so a
+  /// whole word of consecutive cycles costs one levelized pass instead
+  /// of 64. See SimEngine::step_cycle_batch.
+  void step_cycle_batch(std::span<const std::uint8_t> inputs,
+                        std::size_t count,
+                        std::span<StepResult> results) override;
+
   /// One timing pass, many capture thresholds: simulates the batch with
   /// this simulator's delays and evaluates every pattern against each
   /// clock threshold (ps, ascending), filling
@@ -80,6 +95,12 @@ class LevelizedSimulator final : public SimEngine {
                         std::size_t count,
                         std::span<const double> thresholds_ps,
                         std::span<StepResult> results);
+
+  /// Moves the capture threshold on the same die: rescales leakage to
+  /// the new period and recomputes cycle-safety against the cached STA
+  /// arrivals — exactly the values a fresh construction at the new
+  /// period would produce. O(gates), no RNG redraw.
+  bool retarget_tclk_ps(double tclk_ps) override;
 
   double leakage_energy_fj_per_op() const noexcept override {
     return leakage_energy_fj_;
@@ -101,17 +122,22 @@ class LevelizedSimulator final : public SimEngine {
   double gate_delay(GateId gid) const { return gate_delay_ps_.at(gid); }
 
  private:
-  /// Evaluates one packed pass over `lanes` patterns already loaded into
+  /// Evaluates one packed pass over `lanes` lanes already loaded into
   /// the primary-input lane words; `acct` records every net commit
-  /// (transition) and decides window membership for sampling.
-  template <class Acct>
+  /// (transition) and decides window membership for sampling. With
+  /// kCycleMode the lanes are consecutive clock cycles: each net's lane
+  /// k launches from its own lane k-1 sampled value and active lanes
+  /// resolve in ascending order (DESIGN.md §10); otherwise the lanes
+  /// are independent streamed patterns.
+  template <bool kCycleMode, class Acct>
   void run_lanes_impl(std::size_t lanes, Acct& acct);
 
   /// Single-threshold pass at this simulator's Tclk, filling `results`.
-  /// `truncate_state` carries the sampled (at-edge) values instead of
-  /// the settled ones into the next pass (step_cycle semantics).
+  /// `cycle_mode` selects the cross-cycle lane semantics and carries
+  /// the sampled (at-edge) values instead of the settled ones into the
+  /// next pass (step_cycle semantics).
   void run_lanes(std::size_t lanes, std::span<StepResult> results,
-                 bool truncate_state = false);
+                 bool cycle_mode = false);
 
   /// Multi-threshold pass; results is lanes × thresholds pattern-major.
   void run_lanes_sweep(std::size_t lanes,
@@ -126,11 +152,18 @@ class LevelizedSimulator final : public SimEngine {
   OperatingTriad op_;
   double tclk_ps_ = 0.0;
   double leakage_energy_fj_ = 0.0;
+  double leak_nw_scaled_ = 0.0;  ///< leakage power at this V/B (nW)
   double critical_path_ps_ = 0.0;
 
   std::vector<double> gate_delay_ps_;  // per gate, incl. variation
   std::vector<double> net_energy_fj_;  // per net, energy of one toggle
   std::vector<double> arrival_ps_;     // per net, STA bound
+  // Per gate: every commit this gate can produce lands strictly inside
+  // the capture window (STA arrival < Tclk). In cycle mode its sampled
+  // word then always equals its settled word and the cross-cycle
+  // recurrence degenerates to the streaming one — the gate dispatches
+  // with the packed streaming masks instead of the serial lane scan.
+  std::vector<std::uint8_t> cycle_safe_;
 
   // Streaming state carried between operations (one value per net).
   std::vector<std::uint8_t> state_;          // settled after last op
@@ -140,7 +173,12 @@ class LevelizedSimulator final : public SimEngine {
   std::vector<std::uint64_t> settled_w_;
   std::vector<std::uint64_t> stale_w_;
   std::vector<std::uint64_t> sampled_w_;
-  std::vector<double> time_ps_;  // transition time per net per lane
+  // Transition time per net per lane. Deliberately *uninitialized*
+  // (make_unique_for_overwrite): every read is guarded by a
+  // current-pass mask bit (in_changed / pulsing) whose lane was written
+  // earlier in the same pass, and skipping the multi-hundred-KB zero
+  // fill keeps construction cheap enough to rebuild per triad.
+  std::unique_ptr<double[]> time_ps_;
   // Glitch pulses: lanes flagged in pulsing_w_ carry a surviving pulse
   // spanning [pulse_start, pulse_end) — on an unchanged net the value
   // inside the pulse is the complement of the settled value; on a
@@ -150,11 +188,20 @@ class LevelizedSimulator final : public SimEngine {
   // merges its tail into the second pulse. Pulses are propagated
   // downstream and sampled when the capture edge falls inside them.
   std::vector<std::uint64_t> pulsing_w_;
-  std::vector<double> pulse_start_ps_;
-  std::vector<double> pulse_end_ps_;
+  std::unique_ptr<double[]> pulse_start_ps_;  // uninitialized, see above
+  std::unique_ptr<double[]> pulse_end_ps_;
   std::vector<std::uint64_t> pulsing2_w_;
-  std::vector<double> pulse2_start_ps_;
-  std::vector<double> pulse2_end_ps_;
+  std::unique_ptr<double[]> pulse2_start_ps_;
+  std::unique_ptr<double[]> pulse2_end_ps_;
+
+  // Per-lane single-threshold accumulators (SoA; folded into the
+  // per-lane StepResults by run_lanes). Totals are only tracked in
+  // streaming mode — cycle mode defines totals == window.
+  std::vector<double> acc_win_e_;
+  std::vector<double> acc_tot_e_;
+  std::vector<double> acc_settle_;
+  std::vector<std::uint32_t> acc_win_t_;
+  std::vector<std::uint32_t> acc_tot_t_;
 
   // Sweep support: primary-output index per net (-1 if not a PO) and
   // per-batch threshold-bucket scratch (sized on first sweep call).

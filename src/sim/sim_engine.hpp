@@ -144,6 +144,28 @@ class SimEngine {
   virtual void step_batch(std::span<const std::uint8_t> inputs,
                           std::size_t count, std::span<StepResult> results);
 
+  /// Streams `count` consecutive clock cycles of ONE clocked stream:
+  /// cycle k's inputs occupy inputs[k*P, (k+1)*P) and its outcome lands
+  /// in results[k]. Semantically identical to `count` calls to
+  /// step_cycle() — cycle k launches from cycle k-1's truncated at-edge
+  /// state — and the default implementation is exactly that scalar
+  /// loop (the event engine keeps its cross-edge event queue that way).
+  /// The levelized backend overrides this to run 64 cycles per packed
+  /// pass, bit-exact against the scalar loop.
+  virtual void step_cycle_batch(std::span<const std::uint8_t> inputs,
+                                std::size_t count,
+                                std::span<StepResult> results);
+
+  /// Rebinds the capture threshold (ps) without rebuilding the engine:
+  /// the die (delay assignment, variation draw, energies) is untouched,
+  /// only the clock-edge comparison and its derived quantities (leakage
+  /// per period, cycle-safety) move. The levelized backend supports
+  /// this — it is how the characterizer's normalized grid sweep walks
+  /// a whole Tclk ladder on one die — and returns true; backends that
+  /// bake the period into their structure return false and are left
+  /// unchanged. Call reset() afterwards before reading state.
+  virtual bool retarget_tclk_ps(double) { return false; }
+
   /// Per-operation leakage energy at this triad (fJ): leakage power
   /// integrated over one clock period.
   virtual double leakage_energy_fj_per_op() const noexcept = 0;

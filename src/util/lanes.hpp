@@ -1,0 +1,56 @@
+// Lane-word layer for bit-parallel simulation: one machine word holds
+// one logic value per *lane*, where a lane is either an independent
+// input pattern (streaming sweeps) or a consecutive clock cycle
+// (batched sequential simulation, DESIGN.md §10).
+//
+// Everything that packs, masks, or iterates lanes goes through this
+// header so that widening the word (e.g. 256/512 lanes with AVX2 /
+// AVX-512 intrinsics) only changes the definitions here, not the
+// engines built on top of them.
+#ifndef VOSIM_UTIL_LANES_HPP
+#define VOSIM_UTIL_LANES_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace vosim::lanes {
+
+/// The lane word. All per-net simulator state (settled / stale /
+/// sampled values, pulse flags) is stored as one Word per net.
+using Word = std::uint64_t;
+
+/// Number of lanes a Word carries (one bit per lane).
+inline constexpr std::size_t kWordLanes = 64;
+
+/// Word with only lane `k` set. Precondition: k < kWordLanes.
+constexpr Word bit(std::size_t k) { return Word{1} << k; }
+
+/// Mask selecting the low `n` lanes. Precondition: 0 <= n <= kWordLanes.
+constexpr Word mask(std::size_t n) {
+  return n >= kWordLanes ? ~Word{0} : (bit(n) - Word{1});
+}
+
+/// Number of set lanes in `w`.
+constexpr int popcount(Word w) { return std::popcount(w); }
+
+/// Value of lane `k` of `w` as 0/1.
+constexpr std::uint8_t lane_bit(Word w, std::size_t k) {
+  return static_cast<std::uint8_t>((w >> k) & Word{1});
+}
+
+/// Calls `fn(k)` for each set lane `k` of `w`, in ascending lane order.
+/// Ascending order matters for the cycle-batch path, where lane k
+/// depends on lane k-1 of the same word (DESIGN.md §10).
+template <class Fn>
+constexpr void for_each_lane(Word w, Fn&& fn) {
+  while (w != 0) {
+    const std::size_t k = static_cast<std::size_t>(std::countr_zero(w));
+    fn(k);
+    w &= w - Word{1};
+  }
+}
+
+}  // namespace vosim::lanes
+
+#endif  // VOSIM_UTIL_LANES_HPP

@@ -49,7 +49,6 @@
 #include "src/netlist/multiplier.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/netlist/verilog.hpp"
-#include "src/runtime/adaptive_adder.hpp"
 #include "src/runtime/adaptive_unit.hpp"
 #include "src/runtime/closed_loop.hpp"
 #include "src/runtime/error_monitor.hpp"
@@ -64,9 +63,7 @@
 #include "src/sim/logic.hpp"
 #include "src/sim/sim_engine.hpp"
 #include "src/sim/vcd.hpp"
-#include "src/sim/vos_adder.hpp"
 #include "src/sim/vos_dut.hpp"
-#include "src/sim/word_sim.hpp"
 #include "src/sta/slack.hpp"
 #include "src/sta/sta.hpp"
 #include "src/sta/synthesis_report.hpp"

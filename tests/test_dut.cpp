@@ -1,6 +1,6 @@
 // DutNetlist abstraction tests: conversions, pin-map scatter/gather
 // round trips, bus-width contracts, netlist composition (append_copy /
-// MAC trees), the circuit registry, and the deprecated adder shims.
+// MAC trees), and the circuit registry.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -12,7 +12,6 @@
 #include "src/netlist/dut.hpp"
 #include "src/netlist/eval.hpp"
 #include "src/netlist/multiplier.hpp"
-#include "src/sim/vos_adder.hpp"
 #include "src/sim/vos_dut.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
@@ -249,54 +248,6 @@ TEST(Metrics, MredTracksRelativeError) {
   acc.merge(other);
   EXPECT_NEAR(acc.mred(), (0.1 + 0.0 + 1.0 + 0.5) / 4.0, 1e-12);
 }
-
-// The deprecated adder shims must stay faithful to the generic path
-// (suppress the intentional deprecation warnings).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(DeprecatedShims, VosAdderSimMatchesVosDutSim) {
-  const AdderNetlist adder = build_rca(8);
-  const DutNetlist dut = to_dut(build_rca(8));
-  const double cp_ns =
-      analyze_timing(adder.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
-      1e-3;
-  const OperatingTriad op{0.5 * cp_ns, 0.9, 0.0};  // error-prone
-  VosAdderSim shim(adder, lib(), op);
-  VosDutSim direct(dut, lib(), op);
-  EXPECT_EQ(shim.width(), 8);
-  Rng rng(15);
-  for (int t = 0; t < 300; ++t) {
-    const std::uint64_t a = rng.bits(8);
-    const std::uint64_t b = rng.bits(8);
-    const VosAddResult rs = shim.add(a, b);
-    const VosOpResult rd = direct.apply(a, b);
-    ASSERT_EQ(rs.sampled, rd.sampled);
-    ASSERT_EQ(rs.settled, rd.settled);
-    ASSERT_DOUBLE_EQ(rs.energy_fj, rd.energy_fj);
-  }
-}
-
-TEST(DeprecatedShims, CharacterizeAdderForwardsToCharacterizeDut) {
-  const AdderNetlist adder = build_rca(8);
-  const DutNetlist dut = to_dut(build_rca(8));
-  const double cp_ns =
-      analyze_timing(adder.netlist, lib(), {1, 1.0, 0.0}).critical_path_ps *
-      1e-3;
-  const std::vector<OperatingTriad> triads{{0.6 * cp_ns, 0.9, 0.0}};
-  CharacterizeConfig cfg;
-  cfg.num_patterns = 500;
-  const auto via_shim = characterize_adder(adder, lib(), triads, cfg);
-  const auto direct = characterize_dut(dut, lib(), triads, cfg);
-  ASSERT_EQ(via_shim.size(), direct.size());
-  EXPECT_DOUBLE_EQ(via_shim[0].ber, direct[0].ber);
-  EXPECT_DOUBLE_EQ(via_shim[0].energy_per_op_fj,
-                   direct[0].energy_per_op_fj);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace vosim

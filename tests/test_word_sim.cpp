@@ -1,12 +1,10 @@
 // Generic word-operator simulation on multiplier DUTs (the paper's
 // "different arithmetic configurations" extension), plus the deprecated
-// VosWordSim shim staying faithful to VosDutSim.
 #include <gtest/gtest.h>
 
 #include "src/netlist/dut.hpp"
 #include "src/netlist/multiplier.hpp"
 #include "src/sim/vos_dut.hpp"
-#include "src/sim/word_sim.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/bits.hpp"
@@ -123,33 +121,6 @@ TEST(WordSim, EnergyScalesWithActivity) {
   const VosOpResult busy = sim.apply(0xFF, 0xFF);
   EXPECT_GT(busy.energy_fj, 10.0 * idle.energy_fj);
 }
-
-// The deprecated shim must keep the old interface working on top of
-// VosDutSim (suppress the intentional deprecation warnings).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(WordSim, DeprecatedShimMatchesVosDutSim) {
-  const MultiplierNetlist mul = build_array_multiplier(4);
-  const DutNetlist dut = to_dut(build_array_multiplier(4));
-  const OperatingTriad op{mul8_cp_ns() * 0.4, 0.8, 0.0};  // error-prone
-  VosWordSim shim(mul.netlist, lib(), op, {mul.a, mul.b}, mul.prod);
-  VosDutSim direct(dut, lib(), op);
-  Rng rng(7);
-  for (int t = 0; t < 300; ++t) {
-    const std::uint64_t a = rng.bits(4);
-    const std::uint64_t b = rng.bits(4);
-    const WordOpResult rs = shim.apply({a, b});
-    const VosOpResult rd = direct.apply(a, b);
-    ASSERT_EQ(rs.sampled, rd.sampled);
-    ASSERT_EQ(rs.settled, rd.settled);
-    ASSERT_DOUBLE_EQ(rs.energy_fj, rd.energy_fj);
-  }
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace vosim

@@ -133,19 +133,22 @@ for name in ${benches[@]+"${benches[@]}"}; do
   fi
   # bench_pipeline sweeps the pipelined circuits on both engines'
   # clocked step_cycle paths and runs the closed-loop controller; gate
-  # the cross-engine BER deviation (error-onset band) and the
-  # closed-loop energy saving vs the safest rung.
+  # the cross-engine BER deviation (error-onset band), the closed-loop
+  # energy saving vs the safest rung, and the batched levelized
+  # clocked sweep's speedup over the event engine.
   if [ "${name}" = "bench_pipeline" ] && [ "${status}" -eq 0 ]; then
     seq_dev=$(sed -n 's/^SEQ_BER_DEV_PP //p' "${log}" | tail -n 1)
     cl_savings=$(sed -n 's/^CLOSED_LOOP_SAVINGS_PCT //p' "${log}" | tail -n 1)
     seq_speedup=$(sed -n 's/^SEQ_LEVELIZED_SPEEDUP //p' "${log}" | tail -n 1)
-    if [ -n "${seq_dev}" ] && [ -n "${cl_savings}" ]; then
+    if [ -n "${seq_dev}" ] && [ -n "${cl_savings}" ] && \
+       [ -n "${seq_speedup}" ]; then
       engine_fields=",
-  \"seq_levelized_speedup\": ${seq_speedup:-0},
+  \"seq_levelized_speedup\": ${seq_speedup},
   \"seq_ber_dev_pp\": ${seq_dev},
   \"closed_loop_savings_pct\": ${cl_savings}"
       max_dev="${VOSIM_MAX_BER_DEV_PP:-2.0}"
       min_savings="${VOSIM_MIN_CLOSED_LOOP_SAVINGS_PCT:-10}"
+      min_seq_speedup="${VOSIM_MIN_SEQ_ENGINE_SPEEDUP:-10}"
       if ! awk -v d="${seq_dev}" -v m="${max_dev}" \
            'BEGIN{exit !(d <= m)}'; then
         echo "FAIL ${name}: sequential BER deviation ${seq_dev}pp > ${max_dev}pp ceiling" >&2
@@ -156,8 +159,13 @@ for name in ${benches[@]+"${benches[@]}"}; do
         echo "FAIL ${name}: closed-loop savings ${cl_savings}% < ${min_savings}% floor" >&2
         status=1
       fi
+      if ! awk -v s="${seq_speedup}" -v m="${min_seq_speedup}" \
+           'BEGIN{exit !(s >= m)}'; then
+        echo "FAIL ${name}: sequential levelized speedup ${seq_speedup}x < ${min_seq_speedup}x floor" >&2
+        status=1
+      fi
     else
-      echo "FAIL ${name}: missing SEQ_BER_DEV_PP/CLOSED_LOOP_SAVINGS_PCT in log" >&2
+      echo "FAIL ${name}: missing SEQ_BER_DEV_PP/CLOSED_LOOP_SAVINGS_PCT/SEQ_LEVELIZED_SPEEDUP in log" >&2
       status=1
     fi
   fi
