@@ -9,6 +9,7 @@
 #include "src/sim/vos_dut.hpp"
 #include "src/util/bits.hpp"
 #include "src/util/contracts.hpp"
+#include "src/util/lanes.hpp"
 #include "src/util/parallel.hpp"
 
 namespace vosim {
@@ -52,7 +53,11 @@ std::uint64_t golden_of(const CharacterizeConfig& config,
 /// is purely functional: the previous pattern's settled values), so
 /// segment-parallel results are bit-identical to the sequential chain.
 /// Nothing in the pass depends on the DUT being an adder — the same
-/// code serves multipliers and MAC trees.
+/// code serves multipliers and MAC trees. Templated on the lane word:
+/// characterize_dut dispatches on the resolved lane width, and every
+/// instantiation produces bit-identical statistics (the per-lane commit
+/// order and FP accumulation order are width-invariant).
+template <class LW>
 std::vector<TriadResult> characterize_levelized_sweep(
     const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
@@ -98,11 +103,14 @@ std::vector<TriadResult> characterize_levelized_sweep(
   const std::size_t npis = dut.netlist.primary_inputs().size();
 
   // Segment the stream across the pool; each segment is large enough
-  // to amortize its simulator construction.
+  // to amortize its simulator construction and to fill at least a
+  // couple of lane words at the widest instantiations.
+  constexpr std::size_t kChunk = LevelizedSimulatorT<LW>::kLanes;
+  const std::size_t min_seg = std::max<std::size_t>(256, 2 * kChunk);
   const unsigned workers =
       config.threads == 0 ? hardware_parallelism() : config.threads;
   const std::size_t nseg = std::clamp<std::size_t>(
-      std::min<std::size_t>(workers, num_patterns / 256), 1, 64);
+      std::min<std::size_t>(workers, num_patterns / min_seg), 1, 64);
 
   struct Partial {
     ErrorAccumulator acc;
@@ -127,14 +135,13 @@ std::vector<TriadResult> characterize_levelized_sweep(
         TimingSimConfig sim_cfg;
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.variation_seed;
-        LevelizedSimulator eng(dut.netlist, lib, ref, sim_cfg);
+        LevelizedSimulatorT<LW> eng(dut.netlist, lib, ref, sim_cfg);
 
         std::vector<std::uint8_t> in(npis, 0);
         pins.fill_inputs({pats.data() + (begin - 1) * nops, nops},
                          in.data());
         eng.reset(in);
 
-        constexpr std::size_t kChunk = LevelizedSimulator::kLanes;
         std::vector<std::uint8_t> bytes(kChunk * npis, 0);
         std::vector<StepResult> res(kChunk * nthr);
         std::vector<Partial>& seg = parts[s];
@@ -258,6 +265,7 @@ std::vector<TriadResult> characterize_seq_levelized_norm(
   sim_cfg.variation_sigma = config.variation_sigma;
   sim_cfg.variation_seed = config.variation_seed;
   sim_cfg.engine = EngineKind::kLevelized;
+  sim_cfg.lane_width = config.lane_width;
   // Constructed above the largest threshold, then pinned exactly.
   const OperatingTriad norm{tau[ref_t] * 1e-3 + setup_ns, 1.0, 0.0};
 
@@ -400,8 +408,20 @@ std::vector<TriadResult> characterize_dut(
   const std::vector<std::uint64_t> pats = generate_patterns(config, dut);
   const std::size_t nops = dut.num_operands();
 
-  if (config.engine == EngineKind::kLevelized && config.streaming_state)
-    return characterize_levelized_sweep(dut, lib, triads, config, pats);
+  if (config.engine == EngineKind::kLevelized &&
+      config.streaming_state) {
+    switch (lanes::resolve_lane_width(config.lane_width)) {
+      case 512:
+        return characterize_levelized_sweep<lanes::Word512>(
+            dut, lib, triads, config, pats);
+      case 256:
+        return characterize_levelized_sweep<lanes::Word256>(
+            dut, lib, triads, config, pats);
+      default:
+        return characterize_levelized_sweep<lanes::Word>(dut, lib, triads,
+                                                         config, pats);
+    }
+  }
 
   std::vector<TriadResult> results(triads.size());
 
@@ -416,6 +436,7 @@ std::vector<TriadResult> characterize_dut(
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.variation_seed;
         sim_cfg.engine = config.engine;
+        sim_cfg.lane_width = config.lane_width;
         VosDutSim sim(dut, lib, op, sim_cfg);
 
         ErrorAccumulator acc(sim.output_width());
@@ -501,6 +522,7 @@ std::vector<TriadResult> characterize_seq_dut(
         sim_cfg.variation_sigma = config.variation_sigma;
         sim_cfg.variation_seed = config.variation_seed;
         sim_cfg.engine = config.engine;
+        sim_cfg.lane_width = config.lane_width;
         SeqSim sim(seq, lib, triads[t], sim_cfg);
 
         ErrorAccumulator acc(sim.output_width());

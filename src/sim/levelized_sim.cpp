@@ -24,9 +24,13 @@ namespace {
 /// kWindowOnly drops the totals: the cycle-mode callers (step_cycle /
 /// step_cycle_batch) define totals == window ("nothing is simulated
 /// past the edge") and overwrite them, so tracking both is pure waste
-/// there.
-template <bool kWindowOnly>
+/// there. Templated on the lane word: the SIMD sweeps below run the
+/// same 4-lane nibble kernel over each 64-bit sub-word, so one
+/// definition serves the 64-, 256- and 512-lane engines.
+template <class LW, bool kWindowOnly>
 struct SingleThresholdAcct {
+  static constexpr std::size_t kLanes = lanes::lane_count_v<LW>;
+
   double tclk_ps;
   std::size_t nlanes;  ///< word sweeps stop here (1 for scalar passes)
   double* win_e;
@@ -39,7 +43,7 @@ struct SingleThresholdAcct {
   /// lane word per call instead of per-lane commits.
   static constexpr bool kWordCommit = true;
 
-  bool commit(NetId /*net*/, int k, double tc, double energy) {
+  bool commit(NetId /*net*/, std::size_t k, double tc, double energy) {
     if constexpr (!kWindowOnly) {
       ++tot_t[k];
       tot_e[k] += energy;
@@ -64,42 +68,44 @@ struct SingleThresholdAcct {
   /// to += 0.0 / max-with-0.0 no-ops (the accumulators are sums of
   /// non-negative terms, never -0.0, and settle >= 0); their t_in may
   /// be uninitialized but never escapes the mask.
-  void commit_flips_simd(std::uint64_t m, const double* t_in, double delay,
+  void commit_flips_simd(const LW& m, const double* t_in, double delay,
                          double energy, double* tout) {
     const __m256d vd = _mm256_set1_pd(delay);
     const __m256d ve = _mm256_set1_pd(energy);
     const __m256i lanebit = _mm256_setr_epi64x(1, 2, 4, 8);
-    for (std::size_t base = 0; base < LevelizedSimulator::kLanes;
-         base += 4) {
-      const auto nib = static_cast<long long>((m >> base) & 0xF);
-      if (nib == 0) continue;
-      const __m256i sel = _mm256_cmpeq_epi64(
-          _mm256_and_si256(_mm256_set1_epi64x(nib), lanebit), lanebit);
-      const __m256d mask = _mm256_castsi256_pd(sel);
-      const __m256d tc = _mm256_and_pd(
-          mask, _mm256_add_pd(_mm256_loadu_pd(t_in + base), vd));
-      const __m256d em = _mm256_and_pd(mask, ve);
-      _mm256_storeu_pd(
-          win_e + base,
-          _mm256_add_pd(_mm256_loadu_pd(win_e + base), em));
-      _mm256_storeu_pd(
-          settle + base,
-          _mm256_max_pd(_mm256_loadu_pd(settle + base), tc));
-      _mm256_storeu_pd(
-          tout + base,
-          _mm256_blendv_pd(_mm256_loadu_pd(tout + base), tc, mask));
-      if constexpr (!kWindowOnly)
+    for (std::size_t sub = 0; sub < lanes::subword_count_v<LW>; ++sub) {
+      const std::uint64_t ms = lanes::subword(m, sub);
+      if (ms == 0) continue;
+      const std::size_t off0 = sub * lanes::kWordLanes;
+      for (std::size_t base = 0; base < lanes::kWordLanes; base += 4) {
+        const auto nib = static_cast<long long>((ms >> base) & 0xF);
+        if (nib == 0) continue;
+        const std::size_t off = off0 + base;
+        const __m256i sel = _mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_set1_epi64x(nib), lanebit), lanebit);
+        const __m256d mask = _mm256_castsi256_pd(sel);
+        const __m256d tc = _mm256_and_pd(
+            mask, _mm256_add_pd(_mm256_loadu_pd(t_in + off), vd));
+        const __m256d em = _mm256_and_pd(mask, ve);
         _mm256_storeu_pd(
-            tot_e + base,
-            _mm256_add_pd(_mm256_loadu_pd(tot_e + base), em));
+            win_e + off,
+            _mm256_add_pd(_mm256_loadu_pd(win_e + off), em));
+        _mm256_storeu_pd(
+            settle + off,
+            _mm256_max_pd(_mm256_loadu_pd(settle + off), tc));
+        _mm256_storeu_pd(
+            tout + off,
+            _mm256_blendv_pd(_mm256_loadu_pd(tout + off), tc, mask));
+        if constexpr (!kWindowOnly)
+          _mm256_storeu_pd(
+              tot_e + off,
+              _mm256_add_pd(_mm256_loadu_pd(tot_e + off), em));
+      }
     }
-    std::uint64_t mm = m;
-    while (mm != 0) {
-      const int k = std::countr_zero(mm);
-      mm &= mm - 1;
+    lanes::for_each_lane(m, [&](std::size_t k) {
       ++win_t[k];
       if constexpr (!kWindowOnly) ++tot_t[k];
-    }
+    });
   }
 
   /// Vectorized two-changed-input single commits for an in-window
@@ -110,95 +116,105 @@ struct SingleThresholdAcct {
   /// min/max/select arithmetic, so bit-identical results). wi/wj are
   /// the gate subset words W[1<<i] / W[1<<j], `settled` the settled
   /// output word.
-  void commit_two_simd(std::uint64_t m, const double* ti, const double* tj,
-                       std::uint64_t wi, std::uint64_t wj,
-                       std::uint64_t settled, double delay, double energy,
-                       double* tout) {
+  void commit_two_simd(const LW& m, const double* ti, const double* tj,
+                       const LW& wi, const LW& wj, const LW& settled,
+                       double delay, double energy, double* tout) {
     const __m256d vd = _mm256_set1_pd(delay);
     const __m256d ve = _mm256_set1_pd(energy);
     const __m256i lanebit = _mm256_setr_epi64x(1, 2, 4, 8);
     const __m256i one64 = _mm256_set1_epi64x(1);
-    const __m256i vwi = _mm256_set1_epi64x(static_cast<long long>(wi));
-    const __m256i vwj = _mm256_set1_epi64x(static_cast<long long>(wj));
-    const __m256i vst = _mm256_set1_epi64x(static_cast<long long>(settled));
-    for (std::size_t base = 0; base < LevelizedSimulator::kLanes;
-         base += 4) {
-      const auto nib = static_cast<long long>((m >> base) & 0xF);
-      if (nib == 0) continue;
-      const __m256i am = _mm256_cmpeq_epi64(
-          _mm256_and_si256(_mm256_set1_epi64x(nib), lanebit), lanebit);
-      const __m256d amd = _mm256_castsi256_pd(am);
-      const __m256d vti = _mm256_loadu_pd(ti + base);
-      const __m256d vtj = _mm256_loadu_pd(tj + base);
-      // sel: the second (j) input flipped first, so the mid state has
-      // input i still stale (two_changed_lane's swap branch).
-      const __m256i sel = _mm256_castpd_si256(
-          _mm256_cmp_pd(vtj, vti, _CMP_LT_OQ));
-      const __m256i sh = _mm256_add_epi64(
-          _mm256_set1_epi64x(static_cast<long long>(base)),
-          _mm256_setr_epi64x(0, 1, 2, 3));
-      const __m256i bi =
-          _mm256_and_si256(_mm256_srlv_epi64(vwi, sh), one64);
-      const __m256i bj =
-          _mm256_and_si256(_mm256_srlv_epi64(vwj, sh), one64);
-      const __m256i bs =
-          _mm256_and_si256(_mm256_srlv_epi64(vst, sh), one64);
-      const __m256i mid = _mm256_blendv_epi8(bj, bi, sel);
-      const __m256d use_first =
-          _mm256_castsi256_pd(_mm256_cmpeq_epi64(mid, bs));
-      const __m256d tf = _mm256_min_pd(vti, vtj);
-      const __m256d ts = _mm256_max_pd(vti, vtj);
-      const __m256d tc = _mm256_and_pd(
-          amd,
-          _mm256_add_pd(_mm256_blendv_pd(ts, tf, use_first), vd));
-      const __m256d em = _mm256_and_pd(amd, ve);
-      _mm256_storeu_pd(
-          win_e + base,
-          _mm256_add_pd(_mm256_loadu_pd(win_e + base), em));
-      _mm256_storeu_pd(
-          settle + base,
-          _mm256_max_pd(_mm256_loadu_pd(settle + base), tc));
-      _mm256_storeu_pd(
-          tout + base,
-          _mm256_blendv_pd(_mm256_loadu_pd(tout + base), tc, amd));
-      if constexpr (!kWindowOnly)
+    for (std::size_t sub = 0; sub < lanes::subword_count_v<LW>; ++sub) {
+      const std::uint64_t ms = lanes::subword(m, sub);
+      if (ms == 0) continue;
+      const std::size_t off0 = sub * lanes::kWordLanes;
+      const __m256i vwi = _mm256_set1_epi64x(
+          static_cast<long long>(lanes::subword(wi, sub)));
+      const __m256i vwj = _mm256_set1_epi64x(
+          static_cast<long long>(lanes::subword(wj, sub)));
+      const __m256i vst = _mm256_set1_epi64x(
+          static_cast<long long>(lanes::subword(settled, sub)));
+      for (std::size_t base = 0; base < lanes::kWordLanes; base += 4) {
+        const auto nib = static_cast<long long>((ms >> base) & 0xF);
+        if (nib == 0) continue;
+        const std::size_t off = off0 + base;
+        const __m256i am = _mm256_cmpeq_epi64(
+            _mm256_and_si256(_mm256_set1_epi64x(nib), lanebit), lanebit);
+        const __m256d amd = _mm256_castsi256_pd(am);
+        const __m256d vti = _mm256_loadu_pd(ti + off);
+        const __m256d vtj = _mm256_loadu_pd(tj + off);
+        // sel: the second (j) input flipped first, so the mid state has
+        // input i still stale (two_changed_lane's swap branch).
+        const __m256i sel = _mm256_castpd_si256(
+            _mm256_cmp_pd(vtj, vti, _CMP_LT_OQ));
+        const __m256i sh = _mm256_add_epi64(
+            _mm256_set1_epi64x(static_cast<long long>(base)),
+            _mm256_setr_epi64x(0, 1, 2, 3));
+        const __m256i bi =
+            _mm256_and_si256(_mm256_srlv_epi64(vwi, sh), one64);
+        const __m256i bj =
+            _mm256_and_si256(_mm256_srlv_epi64(vwj, sh), one64);
+        const __m256i bs =
+            _mm256_and_si256(_mm256_srlv_epi64(vst, sh), one64);
+        const __m256i mid = _mm256_blendv_epi8(bj, bi, sel);
+        const __m256d use_first =
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(mid, bs));
+        const __m256d tf = _mm256_min_pd(vti, vtj);
+        const __m256d ts = _mm256_max_pd(vti, vtj);
+        const __m256d tc = _mm256_and_pd(
+            amd,
+            _mm256_add_pd(_mm256_blendv_pd(ts, tf, use_first), vd));
+        const __m256d em = _mm256_and_pd(amd, ve);
         _mm256_storeu_pd(
-            tot_e + base,
-            _mm256_add_pd(_mm256_loadu_pd(tot_e + base), em));
+            win_e + off,
+            _mm256_add_pd(_mm256_loadu_pd(win_e + off), em));
+        _mm256_storeu_pd(
+            settle + off,
+            _mm256_max_pd(_mm256_loadu_pd(settle + off), tc));
+        _mm256_storeu_pd(
+            tout + off,
+            _mm256_blendv_pd(_mm256_loadu_pd(tout + off), tc, amd));
+        if constexpr (!kWindowOnly)
+          _mm256_storeu_pd(
+              tot_e + off,
+              _mm256_add_pd(_mm256_loadu_pd(tot_e + off), em));
+      }
     }
-    std::uint64_t mm = m;
-    while (mm != 0) {
-      const int k = std::countr_zero(mm);
-      mm &= mm - 1;
+    lanes::for_each_lane(m, [&](std::size_t k) {
       ++win_t[k];
       if constexpr (!kWindowOnly) ++tot_t[k];
-    }
+    });
   }
 #endif  // __AVX2__
 
   /// Word commit at t = 0 (primary-input launch commits): in-window by
   /// definition, and settle = max(settle, 0) is a no-op. The
-  /// branchless sweep auto-vectorizes; inactive lanes contribute
-  /// bitwise-identity no-ops — += 0.0 (the accumulators are sums of
-  /// non-negative terms, never -0.0) and a tout self-assign — so each
-  /// lane holds exactly what per-lane commit() calls would produce.
-  void commit_word_zero(std::uint64_t m, double energy, double* tout) {
-    double* __restrict we = win_e;
-    double* __restrict to = tout;
-    std::uint32_t* __restrict wt = win_t;
-    for (std::size_t k = 0; k < nlanes; ++k) {
-      const bool a = ((m >> k) & 1ULL) != 0;
-      we[k] += a ? energy : 0.0;
-      to[k] = a ? 0.0 : to[k];
-      wt[k] += static_cast<std::uint32_t>(a);
-    }
-    if constexpr (!kWindowOnly) {
-      double* __restrict te = tot_e;
-      std::uint32_t* __restrict tt = tot_t;
-      for (std::size_t k = 0; k < nlanes; ++k) {
-        const bool a = ((m >> k) & 1ULL) != 0;
-        te[k] += a ? energy : 0.0;
-        tt[k] += static_cast<std::uint32_t>(a);
+  /// branchless per-sub-word sweep auto-vectorizes; inactive lanes
+  /// contribute bitwise-identity no-ops — += 0.0 (the accumulators are
+  /// sums of non-negative terms, never -0.0) and a tout self-assign —
+  /// so each lane holds exactly what per-lane commit() calls would
+  /// produce.
+  void commit_word_zero(const LW& m, double energy, double* tout) {
+    for (std::size_t sub = 0; sub * lanes::kWordLanes < nlanes; ++sub) {
+      const std::uint64_t ms = lanes::subword(m, sub);
+      const std::size_t k0 = sub * lanes::kWordLanes;
+      const std::size_t lim = std::min(lanes::kWordLanes, nlanes - k0);
+      double* __restrict we = win_e + k0;
+      double* __restrict to = tout + k0;
+      std::uint32_t* __restrict wt = win_t + k0;
+      for (std::size_t k = 0; k < lim; ++k) {
+        const bool a = ((ms >> k) & 1ULL) != 0;
+        we[k] += a ? energy : 0.0;
+        to[k] = a ? 0.0 : to[k];
+        wt[k] += static_cast<std::uint32_t>(a);
+      }
+      if constexpr (!kWindowOnly) {
+        double* __restrict te = tot_e + k0;
+        std::uint32_t* __restrict tt = tot_t + k0;
+        for (std::size_t k = 0; k < lim; ++k) {
+          const bool a = ((ms >> k) & 1ULL) != 0;
+          te[k] += a ? energy : 0.0;
+          tt[k] += static_cast<std::uint32_t>(a);
+        }
       }
     }
   }
@@ -210,42 +226,46 @@ struct SingleThresholdAcct {
 /// XOR-difference per primary output yields per-threshold sampled
 /// words (a net's sampled value at τ is its stale value XOR the parity
 /// of its commits before τ).
+template <class LW>
 struct MultiThresholdAcct {
   static constexpr bool kWordCommit = false;  // every commit is bucketed
+  static constexpr std::size_t kLanes = lanes::lane_count_v<LW>;
 
   std::span<const double> thresholds_ps;
   double* ediff;              // (nthr+1) × kLanes, bucket-major
   std::uint32_t* tdiff;       // (nthr+1) × kLanes
-  std::uint64_t* sdiff;       // nPO × (nthr+1)
+  LW* sdiff;                  // nPO × (nthr+1)
   double* tot_e;              // per lane
   std::uint32_t* tot_t;       // per lane
   double* settle;             // per lane
   const std::int32_t* po_index;
 
-  bool commit(NetId net, int k, double tc, double energy) {
+  bool commit(NetId net, std::size_t k, double tc, double energy) {
     const auto b = static_cast<std::size_t>(
         std::upper_bound(thresholds_ps.begin(), thresholds_ps.end(), tc) -
         thresholds_ps.begin());
-    const std::size_t lanes = LevelizedSimulator::kLanes;
-    ediff[b * lanes + static_cast<std::size_t>(k)] += energy;
-    ++tdiff[b * lanes + static_cast<std::size_t>(k)];
+    ediff[b * kLanes + k] += energy;
+    ++tdiff[b * kLanes + k];
     tot_e[k] += energy;
     ++tot_t[k];
     settle[k] = std::max(settle[k], tc);
     const std::int32_t po = po_index[net];
     if (po >= 0)
-      sdiff[static_cast<std::size_t>(po) * (thresholds_ps.size() + 1) + b] ^=
-          1ULL << k;
+      lanes::toggle_lane(
+          sdiff[static_cast<std::size_t>(po) * (thresholds_ps.size() + 1) +
+                b],
+          k);
     return false;  // no single sampled word is maintained in sweep mode
   }
 };
 
 }  // namespace
 
-LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
-                                       const CellLibrary& lib,
-                                       const OperatingTriad& op,
-                                       const TimingSimConfig& config)
+template <class LW>
+LevelizedSimulatorT<LW>::LevelizedSimulatorT(const Netlist& netlist,
+                                             const CellLibrary& lib,
+                                             const OperatingTriad& op,
+                                             const TimingSimConfig& config)
     : netlist_(netlist), op_(op) {
   VOSIM_EXPECTS(netlist.finalized());
   VOSIM_EXPECTS(op.tclk_ns > 0.0);
@@ -299,17 +319,17 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
     cycle_safe_[gid] =
         arrival_ps_[netlist.gate(gid).out] < tclk_ps_ ? 1 : 0;
 
-  settled_w_.assign(netlist.num_nets(), 0);
-  stale_w_.assign(netlist.num_nets(), 0);
-  sampled_w_.assign(netlist.num_nets(), 0);
+  settled_w_.assign(netlist.num_nets(), LW{});
+  stale_w_.assign(netlist.num_nets(), LW{});
+  sampled_w_.assign(netlist.num_nets(), LW{});
   time_ps_ = std::make_unique_for_overwrite<double[]>(
       netlist.num_nets() * kLanes);
-  pulsing_w_.assign(netlist.num_nets(), 0);
+  pulsing_w_.assign(netlist.num_nets(), LW{});
   pulse_start_ps_ = std::make_unique_for_overwrite<double[]>(
       netlist.num_nets() * kLanes);
   pulse_end_ps_ = std::make_unique_for_overwrite<double[]>(
       netlist.num_nets() * kLanes);
-  pulsing2_w_.assign(netlist.num_nets(), 0);
+  pulsing2_w_.assign(netlist.num_nets(), LW{});
   pulse2_start_ps_ = std::make_unique_for_overwrite<double[]>(
       netlist.num_nets() * kLanes);
   pulse2_end_ps_ = std::make_unique_for_overwrite<double[]>(
@@ -325,7 +345,8 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist,
   reset(zeros);
 }
 
-bool LevelizedSimulator::retarget_tclk_ps(double tclk_ps) {
+template <class LW>
+bool LevelizedSimulatorT<LW>::retarget_tclk_ps(double tclk_ps) {
   VOSIM_EXPECTS(tclk_ps > 0.0);
   tclk_ps_ = tclk_ps;
   op_.tclk_ns = tclk_ps * 1e-3;
@@ -337,28 +358,32 @@ bool LevelizedSimulator::retarget_tclk_ps(double tclk_ps) {
   return true;
 }
 
-void LevelizedSimulator::reset(std::span<const std::uint8_t> inputs) {
+template <class LW>
+void LevelizedSimulatorT<LW>::reset(std::span<const std::uint8_t> inputs) {
   VOSIM_EXPECTS(inputs.size() == netlist_.primary_inputs().size());
   state_ = evaluate_logic(netlist_, inputs);
   sampled_state_ = state_;
 }
 
-StepResult LevelizedSimulator::step(std::span<const std::uint8_t> inputs) {
+template <class LW>
+StepResult LevelizedSimulatorT<LW>::step(
+    std::span<const std::uint8_t> inputs) {
   const auto pis = netlist_.primary_inputs();
   VOSIM_EXPECTS(inputs.size() == pis.size());
   for (std::size_t j = 0; j < pis.size(); ++j)
-    settled_w_[pis[j]] = inputs[j] ? 1ULL : 0ULL;
+    settled_w_[pis[j]] = inputs[j] ? lanes::bit<LW>(0) : LW{};
   StepResult result;
   run_lanes(1, {&result, 1});
   return result;
 }
 
-StepResult LevelizedSimulator::step_cycle(
+template <class LW>
+StepResult LevelizedSimulatorT<LW>::step_cycle(
     std::span<const std::uint8_t> inputs) {
   const auto pis = netlist_.primary_inputs();
   VOSIM_EXPECTS(inputs.size() == pis.size());
   for (std::size_t j = 0; j < pis.size(); ++j)
-    settled_w_[pis[j]] = inputs[j] ? 1ULL : 0ULL;
+    settled_w_[pis[j]] = inputs[j] ? lanes::bit<LW>(0) : LW{};
   StepResult result;
   run_lanes(1, {&result, 1}, /*cycle_mode=*/true);
   // Nothing is simulated past the edge in cycle mode.
@@ -367,9 +392,10 @@ StepResult LevelizedSimulator::step_cycle(
   return result;
 }
 
-void LevelizedSimulator::step_batch(std::span<const std::uint8_t> inputs,
-                                    std::size_t count,
-                                    std::span<StepResult> results) {
+template <class LW>
+void LevelizedSimulatorT<LW>::step_batch(
+    std::span<const std::uint8_t> inputs, std::size_t count,
+    std::span<StepResult> results) {
   const auto pis = netlist_.primary_inputs();
   const std::size_t npis = pis.size();
   VOSIM_EXPECTS(inputs.size() == count * npis);
@@ -378,9 +404,9 @@ void LevelizedSimulator::step_batch(std::span<const std::uint8_t> inputs,
   while (done < count) {
     const std::size_t lanes = std::min(kLanes, count - done);
     for (std::size_t j = 0; j < npis; ++j) {
-      std::uint64_t w = 0;
+      LW w{};
       for (std::size_t k = 0; k < lanes; ++k)
-        if (inputs[(done + k) * npis + j]) w |= 1ULL << k;
+        if (inputs[(done + k) * npis + j]) lanes::set_lane(w, k);
       settled_w_[pis[j]] = w;
     }
     run_lanes(lanes, results.subspan(done, lanes));
@@ -388,9 +414,10 @@ void LevelizedSimulator::step_batch(std::span<const std::uint8_t> inputs,
   }
 }
 
-void LevelizedSimulator::step_cycle_batch(std::span<const std::uint8_t> inputs,
-                                          std::size_t count,
-                                          std::span<StepResult> results) {
+template <class LW>
+void LevelizedSimulatorT<LW>::step_cycle_batch(
+    std::span<const std::uint8_t> inputs, std::size_t count,
+    std::span<StepResult> results) {
   const auto pis = netlist_.primary_inputs();
   const std::size_t npis = pis.size();
   VOSIM_EXPECTS(inputs.size() == count * npis);
@@ -399,9 +426,9 @@ void LevelizedSimulator::step_cycle_batch(std::span<const std::uint8_t> inputs,
   while (done < count) {
     const std::size_t lanes = std::min(kLanes, count - done);
     for (std::size_t j = 0; j < npis; ++j) {
-      std::uint64_t w = 0;
+      LW w{};
       for (std::size_t k = 0; k < lanes; ++k)
-        if (inputs[(done + k) * npis + j]) w |= 1ULL << k;
+        if (inputs[(done + k) * npis + j]) lanes::set_lane(w, k);
       settled_w_[pis[j]] = w;
     }
     run_lanes(lanes, results.subspan(done, lanes), /*cycle_mode=*/true);
@@ -414,7 +441,8 @@ void LevelizedSimulator::step_cycle_batch(std::span<const std::uint8_t> inputs,
   }
 }
 
-void LevelizedSimulator::step_batch_sweep(
+template <class LW>
+void LevelizedSimulatorT<LW>::step_batch_sweep(
     std::span<const std::uint8_t> inputs, std::size_t count,
     std::span<const double> thresholds_ps, std::span<StepResult> results) {
   const auto pis = netlist_.primary_inputs();
@@ -429,9 +457,9 @@ void LevelizedSimulator::step_batch_sweep(
   while (done < count) {
     const std::size_t lanes = std::min(kLanes, count - done);
     for (std::size_t j = 0; j < npis; ++j) {
-      std::uint64_t w = 0;
+      LW w{};
       for (std::size_t k = 0; k < lanes; ++k)
-        if (inputs[(done + k) * npis + j]) w |= 1ULL << k;
+        if (inputs[(done + k) * npis + j]) lanes::set_lane(w, k);
       settled_w_[pis[j]] = w;
     }
     run_lanes_sweep(lanes, thresholds_ps,
@@ -440,9 +468,11 @@ void LevelizedSimulator::step_batch_sweep(
   }
 }
 
+template <class LW>
 template <bool kCycleMode, class Acct>
-void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
-  const std::uint64_t used = lanes::mask(lanes);
+void LevelizedSimulatorT<LW>::run_lanes_impl(std::size_t lanes,
+                                             Acct& acct) {
+  const LW used = lanes::mask<LW>(lanes);
 
   // Primary inputs: lane k's stale value is lane k-1's value (lane 0
   // continues from the carried state); input transitions commit at
@@ -453,35 +483,33 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
   // settled(k-1) coincides with the cycle-mode recurrence stale(k) =
   // sampled(k-1): this block serves both modes unchanged.
   for (const NetId pi : netlist_.primary_inputs()) {
-    const std::uint64_t settled = settled_w_[pi] & used;
+    const LW settled = settled_w_[pi] & used;
     settled_w_[pi] = settled;
-    const std::uint64_t stale =
-        ((settled << 1) | static_cast<std::uint64_t>(state_[pi] & 1)) & used;
+    const LW stale = lanes::shift1_in(settled, state_[pi]) & used;
     stale_w_[pi] = stale;
-    pulsing_w_[pi] = 0;
-    pulsing2_w_[pi] = 0;
+    pulsing_w_[pi] = LW{};
+    pulsing2_w_[pi] = LW{};
     const double energy = net_energy_fj_[pi];
     double* t = &time_ps_[static_cast<std::size_t>(pi) * kLanes];
-    std::uint64_t m = settled ^ stale;
+    const LW m = settled ^ stale;
     if constexpr (Acct::kWordCommit) {
       // Every launch commit is in-window, so the sampled word is just
       // the settled word.
-      if (m != 0) acct.commit_word_zero(m, energy, t);
+      if (lanes::any(m)) acct.commit_word_zero(m, energy, t);
       sampled_w_[pi] = settled;
     } else {
-      std::uint64_t sampled = stale;
-      while (m != 0) {
-        const int k = std::countr_zero(m);
-        m &= m - 1;
+      LW sampled = stale;
+      lanes::for_each_lane(m, [&](std::size_t k) {
         t[k] = 0.0;
-        if (acct.commit(pi, k, 0.0, energy)) sampled ^= 1ULL << k;
-      }
+        if (acct.commit(pi, k, 0.0, energy))
+          lanes::toggle_lane(sampled, k);
+      });
       sampled_w_[pi] = sampled;
     }
   }
 
-  // One levelized pass. Values: packed 64-lane evaluation per gate.
-  // Timing: each lane with input activity runs a miniature event
+  // One levelized pass. Values: packed kLanes-lane evaluation per
+  // gate. Timing: each lane with input activity runs a miniature event
   // simulation of just this gate over its ≤6 input events (one flip
   // per changed input at its final transition time, a flip-and-return
   // pair per pulsing input), with the event engine's inertial rule —
@@ -492,7 +520,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
   //
   // The hot path dispatches lanes by changed-input count using packed
   // subset words W[s] (the gate function with the inputs in s still at
-  // their stale values, evaluated for all 64 lanes at once): a
+  // their stale values, evaluated for all kLanes lanes at once): a
   // non-sensitized single change costs nothing, sensitized one- and
   // two-change lanes collapse to a handful of scalar operations, and
   // only lanes fed by a glitch pulse take the generic event walk.
@@ -514,19 +542,23 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
   // dispatch loops, which keeps the commit sequence (and therefore
   // the floating-point energy accumulation) of any one lane identical
   // whether it was reached by streaming masks or by the cycle scan.
+  // The per-lane bodies are also shared across lane widths (they act
+  // on single lanes through lane_bit/toggle_lane/assign_lane), which
+  // is what makes the 256/512-lane engines bit-exact against the
+  // 64-lane one.
   for (const GateId gid : netlist_.topo_order()) {
     const Gate& g = netlist_.gate(gid);
     const NetId out = g.out;
     const int n = g.num_inputs;
     const unsigned full = (1u << n) - 1u;
 
-    std::uint64_t in_settled[3] = {0, 0, 0};
-    std::uint64_t in_stale[3] = {0, 0, 0};
-    std::uint64_t in_changed[3] = {0, 0, 0};
-    std::uint64_t in_pulsing[3] = {0, 0, 0};
-    std::uint64_t in_pulsing2[3] = {0, 0, 0};
-    std::uint64_t any_pulse = 0;
-    std::uint64_t any_changed = 0;
+    LW in_settled[3] = {};
+    LW in_stale[3] = {};
+    LW in_changed[3] = {};
+    LW in_pulsing[3] = {};
+    LW in_pulsing2[3] = {};
+    LW any_pulse{};
+    LW any_changed{};
     for (int i = 0; i < n; ++i) {
       const NetId in = g.in[i];
       in_settled[i] = settled_w_[in];
@@ -544,19 +576,18 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // word hand-off plus the catch-up sweep over changed-but-inactive
     // lanes (cycle mode; empty under the streaming invariant) — commit
     // for commit what the full dispatch would do on such a gate.
-    if (((any_changed | any_pulse) & used) == 0) {
-      const std::uint64_t settled =
+    if (!lanes::any((any_changed | any_pulse) & used)) {
+      const LW settled =
           eval_cell_packed(g.kind, in_settled[0], in_settled[1],
                            in_settled[2]) &
           used;
       settled_w_[out] = settled;
-      const std::uint64_t state0 =
-          static_cast<std::uint64_t>(state_[out] & 1);
+      const auto state0 = static_cast<std::uint8_t>(state_[out] & 1);
       const bool word_recurrence = !kCycleMode || cycle_safe_[gid] != 0;
-      std::uint64_t sampled;
-      std::uint64_t m_catch;
+      LW sampled;
+      LW m_catch;
       if (word_recurrence) {
-        const std::uint64_t stale = ((settled << 1) | state0) & used;
+        const LW stale = lanes::shift1_in(settled, state0) & used;
         stale_w_[out] = stale;
         sampled = stale;
         m_catch = (settled ^ stale) & used;
@@ -565,27 +596,25 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         // possible commit is the in-window catch-up), so the stale
         // chain is the settled word shifted by one cycle.
         sampled = settled;
-        const std::uint64_t stale = ((settled << 1) | state0) & used;
+        const LW stale = lanes::shift1_in(settled, state0) & used;
         stale_w_[out] = stale;
         m_catch = (settled ^ stale) & used;
       }
-      if (m_catch != 0) {
+      if (lanes::any(m_catch)) {
         const double delay = gate_delay_ps_[gid];
         const double energy = net_energy_fj_[out];
         const double tc = std::min(delay, 0.999 * tclk_ps_);
         double* tout = &time_ps_[static_cast<std::size_t>(out) * kLanes];
-        std::uint64_t m = m_catch;
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
+        lanes::for_each_lane(m_catch, [&](std::size_t k) {
           if (acct.commit(out, k, tc, energy))
-            sampled = (sampled & ~(1ULL << k)) | (settled & (1ULL << k));
+            lanes::assign_lane(sampled, k,
+                               lanes::lane_bit(settled, k) != 0);
           tout[k] = tc;
-        }
+        });
       }
       sampled_w_[out] = sampled;
-      pulsing_w_[out] = 0;
-      pulsing2_w_[out] = 0;
+      pulsing_w_[out] = LW{};
+      pulsing2_w_[out] = LW{};
       continue;
     }
 
@@ -604,19 +633,19 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     }
 
     // W[s]: packed gate value with the inputs in subset s still stale.
-    std::uint64_t W[8];
+    LW W[8];
     for (unsigned s = 0; s <= full; ++s) {
-      const std::uint64_t wa =
-          n > 0 ? ((s & 1u) ? in_stale[0] : in_settled[0]) : 0;
-      const std::uint64_t wb =
-          n > 1 ? ((s & 2u) ? in_stale[1] : in_settled[1]) : 0;
-      const std::uint64_t wc =
-          n > 2 ? ((s & 4u) ? in_stale[2] : in_settled[2]) : 0;
+      const LW wa =
+          n > 0 ? ((s & 1u) ? in_stale[0] : in_settled[0]) : LW{};
+      const LW wb =
+          n > 1 ? ((s & 2u) ? in_stale[1] : in_settled[1]) : LW{};
+      const LW wc =
+          n > 2 ? ((s & 4u) ? in_stale[2] : in_settled[2]) : LW{};
       W[s] = eval_cell_packed(g.kind, wa, wb, wc) & used;
     }
-    const std::uint64_t settled = W[0];
+    const LW settled = W[0];
     settled_w_[out] = settled;
-    const std::uint64_t state0 = static_cast<std::uint64_t>(state_[out] & 1);
+    const auto state0 = static_cast<std::uint8_t>(state_[out] & 1);
 
     // A cycle-safe gate (STA arrival < Tclk, cycle_safe_) never commits
     // past the edge, and neither does anything in its fan-in cone
@@ -626,11 +655,11 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // dispatch even in cycle mode. Only gates reachable past the edge
     // pay the serial ascending lane scan.
     const bool word_recurrence = !kCycleMode || cycle_safe_[gid] != 0;
-    std::uint64_t stale;
-    std::uint64_t changed;
-    std::uint64_t sampled;
+    LW stale;
+    LW changed;
+    LW sampled;
     if (word_recurrence) {
-      stale = ((settled << 1) | state0) & used;
+      stale = lanes::shift1_in(settled, state0) & used;
       stale_w_[out] = stale;
       changed = settled ^ stale;
       sampled = stale;
@@ -638,14 +667,14 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       // Built lane by lane in the cycle scan below; lanes without input
       // activity sample their settled value (their only possible commit
       // is the catch-up, which always lands inside the window).
-      stale = 0;
-      changed = 0;
+      stale = LW{};
+      changed = LW{};
       sampled = settled;
     }
 
-    std::uint64_t pulsing = 0;
-    std::uint64_t pulsing2 = 0;
-    std::uint64_t committed = 0;  // lanes whose output committed a flip
+    LW pulsing{};
+    LW pulsing2{};
+    LW committed{};  // lanes whose output committed a flip
     const double delay = gate_delay_ps_[gid];
     const double energy = net_energy_fj_[out];
     const std::uint16_t truth = cell_truth(g.kind);
@@ -656,9 +685,9 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     double* pout2_s = &pulse2_start_ps_[base_out];
     double* pout2_e = &pulse2_end_ps_[base_out];
 
-    const std::uint64_t ch0 = in_changed[0];
-    const std::uint64_t ch1 = in_changed[1];
-    const std::uint64_t ch2 = in_changed[2];
+    const LW ch0 = in_changed[0];
+    const LW ch1 = in_changed[1];
+    const LW ch2 = in_changed[2];
 
     // Single-pulse classification. A lane whose only input activity is
     // one surviving pulse on input i (no changed inputs, no second
@@ -670,8 +699,8 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // Both reproduce pulse_lane bit-exactly; at deep over-scaling,
     // where glitch fanout makes the generic walk the dominant cost,
     // most pulse-fed lanes fall into these two classes.
-    std::uint64_t thru[3] = {0, 0, 0};
-    std::uint64_t pulse_skip = 0;
+    LW thru[3] = {};
+    LW pulse_skip{};
     // Changed+pulse pairs: lanes whose only activity is one changed
     // input j (no bounce) plus one surviving pulse on unchanged input
     // i. Their generic walk has exactly three events with values drawn
@@ -682,55 +711,67 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // i complemented, with j stale resp. settled).
     int cp_j[6];
     int cp_i[6];
-    std::uint64_t cp_m[6];
-    std::uint64_t cp_est[6];
-    std::uint64_t cp_ese[6];
+    LW cp_m[6];
+    LW cp_est[6];
+    LW cp_ese[6];
     int ncp = 0;
-    std::uint64_t cp_all = 0;
+    LW cp_all{};
     // Pure bounce class: one changed input j carrying its own return
     // pulse, every other input quiet (bounce_lane below).
-    std::uint64_t bn[3] = {0, 0, 0};
-    std::uint64_t bn_all = 0;
+    LW bn[3] = {};
+    LW bn_all{};
     int bc_j[6];
     int bc_l[6];
-    std::uint64_t bc_m[6];
+    LW bc_m[6];
     int nbc = 0;
-    std::uint64_t bc_all = 0;
-    if (any_pulse != 0) {
-      const std::uint64_t quiet = ~(ch0 | ch1 | ch2);
+    LW bc_all{};
+    if (lanes::any(any_pulse)) {
+      const LW quiet = ~(ch0 | ch1 | ch2);
+      // Per-input activity words and their "every input but X" ORs.
+      // The classification below needs them as straight-line word ops,
+      // not `for (t) if (t != i)` loops: GCC 12's loop vectorizer
+      // miscompiles that masked-loop form over multi-sub-word lane
+      // words at -O3 (wrong lane masks on the 256/512-bit engines,
+      // caught by tests/test_lanes_wide.cpp), and with n <= 3 and the
+      // activity arrays zero-filled past n the loop-free form is
+      // smaller anyway.
+      const LW pp0 = in_pulsing[0] | in_pulsing2[0];
+      const LW pp1 = in_pulsing[1] | in_pulsing2[1];
+      const LW pp2 = in_pulsing[2] | in_pulsing2[2];
+      const LW pp[3] = {pp0, pp1, pp2};
+      const LW pp_ex[3] = {pp1 | pp2, pp0 | pp2, pp0 | pp1};
+      const LW ch_ex[3] = {ch1 | ch2, ch0 | ch2, ch0 | ch1};
+      const LW cpp[3] = {pp0 | ch0, pp1 | ch1, pp2 | ch2};
+      const LW cpp_ex[3] = {cpp[1] | cpp[2], cpp[0] | cpp[2],
+                            cpp[0] | cpp[1]};
       // Packed evaluation with input i complemented and input js (or
       // none, js < 0) at its stale word: the value the gate shows
       // during an excursion of input i.
       const auto eval_comp = [&](int i, int js) {
-        std::uint64_t wa = js == 0 ? in_stale[0] : in_settled[0];
-        std::uint64_t wb = n > 1 ? (js == 1 ? in_stale[1] : in_settled[1]) : 0;
-        std::uint64_t wc = n > 2 ? (js == 2 ? in_stale[2] : in_settled[2]) : 0;
+        LW wa = js == 0 ? in_stale[0] : in_settled[0];
+        LW wb = n > 1 ? (js == 1 ? in_stale[1] : in_settled[1]) : LW{};
+        LW wc = n > 2 ? (js == 2 ? in_stale[2] : in_settled[2]) : LW{};
         if (i == 0) wa = ~wa;
         if (i == 1) wb = ~wb;
         if (i == 2) wc = ~wc;
         return eval_cell_packed(g.kind, wa, wb, wc);
       };
       for (int i = 0; i < n; ++i) {
-        std::uint64_t only = in_pulsing[i] & ~in_pulsing2[i] & quiet & used;
-        for (int j = 0; j < n; ++j)
-          if (j != i) only &= ~(in_pulsing[j] | in_pulsing2[j]);
-        if (only == 0) continue;
-        const std::uint64_t sens = (eval_comp(i, -1) ^ settled) & only;
+        const LW only =
+            in_pulsing[i] & ~in_pulsing2[i] & quiet & used & ~pp_ex[i];
+        if (!lanes::any(only)) continue;
+        const LW sens = (eval_comp(i, -1) ^ settled) & only;
         thru[i] = sens;
         pulse_skip |= only & ~sens;
       }
-      for (int j = 0; any_changed != 0 && j < n; ++j) {
-        std::uint64_t chonly =
-            in_changed[j] & ~in_pulsing[j] & ~in_pulsing2[j] & used;
-        for (int t = 0; t < n; ++t)
-          if (t != j) chonly &= ~in_changed[t];
-        if (chonly == 0) continue;
+      for (int j = 0; lanes::any(any_changed) && j < n; ++j) {
+        const LW chonly = in_changed[j] & ~pp[j] & used & ~ch_ex[j];
+        if (!lanes::any(chonly)) continue;
         for (int i = 0; i < n; ++i) {
           if (i == j) continue;
-          std::uint64_t m = chonly & in_pulsing[i] & ~in_pulsing2[i];
-          for (int t = 0; t < n; ++t)
-            if (t != i) m &= ~(in_pulsing[t] | in_pulsing2[t]);
-          if (m == 0) continue;
+          const LW m =
+              chonly & in_pulsing[i] & ~in_pulsing2[i] & ~pp_ex[i];
+          if (!lanes::any(m)) continue;
           cp_j[ncp] = j;
           cp_i[ncp] = i;
           cp_m[ncp] = m;
@@ -740,10 +781,10 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           ++ncp;
         }
       }
-      for (int j = 0; any_changed != 0 && j < n; ++j) {
-        std::uint64_t m = in_changed[j] & in_pulsing[j] & ~in_pulsing2[j] & used;
-        for (int t = 0; t < n; ++t)
-          if (t != j) m &= ~(in_changed[t] | in_pulsing[t] | in_pulsing2[t]);
+      for (int j = 0; lanes::any(any_changed) && j < n; ++j) {
+        const LW m =
+            in_changed[j] & in_pulsing[j] & ~in_pulsing2[j] & used &
+            ~cpp_ex[j];
         bn[j] = m;
         bn_all |= m;
       }
@@ -751,17 +792,14 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       // flip plus a return pulse, l flips once, nothing else is
       // active. All four reachable gate values are subset words, so
       // the walk needs no extra packed evaluations (bc_lane below).
-      for (int j = 0; any_changed != 0 && j < n; ++j) {
-        std::uint64_t mj = in_changed[j] & in_pulsing[j] & ~in_pulsing2[j] & used;
-        if (mj == 0) continue;
+      for (int j = 0; lanes::any(any_changed) && j < n; ++j) {
+        LW mj = in_changed[j] & in_pulsing[j] & ~in_pulsing2[j] & used;
+        if (!lanes::any(mj)) continue;
         for (int l = 0; l < n; ++l) {
           if (l == j) continue;
-          std::uint64_t m =
-              mj & in_changed[l] & ~in_pulsing[l] & ~in_pulsing2[l];
-          for (int t = 0; t < n; ++t)
-            if (t != j && t != l)
-              m &= ~(in_changed[t] | in_pulsing[t] | in_pulsing2[t]);
-          if (m == 0) continue;
+          LW m = mj & in_changed[l] & ~pp[l];
+          if (n == 3) m &= ~cpp[3 - j - l];
+          if (!lanes::any(m)) continue;
           bc_j[nbc] = j;
           bc_l[nbc] = l;
           bc_m[nbc] = m;
@@ -770,44 +808,45 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
       }
     }
-    const std::uint64_t thru_all = thru[0] | thru[1] | thru[2];
+    const LW thru_all = thru[0] | thru[1] | thru[2];
 
     // -- shared per-lane bodies -------------------------------------------
 
     // Sensitized single flip at tc (one-changed lanes and the
     // single-commit branch of two-changed lanes).
-    const auto commit_flip = [&](int k, double tc) {
-      if (acct.commit(out, k, tc, energy)) sampled ^= 1ULL << k;
-      committed |= 1ULL << k;
+    const auto commit_flip = [&](std::size_t k, double tc) {
+      if (acct.commit(out, k, tc, energy)) lanes::toggle_lane(sampled, k);
+      lanes::set_lane(committed, k);
       tout[k] = tc;
     };
 
     // Exactly two changed inputs i and j (i < j): the trajectory is
     // stale → mid → settled with mid = the gate with only the later
     // input still old.
-    const auto two_changed_lane = [&](int k, int i, int j) {
-      const std::uint64_t bit = 1ULL << k;
+    const auto two_changed_lane = [&](std::size_t k, int i, int j) {
       double tf = in_time[i][k];
       double ts = in_time[j][k];
-      std::uint64_t mid_w = W[1u << j];
+      unsigned mid = 1u << j;
       if (ts < tf) {
         std::swap(tf, ts);
-        mid_w = W[1u << i];
+        mid = 1u << i;
       }
-      if ((changed & bit) != 0) {
+      const std::uint8_t mid_diff =
+          lanes::lane_bit(W[mid], k) ^ lanes::lane_bit(settled, k);
+      if (lanes::lane_bit(changed, k) != 0) {
         // Single commit: at the first flip when it already produces
         // the final value, else at the second.
-        const double tc = (((mid_w ^ settled) & bit) == 0 ? tf : ts) + delay;
+        const double tc = (mid_diff == 0 ? tf : ts) + delay;
         commit_flip(k, tc);
-      } else if (((mid_w ^ settled) & bit) != 0 && tf + delay <= ts) {
+      } else if (mid_diff != 0 && tf + delay <= ts) {
         // Surviving glitch pulse [tf+delay, ts+delay) on an unchanged
         // output: two commits, forwarded downstream; a capture edge
         // inside it samples the transient.
         const double t1 = tf + delay;
         const double t2 = ts + delay;
-        if (acct.commit(out, k, t1, energy)) sampled ^= bit;
-        if (acct.commit(out, k, t2, energy)) sampled ^= bit;
-        pulsing |= bit;
+        if (acct.commit(out, k, t1, energy)) lanes::toggle_lane(sampled, k);
+        if (acct.commit(out, k, t2, energy)) lanes::toggle_lane(sampled, k);
+        lanes::set_lane(pulsing, k);
         pout_s[k] = t1;
         pout_e[k] = t2;
       }
@@ -815,7 +854,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
 
     // Three changed inputs: walk the four subset states in transition
     // order with the inertial rule.
-    const auto three_changed_lane = [&](int k, unsigned cur0) {
+    const auto three_changed_lane = [&](std::size_t k, unsigned cur0) {
       int order[3] = {0, 1, 2};
       if (in_time[order[1]][k] < in_time[order[0]][k])
         std::swap(order[0], order[1]);
@@ -823,7 +862,6 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         std::swap(order[1], order[2]);
       if (in_time[order[1]][k] < in_time[order[0]][k])
         std::swap(order[0], order[1]);
-      const std::uint64_t bit = 1ULL << k;
       unsigned s = full;
       unsigned cur = cur0;
       bool pending = false;
@@ -838,8 +876,9 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         if (ncommits < 3) cts[ncommits] = tc;
         ++ncommits;
         last_c = tc;
-        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-        committed |= bit;
+        if (acct.commit(out, k, tc, energy))
+          lanes::toggle_lane(sampled, k);
+        lanes::set_lane(committed, k);
       };
       for (int j = 0; j < 3; ++j) {
         const double t = in_time[order[j]][k];
@@ -848,7 +887,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           pending = false;
         }
         s &= ~(1u << order[j]);
-        const auto v = static_cast<unsigned>((W[s] >> k) & 1ULL);
+        const auto v = static_cast<unsigned>(lanes::lane_bit(W[s], k));
         if (v != cur && !pending) {
           pending = true;
           commit_t = t + delay;
@@ -857,7 +896,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
       }
       if (pending) do_commit(commit_t);
-      if ((changed & bit) != 0) {
+      if (lanes::lane_bit(changed, k) != 0) {
         if (ncommits >= 3) {
           // The output bounced on its way to the settled value
           // (stale → settled → stale → settled). Forward the full
@@ -867,14 +906,14 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           // reconvergent structures (array multipliers) and inflates
           // deep-VOS BER versus the event engine.
           tout[k] = cts[0];
-          pulsing |= bit;
+          lanes::set_lane(pulsing, k);
           pout_s[k] = cts[1];
           pout_e[k] = last_c;
         } else {
           tout[k] = last_c;
         }
       } else if (ncommits >= 2) {
-        pulsing |= bit;
+        lanes::set_lane(pulsing, k);
         pout_s[k] = cts[0];
         pout_e[k] = cts[1];
       }
@@ -883,7 +922,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // Lane fed by a glitch pulse: generic event walk over the ≤9 input
     // events (flip per changed input, flip-and-return pair per pulsing
     // input, all three for a bouncing changed input).
-    const auto pulse_lane = [&](int k) {
+    const auto pulse_lane = [&](std::size_t k) {
       // Up to five events per input: a changed input that bounced
       // twice carries its first flip plus two return pulses.
       double ev_t[15];
@@ -892,8 +931,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       int ne = 0;
       unsigned idx = 0;
       for (int i = 0; i < n; ++i) {
-        const auto sbit =
-            static_cast<std::uint8_t>((in_stale[i] >> k) & 1ULL);
+        const std::uint8_t sbit = lanes::lane_bit(in_stale[i], k);
         idx |= static_cast<unsigned>(sbit) << i;
         const auto push = [&](double t, std::uint8_t v) {
           ev_t[ne] = t;
@@ -902,26 +940,26 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           ++ne;
         };
         const auto nbit = static_cast<std::uint8_t>(sbit ^ 1u);
-        if (((in_changed[i] >> k) & 1ULL) != 0) {
+        if (lanes::lane_bit(in_changed[i], k) != 0) {
           // First flip to the settled value; each forwarded pulse is
           // a late return trip back to the stale value and out again.
           push(in_time[i][k], nbit);
-          if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+          if (lanes::lane_bit(in_pulsing[i], k) != 0) {
             push(in_ps[i][k], sbit);
             push(in_pe[i][k], nbit);
           }
-          if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
+          if (lanes::lane_bit(in_pulsing2[i], k) != 0) {
             push(in_ps2[i][k], sbit);
             push(in_pe2[i][k], nbit);
           }
         } else {
           // Unchanged input: each pulse is an excursion to the
           // complement of the settled value and back.
-          if (((in_pulsing[i] >> k) & 1ULL) != 0) {
+          if (lanes::lane_bit(in_pulsing[i], k) != 0) {
             push(in_ps[i][k], nbit);
             push(in_pe[i][k], sbit);
           }
-          if (((in_pulsing2[i] >> k) & 1ULL) != 0) {
+          if (lanes::lane_bit(in_pulsing2[i], k) != 0) {
             push(in_ps2[i][k], nbit);
             push(in_pe2[i][k], sbit);
           }
@@ -934,7 +972,6 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           std::swap(ev_i[y], ev_i[y - 1]);
           std::swap(ev_bit[y], ev_bit[y - 1]);
         }
-      const std::uint64_t bit = 1ULL << k;
       unsigned cur = (truth >> idx) & 1u;
       bool pending = false;
       double commit_t = 0.0;
@@ -946,8 +983,9 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         if (ncommits < 4) cts[ncommits] = tc;
         ++ncommits;
         last_c = tc;
-        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-        committed |= bit;
+        if (acct.commit(out, k, tc, energy))
+          lanes::toggle_lane(sampled, k);
+        lanes::set_lane(committed, k);
       };
       for (int j = 0; j < ne; ++j) {
         if (pending && commit_t <= ev_t[j]) {
@@ -965,17 +1003,17 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
       }
       if (pending) do_commit(commit_t);
-      if ((changed & bit) != 0) {
+      if (lanes::lane_bit(changed, k) != 0) {
         if (ncommits >= 3) {
           // Bouncing changed output: first flip + return pulses (see
           // the three-changed walk above). Five or more commits
           // merge the tail bounces into the second pulse.
           tout[k] = cts[0];
-          pulsing |= bit;
+          lanes::set_lane(pulsing, k);
           pout_s[k] = cts[1];
           pout_e[k] = ncommits == 3 ? last_c : cts[2];
           if (ncommits >= 5) {
-            pulsing2 |= bit;
+            lanes::set_lane(pulsing2, k);
             pout2_s[k] = cts[3];
             pout2_e[k] = last_c;
           }
@@ -983,11 +1021,11 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           tout[k] = last_c;
         }
       } else if (ncommits >= 2) {
-        pulsing |= bit;
+        lanes::set_lane(pulsing, k);
         pout_s[k] = cts[0];
         pout_e[k] = ncommits == 2 ? last_c : cts[1];
         if (ncommits >= 4) {
-          pulsing2 |= bit;
+          lanes::set_lane(pulsing2, k);
           pout2_s[k] = cts[2];
           pout2_e[k] = last_c;
         }
@@ -1001,20 +1039,19 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // two commits and a forwarded pulse. Matches pulse_lane commit for
     // commit on these lanes (same times, same bookkeeping) without
     // building and sorting the event list.
-    const auto pulse_through_lane = [&](int k, int i) {
-      const std::uint64_t bit = 1ULL << k;
+    const auto pulse_through_lane = [&](std::size_t k, int i) {
       const double ps = in_ps[i][k];
       const double pe = in_pe[i][k];
       const double t1 = ps + delay;
       if (t1 > pe) return;  // absorbed; a changed lane takes catch-up
       const double t2 = pe + delay;
-      if (acct.commit(out, k, t1, energy)) sampled ^= bit;
-      if (acct.commit(out, k, t2, energy)) sampled ^= bit;
-      committed |= bit;
-      if ((changed & bit) != 0) {
+      if (acct.commit(out, k, t1, energy)) lanes::toggle_lane(sampled, k);
+      if (acct.commit(out, k, t2, energy)) lanes::toggle_lane(sampled, k);
+      lanes::set_lane(committed, k);
+      if (lanes::lane_bit(changed, k) != 0) {
         tout[k] = t2;  // two-commit changed output: merged single flip
       } else {
-        pulsing |= bit;
+        lanes::set_lane(pulsing, k);
         pout_s[k] = t1;
         pout_e[k] = t2;
       }
@@ -1027,11 +1064,10 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // trails the flip it returns from), toggling the gate between two
     // packed values — W[1<<j] (j stale) and the settled word. Same
     // inertial walk and tail as pulse_lane, commit for commit.
-    const auto bounce_lane = [&](int k, int j, std::uint64_t w_jst) {
-      const std::uint64_t bit = 1ULL << k;
+    const auto bounce_lane = [&](std::size_t k, int j, const LW& w_jst) {
       const double et[3] = {in_time[j][k], in_ps[j][k], in_pe[j][k]};
-      const unsigned a = static_cast<unsigned>((w_jst >> k) & 1ULL);
-      const unsigned b = static_cast<unsigned>((settled >> k) & 1ULL);
+      const unsigned a = static_cast<unsigned>(lanes::lane_bit(w_jst, k));
+      const unsigned b = static_cast<unsigned>(lanes::lane_bit(settled, k));
       const unsigned vs[3] = {b, a, b};
       unsigned cur = a;
       bool pending = false;
@@ -1044,8 +1080,9 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         if (ncommits < 3) cts[ncommits] = tc;
         ++ncommits;
         last_c = tc;
-        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-        committed |= bit;
+        if (acct.commit(out, k, tc, energy))
+          lanes::toggle_lane(sampled, k);
+        lanes::set_lane(committed, k);
       };
       for (int e = 0; e < 3; ++e) {
         if (pending && commit_t <= et[e]) {
@@ -1061,17 +1098,17 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
       }
       if (pending) do_commit(commit_t);
-      if ((changed & bit) != 0) {
+      if (lanes::lane_bit(changed, k) != 0) {
         if (ncommits >= 3) {
           tout[k] = cts[0];
-          pulsing |= bit;
+          lanes::set_lane(pulsing, k);
           pout_s[k] = cts[1];
           pout_e[k] = last_c;
         } else {
           tout[k] = last_c;
         }
       } else if (ncommits >= 2) {
-        pulsing |= bit;
+        lanes::set_lane(pulsing, k);
         pout_s[k] = cts[0];
         pout_e[k] = ncommits == 2 ? last_c : cts[1];
       }
@@ -1085,8 +1122,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // needs placing, with tie-breaking by build position. Up to four
     // commits, so the full generic tail (including the second
     // forwarded pulse of an unchanged output) is replicated.
-    const auto bc_lane = [&](int k, int j, int l) {
-      const std::uint64_t bit = 1ULL << k;
+    const auto bc_lane = [&](std::size_t k, int j, int l) {
       const double tl = in_time[l][k];
       double et[4] = {in_time[j][k], in_ps[j][k], in_pe[j][k], 0.0};
       // Actions: 0 = j to settled, 1 = j back to stale, 2 = j to
@@ -1107,7 +1143,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       const unsigned bj = 1u << j;
       const unsigned bl = 1u << l;
       unsigned sub = bj | bl;
-      unsigned cur = static_cast<unsigned>((W[sub] >> k) & 1ULL);
+      unsigned cur = static_cast<unsigned>(lanes::lane_bit(W[sub], k));
       bool pending = false;
       double commit_t = 0.0;
       double cts[4] = {0.0, 0.0, 0.0, 0.0};
@@ -1118,8 +1154,9 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         if (ncommits < 4) cts[ncommits] = tc;
         ++ncommits;
         last_c = tc;
-        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-        committed |= bit;
+        if (acct.commit(out, k, tc, energy))
+          lanes::toggle_lane(sampled, k);
+        lanes::set_lane(committed, k);
       };
       for (int e = 0; e < 4; ++e) {
         if (pending && commit_t <= et[e]) {
@@ -1132,7 +1169,7 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           case 2: sub &= ~bj; break;
           default: sub &= ~bl; break;
         }
-        const unsigned v = static_cast<unsigned>((W[sub] >> k) & 1ULL);
+        const unsigned v = static_cast<unsigned>(lanes::lane_bit(W[sub], k));
         if (v != cur && !pending) {
           pending = true;
           commit_t = et[e] + delay;
@@ -1141,21 +1178,21 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
       }
       if (pending) do_commit(commit_t);
-      if ((changed & bit) != 0) {
+      if (lanes::lane_bit(changed, k) != 0) {
         if (ncommits >= 3) {
           tout[k] = cts[0];
-          pulsing |= bit;
+          lanes::set_lane(pulsing, k);
           pout_s[k] = cts[1];
           pout_e[k] = ncommits == 3 ? last_c : cts[2];
         } else {
           tout[k] = last_c;
         }
       } else if (ncommits >= 2) {
-        pulsing |= bit;
+        lanes::set_lane(pulsing, k);
         pout_s[k] = cts[0];
         pout_e[k] = ncommits == 2 ? last_c : cts[1];
         if (ncommits >= 4) {
-          pulsing2 |= bit;
+          lanes::set_lane(pulsing2, k);
           pout2_s[k] = cts[2];
           pout2_e[k] = last_c;
         }
@@ -1170,11 +1207,10 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // pulse_lane, commit for commit — with at most three events there
     // are at most three commits, so the second-pulse branches of the
     // generic tail can never fire and are dropped.
-    const auto changed_pulse_lane = [&](int k, int j, int i,
-                                        std::uint64_t w_jst,
-                                        std::uint64_t w_jst_ic,
-                                        std::uint64_t w_jse_ic) {
-      const std::uint64_t bit = 1ULL << k;
+    const auto changed_pulse_lane = [&](std::size_t k, int j, int i,
+                                        const LW& w_jst,
+                                        const LW& w_jst_ic,
+                                        const LW& w_jse_ic) {
       // Ascending-time event order with pulse_lane's tie-breaking: the
       // generic walk builds events in ascending input index and sorts
       // with strict comparisons, so ties keep build order. With one
@@ -1202,10 +1238,10 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       // (i complemented ? 1 : 0). Unchanged inputs sit at their
       // settled values on these lanes, so four words cover the walk.
       const unsigned nib =
-          static_cast<unsigned>((w_jst >> k) & 1ULL) |
-          (static_cast<unsigned>((w_jst_ic >> k) & 1ULL) << 1) |
-          (static_cast<unsigned>((settled >> k) & 1ULL) << 2) |
-          (static_cast<unsigned>((w_jse_ic >> k) & 1ULL) << 3);
+          static_cast<unsigned>(lanes::lane_bit(w_jst, k)) |
+          (static_cast<unsigned>(lanes::lane_bit(w_jst_ic, k)) << 1) |
+          (static_cast<unsigned>(lanes::lane_bit(settled, k)) << 2) |
+          (static_cast<unsigned>(lanes::lane_bit(w_jse_ic, k)) << 3);
       unsigned st = 0;
       unsigned cur = nib & 1u;
       bool pending = false;
@@ -1218,8 +1254,9 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         if (ncommits < 3) cts[ncommits] = tc;
         ++ncommits;
         last_c = tc;
-        if (acct.commit(out, k, tc, energy)) sampled ^= bit;
-        committed |= bit;
+        if (acct.commit(out, k, tc, energy))
+          lanes::toggle_lane(sampled, k);
+        lanes::set_lane(committed, k);
       };
       for (int e = 0; e < 3; ++e) {
         if (pending && commit_t <= et[e]) {
@@ -1236,17 +1273,17 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
         }
       }
       if (pending) do_commit(commit_t);
-      if ((changed & bit) != 0) {
+      if (lanes::lane_bit(changed, k) != 0) {
         if (ncommits >= 3) {
           tout[k] = cts[0];
-          pulsing |= bit;
+          lanes::set_lane(pulsing, k);
           pout_s[k] = cts[1];
           pout_e[k] = last_c;
         } else {
           tout[k] = last_c;
         }
       } else if (ncommits >= 2) {
-        pulsing |= bit;
+        lanes::set_lane(pulsing, k);
         pout_s[k] = cts[0];
         pout_e[k] = ncommits == 2 ? last_c : cts[1];
       }
@@ -1262,11 +1299,10 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
     // the repair would re-fail every cycle and the net stay wrong
     // forever. The catch-up commit always lands inside the window, so
     // the lane samples its settled value.
-    const auto catch_up_lane = [&](int k) {
-      const std::uint64_t bit = 1ULL << k;
+    const auto catch_up_lane = [&](std::size_t k) {
       const double tc = std::min(delay, 0.999 * tclk_ps_);
       if (acct.commit(out, k, tc, energy))
-        sampled = (sampled & ~bit) | (settled & bit);
+        lanes::assign_lane(sampled, k, lanes::lane_bit(settled, k) != 0);
       tout[k] = tc;
     };
 
@@ -1277,11 +1313,10 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       // cycle mode): lanes are order-free, so each changed-input class
       // is swept as a packed mask (pulse-free lanes only; pulse-fed
       // lanes take the generic walk).
-      const std::uint64_t pairs = (ch0 & ch1) | (ch0 & ch2) | (ch1 & ch2);
-      const std::uint64_t three = ch0 & ch1 & ch2 & ~any_pulse & used;
-      const std::uint64_t two = pairs & ~(ch0 & ch1 & ch2) & ~any_pulse & used;
-      const std::uint64_t one =
-          (ch0 ^ ch1 ^ ch2) & ~pairs & ~any_pulse & used;
+      const LW pairs = (ch0 & ch1) | (ch0 & ch2) | (ch1 & ch2);
+      const LW three = ch0 & ch1 & ch2 & ~any_pulse & used;
+      const LW two = pairs & ~(ch0 & ch1 & ch2) & ~any_pulse & used;
+      const LW one = (ch0 ^ ch1 ^ ch2) & ~pairs & ~any_pulse & used;
 
       // SIMD eligibility: single-threshold accounting, a full lane
       // word, and an arrival-bounded gate (cycle_safe_ — every commit
@@ -1299,8 +1334,8 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       // Exactly one changed input: a sensitized lane commits once at
       // t + delay; a non-sensitized lane does nothing at all.
       for (int i = 0; i < n; ++i) {
-        std::uint64_t m = one & in_changed[i] & (W[1u << i] ^ settled);
-        if (m == 0) continue;
+        LW m = one & in_changed[i] & (W[1u << i] ^ settled);
+        if (!lanes::any(m)) continue;
 #if defined(__AVX2__)
         if constexpr (Acct::kWordCommit) {
           if (simd_gate) {
@@ -1311,17 +1346,15 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
           }
         }
 #endif
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
+        lanes::for_each_lane(m, [&](std::size_t k) {
           commit_flip(k, in_time[i][k] + delay);
-        }
+        });
       }
 
       for (int i = 0; n >= 2 && i < n - 1; ++i) {
         for (int j = i + 1; j < n; ++j) {
-          std::uint64_t m = two & in_changed[i] & in_changed[j];
-          if (m == 0) continue;
+          LW m = two & in_changed[i] & in_changed[j];
+          if (!lanes::any(m)) continue;
 #if defined(__AVX2__)
           if constexpr (Acct::kWordCommit) {
             if (simd_gate) {
@@ -1330,8 +1363,8 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
               // its pulse bookkeeping) stay scalar. Each lane is in
               // exactly one group, so per-lane commit order is
               // untouched.
-              const std::uint64_t mc = m & changed;
-              if (mc != 0) {
+              const LW mc = m & changed;
+              if (lanes::any(mc)) {
                 acct.commit_two_simd(mc, in_time[i], in_time[j],
                                      W[1u << i], W[1u << j], settled,
                                      delay, energy, tout);
@@ -1342,61 +1375,38 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
             }
           }
 #endif
-          while (m != 0) {
-            const int k = std::countr_zero(m);
-            m &= m - 1;
+          lanes::for_each_lane(m, [&](std::size_t k) {
             two_changed_lane(k, i, j);
-          }
+          });
         }
       }
 
-      std::uint64_t m = three;
-      while (m != 0) {
-        const int k = std::countr_zero(m);
-        m &= m - 1;
-        three_changed_lane(k, static_cast<unsigned>((stale >> k) & 1ULL));
-      }
+      lanes::for_each_lane(three, [&](std::size_t k) {
+        three_changed_lane(
+            k, static_cast<unsigned>(lanes::lane_bit(stale, k)));
+      });
 
-      for (int i = 0; i < n; ++i) {
-        m = thru[i];
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
+      for (int i = 0; i < n; ++i)
+        lanes::for_each_lane(thru[i], [&](std::size_t k) {
           pulse_through_lane(k, i);
-        }
-      }
-      for (int p = 0; p < ncp; ++p) {
-        m = cp_m[p];
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
+        });
+      for (int p = 0; p < ncp; ++p)
+        lanes::for_each_lane(cp_m[p], [&](std::size_t k) {
           changed_pulse_lane(k, cp_j[p], cp_i[p], W[1u << cp_j[p]],
                              cp_est[p], cp_ese[p]);
-        }
-      }
-      for (int j = 0; j < n; ++j) {
-        m = bn[j];
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
+        });
+      for (int j = 0; j < n; ++j)
+        lanes::for_each_lane(bn[j], [&](std::size_t k) {
           bounce_lane(k, j, W[1u << j]);
-        }
-      }
-      for (int p = 0; p < nbc; ++p) {
-        m = bc_m[p];
-        while (m != 0) {
-          const int k = std::countr_zero(m);
-          m &= m - 1;
+        });
+      for (int p = 0; p < nbc; ++p)
+        lanes::for_each_lane(bc_m[p], [&](std::size_t k) {
           bc_lane(k, bc_j[p], bc_l[p]);
-        }
-      }
-      m = any_pulse & used & ~thru_all & ~pulse_skip & ~cp_all & ~bn_all &
-          ~bc_all;
-      while (m != 0) {
-        const int k = std::countr_zero(m);
-        m &= m - 1;
-        pulse_lane(k);
-      }
+        });
+      lanes::for_each_lane(
+          any_pulse & used & ~thru_all & ~pulse_skip & ~cp_all & ~bn_all &
+              ~bc_all,
+          [&](std::size_t k) { pulse_lane(k); });
 
       // Under the streaming invariant (stale = settled function of
       // stale inputs) nothing is ever changed-but-uncommitted, so this
@@ -1405,54 +1415,49 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
       // invariant also covers cycle-safe gates in cycle mode: their
       // whole fan-in cone is cycle-safe, so every stale input equals
       // its settled value of the previous lane.
-      std::uint64_t m_catch = changed & ~committed & used;
-      while (m_catch != 0) {
-        const int k = std::countr_zero(m_catch);
-        m_catch &= m_catch - 1;
-        catch_up_lane(k);
-      }
+      lanes::for_each_lane(changed & ~committed & used,
+                           [&](std::size_t k) { catch_up_lane(k); });
     } else {
       // Cycle mode: lane k launches from lane k-1's sampled value, so
       // lanes with input activity resolve serially in ascending lane
       // order (the stale/changed bits of lane k are only known once
-      // lane k-1's sampled bit is final). Lanes without input activity
-      // need no per-lane walk: their only possible commit is the
-      // catch-up, which always lands in the window, so their sampled
-      // value is their settled value — exactly the pre-filled word.
-      // pulse_skip lanes have no changed input and provably no commits,
-      // so — like lanes without input activity — their sampled value is
-      // settled (catch-up) and they can skip the serial scan entirely.
-      const std::uint64_t active =
-          (ch0 | ch1 | ch2 | any_pulse) & used & ~pulse_skip;
-      std::uint64_t m = active;
-      while (m != 0) {
-        const int k = std::countr_zero(m);
-        m &= m - 1;
-        const std::uint64_t bit = 1ULL << k;
-        const std::uint64_t sb =
-            k == 0 ? state0 : ((sampled >> (k - 1)) & 1ULL);
-        sampled = (sampled & ~bit) | (sb << k);
-        changed = (changed & ~bit) | ((((settled >> k) ^ sb) & 1ULL) << k);
-        if (((any_pulse >> k) & 1ULL) != 0) {
-          if ((thru[0] & bit) != 0)
+      // lane k-1's sampled bit is final; for_each_lane iterates
+      // ascending). Lanes without input activity need no per-lane
+      // walk: their only possible commit is the catch-up, which always
+      // lands in the window, so their sampled value is their settled
+      // value — exactly the pre-filled word. pulse_skip lanes have no
+      // changed input and provably no commits, so — like lanes without
+      // input activity — their sampled value is settled (catch-up) and
+      // they can skip the serial scan entirely.
+      const LW active = (ch0 | ch1 | ch2 | any_pulse) & used & ~pulse_skip;
+      lanes::for_each_lane(active, [&](std::size_t k) {
+        const std::uint8_t sb =
+            k == 0 ? state0 : lanes::lane_bit(sampled, k - 1);
+        lanes::assign_lane(sampled, k, sb != 0);
+        lanes::assign_lane(
+            changed, k, (lanes::lane_bit(settled, k) ^ sb) != 0);
+        if (lanes::lane_bit(any_pulse, k) != 0) {
+          if (lanes::lane_bit(thru[0], k) != 0)
             pulse_through_lane(k, 0);
-          else if ((thru[1] & bit) != 0)
+          else if (lanes::lane_bit(thru[1], k) != 0)
             pulse_through_lane(k, 1);
-          else if ((thru[2] & bit) != 0)
+          else if (lanes::lane_bit(thru[2], k) != 0)
             pulse_through_lane(k, 2);
-          else if ((cp_all & bit) != 0) {
+          else if (lanes::lane_bit(cp_all, k) != 0) {
             for (int p = 0; p < ncp; ++p)
-              if ((cp_m[p] & bit) != 0) {
+              if (lanes::lane_bit(cp_m[p], k) != 0) {
                 changed_pulse_lane(k, cp_j[p], cp_i[p], W[1u << cp_j[p]],
                                    cp_est[p], cp_ese[p]);
                 break;
               }
-          } else if ((bn_all & bit) != 0) {
-            const int j = (bn[0] & bit) != 0 ? 0 : ((bn[1] & bit) != 0 ? 1 : 2);
+          } else if (lanes::lane_bit(bn_all, k) != 0) {
+            const int j = lanes::lane_bit(bn[0], k) != 0
+                              ? 0
+                              : (lanes::lane_bit(bn[1], k) != 0 ? 1 : 2);
             bounce_lane(k, j, W[1u << j]);
-          } else if ((bc_all & bit) != 0) {
+          } else if (lanes::lane_bit(bc_all, k) != 0) {
             for (int p = 0; p < nbc; ++p)
-              if ((bc_m[p] & bit) != 0) {
+              if (lanes::lane_bit(bc_m[p], k) != 0) {
                 bc_lane(k, bc_j[p], bc_l[p]);
                 break;
               }
@@ -1460,13 +1465,14 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
             pulse_lane(k);
           }
         } else {
-          const int c0 = static_cast<int>((ch0 >> k) & 1ULL);
-          const int c1 = static_cast<int>((ch1 >> k) & 1ULL);
-          const int c2 = static_cast<int>((ch2 >> k) & 1ULL);
+          const int c0 = lanes::lane_bit(ch0, k);
+          const int c1 = lanes::lane_bit(ch1, k);
+          const int c2 = lanes::lane_bit(ch2, k);
           const int cnt = c0 + c1 + c2;
           if (cnt == 1) {
             const int i = c0 ? 0 : (c1 ? 1 : 2);
-            if ((((W[1u << i] ^ settled) >> k) & 1ULL) != 0)
+            if ((lanes::lane_bit(W[1u << i], k) ^
+                 lanes::lane_bit(settled, k)) != 0)
               commit_flip(k, in_time[i][k] + delay);
           } else if (cnt == 2) {
             two_changed_lane(k, c0 ? 0 : 1, c2 ? 2 : 1);
@@ -1474,17 +1480,15 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
             three_changed_lane(k, static_cast<unsigned>(sb));
           }
         }
-        if ((((changed & ~committed) >> k) & 1ULL) != 0) catch_up_lane(k);
-      }
+        if (lanes::lane_bit(changed, k) != 0 &&
+            lanes::lane_bit(committed, k) == 0)
+          catch_up_lane(k);
+      });
       // Inactive lanes: stale(k) = sampled(k-1) is final now; the
       // changed ones take their catch-up commit (sampled stays settled).
-      const std::uint64_t stale_word = ((sampled << 1) | state0) & used;
-      std::uint64_t m_catch = (settled ^ stale_word) & ~active & used;
-      while (m_catch != 0) {
-        const int k = std::countr_zero(m_catch);
-        m_catch &= m_catch - 1;
-        catch_up_lane(k);
-      }
+      const LW stale_word = lanes::shift1_in(sampled, state0) & used;
+      lanes::for_each_lane((settled ^ stale_word) & ~active & used,
+                           [&](std::size_t k) { catch_up_lane(k); });
       stale_w_[out] = stale_word;
     }
 
@@ -1494,39 +1498,40 @@ void LevelizedSimulator::run_lanes_impl(std::size_t lanes, Acct& acct) {
   }
 }
 
-void LevelizedSimulator::carry_state(std::size_t lanes, bool truncate) {
+template <class LW>
+void LevelizedSimulatorT<LW>::carry_state(std::size_t lanes,
+                                          bool truncate) {
   const std::size_t last = lanes - 1;
   for (NetId n = 0; n < static_cast<NetId>(netlist_.num_nets()); ++n) {
-    const auto settled =
-        static_cast<std::uint8_t>((settled_w_[n] >> last) & 1ULL);
-    const auto sampled =
-        static_cast<std::uint8_t>((sampled_w_[n] >> last) & 1ULL);
+    const std::uint8_t settled = lanes::lane_bit(settled_w_[n], last);
+    const std::uint8_t sampled = lanes::lane_bit(sampled_w_[n], last);
     state_[n] = truncate ? sampled : settled;
     sampled_state_[n] = sampled;
   }
 }
 
-void LevelizedSimulator::run_lanes(std::size_t lanes,
-                                   std::span<StepResult> results,
-                                   bool cycle_mode) {
+template <class LW>
+void LevelizedSimulatorT<LW>::run_lanes(std::size_t lanes,
+                                        std::span<StepResult> results,
+                                        bool cycle_mode) {
   acc_win_e_.assign(kLanes, 0.0);
   acc_settle_.assign(kLanes, 0.0);
   acc_win_t_.assign(kLanes, 0);
   if (cycle_mode) {
     // Window-only accounting: the cycle callers define totals ==
     // window and overwrite them.
-    SingleThresholdAcct<true> acct{tclk_ps_,           lanes,
-                                   acc_win_e_.data(),  acc_settle_.data(),
-                                   acc_win_t_.data(),  nullptr,
-                                   nullptr};
+    SingleThresholdAcct<LW, true> acct{tclk_ps_,           lanes,
+                                       acc_win_e_.data(),  acc_settle_.data(),
+                                       acc_win_t_.data(),  nullptr,
+                                       nullptr};
     run_lanes_impl<true>(lanes, acct);
   } else {
     acc_tot_e_.assign(kLanes, 0.0);
     acc_tot_t_.assign(kLanes, 0);
-    SingleThresholdAcct<false> acct{tclk_ps_,           lanes,
-                                    acc_win_e_.data(),  acc_settle_.data(),
-                                    acc_win_t_.data(),  acc_tot_e_.data(),
-                                    acc_tot_t_.data()};
+    SingleThresholdAcct<LW, false> acct{tclk_ps_,           lanes,
+                                        acc_win_e_.data(),  acc_settle_.data(),
+                                        acc_win_t_.data(),  acc_tot_e_.data(),
+                                        acc_tot_t_.data()};
     run_lanes_impl<false>(lanes, acct);
   }
   for (std::size_t k = 0; k < lanes; ++k) {
@@ -1544,8 +1549,12 @@ void LevelizedSimulator::run_lanes(std::size_t lanes,
     std::uint64_t sampled = 0;
     std::uint64_t settled = 0;
     for (std::size_t j = 0; j < pos.size(); ++j) {
-      sampled |= ((sampled_w_[pos[j]] >> k) & 1ULL) << j;
-      settled |= ((settled_w_[pos[j]] >> k) & 1ULL) << j;
+      sampled |= static_cast<std::uint64_t>(
+                     lanes::lane_bit(sampled_w_[pos[j]], k))
+                 << j;
+      settled |= static_cast<std::uint64_t>(
+                     lanes::lane_bit(settled_w_[pos[j]], k))
+                 << j;
     }
     results[k].sampled_outputs = sampled;
     results[k].settled_outputs = settled;
@@ -1553,24 +1562,25 @@ void LevelizedSimulator::run_lanes(std::size_t lanes,
   carry_state(lanes, /*truncate=*/cycle_mode);
 }
 
-void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
-                                         std::span<const double> thresholds_ps,
-                                         std::span<StepResult> results) {
+template <class LW>
+void LevelizedSimulatorT<LW>::run_lanes_sweep(
+    std::size_t lanes, std::span<const double> thresholds_ps,
+    std::span<StepResult> results) {
   const std::size_t nthr = thresholds_ps.size();
   const auto pos = netlist_.primary_outputs();
   const std::size_t npo = pos.size();
 
   sweep_ediff_.assign((nthr + 1) * kLanes, 0.0);
   sweep_tdiff_.assign((nthr + 1) * kLanes, 0);
-  sweep_sdiff_.assign(npo * (nthr + 1), 0);
+  sweep_sdiff_.assign(npo * (nthr + 1), LW{});
   sweep_tot_e_.assign(kLanes, 0.0);
   sweep_tot_t_.assign(kLanes, 0);
   sweep_settle_.assign(kLanes, 0.0);
 
-  MultiThresholdAcct acct{thresholds_ps,     sweep_ediff_.data(),
-                          sweep_tdiff_.data(), sweep_sdiff_.data(),
-                          sweep_tot_e_.data(), sweep_tot_t_.data(),
-                          sweep_settle_.data(), po_index_.data()};
+  MultiThresholdAcct<LW> acct{thresholds_ps,       sweep_ediff_.data(),
+                              sweep_tdiff_.data(), sweep_sdiff_.data(),
+                              sweep_tot_e_.data(), sweep_tot_t_.data(),
+                              sweep_settle_.data(), po_index_.data()};
   run_lanes_impl<false>(lanes, acct);
 
   // Prefix over buckets: threshold j sees every commit in buckets ≤ j.
@@ -1587,7 +1597,7 @@ void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
     }
   }
   for (std::size_t p = 0; p < npo; ++p) {
-    std::uint64_t run = stale_w_[pos[p]];
+    LW run = stale_w_[pos[p]];
     for (std::size_t j = 0; j < nthr; ++j) {
       run ^= sweep_sdiff_[p * (nthr + 1) + j];
       sweep_sdiff_[p * (nthr + 1) + j] = run;
@@ -1597,13 +1607,16 @@ void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
   for (std::size_t k = 0; k < lanes; ++k) {
     std::uint64_t settled = 0;
     for (std::size_t p = 0; p < npo; ++p)
-      settled |= ((settled_w_[pos[p]] >> k) & 1ULL) << p;
+      settled |= static_cast<std::uint64_t>(
+                     lanes::lane_bit(settled_w_[pos[p]], k))
+                 << p;
     for (std::size_t j = 0; j < nthr; ++j) {
       StepResult& r = results[k * nthr + j];
       std::uint64_t sampled = 0;
       for (std::size_t p = 0; p < npo; ++p)
-        sampled |=
-            ((sweep_sdiff_[p * (nthr + 1) + j] >> k) & 1ULL) << p;
+        sampled |= static_cast<std::uint64_t>(lanes::lane_bit(
+                       sweep_sdiff_[p * (nthr + 1) + j], k))
+                   << p;
       r.sampled_outputs = sampled;
       r.settled_outputs = settled;
       r.window_energy_fj = sweep_ediff_[j * kLanes + k];
@@ -1615,5 +1628,9 @@ void LevelizedSimulator::run_lanes_sweep(std::size_t lanes,
   }
   carry_state(lanes);
 }
+
+template class LevelizedSimulatorT<lanes::Word>;
+template class LevelizedSimulatorT<lanes::Word256>;
+template class LevelizedSimulatorT<lanes::Word512>;
 
 }  // namespace vosim

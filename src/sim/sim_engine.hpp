@@ -8,10 +8,11 @@
 //   kEvent      event-driven simulation with inertial delays — the
 //               accuracy reference (src/sim/event_sim.hpp).
 //   kLevelized  bit-parallel levelized simulation — one topological
-//               pass evaluates 64 patterns at once in packed uint64_t
-//               lanes, with per-lane transition times bounded by the
-//               STA arrival model (src/sim/levelized_sim.hpp). An
-//               order of magnitude faster on full-grid sweeps.
+//               pass evaluates a lane word of packed patterns (64 in
+//               a uint64_t by default, 256/512 in wide lane words),
+//               with per-lane transition times bounded by the STA
+//               arrival model (src/sim/levelized_sim.hpp). An order
+//               of magnitude faster on full-grid sweeps.
 //
 // DESIGN.md §7 documents the levelized error model and when the two
 // backends diverge (glitches, inertial pulse filtering).
@@ -58,6 +59,14 @@ struct TimingSimConfig {
   /// Backend built by make_engine() and the engine-generic wrappers
   /// (VosDutSim, characterize_dut, AdaptiveVosUnit).
   EngineKind engine = EngineKind::kEvent;
+  /// Lanes per levelized pass: 64, 256, 512, or 0 = auto (resolved by
+  /// lanes::resolve_lane_width against the --lane-width override and
+  /// the VOSIM_LANE_WIDTH environment variable; plain auto is 64).
+  /// Ignored by the event backend. All widths are bit-exact against
+  /// each other; wider words only pay off on low-activity workloads
+  /// (lanes.hpp, DESIGN.md §7), which is why auto does not chase the
+  /// widest compiled SIMD tier (CMake option VOSIM_SIMD).
+  std::size_t lane_width = 0;
 };
 
 /// One committed transition (for waveform dumps).
@@ -105,6 +114,13 @@ class SimEngine {
   virtual const Netlist& netlist() const noexcept = 0;
   virtual const OperatingTriad& triad() const noexcept = 0;
 
+  /// Patterns/cycles this engine evaluates per internal pass (1 for
+  /// the event backend, the lane count for the levelized backends).
+  /// Callers that chunk work — SeqSim's cycle batching, the
+  /// characterizer's streaming segments — size their chunks as a
+  /// multiple of this so no pass runs partially filled.
+  virtual std::size_t lanes_per_pass() const noexcept { return 1; }
+
   /// Applies input values and lets the circuit settle completely
   /// (no sampling, no energy accounting).
   virtual void reset(std::span<const std::uint8_t> inputs) = 0;
@@ -139,8 +155,8 @@ class SimEngine {
   /// Streams `count` operations: pattern k occupies
   /// inputs[k*P, (k+1)*P) where P = netlist().primary_inputs().size(),
   /// and its outcome lands in results[k]. Equivalent to `count` calls
-  /// to step(); the levelized backend overrides this to evaluate 64
-  /// patterns per pass in packed lanes.
+  /// to step(); the levelized backend overrides this to evaluate one
+  /// lane word of patterns per pass in packed lanes.
   virtual void step_batch(std::span<const std::uint8_t> inputs,
                           std::size_t count, std::span<StepResult> results);
 
@@ -150,8 +166,8 @@ class SimEngine {
   /// step_cycle() — cycle k launches from cycle k-1's truncated at-edge
   /// state — and the default implementation is exactly that scalar
   /// loop (the event engine keeps its cross-edge event queue that way).
-  /// The levelized backend overrides this to run 64 cycles per packed
-  /// pass, bit-exact against the scalar loop.
+  /// The levelized backend overrides this to run one lane word of
+  /// cycles per packed pass, bit-exact against the scalar loop.
   virtual void step_cycle_batch(std::span<const std::uint8_t> inputs,
                                 std::size_t count,
                                 std::span<StepResult> results);

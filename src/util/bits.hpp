@@ -5,9 +5,11 @@
 #define VOSIM_UTIL_BITS_HPP
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 #include "src/util/contracts.hpp"
+#include "src/util/lanes.hpp"
 
 namespace vosim {
 
@@ -15,8 +17,10 @@ namespace vosim {
 inline constexpr int max_word_bits = 63;
 
 /// Mask with the low `n` bits set. Precondition: 0 <= n <= 64.
+/// Forwards to lanes::mask — the single home of the mask/popcount
+/// helpers, which also defines the 256/512-lane wide versions.
 constexpr std::uint64_t mask_n(int n) {
-  return n >= 64 ? ~0ULL : ((1ULL << n) - 1ULL);
+  return lanes::mask(static_cast<std::size_t>(n));
 }
 
 /// Value of bit `i` of `x` as 0/1.
@@ -29,8 +33,8 @@ constexpr std::uint64_t with_bit(std::uint64_t x, int i, bool v) {
   return v ? (x | (1ULL << i)) : (x & ~(1ULL << i));
 }
 
-/// Number of set bits.
-constexpr int popcount_u64(std::uint64_t x) { return std::popcount(x); }
+/// Number of set bits. Forwards to lanes::popcount (see mask_n).
+constexpr int popcount_u64(std::uint64_t x) { return lanes::popcount(x); }
 
 /// Hamming distance between two words restricted to their low `n` bits.
 constexpr int hamming_distance(std::uint64_t a, std::uint64_t b, int n) {

@@ -1,0 +1,98 @@
+// Runtime lane-width selection: compiled SIMD tier, CPU capability
+// probe and the override/environment/auto resolution chain declared in
+// lanes.hpp.
+#include "src/util/lanes.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace vosim::lanes {
+namespace {
+
+std::atomic<std::size_t> g_override{0};
+
+/// VOSIM_LANE_WIDTH, parsed once per process (0 when unset/invalid,
+/// which falls through to auto).
+std::size_t env_lane_width() noexcept {
+  static const std::size_t cached = [] {
+    std::size_t w = 0;
+    if (const char* e = std::getenv("VOSIM_LANE_WIDTH"))
+      parse_lane_width(e, w);
+    return w;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::size_t max_compiled_lane_width() noexcept {
+#if defined(__AVX512F__)
+  return 512;
+#elif defined(__AVX2__)
+  return 256;
+#else
+  return 64;
+#endif
+}
+
+const char* simd_compiled_name() noexcept {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#else
+  return "none";
+#endif
+}
+
+std::size_t max_supported_lane_width() noexcept {
+  std::size_t w = max_compiled_lane_width();
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  if (w >= 512 && !__builtin_cpu_supports("avx512f")) w = 256;
+  if (w >= 256 && !__builtin_cpu_supports("avx2")) w = 64;
+#endif
+  return w;
+}
+
+void set_lane_width_override(std::size_t width) noexcept {
+  if (width == 0 || is_lane_width(width))
+    g_override.store(width, std::memory_order_relaxed);
+}
+
+std::size_t lane_width_override() noexcept {
+  return g_override.load(std::memory_order_relaxed);
+}
+
+std::size_t resolve_lane_width(std::size_t requested) noexcept {
+  if (is_lane_width(requested)) return requested;
+  const std::size_t ovr = lane_width_override();
+  if (is_lane_width(ovr)) return ovr;
+  const std::size_t env = env_lane_width();
+  if (is_lane_width(env)) return env;
+  // Auto is 64, not max_supported_lane_width(): the wide engines are
+  // bit-exact but measure at or below parity on walk-dominated VOS
+  // sweeps (lanes.hpp, DESIGN.md §7), so widening is opt-in.
+  return 64;
+}
+
+bool parse_lane_width(std::string_view text, std::size_t& width) noexcept {
+  if (text == "auto") {
+    width = 0;
+    return true;
+  }
+  if (text == "64") {
+    width = 64;
+    return true;
+  }
+  if (text == "256") {
+    width = 256;
+    return true;
+  }
+  if (text == "512") {
+    width = 512;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vosim::lanes

@@ -1,0 +1,455 @@
+// Cross-width equivalence of the wide lane words: the 256- and
+// 512-lane levelized instantiations must be bit-exact against the
+// 64-lane baseline — identical sampled/settled words, settle times,
+// energies and toggle counts on every registry circuit, identical
+// captured/expected/Razor/monitor statistics on every registry
+// pipeline, and identical characterizer sweeps including the
+// sequential saturation probe — at full and ragged lane counts. The
+// per-lane commit order and FP accumulation order are width-invariant
+// by construction (serial per-lane scans stay scalar, DESIGN.md §7),
+// so every comparison here is ASSERT_EQ / ASSERT_DOUBLE_EQ, never a
+// tolerance. The wide-word helper layer itself is pinned against a
+// per-lane uint64_t reference first.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/characterize/characterizer.hpp"
+#include "src/netlist/dut.hpp"
+#include "src/runtime/error_monitor.hpp"
+#include "src/seq/seq_dut.hpp"
+#include "src/seq/seq_report.hpp"
+#include "src/seq/seq_sim.hpp"
+#include "src/sim/sim_engine.hpp"
+#include "src/sta/sta.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/lanes.hpp"
+#include "src/util/rng.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+double critical_path_ns(const Netlist& nl, const OperatingTriad& op) {
+  return analyze_timing(nl, lib(), op).critical_path_ps * 1e-3;
+}
+
+// ---- Wide-word helper layer vs per-lane uint64_t reference ----------
+
+/// A reproducible wide word whose sub-words come from the same Rng
+/// stream, so the reference view (a vector of sub-words) and the wide
+/// word agree by construction.
+template <class W>
+W random_word(Rng& rng) {
+  W w{};
+  for (std::size_t i = 0; i < lanes::subword_count_v<W>; ++i)
+    lanes::set_subword(w, i, rng.bits(64));
+  return w;
+}
+
+template <class W>
+void expect_helpers_match_reference() {
+  constexpr std::size_t n = lanes::lane_count_v<W>;
+  Rng rng(12345);
+  const W a = random_word<W>(rng);
+  const W b = random_word<W>(rng);
+  const W m = random_word<W>(rng);
+
+  // lane_bit against the sub-word layout contract: lane k is bit
+  // (k % 64) of sub-word (k / 64).
+  int pop = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint8_t want = static_cast<std::uint8_t>(
+        (lanes::subword(a, k / 64) >> (k % 64)) & 1u);
+    ASSERT_EQ(want, lanes::lane_bit(a, k)) << k;
+    pop += want;
+  }
+  EXPECT_EQ(pop, lanes::popcount(a));
+
+  // bit / mask shapes.
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1},
+                              std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, n - 1}) {
+    const W one = lanes::bit<W>(k);
+    EXPECT_EQ(1, lanes::popcount(one)) << k;
+    EXPECT_EQ(1, lanes::lane_bit(one, k)) << k;
+  }
+  for (const std::size_t c : {std::size_t{0}, std::size_t{1},
+                              std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, n - 1, n}) {
+    const W lo = lanes::mask<W>(c);
+    EXPECT_EQ(static_cast<int>(c), lanes::popcount(lo)) << c;
+    for (std::size_t k = 0; k < n; ++k)
+      ASSERT_EQ(k < c ? 1 : 0, lanes::lane_bit(lo, k)) << c << " " << k;
+  }
+
+  // Bitwise operators, andn and select, lane by lane.
+  const W x = (a & b) | (a ^ m);
+  const W nd = lanes::andn(a, b);
+  const W sel = lanes::select(m, a, b);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint8_t ak = lanes::lane_bit(a, k);
+    const std::uint8_t bk = lanes::lane_bit(b, k);
+    const std::uint8_t mk = lanes::lane_bit(m, k);
+    ASSERT_EQ((ak & bk) | (ak ^ mk), lanes::lane_bit(x, k)) << k;
+    ASSERT_EQ(ak & (bk ^ 1), lanes::lane_bit(nd, k)) << k;
+    ASSERT_EQ(mk ? ak : bk, lanes::lane_bit(sel, k)) << k;
+    ASSERT_EQ(ak ^ 1, lanes::lane_bit(~a, k)) << k;
+  }
+
+  // shift1_in is the streaming stale recurrence: out(k) = in(k-1),
+  // out(0) = low — including the carry across sub-word seams.
+  for (const std::uint8_t low : {std::uint8_t{0}, std::uint8_t{1}}) {
+    const W sh = lanes::shift1_in(a, low);
+    ASSERT_EQ(low, lanes::lane_bit(sh, 0));
+    for (std::size_t k = 1; k < n; ++k)
+      ASSERT_EQ(lanes::lane_bit(a, k - 1), lanes::lane_bit(sh, k)) << k;
+  }
+
+  // toggle/set/assign touch exactly one lane.
+  W t = a;
+  lanes::toggle_lane(t, n - 1);
+  lanes::toggle_lane(t, 64);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint8_t flip = (k == n - 1 || k == 64) ? 1 : 0;
+    ASSERT_EQ(lanes::lane_bit(a, k) ^ flip, lanes::lane_bit(t, k)) << k;
+  }
+  W st = a;
+  lanes::set_lane(st, 65);
+  lanes::assign_lane(st, 66, false);
+  lanes::assign_lane(st, 67, true);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::uint8_t want = lanes::lane_bit(a, k);
+    if (k == 65 || k == 67) want = 1;
+    if (k == 66) want = 0;
+    ASSERT_EQ(want, lanes::lane_bit(st, k)) << k;
+  }
+
+  // for_each_lane visits exactly the set lanes, in ascending order.
+  std::vector<std::size_t> seen;
+  lanes::for_each_lane(a, [&](std::size_t k) { seen.push_back(k); });
+  ASSERT_EQ(static_cast<std::size_t>(lanes::popcount(a)), seen.size());
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(1, lanes::lane_bit(a, seen[i]));
+    if (i > 0) ASSERT_LT(prev, seen[i]);
+    prev = seen[i];
+  }
+  EXPECT_TRUE(lanes::any(a));
+  EXPECT_FALSE(lanes::any(W{}));
+}
+
+TEST(LanesWide, HelpersMatchPerLaneReference256) {
+  expect_helpers_match_reference<lanes::Word256>();
+}
+
+TEST(LanesWide, HelpersMatchPerLaneReference512) {
+  expect_helpers_match_reference<lanes::Word512>();
+}
+
+// ---- Runtime dispatch API -------------------------------------------
+
+TEST(LanesWide, DispatchApi) {
+  EXPECT_TRUE(lanes::is_lane_width(64));
+  EXPECT_TRUE(lanes::is_lane_width(256));
+  EXPECT_TRUE(lanes::is_lane_width(512));
+  EXPECT_FALSE(lanes::is_lane_width(0));
+  EXPECT_FALSE(lanes::is_lane_width(128));
+
+  // Explicit requests are honored verbatim, regardless of environment.
+  EXPECT_EQ(64u, lanes::resolve_lane_width(64));
+  EXPECT_EQ(256u, lanes::resolve_lane_width(256));
+  EXPECT_EQ(512u, lanes::resolve_lane_width(512));
+  // Auto resolves to some valid width bounded by the compiled tier.
+  EXPECT_TRUE(lanes::is_lane_width(lanes::resolve_lane_width(0)));
+  EXPECT_TRUE(lanes::is_lane_width(lanes::max_compiled_lane_width()));
+  EXPECT_TRUE(lanes::is_lane_width(lanes::max_supported_lane_width()));
+  EXPECT_LE(lanes::max_supported_lane_width(),
+            lanes::max_compiled_lane_width());
+  EXPECT_NE(nullptr, lanes::simd_compiled_name());
+
+  // The process-wide override beats the environment and auto, but not
+  // an explicit request.
+  const std::size_t saved = lanes::lane_width_override();
+  lanes::set_lane_width_override(256);
+  EXPECT_EQ(256u, lanes::lane_width_override());
+  EXPECT_EQ(256u, lanes::resolve_lane_width(0));
+  EXPECT_EQ(512u, lanes::resolve_lane_width(512));
+  lanes::set_lane_width_override(128);  // invalid: ignored
+  EXPECT_EQ(256u, lanes::lane_width_override());
+  lanes::set_lane_width_override(0);
+  EXPECT_EQ(0u, lanes::lane_width_override());
+  lanes::set_lane_width_override(saved);
+
+  std::size_t w = 1;
+  EXPECT_TRUE(lanes::parse_lane_width("auto", w));
+  EXPECT_EQ(0u, w);
+  EXPECT_TRUE(lanes::parse_lane_width("64", w));
+  EXPECT_EQ(64u, w);
+  EXPECT_TRUE(lanes::parse_lane_width("256", w));
+  EXPECT_EQ(256u, w);
+  EXPECT_TRUE(lanes::parse_lane_width("512", w));
+  EXPECT_EQ(512u, w);
+  EXPECT_FALSE(lanes::parse_lane_width("128", w));
+  EXPECT_FALSE(lanes::parse_lane_width("", w));
+  EXPECT_FALSE(lanes::parse_lane_width("avx2", w));
+}
+
+// ---- Combinational engine: cross-width step_batch -------------------
+
+/// Streams `count` random patterns through a 64-lane engine and a
+/// `width`-lane engine (same die, same stimuli, streaming state) and
+/// asserts every StepResult field matches exactly.
+void expect_streaming_matches_u64(const DutNetlist& dut,
+                                  const OperatingTriad& op,
+                                  std::size_t width, std::size_t count,
+                                  std::uint64_t seed) {
+  TimingSimConfig cfg;
+  cfg.variation_sigma = 0.03;
+  cfg.variation_seed = 7;
+  cfg.engine = EngineKind::kLevelized;
+
+  cfg.lane_width = 64;
+  const auto base = make_engine(dut.netlist, lib(), op, cfg);
+  cfg.lane_width = width;
+  const auto wide = make_engine(dut.netlist, lib(), op, cfg);
+  ASSERT_EQ(width, wide->lanes_per_pass());
+
+  const std::size_t npis = dut.netlist.primary_inputs().size();
+  Rng rng(seed);
+  std::vector<std::uint8_t> init(npis);
+  for (std::size_t i = 0; i < npis; ++i)
+    init[i] = static_cast<std::uint8_t>(rng.bits(1));
+  base->reset(init);
+  wide->reset(init);
+
+  std::vector<std::uint8_t> in(count * npis);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<std::uint8_t>(rng.bits(1));
+  std::vector<StepResult> want(count);
+  std::vector<StepResult> got(count);
+  base->step_batch(in, count, want);
+  wide->step_batch(in, count, got);
+
+  for (std::size_t k = 0; k < count; ++k) {
+    ASSERT_EQ(want[k].sampled_outputs, got[k].sampled_outputs) << k;
+    ASSERT_EQ(want[k].settled_outputs, got[k].settled_outputs) << k;
+    ASSERT_DOUBLE_EQ(want[k].settle_time_ps, got[k].settle_time_ps) << k;
+    ASSERT_DOUBLE_EQ(want[k].window_energy_fj, got[k].window_energy_fj)
+        << k;
+    ASSERT_DOUBLE_EQ(want[k].total_energy_fj, got[k].total_energy_fj)
+        << k;
+    ASSERT_EQ(want[k].toggles_in_window, got[k].toggles_in_window) << k;
+    ASSERT_EQ(want[k].toggles_total, got[k].toggles_total) << k;
+  }
+  // The persistent streaming state after the batch matches too.
+  const auto sb = base->sampled_values();
+  const auto sw = wide->sampled_values();
+  ASSERT_EQ(sb.size(), sw.size());
+  for (std::size_t i = 0; i < sb.size(); ++i) ASSERT_EQ(sb[i], sw[i]);
+}
+
+// Every registry circuit, both wide widths, over-scaled into the error
+// region: 300 patterns cover multi-pass 64/256 streaming and a ragged
+// 512 word.
+TEST(LanesWide, StreamingMatchesU64AcrossRegistry) {
+  for (const std::string& spec : circuit_registry_examples()) {
+    SCOPED_TRACE(spec);
+    const DutNetlist dut = build_circuit(spec);
+    const double cp = critical_path_ns(dut.netlist, {1.0, 1.0, 0.0});
+    const OperatingTriad stressed{0.7 * cp, 0.9, 0.0};
+    expect_streaming_matches_u64(dut, stressed, 256, 300, 11);
+    expect_streaming_matches_u64(dut, stressed, 512, 300, 11);
+  }
+}
+
+// Ragged lane counts around every sub-word and word boundary of the
+// wide instantiations.
+TEST(LanesWide, RaggedCountsMatchU64) {
+  const DutNetlist dut = build_circuit("rca8");
+  const double cp = critical_path_ns(dut.netlist, {1.0, 1.0, 0.0});
+  const OperatingTriad stressed{0.65 * cp, 0.9, 0.0};
+  for (const std::size_t count :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{255}, std::size_t{257}, std::size_t{511},
+        std::size_t{513}}) {
+    SCOPED_TRACE(count);
+    expect_streaming_matches_u64(dut, stressed, 256, count, 5 + count);
+    expect_streaming_matches_u64(dut, stressed, 512, count, 5 + count);
+  }
+}
+
+// ---- Characterizer sweep fast path (step_batch_sweep) ---------------
+
+void expect_triads_equal(const std::vector<TriadResult>& want,
+                         const std::vector<TriadResult>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t t = 0; t < want.size(); ++t) {
+    ASSERT_DOUBLE_EQ(want[t].ber, got[t].ber) << t;
+    ASSERT_EQ(want[t].bitwise_ber.size(), got[t].bitwise_ber.size()) << t;
+    for (std::size_t j = 0; j < want[t].bitwise_ber.size(); ++j)
+      ASSERT_DOUBLE_EQ(want[t].bitwise_ber[j], got[t].bitwise_ber[j])
+          << t << " " << j;
+    ASSERT_DOUBLE_EQ(want[t].op_error_rate, got[t].op_error_rate) << t;
+    ASSERT_DOUBLE_EQ(want[t].mse, got[t].mse) << t;
+    ASSERT_DOUBLE_EQ(want[t].mred, got[t].mred) << t;
+    ASSERT_DOUBLE_EQ(want[t].energy_per_op_fj, got[t].energy_per_op_fj)
+        << t;
+    ASSERT_DOUBLE_EQ(want[t].dynamic_energy_fj, got[t].dynamic_energy_fj)
+        << t;
+    ASSERT_DOUBLE_EQ(want[t].leakage_energy_fj, got[t].leakage_energy_fj)
+        << t;
+    ASSERT_DOUBLE_EQ(want[t].mean_settle_ps, got[t].mean_settle_ps) << t;
+    ASSERT_EQ(want[t].patterns, got[t].patterns) << t;
+  }
+}
+
+// The whole-grid sweep (multi-threshold subset accounting) produces
+// bit-identical statistics at every lane width. threads = 1 pins the
+// segmentation so the FP merge order is width-invariant too.
+TEST(LanesWide, CharacterizeSweepMatchesU64) {
+  const DutNetlist dut = build_circuit("mul8-array");
+  const double cp = critical_path_ns(dut.netlist, {1.0, 1.0, 0.0});
+  const std::vector<OperatingTriad> triads = {
+      {1.2 * cp, 1.0, 0.0}, {0.9 * cp, 1.0, 0.0},
+      {0.75 * cp, 0.9, 0.0}, {0.6 * cp, 0.8, 0.0}};
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 700;
+  cfg.engine = EngineKind::kLevelized;
+  cfg.threads = 1;
+
+  cfg.lane_width = 64;
+  const auto want = characterize_dut(dut, lib(), triads, cfg);
+  for (const std::size_t width : {std::size_t{256}, std::size_t{512}}) {
+    SCOPED_TRACE(width);
+    cfg.lane_width = width;
+    expect_triads_equal(want, characterize_dut(dut, lib(), triads, cfg));
+  }
+}
+
+// ---- Sequential pipelines: cross-width step_cycle_batch -------------
+
+std::vector<std::uint64_t> random_seq_operands(const SeqDut& seq,
+                                               std::size_t cycles,
+                                               std::uint64_t seed) {
+  const std::size_t nops = seq.num_operands();
+  std::vector<std::uint64_t> ops(cycles * nops);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < cycles; ++c)
+    for (std::size_t o = 0; o < nops; ++o)
+      ops[c * nops + o] = rng.bits(seq.operand_width(o));
+  return ops;
+}
+
+/// Runs the same clocked stream through a 64-lane and a `width`-lane
+/// pipeline and asserts every per-cycle field and every stage monitor
+/// statistic matches exactly.
+void expect_seq_matches_u64(const SeqDut& seq, const OperatingTriad& op,
+                            std::size_t width, std::size_t cycles,
+                            std::uint64_t seed) {
+  TimingSimConfig cfg;
+  cfg.engine = EngineKind::kLevelized;
+  cfg.lane_width = 64;
+  SeqSim base(seq, lib(), op, cfg);
+  cfg.lane_width = width;
+  SeqSim wide(seq, lib(), op, cfg);
+
+  const std::vector<std::uint64_t> ops =
+      random_seq_operands(seq, cycles, seed);
+  std::vector<SeqCycleResult> want(cycles);
+  std::vector<SeqCycleResult> got(cycles);
+  base.step_cycle_batch(ops, cycles, want);
+  wide.step_cycle_batch(ops, cycles, got);
+
+  for (std::size_t c = 0; c < cycles; ++c) {
+    ASSERT_EQ(want[c].output_valid, got[c].output_valid) << c;
+    ASSERT_EQ(want[c].captured, got[c].captured) << c;
+    ASSERT_EQ(want[c].expected, got[c].expected) << c;
+    ASSERT_EQ(want[c].razor_flags, got[c].razor_flags) << c;
+    ASSERT_DOUBLE_EQ(want[c].energy_fj, got[c].energy_fj) << c;
+    ASSERT_DOUBLE_EQ(want[c].max_settle_ps, got[c].max_settle_ps) << c;
+  }
+  for (std::size_t k = 0; k < seq.num_stages(); ++k) {
+    const DoubleSamplingMonitor& mb = base.stage_monitor(k);
+    const DoubleSamplingMonitor& mw = wide.stage_monitor(k);
+    EXPECT_EQ(mb.total_ops(), mw.total_ops()) << k;
+    EXPECT_EQ(mb.total_flagged_ops(), mw.total_flagged_ops()) << k;
+    EXPECT_DOUBLE_EQ(mb.lifetime_ber(), mw.lifetime_ber()) << k;
+    EXPECT_EQ(mb.window_fill(), mw.window_fill()) << k;
+    EXPECT_DOUBLE_EQ(mb.window_ber(), mw.window_ber()) << k;
+    EXPECT_DOUBLE_EQ(mb.window_op_error_rate(),
+                     mw.window_op_error_rate())
+        << k;
+  }
+}
+
+// Every registry pipeline at both wide widths over the error-onset
+// band; 130 cycles exercises the chunked recurrence with a ragged
+// tail at every width.
+TEST(LanesWide, SeqBatchMatchesU64AcrossRegistryAndOnsetBand) {
+  for (const std::string& spec : seq_circuit_registry()) {
+    const SeqDut seq = build_seq_circuit(spec);
+    const double cp = seq_critical_path_ns(seq, lib());
+    const std::vector<OperatingTriad> band = {
+        {1.1 * cp, 1.0, 0.0},   // error-free
+        {0.85 * cp, 1.0, 0.0},  // onset knee
+        {0.6 * cp, 0.9, 0.0},   // saturated over-scale
+    };
+    for (const OperatingTriad& op : band) {
+      SCOPED_TRACE(spec);
+      expect_seq_matches_u64(seq, op, 256, 130, 99);
+      expect_seq_matches_u64(seq, op, 512, 130, 99);
+    }
+  }
+}
+
+// Ragged cycle counts around the wide word boundaries (lane k launches
+// from lane k-1's truncated state, so the chunk seams must be exact).
+TEST(LanesWide, SeqRaggedCountsMatchU64) {
+  const SeqDut seq = build_seq_circuit("pipe2-mul8");
+  const double cp = seq_critical_path_ns(seq, lib());
+  const OperatingTriad op{0.8 * cp, 1.0, 0.0};
+  for (const std::size_t cycles :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        std::size_t{255}, std::size_t{257}, std::size_t{511},
+        std::size_t{513}}) {
+    SCOPED_TRACE(cycles);
+    expect_seq_matches_u64(seq, op, 256, cycles, 7 + cycles);
+    expect_seq_matches_u64(seq, op, 512, cycles, 7 + cycles);
+  }
+}
+
+// ---- Sequential characterizer incl. the saturation probe ------------
+
+// The normalized grid fast path — reference run, truncation-free
+// synthesis, saturated-probe early exit — must take the same decisions
+// and produce bit-identical results at every width. `patterns` equality
+// confirms the probe tripped (or not) identically.
+TEST(LanesWide, CharacterizeSeqWithSaturationProbeMatchesU64) {
+  const SeqDut seq = build_seq_circuit("pipe2-mul8");
+  const double cp = seq_critical_path_ns(seq, lib());
+  const std::vector<OperatingTriad> triads = {
+      {1.2 * cp, 1.0, 0.0},   // provably truncation-free (synthesized)
+      {0.85 * cp, 1.0, 0.0},  // onset: full replay
+      {0.55 * cp, 0.9, 0.0},  // saturated: probe early exit
+  };
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 400;
+  cfg.engine = EngineKind::kLevelized;
+  cfg.threads = 1;
+
+  cfg.lane_width = 64;
+  const auto want = characterize_seq_dut(seq, lib(), triads, cfg);
+  for (const std::size_t width : {std::size_t{256}, std::size_t{512}}) {
+    SCOPED_TRACE(width);
+    cfg.lane_width = width;
+    expect_triads_equal(want,
+                        characterize_seq_dut(seq, lib(), triads, cfg));
+  }
+}
+
+}  // namespace
+}  // namespace vosim

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "src/util/args.hpp"
+#include "src/util/lanes.hpp"
 #include "src/vosim.hpp"
 
 namespace {
@@ -56,6 +57,10 @@ int usage(const std::string& program) {
       << "         --metric mse|hamming|whamming --out FILE\n"
       << "         --engine event|levelized (simulation backend;\n"
       << "           levelized = bit-parallel, ~10x+ faster sweeps)\n"
+      << "         --lane-width 64|256|512|auto (levelized lanes per\n"
+      << "           pass; auto = 64 — wide words are bit-exact but\n"
+      << "           only pay off on low-activity workloads, see\n"
+      << "           DESIGN.md)\n"
       << "         --list-circuits (print the whole circuit registry\n"
       << "           with operand widths and gate counts, then exit)\n"
       << "campaign: --workloads L --circuits L --backends L (comma lists;\n"
@@ -252,6 +257,17 @@ int run_campaign_command(const ArgParser& args) {
 }
 
 int run(const ArgParser& args) {
+  // Process-wide levelized lane-width override: beats VOSIM_LANE_WIDTH
+  // and the 64-lane auto default everywhere downstream (make_engine,
+  // the characterizer fast paths), but loses to an explicit
+  // TimingSimConfig::lane_width request.
+  if (args.has("lane-width")) {
+    std::size_t width = 0;
+    if (!lanes::parse_lane_width(args.get("lane-width", "auto"), width))
+      throw std::invalid_argument(
+          "bad --lane-width (expected 64|256|512|auto)");
+    lanes::set_lane_width_override(width);
+  }
   if (args.has("list-circuits")) return list_circuits();
   if (args.positional().empty()) return usage(args.program());
   const std::string command = args.positional()[0];
