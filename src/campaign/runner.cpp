@@ -9,6 +9,7 @@
 
 #include "src/characterize/characterizer.hpp"
 #include "src/characterize/triads.hpp"
+#include "src/fleet/fleet.hpp"
 #include "src/model/vos_model.hpp"
 #include "src/netlist/dut.hpp"
 #include "src/seq/seq_dut.hpp"
@@ -193,6 +194,10 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
     throw std::invalid_argument("campaign: no circuits selected");
   if (config.backends.empty())
     throw std::invalid_argument("campaign: no backends selected");
+  if (config.shard_count == 0 ||
+      config.shard_index >= config.shard_count)
+    throw std::invalid_argument(
+        "campaign: bad shard (need index < count, count >= 1)");
   // Every built-in workload routes the same adder width; the circuit
   // must expose it for the model/gate-level backends.
   const int adder_width = workloads.front().width;
@@ -231,6 +236,15 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
     ArithBackend backend;
     CampaignCellKey key;
   };
+  // The chip axis: the nominal die alone, or fleet members 1..N.
+  std::vector<std::uint64_t> chip_ids;
+  if (config.fleet.num_chips == 0) {
+    chip_ids.push_back(0);
+  } else {
+    for (std::uint64_t i = 1; i <= config.fleet.num_chips; ++i)
+      chip_ids.push_back(i);
+  }
+
   CampaignOutcome outcome;
   std::vector<PendingCell> pending;
   std::set<std::string> enumerated;  // dedup repeated axis entries
@@ -238,37 +252,55 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
     for (std::size_t c = 0; c < contexts.size(); ++c) {
       for (std::size_t t = 0; t < contexts[c].triads.size(); ++t) {
         for (const ArithBackend backend : config.backends) {
-          CampaignCellKey key;
-          key.workload = workloads[w].name;
-          key.circuit = config.circuits[c];
-          key.backend = arith_backend_name(backend);
-          key.triad = contexts[c].triads[t];
-          key.seed = config.seed;
-          key.train_patterns =
-              backend == ArithBackend::kModel ? config.train_patterns : 0;
-          // The joined energy/BER depend on the characterization
-          // budget, so it is part of the cell's identity too.
-          key.characterize_patterns = config.characterize_patterns;
-          // "--workloads fir,fir" or repeated backends must not
-          // compute (and report) the same cell twice.
-          if (!enumerated.insert(key.to_string()).second) continue;
-          const std::size_t slot = outcome.cells.size();
-          const auto hit = store.find(key);
-          if (hit.has_value()) {
-            outcome.cells.push_back(*hit);
-            ++outcome.reused;
-          } else {
-            outcome.cells.push_back(CampaignCell{});  // filled below
-            pending.push_back({slot, w, c, t, backend, key});
+          for (const std::uint64_t chip : chip_ids) {
+            CampaignCellKey key;
+            key.workload = workloads[w].name;
+            key.circuit = config.circuits[c];
+            key.backend = arith_backend_name(backend);
+            key.triad = contexts[c].triads[t];
+            key.seed = config.seed;
+            key.train_patterns =
+                backend == ArithBackend::kModel ? config.train_patterns
+                                                : 0;
+            // The joined energy/BER depend on the characterization
+            // budget, so it is part of the cell's identity too.
+            key.characterize_patterns = config.characterize_patterns;
+            key.chip = chip;
+            // "--workloads fir,fir" or repeated backends must not
+            // compute (and report) the same cell twice.
+            const std::string key_str = key.to_string();
+            if (!enumerated.insert(key_str).second) continue;
+            // Shard partition by content hash of the key: every shard
+            // enumerates the identical grid and claims a disjoint
+            // subset, independent of enumeration order or fleet size
+            // (fixed hash seed — all shards and merge must agree).
+            if (config.shard_count > 1 &&
+                fleet_content_hash(0, key_str) % config.shard_count !=
+                    config.shard_index)
+              continue;
+            const std::size_t slot = outcome.cells.size();
+            const auto hit = store.find(key);
+            if (hit.has_value()) {
+              outcome.cells.push_back(*hit);
+              ++outcome.reused;
+            } else {
+              outcome.cells.push_back(CampaignCell{});  // filled below
+              pending.push_back({slot, w, c, t, backend, key});
+            }
           }
         }
       }
     }
   }
-  if (config.progress != nullptr)
+  if (config.progress != nullptr) {
     *config.progress << "campaign: grid " << outcome.cells.size()
-                     << " cells, " << outcome.reused << " from store, "
+                     << " cells";
+    if (config.shard_count > 1)
+      *config.progress << " (shard " << config.shard_index << "/"
+                       << config.shard_count << ")";
+    *config.progress << ", " << outcome.reused << " from store, "
                      << pending.size() << " to compute\n";
+  }
 
   // Phase 2.5 — characterize only the circuits that still have missing
   // cells, and train only the (circuit, triad) models some pending
@@ -303,6 +335,11 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
         QualityResult q;
         double register_energy_fj = 0.0;  // sim-seq: bank clock/latch
         const std::uint64_t dseed = data_seed(config.seed, wl.name);
+        // The chip's die corner — pure content, so any shard or
+        // thread schedule reconstructs the same die. Chip 0 is the
+        // nominal die and leaves every config untouched.
+        const ChipInstance chip =
+            draw_chip_instance(config.fleet, p.key.chip);
         switch (p.backend) {
           case ArithBackend::kExact: {
             q = wl.run(exact_adder_fn(wl.width), dseed);
@@ -319,6 +356,8 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             sim_cfg.engine = p.backend == ArithBackend::kSimEvent
                                  ? EngineKind::kEvent
                                  : EngineKind::kLevelized;
+            sim_cfg = apply_chip(sim_cfg, chip,
+                                 config.fleet.within_die_sigma);
             VosDutSim sim(ctx.dut, lib, ctx.triads[p.triad], sim_cfg);
             q = wl.run(sim_adder_fn(sim), dseed);
             break;
@@ -329,6 +368,8 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             // additionally pays the bank's clock/latch energy.
             TimingSimConfig sim_cfg;
             sim_cfg.engine = EngineKind::kLevelized;
+            sim_cfg = apply_chip(sim_cfg, chip,
+                                 config.fleet.within_die_sigma);
             SeqSim sim(*ctx.seq, lib, ctx.triads[p.triad], sim_cfg);
             register_energy_fj = seq_clock_energy_fj(
                 *ctx.seq, lib, ctx.triads[p.triad].vdd_v);
@@ -347,7 +388,17 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
         cell.metric = q.metric;
         cell.quality = q.value;
         cell.normalized = q.normalized;
-        cell.energy_per_op_fj = tr.energy_per_op_fj + register_energy_fj;
+        // Cross-chip caching: characterization ran once on the nominal
+        // die; a fleet member's energy rescales the characterized
+        // leakage by its die corner analytically instead of
+        // re-characterizing the grid per chip. Chip 0 keeps the exact
+        // pre-fleet sum (no recomputed rounding).
+        cell.energy_per_op_fj =
+            p.key.chip == 0
+                ? tr.energy_per_op_fj + register_energy_fj
+                : tr.dynamic_energy_fj +
+                      tr.leakage_energy_fj * chip.leakage_scale +
+                      register_energy_fj;
         cell.baseline_fj =
             ctx.characterized[baseline_index(ctx.triads)].energy_per_op_fj;
         cell.ber = tr.ber;
@@ -368,23 +419,32 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
   // backend-independent within an energy class — but sim-seq charges
   // the register clock energy on top, so registered and combinational
   // cells rebase separately (a registered design's guard-banded
-  // baseline pays its flops too).
+  // baseline pays its flops too). On a fleet grid each chip is its own
+  // die corner, so savings compare against that chip's own
+  // guard-banded baseline, not the nominal die's.
   const auto is_seq = [](const CampaignCell& cell) {
     return cell.key.backend == "sim-seq";
   };
+  std::set<std::uint64_t> rebase_chips;
+  for (const CampaignCell& cell : outcome.cells)
+    rebase_chips.insert(cell.key.chip);
   for (const std::string& circuit : config.circuits) {
     for (const bool seq_class : {false, true}) {
-      const CampaignCell* base = nullptr;
-      for (const CampaignCell& cell : outcome.cells)
-        if (cell.key.circuit == circuit && is_seq(cell) == seq_class &&
-            (base == nullptr || relaxation_rank(cell.key.triad) >
-                                    relaxation_rank(base->key.triad)))
-          base = &cell;
-      if (base == nullptr) continue;
-      const double baseline = base->energy_per_op_fj;
-      for (CampaignCell& cell : outcome.cells)
-        if (cell.key.circuit == circuit && is_seq(cell) == seq_class)
-          cell.baseline_fj = baseline;
+      for (const std::uint64_t chip : rebase_chips) {
+        const CampaignCell* base = nullptr;
+        for (const CampaignCell& cell : outcome.cells)
+          if (cell.key.circuit == circuit &&
+              is_seq(cell) == seq_class && cell.key.chip == chip &&
+              (base == nullptr || relaxation_rank(cell.key.triad) >
+                                      relaxation_rank(base->key.triad)))
+            base = &cell;
+        if (base == nullptr) continue;
+        const double baseline = base->energy_per_op_fj;
+        for (CampaignCell& cell : outcome.cells)
+          if (cell.key.circuit == circuit &&
+              is_seq(cell) == seq_class && cell.key.chip == chip)
+            cell.baseline_fj = baseline;
+      }
     }
   }
   return outcome;

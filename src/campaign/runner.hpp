@@ -22,6 +22,7 @@
 
 #include "src/campaign/store.hpp"
 #include "src/campaign/workload.hpp"
+#include "src/fleet/fleet.hpp"
 #include "src/tech/library.hpp"
 #include "src/tech/operating_point.hpp"
 
@@ -74,6 +75,23 @@ struct CampaignConfig {
   std::size_t train_patterns = 4000;     ///< model training budget
   unsigned jobs = 0;                     ///< worker threads (0 = default)
   std::ostream* progress = nullptr;      ///< optional narration stream
+  /// Chip axis: fleet.num_chips == 0 runs the single nominal die
+  /// (chip 0 — bit-compatible with pre-fleet campaigns); otherwise the
+  /// grid gains a chip dimension 1..num_chips. Synthesis,
+  /// characterization, the levelized normalized timing pass and model
+  /// training stay per-(circuit, triad) — computed once and shared
+  /// across every chip — while the gate-level backends replay each
+  /// cell on the chip's own die (delay/leakage corner + within-die
+  /// draw) and the energy join rescales the characterized leakage by
+  /// the chip's corner analytically.
+  FleetConfig fleet;
+  /// Grid sharding for multi-process runs (`vosim_cli campaign --shard
+  /// i/N`): cell keys are content-hashed onto shards, so every process
+  /// enumerates the identical grid and executes a disjoint,
+  /// enumeration-order-independent subset. Each shard writes its own
+  /// store; merge_stores() unions them into the single-process store.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 /// Outcome: the full grid in deterministic (workload-major) order plus

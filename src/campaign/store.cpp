@@ -8,10 +8,10 @@
 
 namespace vosim {
 
-namespace {
+namespace jsonl {
 
-/// Shortest round-trippable decimal form of a double. %.17g always
-/// round-trips; try %.15g first so common values stay readable.
+/// %.17g always round-trips; try %.15g first so common values stay
+/// readable.
 std::string num(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.15g", v);
@@ -20,8 +20,6 @@ std::string num(double v) {
   return buf;
 }
 
-/// Extracts the raw token after `"field":` — a number, or the body of
-/// a quoted string. Returns false when the field is absent.
 bool raw_field(const std::string& line, const std::string& field,
                std::string& out) {
   const std::string needle = "\"" + field + "\":";
@@ -62,14 +60,19 @@ bool u64_field(const std::string& line, const std::string& field,
   return end != nullptr && *end == '\0';
 }
 
-}  // namespace
+}  // namespace jsonl
+
+using jsonl::num;
+using jsonl::num_field;
+using jsonl::raw_field;
+using jsonl::u64_field;
 
 std::string CampaignCellKey::to_string() const {
   std::ostringstream os;
   os << workload << '|' << circuit << '|' << backend << '|'
      << num(triad.tclk_ns) << ',' << num(triad.vdd_v) << ','
      << num(triad.vbb_v) << '|' << seed << '|' << train_patterns << '|'
-     << characterize_patterns;
+     << characterize_patterns << '|' << chip;
   return os.str();
 }
 
@@ -129,6 +132,7 @@ std::string CampaignStore::to_jsonl(const CampaignCell& cell) {
      << ",\"seed\":" << cell.key.seed
      << ",\"train_patterns\":" << cell.key.train_patterns
      << ",\"characterize_patterns\":" << cell.key.characterize_patterns
+     << ",\"chip\":" << cell.key.chip
      << ",\"metric\":\"" << cell.metric << "\""
      << ",\"quality\":" << num(cell.quality)
      << ",\"normalized\":" << num(cell.normalized)
@@ -162,7 +166,48 @@ std::optional<CampaignCell> CampaignStore::parse_jsonl(
       !u64_field(line, "adds", cell.adds) ||
       !num_field(line, "elapsed_s", cell.elapsed_s))
     return std::nullopt;
+  // Pre-fleet stores have no chip field: those cells are the nominal
+  // die (chip 0). A present-but-garbled chip still rejects the line.
+  std::string chip_raw;
+  if (raw_field(line, "chip", chip_raw)) {
+    if (!u64_field(line, "chip", cell.key.chip)) return std::nullopt;
+  } else {
+    cell.key.chip = 0;
+  }
   return cell;
+}
+
+MergeStats merge_stores(const std::vector<std::string>& inputs,
+                        const std::string& out_path,
+                        bool strip_timing) {
+  MergeStats stats;
+  std::map<std::string, CampaignCell> merged;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in)
+      throw std::runtime_error("merge-store: cannot read " + path);
+    ++stats.files;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++stats.lines;
+      auto cell = CampaignStore::parse_jsonl(line);
+      if (!cell.has_value()) {
+        ++stats.skipped;
+        continue;
+      }
+      merged.insert_or_assign(cell->key.to_string(), *cell);
+    }
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("merge-store: cannot write " + out_path);
+  for (auto& [key, cell] : merged) {
+    if (strip_timing) cell.elapsed_s = 0.0;
+    out << CampaignStore::to_jsonl(cell) << '\n';
+  }
+  stats.cells = merged.size();
+  return stats;
 }
 
 }  // namespace vosim

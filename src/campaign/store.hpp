@@ -33,9 +33,13 @@ struct CampaignCellKey {
   std::uint64_t train_patterns = 0;  ///< model-training budget (0 when
                                      ///< the backend trains nothing)
   std::uint64_t characterize_patterns = 0;  ///< energy/BER join budget
+  /// Fleet chip instance (0 = the nominal die, the pre-fleet grid).
+  /// Chip i's process corner is content-hashed from the fleet seed
+  /// (src/fleet), so the id alone names the die.
+  std::uint64_t chip = 0;
 
   /// Canonical content key, e.g.
-  /// "fir|rca16|model|0.53,0.5,2|1|4000|2000".
+  /// "fir|rca16|model|0.53,0.5,2|1|4000|2000|0".
   std::string to_string() const;
 
   friend bool operator==(const CampaignCellKey&,
@@ -89,6 +93,47 @@ class CampaignStore {
   std::string path_;
   std::map<std::string, CampaignCell> cells_;
 };
+
+/// merge_stores accounting.
+struct MergeStats {
+  std::size_t files = 0;    ///< input files read
+  std::size_t lines = 0;    ///< lines seen across all inputs
+  std::size_t skipped = 0;  ///< malformed lines dropped
+  std::size_t cells = 0;    ///< unique cells written to the output
+};
+
+/// Content-keyed merge of shard-local stores: reads every input in
+/// order (later files — and later lines within a file — win on key
+/// collisions, the store's own last-write-wins rule) and writes the
+/// union to `out_path` in canonical key order. Because the output
+/// order is canonical rather than append order, merging a single store
+/// with itself canonicalizes it — which is how shard-vs-single-process
+/// equivalence is checked byte-for-byte (run_benches.sh fleet gate).
+/// `strip_timing` zeroes the wall-clock `elapsed_s` field, the one
+/// value that legitimately differs between equivalent runs. Throws
+/// std::runtime_error on an unreadable input or unwritable output.
+MergeStats merge_stores(const std::vector<std::string>& inputs,
+                        const std::string& out_path,
+                        bool strip_timing = false);
+
+/// Minimal JSONL field accessors shared by the store, the merge tool
+/// and the serve daemon's wire format (src/serve). Only handles the
+/// flat object lines this codebase writes — identifiers and numbers,
+/// no escapes or nesting.
+namespace jsonl {
+
+/// Shortest round-trippable decimal form of a double.
+std::string num(double v);
+/// Extracts the raw token after `"field":` — a number, or the body of
+/// a quoted string. Returns false when the field is absent.
+bool raw_field(const std::string& line, const std::string& field,
+               std::string& out);
+bool num_field(const std::string& line, const std::string& field,
+               double& out);
+bool u64_field(const std::string& line, const std::string& field,
+               std::uint64_t& out);
+
+}  // namespace jsonl
 
 }  // namespace vosim
 

@@ -8,8 +8,6 @@
 
 namespace vosim {
 
-namespace {
-
 DieSpread spread_of(std::vector<double> samples) {
   DieSpread s;
   RunningStats rs;
@@ -23,8 +21,6 @@ DieSpread spread_of(std::vector<double> samples) {
   s.q75 = quantile(samples, 0.75);
   return s;
 }
-
-}  // namespace
 
 std::vector<VariabilityResult> variability_study(
     const DutNetlist& dut, const CellLibrary& lib,
@@ -68,7 +64,7 @@ std::vector<VariabilityResult> variability_study(
         ber[job] = acc.ber();
         energy[job] = e / static_cast<double>(config.num_patterns);
       },
-      config.threads);
+      config.jobs);
 
   for (std::size_t t = 0; t < triads.size(); ++t) {
     VariabilityResult& r = out[t];

@@ -13,7 +13,7 @@
 
 namespace vosim {
 
-/// Spread of a metric across dies.
+/// Spread of a metric across dies (see spread_of()).
 struct DieSpread {
   double mean = 0.0;
   double stddev = 0.0;
@@ -43,7 +43,11 @@ struct VariabilityConfig {
   std::size_t num_patterns = 3000;
   PatternPolicy policy = PatternPolicy::kCarryBalanced;
   std::uint64_t pattern_seed = 42;
-  unsigned threads = 0;
+  /// Worker cap on the shared persistent ThreadPool (0 = default) —
+  /// the same convention as CampaignConfig::jobs, so nesting a
+  /// variability study inside a campaign or fleet run never
+  /// oversubscribes the machine with a second pool.
+  unsigned jobs = 0;
   /// Simulation backend; both backends draw identical per-die variation
   /// samples, so die i names the same circuit under either engine.
   EngineKind engine = EngineKind::kEvent;
@@ -55,6 +59,10 @@ std::vector<VariabilityResult> variability_study(
     const DutNetlist& dut, const CellLibrary& lib,
     const std::vector<OperatingTriad>& triads,
     const VariabilityConfig& config = {});
+
+/// Summarizes a sample vector into a DieSpread (mean, stddev,
+/// min/quartiles/max). Shared by the variability and fleet studies.
+DieSpread spread_of(std::vector<double> samples);
 
 }  // namespace vosim
 

@@ -1,0 +1,245 @@
+#include "src/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace vosim {
+
+namespace {
+
+/// Splits a comma list ("fir,dot") into its non-empty tokens.
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Writes the whole buffer, riding out short writes. Returns false on
+/// a broken connection (the client went away mid-stream).
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_line(int fd, const std::string& line) {
+  return write_all(fd, line + "\n");
+}
+
+/// Reads until the first newline or EOF (the request is one line).
+std::string read_request_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0 || c == '\n') break;
+    line.push_back(c);
+    if (line.size() > 1 << 16)
+      break;  // a sane request is a few hundred bytes
+  }
+  return line;
+}
+
+/// The campaign request body -> CampaignConfig. Absent fields keep
+/// the campaign defaults; `default_jobs` is the daemon-wide cap.
+CampaignConfig parse_campaign_request(const std::string& line,
+                                      unsigned default_jobs) {
+  CampaignConfig cfg;
+  cfg.jobs = default_jobs;
+  std::string raw;
+  if (jsonl::raw_field(line, "workloads", raw))
+    cfg.workloads = split_list(raw);
+  if (jsonl::raw_field(line, "circuits", raw))
+    cfg.circuits = split_list(raw);
+  if (jsonl::raw_field(line, "backends", raw)) {
+    cfg.backends.clear();
+    for (const std::string& name : split_list(raw))
+      cfg.backends.push_back(parse_arith_backend(name));
+  }
+  std::uint64_t u = 0;
+  if (jsonl::u64_field(line, "seed", u)) cfg.seed = u;
+  if (jsonl::u64_field(line, "patterns", u))
+    cfg.characterize_patterns = u;
+  if (jsonl::u64_field(line, "train_patterns", u)) cfg.train_patterns = u;
+  if (jsonl::u64_field(line, "max_triads", u)) cfg.max_triads = u;
+  if (jsonl::u64_field(line, "jobs", u))
+    cfg.jobs = static_cast<unsigned>(u);
+  if (jsonl::u64_field(line, "chips", u)) cfg.fleet.num_chips = u;
+  if (jsonl::u64_field(line, "fleet_seed", u)) cfg.fleet.seed = u;
+  double d = 0.0;
+  if (jsonl::num_field(line, "speed_sigma", d))
+    cfg.fleet.speed_sigma = d;
+  if (jsonl::num_field(line, "leakage_sigma", d))
+    cfg.fleet.leakage_sigma = d;
+  return cfg;
+}
+
+}  // namespace
+
+CampaignServer::CampaignServer(const CellLibrary& lib, ServeConfig config)
+    : lib_(lib),
+      config_(std::move(config)),
+      store_(config_.store_path) {}
+
+CampaignServer::~CampaignServer() { stop(); }
+
+void CampaignServer::start() {
+  sockaddr_un addr{};
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve: bad socket path '" +
+                             config_.socket_path + "'");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("serve: socket() failed");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());  // a stale socket from a crash
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind " + config_.socket_path);
+  }
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void CampaignServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;  // EINTR and friends
+    }
+    std::lock_guard<std::mutex> lock(conn_m_);
+    connections_.emplace_back(
+        [this, fd] { handle_connection(fd); });
+  }
+}
+
+void CampaignServer::handle_connection(int fd) {
+  const std::string line = read_request_line(fd);
+  std::string cmd;
+  if (!jsonl::raw_field(line, "cmd", cmd)) {
+    write_line(fd, "{\"error\":\"missing cmd\"}");
+    ::close(fd);
+    return;
+  }
+  requests_.fetch_add(1);
+  if (cmd == "ping") {
+    write_line(fd, "{\"ok\":true,\"cmd\":\"ping\"}");
+  } else if (cmd == "shutdown") {
+    write_line(fd, "{\"ok\":true,\"cmd\":\"shutdown\"}");
+    shutdown_requested_.store(true);
+    wait_cv_.notify_all();
+  } else if (cmd == "campaign") {
+    try {
+      const CampaignConfig cfg =
+          parse_campaign_request(line, config_.jobs);
+      const CampaignOutcome outcome = run_campaign(lib_, cfg, store_);
+      // Stream the *stored* form of each cell, not the in-memory
+      // post-rebase view: stored lines carry the shard-independent
+      // baseline, so a served stream is byte-comparable (modulo
+      // elapsed_s) with any offline store of the same grid.
+      for (const CampaignCell& cell : outcome.cells) {
+        const auto stored = store_.find(cell.key);
+        if (!write_line(fd, CampaignStore::to_jsonl(
+                                stored ? *stored : cell)))
+          break;
+      }
+      std::ostringstream footer;
+      footer << "{\"done\":true,\"cells\":" << outcome.cells.size()
+             << ",\"reused\":" << outcome.reused
+             << ",\"computed\":" << outcome.computed << "}";
+      write_line(fd, footer.str());
+    } catch (const std::exception& e) {
+      write_line(fd,
+                 std::string("{\"error\":\"") + e.what() + "\"}");
+    }
+  } else {
+    write_line(fd, "{\"error\":\"unknown cmd '" + cmd + "'\"}");
+  }
+  ::close(fd);
+}
+
+void CampaignServer::wait() {
+  std::unique_lock<std::mutex> lock(wait_m_);
+  wait_cv_.wait(lock, [this] { return shutdown_requested_.load(); });
+}
+
+void CampaignServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept(): shut the listener down before joining.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_m_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.c_str());
+  shutdown_requested_.store(true);  // release any wait()er
+  wait_cv_.notify_all();
+}
+
+std::vector<std::string> send_request(const std::string& socket_path,
+                                      const std::string& request) {
+  sockaddr_un addr{};
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("request: bad socket path '" + socket_path +
+                             "'");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("request: socket() failed");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(),
+              socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("request: cannot connect to " + socket_path);
+  }
+  if (!write_line(fd, request)) {
+    ::close(fd);
+    throw std::runtime_error("request: send failed");
+  }
+  std::vector<std::string> lines;
+  std::string current;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') {
+        lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(buf[i]);
+      }
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  ::close(fd);
+  return lines;
+}
+
+}  // namespace vosim

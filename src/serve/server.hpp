@@ -1,0 +1,113 @@
+// Long-lived sweep daemon: a Unix-domain-socket server that accepts
+// campaign requests, runs them concurrently on the shared persistent
+// ThreadPool with warm caches (one content-keyed CampaignStore lives
+// for the daemon's lifetime, so repeated or overlapping requests
+// answer finished cells without touching a simulator), and streams
+// JSONL results back — the "heavy traffic" serving story from the
+// ROADMAP north star. DESIGN.md §11 documents the wire format.
+//
+// Wire protocol (newline-delimited JSON, one request per connection):
+//   client sends one line:  {"cmd":"ping"} | {"cmd":"shutdown"} |
+//     {"cmd":"campaign","workloads":"fir,dot","circuits":"rca16",
+//      "backends":"model","seed":1,"patterns":2000,
+//      "train_patterns":4000,"max_triads":3,"chips":0,"jobs":0}
+//   server streams back:
+//     campaign — one CampaignStore::to_jsonl line per cell (canonical
+//       grid order, the *stored* form with the shard-independent
+//       baseline, so streams are byte-comparable with offline stores
+//       modulo elapsed_s), then a footer
+//       {"done":true,"cells":N,"reused":R,"computed":C}
+//     ping — {"ok":true,"cmd":"ping"}
+//     shutdown — {"ok":true,"cmd":"shutdown"}, then the accept loop
+//       winds down and wait() returns
+//   errors — {"error":"<message>"} and the connection closes.
+#ifndef VOSIM_SERVE_SERVER_HPP
+#define VOSIM_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/runner.hpp"
+#include "src/campaign/store.hpp"
+#include "src/tech/library.hpp"
+
+namespace vosim {
+
+/// Daemon configuration.
+struct ServeConfig {
+  /// Filesystem path of the Unix-domain socket (created on start(),
+  /// unlinked on stop()). Must fit sockaddr_un (~100 chars).
+  std::string socket_path;
+  /// Warm store backing file ("" = in-memory only): every request's
+  /// finished cells land here and pre-answer later requests.
+  std::string store_path;
+  /// Default worker cap for requests that do not send "jobs".
+  unsigned jobs = 0;
+};
+
+/// The daemon. start() binds and listens synchronously (the socket
+/// exists when it returns), then serves each connection on its own
+/// thread; the simulation work inside a request parallelizes on the
+/// shared ThreadPool, which serializes concurrent submitters — so two
+/// in-flight requests interleave safely instead of oversubscribing.
+class CampaignServer {
+ public:
+  CampaignServer(const CellLibrary& lib, ServeConfig config);
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  /// Binds the socket and starts accepting. Throws std::runtime_error
+  /// when the socket cannot be created/bound.
+  void start();
+  /// Blocks until a shutdown request has been served (returns
+  /// immediately if one already was).
+  void wait();
+  /// Stops accepting, joins every connection thread, unlinks the
+  /// socket. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+  const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load();
+  }
+  /// The warm store (e.g. to inspect cached cells in tests).
+  CampaignStore& store() noexcept { return store_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  const CellLibrary& lib_;
+  ServeConfig config_;
+  CampaignStore store_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread acceptor_;
+  std::mutex conn_m_;
+  std::vector<std::thread> connections_;
+  std::mutex wait_m_;
+  std::condition_variable wait_cv_;
+};
+
+/// Client helper: connects to the daemon, sends one request line and
+/// returns every response line until the server closes the
+/// connection. Throws std::runtime_error when the socket is
+/// unreachable.
+std::vector<std::string> send_request(const std::string& socket_path,
+                                      const std::string& request);
+
+}  // namespace vosim
+
+#endif  // VOSIM_SERVE_SERVER_HPP

@@ -23,6 +23,8 @@ TimingSimulator::TimingSimulator(const Netlist& netlist,
   VOSIM_EXPECTS(netlist.finalized());
   VOSIM_EXPECTS(op.tclk_ns > 0.0);
   VOSIM_EXPECTS(config.variation_sigma >= 0.0);
+  VOSIM_EXPECTS(config.delay_scale > 0.0);
+  VOSIM_EXPECTS(config.leakage_scale > 0.0);
   tclk_ps_ = op.tclk_ns * 1e3;
 
   const std::vector<double> loads = netlist.compute_net_loads(lib);
@@ -32,7 +34,8 @@ TimingSimulator::TimingSimulator(const Netlist& netlist,
   Rng vrng(config.variation_seed);
   for (GateId gid = 0; gid < netlist.num_gates(); ++gid) {
     const Gate& g = netlist.gate(gid);
-    double d = gate_delay_ps(lib.cell(g.kind), loads[g.out], tm, op_);
+    double d = gate_delay_ps(lib.cell(g.kind), loads[g.out], tm, op_) *
+               config.delay_scale;
     if (config.variation_sigma > 0.0) {
       // One log-normal sample per gate: a fixed "die", reused for every
       // operation and (by construction order) every triad.
@@ -47,6 +50,7 @@ TimingSimulator::TimingSimulator(const Netlist& netlist,
 
   double leak_nw = netlist.cell_leakage_nw(lib);
   leak_nw *= tm.leakage_scale(op_.vdd_v, op_.vbb_v);
+  leak_nw *= config.leakage_scale;
   leakage_energy_fj_ = leak_nw * 1e-3 * tclk_ps_ * 1e-3;  // nW·ps → fJ
 
   values_.assign(netlist.num_nets(), 0);

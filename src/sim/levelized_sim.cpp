@@ -270,6 +270,8 @@ LevelizedSimulatorT<LW>::LevelizedSimulatorT(const Netlist& netlist,
   VOSIM_EXPECTS(netlist.finalized());
   VOSIM_EXPECTS(op.tclk_ns > 0.0);
   VOSIM_EXPECTS(config.variation_sigma >= 0.0);
+  VOSIM_EXPECTS(config.delay_scale > 0.0);
+  VOSIM_EXPECTS(config.leakage_scale > 0.0);
   tclk_ps_ = op.tclk_ns * 1e3;
 
   const std::vector<double> loads = netlist.compute_net_loads(lib);
@@ -288,7 +290,9 @@ LevelizedSimulatorT<LW>::LevelizedSimulatorT(const Netlist& netlist,
     const Cell& cell = lib.cell(g.kind);
     const double nominal_ps =
         cell.intrinsic_delay_ps + cell.drive_ps_per_ff * loads[g.out];
-    double d = nominal_ps * dscale;
+    // Same product order as the event engine ((nominal·triad)·die·var),
+    // so a (scale, sigma, seed) tuple names one die under both backends.
+    double d = nominal_ps * dscale * config.delay_scale;
     if (config.variation_sigma > 0.0)
       d *= std::exp(config.variation_sigma * vrng.gaussian());
     gate_delay_ps_[gid] = d;
@@ -300,6 +304,7 @@ LevelizedSimulatorT<LW>::LevelizedSimulatorT(const Netlist& netlist,
 
   double leak_nw = netlist.cell_leakage_nw(lib);
   leak_nw *= tm.leakage_scale(op_.vdd_v, op_.vbb_v);
+  leak_nw *= config.leakage_scale;
   leak_nw_scaled_ = leak_nw;
   leakage_energy_fj_ = leak_nw * 1e-3 * tclk_ps_ * 1e-3;  // nW·ps → fJ
 

@@ -51,6 +51,15 @@ struct TimingSimConfig {
   double variation_sigma = 0.0;
   /// Seed for the per-gate variation sample.
   std::uint64_t variation_seed = 1;
+  /// Die-wide gate-delay multiplier (die-to-die process corner): every
+  /// gate's delay is scaled by this on top of the triad's voltage scale
+  /// and the per-gate variation sample. 1.0 = the nominal die. The
+  /// fleet subsystem (src/fleet) draws one value per chip instance so a
+  /// slow die is slow under every triad and both engines.
+  double delay_scale = 1.0;
+  /// Die-wide leakage multiplier (die-to-die corner), applied on top of
+  /// the triad's voltage-dependent leakage scale. 1.0 = nominal die.
+  double leakage_scale = 1.0;
   /// Record every committed transition of the next step() for waveform
   /// inspection (see src/sim/vcd.hpp). Off by default: tracing allocates
   /// per event. Event engine only. Collect with

@@ -13,6 +13,9 @@
 //   7. adapt triads at runtime   (src/runtime/adaptive_unit.hpp)
 //   8. pipeline + close the loop (src/seq/*.hpp,
 //                                 src/runtime/closed_loop.hpp)
+//   9. scale to a fleet          (src/fleet/fleet.hpp — chip-instance
+//                                 Monte-Carlo, sharded campaigns;
+//                                 src/serve/server.hpp — sweep daemon)
 #ifndef VOSIM_VOSIM_HPP
 #define VOSIM_VOSIM_HPP
 
@@ -31,6 +34,7 @@
 #include "src/characterize/report.hpp"
 #include "src/characterize/variability.hpp"
 #include "src/characterize/triads.hpp"
+#include "src/fleet/fleet.hpp"
 #include "src/model/carry_chain.hpp"
 #include "src/model/distance.hpp"
 #include "src/model/energy_model.hpp"
@@ -54,6 +58,7 @@
 #include "src/runtime/error_monitor.hpp"
 #include "src/runtime/speculation.hpp"
 #include "src/runtime/triad_ladder.hpp"
+#include "src/serve/server.hpp"
 #include "src/seq/seq_dut.hpp"
 #include "src/seq/seq_report.hpp"
 #include "src/seq/seq_sim.hpp"

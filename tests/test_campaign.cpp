@@ -467,6 +467,140 @@ TEST(CampaignRunner, ReusedCellsAreRebasedOnTheCurrentGrid) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- chip axis + merge
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CampaignStore, ChipFieldRoundTripsAndDefaultsToNominal) {
+  CampaignCell cell = sample_cell();
+  cell.key.chip = 5;
+  const std::string line = CampaignStore::to_jsonl(cell);
+  EXPECT_NE(line.find("\"chip\":5"), std::string::npos);
+  const auto parsed = CampaignStore::parse_jsonl(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key.chip, 5u);
+  EXPECT_EQ(parsed->key, cell.key);
+
+  // A pre-fleet line (no chip field) is the nominal die, not garbage.
+  std::string legacy = line;
+  const auto at = legacy.find(",\"chip\":5");
+  ASSERT_NE(at, std::string::npos);
+  legacy.erase(at, std::string(",\"chip\":5").size());
+  const auto old = CampaignStore::parse_jsonl(legacy);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->key.chip, 0u);
+
+  // Present-but-garbled chip must reject the line, not default it.
+  std::string bad = line;
+  bad.replace(bad.find("\"chip\":5"), std::string("\"chip\":5").size(),
+              "\"chip\":x");
+  EXPECT_FALSE(CampaignStore::parse_jsonl(bad).has_value());
+}
+
+TEST(CampaignStore, MergeKeepsLastWriteOnOverlappingKeys) {
+  const std::string a = temp_path("merge_a.jsonl");
+  const std::string b = temp_path("merge_b.jsonl");
+  const std::string out = temp_path("merge_out.jsonl");
+  {
+    std::ofstream fa(a), fb(b);
+    CampaignCell cell = sample_cell();
+    cell.quality = 1.0;
+    fa << CampaignStore::to_jsonl(cell) << "\n";
+    CampaignCell other = sample_cell();
+    other.key.workload = "dot";
+    fa << CampaignStore::to_jsonl(other) << "\n";
+    cell.quality = 2.0;  // same key, later file: must win
+    fb << CampaignStore::to_jsonl(cell) << "\n";
+  }
+  const MergeStats stats = merge_stores({a, b}, out);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(stats.cells, 2u);
+  CampaignStore merged(out);
+  const auto hit = merged.find(sample_cell().key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->quality, 2.0);
+  for (const std::string& p : {a, b, out}) std::remove(p.c_str());
+}
+
+TEST(CampaignStore, MergeSkipsMalformedLinesAndThrowsOnMissingInput) {
+  const std::string a = temp_path("merge_bad.jsonl");
+  const std::string out = temp_path("merge_bad_out.jsonl");
+  {
+    std::ofstream fa(a);
+    fa << "not json\n";
+    fa << CampaignStore::to_jsonl(sample_cell()) << "\n";
+    fa << "{\"workload\":\"fir\",\"circu\n";
+  }
+  const MergeStats stats = merge_stores({a}, out);
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.cells, 1u);
+  EXPECT_THROW(merge_stores({temp_path("nope_missing.jsonl")}, out),
+               std::runtime_error);
+  for (const std::string& p : {a, out}) std::remove(p.c_str());
+}
+
+TEST(CampaignRunner, ShardedFleetCampaignMergesBitIdentical) {
+  // The sharded-store contract end to end: an N-shard fleet campaign,
+  // merged, must be byte-for-byte the canonicalized single-process
+  // store (elapsed_s stripped — the only wall-clock field).
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  CampaignConfig cfg = small_campaign();
+  cfg.triad_specs = {{1.0, 1.0, 0.0}, {1.0, 0.65, 0.0}};
+  cfg.fleet.num_chips = 6;
+  cfg.jobs = 2;
+
+  const std::string single = temp_path("shard_single.jsonl");
+  const std::string canon = temp_path("shard_canon.jsonl");
+  const std::string merged = temp_path("shard_merged.jsonl");
+  std::vector<std::string> shard_paths;
+  for (int i = 0; i < 3; ++i)
+    shard_paths.push_back(temp_path("shard_" + std::to_string(i) +
+                                    ".jsonl"));
+  for (const std::string& p : shard_paths) std::remove(p.c_str());
+  std::remove(single.c_str());
+
+  CampaignStore whole(single);
+  const CampaignOutcome all = run_campaign(lib, cfg, whole);
+  EXPECT_EQ(all.cells.size(), 12u);  // 2 triads x 6 chips
+
+  std::size_t shard_cells = 0;
+  cfg.shard_count = 3;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cfg.shard_index = i;
+    CampaignStore shard(shard_paths[i]);
+    shard_cells += run_campaign(lib, cfg, shard).computed;
+  }
+  EXPECT_EQ(shard_cells, all.cells.size());  // disjoint, exhaustive
+
+  merge_stores(shard_paths, merged, /*strip_timing=*/true);
+  merge_stores({single}, canon, /*strip_timing=*/true);
+  const std::string merged_bytes = read_file(merged);
+  EXPECT_FALSE(merged_bytes.empty());
+  EXPECT_EQ(merged_bytes, read_file(canon));
+
+  std::remove(single.c_str());
+  std::remove(canon.c_str());
+  std::remove(merged.c_str());
+  for (const std::string& p : shard_paths) std::remove(p.c_str());
+}
+
+TEST(CampaignRunner, ShardValidation) {
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  CampaignConfig cfg = small_campaign();
+  CampaignStore store;
+  cfg.shard_count = 0;
+  EXPECT_THROW(run_campaign(lib, cfg, store), std::invalid_argument);
+  cfg.shard_count = 2;
+  cfg.shard_index = 2;
+  EXPECT_THROW(run_campaign(lib, cfg, store), std::invalid_argument);
+}
+
 TEST(CampaignRunner, MaxTriadsTruncatesTheGrid) {
   const CellLibrary& lib = make_fdsoi28_lvt();
   CampaignConfig cfg = small_campaign();

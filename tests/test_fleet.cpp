@@ -1,0 +1,158 @@
+// Fleet subsystem tests: content-hashed chip draws, die-corner
+// application to the simulator configs, shard partition coverage, and
+// the closed-loop fleet study's determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/fleet/fleet.hpp"
+#include "src/tech/library.hpp"
+#include "src/util/contracts.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+TEST(FleetChips, DrawIsContentHashedAndDistinctPerChip) {
+  FleetConfig cfg;
+  cfg.num_chips = 8;
+  const ChipInstance a = draw_chip_instance(cfg, 3);
+  const ChipInstance b = draw_chip_instance(cfg, 3);
+  EXPECT_EQ(a.delay_scale, b.delay_scale);  // same die, bit-exact
+  EXPECT_EQ(a.leakage_scale, b.leakage_scale);
+  EXPECT_EQ(a.variation_seed, b.variation_seed);
+
+  const ChipInstance c = draw_chip_instance(cfg, 4);
+  EXPECT_NE(a.delay_scale, c.delay_scale);
+  EXPECT_NE(a.variation_seed, c.variation_seed);
+
+  // A different fleet seed names a different population.
+  FleetConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_NE(draw_chip_instance(other, 3).delay_scale, a.delay_scale);
+}
+
+TEST(FleetChips, ChipZeroIsTheNominalDie) {
+  FleetConfig cfg;
+  cfg.speed_sigma = 0.5;  // wild corners for every real chip...
+  cfg.leakage_sigma = 0.9;
+  const ChipInstance nominal = draw_chip_instance(cfg, 0);
+  EXPECT_EQ(nominal.delay_scale, 1.0);  // ...but never for chip 0
+  EXPECT_EQ(nominal.leakage_scale, 1.0);
+
+  // apply_chip leaves the base config untouched for the nominal die.
+  TimingSimConfig base;
+  base.variation_sigma = 0.0;
+  base.variation_seed = 123;
+  const TimingSimConfig applied = apply_chip(base, nominal, 0.07);
+  EXPECT_EQ(applied.delay_scale, base.delay_scale);
+  EXPECT_EQ(applied.variation_sigma, base.variation_sigma);
+  EXPECT_EQ(applied.variation_seed, base.variation_seed);
+}
+
+TEST(FleetChips, ApplyChipCarriesTheCornerIntoTheSimConfig) {
+  FleetConfig cfg;
+  const ChipInstance chip = draw_chip_instance(cfg, 2);
+  TimingSimConfig base;
+  const TimingSimConfig applied = apply_chip(base, chip, 0.04);
+  EXPECT_EQ(applied.delay_scale, chip.delay_scale);
+  EXPECT_EQ(applied.leakage_scale, chip.leakage_scale);
+  EXPECT_EQ(applied.variation_sigma, 0.04);
+  EXPECT_EQ(applied.variation_seed, chip.variation_seed);
+  EXPECT_GT(applied.delay_scale, 0.0);
+  EXPECT_GT(applied.leakage_scale, 0.0);
+}
+
+TEST(FleetChips, CornersSpreadWithSigma) {
+  // Log-normal draws: unit median, spread growing with sigma, never
+  // non-positive.
+  FleetConfig tight;
+  tight.speed_sigma = 0.01;
+  FleetConfig wide;
+  wide.speed_sigma = 0.3;
+  double tight_max = 0.0, wide_max = 0.0;
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    const double t = draw_chip_instance(tight, i).delay_scale;
+    const double w = draw_chip_instance(wide, i).delay_scale;
+    ASSERT_GT(t, 0.0);
+    ASSERT_GT(w, 0.0);
+    tight_max = std::max(tight_max, std::abs(t - 1.0));
+    wide_max = std::max(wide_max, std::abs(w - 1.0));
+  }
+  EXPECT_LT(tight_max, 0.05);
+  EXPECT_GT(wide_max, tight_max);
+}
+
+TEST(FleetHash, ShardPartitionIsADisjointCover) {
+  // Every key lands in exactly one shard, and the union over shards is
+  // the whole grid — the property run_campaign's --shard filter and
+  // merge-store equivalence rest on.
+  const std::size_t shards = 4;
+  std::size_t assigned = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key =
+        "fir|rca16|model|1.0,0.8,0|1|1500|300|" + std::to_string(i);
+    std::size_t hits = 0;
+    for (std::size_t s = 0; s < shards; ++s)
+      if (fleet_content_hash(0, key) % shards == s) ++hits;
+    ASSERT_EQ(hits, 1u) << key;
+    ++assigned;
+  }
+  EXPECT_EQ(assigned, 500u);
+  // And the hash is stable across calls (pure content).
+  EXPECT_EQ(fleet_content_hash(7, "abc"), fleet_content_hash(7, "abc"));
+  EXPECT_NE(fleet_content_hash(7, "abc"), fleet_content_hash(8, "abc"));
+}
+
+TEST(FleetStudy, RunsDeterministicallyAcrossThreadCounts) {
+  FleetStudyConfig cfg;
+  cfg.fleet.num_chips = 5;
+  cfg.ladder_patterns = 300;
+  cfg.cycles = 256;
+  cfg.jobs = 1;
+  const FleetOutcome serial = run_fleet_study(lib(), cfg);
+  cfg.jobs = 4;
+  const FleetOutcome parallel = run_fleet_study(lib(), cfg);
+
+  ASSERT_EQ(serial.chips.size(), 5u);
+  ASSERT_EQ(parallel.chips.size(), 5u);
+  for (std::size_t i = 0; i < serial.chips.size(); ++i) {
+    EXPECT_EQ(serial.chips[i].chip.chip, i + 1);  // chips are 1-based
+    EXPECT_EQ(serial.chips[i].mean_energy_fj,
+              parallel.chips[i].mean_energy_fj);
+    EXPECT_EQ(serial.chips[i].final_rung, parallel.chips[i].final_rung);
+    EXPECT_EQ(serial.chips[i].switches, parallel.chips[i].switches);
+  }
+  EXPECT_EQ(serial.energy_fj.mean, parallel.energy_fj.mean);
+
+  // Sanity of the population summary.
+  std::size_t histogram_total = 0;
+  for (const std::size_t n : serial.rung_histogram) histogram_total += n;
+  EXPECT_EQ(histogram_total, serial.chips.size());
+  EXPECT_GT(serial.energy_fj.mean, 0.0);
+  EXPECT_GE(serial.ladder_seconds, 0.0);
+  EXPECT_GE(serial.serve_seconds, 0.0);
+  for (const ChipOutcome& oc : serial.chips) {
+    EXPECT_LT(oc.final_rung, serial.ladder.size());
+    EXPECT_GE(oc.flagged_rate, 0.0);
+    EXPECT_LE(oc.error_rate, 1.0);
+  }
+}
+
+TEST(FleetStudy, Validation) {
+  FleetStudyConfig cfg;
+  cfg.fleet.num_chips = 0;
+  EXPECT_THROW(run_fleet_study(lib(), cfg), ContractViolation);
+  cfg.fleet.num_chips = 2;
+  cfg.cycles = 0;
+  EXPECT_THROW(run_fleet_study(lib(), cfg), ContractViolation);
+  FleetConfig bad;
+  bad.speed_sigma = -0.1;
+  EXPECT_THROW(draw_chip_instance(bad, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace vosim

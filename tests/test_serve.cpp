@@ -1,0 +1,159 @@
+// Sweep-daemon tests: in-process CampaignServer on a Unix socket,
+// concurrent campaign requests, and equivalence of the streamed cells
+// with an offline run of the same grid.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/runner.hpp"
+#include "src/campaign/store.hpp"
+#include "src/serve/server.hpp"
+#include "src/tech/library.hpp"
+
+namespace vosim {
+namespace {
+
+const CellLibrary& lib() { return make_fdsoi28_lvt(); }
+
+/// Short socket path: sockaddr_un caps at ~100 chars and TempDir can
+/// be long, so sockets live under /tmp with the test pid mixed in.
+std::string socket_path(const std::string& tag) {
+  return "/tmp/vosim_test_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(CampaignServer, PingAndShutdownRoundTrip) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("ping");
+  CampaignServer server(lib(), cfg);
+  server.start();
+  EXPECT_TRUE(server.running());
+
+  const auto pong = send_request(cfg.socket_path, "{\"cmd\":\"ping\"}");
+  ASSERT_EQ(pong.size(), 1u);
+  EXPECT_EQ(pong[0], "{\"ok\":true,\"cmd\":\"ping\"}");
+
+  const auto bad = send_request(cfg.socket_path, "{\"cmd\":\"nope\"}");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_NE(bad[0].find("\"error\""), std::string::npos);
+
+  const auto ack =
+      send_request(cfg.socket_path, "{\"cmd\":\"shutdown\"}");
+  ASSERT_EQ(ack.size(), 1u);
+  EXPECT_EQ(ack[0], "{\"ok\":true,\"cmd\":\"shutdown\"}");
+  server.wait();  // returns because shutdown was served
+  server.stop();
+  EXPECT_EQ(server.requests_served(), 3u);
+}
+
+TEST(CampaignServer, ConcurrentRequestsMatchOfflineExecution) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("campaign");
+  CampaignServer server(lib(), cfg);
+  server.start();
+
+  const std::string req1 =
+      "{\"cmd\":\"campaign\",\"workloads\":\"fir\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":2,"
+      "\"patterns\":300,\"train_patterns\":800,\"chips\":2}";
+  const std::string req2 =
+      "{\"cmd\":\"campaign\",\"workloads\":\"dot\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":2,"
+      "\"patterns\":300,\"train_patterns\":800,\"chips\":2}";
+
+  std::vector<std::string> r1, r2;
+  std::thread t1(
+      [&] { r1 = send_request(cfg.socket_path, req1); });
+  std::thread t2(
+      [&] { r2 = send_request(cfg.socket_path, req2); });
+  t1.join();
+  t2.join();
+  server.stop();
+
+  // Each stream: 2 triads x 2 chips = 4 cells plus the done footer.
+  ASSERT_EQ(r1.size(), 5u);
+  ASSERT_EQ(r2.size(), 5u);
+  EXPECT_NE(r1.back().find("\"done\":true,\"cells\":4"),
+            std::string::npos);
+  EXPECT_NE(r2.back().find("\"done\":true,\"cells\":4"),
+            std::string::npos);
+
+  // Offline reference: the same grids through run_campaign. The
+  // daemon streams the stored cell form, so everything but the
+  // wall-clock elapsed_s must match byte-for-byte.
+  CampaignConfig offline;
+  offline.circuits = {"rca16"};
+  offline.backends = {ArithBackend::kModel};
+  offline.max_triads = 2;
+  offline.characterize_patterns = 300;
+  offline.train_patterns = 800;
+  offline.fleet.num_chips = 2;
+  const auto strip = [](const std::string& line) {
+    return line.substr(0, line.find("\"elapsed_s\""));
+  };
+  const std::vector<std::string>* streams[] = {&r1, &r2};
+  const char* workloads[] = {"fir", "dot"};
+  for (int i = 0; i < 2; ++i) {
+    offline.workloads = {workloads[i]};
+    CampaignStore store;
+    const CampaignOutcome outcome = run_campaign(lib(), offline, store);
+    ASSERT_EQ(outcome.cells.size(), 4u);
+    for (std::size_t c = 0; c < outcome.cells.size(); ++c) {
+      const auto stored = store.find(outcome.cells[c].key);
+      ASSERT_TRUE(stored.has_value());
+      EXPECT_EQ(strip((*streams[i])[c]),
+                strip(CampaignStore::to_jsonl(*stored)))
+          << workloads[i] << " cell " << c;
+    }
+  }
+}
+
+TEST(CampaignServer, WarmStoreAnswersRepeatRequests) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("warm");
+  CampaignServer server(lib(), cfg);
+  server.start();
+  const std::string req =
+      "{\"cmd\":\"campaign\",\"workloads\":\"fir\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":1,"
+      "\"patterns\":300,\"train_patterns\":800}";
+  const auto first = send_request(cfg.socket_path, req);
+  const auto second = send_request(cfg.socket_path, req);
+  server.stop();
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  // Pass 1 computes, pass 2 answers everything from the warm store.
+  EXPECT_NE(first.back().find("\"reused\":0,\"computed\":1"),
+            std::string::npos);
+  EXPECT_NE(second.back().find("\"reused\":1,\"computed\":0"),
+            std::string::npos);
+  EXPECT_EQ(server.store().size(), 1u);
+}
+
+TEST(CampaignServer, RejectsBadRequestsAndBadSockets) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("errors");
+  CampaignServer server(lib(), cfg);
+  server.start();
+  const auto no_cmd = send_request(cfg.socket_path, "{}");
+  ASSERT_EQ(no_cmd.size(), 1u);
+  EXPECT_EQ(no_cmd[0], "{\"error\":\"missing cmd\"}");
+  // A campaign over an unknown workload streams an error, not a crash.
+  const auto bad = send_request(
+      cfg.socket_path,
+      "{\"cmd\":\"campaign\",\"workloads\":\"nope\"}");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_NE(bad[0].find("\"error\""), std::string::npos);
+  server.stop();
+  EXPECT_THROW(send_request(cfg.socket_path, "{\"cmd\":\"ping\"}"),
+               std::runtime_error);
+  CampaignServer unbindable(lib(), ServeConfig{});
+  EXPECT_THROW(unbindable.start(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vosim

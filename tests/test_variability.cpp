@@ -80,7 +80,7 @@ TEST(Variability, DeterministicAcrossThreadCounts) {
   const std::vector<OperatingTriad> triads{{cp, 0.7, 0.0},
                                            {cp, 0.8, 0.0}};
   VariabilityConfig serial = cfg;
-  serial.threads = 1;
+  serial.jobs = 1;
   const auto a = variability_study(rca, lib(), triads, serial);
   const auto b = variability_study(rca, lib(), triads, cfg);
   ASSERT_EQ(a.size(), b.size());

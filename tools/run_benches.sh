@@ -45,12 +45,38 @@
 #                    pattern counts and below it at small ones). A SIMD
 #                    build whose auto dispatch reports 64-lane words
 #                    fails unconditionally (silent fallback).
+#   VOSIM_MIN_FLEET_TPS
+#                    floor for FLEET_THROUGHPUT (chips/sec of the fleet
+#                    serving phase) printed by bench_fleet (default 20
+#                    at the default 200-pattern budget — a regression
+#                    tripwire for the per-chip closed-loop path).
+#   VOSIM_MIN_SHARD_EFFICIENCY
+#                    floor for the 4-shard parallel efficiency measured
+#                    by the fleet_shard pseudo-bench (default 0.7).
+#                    Enforced only when nproc >= 4: on fewer cores the
+#                    four concurrent shard processes time-share one
+#                    machine, so the figure is reported, not gated.
 #
 # After the bench set, a tiny smoke campaign (2 workloads x 1 circuit x
 # 4 triads on the model backend) runs twice through vosim_cli: the
 # second pass must resume every cell from the JSONL store. Emits
 # BENCH_campaign_smoke.json; the store is kept as campaign_smoke.jsonl
 # for CI artifact upload.
+#
+# Two more pseudo-benches ride along (DESIGN.md §11):
+#   fleet_shard  runs a 1000-chip fleet campaign once single-process
+#                and once as 4 concurrent shard processes, merges the
+#                shard stores (content-keyed, last-write-wins) and
+#                fails unless the merged store is bit-identical to the
+#                canonicalized single-process one. The merged store is
+#                kept as fleet_shard_merged.jsonl for CI upload.
+#   serve_smoke  starts the vosim_cli daemon on a Unix socket, issues
+#                two concurrent campaign requests, and fails unless the
+#                streamed cells are bit-identical to the same grids run
+#                offline.
+#
+# Finally the BENCH_*.json set is copied to the repo root so the perf
+# trajectory is tracked in-tree.
 set -u
 
 build_dir="${1:-build}"
@@ -67,28 +93,35 @@ out_dir="${VOSIM_BENCH_OUT:-${build_dir}}"
 mkdir -p "${out_dir}"
 out_dir="$(cd "${out_dir}" && pwd)"
 
-# "campaign_smoke" is a pseudo-bench: it selects the vosim_cli smoke
-# campaign below instead of a bench_* binary. With no arguments both
-# the full bench set and the smoke campaign run.
+# "campaign_smoke", "fleet_shard" and "serve_smoke" are pseudo-benches:
+# they select the vosim_cli-driven checks below instead of a bench_*
+# binary. With no arguments the full bench set and every pseudo-bench
+# run.
 run_smoke=0
+run_fleet_shard=0
+run_serve=0
 if [ "$#" -gt 0 ]; then
   benches=()
   for name in "$@"; do
-    if [ "${name}" = "campaign_smoke" ]; then
-      run_smoke=1
-    else
-      benches+=("${name}")
-    fi
+    case "${name}" in
+      campaign_smoke) run_smoke=1 ;;
+      fleet_shard) run_fleet_shard=1 ;;
+      serve_smoke) run_serve=1 ;;
+      *) benches+=("${name}") ;;
+    esac
   done
 else
   run_smoke=1
+  run_fleet_shard=1
+  run_serve=1
   benches=()
   for f in "${build_dir}"/bench_*; do
     [ -x "$f" ] && [ ! -d "$f" ] && benches+=("$(basename "$f")")
   done
 fi
 
-if [ "${#benches[@]}" -eq 0 ] && [ "${run_smoke}" -eq 0 ]; then
+if [ "${#benches[@]}" -eq 0 ] && [ "${run_smoke}" -eq 0 ] && \
+   [ "${run_fleet_shard}" -eq 0 ] && [ "${run_serve}" -eq 0 ]; then
   echo "error: no bench_* binaries in '${build_dir}'" >&2
   exit 2
 fi
@@ -245,6 +278,31 @@ for name in ${benches[@]+"${benches[@]}"}; do
       status=1
     fi
   fi
+  # bench_fleet characterizes the pipe2-mul8 ladder once and serves it
+  # to a chip-instance Monte-Carlo population; gate the serving-phase
+  # throughput (chips/sec — a regression tripwire for the per-chip
+  # closed-loop path) and carry the in-process parallel efficiency and
+  # fleet-wide energy spread into the JSON.
+  if [ "${name}" = "bench_fleet" ] && [ "${status}" -eq 0 ]; then
+    fleet_tps=$(sed -n 's/^FLEET_THROUGHPUT //p' "${log}" | tail -n 1)
+    fleet_eff=$(sed -n 's/^FLEET_PARALLEL_EFFICIENCY //p' "${log}" | tail -n 1)
+    fleet_spread=$(sed -n 's/^FLEET_ENERGY_SPREAD_PCT //p' "${log}" | tail -n 1)
+    if [ -n "${fleet_tps}" ]; then
+      engine_fields=",
+  \"fleet_throughput_cps\": ${fleet_tps},
+  \"fleet_parallel_efficiency\": ${fleet_eff:-0},
+  \"fleet_energy_spread_pct\": ${fleet_spread:-0}"
+      min_tps="${VOSIM_MIN_FLEET_TPS:-20}"
+      if ! awk -v s="${fleet_tps}" -v m="${min_tps}" \
+           'BEGIN{exit !(s >= m)}'; then
+        echo "FAIL ${name}: fleet throughput ${fleet_tps} chips/s < ${min_tps} floor" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing FLEET_THROUGHPUT in log" >&2
+      status=1
+    fi
+  fi
   cat >"${json}" <<EOF
 {
   "bench": "${name}",
@@ -316,6 +374,208 @@ EOF
   else
     echo "ok   campaign_smoke (${wall_s}s, ${reused}/${cells} cells resumed) -> BENCH_campaign_smoke.json"
   fi
+fi
+
+# ---- fleet_shard: sharded fleet campaign, merge bit-identity ----
+# A 1000-chip Monte-Carlo grid (fir on rca16, per-chip gate-level
+# levelized sim) runs once in a single process and once as 4 shard
+# processes. Chip corners and the shard partition are content-hashed
+# (DESIGN.md §11), so the merged shard stores must be bit-identical to
+# the canonicalized single-process store; elapsed_s is the only
+# legitimately differing field and --strip-timing zeroes it.
+if [ "${run_fleet_shard}" -eq 1 ]; then
+  total=$((total + 1))
+  cli="${build_dir}/vosim_cli"
+  fs_status=0
+  fs_dir="${out_dir}/fleet_shard"
+  log="${out_dir}/fleet_shard.log"
+  fs_chips=1000
+  fs_shards=4
+  fs_args=(campaign --workloads fir --circuits rca16
+           --backends sim-levelized --max-triads 1
+           --chips "${fs_chips}" --patterns 300 --jobs 1)
+  rm -rf "${fs_dir}"
+  mkdir -p "${fs_dir}"
+  : >"${log}"
+  cells=0
+  single_s=0
+  shard_s=0
+  eff=0
+  start_ns=$(date +%s%N)
+  if [ -x "${cli}" ]; then
+    t0=$(date +%s%N)
+    (cd "${fs_dir}" && "${cli}" "${fs_args[@]}" --store single.jsonl \
+       >>"${log}" 2>&1) || fs_status=1
+    t1=$(date +%s%N)
+    # The shard processes run concurrently: shard wall time vs the
+    # single-process time is the parallel-efficiency measurement.
+    pids=()
+    for i in $(seq 0 $((fs_shards - 1))); do
+      (cd "${fs_dir}" && "${cli}" "${fs_args[@]}" \
+         --shard "${i}/${fs_shards}" --store "shard${i}.jsonl" \
+         >>"${log}" 2>&1) &
+      pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+      wait "${pid}" || fs_status=1
+    done
+    t2=$(date +%s%N)
+    single_s=$(awk -v a="${t0}" -v b="${t1}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+    shard_s=$(awk -v a="${t1}" -v b="${t2}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+    shard_files=()
+    for i in $(seq 0 $((fs_shards - 1))); do
+      shard_files+=("shard${i}.jsonl")
+    done
+    (cd "${fs_dir}" && "${cli}" merge-store merged.jsonl \
+       "${shard_files[@]}" --strip-timing >>"${log}" 2>&1) || fs_status=1
+    (cd "${fs_dir}" && "${cli}" merge-store canonical.jsonl single.jsonl \
+       --strip-timing >>"${log}" 2>&1) || fs_status=1
+    if ! cmp -s "${fs_dir}/merged.jsonl" "${fs_dir}/canonical.jsonl"; then
+      echo "FAIL fleet_shard: ${fs_shards}-shard merge differs from the single-process store" >&2
+      fs_status=1
+    fi
+    cells=$(wc -l <"${fs_dir}/canonical.jsonl" 2>/dev/null || echo 0)
+    if [ "${cells:-0}" -lt "${fs_chips}" ]; then
+      echo "FAIL fleet_shard: ${cells} cells < ${fs_chips} chip instances" >&2
+      fs_status=1
+    fi
+    eff=$(awk -v s="${single_s}" -v p="${shard_s}" -v n="${fs_shards}" \
+          'BEGIN{printf "%.3f", (p > 0) ? s / (n * p) : 0}')
+    min_eff="${VOSIM_MIN_SHARD_EFFICIENCY:-0.7}"
+    cores=$(nproc 2>/dev/null || echo 1)
+    if [ "${cores}" -ge "${fs_shards}" ]; then
+      if ! awk -v e="${eff}" -v m="${min_eff}" 'BEGIN{exit !(e >= m)}'; then
+        echo "FAIL fleet_shard: shard efficiency ${eff} < ${min_eff} floor on ${cores} cores" >&2
+        fs_status=1
+      fi
+    else
+      echo "note fleet_shard: efficiency ${eff} reported, gate skipped (${cores} < ${fs_shards} cores)"
+    fi
+    cp -f "${fs_dir}/merged.jsonl" "${out_dir}/fleet_shard_merged.jsonl"
+  else
+    echo "FAIL fleet_shard: missing ${cli}" >&2
+    fs_status=1
+  fi
+  end_ns=$(date +%s%N)
+  wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+  cat >"${out_dir}/BENCH_fleet_shard.json" <<EOF
+{
+  "bench": "fleet_shard",
+  "chips": ${fs_chips},
+  "shards": ${fs_shards},
+  "grid_cells": ${cells:-0},
+  "single_process_seconds": ${single_s},
+  "sharded_wall_seconds": ${shard_s},
+  "shard_efficiency": ${eff},
+  "wall_seconds": ${wall_s},
+  "exit_code": ${fs_status},
+  "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "log": "fleet_shard.log",
+  "store": "fleet_shard_merged.jsonl"
+}
+EOF
+  if [ "${fs_status}" -ne 0 ]; then
+    echo "FAIL fleet_shard (${wall_s}s) -> BENCH_fleet_shard.json"
+    failures=$((failures + 1))
+  else
+    echo "ok   fleet_shard (${wall_s}s, ${cells} cells, efficiency ${eff}) -> BENCH_fleet_shard.json"
+  fi
+fi
+
+# ---- serve_smoke: the daemon answers concurrent requests exactly ----
+# Starts vosim_cli serve on a Unix socket, issues two campaign
+# requests concurrently, then proves the streamed cells are
+# bit-identical to the same grids run offline (after canonicalization;
+# elapsed_s is wall clock and gets stripped on both sides).
+if [ "${run_serve}" -eq 1 ]; then
+  total=$((total + 1))
+  cli="${build_dir}/vosim_cli"
+  sv_status=0
+  sv_dir="${out_dir}/serve_smoke"
+  log="${out_dir}/serve_smoke.log"
+  rm -rf "${sv_dir}"
+  mkdir -p "${sv_dir}"
+  : >"${log}"
+  sock="${sv_dir}/vosim.sock"
+  req1='{"cmd":"campaign","workloads":"fir","circuits":"rca16","backends":"model","max_triads":2,"patterns":300,"train_patterns":800,"chips":3}'
+  req2='{"cmd":"campaign","workloads":"dot","circuits":"rca16","backends":"model","max_triads":2,"patterns":300,"train_patterns":800,"chips":3}'
+  start_ns=$(date +%s%N)
+  if [ -x "${cli}" ]; then
+    (cd "${sv_dir}" && "${cli}" serve --socket "${sock}" \
+       --store serve_store.jsonl >>"${log}" 2>&1) &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+      [ -S "${sock}" ] && break
+      sleep 0.1
+    done
+    if [ ! -S "${sock}" ]; then
+      echo "FAIL serve_smoke: daemon socket never appeared" >&2
+      sv_status=1
+      kill "${serve_pid}" 2>/dev/null
+    else
+      "${cli}" request --socket "${sock}" --json "${req1}" \
+        >"${sv_dir}/r1.txt" 2>>"${log}" &
+      p1=$!
+      "${cli}" request --socket "${sock}" --json "${req2}" \
+        >"${sv_dir}/r2.txt" 2>>"${log}" &
+      p2=$!
+      wait "${p1}" || sv_status=1
+      wait "${p2}" || sv_status=1
+      "${cli}" request --socket "${sock}" --json '{"cmd":"shutdown"}' \
+        >>"${log}" 2>&1 || sv_status=1
+    fi
+    wait "${serve_pid}" || sv_status=1
+    for r in r1 r2; do
+      if ! grep -q '"done":true' "${sv_dir}/${r}.txt" 2>/dev/null; then
+        echo "FAIL serve_smoke: request ${r} missing the done footer" >&2
+        sv_status=1
+      fi
+    done
+    grep -hv '"done":true' "${sv_dir}/r1.txt" "${sv_dir}/r2.txt" \
+      2>/dev/null >"${sv_dir}/served_cells.jsonl"
+    (cd "${sv_dir}" && "${cli}" campaign --workloads fir,dot \
+       --circuits rca16 --backends model --max-triads 2 --patterns 300 \
+       --train-patterns 800 --chips 3 --store offline.jsonl \
+       >>"${log}" 2>&1) || sv_status=1
+    (cd "${sv_dir}" && "${cli}" merge-store served_canon.jsonl \
+       served_cells.jsonl --strip-timing >>"${log}" 2>&1) || sv_status=1
+    (cd "${sv_dir}" && "${cli}" merge-store offline_canon.jsonl \
+       offline.jsonl --strip-timing >>"${log}" 2>&1) || sv_status=1
+    if ! cmp -s "${sv_dir}/served_canon.jsonl" \
+         "${sv_dir}/offline_canon.jsonl"; then
+      echo "FAIL serve_smoke: served cells differ from the offline campaign" >&2
+      sv_status=1
+    fi
+  else
+    echo "FAIL serve_smoke: missing ${cli}" >&2
+    sv_status=1
+  fi
+  end_ns=$(date +%s%N)
+  wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+  served=$(wc -l <"${sv_dir}/served_cells.jsonl" 2>/dev/null || echo 0)
+  cat >"${out_dir}/BENCH_serve_smoke.json" <<EOF
+{
+  "bench": "serve_smoke",
+  "served_cells": ${served:-0},
+  "wall_seconds": ${wall_s},
+  "exit_code": ${sv_status},
+  "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "log": "serve_smoke.log"
+}
+EOF
+  if [ "${sv_status}" -ne 0 ]; then
+    echo "FAIL serve_smoke (${wall_s}s) -> BENCH_serve_smoke.json"
+    failures=$((failures + 1))
+  else
+    echo "ok   serve_smoke (${wall_s}s, ${served} cells served) -> BENCH_serve_smoke.json"
+  fi
+fi
+
+# Track the perf trajectory in-tree: whatever BENCH_*.json this run
+# refreshed is copied to the repo root (the canonical committed set).
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+if [ "${out_dir}" != "${repo_root}" ]; then
+  cp -f "${out_dir}"/BENCH_*.json "${repo_root}/" 2>/dev/null || true
 fi
 
 echo "bench results: $((total - failures))/${total} ok, JSON in ${out_dir}"

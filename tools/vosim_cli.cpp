@@ -17,6 +17,13 @@
 //                      [--store campaign.jsonl] [--quality-floor F]
 //                      [--patterns N] [--train-patterns N] [--seed S]
 //                      [--max-triads N] [--jobs N] [--csv out.csv]
+//                      [--chips N] [--fleet-seed S] [--shard i/N]
+//   vosim_cli merge-store <out.jsonl> <in1.jsonl> [in2.jsonl ...]
+//                      [--strip-timing]
+//   vosim_cli fleet [circuit] [--chips N] [--cycles N] [--patterns N]
+//                      [--speed-sigma S] [--leakage-sigma S] [--jobs N]
+//   vosim_cli serve --socket PATH [--store FILE] [--jobs N]
+//   vosim_cli request --socket PATH --json '{"cmd":"..."}'
 //
 // <circuit> is either a registry spec — rca8, bka16, mul8-array,
 // mul8-wallace, tree8x8, mac4x8, loa8-4, … (also accepted via
@@ -50,6 +57,11 @@ int usage(const std::string& program) {
       << "  triads        list the Table-III operating triads\n"
       << "  campaign      resumable workload x circuit x triad x backend\n"
       << "                quality-energy sweep with Pareto fronts\n"
+      << "  merge-store   content-keyed union of shard-local stores\n"
+      << "  fleet         closed-loop rung/energy distribution across a\n"
+      << "                population of process-corner chip instances\n"
+      << "  serve         long-lived sweep daemon on a Unix socket\n"
+      << "  request       send one JSON request to a serve daemon\n"
       << known_circuits_help() << "\n"
       << known_seq_circuits_help() << "\n"
       << known_workloads_help() << "\n"
@@ -67,7 +79,10 @@ int usage(const std::string& program) {
       << "          backends: exact model sim-event sim-levelized sim-seq)\n"
       << "          --store FILE (JSONL; resumes finished cells)\n"
       << "          --quality-floor F --train-patterns N --seed S\n"
-      << "          --max-triads N --jobs N\n";
+      << "          --max-triads N --jobs N\n"
+      << "          --chips N (fleet chip axis) --fleet-seed S\n"
+      << "          --shard i/N (this process computes the content-hashed\n"
+      << "            1/N of the grid; merge-store unions shard stores)\n";
   return 2;
 }
 
@@ -187,6 +202,19 @@ DistanceMetric parse_metric(const std::string& name) {
   throw std::invalid_argument("unknown metric: " + name);
 }
 
+/// Parses "--shard i/N" into the config's shard fields.
+void parse_shard(const ArgParser& args, CampaignConfig& cfg) {
+  if (!args.has("shard")) return;
+  const std::string spec = args.get("shard", "0/1");
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos)
+    throw std::invalid_argument("bad --shard (expected i/N)");
+  cfg.shard_index =
+      static_cast<std::size_t>(std::stoul(spec.substr(0, slash)));
+  cfg.shard_count =
+      static_cast<std::size_t>(std::stoul(spec.substr(slash + 1)));
+}
+
 /// The campaign subcommand: a resumable quality-energy sweep over the
 /// workload x circuit x triad x backend grid with Pareto aggregation.
 int run_campaign_command(const ArgParser& args) {
@@ -204,6 +232,15 @@ int run_campaign_command(const ArgParser& args) {
   cfg.max_triads =
       static_cast<std::size_t>(args.get_int("max-triads", 0));
   cfg.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  cfg.fleet.num_chips =
+      static_cast<std::size_t>(args.get_int("chips", 0));
+  cfg.fleet.seed =
+      static_cast<std::uint64_t>(args.get_int("fleet-seed", 7));
+  cfg.fleet.speed_sigma =
+      args.get_double("chip-speed-sigma", cfg.fleet.speed_sigma);
+  cfg.fleet.leakage_sigma =
+      args.get_double("chip-leakage-sigma", cfg.fleet.leakage_sigma);
+  parse_shard(args, cfg);
   cfg.progress = &std::cerr;
   const double floor = args.get_double("quality-floor", 0.9);
 
@@ -256,6 +293,108 @@ int run_campaign_command(const ArgParser& args) {
   return 0;
 }
 
+/// merge-store <out> <in...>: content-keyed last-write-wins union of
+/// shard-local stores, written in canonical key order (also a
+/// canonicalizer for a single store — see merge_stores()).
+int run_merge_store(const ArgParser& args) {
+  const auto& pos = args.positional();
+  if (pos.size() < 3)
+    throw std::invalid_argument(
+        "merge-store needs <out.jsonl> <in1.jsonl> [in2.jsonl ...]");
+  const std::vector<std::string> inputs(pos.begin() + 2, pos.end());
+  const MergeStats stats =
+      merge_stores(inputs, pos[1], args.has("strip-timing"));
+  std::cout << "merged " << stats.files << " stores: " << stats.lines
+            << " lines, " << stats.skipped << " skipped, "
+            << stats.cells << " cells -> " << pos[1] << "\n";
+  return 0;
+}
+
+/// fleet [circuit]: the closed-loop rung/energy distribution across a
+/// population of content-hashed process-corner chip instances.
+int run_fleet_command(const ArgParser& args) {
+  FleetStudyConfig cfg;
+  if (args.has("circuit")) cfg.circuit = args.get("circuit", cfg.circuit);
+  else if (args.positional().size() >= 2) cfg.circuit = args.positional()[1];
+  cfg.fleet.num_chips =
+      static_cast<std::size_t>(args.get_int("chips", 25));
+  cfg.fleet.seed =
+      static_cast<std::uint64_t>(args.get_int("fleet-seed", 7));
+  cfg.fleet.speed_sigma =
+      args.get_double("speed-sigma", cfg.fleet.speed_sigma);
+  cfg.fleet.leakage_sigma =
+      args.get_double("leakage-sigma", cfg.fleet.leakage_sigma);
+  cfg.fleet.within_die_sigma =
+      args.get_double("within-sigma", cfg.fleet.within_die_sigma);
+  cfg.ladder_patterns =
+      static_cast<std::size_t>(args.get_int("patterns", 2000));
+  cfg.cycles = static_cast<std::size_t>(args.get_int("cycles", 4096));
+  cfg.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+
+  const FleetOutcome out = run_fleet_study(make_fdsoi28_lvt(), cfg);
+  std::cout << "fleet: " << cfg.circuit << ", "
+            << cfg.fleet.num_chips << " chips, " << cfg.cycles
+            << " cycles each, " << out.ladder.size()
+            << "-rung ladder\n\n";
+  TextTable ladder_t({"rung", "triad", "E/cycle [fJ]", "char. BER [%]",
+                      "chips ending here"});
+  for (std::size_t r = 0; r < out.ladder.size(); ++r)
+    ladder_t.add_row({std::to_string(r), triad_label(out.ladder[r].triad),
+                      format_double(out.ladder[r].energy_per_op_fj, 1),
+                      format_double(out.ladder[r].expected_ber * 100.0, 2),
+                      std::to_string(out.rung_histogram[r])});
+  ladder_t.print(std::cout);
+
+  TextTable spread_t({"metric", "mean", "stddev", "min", "median", "max"});
+  spread_t.add_row({"E/cycle [fJ]", format_double(out.energy_fj.mean, 2),
+                    format_double(out.energy_fj.stddev, 2),
+                    format_double(out.energy_fj.min, 2),
+                    format_double(out.energy_fj.median, 2),
+                    format_double(out.energy_fj.max, 2)});
+  spread_t.add_row({"final rung", format_double(out.final_rung.mean, 2),
+                    format_double(out.final_rung.stddev, 2),
+                    format_double(out.final_rung.min, 0),
+                    format_double(out.final_rung.median, 0),
+                    format_double(out.final_rung.max, 0)});
+  spread_t.print(std::cout);
+  return 0;
+}
+
+/// serve: the long-lived sweep daemon. Runs until a client sends
+/// {"cmd":"shutdown"}.
+int run_serve_command(const ArgParser& args) {
+  ServeConfig cfg;
+  cfg.socket_path = args.get("socket", "");
+  if (cfg.socket_path.empty())
+    throw std::invalid_argument("serve needs --socket PATH");
+  cfg.store_path = args.get("store", "");
+  cfg.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  CampaignServer server(make_fdsoi28_lvt(), cfg);
+  server.start();
+  std::cout << "serving on " << server.socket_path()
+            << (cfg.store_path.empty() ? ""
+                                       : " (store: " + cfg.store_path + ")")
+            << "\n"
+            << std::flush;
+  server.wait();
+  server.stop();
+  std::cout << "served " << server.requests_served()
+            << " requests, shutting down\n";
+  return 0;
+}
+
+/// request: one-shot client for the serve daemon; prints every
+/// streamed response line.
+int run_request_command(const ArgParser& args) {
+  const std::string socket = args.get("socket", "");
+  if (socket.empty())
+    throw std::invalid_argument("request needs --socket PATH");
+  const std::string json = args.get("json", "{\"cmd\":\"ping\"}");
+  for (const std::string& line : send_request(socket, json))
+    std::cout << line << "\n";
+  return 0;
+}
+
 int run(const ArgParser& args) {
   // Process-wide levelized lane-width override: beats VOSIM_LANE_WIDTH
   // and the 64-lane auto default everywhere downstream (make_engine,
@@ -272,6 +411,10 @@ int run(const ArgParser& args) {
   if (args.positional().empty()) return usage(args.program());
   const std::string command = args.positional()[0];
   if (command == "campaign") return run_campaign_command(args);
+  if (command == "merge-store") return run_merge_store(args);
+  if (command == "fleet") return run_fleet_command(args);
+  if (command == "serve") return run_serve_command(args);
+  if (command == "request") return run_request_command(args);
   std::string spec;
   try {
     spec = circuit_spec(args);
@@ -324,6 +467,7 @@ int run(const ArgParser& args) {
     vcfg.variation_sigma = args.get_double("sigma", 0.05);
     vcfg.num_patterns = static_cast<std::size_t>(
         args.get_int("patterns", 3000));
+    vcfg.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
     vcfg.engine = engine;
     const OperatingTriad triad{
         args.get_double("tclk", rep.critical_path_ns),
