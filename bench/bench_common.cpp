@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "src/obs/metrics.hpp"
+
 namespace vosim::bench {
 
 std::vector<Benchmark> paper_benchmarks() {
@@ -45,7 +47,23 @@ CharacterizeConfig bench_config() {
   return cfg;
 }
 
+void emit_metrics_at_exit() {
+  // One exit-time metrics line per bench process: run_benches.sh folds
+  // it into the bench's BENCH_*.json as a "metrics" block.
+  // <iostream>'s ios_base::Init keeps std::cout alive through atexit
+  // handlers.
+  static const bool metrics_registered = [] {
+    std::atexit([] {
+      std::cout << "BENCH_METRICS_JSON "
+                << obs::metrics().snapshot().to_json() << "\n";
+    });
+    return true;
+  }();
+  (void)metrics_registered;
+}
+
 void print_header(const std::string& title, const std::string& paper_ref) {
+  emit_metrics_at_exit();
   std::cout << "\n================================================================\n"
             << title << "\n"
             << "reproduces: " << paper_ref << "\n"

@@ -46,6 +46,11 @@ CharacterizeConfig bench_config();
 /// Prints a section header for harness output.
 void print_header(const std::string& title, const std::string& paper_ref);
 
+/// Registers the exit-time BENCH_METRICS_JSON telemetry line (once per
+/// process). print_header does this implicitly; benches without a
+/// header (google-benchmark mains) call it directly.
+void emit_metrics_at_exit();
+
 }  // namespace vosim::bench
 
 #endif  // VOSIM_BENCH_BENCH_COMMON_HPP

@@ -294,6 +294,7 @@ void report_wide_speedup() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  vosim::bench::emit_metrics_at_exit();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

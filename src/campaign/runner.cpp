@@ -12,6 +12,8 @@
 #include "src/fleet/fleet.hpp"
 #include "src/model/vos_model.hpp"
 #include "src/netlist/dut.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/seq/seq_dut.hpp"
 #include "src/seq/seq_sim.hpp"
 #include "src/sim/vos_dut.hpp"
@@ -129,7 +131,13 @@ void prepare_context(const CellLibrary& lib, const CampaignConfig& config,
   if (progress != nullptr)
     *progress << "campaign: characterizing " << ctx.dut.display_name
               << " over " << ctx.triads.size() << " triads\n";
-  ctx.characterized = characterize_dut(ctx.dut, lib, ctx.triads, ccfg);
+  {
+    obs::ScopedSpan span("campaign.characterize", "campaign");
+    span.arg("circuit", ctx.dut.display_name)
+        .arg("triads", static_cast<std::uint64_t>(ctx.triads.size()));
+    obs::metrics().counter("campaign.characterize.calls").add();
+    ctx.characterized = characterize_dut(ctx.dut, lib, ctx.triads, ccfg);
+  }
 
   std::vector<std::size_t> to_train;
   for (std::size_t t = 0; t < model_triads.size(); ++t)
@@ -138,6 +146,10 @@ void prepare_context(const CellLibrary& lib, const CampaignConfig& config,
   if (progress != nullptr)
     *progress << "campaign: training " << to_train.size()
               << " models for " << ctx.dut.display_name << "\n";
+  obs::ScopedSpan train_span("campaign.train", "campaign");
+  train_span.arg("circuit", ctx.dut.display_name)
+      .arg("models", static_cast<std::uint64_t>(to_train.size()));
+  obs::metrics().counter("campaign.train.calls").add(to_train.size());
   ctx.models.resize(ctx.triads.size());
   auto& ctx_ref = ctx;
   parallel_for(
@@ -221,10 +233,15 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
   // consulted).
   std::vector<CircuitContext> contexts;
   contexts.reserve(config.circuits.size());
-  for (const std::string& spec : config.circuits)
-    contexts.push_back(make_context(lib, config, spec, adder_width,
-                                    needs_model, needs_gate_level,
-                                    needs_seq));
+  {
+    obs::ScopedSpan span("campaign.synth", "campaign");
+    span.arg("circuits",
+             static_cast<std::uint64_t>(config.circuits.size()));
+    for (const std::string& spec : config.circuits)
+      contexts.push_back(make_context(lib, config, spec, adder_width,
+                                      needs_model, needs_gate_level,
+                                      needs_seq));
+  }
 
   // Phase 2 — enumerate the grid, answer finished cells from the store
   // and queue the rest.
@@ -248,6 +265,11 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
   CampaignOutcome outcome;
   std::vector<PendingCell> pending;
   std::set<std::string> enumerated;  // dedup repeated axis entries
+  // Store-lookup accounting: these count per lookup in the loop below,
+  // so a snapshot's hit/miss exactly equals reused/computed (test_obs).
+  obs::Counter& hit_counter = obs::metrics().counter("campaign.cache.hit");
+  obs::Counter& miss_counter =
+      obs::metrics().counter("campaign.cache.miss");
   for (std::size_t w = 0; w < workloads.size(); ++w) {
     for (std::size_t c = 0; c < contexts.size(); ++c) {
       for (std::size_t t = 0; t < contexts[c].triads.size(); ++t) {
@@ -283,9 +305,11 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             if (hit.has_value()) {
               outcome.cells.push_back(*hit);
               ++outcome.reused;
+              hit_counter.add();
             } else {
               outcome.cells.push_back(CampaignCell{});  // filled below
               pending.push_back({slot, w, c, t, backend, key});
+              miss_counter.add();
             }
           }
         }
@@ -322,6 +346,8 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
 
   // Phase 3 — run the missing cells on the pool. Cells are coarse
   // (one full workload run), so index-claiming costs are negligible.
+  obs::ScopedSpan execute_span("campaign.execute", "campaign");
+  execute_span.arg("pending", static_cast<std::uint64_t>(pending.size()));
   auto& cells = outcome.cells;
   parallel_for(
       pending.size(),
@@ -330,6 +356,11 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
         const Workload& wl = workloads[p.workload];
         const CircuitContext& ctx = contexts[p.circuit];
         const TriadResult& tr = ctx.characterized[p.triad];
+        obs::ScopedSpan cell_span("campaign.cell", "campaign");
+        cell_span.arg("workload", wl.name)
+            .arg("circuit", p.key.circuit)
+            .arg("backend", p.key.backend)
+            .arg("chip", p.key.chip);
         const auto t0 = std::chrono::steady_clock::now();
 
         QualityResult q;
@@ -407,6 +438,9 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
+        obs::metrics()
+            .histogram("campaign.cell.seconds." + cell.key.backend)
+            .observe(cell.elapsed_s);
         store.insert(cell);  // append-on-complete
         cells[p.slot] = cell;
       },

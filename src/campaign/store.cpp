@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/manifest.hpp"
+
 namespace vosim {
 
 namespace jsonl {
@@ -82,9 +84,27 @@ CampaignStore::CampaignStore(std::string path) : path_(std::move(path)) {
   std::string line;
   while (std::getline(in, line)) {
     const auto cell = parse_jsonl(line);
-    if (cell.has_value())
+    if (cell.has_value()) {
       cells_.insert_or_assign(cell->key.to_string(), *cell);
+    } else if (obs::RunManifest::is_manifest_line(line)) {
+      manifest_line_ = line;  // last manifest wins, like cells
+    }
   }
+}
+
+const std::string& CampaignStore::manifest_line() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return manifest_line_;
+}
+
+void CampaignStore::write_header(const std::string& line) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (path_.empty() || !manifest_line_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  if (!out)
+    throw std::runtime_error("campaign store: cannot append to " + path_);
+  out << line << '\n';
+  manifest_line_ = line;
 }
 
 std::size_t CampaignStore::size() const {
@@ -193,7 +213,13 @@ MergeStats merge_stores(const std::vector<std::string>& inputs,
       ++stats.lines;
       auto cell = CampaignStore::parse_jsonl(line);
       if (!cell.has_value()) {
-        ++stats.skipped;
+        // Run-manifest headers describe one producing run, so a merged
+        // store keeps none of them; they are excluded, not "malformed".
+        if (obs::RunManifest::is_manifest_line(line)) {
+          ++stats.manifests;
+        } else {
+          ++stats.skipped;
+        }
         continue;
       }
       merged.insert_or_assign(cell->key.to_string(), *cell);

@@ -83,6 +83,17 @@ class CampaignStore {
   /// All cells in canonical key order.
   std::vector<CampaignCell> cells() const;
 
+  /// Run-manifest header line found on load ("" when none — every
+  /// pre-manifest store). Manifest lines are intentionally not
+  /// parseable as cells, so old readers skip them (see src/obs).
+  const std::string& manifest_line() const;
+
+  /// Writes `line` as the store's manifest header. Appends only when
+  /// the store is file-backed and no manifest is present yet, so
+  /// re-running a campaign against an existing store never duplicates
+  /// the header (first writer wins, like the cells it describes).
+  void write_header(const std::string& line);
+
   /// One cell as a single JSONL line (no trailing newline).
   static std::string to_jsonl(const CampaignCell& cell);
   /// Parses a line written by to_jsonl; nullopt when malformed.
@@ -91,15 +102,17 @@ class CampaignStore {
  private:
   mutable std::mutex m_;
   std::string path_;
+  std::string manifest_line_;
   std::map<std::string, CampaignCell> cells_;
 };
 
 /// merge_stores accounting.
 struct MergeStats {
-  std::size_t files = 0;    ///< input files read
-  std::size_t lines = 0;    ///< lines seen across all inputs
-  std::size_t skipped = 0;  ///< malformed lines dropped
-  std::size_t cells = 0;    ///< unique cells written to the output
+  std::size_t files = 0;      ///< input files read
+  std::size_t lines = 0;      ///< lines seen across all inputs
+  std::size_t skipped = 0;    ///< malformed lines dropped
+  std::size_t manifests = 0;  ///< run-manifest headers excluded
+  std::size_t cells = 0;      ///< unique cells written to the output
 };
 
 /// Content-keyed merge of shard-local stores: reads every input in

@@ -16,9 +16,10 @@ DieSpread spread_of(std::vector<double> samples) {
   s.stddev = rs.stddev();
   s.min = rs.min();
   s.max = rs.max();
-  s.q25 = quantile(samples, 0.25);
-  s.median = quantile(samples, 0.50);
-  s.q75 = quantile(samples, 0.75);
+  const auto qs = quantiles(std::move(samples), {0.25, 0.50, 0.75});
+  s.q25 = qs[0];
+  s.median = qs[1];
+  s.q75 = qs[2];
   return s;
 }
 

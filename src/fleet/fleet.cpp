@@ -5,6 +5,8 @@
 
 #include "src/characterize/characterizer.hpp"
 #include "src/characterize/triads.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/seq/seq_dut.hpp"
 #include "src/seq/seq_report.hpp"
 #include "src/util/contracts.hpp"
@@ -74,7 +76,12 @@ FleetOutcome run_fleet_study(const CellLibrary& lib,
   ccfg.engine = EngineKind::kLevelized;
   ccfg.threads = config.jobs;
   const auto t0 = std::chrono::steady_clock::now();
-  const auto lev = characterize_seq_dut(seq, lib, triads, ccfg);
+  const auto lev = [&] {
+    obs::ScopedSpan span("fleet.ladder", "fleet");
+    span.arg("circuit", config.circuit)
+        .arg("triads", static_cast<std::uint64_t>(triads.size()));
+    return characterize_seq_dut(seq, lib, triads, ccfg);
+  }();
   const auto t1 = std::chrono::steady_clock::now();
 
   FleetOutcome out;
@@ -104,10 +111,23 @@ FleetOutcome run_fleet_study(const CellLibrary& lib,
 
   out.chips.resize(config.fleet.num_chips);
   auto& chips = out.chips;
+  obs::metrics().counter("fleet.chips").add(config.fleet.num_chips);
+  obs::LatencyHisto& chip_seconds =
+      obs::metrics().histogram("fleet.chip.seconds");
+  obs::Counter& switch_counter =
+      obs::metrics().counter("fleet.controller.switches");
+  obs::Counter& flagged_counter =
+      obs::metrics().counter("fleet.cycles.flagged");
+  obs::ScopedSpan serve_span("fleet.serve", "fleet");
+  serve_span.arg("chips",
+                 static_cast<std::uint64_t>(config.fleet.num_chips));
   const auto t2 = std::chrono::steady_clock::now();
   parallel_for(
       config.fleet.num_chips,
       [&](std::size_t i) {
+        obs::ScopedSpan chip_span("fleet.chip", "fleet");
+        chip_span.arg("chip", static_cast<std::uint64_t>(i + 1));
+        obs::ScopedTimer chip_timer(chip_seconds);
         const ChipInstance chip =
             draw_chip_instance(config.fleet, i + 1);  // chips are 1-based
         ClosedLoopSeqUnit unit(
@@ -128,6 +148,8 @@ FleetOutcome run_fleet_study(const CellLibrary& lib,
           ++valid;
           if (r.cycle.captured != r.cycle.expected) ++wrong;
         }
+        switch_counter.add(oc.switches);
+        flagged_counter.add(flagged);
         oc.flagged_rate = static_cast<double>(flagged) /
                           static_cast<double>(config.cycles);
         oc.error_rate =

@@ -1,0 +1,156 @@
+// Process-wide telemetry metrics: named counters, gauges, and latency
+// histograms behind a single registry (DESIGN.md §12).
+//
+// Hot-path writes are lock-free: each Counter holds a small array of
+// cache-line-padded atomic shards and a thread picks its shard once
+// (thread-local), so concurrent increments from the thread pool never
+// contend on one line. Latency histograms shard the same way, each
+// shard guarded by a spinlock that is only ever contended by
+// snapshot(). The registry mutex is touched only on first lookup of a
+// name and on snapshot — instrumented code caches the returned
+// reference in a function-local static. Registered metrics are never
+// deallocated (reset() zeroes values in place), so cached references
+// stay valid for the life of the process.
+//
+// Naming scheme: dot-separated lowercase path, subsystem first —
+// "campaign.cache.hit", "serve.request.seconds", "sim.levelized.patterns".
+// Histograms observe seconds on a log10 scale.
+#ifndef VOSIM_OBS_METRICS_HPP
+#define VOSIM_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/util/stats.hpp"
+
+namespace vosim::obs {
+
+/// Number of per-thread shards per counter/histogram. Threads hash to
+/// a shard by a process-wide round-robin thread slot; more threads
+/// than shards just share (correctness is unaffected, only contention).
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Round-robin slot for the calling thread, assigned on first use.
+unsigned thread_shard() noexcept;
+
+/// Monotonic event counter. Increments are relaxed atomic adds on a
+/// thread-local shard; value() sums the shards (racy reads are fine —
+/// the value is monotonic and snapshot consistency is per-counter).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-value / up-down metric (e.g. concurrent connections). A single
+/// atomic double; add() is a CAS loop — gauges are not hot-path.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept;
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Latency distribution in seconds: fixed log10-second buckets
+/// (1e-7 s .. 1e2 s) plus running mean/min/max, sharded per thread.
+/// observe() takes a spinlock on the caller's shard — uncontended in
+/// steady state, so the cost is two atomic ops plus the bucket add.
+class LatencyHisto {
+ public:
+  LatencyHisto();
+
+  void observe(double seconds) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;  ///< bucket-interpolated (one-bucket resolution)
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  /// Merges the shards (Histogram::merge / RunningStats::merge) and
+  /// interpolates the quantiles out of the log-bucket counts.
+  Snapshot snapshot() const;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    Histogram hist;
+    RunningStats stats;
+    Shard();
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Full registry snapshot, ready for JSON serialization.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencyHisto::Snapshot> histograms;
+
+  /// Single-line JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":
+  ///  {"count":N,"mean":...,"p50":...,...},...}}
+  std::string to_json() const;
+};
+
+/// Name -> metric registry. Lookup locks a mutex; instrumented code
+/// should cache the returned reference (function-local static) so the
+/// hot path never sees the lock.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHisto& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every registered metric in place (references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHisto>, std::less<>> histos_;
+};
+
+/// The process-wide registry every subsystem reports into.
+MetricsRegistry& metrics();
+
+/// RAII wall-clock timer feeding a LatencyHisto on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHisto& h) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHisto& histo_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace vosim::obs
+
+#endif  // VOSIM_OBS_METRICS_HPP

@@ -8,6 +8,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/lanes.hpp"
+
 namespace vosim {
 
 namespace {
@@ -24,10 +28,13 @@ std::vector<std::string> split_list(const std::string& csv) {
 
 /// Writes the whole buffer, riding out short writes. Returns false on
 /// a broken connection (the client went away mid-stream).
+/// MSG_NOSIGNAL turns the SIGPIPE a disconnected peer would raise into
+/// an EPIPE return, so a vanishing client never kills the daemon.
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
@@ -91,7 +98,18 @@ CampaignConfig parse_campaign_request(const std::string& line,
 CampaignServer::CampaignServer(const CellLibrary& lib, ServeConfig config)
     : lib_(lib),
       config_(std::move(config)),
-      store_(config_.store_path) {}
+      store_(config_.store_path) {
+  manifest_.tool = "serve";
+  manifest_.engine = "levelized";
+  manifest_.lane_width = lanes::resolve_lane_width(0);
+  manifest_.config = "socket=" + config_.socket_path +
+                     "|store=" + config_.store_path +
+                     "|jobs=" + std::to_string(config_.jobs);
+  // Stamp the warm store with this daemon's manifest (no-op for
+  // in-memory stores or stores that already carry one).
+  if (!config_.store_path.empty())
+    store_.write_header(manifest_.to_jsonl());
+}
 
 CampaignServer::~CampaignServer() { stop(); }
 
@@ -116,6 +134,7 @@ void CampaignServer::start() {
     throw std::runtime_error("serve: cannot bind " + config_.socket_path);
   }
   running_.store(true);
+  started_ = std::chrono::steady_clock::now();
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -133,21 +152,64 @@ void CampaignServer::accept_loop() {
 }
 
 void CampaignServer::handle_connection(int fd) {
+  auto& reg = obs::metrics();
+  reg.gauge("serve.connections.active").add(1.0);
+  reg.counter("serve.requests").add();
+  std::uint64_t bytes = 0;
+  bool alive = true;
+  {
+    obs::ScopedTimer timer(reg.histogram("serve.request.seconds"));
+    alive = dispatch(fd, bytes);
+  }
+  reg.counter("serve.bytes.streamed").add(bytes);
+  if (!alive) reg.counter("serve.disconnects").add();
+  reg.gauge("serve.connections.active").add(-1.0);
+  ::close(fd);
+}
+
+bool CampaignServer::dispatch(int fd, std::uint64_t& bytes) {
+  // Successful lines count toward serve.bytes.streamed (+1: newline).
+  const auto send_line = [fd, &bytes](const std::string& line) {
+    if (!write_line(fd, line)) return false;
+    bytes += line.size() + 1;
+    return true;
+  };
   const std::string line = read_request_line(fd);
   std::string cmd;
   if (!jsonl::raw_field(line, "cmd", cmd)) {
-    write_line(fd, "{\"error\":\"missing cmd\"}");
-    ::close(fd);
-    return;
+    obs::metrics().counter("serve.errors").add();
+    return send_line("{\"error\":\"missing cmd\"}");
   }
   requests_.fetch_add(1);
+  obs::ScopedSpan span("serve.request", "serve");
+  span.arg("cmd", cmd);
   if (cmd == "ping") {
-    write_line(fd, "{\"ok\":true,\"cmd\":\"ping\"}");
-  } else if (cmd == "shutdown") {
-    write_line(fd, "{\"ok\":true,\"cmd\":\"shutdown\"}");
+    return send_line("{\"ok\":true,\"cmd\":\"ping\"}");
+  }
+  if (cmd == "shutdown") {
+    const bool ok = send_line("{\"ok\":true,\"cmd\":\"shutdown\"}");
     shutdown_requested_.store(true);
     wait_cv_.notify_all();
-  } else if (cmd == "campaign") {
+    return ok;
+  }
+  if (cmd == "stats") {
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    std::ostringstream out;
+    out << "{\"ok\":true,\"cmd\":\"stats\",\"uptime_s\":"
+        << jsonl::num(uptime)
+        << ",\"requests_served\":" << requests_.load()
+        << ",\"active_connections\":"
+        << static_cast<std::int64_t>(
+               obs::metrics().gauge("serve.connections.active").value())
+        << ",\"store_cells\":" << store_.size()
+        << ",\"manifest\":" << manifest_.to_jsonl()
+        << ",\"metrics\":" << obs::metrics().snapshot().to_json() << "}";
+    return send_line(out.str());
+  }
+  if (cmd == "campaign") {
     try {
       const CampaignConfig cfg =
           parse_campaign_request(line, config_.jobs);
@@ -158,23 +220,21 @@ void CampaignServer::handle_connection(int fd) {
       // elapsed_s) with any offline store of the same grid.
       for (const CampaignCell& cell : outcome.cells) {
         const auto stored = store_.find(cell.key);
-        if (!write_line(fd, CampaignStore::to_jsonl(
-                                stored ? *stored : cell)))
-          break;
+        if (!send_line(CampaignStore::to_jsonl(stored ? *stored : cell)))
+          return false;  // client went away mid-stream
       }
       std::ostringstream footer;
       footer << "{\"done\":true,\"cells\":" << outcome.cells.size()
              << ",\"reused\":" << outcome.reused
              << ",\"computed\":" << outcome.computed << "}";
-      write_line(fd, footer.str());
+      return send_line(footer.str());
     } catch (const std::exception& e) {
-      write_line(fd,
-                 std::string("{\"error\":\"") + e.what() + "\"}");
+      obs::metrics().counter("serve.errors").add();
+      return send_line(std::string("{\"error\":\"") + e.what() + "\"}");
     }
-  } else {
-    write_line(fd, "{\"error\":\"unknown cmd '" + cmd + "'\"}");
   }
-  ::close(fd);
+  obs::metrics().counter("serve.errors").add();
+  return send_line("{\"error\":\"unknown cmd '" + cmd + "'\"}");
 }
 
 void CampaignServer::wait() {

@@ -8,6 +8,7 @@
 //
 // Wire protocol (newline-delimited JSON, one request per connection):
 //   client sends one line:  {"cmd":"ping"} | {"cmd":"shutdown"} |
+//     {"cmd":"stats"} |
 //     {"cmd":"campaign","workloads":"fir,dot","circuits":"rca16",
 //      "backends":"model","seed":1,"patterns":2000,
 //      "train_patterns":4000,"max_triads":3,"chips":0,"jobs":0}
@@ -18,6 +19,10 @@
 //       modulo elapsed_s), then a footer
 //       {"done":true,"cells":N,"reused":R,"computed":C}
 //     ping — {"ok":true,"cmd":"ping"}
+//     stats — one line with daemon introspection (DESIGN.md §12):
+//       {"ok":true,"cmd":"stats","uptime_s":...,"requests_served":N,
+//        "active_connections":A,"store_cells":S,
+//        "manifest":{...RunManifest...},"metrics":{...snapshot...}}
 //     shutdown — {"ok":true,"cmd":"shutdown"}, then the accept loop
 //       winds down and wait() returns
 //   errors — {"error":"<message>"} and the connection closes.
@@ -25,6 +30,7 @@
 #define VOSIM_SERVE_SERVER_HPP
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -34,6 +40,7 @@
 
 #include "src/campaign/runner.hpp"
 #include "src/campaign/store.hpp"
+#include "src/obs/manifest.hpp"
 #include "src/tech/library.hpp"
 
 namespace vosim {
@@ -82,14 +89,21 @@ class CampaignServer {
   }
   /// The warm store (e.g. to inspect cached cells in tests).
   CampaignStore& store() noexcept { return store_; }
+  /// This daemon's run manifest (also served by the `stats` verb).
+  const obs::RunManifest& manifest() const noexcept { return manifest_; }
 
  private:
   void accept_loop();
   void handle_connection(int fd);
+  /// Parses and answers one request; returns false when the client
+  /// went away mid-stream. `bytes` accumulates payload written.
+  bool dispatch(int fd, std::uint64_t& bytes);
 
   const CellLibrary& lib_;
   ServeConfig config_;
+  obs::RunManifest manifest_;
   CampaignStore store_;
+  std::chrono::steady_clock::time_point started_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> shutdown_requested_{false};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/netlist/eval.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/logic.hpp"
 #include "src/tech/gate_timing.hpp"
 #include "src/util/contracts.hpp"
@@ -147,6 +148,9 @@ void TimingSimulator::launch_inputs(std::span<const std::uint8_t> inputs) {
 }
 
 StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
+  static obs::Counter& step_counter =
+      obs::metrics().counter("sim.event.steps");
+  step_counter.add();
   launch_inputs(inputs);
   run_events();
   if (!sample_taken_) {
@@ -161,6 +165,9 @@ StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
 }
 
 StepResult TimingSimulator::step_cycle(std::span<const std::uint8_t> inputs) {
+  static obs::Counter& cycle_counter =
+      obs::metrics().counter("sim.event.steps");
+  cycle_counter.add();
   launch_inputs(inputs);
 
   // Process events strictly before the capture edge; later events stay

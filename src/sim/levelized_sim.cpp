@@ -9,6 +9,7 @@
 #endif
 
 #include "src/netlist/eval.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/gate_timing.hpp"
 #include "src/util/contracts.hpp"
@@ -405,6 +406,15 @@ void LevelizedSimulatorT<LW>::step_batch(
   const std::size_t npis = pis.size();
   VOSIM_EXPECTS(inputs.size() == count * npis);
   VOSIM_EXPECTS(results.size() >= count);
+  // Per-batch throughput accounting: one relaxed add per batch (not
+  // per pattern), cached refs so the registry mutex is never on the
+  // hot path.
+  static obs::Counter& pattern_counter =
+      obs::metrics().counter("sim.levelized.patterns");
+  static obs::Counter& word_counter =
+      obs::metrics().counter("sim.levelized.lane_words");
+  pattern_counter.add(count);
+  word_counter.add((count + kLanes - 1) / kLanes);
   std::size_t done = 0;
   while (done < count) {
     const std::size_t lanes = std::min(kLanes, count - done);
@@ -427,6 +437,12 @@ void LevelizedSimulatorT<LW>::step_cycle_batch(
   const std::size_t npis = pis.size();
   VOSIM_EXPECTS(inputs.size() == count * npis);
   VOSIM_EXPECTS(results.size() >= count);
+  static obs::Counter& cycle_counter =
+      obs::metrics().counter("sim.levelized.cycles");
+  static obs::Counter& word_counter =
+      obs::metrics().counter("sim.levelized.lane_words");
+  cycle_counter.add(count);
+  word_counter.add((count + kLanes - 1) / kLanes);
   std::size_t done = 0;
   while (done < count) {
     const std::size_t lanes = std::min(kLanes, count - done);
@@ -458,6 +474,12 @@ void LevelizedSimulatorT<LW>::step_batch_sweep(
   VOSIM_EXPECTS(thresholds_ps.front() > 0.0);
   VOSIM_EXPECTS(inputs.size() == count * npis);
   VOSIM_EXPECTS(results.size() >= count * nthr);
+  static obs::Counter& pattern_counter =
+      obs::metrics().counter("sim.levelized.patterns");
+  static obs::Counter& word_counter =
+      obs::metrics().counter("sim.levelized.lane_words");
+  pattern_counter.add(count);
+  word_counter.add((count + kLanes - 1) / kLanes);
   std::size_t done = 0;
   while (done < count) {
     const std::size_t lanes = std::min(kLanes, count - done);

@@ -109,6 +109,20 @@ std::vector<std::string> ArgParser::get_list(
   return present ? items : fallback;
 }
 
+std::string ArgParser::canonical() const {
+  std::string out;
+  for (const std::string& p : positional_) {
+    if (!out.empty()) out += ' ';
+    out += p;
+  }
+  for (const auto& [key, val] : options_) {
+    if (!out.empty()) out += ' ';
+    out += "--" + key;
+    if (val.has_value()) out += "=" + *val;
+  }
+  return out;
+}
+
 double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto v = required_value(name);
   if (!v.has_value()) return fallback;

@@ -47,6 +47,12 @@ class ArgParser {
       const std::string& name,
       const std::vector<std::string>& fallback = {}) const;
 
+  /// Canonical one-line reconstruction of the invocation (positionals
+  /// in order, then options in parse order as --key=value / --key).
+  /// Stable for identical invocations — the run-manifest config hash
+  /// is computed over this string.
+  std::string canonical() const;
+
  private:
   void parse(const std::vector<std::string>& args);
   /// Like value(), but throws std::invalid_argument when the option is

@@ -44,15 +44,37 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+namespace {
+
+/// Order-statistic interpolation on an already-sorted sample.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 double quantile(std::vector<double> sample, double q) {
   VOSIM_EXPECTS(!sample.empty());
   VOSIM_EXPECTS(q >= 0.0 && q <= 1.0);
   std::sort(sample.begin(), sample.end());
-  const double pos = q * static_cast<double>(sample.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sample[lo] + frac * (sample[hi] - sample[lo]);
+  return sorted_quantile(sample, q);
+}
+
+std::vector<double> quantiles(std::vector<double> sample,
+                              const std::vector<double>& qs) {
+  VOSIM_EXPECTS(!sample.empty());
+  std::sort(sample.begin(), sample.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    VOSIM_EXPECTS(q >= 0.0 && q <= 1.0);
+    out.push_back(sorted_quantile(sample, q));
+  }
+  return out;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -73,6 +95,32 @@ double Histogram::center(std::size_t bucket) const {
   VOSIM_EXPECTS(bucket < counts_.size());
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * (static_cast<double>(bucket) + 0.5);
+}
+
+void Histogram::merge(const Histogram& other) {
+  VOSIM_EXPECTS(lo_ == other.lo_ && hi_ == other.hi_ &&
+                counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::quantile(double q) const {
+  VOSIM_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto n = static_cast<double>(counts_[i]);
+    if (cum + n >= target && n > 0.0) {
+      const double frac = (target - cum) / n;
+      return lo_ + width * (static_cast<double>(i) + frac);
+    }
+    cum += n;
+  }
+  return hi_;
 }
 
 }  // namespace vosim

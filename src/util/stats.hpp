@@ -35,6 +35,12 @@ class RunningStats {
 /// statistics). `q` in [0,1]; the input vector is copied, not mutated.
 double quantile(std::vector<double> sample, double q);
 
+/// Several quantiles of one sample with a single sort (quantile()
+/// copies and sorts the whole sample per call). Returns one value per
+/// entry of `qs`, each in [0,1], in the same order.
+std::vector<double> quantiles(std::vector<double> sample,
+                              const std::vector<double>& qs);
+
 /// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
 /// the range are clamped into the edge buckets.
 class Histogram {
@@ -47,6 +53,20 @@ class Histogram {
   std::size_t total() const noexcept { return total_; }
   /// Center value of a bucket.
   double center(std::size_t bucket) const;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// Adds another histogram's counts (parallel / per-thread-shard
+  /// reduction). Both histograms must share lo, hi and bucket count.
+  void merge(const Histogram& other);
+
+  /// Bucket-interpolated quantile estimate: walks the cumulative
+  /// counts and interpolates linearly inside the target bucket. `q` in
+  /// [0,1]; returns lo() for an empty histogram. Resolution is one
+  /// bucket width — cheap and allocation-free, unlike quantile() on a
+  /// raw sample.
+  double quantile(double q) const;
 
  private:
   double lo_;

@@ -53,6 +53,9 @@
 #include "src/netlist/multiplier.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/netlist/verilog.hpp"
+#include "src/obs/manifest.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/adaptive_unit.hpp"
 #include "src/runtime/closed_loop.hpp"
 #include "src/runtime/error_monitor.hpp"

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "src/campaign/runner.hpp"
 #include "src/campaign/store.hpp"
 #include "src/campaign/workload.hpp"
+#include "src/obs/manifest.hpp"
 #include "src/characterize/triads.hpp"
 #include "src/model/prob_table.hpp"
 #include "src/netlist/dut.hpp"
@@ -543,6 +545,120 @@ TEST(CampaignStore, MergeSkipsMalformedLinesAndThrowsOnMissingInput) {
   EXPECT_THROW(merge_stores({temp_path("nope_missing.jsonl")}, out),
                std::runtime_error);
   for (const std::string& p : {a, out}) std::remove(p.c_str());
+}
+
+TEST(CampaignStore, ManifestHeaderWritesOnceAndSurvivesReload) {
+  const std::string path = temp_path("store_manifest.jsonl");
+  std::remove(path.c_str());
+  obs::RunManifest m;
+  m.tool = "campaign";
+  m.config = "campaign --workloads=fir";
+  {
+    CampaignStore store(path);
+    EXPECT_EQ(store.manifest_line(), "");
+    store.write_header(m.to_jsonl());
+    EXPECT_EQ(store.manifest_line(), m.to_jsonl());
+    // Second writer (a resumed run) must not duplicate the header.
+    obs::RunManifest other = m;
+    other.config = "campaign --workloads=dot";
+    store.write_header(other.to_jsonl());
+    EXPECT_EQ(store.manifest_line(), m.to_jsonl());
+    store.insert(sample_cell());
+  }
+  // Reload finds the header AND the cell: the manifest line is not a
+  // cell and a cell line is not a manifest.
+  CampaignStore reopened(path);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.manifest_line(), m.to_jsonl());
+  EXPECT_TRUE(reopened.find(sample_cell().key).has_value());
+  // In-memory stores have nowhere to put a header.
+  CampaignStore memory;
+  memory.write_header(m.to_jsonl());
+  EXPECT_EQ(memory.manifest_line(), "");
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStore, ResumeWorksAcrossManifestHeaderVersions) {
+  // Store-format backward compatibility, both directions. A pre-manifest
+  // store (what every store written before the telemetry layer looks
+  // like: cells only, no header) must fully resume under the current
+  // reader; and a store WITH a manifest header must resume identically,
+  // because the header parses-as-absent to the cell loader.
+  const std::string path = temp_path("store_old_format.jsonl");
+  std::remove(path.c_str());
+  const CellLibrary& lib = make_fdsoi28_lvt();
+  const CampaignConfig cfg = small_campaign();
+
+  // run_campaign writes no header itself — this file IS the old format.
+  CampaignStore old_store(path);
+  const CampaignOutcome first = run_campaign(lib, cfg, old_store);
+  EXPECT_EQ(first.computed, 3u);
+  {
+    std::ifstream f(path);
+    std::string contents((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents.find("vosim_manifest"), std::string::npos);
+  }
+
+  CampaignStore resumed(path);
+  EXPECT_EQ(resumed.manifest_line(), "");
+  const CampaignOutcome second = run_campaign(lib, cfg, resumed);
+  EXPECT_EQ(second.reused, 3u);
+  EXPECT_EQ(second.computed, 0u);
+
+  // Upgrade the store in place (what the CLI does on its next run) and
+  // resume again: the header changes nothing about cell identity.
+  obs::RunManifest m;
+  m.tool = "campaign";
+  m.config = "campaign fir";
+  CampaignStore upgraded(path);
+  upgraded.write_header(m.to_jsonl());
+  const CampaignOutcome third = run_campaign(lib, cfg, upgraded);
+  EXPECT_EQ(third.reused, 3u);
+  EXPECT_EQ(third.computed, 0u);
+
+  CampaignStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 3u);
+  EXPECT_EQ(reloaded.manifest_line(), m.to_jsonl());
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStore, MergeExcludesManifestHeaders) {
+  // merge-store unifies shard stores that each carry their own manifest;
+  // the merged output must contain cells only (the merge is a new run
+  // context, and --strip-timing canonicalization must not be defeated
+  // by per-shard headers).
+  const std::string a = temp_path("merge_manifest_a.jsonl");
+  const std::string b = temp_path("merge_manifest_b.jsonl");
+  const std::string out = temp_path("merge_manifest_out.jsonl");
+  obs::RunManifest m;
+  m.tool = "campaign";
+  m.shard = "0/2";
+  m.config = "campaign --shard=0/2";
+  {
+    std::ofstream fa(a), fb(b);
+    fa << m.to_jsonl() << "\n";
+    fa << CampaignStore::to_jsonl(sample_cell()) << "\n";
+    m.shard = "1/2";
+    fb << m.to_jsonl() << "\n";
+    CampaignCell other = sample_cell();
+    other.key.workload = "dot";
+    fb << CampaignStore::to_jsonl(other) << "\n";
+  }
+  const MergeStats stats = merge_stores({a, b}, out, /*strip_timing=*/true);
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.manifests, 2u);
+  EXPECT_EQ(stats.skipped, 0u);  // manifests are headers, not garbage
+  EXPECT_EQ(stats.cells, 2u);
+  {
+    std::ifstream f(out);
+    std::string contents((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents.find("vosim_manifest"), std::string::npos);
+    EXPECT_NE(contents.find("\"elapsed_s\":0"), std::string::npos);
+  }
+  for (const std::string& p : {a, b, out}) std::remove(p.c_str());
 }
 
 TEST(CampaignRunner, ShardedFleetCampaignMergesBitIdentical) {

@@ -1,16 +1,22 @@
 // Sweep-daemon tests: in-process CampaignServer on a Unix socket,
-// concurrent campaign requests, and equivalence of the streamed cells
-// with an offline run of the same grid.
+// concurrent campaign requests, equivalence of the streamed cells with
+// an offline run of the same grid, malformed-request and mid-stream
+// disconnect survival, and the stats introspection verb.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/campaign/runner.hpp"
 #include "src/campaign/store.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/server.hpp"
 #include "src/tech/library.hpp"
 
@@ -153,6 +159,117 @@ TEST(CampaignServer, RejectsBadRequestsAndBadSockets) {
                std::runtime_error);
   CampaignServer unbindable(lib(), ServeConfig{});
   EXPECT_THROW(unbindable.start(), std::runtime_error);
+}
+
+TEST(CampaignServer, MalformedRequestJsonStreamsErrorsNotCrashes) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("malformed");
+  CampaignServer server(lib(), cfg);
+  server.start();
+  const std::uint64_t errors0 =
+      obs::metrics().counter("serve.errors").value();
+
+  // Garbage, a request truncated mid-string, and a campaign over a
+  // circuit the builder rejects: each gets exactly one error line.
+  for (const char* req :
+       {"this is not json", "{\"cmd\":\"campai",
+        "{\"cmd\":\"campaign\",\"circuits\":\"nosuchcircuit\"}"}) {
+    const auto reply = send_request(cfg.socket_path, req);
+    ASSERT_EQ(reply.size(), 1u) << req;
+    EXPECT_NE(reply[0].find("\"error\""), std::string::npos) << req;
+  }
+  EXPECT_EQ(obs::metrics().counter("serve.errors").value() - errors0, 3u);
+
+  // The daemon shrugged all three off and still answers.
+  const auto pong = send_request(cfg.socket_path, "{\"cmd\":\"ping\"}");
+  ASSERT_EQ(pong.size(), 1u);
+  EXPECT_EQ(pong[0], "{\"ok\":true,\"cmd\":\"ping\"}");
+  server.stop();
+}
+
+TEST(CampaignServer, SurvivesClientDisconnectMidStream) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("disconnect");
+  CampaignServer server(lib(), cfg);
+  server.start();
+  const std::uint64_t gone0 =
+      obs::metrics().counter("serve.disconnects").value();
+
+  // A client that fires a campaign request and hangs up without reading
+  // a byte. The daemon is deep in run_campaign when its first stream
+  // write hits the closed peer — without MSG_NOSIGNAL that's a SIGPIPE
+  // and a dead daemon.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, cfg.socket_path.c_str(),
+              cfg.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string req =
+      "{\"cmd\":\"campaign\",\"workloads\":\"fir\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":1,"
+      "\"patterns\":300,\"train_patterns\":800}\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  ::close(fd);
+
+  // The abandoned campaign still runs to completion (the store keeps
+  // the cell) and the broken stream is counted, not fatal.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (obs::metrics().counter("serve.disconnects").value() == gone0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(obs::metrics().counter("serve.disconnects").value() - gone0,
+            1u);
+  EXPECT_EQ(server.store().size(), 1u);
+
+  const auto pong = send_request(cfg.socket_path, "{\"cmd\":\"ping\"}");
+  ASSERT_EQ(pong.size(), 1u);
+  EXPECT_EQ(pong[0], "{\"ok\":true,\"cmd\":\"ping\"}");
+  server.stop();
+}
+
+TEST(CampaignServer, StatsVerbReportsManifestAndMetrics) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("stats");
+  CampaignServer server(lib(), cfg);
+  server.start();
+
+  // Idle daemon: the stats request is itself the first served request.
+  const auto idle = send_request(cfg.socket_path, "{\"cmd\":\"stats\"}");
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_NE(idle[0].find("\"ok\":true,\"cmd\":\"stats\""),
+            std::string::npos);
+  EXPECT_NE(idle[0].find("\"uptime_s\":"), std::string::npos);
+  EXPECT_NE(idle[0].find("\"requests_served\":1"), std::string::npos);
+  EXPECT_NE(idle[0].find("\"active_connections\":1"), std::string::npos);
+  EXPECT_NE(idle[0].find("\"store_cells\":0"), std::string::npos);
+  // The embedded run manifest identifies the daemon...
+  EXPECT_NE(idle[0].find("\"manifest\":{\"vosim_manifest\":1"),
+            std::string::npos);
+  EXPECT_NE(idle[0].find("\"tool\":\"serve\""), std::string::npos);
+  EXPECT_NE(idle[0].find("\"config_hash\":"), std::string::npos);
+  // ...and the metrics block is the process-wide snapshot.
+  EXPECT_NE(idle[0].find("\"metrics\":{\"counters\":{"),
+            std::string::npos);
+
+  // Busy daemon: after a campaign the store and counters have moved.
+  const auto stream = send_request(
+      cfg.socket_path,
+      "{\"cmd\":\"campaign\",\"workloads\":\"fir\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":1,"
+      "\"patterns\":300,\"train_patterns\":800}");
+  ASSERT_FALSE(stream.empty());
+  const auto busy = send_request(cfg.socket_path, "{\"cmd\":\"stats\"}");
+  ASSERT_EQ(busy.size(), 1u);
+  EXPECT_NE(busy[0].find("\"requests_served\":3"), std::string::npos);
+  EXPECT_NE(busy[0].find("\"store_cells\":1"), std::string::npos);
+  EXPECT_NE(busy[0].find("\"campaign.cache.miss\":"), std::string::npos);
+  server.stop();
 }
 
 }  // namespace

@@ -251,6 +251,46 @@ TEST(HistogramTest, ClampsAndCounts) {
   EXPECT_DOUBLE_EQ(h.center(0), 1.0);
 }
 
+TEST(HistogramTest, QuantilesWithOneSortMatchSingleCalls) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto qs = quantiles(v, {0.0, 0.25, 0.5, 0.75, 1.0});
+  ASSERT_EQ(qs.size(), 5u);
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    EXPECT_DOUBLE_EQ(qs[i], quantile(v, 0.25 * static_cast<double>(i)));
+  EXPECT_THROW(quantiles({}, {0.5}), ContractViolation);
+  EXPECT_THROW(quantiles(v, {1.5}), ContractViolation);
+}
+
+TEST(HistogramTest, MergeAddsBucketCounts) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(0.5);
+  a.add(9.9);
+  b.add(0.5);
+  b.add(4.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.count(4), 1u);
+  // Shape mismatches (range or bucket count) are contract violations.
+  Histogram narrow(0.0, 5.0, 5);
+  EXPECT_THROW(a.merge(narrow), ContractViolation);
+  Histogram coarse(0.0, 10.0, 4);
+  EXPECT_THROW(a.merge(coarse), ContractViolation);
+}
+
+TEST(HistogramTest, BucketQuantileInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> lo()
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  // Uniform fill: the q-th quantile walks q of the way up the range.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.1), 1.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+  EXPECT_THROW(h.quantile(-0.1), ContractViolation);
+}
+
 // -------------------------------------------------------------------- table
 TEST(Table, FormatDouble) {
   EXPECT_EQ(format_double(1.5, 3), "1.5");

@@ -56,6 +56,17 @@
 #                    Enforced only when nproc >= 4: on fewer cores the
 #                    four concurrent shard processes time-share one
 #                    machine, so the figure is reported, not gated.
+#   VOSIM_MIN_CACHE_HIT_RATE
+#                    floor for CACHE_HIT_RATE (resumed/total cells of
+#                    the campaign_smoke second pass, default 0 — the
+#                    line and the BENCH field are the tripwire; the
+#                    resume check above it already demands 1.0).
+#
+# Every bench binary prints one BENCH_METRICS_JSON line at exit (the
+# process-wide telemetry snapshot, src/obs); it is folded into the
+# bench's BENCH_*.json as a "metrics" object. The campaign_smoke
+# second pass also runs with --trace/--metrics-json and both files are
+# validated as JSON (python3, when available) and kept for CI upload.
 #
 # After the bench set, a tiny smoke campaign (2 workloads x 1 circuit x
 # 4 triads on the model backend) runs twice through vosim_cli: the
@@ -303,6 +314,15 @@ for name in ${benches[@]+"${benches[@]}"}; do
       status=1
     fi
   fi
+  # The exit-time telemetry snapshot every bench prints (src/obs):
+  # carried into the JSON so a perf regression comes with its own
+  # counters (patterns simulated, lane words, cache traffic).
+  metrics_field=""
+  metrics_json=$(sed -n 's/^BENCH_METRICS_JSON //p' "${log}" | tail -n 1)
+  if [ -n "${metrics_json}" ]; then
+    metrics_field=",
+  \"metrics\": ${metrics_json}"
+  fi
   cat >"${json}" <<EOF
 {
   "bench": "${name}",
@@ -310,7 +330,7 @@ for name in ${benches[@]+"${benches[@]}"}; do
   "wall_seconds": ${wall_s},
   "exit_code": ${status},
   "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "log": "$(basename "${log}")"${engine_fields}
+  "log": "$(basename "${log}")"${engine_fields}${metrics_field}
 }
 EOF
   if [ "${status}" -ne 0 ]; then
@@ -333,18 +353,46 @@ if [ "${run_smoke}" -eq 1 ]; then
   smoke_args=(campaign --workloads fir,kmeans --circuits rca16
               --backends model --max-triads 4 --patterns "${smoke_patterns}"
               --train-patterns 1000 --store "${store}")
-  rm -f "${store}"
+  trace_file="${out_dir}/campaign_smoke_trace.json"
+  metrics_file="${out_dir}/campaign_smoke_metrics.json"
+  rm -f "${store}" "${trace_file}" "${metrics_file}"
+  hit_rate=0
   start_ns=$(date +%s%N)
   if [ -x "${cli}" ]; then
     # Pass 1 computes the 2x1x4 grid; pass 2 must answer every cell
-    # from the JSONL store (resume semantics, DESIGN.md §9).
+    # from the JSONL store (resume semantics, DESIGN.md §9). The
+    # second pass doubles as the telemetry smoke: --trace must produce
+    # a Perfetto-loadable trace and --metrics-json a parseable
+    # snapshot (DESIGN.md §12).
     (cd "${out_dir}" && "${cli}" "${smoke_args[@]}" >"${log}" 2>&1) || smoke_status=1
     cells=$(sed -n 's/^campaign: \([0-9]*\) cells.*/\1/p' "${log}" | tail -n 1)
-    (cd "${out_dir}" && "${cli}" "${smoke_args[@]}" >>"${log}" 2>&1) || smoke_status=1
+    (cd "${out_dir}" && "${cli}" "${smoke_args[@]}" \
+       --trace "${trace_file}" --metrics-json "${metrics_file}" \
+       >>"${log}" 2>&1) || smoke_status=1
     reused=$(sed -n 's/^campaign: [0-9]* cells (\([0-9]*\) reused.*/\1/p' "${log}" | tail -n 1)
     if [ "${smoke_status}" -eq 0 ] && { [ -z "${cells}" ] || \
          [ "${cells}" -eq 0 ] || [ "${reused:-0}" != "${cells}" ]; }; then
       echo "FAIL campaign_smoke: resume reused ${reused:-?} of ${cells:-?} cells" >&2
+      smoke_status=1
+    fi
+    for f in "${trace_file}" "${metrics_file}"; do
+      if [ ! -s "${f}" ]; then
+        echo "FAIL campaign_smoke: telemetry file $(basename "${f}") missing or empty" >&2
+        smoke_status=1
+      elif command -v python3 >/dev/null 2>&1; then
+        if ! python3 -c 'import json, sys; json.load(open(sys.argv[1]))' \
+             "${f}" 2>>"${log}"; then
+          echo "FAIL campaign_smoke: $(basename "${f}") is not valid JSON" >&2
+          smoke_status=1
+        fi
+      fi
+    done
+    hit_rate=$(awk -v r="${reused:-0}" -v c="${cells:-0}" \
+               'BEGIN{printf "%.3f", (c > 0) ? r / c : 0}')
+    echo "CACHE_HIT_RATE ${hit_rate}"
+    min_hit="${VOSIM_MIN_CACHE_HIT_RATE:-0}"
+    if ! awk -v h="${hit_rate}" -v m="${min_hit}" 'BEGIN{exit !(h >= m)}'; then
+      echo "FAIL campaign_smoke: cache hit rate ${hit_rate} < ${min_hit} floor" >&2
       smoke_status=1
     fi
   else
@@ -355,6 +403,13 @@ if [ "${run_smoke}" -eq 1 ]; then
   fi
   end_ns=$(date +%s%N)
   wall_s=$(awk -v a="${start_ns}" -v b="${end_ns}" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+  # The pass-2 snapshot file is one JSON object per line; embed it so
+  # the committed BENCH json carries the campaign's own counters.
+  telemetry_field=""
+  if [ -s "${metrics_file}" ]; then
+    telemetry_field=",
+  \"telemetry\": $(tail -n 1 "${metrics_file}")"
+  fi
   cat >"${out_dir}/BENCH_campaign_smoke.json" <<EOF
 {
   "bench": "campaign_smoke",
@@ -365,14 +420,16 @@ if [ "${run_smoke}" -eq 1 ]; then
   "log": "campaign_smoke.log",
   "grid_cells": ${cells:-0},
   "resumed_cells": ${reused:-0},
-  "store": "campaign_smoke.jsonl"
+  "cache_hit_rate": ${hit_rate},
+  "trace": "campaign_smoke_trace.json",
+  "store": "campaign_smoke.jsonl"${telemetry_field}
 }
 EOF
   if [ "${smoke_status}" -ne 0 ]; then
     echo "FAIL campaign_smoke (${wall_s}s) -> BENCH_campaign_smoke.json"
     failures=$((failures + 1))
   else
-    echo "ok   campaign_smoke (${wall_s}s, ${reused}/${cells} cells resumed) -> BENCH_campaign_smoke.json"
+    echo "ok   campaign_smoke (${wall_s}s, ${reused}/${cells} cells resumed, hit rate ${hit_rate}) -> BENCH_campaign_smoke.json"
   fi
 fi
 

@@ -25,6 +25,13 @@
 //   vosim_cli serve --socket PATH [--store FILE] [--jobs N]
 //   vosim_cli request --socket PATH --json '{"cmd":"..."}'
 //
+// Every subcommand additionally accepts the telemetry options
+//   --trace out.json     write a Chrome-trace (Perfetto-loadable) span
+//                        timeline of the run
+//   --metrics-json FILE  write {"manifest":{...},"metrics":{...}} —
+//                        the run manifest plus a counters/gauges/
+//                        histograms snapshot (DESIGN.md §12)
+//
 // <circuit> is either a registry spec — rca8, bka16, mul8-array,
 // mul8-wallace, tree8x8, mac4x8, loa8-4, … (also accepted via
 // --circuit SPEC) — or the legacy "<arch> <width>" positional pair
@@ -75,6 +82,9 @@ int usage(const std::string& program) {
       << "           DESIGN.md)\n"
       << "         --list-circuits (print the whole circuit registry\n"
       << "           with operand widths and gate counts, then exit)\n"
+      << "         --trace FILE (Chrome-trace span timeline; load in\n"
+      << "           Perfetto / chrome://tracing)\n"
+      << "         --metrics-json FILE (run manifest + metrics snapshot)\n"
       << "campaign: --workloads L --circuits L --backends L (comma lists;\n"
       << "          backends: exact model sim-event sim-levelized sim-seq)\n"
       << "          --store FILE (JSONL; resumes finished cells)\n"
@@ -215,6 +225,24 @@ void parse_shard(const ArgParser& args, CampaignConfig& cfg) {
       static_cast<std::size_t>(std::stoul(spec.substr(slash + 1)));
 }
 
+/// The run manifest stamped into campaign stores and --metrics-json
+/// files: what produced this data, with which engine/lane width/shard,
+/// hashed over the full canonical invocation.
+obs::RunManifest make_manifest(const ArgParser& args,
+                               const std::string& command) {
+  obs::RunManifest m;
+  m.tool = command;
+  // campaign/fleet/serve run the bit-parallel engine internally; the
+  // per-circuit commands default to the event engine unless asked.
+  const bool levelized_tool = command == "campaign" ||
+                              command == "fleet" || command == "serve";
+  m.engine = args.get("engine", levelized_tool ? "levelized" : "event");
+  m.lane_width = lanes::resolve_lane_width(0);
+  m.shard = args.get("shard", "0/1");
+  m.config = args.canonical();
+  return m;
+}
+
 /// The campaign subcommand: a resumable quality-energy sweep over the
 /// workload x circuit x triad x backend grid with Pareto aggregation.
 int run_campaign_command(const ArgParser& args) {
@@ -245,6 +273,9 @@ int run_campaign_command(const ArgParser& args) {
   const double floor = args.get_double("quality-floor", 0.9);
 
   CampaignStore store(args.get("store", ""));
+  // Stamp a fresh file-backed store with this run's manifest (no-op on
+  // stores that already carry one — the first producer wins).
+  store.write_header(make_manifest(args, "campaign").to_jsonl());
   const CampaignOutcome outcome =
       run_campaign(make_fdsoi28_lvt(), cfg, store);
   std::cout << "campaign: " << outcome.cells.size() << " cells ("
@@ -306,6 +337,7 @@ int run_merge_store(const ArgParser& args) {
       merge_stores(inputs, pos[1], args.has("strip-timing"));
   std::cout << "merged " << stats.files << " stores: " << stats.lines
             << " lines, " << stats.skipped << " skipped, "
+            << stats.manifests << " manifests excluded, "
             << stats.cells << " cells -> " << pos[1] << "\n";
   return 0;
 }
@@ -395,18 +427,7 @@ int run_request_command(const ArgParser& args) {
   return 0;
 }
 
-int run(const ArgParser& args) {
-  // Process-wide levelized lane-width override: beats VOSIM_LANE_WIDTH
-  // and the 64-lane auto default everywhere downstream (make_engine,
-  // the characterizer fast paths), but loses to an explicit
-  // TimingSimConfig::lane_width request.
-  if (args.has("lane-width")) {
-    std::size_t width = 0;
-    if (!lanes::parse_lane_width(args.get("lane-width", "auto"), width))
-      throw std::invalid_argument(
-          "bad --lane-width (expected 64|256|512|auto)");
-    lanes::set_lane_width_override(width);
-  }
+int run_command(const ArgParser& args) {
   if (args.has("list-circuits")) return list_circuits();
   if (args.positional().empty()) return usage(args.program());
   const std::string command = args.positional()[0];
@@ -567,6 +588,56 @@ int run(const ArgParser& args) {
   }
 
   return usage(args.program());
+}
+
+/// Telemetry envelope around the dispatch: lane-width override first
+/// (the manifest records the resolved width), then an optional trace
+/// session and a manifest + metrics-snapshot dump. Both files are
+/// written even when the command throws, so a failed run still leaves
+/// its telemetry behind.
+int run(const ArgParser& args) {
+  // Process-wide levelized lane-width override: beats VOSIM_LANE_WIDTH
+  // and the 64-lane auto default everywhere downstream (make_engine,
+  // the characterizer fast paths), but loses to an explicit
+  // TimingSimConfig::lane_width request.
+  if (args.has("lane-width")) {
+    std::size_t width = 0;
+    if (!lanes::parse_lane_width(args.get("lane-width", "auto"), width))
+      throw std::invalid_argument(
+          "bad --lane-width (expected 64|256|512|auto)");
+    lanes::set_lane_width_override(width);
+  }
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics-json", "");
+  if (!trace_path.empty()) obs::start_trace();
+  const auto flush_telemetry = [&] {
+    if (!trace_path.empty()) {
+      if (obs::write_trace_file(trace_path))
+        std::cerr << "trace: " << trace_path << "\n";
+      else
+        std::cerr << "error: cannot write trace " << trace_path << "\n";
+    }
+    if (metrics_path.empty()) return;
+    const std::string command =
+        args.positional().empty() ? "vosim" : args.positional()[0];
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "error: cannot write metrics " << metrics_path << "\n";
+      return;
+    }
+    out << "{\"manifest\":" << make_manifest(args, command).to_jsonl()
+        << ",\"metrics\":" << obs::metrics().snapshot().to_json()
+        << "}\n";
+    std::cerr << "metrics: " << metrics_path << "\n";
+  };
+  try {
+    const int rc = run_command(args);
+    flush_telemetry();
+    return rc;
+  } catch (...) {
+    flush_telemetry();
+    throw;
+  }
 }
 
 }  // namespace
