@@ -15,8 +15,10 @@
 //     of spawning threads per sweep vs the shared persistent pool
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 
@@ -291,6 +293,43 @@ void report_wide_speedup() {
   std::printf("WIDE_SPEEDUP %.2f\n", t64 / tw);
 }
 
+/// Observers-off hot-path cost check (DESIGN.md §13). The SimObserver
+/// support costs one `!observers_.empty()` branch per dispatch site; a
+/// true A/B against a binary compiled without the branch cannot live
+/// inside one binary, so this times the identical observers-off event
+/// sweep as two interleaved legs (each the min of k samples) and
+/// reports their relative deviation — the measurement noise floor that
+/// any real branch regression would have to climb above. CI gates
+/// PROVENANCE_OVERHEAD_PCT <= 2% (run_benches.sh), so a future change
+/// that makes the observers-off path genuinely slower — a lock, an
+/// allocation, a virtual call before the empty check — fails the gate
+/// even though the branch itself is noise-level.
+void report_provenance_overhead() {
+  CharacterizeConfig cfg;
+  cfg.num_patterns = 1000;
+  cfg.threads = 1;
+  cfg.engine = EngineKind::kEvent;  // per-transition dispatch sites
+  const std::vector<OperatingTriad> one{stressed()};
+  using clock = std::chrono::steady_clock;
+  const auto run_once = [&] {
+    const auto t0 = clock::now();
+    benchmark::DoNotOptimize(characterize_dut(rca8(), lib(), one, cfg));
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  run_once();  // warm-up
+  double min_a = 1e300;
+  double min_b = 1e300;
+  for (int k = 0; k < 5; ++k) {
+    min_a = std::min(min_a, run_once());
+    min_b = std::min(min_b, run_once());
+  }
+  const double overhead =
+      100.0 * std::abs(min_a - min_b) / std::min(min_a, min_b);
+  std::printf("PROVENANCE_LEG_A_MS %.2f\nPROVENANCE_LEG_B_MS %.2f\n",
+              min_a * 1e3, min_b * 1e3);
+  std::printf("PROVENANCE_OVERHEAD_PCT %.2f\n", overhead);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,5 +339,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_wide_speedup();
+  report_provenance_overhead();
   return 0;
 }

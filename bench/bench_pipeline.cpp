@@ -205,6 +205,39 @@ int main() {
     if (sink < 0.0) std::cout << "";  // keep the sweeps observable
   }
 
+  // ---- Observers-off noise-floor probe on the clocked batched path
+  // (same methodology as bench_perf_speedup: two interleaved min-of-k
+  // legs of the identical observers-off sweep — a real regression of
+  // the one-branch dispatch guard must exceed this deviation; CI gates
+  // PROVENANCE_OVERHEAD_PCT <= 2%).
+  {
+    const SeqDut mul = build_seq_circuit("pipe2-mul8");
+    const auto triads = make_dut_triads(seq_critical_path_ns(mul, lib));
+    CharacterizeConfig cfg = bench_config();
+    cfg.engine = EngineKind::kLevelized;
+    double sink = 0.0;
+    const auto run_once = [&] {
+      const auto t0 = clock::now();
+      for (const TriadResult& r :
+           characterize_seq_dut(mul, lib, triads, cfg))
+        sink += r.ber;
+      return std::chrono::duration<double>(clock::now() - t0).count();
+    };
+    run_once();  // warm-up
+    double min_a = 1e300;
+    double min_b = 1e300;
+    for (int k = 0; k < 3; ++k) {
+      min_a = std::min(min_a, run_once());
+      min_b = std::min(min_b, run_once());
+    }
+    const double overhead =
+        100.0 * std::abs(min_a - min_b) / std::min(min_a, min_b);
+    if (sink < 0.0) std::cout << "";  // keep the sweeps observable
+    std::cout << "\nPROVENANCE_LEG_A_MS " << format_double(min_a * 1e3, 2)
+              << "\nPROVENANCE_LEG_B_MS " << format_double(min_b * 1e3, 2)
+              << "\nPROVENANCE_OVERHEAD_PCT " << format_double(overhead, 2);
+  }
+
   std::cout << "\nSEQ_LEVELIZED_SPEEDUP "
             << format_double(levelized_seconds > 0.0
                                  ? event_seconds / levelized_seconds

@@ -22,12 +22,12 @@ int main() {
   std::cout << "wrote rca8.v (" << adder.netlist.num_gates()
             << " cell instances)\n";
 
-  // 2. One worst-case operation at a VOS triad, with tracing on:
-  //    0x00+0x00 -> 0xFF+0x01 excites the full carry ripple.
-  TimingSimConfig cfg;
-  cfg.record_trace = true;
+  // 2. One worst-case operation at a VOS triad, with a VcdObserver
+  //    attached: 0x00+0x00 -> 0xFF+0x01 excites the full carry ripple.
   const OperatingTriad triad{rep.critical_path_ns, 0.7, 0.0};
-  TimingSimulator sim(adder.netlist, lib, triad, cfg);
+  TimingSimulator sim(adder.netlist, lib, triad);
+  VcdObserver vcd;
+  sim.attach_observer(&vcd);
   std::vector<std::uint8_t> zeros(adder.netlist.primary_inputs().size(), 0);
   sim.settle(zeros);
   std::vector<std::uint8_t> stim(adder.netlist.primary_inputs().size(), 0);
@@ -37,7 +37,7 @@ int main() {
 
   {
     std::ofstream f("rca8_vos.vcd");
-    write_vcd(sim, f);
+    vcd.write(f);
   }
   const std::uint64_t sampled = pack_word(sim.sampled_values(), adder.sum);
   std::cout << "wrote rca8_vos.vcd: " << r.toggles_total

@@ -1,6 +1,8 @@
 #include "src/campaign/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <set>
@@ -8,6 +10,7 @@
 #include <tuple>
 
 #include "src/characterize/characterizer.hpp"
+#include "src/obs/probe.hpp"
 #include "src/characterize/triads.hpp"
 #include "src/fleet/fleet.hpp"
 #include "src/model/vos_model.hpp"
@@ -365,6 +368,7 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
 
         QualityResult q;
         double register_energy_fj = 0.0;  // sim-seq: bank clock/latch
+        std::string culprits;  // provenance mode, sim backends only
         const std::uint64_t dseed = data_seed(config.seed, wl.name);
         // The chip's die corner — pure content, so any shard or
         // thread schedule reconstructs the same die. Chip 0 is the
@@ -390,7 +394,17 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             sim_cfg = apply_chip(sim_cfg, chip,
                                  config.fleet.within_die_sigma);
             VosDutSim sim(ctx.dut, lib, ctx.triads[p.triad], sim_cfg);
+            std::unique_ptr<ErrorProvenance> prov;
+            if (config.provenance) {
+              prov = std::make_unique<ErrorProvenance>(ctx.dut);
+              sim.engine().attach_observer(prov.get());
+            }
             q = wl.run(sim_adder_fn(sim), dseed);
+            if (prov != nullptr) {
+              culprits = prov->summary().top_culprits_string(
+                  config.top_culprits);
+              prov->publish("provenance.campaign", config.top_culprits);
+            }
             break;
           }
           case ArithBackend::kSimSeq: {
@@ -404,12 +418,45 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             SeqSim sim(*ctx.seq, lib, ctx.triads[p.triad], sim_cfg);
             register_energy_fj = seq_clock_energy_fj(
                 *ctx.seq, lib, ctx.triads[p.triad].vdd_v);
+            std::vector<std::unique_ptr<ErrorProvenance>> provs;
+            if (config.provenance) {
+              for (std::size_t k = 0; k < sim.num_stages(); ++k) {
+                const DutPinMap spins(ctx.seq->stages[k]);
+                provs.push_back(std::make_unique<ErrorProvenance>(
+                    ctx.seq->stages[k].netlist, spins,
+                    static_cast<int>(k)));
+                sim.stage_engine(k).attach_observer(provs[k].get());
+              }
+            }
             // Stream-capable kernels latch whole operand vectors
             // through the packed-lane batch path; dependency-bound
             // ones fall back to one scalar step_cycle per add.
             q = wl.run_batch != nullptr
                     ? wl.run_batch(seq_batch_adder_fn(sim), dseed)
                     : wl.run(seq_adder_fn(sim), dseed);
+            if (!provs.empty()) {
+              // Stage culprits share one top-K budget per cell; names
+              // carry the "s<k>:" stage prefix.
+              std::vector<CulpritCount> all;
+              for (const auto& prov : provs) {
+                const ProvenanceSummary s = prov->summary();
+                all.insert(all.end(), s.culprits.begin(),
+                           s.culprits.end());
+                prov->publish("provenance.campaign",
+                              config.top_culprits);
+              }
+              std::sort(all.begin(), all.end(),
+                        [](const CulpritCount& a, const CulpritCount& b) {
+                          return a.bits != b.bits ? a.bits > b.bits
+                                                  : a.name < b.name;
+                        });
+              for (std::size_t k = 0;
+                   k < all.size() && k < config.top_culprits; ++k) {
+                if (!culprits.empty()) culprits += ',';
+                culprits += all[k].name + "=" +
+                            std::to_string(all[k].bits);
+              }
+            }
             break;
           }
         }
@@ -434,6 +481,7 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             ctx.characterized[baseline_index(ctx.triads)].energy_per_op_fj;
         cell.ber = tr.ber;
         cell.adds = q.adds;
+        cell.culprits = culprits;
         cell.elapsed_s =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
@@ -443,6 +491,7 @@ CampaignOutcome run_campaign(const CellLibrary& lib,
             .observe(cell.elapsed_s);
         store.insert(cell);  // append-on-complete
         cells[p.slot] = cell;
+        if (config.on_cell) config.on_cell(cell);
       },
       config.jobs);
   outcome.computed = pending.size();

@@ -16,6 +16,7 @@
 #define VOSIM_CAMPAIGN_RUNNER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -92,6 +93,19 @@ struct CampaignConfig {
   /// store; merge_stores() unions them into the single-process store.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Opt-in error provenance for the gate-level sim backends
+  /// (sim-event / sim-levelized / sim-seq): every computed sim cell
+  /// attaches ErrorProvenance observers to its engines and records the
+  /// top-K culprit nets into CampaignCell::culprits; the accumulation
+  /// also folds into the metrics registry under "provenance.campaign".
+  /// Non-sim backends leave culprits empty.
+  bool provenance = false;
+  std::size_t top_culprits = 4;  ///< culprit nets kept per cell
+  /// Live-progress hook: invoked once per *computed* cell, right after
+  /// the store append (reused cells never fire it). Runs on pool
+  /// worker threads — the callback must be thread-safe. The serve
+  /// daemon's `watch` verb streams from this.
+  std::function<void(const CampaignCell&)> on_cell;
 };
 
 /// Outcome: the full grid in deterministic (workload-major) order plus

@@ -160,7 +160,9 @@ std::string CampaignStore::to_jsonl(const CampaignCell& cell) {
      << ",\"baseline_fj\":" << num(cell.baseline_fj)
      << ",\"ber\":" << num(cell.ber)
      << ",\"adds\":" << cell.adds
-     << ",\"elapsed_s\":" << num(cell.elapsed_s) << "}";
+     << ",\"elapsed_s\":" << num(cell.elapsed_s);
+  if (!cell.culprits.empty()) os << ",\"culprits\":\"" << cell.culprits << "\"";
+  os << "}";
   return os.str();
 }
 
@@ -194,6 +196,9 @@ std::optional<CampaignCell> CampaignStore::parse_jsonl(
   } else {
     cell.key.chip = 0;
   }
+  // Optional provenance field (absent on provenance-free runs and on
+  // every pre-provenance store).
+  if (!raw_field(line, "culprits", cell.culprits)) cell.culprits.clear();
   return cell;
 }
 

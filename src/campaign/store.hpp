@@ -58,6 +58,12 @@ struct CampaignCell {
   double ber = 0.0;             ///< adder BER at this triad
   std::uint64_t adds = 0;       ///< routed additions in the workload run
   double elapsed_s = 0.0;
+  /// Top-K culprit nets of the cell's sim run ("net=bits,net=bits",
+  /// stage-prefixed for sim-seq) — filled only when the campaign ran
+  /// with provenance on a gate-level backend; empty otherwise. The
+  /// JSONL field is omitted when empty and tolerated when absent, so
+  /// provenance-free stores round-trip byte-identically.
+  std::string culprits;
 };
 
 /// JSONL persistence + in-memory index of campaign cells.

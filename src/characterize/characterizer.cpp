@@ -1,6 +1,7 @@
 #include "src/characterize/characterizer.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "src/seq/seq_dut.hpp"
@@ -39,6 +40,36 @@ std::uint64_t golden_of(const CharacterizeConfig& config,
                         std::span<const std::uint64_t> ops,
                         std::uint64_t settled) {
   return config.golden ? config.golden(ops) : settled;
+}
+
+/// Pipeline provenance roll-up from the per-stage observers: culprit
+/// histograms aggregate across stages (names carry the "s<k>:" prefix),
+/// bitwise_ber is the output stage's local per-bit probability, and the
+/// slack figures take the worst stage. `ops` comes from the output
+/// stage (every stage observes every cycle).
+ProvenanceSummary combine_stage_summaries(
+    std::span<const ProvenanceSummary> stages, std::size_t top_k) {
+  ProvenanceSummary out;
+  VOSIM_EXPECTS(!stages.empty());
+  out.ops = stages.back().ops;
+  out.bitwise_ber = stages.back().bitwise_ber;
+  for (const ProvenanceSummary& s : stages) {
+    out.erroneous_ops += s.erroneous_ops;
+    out.attributed_bits += s.attributed_bits;
+    out.lane_words += s.lane_words;
+    out.culprits.insert(out.culprits.end(), s.culprits.begin(),
+                        s.culprits.end());
+    out.slack_p50_ps = std::max(out.slack_p50_ps, s.slack_p50_ps);
+    out.slack_p95_ps = std::max(out.slack_p95_ps, s.slack_p95_ps);
+    out.slack_max_ps = std::max(out.slack_max_ps, s.slack_max_ps);
+  }
+  std::sort(out.culprits.begin(), out.culprits.end(),
+            [](const CulpritCount& a, const CulpritCount& b) {
+              return a.bits != b.bits ? a.bits > b.bits
+                                      : a.name < b.name;
+            });
+  if (out.culprits.size() > top_k) out.culprits.resize(top_k);
+  return out;
 }
 
 /// Grid fast path for the levelized engine: supply and body bias scale
@@ -408,8 +439,10 @@ std::vector<TriadResult> characterize_dut(
   const std::vector<std::uint64_t> pats = generate_patterns(config, dut);
   const std::size_t nops = dut.num_operands();
 
-  if (config.engine == EngineKind::kLevelized &&
-      config.streaming_state) {
+  // Provenance needs observer dispatch, which the multi-threshold
+  // sweep pass does not do — route those sweeps to the per-triad loop.
+  if (config.engine == EngineKind::kLevelized && config.streaming_state &&
+      !config.provenance) {
     switch (lanes::resolve_lane_width(config.lane_width)) {
       case 512:
         return characterize_levelized_sweep<lanes::Word512>(
@@ -424,6 +457,8 @@ std::vector<TriadResult> characterize_dut(
   }
 
   std::vector<TriadResult> results(triads.size());
+  std::vector<std::unique_ptr<ErrorProvenance>> provs(
+      config.provenance ? triads.size() : 0);
 
   // One persistent pool across the whole grid (and across repeated
   // sweeps in the same process): triads are the parallel unit, patterns
@@ -438,6 +473,10 @@ std::vector<TriadResult> characterize_dut(
         sim_cfg.engine = config.engine;
         sim_cfg.lane_width = config.lane_width;
         VosDutSim sim(dut, lib, op, sim_cfg);
+        if (config.provenance) {
+          provs[t] = std::make_unique<ErrorProvenance>(dut);
+          sim.engine().attach_observer(provs[t].get());
+        }
 
         ErrorAccumulator acc(sim.output_width());
         double energy = 0.0;
@@ -484,9 +523,20 @@ std::vector<TriadResult> characterize_dut(
         res.leakage_energy_fj = sim.leakage_energy_fj();
         res.mean_settle_ps = settle / n;
         res.patterns = config.num_patterns;
+        if (config.provenance) {
+          res.provenance = provs[t]->summary();
+          if (res.provenance.culprits.size() > config.top_culprits)
+            res.provenance.culprits.resize(config.top_culprits);
+        }
       },
       config.threads);
 
+  if (config.provenance) {
+    // One sweep-wide roll-up into the process metrics registry.
+    for (std::size_t t = 1; t < provs.size(); ++t)
+      provs[0]->merge(*provs[t]);
+    provs[0]->publish("provenance.comb", config.top_culprits);
+  }
   return results;
 }
 
@@ -510,11 +560,16 @@ std::vector<TriadResult> characterize_seq_dut(
   // Levelized grids ride the normalized fast path (one die, sliding
   // capture threshold); streaming_state = false forces the per-triad
   // reference loop below — the fast path's conformance baseline.
-  if (config.engine == EngineKind::kLevelized && config.streaming_state)
+  // Provenance also forces the per-triad loop: the normalized replay
+  // retargets one shared pipeline and never dispatches observers.
+  if (config.engine == EngineKind::kLevelized && config.streaming_state &&
+      !config.provenance)
     return characterize_seq_levelized_norm(seq, lib, triads, config,
                                            pats);
 
   std::vector<TriadResult> results(triads.size());
+  std::vector<std::vector<std::unique_ptr<ErrorProvenance>>> sprovs(
+      config.provenance ? triads.size() : 0);
   shared_thread_pool().parallel(
       triads.size(),
       [&](std::size_t t) {
@@ -524,6 +579,18 @@ std::vector<TriadResult> characterize_seq_dut(
         sim_cfg.engine = config.engine;
         sim_cfg.lane_width = config.lane_width;
         SeqSim sim(seq, lib, triads[t], sim_cfg);
+        if (config.provenance) {
+          // One ErrorProvenance per stage, labelled "s<k>:" so culprit
+          // names identify the stage.
+          auto& sv = sprovs[t];
+          sv.reserve(sim.num_stages());
+          for (std::size_t k = 0; k < sim.num_stages(); ++k) {
+            const DutPinMap spins(seq.stages[k]);
+            sv.push_back(std::make_unique<ErrorProvenance>(
+                seq.stages[k].netlist, spins, static_cast<int>(k)));
+            sim.stage_engine(k).attach_observer(sv[k].get());
+          }
+        }
 
         ErrorAccumulator acc(sim.output_width());
         double energy = 0.0;
@@ -558,8 +625,27 @@ std::vector<TriadResult> characterize_seq_dut(
         res.leakage_energy_fj = sim.leakage_energy_fj_per_cycle();
         res.mean_settle_ps = settle / n;
         res.patterns = config.num_patterns;
+        if (config.provenance) {
+          std::vector<ProvenanceSummary> per_stage;
+          per_stage.reserve(sprovs[t].size());
+          for (const auto& p : sprovs[t])
+            per_stage.push_back(p->summary());
+          res.provenance =
+              combine_stage_summaries(per_stage, config.top_culprits);
+        }
       },
       config.threads);
+
+  if (config.provenance) {
+    // Sweep-wide roll-up per stage (stage netlists differ, so stages
+    // merge only across triads, never with each other).
+    for (std::size_t k = 0; k < sprovs[0].size(); ++k) {
+      for (std::size_t t = 1; t < sprovs.size(); ++t)
+        sprovs[0][k]->merge(*sprovs[t][k]);
+      sprovs[0][k]->publish("provenance.seq.s" + std::to_string(k),
+                            config.top_culprits);
+    }
+  }
   return results;
 }
 

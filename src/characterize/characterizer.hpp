@@ -16,6 +16,7 @@
 #include "src/characterize/metrics.hpp"
 #include "src/characterize/patterns.hpp"
 #include "src/netlist/dut.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/sim_engine.hpp"
 #include "src/tech/operating_point.hpp"
 
@@ -67,6 +68,16 @@ struct CharacterizeConfig {
   /// exact addition when quantifying a static approximate adder's
   /// total (design-time + timing) error.
   GoldenFn golden;
+  /// Opt-in error provenance: attach an ErrorProvenance observer per
+  /// triad (per stage for pipelines) and fill TriadResult::provenance.
+  /// Forces the generic per-triad sweep — the levelized grid fast
+  /// paths (step_batch_sweep / normalized-seq) never dispatch
+  /// observers — so a provenance sweep costs roughly one fast sweep
+  /// per triad instead of one pass total (DESIGN.md §13).
+  bool provenance = false;
+  /// Culprit nets kept per TriadResult and published per sweep when
+  /// provenance is on.
+  std::size_t top_culprits = 8;
 };
 
 /// Per-triad characterization outcome.
@@ -82,6 +93,12 @@ struct TriadResult {
   double leakage_energy_fj = 0.0;
   double mean_settle_ps = 0.0;
   std::size_t patterns = 0;
+  /// Filled when CharacterizeConfig::provenance: per-net culprit
+  /// attribution of this triad's erroneous bits (culprits truncated to
+  /// config.top_culprits). For pipelines the culprits aggregate over
+  /// stages ("s<k>:<net>" names) and bitwise_ber is the output stage's
+  /// local per-bit error probability.
+  ProvenanceSummary provenance;
 };
 
 /// Runs the sweep; one simulator per triad, all sharing the same pattern

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "src/netlist/eval.hpp"
-#include "src/sim/event_sim.hpp"
 #include "src/util/bits.hpp"
 #include "src/tech/library.hpp"
 #include "src/util/contracts.hpp"
@@ -56,6 +55,14 @@ SeqSim::SeqSim(const SeqDut& seq, const CellLibrary& lib,
     pins_.emplace_back(stage);
     stage_widths_.push_back(stage.operand_widths());
     engines_.push_back(make_engine(stage.netlist, lib, capture, config));
+  }
+  if (tracing_) {
+    // One bundled TraceRecorder per stage; the engines emit their
+    // transitions through the observer interface and the recorders
+    // hand each cycle's trace to step_cycle.
+    recorders_.resize(seq.stages.size());
+    for (std::size_t k = 0; k < seq.stages.size(); ++k)
+      engines_[k]->attach_observer(&recorders_[k]);
   }
   // Batch-path precomputation. bank_slot_[k][j]: the PI slot of bit j
   // of stage k's packed bank word — split_bank_word concatenates the
@@ -186,11 +193,10 @@ SeqCycleResult SeqSim::step_cycle(std::span<const std::uint64_t> operands) {
     r.energy_fj += st.window_energy_fj + stage_leak_fj_[k];
     r.max_settle_ps = std::max(r.max_settle_ps, st.settle_time_ps);
     if (tracing_) {
-      auto* ev = dynamic_cast<TimingSimulator*>(engines_[k].get());
-      VOSIM_ENSURES(ev != nullptr);
-      trace.stage_initial.emplace_back(ev->trace_initial_values().begin(),
-                                       ev->trace_initial_values().end());
-      trace.stage_events.push_back(ev->take_trace());
+      TraceRecorder& rec = recorders_[k];
+      trace.stage_initial.emplace_back(rec.initial_values().begin(),
+                                       rec.initial_values().end());
+      trace.stage_events.push_back(rec.take_trace());
     }
   }
 

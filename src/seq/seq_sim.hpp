@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "src/obs/probe.hpp"
 #include "src/runtime/error_monitor.hpp"
 #include "src/seq/seq_dut.hpp"
 #include "src/sim/sim_engine.hpp"
@@ -106,6 +107,16 @@ class SeqSim {
   const OperatingTriad& triad() const noexcept { return op_; }
   EngineKind engine_kind() const noexcept { return engines_[0]->kind(); }
   std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Stage k's engine — for attaching per-stage SimObservers (e.g. an
+  /// ErrorProvenance per stage). Observers attached here see the
+  /// scalar step_cycle path and the levelized batch path, but not the
+  /// event engine's batch fallback any differently: both route through
+  /// the engines' own dispatch sites.
+  SimEngine& stage_engine(std::size_t k) { return *engines_.at(k); }
+  const SimEngine& stage_engine(std::size_t k) const {
+    return *engines_.at(k);
+  }
 
   /// Register clock/latch energy charged every cycle (fJ).
   double clock_energy_fj_per_cycle() const noexcept {
@@ -195,6 +206,11 @@ class SeqSim {
   std::deque<std::uint64_t> golden_;  ///< expected outputs in flight
   std::vector<std::uint8_t> input_buf_;
   std::vector<std::uint64_t> golden_words_;  ///< golden-eval scratch
+  /// Per-stage bundled TraceRecorders, attached to the stage engines
+  /// when tracing — the observer-based replacement for the old
+  /// in-engine take_trace plumbing. Sized once in the constructor; the
+  /// engines hold borrowed pointers into it.
+  std::vector<TraceRecorder> recorders_;
   std::vector<SeqCycleTrace> traces_;
   std::uint64_t cycles_ = 0;
   // step_cycle_batch scratch (avoids per-chunk allocation).

@@ -90,8 +90,16 @@ CampaignConfig parse_campaign_request(const std::string& line,
     cfg.fleet.speed_sigma = d;
   if (jsonl::num_field(line, "leakage_sigma", d))
     cfg.fleet.leakage_sigma = d;
+  if (jsonl::u64_field(line, "provenance", u)) cfg.provenance = u != 0;
+  if (jsonl::u64_field(line, "top_culprits", u)) cfg.top_culprits = u;
   return cfg;
 }
+
+/// Decrements a gauge on scope exit (watcher lifetime accounting).
+struct GaugeGuard {
+  obs::Gauge& g;
+  ~GaugeGuard() { g.add(-1.0); }
+};
 
 }  // namespace
 
@@ -190,6 +198,11 @@ bool CampaignServer::dispatch(int fd, std::uint64_t& bytes) {
     const bool ok = send_line("{\"ok\":true,\"cmd\":\"shutdown\"}");
     shutdown_requested_.store(true);
     wait_cv_.notify_all();
+    // Wake watchers so open `watch` streams drain their footer and
+    // close; the empty critical section orders the store above against
+    // a watcher's predicate check (no lost wakeup).
+    { std::lock_guard<std::mutex> lock(watch_m_); }
+    watch_cv_.notify_all();
     return ok;
   }
   if (cmd == "stats") {
@@ -197,6 +210,12 @@ bool CampaignServer::dispatch(int fd, std::uint64_t& bytes) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started_)
             .count();
+    // One snapshot serves both the metrics blob and the provenance
+    // census, so the two never disagree within a line.
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    std::size_t provenance_counters = 0;
+    for (const auto& [name, value] : snap.counters)
+      if (name.rfind("provenance.", 0) == 0) ++provenance_counters;
     std::ostringstream out;
     out << "{\"ok\":true,\"cmd\":\"stats\",\"uptime_s\":"
         << jsonl::num(uptime)
@@ -204,15 +223,29 @@ bool CampaignServer::dispatch(int fd, std::uint64_t& bytes) {
         << ",\"active_connections\":"
         << static_cast<std::int64_t>(
                obs::metrics().gauge("serve.connections.active").value())
+        << ",\"watchers\":"
+        << static_cast<std::int64_t>(
+               obs::metrics().gauge("serve.watchers.active").value())
+        << ",\"watch_events\":" << watch_events_.load()
         << ",\"store_cells\":" << store_.size()
+        << ",\"provenance_counters\":" << provenance_counters
         << ",\"manifest\":" << manifest_.to_jsonl()
-        << ",\"metrics\":" << obs::metrics().snapshot().to_json() << "}";
+        << ",\"metrics\":" << snap.to_json() << "}";
     return send_line(out.str());
+  }
+  if (cmd == "watch") {
+    std::uint64_t limit = 0;  // 0 = follow until shutdown
+    jsonl::u64_field(line, "limit", limit);
+    return serve_watch(fd, limit, bytes);
   }
   if (cmd == "campaign") {
     try {
-      const CampaignConfig cfg =
-          parse_campaign_request(line, config_.jobs);
+      CampaignConfig cfg = parse_campaign_request(line, config_.jobs);
+      // Every computed cell fans out to the watch log as it finishes,
+      // so `watch` clients follow any in-flight campaign live.
+      cfg.on_cell = [this](const CampaignCell& cell) {
+        publish_event(CampaignStore::to_jsonl(cell));
+      };
       const CampaignOutcome outcome = run_campaign(lib_, cfg, store_);
       // Stream the *stored* form of each cell, not the in-memory
       // post-rebase view: stored lines carry the shard-independent
@@ -233,8 +266,81 @@ bool CampaignServer::dispatch(int fd, std::uint64_t& bytes) {
       return send_line(std::string("{\"error\":\"") + e.what() + "\"}");
     }
   }
+  // Unknown verbs get a structured, self-diagnosing error line (verb
+  // echoed back plus the supported set) instead of a bare message.
   obs::metrics().counter("serve.errors").add();
-  return send_line("{\"error\":\"unknown cmd '" + cmd + "'\"}");
+  return send_line(
+      "{\"error\":\"unknown cmd\",\"cmd\":\"" + cmd +
+      "\",\"known\":[\"campaign\",\"ping\",\"shutdown\",\"stats\","
+      "\"watch\"]}");
+}
+
+void CampaignServer::publish_event(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(watch_m_);
+    watch_log_.push_back(line);
+    if (watch_log_.size() > kWatchLogCap) {
+      // O(cap) front eviction on a ≤1024-string vector is noise next
+      // to the simulation work that produced the event.
+      watch_log_.erase(watch_log_.begin());
+      ++watch_base_;
+    }
+    watch_events_.fetch_add(1);
+  }
+  watch_cv_.notify_all();
+  obs::metrics().counter("serve.watch.events_published").add();
+}
+
+bool CampaignServer::serve_watch(int fd, std::uint64_t limit,
+                                 std::uint64_t& bytes) {
+  auto& reg = obs::metrics();
+  reg.counter("serve.watch.requests").add();
+  reg.gauge("serve.watchers.active").add(1.0);
+  GaugeGuard guard{reg.gauge("serve.watchers.active")};
+  const auto send_line = [fd, &bytes](const std::string& l) {
+    if (!write_line(fd, l)) return false;
+    bytes += l.size() + 1;
+    return true;
+  };
+  std::uint64_t cursor = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(watch_m_);
+    cursor = watch_base_;   // start with the retained backlog
+    dropped = watch_base_;  // evictions that predate this watcher
+  }
+  if (!send_line("{\"ok\":true,\"cmd\":\"watch\"}")) return false;
+  std::uint64_t sent = 0;
+  bool stopping = false;
+  while (!stopping && (limit == 0 || sent < limit)) {
+    std::vector<std::string> batch;
+    {
+      std::unique_lock<std::mutex> lock(watch_m_);
+      // The timeout is a belt-and-braces net; publish_event, shutdown
+      // and stop() all notify under/after taking watch_m_.
+      watch_cv_.wait_for(lock, std::chrono::milliseconds(250), [&] {
+        return !running_.load() || shutdown_requested_.load() ||
+               watch_base_ + watch_log_.size() > cursor;
+      });
+      if (cursor < watch_base_) cursor = watch_base_;  // fell behind
+      while (cursor < watch_base_ + watch_log_.size() &&
+             (limit == 0 || sent + batch.size() < limit)) {
+        batch.push_back(watch_log_[cursor - watch_base_]);
+        ++cursor;
+      }
+      stopping = batch.empty() &&
+                 (!running_.load() || shutdown_requested_.load());
+    }
+    for (const std::string& l : batch) {
+      if (!send_line(l)) return false;  // watcher went away
+      ++sent;
+    }
+  }
+  reg.counter("serve.watch.events_streamed").add(sent);
+  std::ostringstream footer;
+  footer << "{\"done\":true,\"cmd\":\"watch\",\"events\":" << sent
+         << ",\"dropped\":" << dropped << "}";
+  return send_line(footer.str());
 }
 
 void CampaignServer::wait() {
@@ -244,6 +350,10 @@ void CampaignServer::wait() {
 
 void CampaignServer::stop() {
   if (!running_.exchange(false)) return;
+  // Wake blocked watchers before joining their connection threads
+  // (same lost-wakeup fence as the shutdown verb).
+  { std::lock_guard<std::mutex> lock(watch_m_); }
+  watch_cv_.notify_all();
   // Unblock accept(): shut the listener down before joining.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);

@@ -8,10 +8,11 @@
 //
 // Wire protocol (newline-delimited JSON, one request per connection):
 //   client sends one line:  {"cmd":"ping"} | {"cmd":"shutdown"} |
-//     {"cmd":"stats"} |
+//     {"cmd":"stats"} | {"cmd":"watch","limit":N} |
 //     {"cmd":"campaign","workloads":"fir,dot","circuits":"rca16",
 //      "backends":"model","seed":1,"patterns":2000,
-//      "train_patterns":4000,"max_triads":3,"chips":0,"jobs":0}
+//      "train_patterns":4000,"max_triads":3,"chips":0,"jobs":0,
+//      "provenance":1,"top_culprits":4}
 //   server streams back:
 //     campaign — one CampaignStore::to_jsonl line per cell (canonical
 //       grid order, the *stored* form with the shard-independent
@@ -21,11 +22,28 @@
 //     ping — {"ok":true,"cmd":"ping"}
 //     stats — one line with daemon introspection (DESIGN.md §12):
 //       {"ok":true,"cmd":"stats","uptime_s":...,"requests_served":N,
-//        "active_connections":A,"store_cells":S,
+//        "active_connections":A,"watchers":W,"watch_events":E,
+//        "store_cells":S,"provenance_counters":P,
 //        "manifest":{...RunManifest...},"metrics":{...snapshot...}}
+//       (provenance_counters = registered "provenance.*" counters, so a
+//       client can tell whether any served campaign ran attribution)
+//     watch — live campaign progress (DESIGN.md §13): a header
+//       {"ok":true,"cmd":"watch"}, then one CampaignStore::to_jsonl
+//       line per cell *computed* by any concurrently-served campaign
+//       (reused cells never stream; with "provenance":1 each line
+//       carries its "culprits" field), as the cells finish — the
+//       watcher first drains the bounded in-daemon event log (last
+//       1024 events), then follows live. Ends with
+//       {"done":true,"cmd":"watch","events":N,"dropped":D} after
+//       "limit":N events (0/absent = until shutdown); D counts log
+//       evictions that happened before this watcher attached.
 //     shutdown — {"ok":true,"cmd":"shutdown"}, then the accept loop
 //       winds down and wait() returns
-//   errors — {"error":"<message>"} and the connection closes.
+//   errors — one structured JSON line, then the connection closes:
+//     unknown verbs answer {"error":"unknown cmd","cmd":"<verb>",
+//     "known":["campaign","ping","shutdown","stats","watch"]} rather
+//     than silently dropping the connection, so misspelled clients can
+//     self-diagnose; other failures answer {"error":"<message>"}.
 #ifndef VOSIM_SERVE_SERVER_HPP
 #define VOSIM_SERVE_SERVER_HPP
 
@@ -87,6 +105,11 @@ class CampaignServer {
   std::uint64_t requests_served() const noexcept {
     return requests_.load();
   }
+  /// Total events ever published to the watch log (monotonic; the
+  /// bounded log may have evicted the oldest ones).
+  std::uint64_t watch_events() const noexcept {
+    return watch_events_.load();
+  }
   /// The warm store (e.g. to inspect cached cells in tests).
   CampaignStore& store() noexcept { return store_; }
   /// This daemon's run manifest (also served by the `stats` verb).
@@ -98,6 +121,16 @@ class CampaignServer {
   /// Parses and answers one request; returns false when the client
   /// went away mid-stream. `bytes` accumulates payload written.
   bool dispatch(int fd, std::uint64_t& bytes);
+  /// Appends one event line to the bounded watch log and wakes every
+  /// watcher. Called from pool worker threads (campaign on_cell).
+  void publish_event(const std::string& line);
+  /// Serves one watch subscription; returns false when the watcher
+  /// went away mid-stream.
+  bool serve_watch(int fd, std::uint64_t limit, std::uint64_t& bytes);
+
+  /// Bounded watch log capacity: old events are evicted front-first so
+  /// a daemon nobody watches never grows without bound.
+  static constexpr std::size_t kWatchLogCap = 1024;
 
   const CellLibrary& lib_;
   ServeConfig config_;
@@ -113,6 +146,16 @@ class CampaignServer {
   std::vector<std::thread> connections_;
   std::mutex wait_m_;
   std::condition_variable wait_cv_;
+  /// Watch machinery: a bounded event log (deque semantics on a
+  /// vector) under its own mutex. `watch_base_` is the monotonic
+  /// sequence number of watch_log_.front(); a watcher's cursor is a
+  /// sequence number, so eviction never corrupts an attached stream —
+  /// a slow watcher that falls behind simply skips evicted events.
+  std::mutex watch_m_;
+  std::condition_variable watch_cv_;
+  std::vector<std::string> watch_log_;
+  std::uint64_t watch_base_ = 0;
+  std::atomic<std::uint64_t> watch_events_{0};
 };
 
 /// Client helper: connects to the daemon, sends one request line and

@@ -5,6 +5,7 @@
 
 #include "src/netlist/eval.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/logic.hpp"
 #include "src/tech/gate_timing.hpp"
 #include "src/util/contracts.hpp"
@@ -58,7 +59,6 @@ TimingSimulator::TimingSimulator(const Netlist& netlist,
   sampled_values_.assign(netlist.num_nets(), 0);
   gate_serial_.assign(netlist.num_gates(), no_pending);
   gate_target_.assign(netlist.num_gates(), 0);
-  record_trace_ = config.record_trace;
 
   // Establish a consistent all-zero-input state.
   std::vector<std::uint8_t> zeros(netlist.primary_inputs().size(), 0);
@@ -83,7 +83,9 @@ void TimingSimulator::commit(NetId net, std::uint8_t value, double time_ps) {
     current_.window_energy_fj += net_energy_fj_[net];
   }
   current_.settle_time_ps = std::max(current_.settle_time_ps, time_ps);
-  if (record_trace_) trace_.push_back(TraceEvent{time_ps, net, value});
+  if (!observers_.empty())
+    for (SimObserver* o : observers_)
+      o->on_transition(*this, TraceEvent{time_ps, net, value});
 }
 
 void TimingSimulator::enqueue_fanout(NetId net, double now_ps) {
@@ -126,6 +128,9 @@ void TimingSimulator::run_events(double until_ps) {
     const NetId out = netlist_.gate(e.gate).out;
     VOSIM_ENSURES(e.value != values_[out]);
     commit(out, e.value, e.time_ps);
+    if (!observers_.empty() && e.time_ps >= tclk_ps_)
+      for (SimObserver* o : observers_)
+        o->on_late_arrival(*this, out, e.time_ps, e.time_ps - tclk_ps_);
     enqueue_fanout(out, e.time_ps);
   }
 }
@@ -135,10 +140,8 @@ void TimingSimulator::launch_inputs(std::span<const std::uint8_t> inputs) {
   VOSIM_EXPECTS(inputs.size() == pis.size());
   current_ = StepResult{};
   sample_taken_ = false;
-  if (record_trace_) {
-    trace_.clear();
-    trace_initial_ = values_;
-  }
+  if (!observers_.empty())
+    for (SimObserver* o : observers_) o->on_step_begin(*this, values_);
   // Launch edge: primary inputs switch at t = 0.
   for (std::size_t i = 0; i < pis.size(); ++i) {
     const auto v = static_cast<std::uint8_t>(inputs[i] ? 1 : 0);
@@ -161,6 +164,9 @@ StepResult TimingSimulator::step(std::span<const std::uint8_t> inputs) {
   current_.sampled_outputs =
       pack_word(sampled_values_, netlist_.primary_outputs());
   current_.settled_outputs = pack_word(values_, netlist_.primary_outputs());
+  if (!observers_.empty())
+    for (SimObserver* o : observers_)
+      o->on_step_end(*this, sampled_values_, values_, current_);
   return current_;
 }
 
@@ -184,24 +190,35 @@ StepResult TimingSimulator::step_cycle(std::span<const std::uint8_t> inputs) {
       pack_word(sampled_values_, netlist_.primary_outputs());
   // Razor shadow reference: the zero-delay functional result for these
   // inputs (computed on the side; the event state stays mid-flight).
+  const std::vector<std::uint8_t> functional =
+      evaluate_logic(netlist_, inputs);
   current_.settled_outputs =
-      pack_word(evaluate_logic(netlist_, inputs), netlist_.primary_outputs());
+      pack_word(functional, netlist_.primary_outputs());
   current_.total_energy_fj = current_.window_energy_fj;
   current_.toggles_total = current_.toggles_in_window;
 
   // Rebase the surviving in-flight events onto the next cycle's time
-  // axis (their times are >= Tclk, so they stay non-negative).
+  // axis (their times are >= Tclk, so they stay non-negative). Live
+  // events here are exactly the transitions that missed the edge —
+  // reported as late arrivals before the rebase moves their clock.
   if (!queue_.empty()) {
     std::vector<Event> carried;
     carried.reserve(queue_.size());
     while (!queue_.empty()) {
       Event e = queue_.top();
       queue_.pop();
+      if (!observers_.empty() && e.serial == gate_serial_[e.gate])
+        for (SimObserver* o : observers_)
+          o->on_late_arrival(*this, netlist_.gate(e.gate).out, e.time_ps,
+                             e.time_ps - tclk_ps_);
       e.time_ps -= tclk_ps_;
       carried.push_back(e);
     }
     for (const Event& e : carried) queue_.push(e);
   }
+  if (!observers_.empty())
+    for (SimObserver* o : observers_)
+      o->on_step_end(*this, sampled_values_, functional, current_);
   return current_;
 }
 

@@ -84,27 +84,11 @@ class TimingSimulator final : public SimEngine {
   /// Assigned delay of a gate (after variation), ps.
   double gate_delay(GateId gid) const { return gate_delay_ps_.at(gid); }
 
-  /// Transitions of the last step() (only when record_trace is set).
-  /// The buffer belongs to the simulator and is overwritten by the next
-  /// step(); use take_trace() to assume ownership.
-  std::span<const TraceEvent> trace() const noexcept { return trace_; }
-
-  /// Moves the last step()'s trace out of the simulator, releasing its
-  /// storage. Batch callers that leave record_trace enabled should take
-  /// the trace after the step they care about — the internal buffer is
-  /// reused (cleared, capacity kept) across steps, so an un-taken trace
-  /// never accumulates, but it does pin the largest step's allocation
-  /// until taken or destroyed.
-  std::vector<TraceEvent> take_trace() noexcept {
-    std::vector<TraceEvent> out = std::move(trace_);
-    trace_ = {};
-    return out;
-  }
-
-  /// Net values at the start of the last step() (trace baseline).
-  std::span<const std::uint8_t> trace_initial_values() const noexcept {
-    return trace_initial_;
-  }
+  // Transition traces: attach a TraceRecorder or VcdObserver
+  // (src/obs/probe.hpp) — the engine emits every committed transition
+  // through SimObserver::on_transition and the step baseline through
+  // on_step_begin; the old in-engine record_trace/take_trace plumbing
+  // is gone.
 
  private:
   struct Event {
@@ -142,9 +126,6 @@ class TimingSimulator final : public SimEngine {
   // Per-step scratch state.
   bool sample_taken_ = false;
   StepResult current_{};
-  bool record_trace_ = false;
-  std::vector<TraceEvent> trace_;
-  std::vector<std::uint8_t> trace_initial_;
 };
 
 }  // namespace vosim

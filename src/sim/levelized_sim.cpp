@@ -10,6 +10,7 @@
 
 #include "src/netlist/eval.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sta/sta.hpp"
 #include "src/tech/gate_timing.hpp"
 #include "src/util/contracts.hpp"
@@ -1586,7 +1587,60 @@ void LevelizedSimulatorT<LW>::run_lanes(std::size_t lanes,
     results[k].sampled_outputs = sampled;
     results[k].settled_outputs = settled;
   }
+  if (!observers_.empty()) dispatch_observers(lanes, results);
   carry_state(lanes, /*truncate=*/cycle_mode);
+}
+
+template <class LW>
+void LevelizedSimulatorT<LW>::dispatch_observers(
+    std::size_t lanes, std::span<const StepResult> results) {
+  const std::size_t nnets = netlist_.num_nets();
+  if (obs_level_.empty()) {
+    // Topological level per net (primary inputs at 0), built once.
+    obs_level_.assign(nnets, 0);
+    for (const GateId gid : netlist_.topo_order()) {
+      const Gate& g = netlist_.gate(gid);
+      int lvl = 0;
+      for (std::uint8_t i = 0; i < g.num_inputs; ++i)
+        lvl = std::max(lvl, obs_level_[g.in[i]]);
+      obs_level_[g.out] = lvl + 1;
+    }
+  }
+
+  // Per-lane step_end: transpose each lane's per-net sampled/settled
+  // bits into byte vectors so observers see exactly the spans the
+  // event engine hands out.
+  obs_sampled_.resize(nnets);
+  obs_settled_.resize(nnets);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    for (NetId n = 0; n < static_cast<NetId>(nnets); ++n) {
+      obs_sampled_[n] = lanes::lane_bit(sampled_w_[n], k);
+      obs_settled_[n] = lanes::lane_bit(settled_w_[n], k);
+    }
+    for (SimObserver* o : observers_)
+      o->on_step_end(*this, obs_sampled_, obs_settled_, results[k]);
+  }
+
+  LaneWordSummary sum;
+  sum.lanes = lanes;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    if (results[k].sampled_outputs != results[k].settled_outputs)
+      ++sum.failing_lanes;
+    sum.slack_consumed_ps =
+        std::max(sum.slack_consumed_ps,
+                 std::max(0.0, results[k].settle_time_ps - tclk_ps_));
+  }
+  const LW used = lanes::mask<LW>(lanes);
+  for (const GateId gid : netlist_.topo_order()) {
+    const NetId out = netlist_.gate(gid).out;
+    if (!lanes::any((sampled_w_[out] ^ settled_w_[out]) & used)) continue;
+    if (sum.first_failing_net == invalid_net ||
+        obs_level_[out] < sum.first_failing_level) {
+      sum.first_failing_net = out;
+      sum.first_failing_level = obs_level_[out];
+    }
+  }
+  for (SimObserver* o : observers_) o->on_lane_word(*this, sum);
 }
 
 template <class LW>

@@ -166,6 +166,14 @@ class LevelizedSimulatorT final : public SimEngine {
   /// with `truncate` the sampled values become state_ (step_cycle).
   void carry_state(std::size_t lanes, bool truncate = false);
 
+  /// Observer fan-out after a single-threshold pass: per-lane
+  /// on_step_end (per-net values transposed out of the lane words) and
+  /// one on_lane_word summary. Called only when observers are attached
+  /// — run_lanes pays a single branch otherwise. The sweep path
+  /// (run_lanes_sweep) never dispatches (see SimEngine::attach_observer).
+  void dispatch_observers(std::size_t lanes,
+                          std::span<const StepResult> results);
+
   const Netlist& netlist_;
   OperatingTriad op_;
   double tclk_ps_ = 0.0;
@@ -220,6 +228,13 @@ class LevelizedSimulatorT final : public SimEngine {
   std::vector<double> acc_settle_;
   std::vector<std::uint32_t> acc_win_t_;
   std::vector<std::uint32_t> acc_tot_t_;
+
+  // Observer-dispatch scratch (only touched with observers attached):
+  // per-net transposed values for one lane and the lazily built
+  // per-net topological level table behind LaneWordSummary.
+  std::vector<std::uint8_t> obs_sampled_;
+  std::vector<std::uint8_t> obs_settled_;
+  std::vector<int> obs_level_;
 
   // Sweep support: primary-output index per net (-1 if not a PO) and
   // per-batch threshold-bucket scratch (sized on first sweep call).

@@ -1,7 +1,9 @@
 #include "src/sim/sim_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/probe.hpp"
 #include "src/sim/event_sim.hpp"
 #include "src/sim/levelized_sim.hpp"
 #include "src/util/contracts.hpp"
@@ -21,6 +23,18 @@ EngineKind parse_engine_kind(const std::string& name) {
   if (name == "levelized") return EngineKind::kLevelized;
   throw std::invalid_argument("unknown engine: " + name +
                               " (expected event|levelized)");
+}
+
+void SimEngine::attach_observer(SimObserver* obs) {
+  VOSIM_EXPECTS(obs != nullptr);
+  if (std::find(observers_.begin(), observers_.end(), obs) ==
+      observers_.end())
+    observers_.push_back(obs);
+}
+
+void SimEngine::detach_observer(SimObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                   observers_.end());
 }
 
 void SimEngine::step_batch(std::span<const std::uint8_t> inputs,

@@ -23,11 +23,14 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/netlist/netlist.hpp"
 #include "src/tech/operating_point.hpp"
 
 namespace vosim {
+
+class SimObserver;  // src/obs/probe.hpp
 
 /// Available simulation backends.
 enum class EngineKind : std::uint8_t {
@@ -60,10 +63,12 @@ struct TimingSimConfig {
   /// Die-wide leakage multiplier (die-to-die corner), applied on top of
   /// the triad's voltage-dependent leakage scale. 1.0 = nominal die.
   double leakage_scale = 1.0;
-  /// Record every committed transition of the next step() for waveform
-  /// inspection (see src/sim/vcd.hpp). Off by default: tracing allocates
-  /// per event. Event engine only. Collect with
-  /// TimingSimulator::take_trace().
+  /// Asks trace-capable wrappers (SeqSim) to attach bundled
+  /// TraceRecorder observers for waveform export (src/sim/vcd.hpp,
+  /// src/seq/seq_vcd.hpp). Off by default: tracing allocates per
+  /// event. Event engine only. For a bare engine, attach a
+  /// TraceRecorder or VcdObserver (src/obs/probe.hpp) yourself — the
+  /// engines themselves no longer record ad-hoc traces.
   bool record_trace = false;
   /// Backend built by make_engine() and the engine-generic wrappers
   /// (VosDutSim, characterize_dut, AdaptiveVosUnit).
@@ -202,8 +207,25 @@ class SimEngine {
   /// Fully settled values after the last reset/step (one per net).
   virtual std::span<const std::uint8_t> settled_values() const noexcept = 0;
 
+  /// Registers an observer for simulation callbacks (src/obs/probe.hpp;
+  /// DESIGN.md §13). Observers are borrowed, never owned — they must
+  /// outlive the engine or be detached first — and are invoked
+  /// synchronously on the simulating thread in attach order. Default
+  /// off: with no observers attached every hot-path dispatch site pays
+  /// exactly one !observers_.empty() branch. Attaching twice is a
+  /// no-op. Note: the levelized multi-threshold sweep
+  /// (step_batch_sweep) does not dispatch — observer consumers must
+  /// route through step/step_batch/step_cycle_batch.
+  void attach_observer(SimObserver* obs);
+  /// Unregisters a previously attached observer (no-op when absent).
+  void detach_observer(SimObserver* obs);
+  /// True when at least one observer is attached.
+  bool has_observers() const noexcept { return !observers_.empty(); }
+
  protected:
   SimEngine() = default;
+
+  std::vector<SimObserver*> observers_;
 };
 
 /// Builds the backend selected by `config.engine`.

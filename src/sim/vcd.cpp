@@ -33,10 +33,12 @@ std::string writer_id(std::size_t index) {
 
 }  // namespace
 
-void write_vcd(const TimingSimulator& sim, std::ostream& os) {
-  const auto initial = sim.trace_initial_values();
+void write_vcd(const Netlist& netlist, double tclk_ps,
+               std::span<const std::uint8_t> initial,
+               std::span<const TraceEvent> events, std::ostream& os) {
   VOSIM_EXPECTS(!initial.empty());
-  const Netlist& nl = sim.netlist();
+  VOSIM_EXPECTS(initial.size() == netlist.num_nets());
+  const Netlist& nl = netlist;
 
   os << "$timescale 1ps $end\n";
   os << "$scope module " << nl.name() << " $end\n";
@@ -51,8 +53,6 @@ void write_vcd(const TimingSimulator& sim, std::ostream& os) {
   os << "0" << clk_id << "\n$end\n";
 
   // Merge the transition trace with the sampling-edge marker.
-  const double tclk_ps = sim.triad().tclk_ns * 1e3;
-  std::vector<TraceEvent> events(sim.trace().begin(), sim.trace().end());
   bool clk_emitted = false;
   long last_time = -1;
   auto emit_time = [&](double t_ps) {

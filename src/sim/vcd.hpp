@@ -1,6 +1,7 @@
 // VCD (Value Change Dump) waveform export — for inspecting how timing
-// errors form in a waveform viewer (GTKWave etc.). Requires the event
-// simulator to run with record_trace enabled.
+// errors form in a waveform viewer (GTKWave etc.). Traces come from a
+// TraceRecorder / VcdObserver (src/obs/probe.hpp) attached to an event
+// engine.
 //
 // write_vcd dumps one combinational step(); VcdWriter generalizes to
 // multi-cycle (pipelined) runs: several net scopes (one per pipeline
@@ -12,19 +13,24 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "src/sim/event_sim.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sim/sim_engine.hpp"
 
 namespace vosim {
 
-/// Writes the last step() of `sim` as a VCD file: all nets are declared,
-/// the pre-step values are dumped at #0 and every committed transition
-/// follows with 1 ps resolution. A `clk_sample` marker pulses at Tclk so
-/// the capture edge is visible. Throws ContractViolation when tracing
-/// was not enabled.
-void write_vcd(const TimingSimulator& sim, std::ostream& os);
+/// Writes one recorded step as a VCD file: all of `netlist`'s nets are
+/// declared, `initial` (one value per net, the pre-step baseline) is
+/// dumped at #0 and every transition in `events` follows with 1 ps
+/// resolution. A `clk_sample` marker pulses at `tclk_ps` so the capture
+/// edge is visible. Throws ContractViolation when `initial` is empty
+/// (i.e. no baseline was recorded).
+void write_vcd(const Netlist& netlist, double tclk_ps,
+               std::span<const std::uint8_t> initial,
+               std::span<const TraceEvent> events, std::ostream& os);
 
 /// Multi-cycle, multi-scope VCD assembly. Usage: declare scopes (net
 /// groups from a netlist) and words (register banks), then begin() with

@@ -81,6 +81,8 @@ class VosDutSim {
   EngineKind engine_kind() const noexcept { return sim_->kind(); }
   /// The underlying engine (e.g. for net-level inspection).
   const SimEngine& engine() const noexcept { return *sim_; }
+  /// Mutable access — for attaching SimObservers (src/obs/probe.hpp).
+  SimEngine& engine() noexcept { return *sim_; }
 
  private:
   VosOpResult unpack(const StepResult& st) const;

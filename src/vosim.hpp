@@ -55,6 +55,7 @@
 #include "src/netlist/verilog.hpp"
 #include "src/obs/manifest.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/probe.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/adaptive_unit.hpp"
 #include "src/runtime/closed_loop.hpp"

@@ -272,5 +272,91 @@ TEST(CampaignServer, StatsVerbReportsManifestAndMetrics) {
   server.stop();
 }
 
+TEST(CampaignServer, UnknownVerbReturnsStructuredError) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("unknown");
+  CampaignServer server(lib(), cfg);
+  server.start();
+  // The error line is self-diagnosing: it echoes the verb back and
+  // enumerates the supported set, so a client can repair itself.
+  const auto bad = send_request(cfg.socket_path, "{\"cmd\":\"nope\"}");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0],
+            "{\"error\":\"unknown cmd\",\"cmd\":\"nope\",\"known\":"
+            "[\"campaign\",\"ping\",\"shutdown\",\"stats\",\"watch\"]}");
+  server.stop();
+}
+
+TEST(CampaignServer, WatchVerbStreamsComputedCellsWithBacklog) {
+  ServeConfig cfg;
+  cfg.socket_path = socket_path("watch");
+  CampaignServer server(lib(), cfg);
+  server.start();
+
+  // A campaign computes 2 cells; each fans out to the watch log.
+  const std::string campaign_fir =
+      "{\"cmd\":\"campaign\",\"workloads\":\"fir\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":2,"
+      "\"patterns\":300,\"train_patterns\":800}";
+  const auto stream = send_request(cfg.socket_path, campaign_fir);
+  ASSERT_EQ(stream.size(), 3u);  // 2 cells + done footer
+  EXPECT_EQ(server.watch_events(), 2u);
+
+  // A late watcher still sees them: attach starts at the retained
+  // backlog, so limit=2 drains the two events and closes with the
+  // footer — no live campaign needed.
+  const auto backlog =
+      send_request(cfg.socket_path, "{\"cmd\":\"watch\",\"limit\":2}");
+  ASSERT_EQ(backlog.size(), 4u);  // header + 2 cells + footer
+  EXPECT_EQ(backlog[0], "{\"ok\":true,\"cmd\":\"watch\"}");
+  EXPECT_EQ(backlog.back(),
+            "{\"done\":true,\"cmd\":\"watch\",\"events\":2,"
+            "\"dropped\":0}");
+  // The streamed lines are the stored cell form, byte for byte.
+  for (std::size_t i = 1; i + 1 < backlog.size(); ++i) {
+    EXPECT_NE(backlog[i].find("\"workload\":\"fir\""),
+              std::string::npos);
+    EXPECT_NE(backlog[i].find("\"circuit\":\"rca16\""),
+              std::string::npos);
+  }
+
+  // Reused cells never re-publish: the same grid again answers from
+  // the warm store and the event log does not move.
+  const auto warm = send_request(cfg.socket_path, campaign_fir);
+  ASSERT_FALSE(warm.empty());
+  EXPECT_NE(warm.back().find("\"reused\":2,\"computed\":0"),
+            std::string::npos);
+  EXPECT_EQ(server.watch_events(), 2u);
+
+  // A live watcher: attach first, then compute 2 fresh cells. The
+  // watcher's limit=4 stream is the 2-event backlog plus the 2 new
+  // cells as they finish.
+  std::vector<std::string> live;
+  std::thread watcher([&] {
+    live = send_request(cfg.socket_path,
+                        "{\"cmd\":\"watch\",\"limit\":4}");
+  });
+  const auto dot = send_request(
+      cfg.socket_path,
+      "{\"cmd\":\"campaign\",\"workloads\":\"dot\",\"circuits\":"
+      "\"rca16\",\"backends\":\"model\",\"max_triads\":2,"
+      "\"patterns\":300,\"train_patterns\":800}");
+  ASSERT_EQ(dot.size(), 3u);
+  watcher.join();
+  ASSERT_EQ(live.size(), 6u);  // header + 4 cells + footer
+  EXPECT_EQ(live.back(),
+            "{\"done\":true,\"cmd\":\"watch\",\"events\":4,"
+            "\"dropped\":0}");
+  EXPECT_NE(live[4].find("\"workload\":\"dot\""), std::string::npos);
+
+  // The stats verb surfaces the watch counters.
+  const auto stats =
+      send_request(cfg.socket_path, "{\"cmd\":\"stats\"}");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NE(stats[0].find("\"watchers\":0"), std::string::npos);
+  EXPECT_NE(stats[0].find("\"watch_events\":4"), std::string::npos);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace vosim

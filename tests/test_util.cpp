@@ -291,6 +291,52 @@ TEST(HistogramTest, BucketQuantileInterpolates) {
   EXPECT_THROW(h.quantile(-0.1), ContractViolation);
 }
 
+TEST(HistogramTest, QuantileSingleSampleSpansItsBucket) {
+  // One sample lands in bucket 3 ([3,4)): every quantile interpolates
+  // within that bucket — q=0 its left edge, q=1 its right edge — and
+  // never escapes to lo()/hi().
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.7);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOneBucketInterpolatesInside) {
+  // 50 identical samples in bucket 2 ([20,30)): bucket resolution
+  // means every quantile is a linear walk across that one bucket —
+  // the estimate degrades to bucket width, not to lo()/hi().
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 29.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+}
+
+TEST(HistogramTest, QuantileAfterMergingDisjointRanges) {
+  // Two same-shape histograms whose samples occupy disjoint value
+  // ranges (low half vs high half). After the merge, the extremes
+  // stay put and the median falls between the clusters — the merged
+  // distribution is the union, not either input.
+  Histogram lo_half(0.0, 100.0, 20);
+  Histogram hi_half(0.0, 100.0, 20);
+  for (int i = 0; i < 10; ++i) lo_half.add(10.0 + static_cast<double>(i));
+  for (int i = 0; i < 10; ++i) hi_half.add(80.0 + static_cast<double>(i));
+  const double lo_p50 = lo_half.quantile(0.5);
+  const double hi_p50 = hi_half.quantile(0.5);
+  lo_half.merge(hi_half);
+  EXPECT_EQ(lo_half.total(), 20u);
+  EXPECT_NEAR(lo_half.quantile(0.05), 10.0, 5.0);
+  EXPECT_NEAR(lo_half.quantile(0.95), 90.0, 5.0);
+  const double merged_p50 = lo_half.quantile(0.5);
+  EXPECT_GT(merged_p50, lo_p50);
+  EXPECT_LT(merged_p50, hi_p50);
+  // The middle of the merged mass is exactly the seam between the
+  // clusters: 10 low samples then 10 high ones.
+  EXPECT_NEAR(merged_p50, 50.0, 40.0);
+}
+
 // -------------------------------------------------------------------- table
 TEST(Table, FormatDouble) {
   EXPECT_EQ(format_double(1.5, 3), "1.5");

@@ -61,6 +61,23 @@
 #                    the campaign_smoke second pass, default 0 — the
 #                    line and the BENCH field are the tripwire; the
 #                    resume check above it already demands 1.0).
+#   VOSIM_MAX_PROVENANCE_OVERHEAD_PCT
+#                    ceiling for PROVENANCE_OVERHEAD_PCT printed by
+#                    bench_perf_speedup (event engine) and
+#                    bench_pipeline (clocked levelized path): the
+#                    relative deviation of two interleaved observers-off
+#                    sweep legs (default 2 — the SimObserver dispatch
+#                    guard is one branch; anything a real regression
+#                    adds to the observers-off path must climb above
+#                    this noise floor; DESIGN.md §13).
+#   VOSIM_MAX_FIG5_PROV_DEV_PP
+#                    ceiling for FIG5_PROV_DEV_PP printed by
+#                    bench_fig5_ber_bitpos: max per-bit deviation
+#                    between attribution-derived BER (ErrorProvenance)
+#                    and the output-diff BER table, in percentage
+#                    points (default 0.5; attribution is bit-exact by
+#                    construction, so this is effectively an equality
+#                    gate with float-print slack).
 #
 # Every bench binary prints one BENCH_METRICS_JSON line at exit (the
 # process-wide telemetry snapshot, src/obs); it is folded into the
@@ -225,6 +242,42 @@ for name in ${benches[@]+"${benches[@]}"}; do
       echo "FAIL ${name}: missing SEQ_BER_DEV_PP/CLOSED_LOOP_SAVINGS_PCT/SEQ_LEVELIZED_SPEEDUP in log" >&2
       status=1
     fi
+    # Same observers-off noise-floor gate on the clocked batched path.
+    prov_oh=$(sed -n 's/^PROVENANCE_OVERHEAD_PCT //p' "${log}" | tail -n 1)
+    if [ -n "${prov_oh}" ]; then
+      engine_fields="${engine_fields},
+  \"provenance_overhead_pct\": ${prov_oh}"
+      max_oh="${VOSIM_MAX_PROVENANCE_OVERHEAD_PCT:-2}"
+      if ! awk -v o="${prov_oh}" -v m="${max_oh}" \
+           'BEGIN{exit !(o <= m)}'; then
+        echo "FAIL ${name}: observers-off overhead ${prov_oh}% > ${max_oh}% ceiling" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing PROVENANCE_OVERHEAD_PCT in log" >&2
+      status=1
+    fi
+  fi
+  # bench_fig5_ber_bitpos reruns its VOS sweep with ErrorProvenance
+  # observers attached and derives the per-bit BER from culprit
+  # attribution; the attributed table must reproduce the output-diff
+  # table (the PO net is in its own fan-in cone, so attribution is
+  # exact by construction — DESIGN.md §13).
+  if [ "${name}" = "bench_fig5_ber_bitpos" ] && [ "${status}" -eq 0 ]; then
+    prov_dev=$(sed -n 's/^FIG5_PROV_DEV_PP //p' "${log}" | tail -n 1)
+    if [ -n "${prov_dev}" ]; then
+      engine_fields=",
+  \"fig5_prov_dev_pp\": ${prov_dev}"
+      max_prov_dev="${VOSIM_MAX_FIG5_PROV_DEV_PP:-0.5}"
+      if ! awk -v d="${prov_dev}" -v m="${max_prov_dev}" \
+           'BEGIN{exit !(d <= m)}'; then
+        echo "FAIL ${name}: provenance per-bit BER deviation ${prov_dev}pp > ${max_prov_dev}pp ceiling" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing FIG5_PROV_DEV_PP in log" >&2
+      status=1
+    fi
   fi
   # bench_ext_app_pareto replays workloads through the statistical
   # model and the gate-level simulator; gate the application-level
@@ -286,6 +339,22 @@ for name in ${benches[@]+"${benches[@]}"}; do
       fi
     else
       echo "FAIL ${name}: missing SIMD_COMPILED/WIDE_WIDTH/WIDE_SPEEDUP in log" >&2
+      status=1
+    fi
+    # Observers-off noise-floor gate: the SimObserver dispatch guard
+    # must stay a single branch (DESIGN.md §13).
+    prov_oh=$(sed -n 's/^PROVENANCE_OVERHEAD_PCT //p' "${log}" | tail -n 1)
+    if [ -n "${prov_oh}" ]; then
+      engine_fields="${engine_fields},
+  \"provenance_overhead_pct\": ${prov_oh}"
+      max_oh="${VOSIM_MAX_PROVENANCE_OVERHEAD_PCT:-2}"
+      if ! awk -v o="${prov_oh}" -v m="${max_oh}" \
+           'BEGIN{exit !(o <= m)}'; then
+        echo "FAIL ${name}: observers-off overhead ${prov_oh}% > ${max_oh}% ceiling" >&2
+        status=1
+      fi
+    else
+      echo "FAIL ${name}: missing PROVENANCE_OVERHEAD_PCT in log" >&2
       status=1
     fi
   fi
@@ -375,7 +444,22 @@ if [ "${run_smoke}" -eq 1 ]; then
       echo "FAIL campaign_smoke: resume reused ${reused:-?} of ${cells:-?} cells" >&2
       smoke_status=1
     fi
-    for f in "${trace_file}" "${metrics_file}"; do
+    # Provenance artifact (DESIGN.md §13): a tiny gate-level campaign
+    # with ErrorProvenance on. The metrics snapshot must carry the
+    # provenance.campaign counters — proof the observers attached and
+    # published — and both files ride the CI artifact upload.
+    prov_store="${out_dir}/campaign_smoke_prov.jsonl"
+    prov_metrics="${out_dir}/campaign_smoke_prov_metrics.json"
+    rm -f "${prov_store}" "${prov_metrics}"
+    (cd "${out_dir}" && "${cli}" campaign --workloads fir --circuits rca16 \
+       --backends sim-levelized --max-triads 3 --patterns 200 \
+       --provenance --top-culprits 3 --store "${prov_store}" \
+       --metrics-json "${prov_metrics}" >>"${log}" 2>&1) || smoke_status=1
+    if ! grep -q '"provenance.campaign' "${prov_metrics}" 2>/dev/null; then
+      echo "FAIL campaign_smoke: provenance counters missing from $(basename "${prov_metrics}")" >&2
+      smoke_status=1
+    fi
+    for f in "${trace_file}" "${metrics_file}" "${prov_metrics}"; do
       if [ ! -s "${f}" ]; then
         echo "FAIL campaign_smoke: telemetry file $(basename "${f}") missing or empty" >&2
         smoke_status=1
@@ -422,7 +506,9 @@ if [ "${run_smoke}" -eq 1 ]; then
   "resumed_cells": ${reused:-0},
   "cache_hit_rate": ${hit_rate},
   "trace": "campaign_smoke_trace.json",
-  "store": "campaign_smoke.jsonl"${telemetry_field}
+  "store": "campaign_smoke.jsonl",
+  "provenance_store": "campaign_smoke_prov.jsonl",
+  "provenance_metrics": "campaign_smoke_prov_metrics.json"${telemetry_field}
 }
 EOF
   if [ "${smoke_status}" -ne 0 ]; then

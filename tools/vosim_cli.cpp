@@ -4,6 +4,7 @@
 //   vosim_cli synth <circuit>
 //   vosim_cli characterize <circuit> [--patterns N] [--csv out.csv]
 //                          [--engine event|levelized]
+//                          [--provenance] [--top-culprits N]
 //   vosim_cli train <circuit> --tclk T --vdd V [--vbb B]
 //                   [--metric mse|hamming|whamming] [--out model.txt]
 //                   [--engine event|levelized]      (adders only)
@@ -18,6 +19,7 @@
 //                      [--patterns N] [--train-patterns N] [--seed S]
 //                      [--max-triads N] [--jobs N] [--csv out.csv]
 //                      [--chips N] [--fleet-seed S] [--shard i/N]
+//                      [--provenance] [--top-culprits N]
 //   vosim_cli merge-store <out.jsonl> <in1.jsonl> [in2.jsonl ...]
 //                      [--strip-timing]
 //   vosim_cli fleet [circuit] [--chips N] [--cycles N] [--patterns N]
@@ -30,13 +32,23 @@
 //                        timeline of the run
 //   --metrics-json FILE  write {"manifest":{...},"metrics":{...}} —
 //                        the run manifest plus a counters/gauges/
-//                        histograms snapshot (DESIGN.md §12)
+//                        histograms snapshot (DESIGN.md §12). Written
+//                        atomically (temp file + rename), so a watcher
+//                        tailing FILE never reads a torn snapshot.
+//
+// --provenance (characterize, campaign) attaches ErrorProvenance
+// observers (DESIGN.md §13): per-net culprit attribution, per-bit BER
+// and slack-consumption histograms; --top-culprits N bounds the
+// reported nets. Forces the generic per-triad sweep (the fast grid
+// paths never dispatch observers), so expect the sweep itself to slow
+// down — observers-off runs are unaffected.
 //
 // <circuit> is either a registry spec — rca8, bka16, mul8-array,
 // mul8-wallace, tree8x8, mac4x8, loa8-4, … (also accepted via
 // --circuit SPEC) — or the legacy "<arch> <width>" positional pair
 // with <arch> ∈ {rca, bka, ksa, skl, csel, cska, hca}.
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -84,7 +96,12 @@ int usage(const std::string& program) {
       << "           with operand widths and gate counts, then exit)\n"
       << "         --trace FILE (Chrome-trace span timeline; load in\n"
       << "           Perfetto / chrome://tracing)\n"
-      << "         --metrics-json FILE (run manifest + metrics snapshot)\n"
+      << "         --metrics-json FILE (run manifest + metrics snapshot;\n"
+      << "           atomic temp-file + rename write)\n"
+      << "         --provenance (characterize/campaign: per-net culprit\n"
+      << "           attribution + per-bit BER + slack histograms on the\n"
+      << "           sim engines; forces the generic sweep paths)\n"
+      << "         --top-culprits N (culprit nets reported per result)\n"
       << "campaign: --workloads L --circuits L --backends L (comma lists;\n"
       << "          backends: exact model sim-event sim-levelized sim-seq)\n"
       << "          --store FILE (JSONL; resumes finished cells)\n"
@@ -128,6 +145,27 @@ int list_circuits() {
   }
   t.print(std::cout);
   return 0;
+}
+
+/// Per-triad provenance digest printed under the sweep table when
+/// --provenance is on: error counts, worst-case slack consumption and
+/// the top culprit nets of every triad that saw at least one operation
+/// (triads the generic sweep skipped stay silent).
+void print_provenance(const std::vector<TriadResult>& results,
+                      std::size_t top_k) {
+  TextTable t({"triad", "err ops", "attrib bits", "slack p95 (ps)",
+               "slack max (ps)", "top culprits"});
+  for (const TriadResult& r : results) {
+    const ProvenanceSummary& p = r.provenance;
+    if (p.ops == 0) continue;
+    t.add_row({triad_label(r.triad), std::to_string(p.erroneous_ops),
+               std::to_string(p.attributed_bits),
+               format_double(p.slack_p95_ps, 1),
+               format_double(p.slack_max_ps, 1),
+               p.attributed_bits == 0 ? "-" : p.top_culprits_string(top_k)});
+  }
+  std::cout << "\n--- error provenance (per-net culprit attribution) ---\n";
+  t.print(std::cout);
 }
 
 /// Pipelined circuits route synth/triads/characterize through the
@@ -178,6 +216,9 @@ int run_seq(const ArgParser& args, const std::string& command,
     cfg.num_patterns =
         static_cast<std::size_t>(args.get_int("patterns", 20000));
     cfg.engine = engine;
+    cfg.provenance = args.has("provenance");
+    cfg.top_culprits = static_cast<std::size_t>(
+        args.get_int("top-culprits", static_cast<long>(cfg.top_culprits)));
     std::cerr << "pipeline: " << seq.display_name
               << ", engine: " << engine_kind_name(engine) << "\n";
     const auto results = characterize_seq_dut(seq, lib, triads, cfg);
@@ -187,6 +228,8 @@ int run_seq(const ArgParser& args, const std::string& command,
     if (args.has("csv"))
       std::cout << "CSV: " << write_csv(t, args.get("csv", "sweep.csv"))
                 << "\n";
+    if (cfg.provenance)
+      print_provenance(sort_for_fig8(results), cfg.top_culprits);
     return 0;
   }
 
@@ -268,6 +311,9 @@ int run_campaign_command(const ArgParser& args) {
       args.get_double("chip-speed-sigma", cfg.fleet.speed_sigma);
   cfg.fleet.leakage_sigma =
       args.get_double("chip-leakage-sigma", cfg.fleet.leakage_sigma);
+  cfg.provenance = args.has("provenance");
+  cfg.top_culprits = static_cast<std::size_t>(
+      args.get_int("top-culprits", static_cast<long>(cfg.top_culprits)));
   parse_shard(args, cfg);
   cfg.progress = &std::cerr;
   const double floor = args.get_double("quality-floor", 0.9);
@@ -289,6 +335,20 @@ int run_campaign_command(const ArgParser& args) {
   if (args.has("csv"))
     std::cout << "CSV: " << write_csv(grid, args.get("csv", "campaign.csv"))
               << "\n";
+
+  if (cfg.provenance) {
+    // Culprit nets of every gate-level sim cell (model/exact cells
+    // carry none — provenance needs an engine to observe).
+    TextTable pt({"workload", "circuit", "backend", "triad", "chip",
+                  "culprits"});
+    for (const CampaignCell& cell : outcome.cells)
+      if (!cell.culprits.empty())
+        pt.add_row({cell.key.workload, cell.key.circuit, cell.key.backend,
+                    triad_label(cell.key.triad),
+                    std::to_string(cell.key.chip), cell.culprits});
+    std::cout << "\n--- culprit nets (per sim cell) ---\n";
+    pt.print(std::cout);
+  }
 
   // Resolve again so the "all" alias expands to real workload names
   // (cell keys never contain the alias).
@@ -522,6 +582,9 @@ int run_command(const ArgParser& args) {
     cfg.num_patterns = static_cast<std::size_t>(
         args.get_int("patterns", 20000));
     cfg.engine = engine;
+    cfg.provenance = args.has("provenance");
+    cfg.top_culprits = static_cast<std::size_t>(
+        args.get_int("top-culprits", static_cast<long>(cfg.top_culprits)));
     std::cerr << "circuit: " << dut.display_name
               << ", engine: " << engine_kind_name(engine) << "\n";
     const auto results = characterize_dut(dut, lib, triads, cfg);
@@ -531,6 +594,8 @@ int run_command(const ArgParser& args) {
     if (args.has("csv"))
       std::cout << "CSV: " << write_csv(t, args.get("csv", "sweep.csv"))
                 << "\n";
+    if (cfg.provenance)
+      print_provenance(sort_for_fig8(results), cfg.top_culprits);
     return 0;
   }
 
@@ -620,14 +685,33 @@ int run(const ArgParser& args) {
     if (metrics_path.empty()) return;
     const std::string command =
         args.positional().empty() ? "vosim" : args.positional()[0];
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::cerr << "error: cannot write metrics " << metrics_path << "\n";
+    // Atomic publish: write a sibling temp file, then rename() over the
+    // target — a reader tailing the file (or a crash mid-write) never
+    // sees a torn half-snapshot. rename() is atomic within a
+    // filesystem, and the temp name keeps it on the target's.
+    const std::string tmp_path = metrics_path + ".tmp";
+    {
+      std::ofstream out(tmp_path);
+      if (!out) {
+        std::cerr << "error: cannot write metrics " << tmp_path << "\n";
+        return;
+      }
+      out << "{\"manifest\":" << make_manifest(args, command).to_jsonl()
+          << ",\"metrics\":" << obs::metrics().snapshot().to_json()
+          << "}\n";
+      out.flush();
+      if (!out) {
+        std::cerr << "error: cannot write metrics " << tmp_path << "\n";
+        std::remove(tmp_path.c_str());
+        return;
+      }
+    }
+    if (std::rename(tmp_path.c_str(), metrics_path.c_str()) != 0) {
+      std::cerr << "error: cannot rename " << tmp_path << " to "
+                << metrics_path << "\n";
+      std::remove(tmp_path.c_str());
       return;
     }
-    out << "{\"manifest\":" << make_manifest(args, command).to_jsonl()
-        << ",\"metrics\":" << obs::metrics().snapshot().to_json()
-        << "}\n";
     std::cerr << "metrics: " << metrics_path << "\n";
   };
   try {
